@@ -1,0 +1,616 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   and measures its performance claims.  The paper (VLDB 2006) contains
+   no experimental numbers — §4 is a worked example and §3/§5 make
+   qualitative claims — so EXPERIMENTS.md pairs each printed table here
+   with the corresponding claim.
+
+   Experiments:
+     T1  — Table 1 reproduced row by row + strategy timings (§4)
+     F3  — fragment-join micro-benchmarks (Figure 3 operations)
+     F4  — fragment set reduce: cost and reduction factor (Figure 4, §5)
+     E1  — strategy comparison sweep over keyword frequency (§4 claims)
+     E2  — filter push-down sweep over β (Theorem 3 claim, §4.3)
+     E3  — reduction-factor sweep: path-heavy vs star documents (§4.2)
+     E4  — native vs relational backend (§7 / ref [13])
+     E5  — effectiveness vs SLCA/ELCA/smallest-subtree (§1, Figure 8)
+
+   Run everything:   dune exec bench/main.exe
+   Run a subset:     dune exec bench/main.exe -- t1 e2 …        *)
+
+open Bechamel
+open Toolkit
+module Context = Xfrag_core.Context
+module Fragment = Xfrag_core.Fragment
+module Frag_set = Xfrag_core.Frag_set
+module Join = Xfrag_core.Join
+module Reduce = Xfrag_core.Reduce
+module Filter = Xfrag_core.Filter
+module Query = Xfrag_core.Query
+module Eval = Xfrag_core.Eval
+module Op_stats = Xfrag_core.Op_stats
+module Doctree = Xfrag_doctree.Doctree
+module Lca = Xfrag_doctree.Lca
+module Docgen = Xfrag_workload.Docgen
+module Paper = Xfrag_workload.Paper_doc
+
+(* --- measurement helper ------------------------------------------------ *)
+
+(* One OLS-estimated ns/run for a thunk.  Bechamel runs the thunk until
+   the quota expires and regresses time on run count. *)
+let time_ns ?(quota = 0.25) name fn =
+  let test = Test.make ~name (Staged.stage fn) in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun _ v acc ->
+      match Analyze.OLS.estimates v with Some [ x ] -> x | Some _ | None -> acc)
+    results Float.nan
+
+let pp_ns ns =
+  if Float.is_nan ns then "n/a"
+  else if ns < 1e3 then Printf.sprintf "%.0f ns" ns
+  else if ns < 1e6 then Printf.sprintf "%.1f us" (ns /. 1e3)
+  else if ns < 1e9 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else Printf.sprintf "%.2f s" (ns /. 1e9)
+
+let header title =
+  Printf.printf "\n%s\n%s\n%s\n" (String.make 74 '=') title (String.make 74 '=')
+
+let run_counters f =
+  let outcome = f () in
+  (outcome.Eval.answers, outcome.Eval.stats)
+
+(* --- T1: Table 1 -------------------------------------------------------- *)
+
+let t1 () =
+  header "T1: Table 1 - the worked example, reproduced (Figure 1 document, par.4)";
+  let ctx = Paper.figure1_context () in
+  let q = Query.make ~filter:(Filter.Size_at_most 3) Paper.query_keywords in
+  Printf.printf "%-4s %-26s %-44s %s\n" "row" "inputs" "output fragment" "marks";
+  List.iteri
+    (fun i (inputs, _) ->
+      let row = i + 1 in
+      let frags = List.map (fun ns -> Fragment.of_nodes ctx ns) inputs in
+      let out = Join.fragment_many ctx frags in
+      Printf.printf "%-4d %-26s %-44s %s%s\n" row
+        (String.concat " JOIN "
+           (List.map (fun f -> Printf.sprintf "f%d" (Fragment.root f)) frags))
+        (Format.asprintf "%a" Fragment.pp out)
+        (if not (Filter.evaluate ctx q.Query.filter out) then "irrelevant " else "")
+        (if row > 7 then "duplicate" else ""))
+    Paper.table1_rows;
+  let answers = Eval.answers ctx q in
+  Printf.printf "\nfinal answer (%d fragments): %s\n"
+    (Frag_set.cardinal answers)
+    (String.concat ", "
+       (List.map (Format.asprintf "%a" Fragment.pp) (Frag_set.elements answers)));
+  Printf.printf "\n%-14s %-12s %-10s %s\n" "strategy" "time" "joins" "candidates";
+  List.iter
+    (fun strategy ->
+      let _, stats = run_counters (fun () -> Eval.run ~strategy ctx q) in
+      let ns =
+        time_ns (Eval.strategy_name strategy) (fun () ->
+            ignore (Eval.run ~strategy ctx q))
+      in
+      Printf.printf "%-14s %-12s %-10d %d\n"
+        (Eval.strategy_name strategy)
+        (pp_ns ns) stats.Op_stats.fragment_joins stats.Op_stats.candidates)
+    Eval.all_strategies
+
+(* --- F3: join micro-benchmarks ------------------------------------------ *)
+
+let f3 () =
+  header "F3: fragment join / pairwise join micro-benchmarks (Figure 3 operations)";
+  let cfg = { Docgen.default with seed = 3; sections = 12 } in
+  let ctx = Docgen.generate_context cfg in
+  let n = Context.size ctx in
+  Printf.printf "document: %d nodes\n\n" n;
+  let prng = Xfrag_util.Prng.create 99 in
+  let random_node () = Xfrag_util.Prng.int prng n in
+  let pairs = Array.init 512 (fun _ -> (random_node (), random_node ())) in
+  let idx = ref 0 in
+  let next_pair () =
+    idx := (!idx + 1) land 511;
+    pairs.(!idx)
+  in
+  let rows =
+    [
+      ( "LCA query (O(1) sparse table)",
+        fun () ->
+          let a, b = next_pair () in
+          ignore (Lca.lca ctx.Context.lca a b) );
+      ( "single-node fragment join",
+        fun () ->
+          let a, b = next_pair () in
+          ignore (Join.fragment ctx (Fragment.singleton a) (Fragment.singleton b)) );
+      ( "subtree fragment join",
+        fun () ->
+          let a, b = next_pair () in
+          let fa = Fragment.of_sorted_unchecked (Doctree.subtree_nodes ctx.Context.tree a) in
+          let fb = Fragment.of_sorted_unchecked (Doctree.subtree_nodes ctx.Context.tree b) in
+          ignore (Join.fragment ctx fa fb) );
+    ]
+  in
+  Printf.printf "%-34s %s\n" "operation" "time/op";
+  List.iter
+    (fun (name, fn) -> Printf.printf "%-34s %s\n" name (pp_ns (time_ns name fn)))
+    rows;
+  Printf.printf "\npairwise join F JOIN F (single-node sets):\n";
+  Printf.printf "%-10s %-12s %s\n" "|F|" "time" "joins";
+  List.iter
+    (fun size ->
+      let nodes = Array.init size (fun _ -> random_node ()) in
+      let set =
+        Frag_set.of_list (Array.to_list (Array.map Fragment.singleton nodes))
+      in
+      let stats = Op_stats.create () in
+      ignore (Join.pairwise ~stats ctx set set);
+      let ns =
+        time_ns (Printf.sprintf "pairwise-%d" size) (fun () ->
+            ignore (Join.pairwise ctx set set))
+      in
+      Printf.printf "%-10d %-12s %d\n" (Frag_set.cardinal set) (pp_ns ns)
+        stats.Op_stats.fragment_joins)
+    [ 4; 8; 16; 32; 64 ];
+  (* Sequential vs domain-parallel pairwise join on a larger operand. *)
+  let nodes = Array.init 160 (fun _ -> random_node ()) in
+  let set = Frag_set.of_list (Array.to_list (Array.map Fragment.singleton nodes)) in
+  Printf.printf "\nparallel pairwise join (|F| = %d, %d domains available):\n"
+    (Frag_set.cardinal set)
+    (Domain.recommended_domain_count ());
+  List.iter
+    (fun domains ->
+      let ns =
+        time_ns
+          (Printf.sprintf "par-%d" domains)
+          (fun () -> ignore (Join.pairwise_parallel ~domains ctx set set))
+      in
+      Printf.printf "  %d domain(s): %s\n" domains (pp_ns ns))
+    [ 1; 2; 4 ]
+
+(* --- F4: fragment set reduce --------------------------------------------- *)
+
+let f4 () =
+  header "F4: fragment set reduce - cost and reduction factor (Figure 4, par.5)";
+  let ctx4 = Paper.figure4_context () in
+  let fig4_set = Frag_set.of_list (List.map Fragment.singleton [ 1; 3; 5; 6; 7 ]) in
+  let reduced = Reduce.reduce ctx4 fig4_set in
+  Printf.printf "Figure 4: |F| = %d  ->  |reduce(F)| = %d  (RF = %.2f)\n\n"
+    (Frag_set.cardinal fig4_set) (Frag_set.cardinal reduced)
+    (Reduce.reduction_factor ctx4 fig4_set);
+  let ctx = Docgen.generate_context { Docgen.default with seed = 4; sections = 12 } in
+  let n = Context.size ctx in
+  let prng = Xfrag_util.Prng.create 5 in
+  Printf.printf "%-8s %-10s %-8s %-12s %s\n" "|F|" "|reduce|" "RF" "time"
+    "subset checks";
+  List.iter
+    (fun size ->
+      let set =
+        Frag_set.of_list
+          (List.init size (fun _ -> Fragment.singleton (Xfrag_util.Prng.int prng n)))
+      in
+      let stats = Op_stats.create () in
+      let reduced = Reduce.reduce ~stats ctx set in
+      let ns =
+        time_ns (Printf.sprintf "reduce-%d" size) (fun () ->
+            ignore (Reduce.reduce ctx set))
+      in
+      Printf.printf "%-8d %-10d %-8.2f %-12s %d\n" (Frag_set.cardinal set)
+        (Frag_set.cardinal reduced)
+        (Reduce.reduction_factor ctx set)
+        (pp_ns ns) stats.Op_stats.reduce_subset_checks)
+    [ 4; 8; 16; 32; 48 ]
+
+(* --- E1: strategy sweep --------------------------------------------------- *)
+
+let e1 () =
+  header
+    "E1: strategy comparison over keyword frequency (par.4: brute force is\n\
+     impractical; Theorem 2 pipelines scale; pushdown wins with a filter)";
+  Printf.printf "query: {needleone, needletwo}, filter size<=4, doc ~190 nodes\n\n";
+  Printf.printf "%-12s %-14s %-12s %-10s %-12s %s\n" "postings" "strategy" "time"
+    "joins" "candidates" "answers";
+  List.iter
+    (fun (m1, m2) ->
+      let tree =
+        Docgen.with_planted_keywords
+          { Docgen.default with seed = 100 + m1; sections = 6 }
+          ~plant:[ ("needleone", m1); ("needletwo", m2) ]
+      in
+      let ctx = Context.create tree in
+      let q =
+        Query.make ~filter:(Filter.Size_at_most 4) [ "needleone"; "needletwo" ]
+      in
+      List.iter
+        (fun strategy ->
+          match run_counters (fun () -> Eval.run ~strategy ctx q) with
+          | answers, stats ->
+              let label =
+                Printf.sprintf "%s-%d-%d" (Eval.strategy_name strategy) m1 m2
+              in
+              let ns =
+                time_ns ~quota:0.2 label (fun () -> ignore (Eval.run ~strategy ctx q))
+              in
+              Printf.printf "%-12s %-14s %-12s %-10d %-12d %d\n"
+                (Printf.sprintf "%dx%d" m1 m2)
+                (Eval.strategy_name strategy)
+                (pp_ns ns) stats.Op_stats.fragment_joins stats.Op_stats.candidates
+                (Frag_set.cardinal answers)
+          | exception Invalid_argument _ ->
+              Printf.printf "%-12s %-14s %-12s (exponential guard)\n"
+                (Printf.sprintf "%dx%d" m1 m2)
+                (Eval.strategy_name strategy) "-")
+        (if m1 * m2 <= 64 then Eval.all_strategies
+         else
+           [ Eval.Naive_fixpoint; Eval.Set_reduction; Eval.Pushdown;
+             Eval.Pushdown_reduction; Eval.Semi_naive ]);
+      print_newline ())
+    [ (2, 2); (4, 4); (6, 6); (8, 8); (12, 12) ]
+
+(* --- E2: push-down sweep --------------------------------------------------- *)
+
+let e2 () =
+  header
+    "E2: filter push-down over beta (Theorem 3, par.4.3: selection ahead of\n\
+     join avoids unnecessary join computation)";
+  let tree =
+    Docgen.with_planted_keywords
+      { Docgen.default with seed = 17; sections = 8 }
+      ~plant:[ ("needleone", 9); ("needletwo", 9) ]
+  in
+  let ctx = Context.create tree in
+  Printf.printf "doc: %d nodes, postings 9x9\n\n" (Context.size ctx);
+  Printf.printf "%-8s %-14s %-12s %-10s %-10s %s\n" "beta" "strategy" "time" "joins"
+    "pruned" "answers";
+  List.iter
+    (fun beta ->
+      let filter =
+        if beta = max_int then Filter.True else Filter.Size_at_most beta
+      in
+      let q = Query.make ~filter [ "needleone"; "needletwo" ] in
+      List.iter
+        (fun strategy ->
+          let answers, stats = run_counters (fun () -> Eval.run ~strategy ctx q) in
+          let label =
+            Printf.sprintf "%s-b%d" (Eval.strategy_name strategy)
+              (if beta = max_int then 0 else beta)
+          in
+          let ns = time_ns label (fun () -> ignore (Eval.run ~strategy ctx q)) in
+          Printf.printf "%-8s %-14s %-12s %-10d %-10d %d\n"
+            (if beta = max_int then "none" else string_of_int beta)
+            (Eval.strategy_name strategy)
+            (pp_ns ns) stats.Op_stats.fragment_joins stats.Op_stats.pruned
+            (Frag_set.cardinal answers))
+        [ Eval.Naive_fixpoint; Eval.Pushdown ];
+      print_newline ())
+    [ 2; 3; 4; 6; 8 ]
+
+(* --- E3: reduction factor sweep -------------------------------------------- *)
+
+let e3 () =
+  header
+    "E3: set-reduction benefit vs reduction factor (par.4.2: worthwhile when\n\
+     the sets reduce by a large factor)";
+  (* Chain documents put keyword nodes on each other's root paths (high
+     RF); star documents make every keyword node independent (RF 0). *)
+  let chain_doc n =
+    Doctree.of_specs
+      (List.init n (fun id ->
+           {
+             Doctree.spec_id = id;
+             spec_parent = (if id = 0 then -1 else id - 1);
+             spec_label = "n";
+             spec_text = (if id mod 4 = 0 then "needle" else "");
+           }))
+  in
+  let star_doc n =
+    Doctree.of_specs
+      (List.init n (fun id ->
+           {
+             Doctree.spec_id = id;
+             spec_parent = (if id = 0 then -1 else 0);
+             spec_label = "n";
+             spec_text = (if id > 0 && id mod 4 = 0 then "needle" else "");
+           }))
+  in
+  Printf.printf "%-10s %-8s %-8s %-16s %-12s %-12s %s\n" "shape" "|F|" "RF"
+    "strategy" "time" "joins" "rounds";
+  List.iter
+    (fun (shape, tree) ->
+      let ctx = Context.create tree in
+      let set = Xfrag_core.Selection.keyword ctx "needle" in
+      let rf = Reduce.reduction_factor ctx set in
+      let strategies =
+        [
+          ( "naive",
+            fun stats s -> Xfrag_core.Fixed_point.naive ?stats ctx s );
+          ( "set-reduction",
+            fun stats s -> Xfrag_core.Fixed_point.with_reduction_unchecked ?stats ctx s );
+        ]
+      in
+      List.iter
+        (fun (name, fixed_point) ->
+          let stats = Op_stats.create () in
+          ignore (fixed_point (Some stats) set);
+          let ns =
+            time_ns
+              (Printf.sprintf "%s-%s" shape name)
+              (fun () -> ignore (fixed_point None set))
+          in
+          Printf.printf "%-10s %-8d %-8.2f %-16s %-12s %-12d %d\n" shape
+            (Frag_set.cardinal set) rf name (pp_ns ns) stats.Op_stats.fragment_joins
+            stats.Op_stats.fixpoint_rounds)
+        strategies)
+    [ ("chain", chain_doc 41); ("star", star_doc 41) ]
+
+(* --- E4: relational backend ------------------------------------------------ *)
+
+let e4 () =
+  header
+    "E4: native vs relational backend (par.7 / [13]: the model can run on a\n\
+     relational platform)";
+  let docs =
+    [
+      ("figure1", Paper.figure1 (), Paper.query_keywords, 3);
+      ( "generated",
+        Docgen.with_planted_keywords
+          { Docgen.default with seed = 23; sections = 6 }
+          ~plant:[ ("needleone", 5); ("needletwo", 5) ],
+        [ "needleone"; "needletwo" ],
+        4 );
+    ]
+  in
+  Printf.printf "%-10s %-12s %-12s %-10s %s\n" "doc" "backend" "time" "answers"
+    "rel. queries";
+  List.iter
+    (fun (name, tree, keywords, beta) ->
+      let ctx = Context.create tree in
+      let q = Query.make ~filter:(Filter.Size_at_most beta) keywords in
+      let native = Eval.answers ~strategy:Eval.Pushdown ctx q in
+      let ns_native =
+        time_ns (name ^ "-native") (fun () ->
+            ignore (Eval.answers ~strategy:Eval.Pushdown ctx q))
+      in
+      Printf.printf "%-10s %-12s %-12s %-10d %s\n" name "native" (pp_ns ns_native)
+        (Frag_set.cardinal native) "-";
+      let rel = Xfrag_relstore.Frag_rel.of_doctree tree in
+      let answers = Xfrag_relstore.Frag_rel.eval_query ~size_limit:beta rel ~keywords in
+      let queries0 = Xfrag_relstore.Frag_rel.queries_issued rel in
+      let ns_rel =
+        time_ns (name ^ "-relational") (fun () ->
+            ignore (Xfrag_relstore.Frag_rel.eval_query ~size_limit:beta rel ~keywords))
+      in
+      assert (Frag_set.equal native answers);
+      Printf.printf "%-10s %-12s %-12s %-10d %d per eval\n" name "relational"
+        (pp_ns ns_rel)
+        (Frag_set.cardinal answers) queries0;
+      (* Set-at-a-time variant: fragment sets live in (fid, node) tables
+         and the pairwise join is pure relational algebra. *)
+      let tab = Xfrag_relstore.Frag_tables.of_doctree tree in
+      let answers_tab =
+        Xfrag_relstore.Frag_tables.eval_query ~size_limit:beta tab ~keywords
+      in
+      assert (Frag_set.equal native answers_tab);
+      let ns_tab =
+        time_ns (name ^ "-set-at-a-time") (fun () ->
+            ignore (Xfrag_relstore.Frag_tables.eval_query ~size_limit:beta tab ~keywords))
+      in
+      Printf.printf "%-10s %-12s %-12s %-10d %s\n" name "set-at-time" (pp_ns ns_tab)
+        (Frag_set.cardinal answers_tab) "-")
+    docs
+
+(* --- E5: effectiveness ------------------------------------------------------ *)
+
+let e5 () =
+  header
+    "E5: effectiveness vs smallest-subtree semantics (par.1, Figures 2 and 8:\n\
+     keyword-split patterns and the fragments each semantics retrieves)";
+  let module Topics = Xfrag_workload.Topics in
+  let module Metrics = Xfrag_baselines.Metrics in
+  let seeds = [ 31; 32; 33; 34; 35; 36; 37; 38 ] in
+  Printf.printf
+    "per pattern: %d generated articles; recall@exact = fraction of trials\n\
+     whose intended target fragment is retrieved; P/R/F1 at Jaccard >= 1.0\n\n"
+    (List.length seeds);
+  Printf.printf "%-20s %-30s %-8s %-7s %-7s %-7s\n" "pattern" "semantics" "recall"
+    "P" "R" "F1";
+  List.iter
+    (fun pattern ->
+      let topics = Topics.generate_many ~seeds pattern in
+      (* β per pattern = the intended target's size: the loosest filter
+         that can still call the answer "restrained". *)
+      let beta =
+        match Topics.generate ~seed:31 pattern with
+        | Some t -> List.length t.Topics.target
+        | None -> 3
+      in
+      let systems =
+        [
+          ( Printf.sprintf "algebra (beta=%d)" beta,
+            fun ctx keywords ->
+              Eval.answers ctx (Query.make ~filter:(Filter.Size_at_most beta) keywords) );
+          ("SLCA subtrees [20]", fun ctx k -> Xfrag_baselines.Slca.answer_subtrees ctx k);
+          ("ELCA subtrees [7]", fun ctx k -> Xfrag_baselines.Elca.answer_subtrees ctx k);
+          ( "smallest subtree",
+            fun ctx k -> Xfrag_baselines.Smallest_subtree.answer ctx k );
+        ]
+      in
+      List.iter
+        (fun (name, retrieve) ->
+          let hits = ref 0 in
+          let p = ref 0.0 and r = ref 0.0 and f1 = ref 0.0 in
+          List.iter
+            (fun (t : Topics.topic) ->
+              let ctx = Context.create t.Topics.tree in
+              let target = Fragment.of_nodes ctx t.Topics.target in
+              let retrieved = retrieve ctx t.Topics.keywords in
+              if Frag_set.mem target retrieved then incr hits;
+              let s =
+                Metrics.evaluate ~retrieved ~targets:(Frag_set.singleton target) ()
+              in
+              p := !p +. s.Metrics.precision;
+              r := !r +. s.Metrics.recall;
+              f1 := !f1 +. s.Metrics.f1)
+            topics;
+          let n = float_of_int (List.length topics) in
+          Printf.printf "%-20s %-30s %d/%-6d %-7.2f %-7.2f %-7.2f\n"
+            (Topics.pattern_name pattern) name !hits (List.length topics) (!p /. n)
+            (!r /. n) (!f1 /. n))
+        systems;
+      print_newline ())
+    Topics.all_patterns
+
+(* --- E6: document-size scaling ----------------------------------------------- *)
+
+let e6 () =
+  header
+    "E6: scaling in document size (index construction and query latency;\n\
+     the paper targets 'a very large collection of XML documents', par.7)";
+  Printf.printf "%-10s %-14s %-14s %-14s %s\n" "nodes" "parse+build" "ctx (LCA+idx)"
+    "query (auto)" "answers";
+  List.iter
+    (fun sections ->
+      (* Grow the vocabulary with the document so per-term frequencies
+         stay comparable across scales. *)
+      let cfg =
+        {
+          Docgen.default with
+          seed = 1000 + sections;
+          sections;
+          vocabulary_size = max 1000 (120 * sections);
+        }
+      in
+      let xml = Docgen.generate_xml cfg in
+      let tree = Docgen.generate cfg in
+      let n = Doctree.size tree in
+      let parse_ns =
+        time_ns
+          (Printf.sprintf "parse-%d" sections)
+          (fun () -> ignore (Doctree.of_xml (Xfrag_xml.Xml_parser.parse_string xml)))
+      in
+      let ctx_ns =
+        time_ns (Printf.sprintf "ctx-%d" sections) (fun () -> ignore (Context.create tree))
+      in
+      let ctx = Context.create tree in
+      (* Query two mid-frequency vocabulary terms. *)
+      let pick =
+        Xfrag_workload.Querygen.pick_keywords ~seed:7
+          { Xfrag_workload.Querygen.keyword_count = 2; min_postings = 3; max_postings = 40 }
+          ctx
+      in
+      match pick with
+      | None -> Printf.printf "%-10d (no keyword pair in band)\n" n
+      | Some keywords ->
+          let q = Query.make ~filter:(Filter.Size_at_most 4) keywords in
+          let answers = Eval.answers ctx q in
+          let query_ns =
+            time_ns (Printf.sprintf "query-%d" sections) (fun () ->
+                ignore (Eval.answers ctx q))
+          in
+          Printf.printf "%-10d %-14s %-14s %-14s %d\n" n (pp_ns parse_ns) (pp_ns ctx_ns)
+            (pp_ns query_ns) (Frag_set.cardinal answers))
+    [ 2; 8; 32; 128; 512 ]
+
+(* --- A1: optimizer ablation --------------------------------------------------- *)
+
+let a1 () =
+  header
+    "A1 (ablation): does Auto pick a near-best strategy?  (par.5's optimizer\n\
+     sketch; regret = Auto time / best manual time)";
+  Printf.printf "%-26s %-14s %-12s %-12s %s\n" "workload" "auto chose" "auto time"
+    "best manual" "regret";
+  let workloads =
+    [
+      ( "paper doc, size<=3",
+        Paper.figure1 (),
+        Paper.query_keywords,
+        Filter.Size_at_most 3 );
+      ( "6x6 postings, size<=4",
+        Docgen.with_planted_keywords
+          { Docgen.default with seed = 106; sections = 6 }
+          ~plant:[ ("needleone", 6); ("needletwo", 6) ],
+        [ "needleone"; "needletwo" ],
+        Filter.Size_at_most 4 );
+      ( "8x8 postings, no AM filter",
+        Docgen.with_planted_keywords
+          { Docgen.default with seed = 108; sections = 6 }
+          ~plant:[ ("needleone", 8); ("needletwo", 8) ],
+        [ "needleone"; "needletwo" ],
+        Filter.Size_at_least 2 );
+      ( "chain-heavy doc, size<=4",
+        Doctree.of_specs
+          (List.init 40 (fun id ->
+               {
+                 Doctree.spec_id = id;
+                 spec_parent = (if id = 0 then -1 else id - 1);
+                 spec_label = "n";
+                 spec_text =
+                   (if id mod 5 = 0 then "needleone"
+                    else if id mod 7 = 0 then "needletwo"
+                    else "");
+               })),
+        [ "needleone"; "needletwo" ],
+        Filter.Size_at_most 4 );
+    ]
+  in
+  List.iter
+    (fun (name, tree, keywords, filter) ->
+      let ctx = Context.create tree in
+      let q = Query.make ~filter keywords in
+      let auto = Eval.run ctx q in
+      let auto_ns = time_ns (name ^ "-auto") (fun () -> ignore (Eval.run ctx q)) in
+      let manual =
+        List.filter_map
+          (fun strategy ->
+            match Eval.run ~strategy ctx q with
+            | _ ->
+                Some
+                  ( strategy,
+                    time_ns
+                      (name ^ "-" ^ Eval.strategy_name strategy)
+                      (fun () -> ignore (Eval.run ~strategy ctx q)) )
+            | exception Invalid_argument _ -> None)
+          Eval.all_strategies
+      in
+      let best_strategy, best_ns =
+        List.fold_left
+          (fun ((_, bns) as best) ((_, ns) as cur) -> if ns < bns then cur else best)
+          (List.hd manual) (List.tl manual)
+      in
+      Printf.printf "%-26s %-14s %-12s %-12s %.2fx (best: %s)\n" name
+        (Eval.strategy_name auto.Eval.strategy_used)
+        (pp_ns auto_ns)
+        (pp_ns best_ns)
+        (auto_ns /. best_ns)
+        (Eval.strategy_name best_strategy))
+    workloads
+
+(* --- driver ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("t1", t1); ("f3", f3); ("f4", f4); ("e1", e1); ("e2", e2); ("e3", e3);
+    ("e4", e4); ("e5", e5); ("e6", e6); ("a1", a1);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> List.map String.lowercase_ascii names
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %S (known: %s)\n" name
+            (String.concat ", " (List.map fst experiments)))
+    requested;
+  print_newline ()

@@ -1,0 +1,415 @@
+(* xfrag — keyword search over document-centric XML using the algebraic
+   query model of Pradhan (VLDB 2006).
+
+   Subcommands: query, stats, explain, baseline, corpus, sql, cache,
+   generate. *)
+
+module Context = Xfrag_core.Context
+module Fragment = Xfrag_core.Fragment
+module Frag_set = Xfrag_core.Frag_set
+module Filter = Xfrag_core.Filter
+module Query = Xfrag_core.Query
+module Eval = Xfrag_core.Eval
+module Op_stats = Xfrag_core.Op_stats
+module Optimizer = Xfrag_core.Optimizer
+module Doctree = Xfrag_doctree.Doctree
+module Stats = Xfrag_doctree.Stats
+module Ranking = Xfrag_baselines.Ranking
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let stem_arg =
+  Arg.(
+    value & flag
+    & info [ "stem" ]
+        ~doc:"Index and match keywords through a Porter stemmer (plural and \
+              derived forms match their stems).")
+
+let load_tree file =
+  if Filename.check_suffix file ".doctree" then
+    match Xfrag_doctree.Codec.load file with
+    | Ok tree -> Ok tree
+    | Error msg -> Error (Printf.sprintf "%s: %s" file msg)
+    | exception Sys_error msg -> Error msg
+  else
+    match Xfrag_xml.Xml_parser.parse_file file with
+    | doc -> Ok (Doctree.of_xml doc)
+    | exception Xfrag_xml.Xml_error.Parse_error e ->
+        Error (Printf.sprintf "%s: %s" file (Xfrag_xml.Xml_error.to_string e))
+    | exception Sys_error msg -> Error msg
+
+let load_context ?(stem = false) file =
+  let options = { Xfrag_doctree.Tokenizer.default_options with stem } in
+  Result.map (Context.create ~options) (load_tree file)
+
+(* --- common arguments --- *)
+
+let file_arg =
+  Arg.(
+    required & pos 0 (some file) None
+    & info [] ~docv:"FILE"
+        ~doc:"XML document, or a .doctree cache written by $(b,xfrag cache).")
+
+let keywords_arg =
+  Arg.(
+    non_empty & opt_all string []
+    & info [ "k"; "keyword" ] ~docv:"KEYWORD" ~doc:"Query keyword (repeatable).")
+
+let filter_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "f"; "filter" ] ~docv:"FILTER"
+        ~doc:
+          "Selection predicate: comma-separated conjunction of size<=N, \
+           height<=N, span<=N, diameter<=N, width<=N, depth<=N, size>=N, \
+           rootlabel=L, labels=a|b, keyword=K, eqdepth=K1/K2; prefix a term \
+           with not: to negate.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
+
+let parse_filter s =
+  if s = "" then Ok Filter.True
+  else Filter.of_string s
+
+(* --- query command --- *)
+
+let strategy_arg =
+  Arg.(
+    value & opt string "auto"
+    & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+        ~doc:
+          "Evaluation strategy: auto, brute-force, naive, set-reduction, \
+           pushdown, pushdown-reduction, semi-naive.")
+
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict-leaf" ]
+        ~doc:"Enforce Definition 8 verbatim (keywords must occur in fragment leaves).")
+
+let xml_arg =
+  Arg.(value & flag & info [ "xml" ] ~doc:"Print each answer fragment as XML.")
+
+let rank_arg =
+  Arg.(value & flag & info [ "rank" ] ~doc:"Order answers by tf-idf score.")
+
+let limit_arg =
+  Arg.(value & opt int 0 & info [ "limit" ] ~docv:"N" ~doc:"Print at most N answers (0 = all).")
+
+let show_stats_arg =
+  Arg.(value & flag & info [ "show-stats" ] ~doc:"Print operation counters.")
+
+let run_query file keywords filter_str strategy_str strict as_xml rank limit show_stats
+    stem verbose =
+  setup_logs verbose;
+  let ( let* ) = Result.bind in
+  let result =
+    let* ctx = load_context ~stem file in
+    let* filter = parse_filter filter_str in
+    let* strategy = Eval.strategy_of_string strategy_str in
+    let* query =
+      match Query.make ~filter keywords with
+      | q -> Ok q
+      | exception Invalid_argument msg -> Error msg
+    in
+    let outcome = Eval.run ~strategy ~strict_leaf_semantics:strict ctx query in
+    let answers =
+      if rank then
+        List.map (fun s -> s.Ranking.fragment)
+          (Ranking.rank ctx ~keywords:query.Query.keywords outcome.Eval.answers)
+      else Frag_set.elements outcome.Eval.answers
+    in
+    let answers = if limit > 0 then List.filteri (fun i _ -> i < limit) answers else answers in
+    Format.printf "%d answer fragment(s) [strategy: %s]@."
+      (Frag_set.cardinal outcome.Eval.answers)
+      (Eval.strategy_name outcome.Eval.strategy_used);
+    List.iter
+      (fun f ->
+        if as_xml then
+          Format.printf "@.%s@."
+            (Xfrag_xml.Xml_printer.node_to_string (Fragment.to_xml ctx f))
+        else Format.printf "  %a@." (Fragment.pp_labeled ctx) f)
+      answers;
+    if show_stats then Format.printf "ops: %a@." Op_stats.pp outcome.Eval.stats;
+    Ok ()
+  in
+  match result with
+  | Ok () -> 0
+  | Error msg ->
+      Format.eprintf "xfrag: %s@." msg;
+      1
+
+let query_cmd =
+  let doc = "Evaluate a keyword query against an XML document." in
+  Cmd.v
+    (Cmd.info "query" ~doc)
+    Term.(
+      const run_query $ file_arg $ keywords_arg $ filter_arg $ strategy_arg
+      $ strict_arg $ xml_arg $ rank_arg $ limit_arg $ show_stats_arg $ stem_arg
+      $ verbose_arg)
+
+(* --- stats command --- *)
+
+let run_stats file verbose =
+  setup_logs verbose;
+  match load_context file with
+  | Error msg ->
+      Format.eprintf "xfrag: %s@." msg;
+      1
+  | Ok ctx ->
+      Format.printf "%a@." Stats.pp (Stats.compute ctx.Context.tree);
+      Format.printf "vocabulary: %d keywords, %d postings@."
+        (Xfrag_doctree.Inverted_index.vocabulary_size ctx.Context.index)
+        (Xfrag_doctree.Inverted_index.total_postings ctx.Context.index);
+      0
+
+let stats_cmd =
+  let doc = "Print document statistics." in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run_stats $ file_arg $ verbose_arg)
+
+(* --- explain command --- *)
+
+let run_explain file keywords filter_str verbose =
+  setup_logs verbose;
+  let ( let* ) = Result.bind in
+  let result =
+    let* ctx = load_context file in
+    let* filter = parse_filter filter_str in
+    let* query =
+      match Query.make ~filter keywords with
+      | q -> Ok q
+      | exception Invalid_argument msg -> Error msg
+    in
+    print_string (Optimizer.explain ctx query);
+    Ok ()
+  in
+  match result with
+  | Ok () -> 0
+  | Error msg ->
+      Format.eprintf "xfrag: %s@." msg;
+      1
+
+let explain_cmd =
+  let doc = "Show the optimizer's plan candidates and chosen evaluation tree." in
+  Cmd.v
+    (Cmd.info "explain" ~doc)
+    Term.(const run_explain $ file_arg $ keywords_arg $ filter_arg $ verbose_arg)
+
+(* --- baseline command --- *)
+
+let method_arg =
+  Arg.(
+    value & opt string "slca"
+    & info [ "m"; "method" ] ~docv:"METHOD" ~doc:"Baseline: slca, elca, or smallest.")
+
+let run_baseline file keywords method_ verbose =
+  setup_logs verbose;
+  match load_context file with
+  | Error msg ->
+      Format.eprintf "xfrag: %s@." msg;
+      1
+  | Ok ctx -> (
+      match method_ with
+      | "slca" ->
+          let nodes = Xfrag_baselines.Slca.answer ctx keywords in
+          Format.printf "%d SLCA node(s)@." (List.length nodes);
+          List.iter
+            (fun n -> Format.printf "  %a@." (Doctree.pp_node ctx.Context.tree) n)
+            nodes;
+          0
+      | "elca" ->
+          let nodes = Xfrag_baselines.Elca.answer ctx keywords in
+          Format.printf "%d ELCA node(s)@." (List.length nodes);
+          List.iter
+            (fun n -> Format.printf "  %a@." (Doctree.pp_node ctx.Context.tree) n)
+            nodes;
+          0
+      | "smallest" ->
+          let frags = Xfrag_baselines.Smallest_subtree.answer ctx keywords in
+          Format.printf "%d smallest-subtree answer(s)@." (Frag_set.cardinal frags);
+          Frag_set.iter
+            (fun f -> Format.printf "  %a@." (Fragment.pp_labeled ctx) f)
+            frags;
+          0
+      | m ->
+          Format.eprintf "xfrag: unknown baseline %S (expected slca, elca, smallest)@." m;
+          1)
+
+let baseline_cmd =
+  let doc = "Run a comparison baseline (SLCA / ELCA / smallest subtree)." in
+  Cmd.v
+    (Cmd.info "baseline" ~doc)
+    Term.(const run_baseline $ file_arg $ keywords_arg $ method_arg $ verbose_arg)
+
+(* --- corpus command --- *)
+
+let files_arg =
+  Arg.(
+    non_empty & pos_all file []
+    & info [] ~docv:"FILE" ~doc:"XML documents forming the collection.")
+
+let top_arg =
+  Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Show the N best-scoring hits.")
+
+let run_corpus files keywords filter_str top verbose =
+  setup_logs verbose;
+  let ( let* ) = Result.bind in
+  let result =
+    let* filter = parse_filter filter_str in
+    let* query =
+      match Query.make ~filter keywords with
+      | q -> Ok q
+      | exception Invalid_argument msg -> Error msg
+    in
+    let* corpus =
+      List.fold_left
+        (fun acc file ->
+          let* acc = acc in
+          match Xfrag_xml.Xml_parser.parse_file file with
+          | doc -> (
+              match
+                Xfrag_core.Corpus.add acc ~name:(Filename.basename file)
+                  (Doctree.of_xml doc)
+              with
+              | corpus -> Ok corpus
+              | exception Invalid_argument msg -> Error msg)
+          | exception Xfrag_xml.Xml_error.Parse_error e ->
+              Error (Printf.sprintf "%s: %s" file (Xfrag_xml.Xml_error.to_string e))
+          | exception Sys_error msg -> Error msg)
+        (Ok Xfrag_core.Corpus.empty) files
+    in
+    Format.printf "corpus: %d documents, %d nodes@."
+      (Xfrag_core.Corpus.size corpus)
+      (Xfrag_core.Corpus.total_nodes corpus);
+    let scorer ctx f = Ranking.score ctx ~keywords:query.Query.keywords f in
+    let hits = Xfrag_core.Corpus.search_scored ~scorer ~limit:top corpus query in
+    Format.printf "%d hit(s) shown:@." (List.length hits);
+    List.iteri
+      (fun i (hit, score) ->
+        let ctx = Xfrag_core.Corpus.context corpus hit.Xfrag_core.Corpus.doc in
+        Format.printf "  #%d %-20s %.2f  %a@." (i + 1) hit.Xfrag_core.Corpus.doc score
+          (Fragment.pp_labeled ctx) hit.Xfrag_core.Corpus.fragment)
+      hits;
+    Ok ()
+  in
+  match result with
+  | Ok () -> 0
+  | Error msg ->
+      Format.eprintf "xfrag: %s@." msg;
+      1
+
+let corpus_cmd =
+  let doc = "Search a collection of XML documents (scored, cross-document)." in
+  Cmd.v
+    (Cmd.info "corpus" ~doc)
+    Term.(const run_corpus $ files_arg $ keywords_arg $ filter_arg $ top_arg $ verbose_arg)
+
+(* --- sql command --- *)
+
+let sql_arg =
+  Arg.(
+    required & pos 1 (some string) None
+    & info [] ~docv:"SQL"
+        ~doc:
+          "SELECT statement over the relational encoding: tables node(id, \
+           parent, depth, last, label) and keyword(word, node).")
+
+let run_sql file sql verbose =
+  setup_logs verbose;
+  match Xfrag_xml.Xml_parser.parse_file file with
+  | exception Xfrag_xml.Xml_error.Parse_error e ->
+      Format.eprintf "xfrag: %s: %s@." file (Xfrag_xml.Xml_error.to_string e);
+      1
+  | exception Sys_error msg ->
+      Format.eprintf "xfrag: %s@." msg;
+      1
+  | doc -> (
+      let tree = Doctree.of_xml doc in
+      let db = Xfrag_relstore.Mapping.of_doctree tree in
+      match Xfrag_relstore.Sql.run db sql with
+      | Ok rel ->
+          Format.printf "%a@." Xfrag_relstore.Relation.pp rel;
+          0
+      | Error msg ->
+          Format.eprintf "xfrag: %s@." msg;
+          1)
+
+let sql_cmd =
+  let doc = "Run a SQL query against the document's relational encoding ([13])." in
+  Cmd.v (Cmd.info "sql" ~doc) Term.(const run_sql $ file_arg $ sql_arg $ verbose_arg)
+
+(* --- cache command --- *)
+
+let output_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"OUT"
+        ~doc:"Output path (default: input with a .doctree suffix).")
+
+let run_cache file output verbose =
+  setup_logs verbose;
+  match load_tree file with
+  | Error msg ->
+      Format.eprintf "xfrag: %s@." msg;
+      1
+  | Ok tree -> (
+      let out =
+        match output with
+        | Some o -> o
+        | None -> Filename.remove_extension file ^ ".doctree"
+      in
+      match Xfrag_doctree.Codec.save tree out with
+      | () ->
+          Format.printf "%s: %d nodes cached@." out (Doctree.size tree);
+          0
+      | exception Sys_error msg ->
+          Format.eprintf "xfrag: %s@." msg;
+          1)
+
+let cache_cmd =
+  let doc =
+    "Parse a document once and cache the tree; other commands accept the \
+     .doctree file directly."
+  in
+  Cmd.v (Cmd.info "cache" ~doc) Term.(const run_cache $ file_arg $ output_arg $ verbose_arg)
+
+(* --- generate command --- *)
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let sections_arg =
+  Arg.(value & opt int 5 & info [ "sections" ] ~docv:"N" ~doc:"Top-level sections.")
+
+let vocab_arg =
+  Arg.(value & opt int 1000 & info [ "vocabulary" ] ~docv:"N" ~doc:"Vocabulary size.")
+
+let run_generate seed sections vocabulary verbose =
+  setup_logs verbose;
+  let cfg =
+    { Xfrag_workload.Docgen.default with seed; sections; vocabulary_size = vocabulary }
+  in
+  print_string (Xfrag_workload.Docgen.generate_xml cfg);
+  print_newline ();
+  0
+
+let generate_cmd =
+  let doc = "Emit a synthetic document-centric XML document to stdout." in
+  Cmd.v
+    (Cmd.info "generate" ~doc)
+    Term.(const run_generate $ seed_arg $ sections_arg $ vocab_arg $ verbose_arg)
+
+let main_cmd =
+  let doc = "algebraic keyword search over document-centric XML fragments" in
+  Cmd.group
+    (Cmd.info "xfrag" ~version:"1.0.0" ~doc)
+    [
+      query_cmd; stats_cmd; explain_cmd; baseline_cmd; corpus_cmd; sql_cmd;
+      cache_cmd; generate_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

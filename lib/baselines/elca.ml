@@ -1,0 +1,57 @@
+module Doctree = Xfrag_doctree.Doctree
+module Fragment = Xfrag_core.Fragment
+module Frag_set = Xfrag_core.Frag_set
+
+let answer ctx keywords =
+  match Keyword_matches.build ctx keywords with
+  | None -> []
+  | Some km ->
+      let tree = ctx.Xfrag_core.Context.tree in
+      let cands = Array.of_list (Keyword_matches.candidates km) in
+      let m = List.length (Keyword_matches.keywords km) in
+      (* Candidate children: for each candidate, the maximal candidates
+         strictly inside its interval.  Candidates are in pre-order, so a
+         stack sweep recovers the candidate forest. *)
+      let children = Array.make (Array.length cands) [] in
+      let stack = ref [] in
+      Array.iteri
+        (fun i v ->
+          let interval_end v = v + Doctree.subtree_size tree v in
+          let rec pop () =
+            match !stack with
+            | j :: rest when v >= interval_end cands.(j) ->
+                stack := rest;
+                pop ()
+            | _ -> ()
+          in
+          pop ();
+          (match !stack with
+          | parent :: _ -> children.(parent) <- i :: children.(parent)
+          | [] -> ());
+          stack := i :: !stack)
+        cands;
+      let is_elca i =
+        let v = cands.(i) in
+        let ok = ref true in
+        for k = 0 to m - 1 do
+          let excl =
+            List.fold_left
+              (fun acc j -> acc - Keyword_matches.subtree_count km k cands.(j))
+              (Keyword_matches.subtree_count km k v)
+              children.(i)
+          in
+          if excl <= 0 then ok := false
+        done;
+        !ok
+      in
+      let out = ref [] in
+      for i = Array.length cands - 1 downto 0 do
+        if is_elca i then out := cands.(i) :: !out
+      done;
+      !out
+
+let answer_subtrees ctx keywords =
+  answer ctx keywords
+  |> List.map (fun v ->
+         Fragment.of_sorted_unchecked (Doctree.subtree_nodes ctx.Xfrag_core.Context.tree v))
+  |> Frag_set.of_list

@@ -1,0 +1,14 @@
+(** Exclusive LCA semantics (XRank, Guo et al., SIGMOD 2003 — the
+    paper's reference [7]).
+
+    A node v is an ELCA iff its subtree contains every keyword even
+    after excluding the subtrees of v's *candidate children* — the
+    maximal proper descendants of v whose own subtrees contain every
+    keyword.  Every SLCA is an ELCA; ELCA additionally keeps ancestors
+    that have their own exclusive witnesses. *)
+
+val answer : Xfrag_core.Context.t -> string list -> Xfrag_doctree.Doctree.node list
+(** ELCA nodes in pre-order; empty if some keyword has no match. *)
+
+val answer_subtrees : Xfrag_core.Context.t -> string list -> Xfrag_core.Frag_set.t
+(** Each ELCA node expanded to its full rooted subtree. *)

@@ -1,0 +1,50 @@
+module Doctree = Xfrag_doctree.Doctree
+module Inverted_index = Xfrag_doctree.Inverted_index
+module Int_sorted = Xfrag_util.Int_sorted
+
+type t = {
+  keywords : string list;
+  match_sets : Int_sorted.t array;
+  counts : int array array;  (* counts.(i).(n): occurrences of keyword i in subtree n *)
+}
+
+let build (ctx : Xfrag_core.Context.t) keywords =
+  let keywords = List.map Xfrag_doctree.Tokenizer.normalize keywords in
+  let match_sets =
+    Array.of_list (List.map (Inverted_index.lookup ctx.index) keywords)
+  in
+  if Array.exists Int_sorted.is_empty match_sets then None
+  else begin
+    let n = Doctree.size ctx.tree in
+    let counts =
+      Array.map
+        (fun set ->
+          let c = Array.make n 0 in
+          Int_sorted.iter (fun node -> c.(node) <- 1) set;
+          (* Reverse pre-order: children precede parents in the sweep, so
+             each node accumulates its full subtree count. *)
+          for node = n - 1 downto 1 do
+            let p = Doctree.parent_exn ctx.tree node in
+            c.(p) <- c.(p) + c.(node)
+          done;
+          c)
+        match_sets
+    in
+    Some { keywords; match_sets; counts }
+  end
+
+let keywords t = t.keywords
+
+let matches t i = t.match_sets.(i)
+
+let subtree_count t i node = t.counts.(i).(node)
+
+let contains_all t node = Array.for_all (fun c -> c.(node) > 0) t.counts
+
+let candidates t =
+  let n = Array.length t.counts.(0) in
+  let out = ref [] in
+  for node = n - 1 downto 0 do
+    if contains_all t node then out := node :: !out
+  done;
+  !out

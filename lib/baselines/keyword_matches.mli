@@ -1,0 +1,24 @@
+(** Shared scaffolding for the LCA-based baselines: per-keyword match
+    sets and per-node subtree occurrence counts. *)
+
+type t
+
+val build : Xfrag_core.Context.t -> string list -> t option
+(** [None] if some keyword has no matches (conjunctive semantics: the
+    query answer is empty). *)
+
+val keywords : t -> string list
+
+val matches : t -> int -> Xfrag_util.Int_sorted.t
+(** Match nodes of the i-th keyword (0-based). *)
+
+val subtree_count : t -> int -> Xfrag_doctree.Doctree.node -> int
+(** Occurrences of the i-th keyword within the full rooted subtree of a
+    node (inclusive). *)
+
+val contains_all : t -> Xfrag_doctree.Doctree.node -> bool
+(** Does the node's rooted subtree contain every keyword? *)
+
+val candidates : t -> Xfrag_doctree.Doctree.node list
+(** All nodes whose rooted subtree contains every keyword, in pre-order.
+    Non-empty iff [build] returned [Some] (the document root qualifies). *)

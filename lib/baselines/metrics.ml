@@ -1,0 +1,45 @@
+module Fragment = Xfrag_core.Fragment
+module Frag_set = Xfrag_core.Frag_set
+module Int_sorted = Xfrag_util.Int_sorted
+
+let jaccard a b =
+  let na = Fragment.nodes a and nb = Fragment.nodes b in
+  let inter = Int_sorted.cardinal (Int_sorted.inter na nb) in
+  let union = Int_sorted.cardinal na + Int_sorted.cardinal nb - inter in
+  if union = 0 then 0.0 else float_of_int inter /. float_of_int union
+
+let best_match f set =
+  Frag_set.fold (fun best g -> Float.max best (jaccard f g)) 0.0 set
+
+type scores = {
+  precision : float;
+  recall : float;
+  f1 : float;
+  retrieved : int;
+  relevant : int;
+}
+
+let evaluate ?(threshold = 1.0) ~retrieved ~targets () =
+  let n_ret = Frag_set.cardinal retrieved in
+  let n_rel = Frag_set.cardinal targets in
+  let hits_ret =
+    Frag_set.fold
+      (fun acc f -> if best_match f targets >= threshold then acc + 1 else acc)
+      0 retrieved
+  in
+  let hits_rel =
+    Frag_set.fold
+      (fun acc t -> if best_match t retrieved >= threshold then acc + 1 else acc)
+      0 targets
+  in
+  let precision = if n_ret = 0 then 1.0 else float_of_int hits_ret /. float_of_int n_ret in
+  let recall = if n_rel = 0 then 1.0 else float_of_int hits_rel /. float_of_int n_rel in
+  let f1 =
+    if precision +. recall = 0.0 then 0.0
+    else 2.0 *. precision *. recall /. (precision +. recall)
+  in
+  { precision; recall; f1; retrieved = n_ret; relevant = n_rel }
+
+let pp ppf s =
+  Format.fprintf ppf "P=%.2f R=%.2f F1=%.2f (retrieved %d, relevant %d)" s.precision
+    s.recall s.f1 s.retrieved s.relevant

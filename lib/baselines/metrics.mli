@@ -1,0 +1,33 @@
+(** Set-retrieval quality metrics over fragment answers.
+
+    Element-retrieval evaluations (INEX) score systems by how well the
+    returned components match assessor-marked target components; the
+    natural fragment analogue scores node-set overlap.  A retrieved
+    fragment counts as a hit for a target when their Jaccard similarity
+    reaches a threshold (1.0 = exact match). *)
+
+val jaccard : Xfrag_core.Fragment.t -> Xfrag_core.Fragment.t -> float
+(** |A ∩ B| / |A ∪ B| of the node sets. *)
+
+val best_match : Xfrag_core.Fragment.t -> Xfrag_core.Frag_set.t -> float
+(** Highest Jaccard similarity against any member; 0 for the empty set. *)
+
+type scores = {
+  precision : float;  (** retrieved fragments matching some target *)
+  recall : float;  (** targets matched by some retrieved fragment *)
+  f1 : float;
+  retrieved : int;
+  relevant : int;  (** number of targets *)
+}
+
+val evaluate :
+  ?threshold:float ->
+  retrieved:Xfrag_core.Frag_set.t ->
+  targets:Xfrag_core.Frag_set.t ->
+  unit ->
+  scores
+(** Default [threshold] is 1.0 (exact fragment match).  Conventions:
+    precision is 1 when nothing was retrieved; recall is 1 when there are
+    no targets; F1 is 0 when precision + recall = 0. *)
+
+val pp : Format.formatter -> scores -> unit

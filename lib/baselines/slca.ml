@@ -1,0 +1,27 @@
+module Doctree = Xfrag_doctree.Doctree
+module Fragment = Xfrag_core.Fragment
+module Frag_set = Xfrag_core.Frag_set
+
+let answer ctx keywords =
+  match Keyword_matches.build ctx keywords with
+  | None -> []
+  | Some km ->
+      let cands = Keyword_matches.candidates km in
+      (* v is an SLCA iff no candidate lies strictly inside v's pre-order
+         interval.  Candidates are in pre-order: v's candidate successor
+         is inside v iff it starts before the interval ends. *)
+      let tree = ctx.Xfrag_core.Context.tree in
+      let rec sift = function
+        | [] -> []
+        | v :: rest ->
+            let last = v + Doctree.subtree_size tree v in
+            let inside = List.exists (fun u -> u > v && u < last) rest in
+            if inside then sift rest else v :: sift (List.filter (fun u -> u >= last) rest)
+      in
+      sift cands
+
+let answer_subtrees ctx keywords =
+  answer ctx keywords
+  |> List.map (fun v ->
+         Fragment.of_sorted_unchecked (Doctree.subtree_nodes ctx.Xfrag_core.Context.tree v))
+  |> Frag_set.of_list

@@ -1,0 +1,16 @@
+(** Smallest LCA semantics (Xu & Papakonstantinou, SIGMOD 2005 — the
+    paper's reference [20]): the answer to a keyword query is the set of
+    nodes v such that v's subtree contains every keyword and no proper
+    descendant of v does.
+
+    This is the "smallest subtree" semantics the paper argues is too
+    narrow for document-centric XML (§1): on the Figure 1 document and
+    query \{XQuery, optimization\} it returns exactly \{n17\}, never the
+    self-contained fragment ⟨n16, n17, n18⟩. *)
+
+val answer : Xfrag_core.Context.t -> string list -> Xfrag_doctree.Doctree.node list
+(** SLCA nodes in pre-order; empty if some keyword has no match. *)
+
+val answer_subtrees : Xfrag_core.Context.t -> string list -> Xfrag_core.Frag_set.t
+(** Each SLCA node expanded to its full rooted subtree, as fragments —
+    the retrieval unit an element-retrieval system would return. *)

@@ -1,0 +1,35 @@
+module Doctree = Xfrag_doctree.Doctree
+module Lca = Xfrag_doctree.Lca
+module Int_sorted = Xfrag_util.Int_sorted
+module Fragment = Xfrag_core.Fragment
+module Frag_set = Xfrag_core.Frag_set
+module Join = Xfrag_core.Join
+
+let answer (ctx : Xfrag_core.Context.t) keywords =
+  match Keyword_matches.build ctx keywords with
+  | None -> Frag_set.empty
+  | Some km ->
+      let m = List.length (Keyword_matches.keywords km) in
+      let slcas = Slca.answer ctx keywords in
+      let fragment_for v =
+        let last = v + Doctree.subtree_size ctx.tree v in
+        let witness k =
+          (* Closest match to v inside v's subtree, by tree distance. *)
+          let in_subtree =
+            Int_sorted.filter (fun n -> n >= v && n < last) (Keyword_matches.matches km k)
+          in
+          Int_sorted.fold
+            (fun best n ->
+              match best with
+              | None -> Some n
+              | Some b ->
+                  if Lca.distance ctx.lca v n < Lca.distance ctx.lca v b then Some n
+                  else best)
+            None in_subtree
+        in
+        let witnesses = List.init m witness |> List.filter_map Fun.id in
+        match witnesses with
+        | [] -> None
+        | ws -> Some (Join.fragment_many ctx (List.map Fragment.singleton ws))
+      in
+      Frag_set.of_list (List.filter_map fragment_for slcas)

@@ -1,0 +1,13 @@
+(** The "smallest subtree containing all the keywords" semantics that
+    §1 attributes to prior work: for each SLCA node, the minimal
+    connected fragment spanning one witness per keyword.
+
+    On the running example this returns exactly ⟨n17⟩ — the paragraph —
+    demonstrating the paper's motivating complaint: the self-contained
+    unit ⟨n16, n17, n18⟩ is never produced by this semantics. *)
+
+val answer : Xfrag_core.Context.t -> string list -> Xfrag_core.Frag_set.t
+(** One minimal witness fragment per SLCA node.  Witnesses are chosen
+    greedily (the match closest to the SLCA per keyword), which yields
+    the unique minimal fragment whenever each keyword has a single match
+    in the SLCA's subtree. *)

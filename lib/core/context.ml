@@ -1,0 +1,16 @@
+open Xfrag_doctree
+
+type t = { tree : Doctree.t; lca : Lca.t; index : Inverted_index.t }
+
+let create ?options tree =
+  { tree; lca = Lca.build tree; index = Inverted_index.build ?options tree }
+
+let of_xml ?options doc = create ?options (Doctree.of_xml doc)
+
+let of_xml_string ?options s =
+  of_xml ?options (Xfrag_xml.Xml_parser.parse_string s)
+
+let of_xml_file ?options path =
+  of_xml ?options (Xfrag_xml.Xml_parser.parse_file path)
+
+let size t = Doctree.size t.tree

@@ -1,0 +1,19 @@
+(** Everything the algebra needs about one document, bundled: the tree,
+    an LCA structure for fragment joins, and the keyword index for
+    [σ_{keyword=k}] selections. *)
+
+open Xfrag_doctree
+
+type t = { tree : Doctree.t; lca : Lca.t; index : Inverted_index.t }
+
+val create : ?options:Tokenizer.options -> Doctree.t -> t
+
+val of_xml : ?options:Tokenizer.options -> Xfrag_xml.Xml_dom.document -> t
+
+val of_xml_string : ?options:Tokenizer.options -> string -> t
+(** @raise Xfrag_xml.Xml_error.Parse_error on malformed XML. *)
+
+val of_xml_file : ?options:Tokenizer.options -> string -> t
+
+val size : t -> int
+(** Number of document nodes. *)

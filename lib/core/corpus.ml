@@ -1,0 +1,67 @@
+module String_map = Map.Make (String)
+
+type t = Context.t String_map.t
+
+type hit = { doc : string; fragment : Fragment.t }
+
+let empty = String_map.empty
+
+let add t ~name tree =
+  if String_map.mem name t then
+    invalid_arg (Printf.sprintf "Corpus.add: duplicate document name %S" name);
+  String_map.add name (Context.create tree) t
+
+let of_documents docs =
+  List.fold_left (fun t (name, tree) -> add t ~name tree) empty docs
+
+let size = String_map.cardinal
+
+let names t = List.map fst (String_map.bindings t)
+
+let context t name =
+  match String_map.find_opt name t with Some c -> c | None -> raise Not_found
+
+let total_nodes t =
+  String_map.fold (fun _ ctx acc -> acc + Context.size ctx) t 0
+
+let search ?strategy t query =
+  String_map.fold
+    (fun doc ctx acc ->
+      let answers = Eval.answers ?strategy ctx query in
+      let hits =
+        List.map (fun fragment -> { doc; fragment }) (Frag_set.elements answers)
+      in
+      acc @ hits)
+    t []
+
+let search_scored ~scorer ?strategy ?limit t query =
+  let scored =
+    String_map.fold
+      (fun doc ctx acc ->
+        let answers = Eval.answers ?strategy ctx query in
+        Frag_set.fold
+          (fun acc fragment -> ({ doc; fragment }, scorer ctx fragment) :: acc)
+          acc answers)
+      t []
+  in
+  let sorted =
+    List.stable_sort
+      (fun (h1, s1) (h2, s2) ->
+        let c = compare s2 s1 in
+        if c <> 0 then c
+        else
+          let c = String.compare h1.doc h2.doc in
+          if c <> 0 then c else Fragment.compare h1.fragment h2.fragment)
+      scored
+  in
+  match limit with
+  | None -> sorted
+  | Some n -> List.filteri (fun i _ -> i < n) sorted
+
+let document_frequency t keyword =
+  String_map.fold
+    (fun _ ctx acc ->
+      if Xfrag_doctree.Inverted_index.node_count ctx.Context.index keyword > 0 then
+        acc + 1
+      else acc)
+    t 0

@@ -1,0 +1,43 @@
+(** Multi-document collections.
+
+    The paper closes by noting the model "can accommodate a very large
+    collection of XML documents" (§7).  A corpus is a set of named
+    documents, each with its own {!Context.t}; queries run per document
+    (fragments never span documents — a fragment is connected within one
+    tree) and results carry their document of origin. *)
+
+type t
+
+type hit = { doc : string; fragment : Fragment.t }
+
+val empty : t
+
+val add : t -> name:string -> Xfrag_doctree.Doctree.t -> t
+(** Functional add; builds the document's context eagerly.
+    @raise Invalid_argument on a duplicate name. *)
+
+val of_documents : (string * Xfrag_doctree.Doctree.t) list -> t
+
+val size : t -> int
+(** Number of documents. *)
+
+val names : t -> string list
+(** Sorted. *)
+
+val context : t -> string -> Context.t
+(** @raise Not_found for an unknown document. *)
+
+val total_nodes : t -> int
+
+val search : ?strategy:Eval.strategy -> t -> Query.t -> hit list
+(** All answers across the corpus, grouped by document name (sorted) and
+    {!Fragment.compare} within a document. *)
+
+val search_scored :
+  scorer:(Context.t -> Fragment.t -> float) -> ?strategy:Eval.strategy ->
+  ?limit:int -> t -> Query.t -> (hit * float) list
+(** Answers ordered by descending score (ties by document/fragment
+    order); [limit] truncates (default: no truncation). *)
+
+val document_frequency : t -> string -> int
+(** Number of documents whose index contains the keyword. *)

@@ -1,0 +1,76 @@
+module Inverted_index = Xfrag_doctree.Inverted_index
+
+type estimate = { cost : float; cardinality : float }
+
+let set_growth_cap = 1.0e6
+
+let cap x = Float.min x set_growth_cap
+
+let rec selectivity = function
+  | Filter.True -> 1.0
+  | Filter.Size_at_most b -> Float.min 1.0 (0.1 *. float_of_int b)
+  | Filter.Size_at_least _ -> 0.5
+  | Filter.Height_at_most h -> Float.min 1.0 (0.2 *. float_of_int (h + 1))
+  | Filter.Span_at_most w -> Float.min 1.0 (0.05 *. float_of_int (w + 1))
+  | Filter.Diameter_at_most d -> Float.min 1.0 (0.15 *. float_of_int (d + 1))
+  | Filter.Width_at_most w -> Float.min 1.0 (0.08 *. float_of_int (w + 1))
+  | Filter.Depth_under _ -> 0.8
+  | Filter.Labels_among ls -> Float.min 1.0 (0.1 *. float_of_int (List.length ls))
+  | Filter.Contains_keyword _ -> 0.3
+  | Filter.Root_label_is _ -> 0.2
+  | Filter.Equal_depth _ -> 0.1
+  | Filter.Not p -> 1.0 -. selectivity p
+  | Filter.And (p, q) -> selectivity p *. selectivity q
+  | Filter.Or (p, q) ->
+      let a = selectivity p and b = selectivity q in
+      a +. b -. (a *. b)
+
+let rec estimate (ctx : Context.t) plan =
+  match plan with
+  | Plan.Scan_keyword k ->
+      let n = float_of_int (Inverted_index.node_count ctx.index k) in
+      { cost = n; cardinality = n }
+  | Plan.Select (p, x) ->
+      let e = estimate ctx x in
+      { cost = e.cost +. e.cardinality; cardinality = e.cardinality *. selectivity p }
+  | Plan.Pair_join (a, b) ->
+      let ea = estimate ctx a and eb = estimate ctx b in
+      let produced = ea.cardinality *. eb.cardinality in
+      { cost = ea.cost +. eb.cost +. produced; cardinality = cap produced }
+  | Plan.Pair_join_filtered (p, a, b) ->
+      let ea = estimate ctx a and eb = estimate ctx b in
+      let produced = ea.cardinality *. eb.cardinality in
+      {
+        cost = ea.cost +. eb.cost +. produced;
+        cardinality = cap (produced *. selectivity p);
+      }
+  | Plan.Power_join (a, b) ->
+      (* Literal powerset join: exponential in the operand sizes. *)
+      let ea = estimate ctx a and eb = estimate ctx b in
+      let subsets x = Float.min set_growth_cap (Float.pow 2.0 (Float.min x 40.0)) in
+      let produced = subsets ea.cardinality *. subsets eb.cardinality in
+      { cost = ea.cost +. eb.cost +. cap produced; cardinality = cap produced }
+  | Plan.Fixed_point x | Plan.Fixed_point_reduced x ->
+      let e = estimate ctx x in
+      let rounds =
+        match plan with
+        | Plan.Fixed_point_reduced _ ->
+            (* Reduction typically shrinks the round count; we assume
+               half, plus the |F|² ⊖ probe. *)
+            Float.max 1.0 (e.cardinality /. 2.0)
+        | _ -> e.cardinality
+      in
+      let out = cap (e.cardinality *. e.cardinality) in
+      let probe =
+        match plan with
+        | Plan.Fixed_point_reduced _ -> e.cardinality *. e.cardinality
+        | _ -> 0.0
+      in
+      { cost = e.cost +. probe +. (rounds *. out *. e.cardinality /. 4.0); cardinality = out }
+  | Plan.Fixed_point_filtered (p, x) ->
+      let e = estimate ctx x in
+      let seed = e.cardinality *. selectivity p in
+      let out = cap (seed *. seed *. selectivity p) in
+      { cost = e.cost +. (seed *. out); cardinality = out }
+
+let cost ctx plan = (estimate ctx plan).cost

@@ -1,0 +1,137 @@
+module Inverted_index = Xfrag_doctree.Inverted_index
+
+type strategy =
+  | Brute_force
+  | Naive_fixpoint
+  | Set_reduction
+  | Pushdown
+  | Pushdown_reduction
+  | Semi_naive
+  | Auto
+
+type outcome = {
+  answers : Frag_set.t;
+  stats : Op_stats.t;
+  strategy_used : strategy;
+  keyword_node_counts : (string * int) list;
+}
+
+let strategy_name = function
+  | Brute_force -> "brute-force"
+  | Naive_fixpoint -> "naive"
+  | Set_reduction -> "set-reduction"
+  | Pushdown -> "pushdown"
+  | Pushdown_reduction -> "pushdown-red"
+  | Semi_naive -> "semi-naive"
+  | Auto -> "auto"
+
+let strategy_of_string = function
+  | "brute-force" | "bruteforce" | "brute" -> Ok Brute_force
+  | "naive" | "naive-fixpoint" -> Ok Naive_fixpoint
+  | "set-reduction" | "reduction" -> Ok Set_reduction
+  | "pushdown" | "push-down" -> Ok Pushdown
+  | "pushdown-reduction" | "pushdown-red" -> Ok Pushdown_reduction
+  | "semi-naive" | "seminaive" -> Ok Semi_naive
+  | "auto" -> Ok Auto
+  | s -> Error (Printf.sprintf "unknown strategy %S" s)
+
+let all_strategies =
+  [
+    Brute_force; Naive_fixpoint; Set_reduction; Pushdown; Pushdown_reduction;
+    Semi_naive;
+  ]
+
+(* Auto heuristics (§5): pushdown whenever the filter has a usable
+   anti-monotonic part; otherwise choose set reduction when the reduction
+   factor of the (small enough to probe) keyword sets clears a threshold,
+   else the naive fixed point. *)
+let rf_probe_limit = 48
+
+let rf_threshold = 0.25
+
+let choose_strategy ctx (q : Query.t) keyword_sets =
+  let am, _residual = Filter.decompose q.filter in
+  if am <> Filter.True then
+    (* Theorem 3 applies.  Measured (bench E1/A1): delta iteration with
+       pruning dominates every alternative — it performs the pruned
+       convergence check of plain pushdown but re-joins only each round's
+       discoveries.  Theorem 1's unchecked round count loses here: under
+       pruning the fixed point converges earlier than |⊖| rounds, so
+       skipping the check costs whole redundant rounds. *)
+    Semi_naive
+  else if
+    List.for_all (fun s -> Frag_set.cardinal s <= rf_probe_limit) keyword_sets
+    && List.exists
+         (fun s -> Reduce.reduction_factor ctx s >= rf_threshold)
+         keyword_sets
+  then Set_reduction
+  else Semi_naive
+
+let strict_leaf_filter ctx (q : Query.t) answers =
+  Frag_set.filter
+    (fun f ->
+      let leaves = Fragment.leaves ctx f in
+      List.for_all
+        (fun k ->
+          List.exists (fun n -> Inverted_index.node_contains ctx.Context.index n k) leaves)
+        q.keywords)
+    answers
+
+let run ?(strategy = Auto) ?(strict_leaf_semantics = false) ctx (q : Query.t) =
+  let stats = Op_stats.create () in
+  let keyword_sets = List.map (Selection.keyword ctx) q.keywords in
+  let keyword_node_counts =
+    List.map2 (fun k s -> (k, Frag_set.cardinal s)) q.keywords keyword_sets
+  in
+  let strategy_used =
+    match strategy with
+    | Auto -> choose_strategy ctx q keyword_sets
+    | s -> s
+  in
+  let answers =
+    if List.exists Frag_set.is_empty keyword_sets then Frag_set.empty
+    else
+      match strategy_used with
+      | Auto -> assert false
+      | Brute_force ->
+          Selection.select ~stats ctx q.filter
+            (Powerset.many_literal ~stats ctx keyword_sets)
+      | Naive_fixpoint ->
+          Selection.select ~stats ctx q.filter
+            (Powerset.many_via_fixed_points ~stats ~fixed_point:Fixed_point.naive ctx
+               keyword_sets)
+      | Set_reduction ->
+          (* Keyword sets contain only single-node fragments, the setting
+             in which Theorem 1's unchecked round count is valid. *)
+          Selection.select ~stats ctx q.filter
+            (Powerset.many_via_fixed_points ~stats
+               ~fixed_point:Fixed_point.with_reduction_unchecked ctx keyword_sets)
+      | (Pushdown | Pushdown_reduction | Semi_naive) as s ->
+          let am, residual = Filter.decompose q.filter in
+          let keep f = Filter.evaluate ctx am f in
+          let fixed_point =
+            match s with
+            | Pushdown -> Fixed_point.naive_filtered
+            | Semi_naive -> fun ?stats ctx ~keep set -> Fixed_point.semi_naive ?stats ~keep ctx set
+            | _ ->
+                (* Pruned keyword seeds are single-node sets, where the
+                   unchecked Theorem 1 round count is valid. *)
+                Fixed_point.with_reduction_filtered_unchecked
+          in
+          let joined =
+            match
+              List.map (fun s -> fixed_point ~stats ctx ~keep s) keyword_sets
+            with
+            | [] -> assert false
+            | fp :: fps ->
+                List.fold_left (Join.pairwise_filtered ~stats ctx ~keep) fp fps
+          in
+          Selection.select ~stats ctx residual joined
+  in
+  let answers =
+    if strict_leaf_semantics then strict_leaf_filter ctx q answers else answers
+  in
+  { answers; stats; strategy_used; keyword_node_counts }
+
+let answers ?strategy ?strict_leaf_semantics ctx q =
+  (run ?strategy ?strict_leaf_semantics ctx q).answers

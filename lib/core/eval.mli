@@ -1,0 +1,68 @@
+(** Query evaluation strategies (§4).
+
+    All strategies compute the same answer set
+    σ_P(F1 ⋈* F2 ⋈* … ⋈* Fm); they differ in how much work they do:
+
+    - {!Brute_force} (§4.1): literal powerset join of the keyword node
+      sets, then one final selection.  Exponential; refuses keyword sets
+      larger than the powerset guard.
+    - {!Naive_fixpoint} (§3.1.1): Theorem 2 with the dynamic-programming
+      fixed point (convergence checked each round).
+    - {!Set_reduction} (§4.2): Theorem 2 with Theorem 1's pre-computed
+      round count |⊖(F)|.
+    - {!Pushdown} (§4.3): additionally pushes the anti-monotonic part of
+      the filter below every join, inside fixed-point rounds included
+      (Theorem 3).  The non-anti-monotonic residual is applied in a final
+      selection, so answers are unchanged.
+    - {!Pushdown_reduction}: the full §4.3 pipeline — Theorem 3 pruning
+      combined with Theorem 1's pre-computed round count on the pruned
+      seeds (valid: pruned keyword seeds are still single-node sets).
+    - {!Semi_naive}: Theorem 3 pruning with delta-iterated fixed points —
+      each round joins only the previous round's discoveries against the
+      seed (see {!Fixed_point.semi_naive}).
+    - {!Auto}: the {!Optimizer}'s choice.
+
+    When [strict_leaf_semantics] is set, answers are additionally
+    filtered by Definition 8's leaf-occurrence requirement (see
+    {!Query}). *)
+
+type strategy =
+  | Brute_force
+  | Naive_fixpoint
+  | Set_reduction
+  | Pushdown
+  | Pushdown_reduction
+  | Semi_naive
+  | Auto
+
+type outcome = {
+  answers : Frag_set.t;
+  stats : Op_stats.t;
+  strategy_used : strategy;  (** [Auto] resolved to a concrete strategy *)
+  keyword_node_counts : (string * int) list;
+      (** posting-list size per query keyword *)
+}
+
+val strategy_name : strategy -> string
+
+val strategy_of_string : string -> (strategy, string) result
+(** Recognizes [brute-force], [naive], [set-reduction], [pushdown],
+    [pushdown-reduction], [semi-naive], [auto]. *)
+
+val all_strategies : strategy list
+(** The six concrete strategies (without [Auto]). *)
+
+val run :
+  ?strategy:strategy ->
+  ?strict_leaf_semantics:bool ->
+  Context.t ->
+  Query.t ->
+  outcome
+(** Evaluate a query (default strategy [Auto]).  A keyword with an empty
+    posting list makes the answer empty (conjunctive semantics).
+    @raise Invalid_argument if [Brute_force] is asked to enumerate a
+    keyword set above the exponential-enumeration guard. *)
+
+val answers :
+  ?strategy:strategy -> ?strict_leaf_semantics:bool -> Context.t -> Query.t -> Frag_set.t
+(** [run] without the accounting. *)

@@ -1,0 +1,101 @@
+let bump stats f = match stats with None -> () | Some s -> f s
+
+let round stats = bump stats (fun s -> s.Op_stats.fixpoint_rounds <- s.Op_stats.fixpoint_rounds + 1)
+
+(* One pairwise-join round.  Every element of [acc] is a join of members
+   of [seed], hence contains some member as a subfragment, hence absorbs
+   it — so the round result is a superset of [acc] and no explicit union
+   is needed. *)
+let step ?stats ctx ~keep acc seed =
+  Join.pairwise_filtered ?stats ctx ~keep acc seed
+
+let naive_general ?stats ctx ~keep set =
+  let seed = Frag_set.filter keep set in
+  if Frag_set.is_empty seed then seed
+  else begin
+    let rec go acc =
+      round stats;
+      let next = step ?stats ctx ~keep acc seed in
+      if Frag_set.cardinal next = Frag_set.cardinal acc then acc else go next
+    in
+    go seed
+  end
+
+let naive ?stats ctx set = naive_general ?stats ctx ~keep:(fun _ -> true) set
+
+(* Delta iteration: only last round's discoveries are joined against the
+   seed.  Complete because every k-fold join factors as a (k−1)-fold
+   join ⋈ one seed member (associativity/commutativity), and that prefix
+   was some round's discovery. *)
+let semi_naive ?stats ?(keep = fun _ -> true) ctx set =
+  let seed = Frag_set.filter keep set in
+  if Frag_set.is_empty seed then seed
+  else begin
+    let rec go acc delta =
+      if Frag_set.is_empty delta then acc
+      else begin
+        round stats;
+        let produced = Join.pairwise_filtered ?stats ctx ~keep delta seed in
+        let fresh = Frag_set.diff produced acc in
+        go (Frag_set.union acc fresh) fresh
+      end
+    in
+    go seed seed
+  end
+
+let naive_filtered ?stats ctx ~keep set = naive_general ?stats ctx ~keep set
+
+let iterate ?stats ctx n set =
+  if n < 1 then invalid_arg "Fixed_point.iterate: n must be at least 1";
+  let rec go acc remaining =
+    if remaining = 0 then acc
+    else begin
+      round stats;
+      go (step ?stats ctx ~keep:(fun _ -> true) acc set) (remaining - 1)
+    end
+  in
+  go set (n - 1)
+
+(* Theorem 1: k = |⊖(seed)| rounds reach the fixed point with no
+   per-round convergence check.  The claim is only valid for single-node
+   seeds (see the erratum in the interface); [confirm] appends a checked
+   loop that makes the result correct for arbitrary seeds at the price of
+   at least one confirming round. *)
+let with_reduction_general ?stats ctx ~keep ~confirm set =
+  let seed = Frag_set.filter keep set in
+  if Frag_set.is_empty seed then seed
+  else begin
+    (* ⊖ of a general set can be empty — mutual subsumption eliminates
+       every member (e.g. {⟨0,2,3⟩, ⟨0,1,2,4⟩, ⟨0,2,3,4⟩, ⟨0,1,2,3,4⟩}
+       under a flat root) — so floor the round count at one. *)
+    let k = max 1 (Frag_set.cardinal (Reduce.reduce ?stats ctx seed)) in
+    let rec fast_forward acc remaining =
+      if remaining <= 0 then acc
+      else begin
+        round stats;
+        fast_forward (step ?stats ctx ~keep acc seed) (remaining - 1)
+      end
+    in
+    let acc = fast_forward seed (k - 1) in
+    if not confirm then acc
+    else begin
+      let rec converge acc =
+        round stats;
+        let next = step ?stats ctx ~keep acc seed in
+        if Frag_set.cardinal next = Frag_set.cardinal acc then acc else converge next
+      in
+      converge acc
+    end
+  end
+
+let with_reduction ?stats ctx set =
+  with_reduction_general ?stats ctx ~keep:(fun _ -> true) ~confirm:true set
+
+let with_reduction_unchecked ?stats ctx set =
+  with_reduction_general ?stats ctx ~keep:(fun _ -> true) ~confirm:false set
+
+let with_reduction_filtered ?stats ctx ~keep set =
+  with_reduction_general ?stats ctx ~keep ~confirm:true set
+
+let with_reduction_filtered_unchecked ?stats ctx ~keep set =
+  with_reduction_general ?stats ctx ~keep ~confirm:false set

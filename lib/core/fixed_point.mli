@@ -1,0 +1,89 @@
+(** Fixed points of fragment sets (Definition 9).
+
+    F⁺ = \{ ⋈F' | F' ⊆ F, F' ≠ ∅ \} — every fragment obtainable by
+    joining any non-empty subset of F.  Because pairwise join is
+    monotonic and absorption holds, F⁺ equals ⋈ₙ(F), the n-fold pairwise
+    self-join, and Theorem 1 shows k = |⊖(F)| rounds suffice.
+
+    {b Erratum (reproduction finding).}  Theorem 1 as stated is {e false}
+    for general fragment sets: with
+    F = \{⟨n0,n4⟩, ⟨n0,n2,n3⟩, ⟨n0,n1,n2,n3,n4⟩\} under a root with four
+    children, ⊖(F) is a singleton (k = 1, so "zero rounds"), yet
+    ⟨n0,n4⟩ ⋈ ⟨n0,n2,n3⟩ = ⟨n0,n2,n3,n4⟩ is a new fragment
+    (see test_fixed_point.ml).  The theorem {e does} hold empirically for
+    sets of single-node fragments — the only inputs the paper's query
+    evaluation ever feeds it (keyword-selected node sets, §2.3) — with no
+    counterexample in 65 000 random singleton-seed instances.
+
+    Computation strategies, all returning the same set:
+    - {!naive}: iterate [G ← G ⋈ F] with a fixed-point check after every
+      round (§3.1.1);
+    - {!with_reduction}: fast-forward k−1 = |⊖(F)|−1 unchecked rounds
+      (§3.1.2), then verify convergence — sound for every input;
+    - {!with_reduction_unchecked}: the paper's exact Theorem 1 recipe,
+      exactly k−1 rounds and no check — use only on single-node seeds;
+    - {!naive_filtered} / {!with_reduction_filtered}: the same, pruning
+      with an anti-monotonic predicate after every join (Theorem 3
+      push-down inside the fixed point). *)
+
+val naive : ?stats:Op_stats.t -> Context.t -> Frag_set.t -> Frag_set.t
+
+val semi_naive :
+  ?stats:Op_stats.t ->
+  ?keep:(Fragment.t -> bool) ->
+  Context.t ->
+  Frag_set.t ->
+  Frag_set.t
+(** Delta iteration (the classic datalog optimization; the paper's
+    "algorithms to implement all the operations" future work): each round
+    joins only the fragments *discovered in the previous round* against
+    the seed, instead of the whole accumulated set.  Correct because
+    join results involving two old fragments were already produced in an
+    earlier round.  Performs strictly fewer joins than {!naive} after the
+    first round; answers are identical (property-tested).  [keep] prunes
+    anti-monotonically as in {!naive_filtered}. *)
+
+val with_reduction : ?stats:Op_stats.t -> Context.t -> Frag_set.t -> Frag_set.t
+
+val with_reduction_unchecked :
+  ?stats:Op_stats.t -> Context.t -> Frag_set.t -> Frag_set.t
+(** Theorem 1 verbatim: exactly |⊖(F)|−1 pairwise-join rounds, no
+    convergence check.  Correct when every member of the input is a
+    single-node fragment (the paper's use case); may under-compute on
+    general inputs — see the erratum above. *)
+
+val iterate : ?stats:Op_stats.t -> Context.t -> int -> Frag_set.t -> Frag_set.t
+(** [iterate ctx n f] is ⋈ₙ(F): the pairwise self-join applied to [n]
+    copies of [F] (so [iterate ctx 1 f = f]).
+    @raise Invalid_argument if [n < 1]. *)
+
+val naive_filtered :
+  ?stats:Op_stats.t ->
+  Context.t ->
+  keep:(Fragment.t -> bool) ->
+  Frag_set.t ->
+  Frag_set.t
+(** Fixed point of the [keep]-pruned join sequence, starting from
+    [filter keep F].  Sound for anti-monotonic [keep] in the sense that
+    [σ_keep F⁺ = σ_keep (naive_filtered ~keep F)]. *)
+
+val with_reduction_filtered :
+  ?stats:Op_stats.t ->
+  Context.t ->
+  keep:(Fragment.t -> bool) ->
+  Frag_set.t ->
+  Frag_set.t
+(** Like {!naive_filtered} but fast-forwarded through |⊖|−1 rounds of the
+    pruned seed set before the convergence check. *)
+
+val with_reduction_filtered_unchecked :
+  ?stats:Op_stats.t ->
+  Context.t ->
+  keep:(Fragment.t -> bool) ->
+  Frag_set.t ->
+  Frag_set.t
+(** Theorem 1 + Theorem 3 combined with no convergence check: exactly
+    |⊖(σ_keep F)|−1 pruned rounds.  Correct when the input is a set of
+    single-node fragments and [keep] is anti-monotonic (σ_keep of the
+    answer is then reached within that round count — see the induction
+    in DESIGN.md). *)

@@ -1,0 +1,118 @@
+module H = Hashtbl.Make (struct
+  type t = Fragment.t
+
+  let equal = Fragment.equal
+
+  let hash = Fragment.hash
+end)
+
+type t = unit H.t
+
+let create_table n : t = H.create (max 16 n)
+
+let empty : t = create_table 1
+
+let is_empty t = H.length t = 0
+
+let cardinal t = H.length t
+
+let mem f t = H.mem t f
+
+let iter f t = H.iter (fun frag () -> f frag) t
+
+let fold f init t = H.fold (fun frag () acc -> f acc frag) t init
+
+let elements t =
+  fold (fun acc f -> f :: acc) [] t |> List.sort Fragment.compare
+
+let of_list fs =
+  let t = create_table (List.length fs) in
+  List.iter (fun f -> H.replace t f ()) fs;
+  t
+
+let singleton f = of_list [ f ]
+
+let of_nodes ids =
+  let t = create_table (Xfrag_util.Int_sorted.cardinal ids) in
+  Xfrag_util.Int_sorted.iter (fun n -> H.replace t (Fragment.singleton n) ()) ids;
+  t
+
+let copy t : t = H.copy t
+
+let add f t =
+  let t' = copy t in
+  H.replace t' f ();
+  t'
+
+let union a b =
+  let small, large = if cardinal a <= cardinal b then (a, b) else (b, a) in
+  let t = copy large in
+  iter (fun f -> H.replace t f ()) small;
+  t
+
+let inter a b =
+  let small, large = if cardinal a <= cardinal b then (a, b) else (b, a) in
+  let t = create_table (cardinal small) in
+  iter (fun f -> if mem f large then H.replace t f ()) small;
+  t
+
+let diff a b =
+  let t = create_table (cardinal a) in
+  iter (fun f -> if not (mem f b) then H.replace t f ()) a;
+  t
+
+let subset a b = cardinal a <= cardinal b && fold (fun ok f -> ok && mem f b) true a
+
+let equal a b = cardinal a = cardinal b && subset a b
+
+let for_all p t = fold (fun ok f -> ok && p f) true t
+
+let exists p t = fold (fun found f -> found || p f) false t
+
+let filter p t =
+  let t' = create_table (cardinal t) in
+  iter (fun f -> if p f then H.replace t' f ()) t;
+  t'
+
+let map g t =
+  let t' = create_table (cardinal t) in
+  iter (fun f -> H.replace t' (g f) ()) t;
+  t'
+
+let min_size_fragment t =
+  fold
+    (fun best f ->
+      match best with
+      | None -> Some f
+      | Some b -> if Fragment.size f < Fragment.size b then Some f else best)
+    None t
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>{";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Format.fprintf ppf ",@ ";
+      Fragment.pp ppf f)
+    (elements t);
+  Format.fprintf ppf "}@]"
+
+module Builder = struct
+  type set = t
+
+  type t = set
+
+  let create ?(size_hint = 64) () : t = create_table size_hint
+
+  let mem t f = H.mem t f
+
+  let add t f =
+    if H.mem t f then false
+    else begin
+      H.replace t f ();
+      true
+    end
+
+  let cardinal = H.length
+
+  let freeze t = t
+end

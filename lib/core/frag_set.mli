@@ -1,0 +1,79 @@
+(** Finite sets of fragments — the carrier of the set-level operations
+    (pairwise join, powerset join, fixed point, selection).
+
+    Duplicate elimination is intrinsic: the paper's operations are
+    set-valued, and Table 1 shows duplicates being removed.  Iteration
+    order is unspecified; use {!elements} for a deterministic (sorted)
+    view. *)
+
+type t
+
+val empty : t
+
+val is_empty : t -> bool
+
+val singleton : Fragment.t -> t
+
+val of_list : Fragment.t list -> t
+
+val of_nodes : Xfrag_util.Int_sorted.t -> t
+(** One single-node fragment per id — lifts a posting list into a
+    fragment set ([F = σ_{keyword=k}(nodes D)]). *)
+
+val elements : t -> Fragment.t list
+(** Sorted by {!Fragment.compare} (size, then lexicographic). *)
+
+val cardinal : t -> int
+
+val mem : Fragment.t -> t -> bool
+
+val add : Fragment.t -> t -> t
+(** Functional add (copies; O(n)).  Use {!of_list} or folds for bulk
+    construction. *)
+
+val union : t -> t -> t
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+
+val equal : t -> t -> bool
+
+val subset : t -> t -> bool
+
+val for_all : (Fragment.t -> bool) -> t -> bool
+
+val exists : (Fragment.t -> bool) -> t -> bool
+
+val filter : (Fragment.t -> bool) -> t -> t
+
+val map : (Fragment.t -> Fragment.t) -> t -> t
+(** Image as a set (results are de-duplicated). *)
+
+val iter : (Fragment.t -> unit) -> t -> unit
+
+val fold : ('a -> Fragment.t -> 'a) -> 'a -> t -> 'a
+
+val min_size_fragment : t -> Fragment.t option
+(** A smallest fragment of the set, if non-empty. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Mutable builder for hot paths (join loops).  A builder is linear:
+    freeze it once and discard. *)
+module Builder : sig
+  type set = t
+
+  type t
+
+  val create : ?size_hint:int -> unit -> t
+
+  val add : t -> Fragment.t -> bool
+  (** [true] iff the fragment was not already present. *)
+
+  val mem : t -> Fragment.t -> bool
+
+  val cardinal : t -> int
+
+  val freeze : t -> set
+end

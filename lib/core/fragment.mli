@@ -1,0 +1,89 @@
+(** Document fragments (paper, Definition 2).
+
+    A fragment is a set of document nodes whose induced subgraph is
+    connected — equivalently, a node set with a unique minimal-depth
+    member (the fragment root) such that every other member's parent is
+    also a member.  Because node ids are pre-order ranks, the root is
+    always the smallest id in the set.
+
+    Values of this type are immutable and always connected: the checked
+    constructors enforce connectivity, and the algebra's operations
+    preserve it. *)
+
+type t
+
+val nodes : t -> Xfrag_util.Int_sorted.t
+(** The node set, sorted ascending. *)
+
+val root : t -> Xfrag_doctree.Doctree.node
+(** The fragment root — the minimum id. *)
+
+val size : t -> int
+(** Number of nodes (the paper's [size(f)] filter measure). *)
+
+val singleton : Xfrag_doctree.Doctree.node -> t
+(** A single-node fragment (what the paper calls simply "a node"). *)
+
+val of_nodes : Context.t -> int list -> t
+(** Checked constructor.
+    @raise Invalid_argument if the set is empty, contains out-of-range
+    ids, or induces a disconnected subgraph. *)
+
+val of_sorted : Context.t -> Xfrag_util.Int_sorted.t -> t
+(** Checked constructor from an already-sorted set. *)
+
+val of_sorted_unchecked : Xfrag_util.Int_sorted.t -> t
+(** Trusted constructor for algebra internals: the caller guarantees the
+    set is non-empty, sorted, and connected.  Joins use this to avoid
+    re-validating sets they construct correct by design. *)
+
+val is_connected : Context.t -> Xfrag_util.Int_sorted.t -> bool
+(** Would this node set be a valid fragment? *)
+
+val mem : Xfrag_doctree.Doctree.node -> t -> bool
+
+val subfragment : t -> t -> bool
+(** [subfragment f f'] — is [f] contained in [f'] (node-set inclusion,
+    the paper's f ⊆ f')? *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val height : Context.t -> t -> int
+(** Vertical distance between the root and the deepest node (paper,
+    §3.3.2). A single node has height 0. *)
+
+val span : t -> int
+(** Pre-order span [max id - min id] — a cheap anti-monotonic proxy for
+    horizontal extent; see DESIGN.md. *)
+
+val width : Context.t -> t -> int
+(** The paper's "horizontal distance between extreme nodes"
+    (§3.3.2), realized as leaf-rank distance: the difference between the
+    rightmost and leftmost document-leaf ranks covered by the member
+    nodes' subtree intervals.  A single leaf has width 0.  Anti-monotonic
+    (removing members can only shrink the extremes). *)
+
+val leaves : Context.t -> t -> Xfrag_doctree.Doctree.node list
+(** Nodes of the fragment with no child inside the fragment (the
+    fragment's own leaves, not the document's). *)
+
+val depth_of : Context.t -> t -> Xfrag_doctree.Doctree.node -> int
+(** Depth of a member node relative to the fragment root.
+    @raise Invalid_argument if the node is not a member. *)
+
+val contains_keyword : Context.t -> t -> string -> bool
+(** Does some member node's text contain the keyword? *)
+
+val to_xml : Context.t -> t -> Xfrag_xml.Xml_dom.node
+(** Project the fragment back to an XML tree: member elements keep their
+    labels and text; non-member descendants are omitted. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the paper's ⟨n1, n2, …⟩ notation. *)
+
+val pp_labeled : Context.t -> Format.formatter -> t -> unit
+(** Like {!pp} but with node labels. *)

@@ -1,0 +1,84 @@
+module Int_sorted = Xfrag_util.Int_sorted
+module Lca = Xfrag_doctree.Lca
+
+let bump stats f = match stats with None -> () | Some s -> f s
+
+let fragment ?stats (ctx : Context.t) f1 f2 =
+  bump stats (fun s -> s.Op_stats.fragment_joins <- s.Op_stats.fragment_joins + 1);
+  let r1 = Fragment.root f1 and r2 = Fragment.root f2 in
+  if r1 = r2 then
+    Fragment.of_sorted_unchecked (Int_sorted.union (Fragment.nodes f1) (Fragment.nodes f2))
+  else begin
+    let path = Lca.path ctx.lca r1 r2 in
+    Fragment.of_sorted_unchecked
+      (Int_sorted.union
+         (Int_sorted.union (Fragment.nodes f1) (Fragment.nodes f2))
+         (Int_sorted.of_list path))
+  end
+
+let fragment_many ?stats ctx = function
+  | [] -> invalid_arg "Join.fragment_many: empty list"
+  | f :: rest -> List.fold_left (fragment ?stats ctx) f rest
+
+let pairwise_general ?stats ctx ~keep s1 s2 =
+  let out =
+    Frag_set.Builder.create ~size_hint:(Frag_set.cardinal s1 * Frag_set.cardinal s2) ()
+  in
+  Frag_set.iter
+    (fun f1 ->
+      Frag_set.iter
+        (fun f2 ->
+          let f = fragment ?stats ctx f1 f2 in
+          bump stats (fun s -> s.Op_stats.candidates <- s.Op_stats.candidates + 1);
+          if keep f then begin
+            if not (Frag_set.Builder.add out f) then
+              bump stats (fun s -> s.Op_stats.duplicates <- s.Op_stats.duplicates + 1)
+          end
+          else bump stats (fun s -> s.Op_stats.pruned <- s.Op_stats.pruned + 1))
+        s2)
+    s1;
+  Frag_set.Builder.freeze out
+
+let pairwise ?stats ctx s1 s2 = pairwise_general ?stats ctx ~keep:(fun _ -> true) s1 s2
+
+let pairwise_filtered ?stats ctx ~keep s1 s2 = pairwise_general ?stats ctx ~keep s1 s2
+
+let pairwise_parallel ?stats ?domains ?(keep = fun _ -> true) ctx s1 s2 =
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> min 8 (Domain.recommended_domain_count ())
+  in
+  let elems = Array.of_list (Frag_set.elements s1) in
+  let n = Array.length elems in
+  if domains = 1 || n < 2 * domains then pairwise_general ?stats ctx ~keep s1 s2
+  else begin
+    let chunk = (n + domains - 1) / domains in
+    let worker lo =
+      Domain.spawn (fun () ->
+          (* Per-domain counters; folded into [stats] after the join. *)
+          let local = Op_stats.create () in
+          let out = Frag_set.Builder.create () in
+          for i = lo to min (lo + chunk - 1) (n - 1) do
+            Frag_set.iter
+              (fun f2 ->
+                let f = fragment ~stats:local ctx elems.(i) f2 in
+                local.Op_stats.candidates <- local.Op_stats.candidates + 1;
+                if keep f then ignore (Frag_set.Builder.add out f)
+                else local.Op_stats.pruned <- local.Op_stats.pruned + 1)
+              s2
+          done;
+          (Frag_set.Builder.freeze out, local))
+    in
+    let handles = List.init domains (fun d -> worker (d * chunk)) in
+    let results = List.map Domain.join handles in
+    bump stats (fun s ->
+        List.iter
+          (fun (_, local) ->
+            s.Op_stats.fragment_joins <-
+              s.Op_stats.fragment_joins + local.Op_stats.fragment_joins;
+            s.Op_stats.candidates <- s.Op_stats.candidates + local.Op_stats.candidates;
+            s.Op_stats.pruned <- s.Op_stats.pruned + local.Op_stats.pruned)
+          results);
+    List.fold_left (fun acc (set, _) -> Frag_set.union acc set) Frag_set.empty results
+  end

@@ -1,0 +1,55 @@
+(** Fragment join (Definition 4) and pairwise fragment join
+    (Definition 5).
+
+    [fragment ctx f1 f2] is the minimal fragment containing both inputs.
+    Because f1 and f2 are themselves connected, that minimal fragment is
+    exactly [f1 ∪ f2 ∪ path(root f1, root f2)]:
+
+    - it is connected (f1 reaches its root r1; the tree path joins r1 to
+      r2; f2 hangs off r2), and
+    - any fragment containing f1 and f2 contains r1 and r2, and a
+      connected node set containing two nodes necessarily contains the
+      unique tree path between them, hence this whole set — so it is the
+      minimum, and in particular unique.
+
+    The algebraic laws of Definition 4 (idempotency, commutativity,
+    associativity, absorption) follow and are property-tested. *)
+
+val fragment :
+  ?stats:Op_stats.t -> Context.t -> Fragment.t -> Fragment.t -> Fragment.t
+(** f1 ⋈ f2. *)
+
+val fragment_many : ?stats:Op_stats.t -> Context.t -> Fragment.t list -> Fragment.t
+(** ⋈{f1, …, fn} — left fold of {!fragment}.
+    @raise Invalid_argument on the empty list. *)
+
+val pairwise :
+  ?stats:Op_stats.t -> Context.t -> Frag_set.t -> Frag_set.t -> Frag_set.t
+(** F1 ⋈ F2 = { f1 ⋈ f2 | f1 ∈ F1, f2 ∈ F2 } (duplicates collapse). *)
+
+val pairwise_filtered :
+  ?stats:Op_stats.t ->
+  Context.t ->
+  keep:(Fragment.t -> bool) ->
+  Frag_set.t ->
+  Frag_set.t ->
+  Frag_set.t
+(** Pairwise join that discards any result failing [keep] as soon as it
+    is produced — the primitive behind Theorem 3 push-down evaluation.
+    Only sound when [keep] is anti-monotonic (the caller guarantees
+    this). *)
+
+val pairwise_parallel :
+  ?stats:Op_stats.t ->
+  ?domains:int ->
+  ?keep:(Fragment.t -> bool) ->
+  Context.t ->
+  Frag_set.t ->
+  Frag_set.t ->
+  Frag_set.t
+(** {!pairwise_filtered} with the outer operand partitioned across
+    OCaml 5 domains (default: [Domain.recommended_domain_count], capped
+    at 8).  The context is only read, so sharing it is safe; results are
+    merged deterministically.  Falls back to the sequential path for
+    small inputs.  [stats] is updated once at the end with the summed
+    per-domain counters. *)

@@ -1,0 +1,38 @@
+type t = {
+  mutable fragment_joins : int;
+  mutable candidates : int;
+  mutable duplicates : int;
+  mutable pruned : int;
+  mutable filtered : int;
+  mutable fixpoint_rounds : int;
+  mutable reduce_subset_checks : int;
+}
+
+let create () =
+  {
+    fragment_joins = 0;
+    candidates = 0;
+    duplicates = 0;
+    pruned = 0;
+    filtered = 0;
+    fixpoint_rounds = 0;
+    reduce_subset_checks = 0;
+  }
+
+let reset t =
+  t.fragment_joins <- 0;
+  t.candidates <- 0;
+  t.duplicates <- 0;
+  t.pruned <- 0;
+  t.filtered <- 0;
+  t.fixpoint_rounds <- 0;
+  t.reduce_subset_checks <- 0
+
+let total_work t = t.fragment_joins + t.reduce_subset_checks
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<h>joins=%d candidates=%d duplicates=%d pruned=%d filtered=%d \
+     rounds=%d reduce-checks=%d@]"
+    t.fragment_joins t.candidates t.duplicates t.pruned t.filtered
+    t.fixpoint_rounds t.reduce_subset_checks

@@ -1,0 +1,25 @@
+(** Operation counters threaded through the algebra.
+
+    The paper argues about *amount of computation* (number of join
+    operations avoided, candidates never generated).  These counters make
+    that argument measurable independently of wall-clock noise; the bench
+    harness reports both. *)
+
+type t = {
+  mutable fragment_joins : int;  (** f1 ⋈ f2 computations *)
+  mutable candidates : int;  (** fragments produced before dedup *)
+  mutable duplicates : int;  (** candidates that were already present *)
+  mutable pruned : int;  (** fragments discarded by a pushed-down filter *)
+  mutable filtered : int;  (** fragments discarded by the final selection *)
+  mutable fixpoint_rounds : int;  (** pairwise-join rounds executed *)
+  mutable reduce_subset_checks : int;  (** subset tests inside ⊖ *)
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val total_work : t -> int
+(** A single scalar proxy: joins + subset checks. *)
+
+val pp : Format.formatter -> t -> unit

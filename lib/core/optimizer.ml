@@ -1,0 +1,66 @@
+type choice = {
+  plan : Plan.t;
+  estimated_cost : float;
+  alternatives : (Plan.t * float) list;
+  reduction_factors : (string * float) list;
+}
+
+let rf_threshold = 0.25
+
+let rf_probe_limit = 48
+
+let measured_reduction_factors ctx (q : Query.t) =
+  List.filter_map
+    (fun k ->
+      let set = Selection.keyword ctx k in
+      if Frag_set.cardinal set <= rf_probe_limit then
+        Some (k, Reduce.reduction_factor ctx set)
+      else None)
+    q.keywords
+
+let optimize ctx (q : Query.t) =
+  let initial = Plan.initial q in
+  let base = Rewrite.power_to_fixpoint initial in
+  let reduction_factors = measured_reduction_factors ctx q in
+  let reduction_profitable =
+    reduction_factors <> []
+    && List.exists (fun (_, rf) -> rf >= rf_threshold) reduction_factors
+  in
+  let candidates =
+    [ base; Rewrite.push_selection base ]
+    @ (if reduction_profitable then
+         [ Rewrite.use_reduction base; Rewrite.optimize_fully initial ]
+       else [])
+  in
+  (* Deduplicate structurally identical candidates (push_selection is the
+     identity when the filter has no anti-monotonic part). *)
+  let candidates =
+    List.fold_left
+      (fun acc p -> if List.exists (Plan.equal p) acc then acc else p :: acc)
+      [] candidates
+    |> List.rev
+  in
+  let priced = List.map (fun p -> (p, Cost.cost ctx p)) candidates in
+  let sorted = List.sort (fun (_, a) (_, b) -> compare a b) priced in
+  match sorted with
+  | [] -> assert false
+  | (plan, estimated_cost) :: _ ->
+      { plan; estimated_cost; alternatives = sorted; reduction_factors }
+
+let explain ctx q =
+  let c = optimize ctx q in
+  let buf = Buffer.create 512 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.fprintf ppf "@[<v>query: %a@," Query.pp q;
+  Format.fprintf ppf "initial plan: %a@," Plan.pp (Plan.initial q);
+  (match c.reduction_factors with
+  | [] -> Format.fprintf ppf "reduction factors: (not probed)@,"
+  | rfs ->
+      Format.fprintf ppf "reduction factors:@,";
+      List.iter (fun (k, rf) -> Format.fprintf ppf "  %-20s RF = %.2f@," k rf) rfs);
+  Format.fprintf ppf "candidates:@,";
+  List.iter
+    (fun (p, cost) -> Format.fprintf ppf "  cost %12.1f  %a@," cost Plan.pp p)
+    c.alternatives;
+  Format.fprintf ppf "chosen evaluation tree:@,%a@]@." Plan.pp_tree c.plan;
+  Buffer.contents buf

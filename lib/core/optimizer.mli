@@ -1,0 +1,27 @@
+(** Plan-level query optimization (§5's sketch of an optimizer, made
+    concrete).
+
+    The optimizer enumerates the rewrites of the initial plan (Theorem 2
+    transformation, Theorem 1 round counting, Theorem 3 push-down),
+    prices each with the {!Cost} model, and returns the cheapest.  The
+    reduction-factor gate of §5 is applied: [use_reduction] is only
+    considered when the estimated RF of the keyword sets clears
+    [rf_threshold]. *)
+
+type choice = {
+  plan : Plan.t;
+  estimated_cost : float;
+  alternatives : (Plan.t * float) list;  (** all candidates, sorted by cost *)
+  reduction_factors : (string * float) list;
+      (** measured RF per keyword set, when probing was affordable *)
+}
+
+val rf_threshold : float
+(** Minimum reduction factor for the set-reduction rewrite to be
+    considered profitable (the paper's [v], §5). *)
+
+val optimize : Context.t -> Query.t -> choice
+
+val explain : Context.t -> Query.t -> string
+(** Human-readable report: initial plan, candidates with costs, the
+    winner's evaluation tree. *)

@@ -1,0 +1,36 @@
+(** Logical query-evaluation trees (the trees of Figure 5).
+
+    A plan is a symbolic expression over the algebra; {!eval} executes
+    any plan, so algebraic rewrites (see {!Rewrite}) can be tested for
+    semantics preservation by executing both sides.  The initial plan of
+    a query is the paper's evaluation formula
+    σ_P(F1 ⋈* F2 ⋈* … ⋈* Fm). *)
+
+type t =
+  | Scan_keyword of string  (** σ_{keyword=k}(nodes D) *)
+  | Select of Filter.t * t  (** σ_P *)
+  | Pair_join of t * t  (** ⋈ *)
+  | Pair_join_filtered of Filter.t * t * t
+      (** ⋈ discarding results that fail an anti-monotonic filter *)
+  | Power_join of t * t  (** ⋈* *)
+  | Fixed_point of t  (** F⁺, naive convergence check *)
+  | Fixed_point_reduced of t  (** F⁺ via Theorem 1 round count *)
+  | Fixed_point_filtered of Filter.t * t
+      (** pruned fixed point (push-down inside rounds) *)
+
+val initial : Query.t -> t
+(** σ_P(F1 ⋈* … ⋈* Fm), joins left-associated. *)
+
+val eval : ?stats:Op_stats.t -> Context.t -> t -> Frag_set.t
+
+val equal : t -> t -> bool
+
+val operator_count : t -> int
+(** Number of operator nodes in the plan tree. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line algebraic rendering, e.g. [σ_size<=3(F(xquery)⁺ ⋈ F(optimization)⁺)]. *)
+
+val pp_tree : Format.formatter -> t -> unit
+(** Multi-line indented rendering of the evaluation tree (Figure 5
+    style). *)

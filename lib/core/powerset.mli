@@ -1,0 +1,39 @@
+(** Powerset fragment join ⋈* (Definition 6).
+
+    F1 ⋈* F2 = \{ ⋈(F1' ∪ F2') | F1' ⊆ F1, F2' ⊆ F2, both non-empty \}.
+
+    {!literal} enumerates subsets exactly as the definition reads —
+    exponential, usable only on small inputs, and kept as the oracle the
+    optimized paths are tested against.  {!via_fixed_points} is
+    Theorem 2: F1 ⋈* F2 = F1⁺ ⋈ F2⁺. *)
+
+val literal :
+  ?stats:Op_stats.t -> ?max_set_size:int -> Context.t -> Frag_set.t -> Frag_set.t -> Frag_set.t
+(** Direct subset enumeration, 2^|F1|·2^|F2| joins.  Refuses inputs
+    larger than [max_set_size] (default 14) per operand.
+    @raise Invalid_argument when an operand is too large. *)
+
+val via_fixed_points :
+  ?stats:Op_stats.t ->
+  ?fixed_point:(?stats:Op_stats.t -> Context.t -> Frag_set.t -> Frag_set.t) ->
+  Context.t ->
+  Frag_set.t ->
+  Frag_set.t ->
+  Frag_set.t
+(** Theorem 2 evaluation.  [fixed_point] selects the fixed-point
+    algorithm (default {!Fixed_point.naive}). *)
+
+val many_literal :
+  ?stats:Op_stats.t -> ?max_set_size:int -> Context.t -> Frag_set.t list -> Frag_set.t
+(** m-ary extension: \{ ⋈(∪ᵢ Fi') | Fi' ⊆ Fi non-empty \} — the paper's
+    query formula for m keywords.
+    @raise Invalid_argument on the empty list or oversized operands. *)
+
+val many_via_fixed_points :
+  ?stats:Op_stats.t ->
+  ?fixed_point:(?stats:Op_stats.t -> Context.t -> Frag_set.t -> Frag_set.t) ->
+  Context.t ->
+  Frag_set.t list ->
+  Frag_set.t
+(** m-ary Theorem 2: F1⁺ ⋈ F2⁺ ⋈ … ⋈ Fm⁺.
+    @raise Invalid_argument on the empty list. *)

@@ -1,0 +1,108 @@
+type policy = All | Hide_subsumed | Nest
+
+type group = { representative : Fragment.t; subsumed : Fragment.t list }
+
+let proper_sub f g = (not (Fragment.equal f g)) && Fragment.subfragment f g
+
+let maximal set =
+  let elems = Frag_set.elements set in
+  List.filter (fun f -> not (List.exists (proper_sub f) elems)) elems
+
+let groups set =
+  let elems = Frag_set.elements set in
+  maximal set
+  |> List.map (fun m ->
+         { representative = m; subsumed = List.filter (fun f -> proper_sub f m) elems })
+
+let overlap_ratio set =
+  let n = Frag_set.cardinal set in
+  if n = 0 then 0.0
+  else begin
+    let elems = Frag_set.elements set in
+    let subsumed =
+      List.length (List.filter (fun f -> List.exists (proper_sub f) elems) elems)
+    in
+    float_of_int subsumed /. float_of_int n
+  end
+
+let select policy set =
+  match policy with
+  | Nest -> groups set
+  | Hide_subsumed -> List.map (fun g -> { g with subsumed = [] }) (groups set)
+  | All ->
+      List.map
+        (fun f -> { representative = f; subsumed = [] })
+        (Frag_set.elements set)
+
+let snippet ?(window = 4) (ctx : Context.t) ~keywords f =
+  let module Tok = Xfrag_doctree.Tokenizer in
+  let norm_keywords = List.map Tok.normalize keywords in
+  let word_matches w =
+    match Tok.tokenize w with
+    | [ tok ] -> List.mem tok norm_keywords
+    | toks -> List.exists (fun t -> List.mem t norm_keywords) toks
+  in
+  let excerpt_of_node n =
+    let text = Xfrag_doctree.Doctree.text ctx.Context.tree n in
+    let words =
+      String.split_on_char ' ' text |> List.filter (fun w -> String.trim w <> "")
+    in
+    let words = Array.of_list words in
+    let n_words = Array.length words in
+    let first_match = ref (-1) in
+    (try
+       Array.iteri
+         (fun i w ->
+           if word_matches w then begin
+             first_match := i;
+             raise Exit
+           end)
+         words
+     with Exit -> ());
+    if !first_match < 0 then None
+    else begin
+      let lo = max 0 (!first_match - window) in
+      let hi = min (n_words - 1) (!first_match + window) in
+      let buf = Buffer.create 64 in
+      if lo > 0 then Buffer.add_string buf "\xE2\x80\xA6";
+      for i = lo to hi do
+        if i > lo then Buffer.add_char buf ' ';
+        if word_matches words.(i) then begin
+          Buffer.add_string buf "\xC2\xAB";
+          Buffer.add_string buf words.(i);
+          Buffer.add_string buf "\xC2\xBB"
+        end
+        else Buffer.add_string buf words.(i)
+      done;
+      if hi < n_words - 1 then Buffer.add_string buf "\xE2\x80\xA6";
+      Some (Buffer.contents buf)
+    end
+  in
+  let excerpts =
+    Xfrag_util.Int_sorted.fold
+      (fun acc n -> match excerpt_of_node n with Some e -> e :: acc | None -> acc)
+      [] (Fragment.nodes f)
+    |> List.rev
+  in
+  match excerpts with
+  | [] ->
+      let text = Xfrag_doctree.Doctree.text ctx.Context.tree (Fragment.root f) in
+      let words =
+        String.split_on_char ' ' text |> List.filter (fun w -> String.trim w <> "")
+      in
+      let head = List.filteri (fun i _ -> i <= 2 * window) words in
+      String.concat " " head
+  | es -> String.concat " \xE2\x80\xA6 " es
+
+let pp ctx ppf gs =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i g ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf "%a" (Fragment.pp_labeled ctx) g.representative;
+      List.iter
+        (fun f ->
+          Format.fprintf ppf "@,  \xE2\x86\xB3 %a" (Fragment.pp_labeled ctx) f)
+        g.subsumed)
+    gs;
+  Format.fprintf ppf "@]"

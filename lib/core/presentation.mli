@@ -1,0 +1,50 @@
+(** Presentation of overlapping answers (§5).
+
+    Answers of a query frequently subsume one another (a sub-fragment of
+    an answer is often itself an answer).  The paper discusses the INEX
+    overlap debate and suggests either hiding subsumed answers or
+    presenting them with their structural relationship; this module
+    implements both policies plus the flat view. *)
+
+type policy =
+  | All  (** every answer, flat *)
+  | Hide_subsumed  (** only maximal answers *)
+  | Nest  (** maximal answers, each with the answers it subsumes *)
+
+type group = {
+  representative : Fragment.t;  (** a maximal answer *)
+  subsumed : Fragment.t list;
+      (** answers that are proper subfragments of the representative,
+          smallest first *)
+}
+
+val groups : Frag_set.t -> group list
+(** One group per maximal answer (an answer not properly contained in any
+    other), ordered by {!Fragment.compare} of the representatives.  Every
+    answer appears in at least one group; an answer under several
+    maximal answers appears in each. *)
+
+val maximal : Frag_set.t -> Fragment.t list
+(** The representatives only. *)
+
+val overlap_ratio : Frag_set.t -> float
+(** Fraction of answers that are proper subfragments of another answer;
+    0 for the empty set. *)
+
+val select : policy -> Frag_set.t -> group list
+(** [groups] filtered per the policy: [All] puts every answer in its own
+    group; [Hide_subsumed] keeps representatives with no subsumed lists;
+    [Nest] is {!groups}. *)
+
+val pp : Context.t -> Format.formatter -> group list -> unit
+(** Indented rendering: representatives flush left, subsumed answers
+    marked beneath them. *)
+
+val snippet :
+  ?window:int -> Context.t -> keywords:string list -> Fragment.t -> string
+(** A one-line text preview of the fragment: for each member node whose
+    text contains a query keyword, up to [window] words (default 4) of
+    context on each side, with keyword occurrences wrapped in
+    [«guillemets»]; node excerpts are joined by [" … "].  Nodes without
+    matches contribute nothing; a fragment with no matches yields the
+    first few words of its root's text. *)

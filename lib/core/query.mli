@@ -1,0 +1,29 @@
+(** Keyword queries Q_P\{k1, …, km\} (Definition 7) and the answer
+    semantics (Definition 8).
+
+    The paper's operational formula — σ_P(F1 ⋈* … ⋈* Fm) — and its
+    declarative Definition 8 disagree on one point: the definition asks
+    for every keyword to occur in a *leaf* of the answer fragment, while
+    the formula (and Table 1, e.g. answer ⟨n16, n18⟩ whose keyword
+    'optimization' occurs only in the fragment root n16) does not enforce
+    leafness.  We follow the formula; {!matches_strict} implements the
+    verbatim Definition 8 for callers who want it (see DESIGN.md). *)
+
+type t = {
+  keywords : string list;  (** normalized, non-empty, de-duplicated *)
+  filter : Filter.t;
+}
+
+val make : ?filter:Filter.t -> string list -> t
+(** Normalizes (lower-cases) and de-duplicates the keywords.
+    @raise Invalid_argument if no keyword remains. *)
+
+val matches : Context.t -> t -> Fragment.t -> bool
+(** Operational semantics: every keyword occurs in some member node, and
+    the filter holds.  (Conjunctive semantics, as in the paper.) *)
+
+val matches_strict : Context.t -> t -> Fragment.t -> bool
+(** Definition 8 verbatim: every keyword occurs in some node that is a
+    leaf *of the fragment*, and the filter holds. *)
+
+val pp : Format.formatter -> t -> unit

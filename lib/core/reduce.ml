@@ -1,0 +1,48 @@
+let bump stats f = match stats with None -> () | Some s -> f s
+
+let reduce ?stats ctx set =
+  let elems = Array.of_list (Frag_set.elements set) in
+  let n = Array.length elems in
+  if n <= 2 then set
+  else begin
+    (* Precompute all pairwise joins once: joins.(i).(j) for i < j. *)
+    let joins =
+      Array.init n (fun i ->
+          Array.init n (fun j ->
+              if j <= i then None
+              else Some (Join.fragment ?stats ctx elems.(i) elems.(j))))
+    in
+    let join i j = Option.get (if i < j then joins.(i).(j) else joins.(j).(i)) in
+    let keep f_idx =
+      let f = elems.(f_idx) in
+      let subsumed = ref false in
+      let i = ref 0 in
+      while (not !subsumed) && !i < n do
+        if !i <> f_idx then begin
+          let j = ref (!i + 1) in
+          while (not !subsumed) && !j < n do
+            if !j <> f_idx then begin
+              bump stats (fun s ->
+                  s.Op_stats.reduce_subset_checks <- s.Op_stats.reduce_subset_checks + 1);
+              if Fragment.subfragment f (join !i !j) then subsumed := true
+            end;
+            incr j
+          done
+        end;
+        incr i
+      done;
+      not !subsumed
+    in
+    let kept = ref [] in
+    for i = n - 1 downto 0 do
+      if keep i then kept := elems.(i) :: !kept
+    done;
+    Frag_set.of_list !kept
+  end
+
+let reduction_factor ctx set =
+  let a = Frag_set.cardinal set in
+  if a = 0 then 0.0
+  else
+    let b = Frag_set.cardinal (reduce ctx set) in
+    float_of_int (a - b) /. float_of_int a

@@ -1,0 +1,21 @@
+(** Fragment set reduce ⊖ (Definition 10) and the reduction factor RF
+    (§5).
+
+    Definition 10 as printed in the paper is missing its negation — read
+    literally it returns the fragments to be *eliminated*.  The worked
+    example (Figure 4) fixes the intent, which is what we implement:
+
+    ⊖(F) = \{ f ∈ F | ¬∃ distinct f', f'' ∈ F∖\{f\} : f ⊆ f' ⋈ f'' \}
+
+    Theorem 1 then states that |⊖(F)| pairwise-join rounds suffice to
+    reach the fixed point F⁺. *)
+
+val reduce : ?stats:Op_stats.t -> Context.t -> Frag_set.t -> Frag_set.t
+(** O(|F|² joins + |F|³ subset checks); the join of every pair is
+    computed once and reused across candidates. *)
+
+val reduction_factor : Context.t -> Frag_set.t -> float
+(** RF = (|F| − |⊖(F)|) / |F|; 0 when |F| ≤ 2 (nothing can be reduced).
+    The paper claims RF < 1, which holds for single-node fragment sets;
+    for general sets mutual subsumption can empty ⊖(F) entirely, giving
+    RF = 1 (see the erratum in {!Fixed_point}). *)

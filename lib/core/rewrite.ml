@@ -1,0 +1,61 @@
+open Plan
+
+let rec power_to_fixpoint = function
+  | Scan_keyword _ as p -> p
+  | Select (f, x) -> Select (f, power_to_fixpoint x)
+  | Pair_join (a, b) -> Pair_join (power_to_fixpoint a, power_to_fixpoint b)
+  | Pair_join_filtered (f, a, b) ->
+      Pair_join_filtered (f, power_to_fixpoint a, power_to_fixpoint b)
+  | Power_join (a, b) ->
+      Pair_join (Fixed_point (power_to_fixpoint a), Fixed_point (power_to_fixpoint b))
+  | Fixed_point x -> Fixed_point (power_to_fixpoint x)
+  | Fixed_point_reduced x -> Fixed_point_reduced (power_to_fixpoint x)
+  | Fixed_point_filtered (f, x) -> Fixed_point_filtered (f, power_to_fixpoint x)
+
+let rec use_reduction = function
+  | Scan_keyword _ as p -> p
+  | Select (f, x) -> Select (f, use_reduction x)
+  | Pair_join (a, b) -> Pair_join (use_reduction a, use_reduction b)
+  | Pair_join_filtered (f, a, b) -> Pair_join_filtered (f, use_reduction a, use_reduction b)
+  | Power_join (a, b) -> Power_join (use_reduction a, use_reduction b)
+  | Fixed_point x | Fixed_point_reduced x -> Fixed_point_reduced (use_reduction x)
+  | Fixed_point_filtered (f, x) -> Fixed_point_filtered (f, use_reduction x)
+
+(* Push an anti-monotonic filter [am] into a subplan: prune at every
+   join, inside fixed-point rounds, and at the scans. *)
+let rec push am plan =
+  match plan with
+  | Scan_keyword _ -> Select (am, plan)
+  | Select (f, x) -> Select (f, push am x)
+  | Pair_join (a, b) | Pair_join_filtered (_, a, b) ->
+      (* An existing pruning filter on the join is subsumed only if it is
+         implied by [am]; be conservative and conjoin. *)
+      let f' =
+        match plan with
+        | Pair_join_filtered (f, _, _) -> Filter.And (f, am)
+        | _ -> am
+      in
+      Pair_join_filtered (f', push am a, push am b)
+  | Power_join (a, b) ->
+      (* Power joins must become fixed points before pruning can reach
+         inside; convert on the fly. *)
+      push am (Pair_join (Fixed_point a, Fixed_point b))
+  | Fixed_point x | Fixed_point_reduced x -> Fixed_point_filtered (am, push am x)
+  | Fixed_point_filtered (f, x) -> Fixed_point_filtered (Filter.And (f, am), push am x)
+
+let rec push_selection = function
+  | Scan_keyword _ as p -> p
+  | Select (f, x) ->
+      let am, residual = Filter.decompose f in
+      let x = push_selection x in
+      if am = Filter.True then Select (f, x)
+      else if residual = Filter.True then Select (am, push am x)
+      else Select (residual, Select (am, push am x))
+  | Pair_join (a, b) -> Pair_join (push_selection a, push_selection b)
+  | Pair_join_filtered (f, a, b) -> Pair_join_filtered (f, push_selection a, push_selection b)
+  | Power_join (a, b) -> Power_join (push_selection a, push_selection b)
+  | Fixed_point x -> Fixed_point (push_selection x)
+  | Fixed_point_reduced x -> Fixed_point_reduced (push_selection x)
+  | Fixed_point_filtered (f, x) -> Fixed_point_filtered (f, push_selection x)
+
+let optimize_fully plan = push_selection (use_reduction (power_to_fixpoint plan))

@@ -1,0 +1,21 @@
+(** Algebraic plan rewrites (§3).
+
+    Each rule returns an equivalent plan — tests execute both sides on
+    random documents and compare answer sets:
+
+    - {!power_to_fixpoint}: Theorem 2, F1 ⋈* F2 ⇒ F1⁺ ⋈ F2⁺;
+    - {!use_reduction}: Theorem 1, compute fixed points with the
+      pre-computed |⊖(F)| round count;
+    - {!push_selection}: Theorem 3, push the anti-monotonic part of every
+      selection below joins and into fixed-point rounds, keeping the
+      residual on top. *)
+
+val power_to_fixpoint : Plan.t -> Plan.t
+
+val use_reduction : Plan.t -> Plan.t
+
+val push_selection : Plan.t -> Plan.t
+
+val optimize_fully : Plan.t -> Plan.t
+(** [push_selection ∘ use_reduction ∘ power_to_fixpoint] — the paper's
+    full §4.3 strategy as a plan transformation. *)

@@ -1,0 +1,13 @@
+let select ?stats ctx p set =
+  match stats with
+  | None -> Frag_set.filter (Filter.evaluate ctx p) set
+  | Some s ->
+      Frag_set.filter
+        (fun f ->
+          let ok = Filter.evaluate ctx p f in
+          if not ok then s.Op_stats.filtered <- s.Op_stats.filtered + 1;
+          ok)
+        set
+
+let keyword (ctx : Context.t) k =
+  Frag_set.of_nodes (Xfrag_doctree.Inverted_index.lookup ctx.index k)

@@ -1,0 +1,10 @@
+(** Selection σ_P (Definition 3). *)
+
+val select :
+  ?stats:Op_stats.t -> Context.t -> Filter.t -> Frag_set.t -> Frag_set.t
+(** σ_P(F) = \{ f ∈ F | P(f) \}.  Counts rejected fragments in
+    [stats.filtered]. *)
+
+val keyword : Context.t -> string -> Frag_set.t
+(** σ_{keyword=k}(nodes D) — the single-node fragments whose keywords
+    contain [k] (§2.3), served by the inverted index. *)

@@ -1,0 +1,117 @@
+let format_version = 1
+
+(* Percent-escape everything that would break the line/field structure:
+   '%', '\t', '\n', '\r'. *)
+let escape s =
+  let needs_escape = function '%' | '\t' | '\n' | '\r' -> true | _ -> false in
+  if String.exists needs_escape s then begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        if needs_escape c then Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c))
+        else Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+  else s
+
+let unescape s =
+  match String.index_opt s '%' with
+  | None -> Ok s
+  | Some _ ->
+      let buf = Buffer.create (String.length s) in
+      let n = String.length s in
+      let rec go i =
+        if i >= n then Ok (Buffer.contents buf)
+        else if s.[i] = '%' then
+          if i + 2 < n then begin
+            match int_of_string_opt ("0x" ^ String.sub s (i + 1) 2) with
+            | Some code ->
+                Buffer.add_char buf (Char.chr code);
+                go (i + 3)
+            | None -> Error (Printf.sprintf "bad escape at offset %d" i)
+          end
+          else Error "truncated escape"
+        else begin
+          Buffer.add_char buf s.[i];
+          go (i + 1)
+        end
+      in
+      go 0
+
+let to_string tree =
+  let buf = Buffer.create (Doctree.size tree * 48) in
+  Buffer.add_string buf (Printf.sprintf "xfrag-doctree %d %d\n" format_version (Doctree.size tree));
+  Doctree.iter
+    (fun n ->
+      let parent = match Doctree.parent tree n with None -> -1 | Some p -> p in
+      Buffer.add_string buf
+        (Printf.sprintf "%d\t%d\t%s\t%s\n" n parent
+           (escape (Doctree.label tree n))
+           (escape (Doctree.text tree n))))
+    tree;
+  Buffer.contents buf
+
+let of_string data =
+  let lines = String.split_on_char '\n' data in
+  match lines with
+  | header :: records -> (
+      match String.split_on_char ' ' header with
+      | [ "xfrag-doctree"; version; count ] -> (
+          match (int_of_string_opt version, int_of_string_opt count) with
+          | Some v, _ when v <> format_version ->
+              Error (Printf.sprintf "unsupported format version %d" v)
+          | Some _, Some count -> (
+              let records = List.filter (fun l -> l <> "") records in
+              if List.length records <> count then
+                Error
+                  (Printf.sprintf "expected %d records, found %d" count
+                     (List.length records))
+              else begin
+                let parse_record line =
+                  match String.split_on_char '\t' line with
+                  | [ id; parent; label; text ] -> (
+                      match (int_of_string_opt id, int_of_string_opt parent) with
+                      | Some id, Some parent -> (
+                          match (unescape label, unescape text) with
+                          | Ok label, Ok text ->
+                              Ok
+                                {
+                                  Doctree.spec_id = id;
+                                  spec_parent = parent;
+                                  spec_label = label;
+                                  spec_text = text;
+                                }
+                          | Error e, _ | _, Error e -> Error e)
+                      | _ -> Error (Printf.sprintf "bad ids in record %S" line))
+                  | _ -> Error (Printf.sprintf "malformed record %S" line)
+                in
+                let rec collect acc = function
+                  | [] -> Ok (List.rev acc)
+                  | line :: rest -> (
+                      match parse_record line with
+                      | Ok spec -> collect (spec :: acc) rest
+                      | Error e -> Error e)
+                in
+                match collect [] records with
+                | Error e -> Error e
+                | Ok specs -> (
+                    match Doctree.of_specs specs with
+                    | tree -> Ok tree
+                    | exception Invalid_argument msg -> Error msg)
+              end)
+          | _ -> Error "malformed header")
+      | _ -> Error "not an xfrag-doctree file")
+  | [] -> Error "empty input"
+
+let save tree path =
+  let oc = open_out_bin path in
+  output_string oc (to_string tree);
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let data = really_input_string ic n in
+  close_in ic;
+  of_string data

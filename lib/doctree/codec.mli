@@ -1,0 +1,22 @@
+(** Persistent serialization of document trees.
+
+    A simple, versioned, line-oriented format — one header line, then one
+    record per node — so parsed documents (and therefore their contexts)
+    can be cached and reloaded without re-parsing XML.  Round trip is
+    exact: labels and texts survive byte-for-byte (texts are
+    percent-escaped to keep the format line-based). *)
+
+val format_version : int
+
+val to_string : Doctree.t -> string
+
+val of_string : string -> (Doctree.t, string) result
+(** Rejects unknown versions, malformed records, and node sets that do
+    not form a valid pre-order tree. *)
+
+val save : Doctree.t -> string -> unit
+(** [save tree path] writes the serialized form.
+    @raise Sys_error on I/O failure. *)
+
+val load : string -> (Doctree.t, string) result
+(** @raise Sys_error on I/O failure. *)

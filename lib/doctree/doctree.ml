@@ -1,0 +1,280 @@
+module Int_sorted = Xfrag_util.Int_sorted
+module Xml_dom = Xfrag_xml.Xml_dom
+
+type node = int
+
+type t = {
+  parent : int array;  (* -1 for the root *)
+  depth : int array;
+  labels : string array;
+  texts : string array;
+  children : int array array;  (* document order *)
+  post : int array;  (* post-order rank, for O(1) ancestor tests *)
+  sub_size : int array;  (* rooted-subtree sizes *)
+  leaf_lo : int array;  (* leftmost leaf rank of the rooted subtree *)
+  leaf_hi : int array;  (* rightmost leaf rank of the rooted subtree *)
+  leaf_count : int;
+}
+
+type spec = {
+  spec_id : int;
+  spec_parent : int;
+  spec_label : string;
+  spec_text : string;
+}
+
+let size t = Array.length t.parent
+
+let root (_ : t) : node = 0
+
+let check_bounds t n fn =
+  if n < 0 || n >= size t then
+    invalid_arg (Printf.sprintf "Doctree.%s: node %d out of range" fn n)
+
+let parent t n =
+  check_bounds t n "parent";
+  if n = 0 then None else Some t.parent.(n)
+
+let parent_exn t n =
+  check_bounds t n "parent_exn";
+  if n = 0 then invalid_arg "Doctree.parent_exn: the root has no parent"
+  else t.parent.(n)
+
+let depth t n =
+  check_bounds t n "depth";
+  t.depth.(n)
+
+let label t n =
+  check_bounds t n "label";
+  t.labels.(n)
+
+let text t n =
+  check_bounds t n "text";
+  t.texts.(n)
+
+let children t n =
+  check_bounds t n "children";
+  Array.to_list t.children.(n)
+
+let first_child t n =
+  check_bounds t n "first_child";
+  if Array.length t.children.(n) = 0 then None else Some t.children.(n).(0)
+
+let next_sibling t n =
+  check_bounds t n "next_sibling";
+  if n = 0 then None
+  else begin
+    let siblings = t.children.(t.parent.(n)) in
+    let rec go i =
+      if i >= Array.length siblings - 1 then None
+      else if siblings.(i) = n then Some siblings.(i + 1)
+      else go (i + 1)
+    in
+    go 0
+  end
+
+let is_leaf t n =
+  check_bounds t n "is_leaf";
+  Array.length t.children.(n) = 0
+
+(* In a pre/post numbering, a is a proper ancestor of b iff a's pre-order
+   id is smaller and its post-order rank is larger. *)
+let is_ancestor t a b =
+  check_bounds t a "is_ancestor";
+  check_bounds t b "is_ancestor";
+  a < b && t.post.(a) > t.post.(b)
+
+let is_ancestor_or_self t a b = a = b || is_ancestor t a b
+
+let subtree_size t n =
+  check_bounds t n "subtree_size";
+  t.sub_size.(n)
+
+let subtree_nodes t n =
+  check_bounds t n "subtree_nodes";
+  (* Pre-order makes every rooted subtree a contiguous id interval. *)
+  Array.init t.sub_size.(n) (fun i -> n + i)
+
+let leaf_count t = t.leaf_count
+
+let leaf_interval t n =
+  check_bounds t n "leaf_interval";
+  (t.leaf_lo.(n), t.leaf_hi.(n))
+
+let path_to_ancestor t n a =
+  check_bounds t n "path_to_ancestor";
+  check_bounds t a "path_to_ancestor";
+  if not (is_ancestor_or_self t a n) then
+    invalid_arg "Doctree.path_to_ancestor: second node is not an ancestor";
+  let rec go acc cur = if cur = a then a :: acc else go (cur :: acc) t.parent.(cur) in
+  List.rev (go [] n)
+
+let all_nodes t = List.init (size t) Fun.id
+
+let iter f t =
+  for n = 0 to size t - 1 do
+    f n
+  done
+
+let fold f init t =
+  let acc = ref init in
+  for n = 0 to size t - 1 do
+    acc := f !acc n
+  done;
+  !acc
+
+let max_depth t = Array.fold_left max 0 t.depth
+
+let pp_node t ppf n = Format.fprintf ppf "n%d:%s" n (label t n)
+
+(* Compute post-order ranks and subtree sizes from parent/children. *)
+let finish ~parent ~depth ~labels ~texts ~children =
+  let n = Array.length parent in
+  let post = Array.make n 0 in
+  let sub_size = Array.make n 1 in
+  let counter = ref 0 in
+  (* Iterative post-order traversal to avoid stack overflow on deep docs. *)
+  let stack = Stack.create () in
+  if n > 0 then Stack.push (0, 0) stack;
+  while not (Stack.is_empty stack) do
+    let node, child_idx = Stack.pop stack in
+    if child_idx < Array.length children.(node) then begin
+      Stack.push (node, child_idx + 1) stack;
+      Stack.push (children.(node).(child_idx), 0) stack
+    end
+    else begin
+      post.(node) <- !counter;
+      incr counter;
+      Array.iter (fun c -> sub_size.(node) <- sub_size.(node) + sub_size.(c)) children.(node)
+    end
+  done;
+  (* Leaf ranks: number the leaves left to right (pre-order visits them
+     in document order); internal nodes inherit the span of their
+     children.  The reverse pre-order sweep sees children before
+     parents. *)
+  let leaf_lo = Array.make n max_int in
+  let leaf_hi = Array.make n (-1) in
+  let leaf_counter = ref 0 in
+  for node = 0 to n - 1 do
+    if Array.length children.(node) = 0 then begin
+      leaf_lo.(node) <- !leaf_counter;
+      leaf_hi.(node) <- !leaf_counter;
+      incr leaf_counter
+    end
+  done;
+  for node = n - 1 downto 1 do
+    let p = parent.(node) in
+    if leaf_lo.(node) < leaf_lo.(p) then leaf_lo.(p) <- leaf_lo.(node);
+    if leaf_hi.(node) > leaf_hi.(p) then leaf_hi.(p) <- leaf_hi.(node)
+  done;
+  { parent; depth; labels; texts; children; post; sub_size; leaf_lo; leaf_hi;
+    leaf_count = !leaf_counter }
+
+let validate t =
+  let n = size t in
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let rec check i =
+    if i >= n then Ok ()
+    else if i = 0 && t.parent.(0) <> -1 then fail "root parent is not -1"
+    else if i > 0 && (t.parent.(i) < 0 || t.parent.(i) >= i) then
+      fail "node %d: parent %d does not precede it" i t.parent.(i)
+    else if i > 0 && t.depth.(i) <> t.depth.(t.parent.(i)) + 1 then
+      fail "node %d: depth inconsistent with parent" i
+    else if
+      i > 0
+      && not (Array.exists (fun c -> c = i) t.children.(t.parent.(i)))
+    then fail "node %d: missing from its parent's child list" i
+    else if
+      (* Pre-order: every node must fall inside its parent's contiguous
+         pre-order interval [p, p + sub_size p). *)
+      i > 0 && not (t.parent.(i) < i && i < t.parent.(i) + t.sub_size.(t.parent.(i)))
+    then fail "node %d: outside its parent's pre-order interval" i
+    else check (i + 1)
+  in
+  check 0
+
+let of_specs specs =
+  let specs = List.sort (fun a b -> compare a.spec_id b.spec_id) specs in
+  let n = List.length specs in
+  if n = 0 then invalid_arg "Doctree.of_specs: empty specification";
+  let parent = Array.make n (-1) in
+  let depth = Array.make n 0 in
+  let labels = Array.make n "" in
+  let texts = Array.make n "" in
+  let kids = Array.make n [] in
+  List.iteri
+    (fun i s ->
+      if s.spec_id <> i then
+        invalid_arg
+          (Printf.sprintf "Doctree.of_specs: ids must be 0..n-1 (missing or duplicate id %d)" i);
+      if i = 0 then begin
+        if s.spec_parent <> -1 then
+          invalid_arg "Doctree.of_specs: node 0 must be the root (parent -1)"
+      end
+      else begin
+        if s.spec_parent < 0 || s.spec_parent >= i then
+          invalid_arg
+            (Printf.sprintf
+               "Doctree.of_specs: node %d has parent %d; parents must precede children"
+               i s.spec_parent);
+        parent.(i) <- s.spec_parent;
+        depth.(i) <- depth.(s.spec_parent) + 1;
+        kids.(s.spec_parent) <- i :: kids.(s.spec_parent)
+      end;
+      labels.(i) <- s.spec_label;
+      texts.(i) <- s.spec_text)
+    specs;
+  let children = Array.map (fun l -> Array.of_list (List.rev l)) kids in
+  (* Pre-order consistency: children of each node must be increasing (they
+     are, as we appended in id order) and must form contiguous subtree
+     intervals.  The latter is checked by validate below. *)
+  let t = finish ~parent ~depth ~labels ~texts ~children in
+  match validate t with
+  | Ok () -> t
+  | Error msg -> invalid_arg ("Doctree.of_specs: " ^ msg)
+
+let node_text (e : Xml_dom.element) =
+  (* The paper does not distinguish attribute names from text contents;
+     fold attributes into the node's text.  The tag name stays in [label]
+     and is added by the keyword index. *)
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun (k, v) ->
+      if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+      Buffer.add_string buf k;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf v)
+    e.attributes;
+  let direct = Xml_dom.immediate_text e in
+  if String.trim direct <> "" then begin
+    if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf direct
+  end;
+  Buffer.contents buf
+
+let of_xml (doc : Xml_dom.document) =
+  let n = Xml_dom.descendant_count doc.root in
+  let parent = Array.make n (-1) in
+  let depth = Array.make n 0 in
+  let labels = Array.make n "" in
+  let texts = Array.make n "" in
+  let kids = Array.make n [] in
+  let counter = ref 0 in
+  (* Explicit work stack: (element, parent id, depth).  Children are
+     pushed in reverse so they are visited in document order. *)
+  let stack = Stack.create () in
+  Stack.push (doc.root, -1, 0) stack;
+  while not (Stack.is_empty stack) do
+    let e, p, d = Stack.pop stack in
+    let id = !counter in
+    incr counter;
+    parent.(id) <- p;
+    depth.(id) <- d;
+    labels.(id) <- e.Xml_dom.name;
+    texts.(id) <- node_text e;
+    if p >= 0 then kids.(p) <- id :: kids.(p);
+    let elems = Xml_dom.child_elements e in
+    List.iter (fun c -> Stack.push (c, id, d + 1) stack) (List.rev elems)
+  done;
+  let children = Array.map (fun l -> Array.of_list (List.rev l)) kids in
+  finish ~parent ~depth ~labels ~texts ~children

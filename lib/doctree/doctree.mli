@@ -1,0 +1,110 @@
+(** The document model: a rooted ordered tree with per-node labels and
+    text (paper, Definition 1).
+
+    Nodes are identified by their depth-first pre-order rank, so node [0]
+    is always the root and an ancestor always has a smaller id than any
+    of its descendants.  This invariant is what lets the fragment algebra
+    represent a fragment as a sorted id array whose first element is the
+    fragment root.
+
+    Only element nodes become tree nodes; the text under an element is
+    attached to that element as its [text], mirroring the paper's
+    [keywords(n)] function over logical document components. *)
+
+type t
+
+type node = int
+(** Pre-order rank, [0 .. size-1]. *)
+
+(** Specification of one node when building a tree directly (used for the
+    paper's figures, where node ids are prescribed). *)
+type spec = {
+  spec_id : int;  (** externally-chosen id; must be pre-order consistent *)
+  spec_parent : int;  (** parent's id, or [-1] for the root *)
+  spec_label : string;
+  spec_text : string;
+}
+
+val of_xml : Xfrag_xml.Xml_dom.document -> t
+(** Build from a parsed XML document.  Element tag names become labels;
+    each element's immediate text (and attribute names/values, per the
+    paper's "we do not distinguish between tag/attribute names and text
+    contents") becomes its node text. *)
+
+val of_specs : spec list -> t
+(** Build from explicit node specifications.  Ids must be exactly
+    [0 .. n-1], each parent must precede its children, and siblings must
+    appear in document order.
+    @raise Invalid_argument if the specification is not a valid pre-order
+    tree. *)
+
+val size : t -> int
+(** Number of nodes. *)
+
+val root : t -> node
+(** Always [0]. *)
+
+val parent : t -> node -> node option
+(** [None] for the root. *)
+
+val parent_exn : t -> node -> node
+(** @raise Invalid_argument on the root. *)
+
+val depth : t -> node -> int
+(** Root has depth 0. *)
+
+val label : t -> node -> string
+
+val text : t -> node -> string
+
+val children : t -> node -> node list
+(** In document order. *)
+
+val first_child : t -> node -> node option
+
+val next_sibling : t -> node -> node option
+
+val is_leaf : t -> node -> bool
+
+val is_ancestor : t -> node -> node -> bool
+(** [is_ancestor t a b] — is [a] a proper ancestor of [b]?  O(1) via
+    pre/post intervals. *)
+
+val is_ancestor_or_self : t -> node -> node -> bool
+
+val subtree_size : t -> node -> int
+(** Number of nodes in the full rooted subtree at the given node. *)
+
+val subtree_nodes : t -> node -> Xfrag_util.Int_sorted.t
+(** All nodes of the full rooted subtree — a contiguous pre-order
+    interval. *)
+
+val leaf_count : t -> int
+(** Number of leaves in the document. *)
+
+val leaf_interval : t -> node -> int * int
+(** [(lo, hi)] — the 0-based ranks (in left-to-right leaf order) of the
+    leftmost and rightmost leaves of the node's rooted subtree.  A leaf
+    has [lo = hi].  This is the "horizontal position" measure behind the
+    paper's width filter (§3.3.2). *)
+
+val path_to_ancestor : t -> node -> node -> node list
+(** [path_to_ancestor t n a] lists the nodes from [n] up to [a]
+    inclusive.  @raise Invalid_argument if [a] is not an ancestor-or-self
+    of [n]. *)
+
+val all_nodes : t -> node list
+
+val iter : (node -> unit) -> t -> unit
+(** Pre-order iteration. *)
+
+val fold : ('a -> node -> 'a) -> 'a -> t -> 'a
+
+val max_depth : t -> int
+
+val pp_node : t -> Format.formatter -> node -> unit
+(** Prints ["n<id>:<label>"]. *)
+
+val validate : t -> (unit, string) result
+(** Internal-consistency check (used by tests and after builders):
+    pre-order ids, parent/child agreement, depth correctness. *)

@@ -1,0 +1,59 @@
+module Int_sorted = Xfrag_util.Int_sorted
+
+type t = {
+  tree : Doctree.t;
+  options : Tokenizer.options;
+  postings : (string, Int_sorted.t) Hashtbl.t;
+  memberships : (string * int, unit) Hashtbl.t;
+}
+
+let build ?(options = Tokenizer.default_options) tree =
+  let acc : (string, int list ref) Hashtbl.t = Hashtbl.create 1024 in
+  let memberships = Hashtbl.create 4096 in
+  Doctree.iter
+    (fun n ->
+      (* Per the paper, tag names are searchable keywords too: index the
+         label alongside the node text. *)
+      let keywords =
+        Tokenizer.keyword_set ~options
+          (Doctree.label tree n ^ " " ^ Doctree.text tree n)
+      in
+      List.iter
+        (fun k ->
+          Hashtbl.replace memberships (k, n) ();
+          match Hashtbl.find_opt acc k with
+          | Some l -> l := n :: !l
+          | None -> Hashtbl.add acc k (ref [ n ]))
+        keywords)
+    tree;
+  let postings = Hashtbl.create (Hashtbl.length acc) in
+  Hashtbl.iter (fun k l -> Hashtbl.replace postings k (Int_sorted.of_list !l)) acc;
+  { tree; options; postings; memberships }
+
+let tree t = t.tree
+
+(* Apply the index's own tokenization to the probe keyword, so stemming
+   (when enabled at build time) is symmetric between text and queries. *)
+let normalize_probe t keyword =
+  match Tokenizer.tokenize ~options:t.options keyword with
+  | [ tok ] -> tok
+  | _ -> Tokenizer.normalize keyword
+
+let lookup t keyword =
+  match Hashtbl.find_opt t.postings (normalize_probe t keyword) with
+  | Some s -> s
+  | None -> Int_sorted.empty
+
+let node_count t keyword = Int_sorted.cardinal (lookup t keyword)
+
+let node_contains t n keyword =
+  Hashtbl.mem t.memberships (normalize_probe t keyword, n)
+
+let vocabulary t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.postings []
+  |> List.sort String.compare
+
+let vocabulary_size t = Hashtbl.length t.postings
+
+let total_postings t =
+  Hashtbl.fold (fun _ s acc -> acc + Int_sorted.cardinal s) t.postings 0

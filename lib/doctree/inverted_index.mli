@@ -1,0 +1,34 @@
+(** Keyword → node inverted index over a document tree.
+
+    This implements the selection [σ_{keyword = k}(nodes(D))] of the
+    paper (Definition 3 and §2.3): the posting list of [k] is exactly the
+    set of single-node fragments whose [keywords(n)] contains [k].
+
+    The paper performs "no preprocessing of data" beyond this (§6); the
+    index is the standard keyword-lookup structure every strategy shares. *)
+
+type t
+
+val build : ?options:Tokenizer.options -> Doctree.t -> t
+
+val tree : t -> Doctree.t
+
+val lookup : t -> string -> Xfrag_util.Int_sorted.t
+(** Nodes whose keywords contain the probe keyword; empty set if the
+    keyword does not occur.  The probe is normalized with the same
+    tokenizer options the index was built with, so stemming (when
+    enabled) applies to queries symmetrically. *)
+
+val node_count : t -> string -> int
+(** Posting-list length, i.e. document frequency in nodes. *)
+
+val node_contains : t -> Doctree.node -> string -> bool
+(** Does this node's own text contain the keyword? O(1) expected. *)
+
+val vocabulary : t -> string list
+(** All indexed keywords, sorted. *)
+
+val vocabulary_size : t -> int
+
+val total_postings : t -> int
+(** Sum of all posting-list lengths. *)

@@ -1,0 +1,81 @@
+type t = {
+  tree : Doctree.t;
+  euler : int array;  (* node at each tour position; length 2n-1 *)
+  first : int array;  (* first tour position of each node *)
+  table : int array array;  (* sparse table of tour positions, min by depth *)
+  log2 : int array;  (* floor(log2 i) for i in [1, 2n-1] *)
+}
+
+let build tree =
+  let n = Doctree.size tree in
+  let tour_len = (2 * n) - 1 in
+  let euler = Array.make tour_len 0 in
+  let first = Array.make n (-1) in
+  let pos = ref 0 in
+  (* Iterative Euler tour: record the node, then for each child the
+     child's subtree followed by the node again. *)
+  let stack = Stack.create () in
+  Stack.push (`Visit 0) stack;
+  while not (Stack.is_empty stack) do
+    match Stack.pop stack with
+    | `Record node ->
+        euler.(!pos) <- node;
+        incr pos
+    | `Visit node ->
+        euler.(!pos) <- node;
+        if first.(node) < 0 then first.(node) <- !pos;
+        incr pos;
+        let kids = Doctree.children tree node in
+        List.iter
+          (fun c ->
+            Stack.push (`Record node) stack;
+            Stack.push (`Visit c) stack)
+          (List.rev kids)
+  done;
+  assert (!pos = tour_len);
+  let log2 = Array.make (tour_len + 1) 0 in
+  for i = 2 to tour_len do
+    log2.(i) <- log2.(i / 2) + 1
+  done;
+  let levels = log2.(tour_len) + 1 in
+  let table = Array.make levels [||] in
+  table.(0) <- Array.init tour_len Fun.id;
+  let depth_at p = Doctree.depth tree euler.(p) in
+  for k = 1 to levels - 1 do
+    let half = 1 lsl (k - 1) in
+    let len = tour_len - (1 lsl k) + 1 in
+    if len > 0 then
+      table.(k) <-
+        Array.init len (fun i ->
+            let a = table.(k - 1).(i) and b = table.(k - 1).(i + half) in
+            if depth_at a <= depth_at b then a else b)
+  done;
+  { tree; euler; first; table; log2 }
+
+let lca t a b =
+  if a = b then a
+  else begin
+    let i = t.first.(a) and j = t.first.(b) in
+    let lo = min i j and hi = max i j in
+    let k = t.log2.(hi - lo + 1) in
+    let p1 = t.table.(k).(lo) and p2 = t.table.(k).(hi - (1 lsl k) + 1) in
+    let d1 = Doctree.depth t.tree t.euler.(p1)
+    and d2 = Doctree.depth t.tree t.euler.(p2) in
+    t.euler.(if d1 <= d2 then p1 else p2)
+  end
+
+let lca_many t = function
+  | [] -> invalid_arg "Lca.lca_many: empty list"
+  | first :: rest -> List.fold_left (lca t) first rest
+
+let distance t a b =
+  let l = lca t a b in
+  Doctree.depth t.tree a + Doctree.depth t.tree b - (2 * Doctree.depth t.tree l)
+
+let path t a b =
+  let l = lca t a b in
+  let up = Doctree.path_to_ancestor t.tree a l in
+  let down = Doctree.path_to_ancestor t.tree b l in
+  (* up ends at l; down also ends at l.  Join: a..l then l-excluded
+     reverse of b..l. *)
+  up @ List.tl (List.rev down)

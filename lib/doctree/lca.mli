@@ -1,0 +1,24 @@
+(** Constant-time lowest-common-ancestor queries.
+
+    Classic Euler-tour + sparse-table reduction: the LCA of two nodes is
+    the minimum-depth node between their first occurrences in an Euler
+    tour of the tree.  Preprocessing is O(n log n); each query is O(1).
+    The fragment-join operation calls this in its inner loop, so query
+    cost matters. *)
+
+type t
+
+val build : Doctree.t -> t
+
+val lca : t -> Doctree.node -> Doctree.node -> Doctree.node
+
+val lca_many : t -> Doctree.node list -> Doctree.node
+(** LCA of a non-empty list of nodes.
+    @raise Invalid_argument on the empty list. *)
+
+val distance : t -> Doctree.node -> Doctree.node -> int
+(** Number of edges on the tree path between two nodes. *)
+
+val path : t -> Doctree.node -> Doctree.node -> Doctree.node list
+(** The unique tree path between two nodes, inclusive of both endpoints,
+    ordered from the first argument to the second. *)

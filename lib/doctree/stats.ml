@@ -1,0 +1,55 @@
+type t = {
+  node_count : int;
+  leaf_count : int;
+  max_depth : int;
+  avg_depth : float;
+  max_fanout : int;
+  avg_fanout : float;
+  label_histogram : (string * int) list;
+}
+
+let compute tree =
+  let n = Doctree.size tree in
+  let leaves = ref 0 in
+  let depth_sum = ref 0 in
+  let max_fanout = ref 0 in
+  let internal = ref 0 in
+  let fanout_sum = ref 0 in
+  let labels : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  Doctree.iter
+    (fun node ->
+      let kids = List.length (Doctree.children tree node) in
+      if kids = 0 then incr leaves
+      else begin
+        incr internal;
+        fanout_sum := !fanout_sum + kids;
+        if kids > !max_fanout then max_fanout := kids
+      end;
+      depth_sum := !depth_sum + Doctree.depth tree node;
+      let l = Doctree.label tree node in
+      Hashtbl.replace labels l (1 + Option.value ~default:0 (Hashtbl.find_opt labels l)))
+    tree;
+  let label_histogram =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) labels []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  {
+    node_count = n;
+    leaf_count = !leaves;
+    max_depth = Doctree.max_depth tree;
+    avg_depth = float_of_int !depth_sum /. float_of_int (max n 1);
+    max_fanout = !max_fanout;
+    avg_fanout =
+      (if !internal = 0 then 0.0
+       else float_of_int !fanout_sum /. float_of_int !internal);
+    label_histogram;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>nodes: %d@,leaves: %d@,max depth: %d@,avg depth: %.2f@,max fanout: \
+     %d@,avg fanout: %.2f@,labels:@,%a@]"
+    t.node_count t.leaf_count t.max_depth t.avg_depth t.max_fanout t.avg_fanout
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf (l, c) ->
+         Format.fprintf ppf "  %-16s %d" l c))
+    t.label_histogram

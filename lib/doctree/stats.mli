@@ -1,0 +1,16 @@
+(** Descriptive statistics of a document tree — used by the CLI [stats]
+    command and by EXPERIMENTS.md to characterize generated workloads. *)
+
+type t = {
+  node_count : int;
+  leaf_count : int;
+  max_depth : int;
+  avg_depth : float;
+  max_fanout : int;
+  avg_fanout : float;  (** over internal nodes *)
+  label_histogram : (string * int) list;  (** sorted by count, descending *)
+}
+
+val compute : Doctree.t -> t
+
+val pp : Format.formatter -> t -> unit

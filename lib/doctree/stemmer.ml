@@ -1,0 +1,165 @@
+(* Porter stemming algorithm (M. F. Porter, 1980), the standard steps
+   1a-5b over lower-case ASCII words.  The measure m counts VC sequences
+   in the [C](VC)^m[V] decomposition of the word. *)
+
+let is_ascii_lower s = String.for_all (fun c -> c >= 'a' && c <= 'z') s
+
+(* y is a vowel iff preceded by a consonant. *)
+let rec is_consonant w i =
+  match w.[i] with
+  | 'a' | 'e' | 'i' | 'o' | 'u' -> false
+  | 'y' -> i = 0 || not (is_consonant w (i - 1))
+  | _ -> true
+
+let measure w =
+  let n = String.length w in
+  let m = ref 0 in
+  let prev_vowel = ref false in
+  for i = 0 to n - 1 do
+    let c = is_consonant w i in
+    if c && !prev_vowel then incr m;
+    prev_vowel := not c
+  done;
+  !m
+
+let contains_vowel w =
+  let n = String.length w in
+  let rec go i = i < n && ((not (is_consonant w i)) || go (i + 1)) in
+  go 0
+
+let ends_double_consonant w =
+  let n = String.length w in
+  n >= 2 && w.[n - 1] = w.[n - 2] && is_consonant w (n - 1)
+
+(* cvc with final consonant not w, x, y — the *o condition. *)
+let ends_cvc w =
+  let n = String.length w in
+  n >= 3
+  && is_consonant w (n - 3)
+  && (not (is_consonant w (n - 2)))
+  && is_consonant w (n - 1)
+  && (match w.[n - 1] with 'w' | 'x' | 'y' -> false | _ -> true)
+
+let chop w k = String.sub w 0 (String.length w - k)
+
+let ends w suffix =
+  let n = String.length w and m = String.length suffix in
+  n > m && String.sub w (n - m) m = suffix
+
+let stem_of w suffix = chop w (String.length suffix)
+
+(* Replace [suffix] with [repl] when the stem's measure satisfies [cond]. *)
+let rule w suffix repl cond =
+  if ends w suffix then begin
+    let s = stem_of w suffix in
+    if cond s then Some (s ^ repl) else None
+  end
+  else None
+
+let first_rule w rules =
+  let rec go = function
+    | [] -> None
+    | (suffix, repl, cond) :: rest -> (
+        (* Porter: the longest matching suffix decides, even if its
+           condition fails. *)
+        if ends w suffix then
+          match rule w suffix repl cond with Some w' -> Some w' | None -> Some w
+        else go rest)
+  in
+  go rules
+
+let step1a w =
+  if ends w "sses" then chop w 2
+  else if ends w "ies" then chop w 2
+  else if ends w "ss" then w
+  else if ends w "s" then chop w 1
+  else w
+
+let step1b w =
+  let post w =
+    if ends w "at" || ends w "bl" || ends w "iz" then w ^ "e"
+    else if ends_double_consonant w then begin
+      match w.[String.length w - 1] with
+      | 'l' | 's' | 'z' -> w
+      | _ -> chop w 1
+    end
+    else if measure w = 1 && ends_cvc w then w ^ "e"
+    else w
+  in
+  if ends w "eed" then begin
+    let s = stem_of w "eed" in
+    if measure s > 0 then chop w 1 else w
+  end
+  else if ends w "ed" && contains_vowel (stem_of w "ed") then post (chop w 2)
+  else if ends w "ing" && contains_vowel (stem_of w "ing") then post (chop w 3)
+  else w
+
+let step1c w =
+  if ends w "y" && contains_vowel (chop w 1) then chop w 1 ^ "i" else w
+
+let step2 w =
+  let m_pos s = measure s > 0 in
+  match
+    first_rule w
+      [
+        ("ational", "ate", m_pos); ("tional", "tion", m_pos); ("enci", "ence", m_pos);
+        ("anci", "ance", m_pos); ("izer", "ize", m_pos); ("abli", "able", m_pos);
+        ("alli", "al", m_pos); ("entli", "ent", m_pos); ("eli", "e", m_pos);
+        ("ousli", "ous", m_pos); ("ization", "ize", m_pos); ("ation", "ate", m_pos);
+        ("ator", "ate", m_pos); ("alism", "al", m_pos); ("iveness", "ive", m_pos);
+        ("fulness", "ful", m_pos); ("ousness", "ous", m_pos); ("aliti", "al", m_pos);
+        ("iviti", "ive", m_pos); ("biliti", "ble", m_pos);
+      ]
+  with
+  | Some w' -> w'
+  | None -> w
+
+let step3 w =
+  let m_pos s = measure s > 0 in
+  match
+    first_rule w
+      [
+        ("icate", "ic", m_pos); ("ative", "", m_pos); ("alize", "al", m_pos);
+        ("iciti", "ic", m_pos); ("ical", "ic", m_pos); ("ful", "", m_pos);
+        ("ness", "", m_pos);
+      ]
+  with
+  | Some w' -> w'
+  | None -> w
+
+let step4 w =
+  let m1 s = measure s > 1 in
+  let ion s =
+    measure s > 1
+    && String.length s > 0
+    && (match s.[String.length s - 1] with 's' | 't' -> true | _ -> false)
+  in
+  match
+    first_rule w
+      [
+        ("al", "", m1); ("ance", "", m1); ("ence", "", m1); ("er", "", m1);
+        ("ic", "", m1); ("able", "", m1); ("ible", "", m1); ("ant", "", m1);
+        ("ement", "", m1); ("ment", "", m1); ("ent", "", m1); ("ion", "", ion);
+        ("ou", "", m1); ("ism", "", m1); ("ate", "", m1); ("iti", "", m1);
+        ("ous", "", m1); ("ive", "", m1); ("ize", "", m1);
+      ]
+  with
+  | Some w' -> w'
+  | None -> w
+
+let step5a w =
+  if ends w "e" then begin
+    let s = chop w 1 in
+    let m = measure s in
+    if m > 1 || (m = 1 && not (ends_cvc s)) then s else w
+  end
+  else w
+
+let step5b w =
+  if measure w > 1 && ends_double_consonant w && w.[String.length w - 1] = 'l' then
+    chop w 1
+  else w
+
+let stem word =
+  if String.length word < 3 || not (is_ascii_lower word) then word
+  else word |> step1a |> step1b |> step1c |> step2 |> step3 |> step4 |> step5a |> step5b

@@ -1,0 +1,12 @@
+(** A Porter-style English stemmer (the classic 1980 algorithm, steps
+    1a–5b), so that queries like "optimizations" match text containing
+    "optimization" when stemming is enabled in {!Tokenizer.options}.
+
+    The implementation follows the published rules; the test suite pins
+    the standard examples (caresses→caress, ponies→poni,
+    relational→relate, …).  Tokens shorter than 3 characters are returned
+    unchanged. *)
+
+val stem : string -> string
+(** Input is expected lower-case (the tokenizer guarantees it); non-ASCII
+    bytes make the token pass through unchanged. *)

@@ -1,0 +1,67 @@
+module Sax = Xfrag_xml.Xml_sax
+
+(* Mirrors Doctree.of_xml's text convention: attributes fold into the
+   node text, then the element's immediate character data. *)
+type open_element = {
+  id : int;
+  attr_text : string;
+  text : Buffer.t;
+}
+
+let of_xml_string data =
+  let specs = ref [] in
+  let counter = ref 0 in
+  let stack : open_element list ref = ref [] in
+  let parents = Hashtbl.create 256 in
+  let labels = Hashtbl.create 256 in
+  let finish_text oe =
+    let direct = Buffer.contents oe.text in
+    if oe.attr_text = "" then String.trim direct |> fun t -> if t = "" then "" else direct
+    else if String.trim direct = "" then oe.attr_text
+    else oe.attr_text ^ " " ^ direct
+  in
+  let texts = Hashtbl.create 256 in
+  Sax.iter
+    (fun ev ->
+      match ev with
+      | Sax.Start_element { name; attributes } ->
+          let id = !counter in
+          incr counter;
+          let parent = match !stack with [] -> -1 | top :: _ -> top.id in
+          Hashtbl.replace parents id parent;
+          Hashtbl.replace labels id name;
+          let attr_text =
+            String.concat " "
+              (List.concat_map (fun (k, v) -> [ k; v ]) attributes)
+          in
+          stack := { id; attr_text; text = Buffer.create 16 } :: !stack
+      | Sax.End_element _ -> (
+          match !stack with
+          | top :: rest ->
+              Hashtbl.replace texts top.id (finish_text top);
+              stack := rest
+          | [] -> ())
+      | Sax.Text s -> (
+          match !stack with
+          | top :: _ -> Buffer.add_string top.text s
+          | [] -> ())
+      | Sax.Comment _ | Sax.Pi _ -> ())
+    data;
+  for id = 0 to !counter - 1 do
+    specs :=
+      {
+        Doctree.spec_id = id;
+        spec_parent = Hashtbl.find parents id;
+        spec_label = Hashtbl.find labels id;
+        spec_text = (match Hashtbl.find_opt texts id with Some t -> t | None -> "");
+      }
+      :: !specs
+  done;
+  Doctree.of_specs !specs
+
+let of_xml_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let data = really_input_string ic n in
+  close_in ic;
+  of_xml_string data

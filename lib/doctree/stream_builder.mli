@@ -1,0 +1,10 @@
+(** Build a document tree directly from the SAX event stream — no DOM is
+    materialized, so peak memory is the tree itself plus one path of
+    open elements.  Produces exactly the same tree as
+    [Doctree.of_xml ∘ Xml_parser.parse_string] (tested). *)
+
+val of_xml_string : string -> Doctree.t
+(** @raise Xfrag_xml.Xml_error.Parse_error on malformed input. *)
+
+val of_xml_file : string -> Doctree.t
+(** @raise Sys_error if the file cannot be read. *)

@@ -1,0 +1,63 @@
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+
+  let hash = Value.hash
+end)
+
+type index = { column : string; position : int; entries : Value.t array list ref Vtbl.t }
+
+type entry = { relation : Relation.t; mutable indexes : index list }
+
+type t = { tables : (string, entry) Hashtbl.t }
+
+let create () = { tables = Hashtbl.create 16 }
+
+let create_table t name schema =
+  if Hashtbl.mem t.tables name then
+    invalid_arg (Printf.sprintf "Database.create_table: table %S already exists" name);
+  Hashtbl.replace t.tables name { relation = Relation.create schema; indexes = [] }
+
+let put_table t name relation =
+  Hashtbl.replace t.tables name { relation; indexes = [] }
+
+let drop_table t name = Hashtbl.remove t.tables name
+
+let entry t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some e -> e
+  | None -> raise Not_found
+
+let table t name = (entry t name).relation
+
+let table_names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.tables [] |> List.sort String.compare
+
+let index_add idx row =
+  let key = row.(idx.position) in
+  match Vtbl.find_opt idx.entries key with
+  | Some l -> l := row :: !l
+  | None -> Vtbl.replace idx.entries key (ref [ row ])
+
+let insert t name row =
+  let e = entry t name in
+  Relation.insert e.relation row;
+  List.iter (fun idx -> index_add idx row) e.indexes
+
+let create_index t ~table ~column =
+  let e = entry t table in
+  let position = Schema.position (Relation.schema e.relation) column in
+  let idx = { column; position; entries = Vtbl.create 1024 } in
+  Relation.iter (fun row -> index_add idx row) e.relation;
+  e.indexes <- idx :: List.filter (fun i -> i.column <> column) e.indexes
+
+let find_index t ~table ~column =
+  List.find_opt (fun i -> i.column = column) (entry t table).indexes
+
+let has_index t ~table ~column = Option.is_some (find_index t ~table ~column)
+
+let index_lookup t ~table ~column key =
+  match find_index t ~table ~column with
+  | None -> raise Not_found
+  | Some idx -> ( match Vtbl.find_opt idx.entries key with Some l -> !l | None -> [])

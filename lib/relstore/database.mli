@@ -1,0 +1,33 @@
+(** A named collection of base tables with optional hash indexes. *)
+
+type t
+
+val create : unit -> t
+
+val create_table : t -> string -> Schema.t -> unit
+(** @raise Invalid_argument if the table already exists. *)
+
+val put_table : t -> string -> Relation.t -> unit
+(** Bind (or rebind) a name to a materialized relation — the engine's
+    [CREATE OR REPLACE TEMP TABLE … AS].  Existing indexes on the old
+    binding are dropped. *)
+
+val drop_table : t -> string -> unit
+(** No-op if absent. *)
+
+val table : t -> string -> Relation.t
+(** @raise Not_found for an unknown table. *)
+
+val table_names : t -> string list
+
+val insert : t -> string -> Value.t array -> unit
+
+val create_index : t -> table:string -> column:string -> unit
+(** Build (or rebuild) a hash index.  Indexes built before bulk insertion
+    are maintained incrementally by {!insert}. *)
+
+val index_lookup : t -> table:string -> column:string -> Value.t -> Value.t array list
+(** Matching rows via the index.
+    @raise Not_found if no index exists on that column. *)
+
+val has_index : t -> table:string -> column:string -> bool

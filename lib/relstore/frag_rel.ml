@@ -1,0 +1,119 @@
+module Int_sorted = Xfrag_util.Int_sorted
+module Fragment = Xfrag_core.Fragment
+module Frag_set = Xfrag_core.Frag_set
+module Tokenizer = Xfrag_doctree.Tokenizer
+
+type t = { db : Database.t; mutable queries : int }
+
+let of_doctree ?options tree = { db = Mapping.of_doctree ?options tree; queries = 0 }
+
+let database t = t.db
+
+let queries_issued t = t.queries
+
+let run t plan =
+  t.queries <- t.queries + 1;
+  Relalg.eval t.db plan
+
+let postings t word =
+  let rel =
+    run t
+      (Relalg.Project
+         ( [ "k.node" ],
+           Relalg.Index_lookup
+             {
+               table = Mapping.keyword_table;
+               alias = "k";
+               column = "word";
+               key = Value.Text (Tokenizer.normalize word);
+             } ))
+  in
+  Int_sorted.of_list (List.map Value.to_int (Relation.column_values rel "k.node"))
+
+let node_row t id =
+  let rel =
+    run t
+      (Relalg.Index_lookup
+         { table = Mapping.node_table; alias = "n"; column = "id"; key = Value.Int id })
+  in
+  match Relation.rows rel with
+  | [ row ] -> row
+  | [] -> invalid_arg (Printf.sprintf "Frag_rel: unknown node %d" id)
+  | _ -> invalid_arg (Printf.sprintf "Frag_rel: duplicate node id %d" id)
+
+let parent t id =
+  let row = node_row t id in
+  let p = Value.to_int row.(Schema.position Mapping.node_schema "parent") in
+  if p < 0 then None else Some p
+
+let depth t id =
+  let row = node_row t id in
+  Value.to_int row.(Schema.position Mapping.node_schema "depth")
+
+(* Depth-aligned ascent: raise the deeper endpoint until depths match,
+   then raise both until they meet.  Each parent lookup is a relational
+   index query. *)
+let path t a b =
+  let parent_exn n =
+    match parent t n with
+    | Some p -> p
+    | None -> invalid_arg "Frag_rel.path: walked past the root"
+  in
+  let rec lift n k acc = if k = 0 then (n, acc) else lift (parent_exn n) (k - 1) (n :: acc) in
+  let da = depth t a and db_ = depth t b in
+  let up_a, up_b = (max 0 (da - db_), max 0 (db_ - da)) in
+  let a', trail_a = lift a up_a [] in
+  let b', trail_b = lift b up_b [] in
+  let rec meet x y trail_x trail_y =
+    if x = y then (x, trail_x, trail_y)
+    else meet (parent_exn x) (parent_exn y) (x :: trail_x) (y :: trail_y)
+  in
+  let lca, trail_a', trail_b' = meet a' b' (List.rev trail_a) (List.rev trail_b) in
+  (* trail lists hold the nodes strictly below the LCA on each side. *)
+  List.rev trail_a' @ [ lca ] @ trail_b'
+
+let join_fragments t f1 f2 =
+  let r1 = Fragment.root f1 and r2 = Fragment.root f2 in
+  if r1 = r2 then
+    Fragment.of_sorted_unchecked (Int_sorted.union (Fragment.nodes f1) (Fragment.nodes f2))
+  else
+    Fragment.of_sorted_unchecked
+      (Int_sorted.union
+         (Int_sorted.union (Fragment.nodes f1) (Fragment.nodes f2))
+         (Int_sorted.of_list (path t r1 r2)))
+
+let pairwise_filtered t ~keep s1 s2 =
+  let out = Frag_set.Builder.create () in
+  Frag_set.iter
+    (fun f1 ->
+      Frag_set.iter
+        (fun f2 ->
+          let f = join_fragments t f1 f2 in
+          if keep f then ignore (Frag_set.Builder.add out f))
+        s2)
+    s1;
+  Frag_set.Builder.freeze out
+
+let fixed_point_filtered t ~keep seed =
+  let seed = Frag_set.filter keep seed in
+  if Frag_set.is_empty seed then seed
+  else begin
+    let rec go acc =
+      let next = pairwise_filtered t ~keep acc seed in
+      if Frag_set.cardinal next = Frag_set.cardinal acc then acc else go next
+    in
+    go seed
+  end
+
+let eval_query ?size_limit t ~keywords =
+  let keep f =
+    match size_limit with None -> true | Some beta -> Fragment.size f <= beta
+  in
+  let sets = List.map (fun k -> Frag_set.of_nodes (postings t k)) keywords in
+  if sets = [] || List.exists Frag_set.is_empty sets then Frag_set.empty
+  else begin
+    let fps = List.map (fun s -> fixed_point_filtered t ~keep s) sets in
+    match fps with
+    | [] -> Frag_set.empty
+    | fp :: rest -> List.fold_left (pairwise_filtered t ~keep) fp rest
+  end

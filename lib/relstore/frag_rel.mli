@@ -1,0 +1,39 @@
+(** The fragment algebra evaluated against the relational encoding —
+    a working sketch of the paper's claim that "the model can be easily
+    implemented on top of an existing relational database" (§7, via
+    reference [13]).
+
+    Every data access — keyword posting lists, parent/depth lookups, root
+    paths — is a {!Relalg} plan against the {!Mapping} tables; the
+    orchestration (fixed-point loop, dedup) is client-side, as in a
+    middleware implementation.  Answers are bit-identical to the native
+    evaluator (tested). *)
+
+type t
+
+val of_doctree : ?options:Xfrag_doctree.Tokenizer.options -> Xfrag_doctree.Doctree.t -> t
+
+val database : t -> Database.t
+
+val postings : t -> string -> Xfrag_util.Int_sorted.t
+(** σ_{keyword=k} via an index lookup on the keyword table. *)
+
+val parent : t -> int -> int option
+(** Parent via an index lookup on node.id ([None] at the root). *)
+
+val depth : t -> int -> int
+
+val path : t -> int -> int -> int list
+(** Tree path between two nodes, computed by walking parents with
+    per-step relational queries (depth-aligned ascent). *)
+
+val join_fragments : t -> Xfrag_core.Fragment.t -> Xfrag_core.Fragment.t -> Xfrag_core.Fragment.t
+(** Fragment join where the root path comes from {!path}. *)
+
+val eval_query :
+  ?size_limit:int -> t -> keywords:string list -> Xfrag_core.Frag_set.t
+(** Push-down evaluation of a keyword query with an optional size ≤ β
+    filter, entirely on relational primitives. *)
+
+val queries_issued : t -> int
+(** Number of relational plans evaluated so far (for the bench report). *)

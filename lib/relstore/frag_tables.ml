@@ -1,0 +1,268 @@
+module Fragment = Xfrag_core.Fragment
+module Frag_set = Xfrag_core.Frag_set
+module Int_sorted = Xfrag_util.Int_sorted
+module Tokenizer = Xfrag_doctree.Tokenizer
+
+type t = { db : Database.t }
+
+let of_doctree ?options tree = { db = Mapping.of_doctree ?options tree }
+
+let database t = t.db
+
+let fragment_schema = Schema.make [ ("fid", Schema.Tint); ("node", Schema.Tint) ]
+
+let relation_of_set set =
+  let rel = Relation.create fragment_schema in
+  List.iteri
+    (fun fid f ->
+      Int_sorted.iter
+        (fun node -> Relation.insert rel [| Value.Int fid; Value.Int node |])
+        (Fragment.nodes f))
+    (Frag_set.elements set);
+  rel
+
+let set_of_relation rel =
+  if not (Schema.equal (Relation.schema rel) fragment_schema) then
+    invalid_arg "Frag_tables.set_of_relation: wrong schema";
+  let groups : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  Relation.iter
+    (fun row ->
+      let fid = Value.to_int row.(0) and node = Value.to_int row.(1) in
+      match Hashtbl.find_opt groups fid with
+      | Some l -> l := node :: !l
+      | None -> Hashtbl.add groups fid (ref [ node ]))
+    rel;
+  Frag_set.of_list
+    (Hashtbl.fold
+       (fun _ nodes acc ->
+         Fragment.of_sorted_unchecked (Int_sorted.of_list !nodes) :: acc)
+       groups [])
+
+(* Plan helpers. *)
+let scan table alias = Relalg.Scan { table; alias }
+
+let col c = Relalg.Col c
+
+let put t name rel = Database.put_table t.db name rel
+
+let run t plan = Relalg.eval t.db plan
+
+(* Ancestor-or-self closure of every node in tmp_roots(root): iterated
+   parent joins until the row count stabilizes (semi-naive would track a
+   delta; the naive loop keeps the plans readable).  Leaves
+   tmp_anc(root, a) and tmp_ancd(root, a, d) behind. *)
+let materialize_ancestors t =
+  (* seed: (root, root) — a self-join of the distinct roots on equality
+     duplicates the column. *)
+  let seed =
+    Relalg.Rename
+      ( [ "root"; "a" ],
+        Relalg.Hash_join
+          {
+            left = scan "tmp_roots" "r1";
+            right = scan "tmp_roots" "r2";
+            on = [ ("r1.root", "r2.root") ];
+          } )
+  in
+  put t "tmp_anc" (run t seed);
+  let rec loop previous_count =
+    let step =
+      Relalg.Rename
+        ( [ "root"; "a" ],
+          Relalg.Project
+            ( [ "anc.root"; "n.parent" ],
+              Relalg.Select
+                ( Relalg.Le (Relalg.Const (Value.Int 0), col "n.parent"),
+                  Relalg.Hash_join
+                    {
+                      left = scan "tmp_anc" "anc";
+                      right = scan Mapping.node_table "n";
+                      on = [ ("anc.a", "n.id") ];
+                    } ) ) )
+    in
+    let next =
+      run t
+        (Relalg.Distinct
+           (Relalg.Union (Relalg.Rename ([ "root"; "a" ], scan "tmp_anc" "anc"), step)))
+    in
+    put t "tmp_anc" next;
+    let count = Relation.cardinality next in
+    if count > previous_count then loop count
+  in
+  loop (Relation.cardinality (Database.table t.db "tmp_anc"));
+  let with_depth =
+    Relalg.Rename
+      ( [ "root"; "a"; "d" ],
+        Relalg.Project
+          ( [ "anc.root"; "anc.a"; "n.depth" ],
+            Relalg.Hash_join
+              {
+                left = scan "tmp_anc" "anc";
+                right = scan Mapping.node_table "n";
+                on = [ ("anc.a", "n.id") ];
+              } ) )
+  in
+  put t "tmp_ancd" (run t with_depth)
+
+let cleanup t =
+  List.iter (Database.drop_table t.db)
+    [
+      "tmp_f1"; "tmp_f2"; "tmp_roots1"; "tmp_roots2"; "tmp_roots"; "tmp_anc";
+      "tmp_ancd"; "tmp_pairs"; "tmp_lca";
+    ]
+
+let pairwise_join t s1 s2 =
+  if Frag_set.is_empty s1 || Frag_set.is_empty s2 then Frag_set.empty
+  else begin
+    put t "tmp_f1" (relation_of_set s1);
+    put t "tmp_f2" (relation_of_set s2);
+    (* Fragment roots: with pre-order ids the root is MIN(node). *)
+    let roots table alias =
+      Relalg.Rename
+        ( [ "fid"; "root" ],
+          Relalg.Group_by
+            {
+              keys = [ alias ^ ".fid" ];
+              aggregates = [ (Relalg.Min, alias ^ ".node", "root") ];
+              input = scan table alias;
+            } )
+    in
+    put t "tmp_roots1" (run t (roots "tmp_f1" "f1"));
+    put t "tmp_roots2" (run t (roots "tmp_f2" "f2"));
+    put t "tmp_roots"
+      (run t
+         (Relalg.Distinct
+            (Relalg.Union
+               ( Relalg.Project ([ "root" ], Relalg.Rename ([ "fid"; "root" ], scan "tmp_roots1" "r")),
+                 Relalg.Project ([ "root" ], Relalg.Rename ([ "fid"; "root" ], scan "tmp_roots2" "r")) ))));
+    materialize_ancestors t;
+    (* All fragment pairs with their roots. *)
+    put t "tmp_pairs"
+      (run t
+         (Relalg.Rename
+            ( [ "fid1"; "root1"; "fid2"; "root2" ],
+              Relalg.Nested_loop_join
+                {
+                  left = scan "tmp_roots1" "p1";
+                  right = scan "tmp_roots2" "p2";
+                  pred = Relalg.True;
+                } )));
+    (* LCA depth per pair: deepest common ancestor-or-self. *)
+    put t "tmp_lca"
+      (run t
+         (Relalg.Rename
+            ( [ "fid1"; "fid2"; "root1"; "root2"; "lcad" ],
+              Relalg.Group_by
+                {
+                  keys = [ "p.fid1"; "p.fid2"; "p.root1"; "p.root2" ];
+                  aggregates = [ (Relalg.Max, "a1.d", "lcad") ];
+                  input =
+                    Relalg.Hash_join
+                      {
+                        left =
+                          Relalg.Hash_join
+                            {
+                              left = scan "tmp_pairs" "p";
+                              right = scan "tmp_ancd" "a1";
+                              on = [ ("p.root1", "a1.root") ];
+                            };
+                        right = scan "tmp_ancd" "a2";
+                        on = [ ("p.root2", "a2.root"); ("a1.a", "a2.a") ];
+                      };
+                } )));
+    (* Path segments: ancestors of each root at depth >= the pair's LCA
+       depth are exactly the root-to-LCA chains. *)
+    let path_side root_col =
+      Relalg.Rename
+        ( [ "fid1"; "fid2"; "node" ],
+          Relalg.Project
+            ( [ "l.fid1"; "l.fid2"; "a.a" ],
+              Relalg.Select
+                ( Relalg.Le (col "l.lcad", col "a.d"),
+                  Relalg.Hash_join
+                    {
+                      left = scan "tmp_lca" "l";
+                      right = scan "tmp_ancd" "a";
+                      on = [ ("l." ^ root_col, "a.root") ];
+                    } ) ) )
+    in
+    (* Member nodes of both input fragments, per pair. *)
+    let members table fid_col =
+      Relalg.Rename
+        ( [ "fid1"; "fid2"; "node" ],
+          Relalg.Project
+            ( [ "p.fid1"; "p.fid2"; "f.node" ],
+              Relalg.Hash_join
+                {
+                  left = scan "tmp_pairs" "p";
+                  right = scan table "f";
+                  on = [ ("p." ^ fid_col, "f.fid") ];
+                } ) )
+    in
+    let result =
+      run t
+        (Relalg.Distinct
+           (Relalg.Union
+              ( Relalg.Union (path_side "root1", path_side "root2"),
+                Relalg.Union (members "tmp_f1" "fid1", members "tmp_f2" "fid2") )))
+    in
+    cleanup t;
+    (* Client-side bookkeeping: renumber (fid1, fid2) pairs and collapse
+       equal node sets. *)
+    let groups : (int * int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+    Relation.iter
+      (fun row ->
+        let key = (Value.to_int row.(0), Value.to_int row.(1)) in
+        let node = Value.to_int row.(2) in
+        match Hashtbl.find_opt groups key with
+        | Some l -> l := node :: !l
+        | None -> Hashtbl.add groups key (ref [ node ]))
+      result;
+    Frag_set.of_list
+      (Hashtbl.fold
+         (fun _ nodes acc ->
+           Fragment.of_sorted_unchecked (Int_sorted.of_list !nodes) :: acc)
+         groups [])
+  end
+
+let fixed_point ?(keep = fun _ -> true) t set =
+  let seed = Frag_set.filter keep set in
+  if Frag_set.is_empty seed then seed
+  else begin
+    let rec go acc =
+      let next = Frag_set.filter keep (pairwise_join t acc seed) in
+      if Frag_set.cardinal next = Frag_set.cardinal acc then acc else go next
+    in
+    go seed
+  end
+
+let postings t word =
+  let rel =
+    run t
+      (Relalg.Project
+         ( [ "k.node" ],
+           Relalg.Index_lookup
+             {
+               table = Mapping.keyword_table;
+               alias = "k";
+               column = "word";
+               key = Value.Text (Tokenizer.normalize word);
+             } ))
+  in
+  Int_sorted.of_list (List.map Value.to_int (Relation.column_values rel "k.node"))
+
+let eval_query ?size_limit t ~keywords =
+  let keep f =
+    match size_limit with None -> true | Some beta -> Fragment.size f <= beta
+  in
+  let sets = List.map (fun k -> Frag_set.of_nodes (postings t k)) keywords in
+  if sets = [] || List.exists Frag_set.is_empty sets then Frag_set.empty
+  else begin
+    let fps = List.map (fun s -> fixed_point ~keep t s) sets in
+    match fps with
+    | [] -> Frag_set.empty
+    | fp :: rest ->
+        List.fold_left
+          (fun acc s -> Frag_set.filter keep (pairwise_join t acc s))
+          fp rest
+  end

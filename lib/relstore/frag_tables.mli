@@ -1,0 +1,41 @@
+(** Fragment sets as relations — the fully-relational realization of the
+    paper's companion design ([13]).
+
+    Where {!Frag_rel} keeps fragments client-side and issues relational
+    queries for node navigation, this module stores whole fragment sets
+    in tables of shape [(fid, node)] and computes the pairwise fragment
+    join with set-at-a-time relational operators: roots via MIN
+    aggregation, ancestor chains via an iterated parent join (semi-naive
+    transitive closure over temp tables), LCA depths via MAX aggregation
+    per fragment pair, and path segments via depth-bounded selections.
+    Only fragment-identity bookkeeping (assigning fids, deduplicating
+    equal node sets) happens client-side.
+
+    Answers are bit-identical to the native evaluator (tested). *)
+
+type t
+
+val of_doctree : ?options:Xfrag_doctree.Tokenizer.options -> Xfrag_doctree.Doctree.t -> t
+
+val database : t -> Database.t
+
+val fragment_schema : Schema.t
+(** [(fid : int, node : int)]. *)
+
+val relation_of_set : Xfrag_core.Frag_set.t -> Relation.t
+(** Fragments numbered 0.. in {!Xfrag_core.Frag_set.elements} order. *)
+
+val set_of_relation : Relation.t -> Xfrag_core.Frag_set.t
+(** Groups rows by fid.  Node sets are trusted to be connected (they
+    come from algebra operations).
+    @raise Invalid_argument if the schema is not {!fragment_schema}. *)
+
+val pairwise_join : t -> Xfrag_core.Frag_set.t -> Xfrag_core.Frag_set.t -> Xfrag_core.Frag_set.t
+(** F1 ⋈ F2 computed set-at-a-time in the engine. *)
+
+val fixed_point : ?keep:(Xfrag_core.Fragment.t -> bool) -> t -> Xfrag_core.Frag_set.t -> Xfrag_core.Frag_set.t
+(** Naive fixed point where every round is a relational pairwise join;
+    [keep] prunes between rounds (Theorem 3 push-down). *)
+
+val eval_query : ?size_limit:int -> t -> keywords:string list -> Xfrag_core.Frag_set.t
+(** Push-down query evaluation on the set-at-a-time operations. *)

@@ -1,0 +1,47 @@
+module Doctree = Xfrag_doctree.Doctree
+module Tokenizer = Xfrag_doctree.Tokenizer
+
+let node_table = "node"
+
+let keyword_table = "keyword"
+
+let node_schema =
+  Schema.make
+    [
+      ("id", Schema.Tint);
+      ("parent", Schema.Tint);
+      ("depth", Schema.Tint);
+      ("last", Schema.Tint);
+      ("label", Schema.Ttext);
+    ]
+
+let keyword_schema = Schema.make [ ("word", Schema.Ttext); ("node", Schema.Tint) ]
+
+let of_doctree ?options tree =
+  let db = Database.create () in
+  Database.create_table db node_table node_schema;
+  Database.create_table db keyword_table keyword_schema;
+  Database.create_index db ~table:node_table ~column:"id";
+  Database.create_index db ~table:node_table ~column:"parent";
+  Database.create_index db ~table:keyword_table ~column:"word";
+  Doctree.iter
+    (fun n ->
+      let parent = match Doctree.parent tree n with None -> -1 | Some p -> p in
+      Database.insert db node_table
+        [|
+          Value.Int n;
+          Value.Int parent;
+          Value.Int (Doctree.depth tree n);
+          Value.Int (n + Doctree.subtree_size tree n - 1);
+          Value.Text (Doctree.label tree n);
+        |];
+      let keywords =
+        Tokenizer.keyword_set ?options (Doctree.label tree n ^ " " ^ Doctree.text tree n)
+      in
+      List.iter
+        (fun w -> Database.insert db keyword_table [| Value.Text w; Value.Int n |])
+        keywords)
+    tree;
+  db
+
+let node_count db = Relation.cardinality (Database.table db node_table)

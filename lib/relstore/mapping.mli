@@ -1,0 +1,21 @@
+(** The relational encoding of a document tree, after the paper's
+    relational-implementation companion ([13]).
+
+    Two tables:
+    - [node(id, parent, depth, last, label)] — one row per tree node;
+      [last] is the end of the node's pre-order interval, so
+      "a is an ancestor of b" is the pure relational predicate
+      [a.id < b.id AND b.id <= a.last];
+    - [keyword(word, node)] — the inverted index as a relation.
+
+    Hash indexes: [node.id], [node.parent], [keyword.word]. *)
+
+val node_table : string
+val keyword_table : string
+
+val node_schema : Schema.t
+val keyword_schema : Schema.t
+
+val of_doctree : ?options:Xfrag_doctree.Tokenizer.options -> Xfrag_doctree.Doctree.t -> Database.t
+
+val node_count : Database.t -> int

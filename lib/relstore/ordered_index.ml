@@ -1,0 +1,67 @@
+type t = {
+  column : string;
+  keys : int array;  (* sorted *)
+  rows : Value.t array array;  (* aligned with keys *)
+}
+
+let build rel ~column =
+  let pos = Schema.position (Relation.schema rel) column in
+  (match Schema.ty (Relation.schema rel) column with
+  | Schema.Tint -> ()
+  | Schema.Ttext -> invalid_arg "Ordered_index.build: column is not an integer");
+  let pairs =
+    Relation.fold
+      (fun acc row ->
+        match row.(pos) with
+        | Value.Int k -> (k, row) :: acc
+        | Value.Text _ | Value.Null ->
+            invalid_arg "Ordered_index.build: non-integer key value")
+      [] rel
+  in
+  (* fold reverses; restore insertion order before the stable sort so
+     ties keep it. *)
+  let pairs = Array.of_list (List.rev pairs) in
+  let order = Array.init (Array.length pairs) Fun.id in
+  let cmp i j =
+    let c = compare (fst pairs.(i)) (fst pairs.(j)) in
+    if c <> 0 then c else compare i j
+  in
+  Array.sort cmp order;
+  {
+    column;
+    keys = Array.map (fun i -> fst pairs.(i)) order;
+    rows = Array.map (fun i -> snd pairs.(i)) order;
+  }
+
+let column t = t.column
+
+let cardinality t = Array.length t.keys
+
+(* First position with key >= x. *)
+let lower_bound t x =
+  let lo = ref 0 and hi = ref (Array.length t.keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.keys.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let range t ~lo ~hi =
+  if lo > hi then []
+  else begin
+    let start = lower_bound t lo in
+    let out = ref [] in
+    let i = ref start in
+    while !i < Array.length t.keys && t.keys.(!i) <= hi do
+      out := t.rows.(!i) :: !out;
+      incr i
+    done;
+    List.rev !out
+  end
+
+let point t k = range t ~lo:k ~hi:k
+
+let min_key t = if Array.length t.keys = 0 then None else Some t.keys.(0)
+
+let max_key t =
+  if Array.length t.keys = 0 then None else Some t.keys.(Array.length t.keys - 1)

@@ -1,0 +1,28 @@
+(** An ordered secondary index over one integer column of a relation —
+    the engine's stand-in for a B⁺-tree.  Built once over a materialized
+    relation; serves point and range lookups in O(log n + k).
+
+    The pre-order interval encoding makes range scans the natural access
+    path for tree queries: descendants of [v] are exactly the node rows
+    with [v < id ≤ last(v)], one [range] call. *)
+
+type t
+
+val build : Relation.t -> column:string -> t
+(** @raise Not_found if the column does not exist.
+    @raise Invalid_argument if the column is not [Tint] or contains
+    non-integer values. *)
+
+val column : t -> string
+
+val cardinality : t -> int
+
+val point : t -> int -> Value.t array list
+(** Rows whose key equals the argument. *)
+
+val range : t -> lo:int -> hi:int -> Value.t array list
+(** Rows with [lo ≤ key ≤ hi], in key order (ties in insertion order). *)
+
+val min_key : t -> int option
+
+val max_key : t -> int option

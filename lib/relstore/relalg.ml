@@ -1,0 +1,257 @@
+type expr = Col of string | Const of Value.t
+
+type pred =
+  | True
+  | Eq of expr * expr
+  | Neq of expr * expr
+  | Lt of expr * expr
+  | Le of expr * expr
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+type plan =
+  | Scan of { table : string; alias : string }
+  | Index_lookup of { table : string; alias : string; column : string; key : Value.t }
+  | Select of pred * plan
+  | Project of string list * plan
+  | Hash_join of { left : plan; right : plan; on : (string * string) list }
+  | Nested_loop_join of { left : plan; right : plan; pred : pred }
+  | Distinct of plan
+  | Union of plan * plan
+  | Order_by of string list * plan
+  | Limit of int * plan
+  | Rename of string list * plan
+  | Group_by of {
+      keys : string list;
+      aggregates : (aggregate * string * string) list;
+      input : plan;
+    }
+
+and aggregate = Count | Min | Max | Sum
+
+let eval_expr schema row = function
+  | Const v -> v
+  | Col name -> row.(Schema.position schema name)
+
+let rec eval_pred schema row = function
+  | True -> true
+  | Eq (a, b) -> Value.equal (eval_expr schema row a) (eval_expr schema row b)
+  | Neq (a, b) -> not (Value.equal (eval_expr schema row a) (eval_expr schema row b))
+  | Lt (a, b) -> Value.compare (eval_expr schema row a) (eval_expr schema row b) < 0
+  | Le (a, b) -> Value.compare (eval_expr schema row a) (eval_expr schema row b) <= 0
+  | And (p, q) -> eval_pred schema row p && eval_pred schema row q
+  | Or (p, q) -> eval_pred schema row p || eval_pred schema row q
+  | Not p -> not (eval_pred schema row p)
+
+module Key = struct
+  type t = Value.t list
+
+  let equal = List.equal Value.equal
+
+  let hash k = List.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 k
+end
+
+module Ktbl = Hashtbl.Make (Key)
+
+let rec eval db plan =
+  match plan with
+  | Scan { table; alias } ->
+      let base = Database.table db table in
+      let schema = Schema.rename ~prefix:alias (Relation.schema base) in
+      Relation.of_rows schema (Relation.rows base)
+  | Index_lookup { table; alias; column; key } ->
+      let base = Database.table db table in
+      let schema = Schema.rename ~prefix:alias (Relation.schema base) in
+      Relation.of_rows schema (Database.index_lookup db ~table ~column key)
+  | Select (pred, input) ->
+      let r = eval db input in
+      let schema = Relation.schema r in
+      Relation.of_rows schema
+        (List.filter (fun row -> eval_pred schema row pred) (Relation.rows r))
+  | Project (cols, input) ->
+      let r = eval db input in
+      let schema = Relation.schema r in
+      let positions = List.map (Schema.position schema) cols in
+      let out_schema = Schema.project schema cols in
+      Relation.of_rows out_schema
+        (List.map (fun row -> Array.of_list (List.map (fun i -> row.(i)) positions))
+           (Relation.rows r))
+  | Hash_join { left; right; on } ->
+      let l = eval db left and r = eval db right in
+      let ls = Relation.schema l and rs = Relation.schema r in
+      let out_schema = Schema.concat ls rs in
+      let lpos = List.map (fun (lc, _) -> Schema.position ls lc) on in
+      let rpos = List.map (fun (_, rc) -> Schema.position rs rc) on in
+      (* Build on the smaller side. *)
+      let build_left = Relation.cardinality l <= Relation.cardinality r in
+      let build_rel, probe_rel, build_pos, probe_pos =
+        if build_left then (l, r, lpos, rpos) else (r, l, rpos, lpos)
+      in
+      let table = Ktbl.create (max 16 (Relation.cardinality build_rel)) in
+      Relation.iter
+        (fun row ->
+          let key = List.map (fun i -> row.(i)) build_pos in
+          match Ktbl.find_opt table key with
+          | Some rows -> rows := row :: !rows
+          | None -> Ktbl.replace table key (ref [ row ]))
+        build_rel;
+      let out = Relation.create out_schema in
+      Relation.iter
+        (fun probe_row ->
+          let key = List.map (fun i -> probe_row.(i)) probe_pos in
+          match Ktbl.find_opt table key with
+          | None -> ()
+          | Some rows ->
+              List.iter
+                (fun build_row ->
+                  let lrow, rrow =
+                    if build_left then (build_row, probe_row) else (probe_row, build_row)
+                  in
+                  Relation.insert out (Array.append lrow rrow))
+                !rows)
+        probe_rel;
+      out
+  | Nested_loop_join { left; right; pred } ->
+      let l = eval db left and r = eval db right in
+      let out_schema = Schema.concat (Relation.schema l) (Relation.schema r) in
+      let out = Relation.create out_schema in
+      Relation.iter
+        (fun lrow ->
+          Relation.iter
+            (fun rrow ->
+              let row = Array.append lrow rrow in
+              if eval_pred out_schema row pred then Relation.insert out row)
+            r)
+        l;
+      out
+  | Distinct input ->
+      let r = eval db input in
+      let seen = Ktbl.create (max 16 (Relation.cardinality r)) in
+      let out = Relation.create (Relation.schema r) in
+      Relation.iter
+        (fun row ->
+          let key = Array.to_list row in
+          if not (Ktbl.mem seen key) then begin
+            Ktbl.replace seen key ();
+            Relation.insert out row
+          end)
+        r;
+      out
+  | Union (a, b) ->
+      let ra = eval db a and rb = eval db b in
+      if not (Schema.equal (Relation.schema ra) (Relation.schema rb)) then
+        invalid_arg "Relalg.eval: union of incompatible schemas";
+      Relation.of_rows (Relation.schema ra) (Relation.rows ra @ Relation.rows rb)
+  | Order_by (cols, input) ->
+      let r = eval db input in
+      let schema = Relation.schema r in
+      let positions = List.map (Schema.position schema) cols in
+      let cmp a b =
+        let rec go = function
+          | [] -> 0
+          | i :: rest ->
+              let c = Value.compare a.(i) b.(i) in
+              if c <> 0 then c else go rest
+        in
+        go positions
+      in
+      Relation.of_rows schema (List.stable_sort cmp (Relation.rows r))
+  | Limit (n, input) ->
+      let r = eval db input in
+      Relation.of_rows (Relation.schema r)
+        (List.filteri (fun i _ -> i < n) (Relation.rows r))
+  | Rename (names, input) ->
+      let r = eval db input in
+      let old = Schema.columns (Relation.schema r) in
+      if List.length names <> List.length old then
+        invalid_arg "Relalg.eval: Rename arity mismatch";
+      let schema = Schema.make (List.map2 (fun n (_, ty) -> (n, ty)) names old) in
+      Relation.of_rows schema (Relation.rows r)
+  | Group_by { keys; aggregates; input } ->
+      let r = eval db input in
+      let schema = Relation.schema r in
+      let key_pos = List.map (Schema.position schema) keys in
+      let agg_pos =
+        List.map
+          (fun (fn, col, _) ->
+            (fn, match fn with Count -> 0 | Min | Max | Sum -> Schema.position schema col))
+          aggregates
+      in
+      let out_schema =
+        Schema.make
+          (List.map (fun k -> (k, Schema.ty schema k)) keys
+          @ List.map (fun (_, _, out) -> (out, Schema.Tint)) aggregates)
+      in
+      let groups = Ktbl.create 64 in
+      let order = ref [] in
+      Relation.iter
+        (fun row ->
+          let key = List.map (fun i -> row.(i)) key_pos in
+          match Ktbl.find_opt groups key with
+          | Some rows -> rows := row :: !rows
+          | None ->
+              Ktbl.replace groups key (ref [ row ]);
+              order := key :: !order)
+        r;
+      let compute fn pos rows =
+        match fn with
+        | Count -> Value.Int (List.length rows)
+        | Sum ->
+            Value.Int
+              (List.fold_left (fun acc row -> acc + Value.to_int row.(pos)) 0 rows)
+        | Min ->
+            Value.Int
+              (List.fold_left
+                 (fun acc row -> min acc (Value.to_int row.(pos)))
+                 max_int rows)
+        | Max ->
+            Value.Int
+              (List.fold_left
+                 (fun acc row -> max acc (Value.to_int row.(pos)))
+                 min_int rows)
+      in
+      let out = Relation.create out_schema in
+      List.iter
+        (fun key ->
+          let rows = !(Ktbl.find groups key) in
+          let aggs = List.map (fun (fn, pos) -> compute fn pos rows) agg_pos in
+          Relation.insert out (Array.of_list (key @ aggs)))
+        (List.rev !order);
+      out
+
+let rec pp_plan ppf = function
+  | Scan { table; alias } -> Format.fprintf ppf "scan %s as %s" table alias
+  | Index_lookup { table; alias; column; key } ->
+      Format.fprintf ppf "index %s(%s=%a) as %s" table column Value.pp key alias
+  | Select (_, p) -> Format.fprintf ppf "@[<v2>select@,%a@]" pp_plan p
+  | Project (cols, p) ->
+      Format.fprintf ppf "@[<v2>project %s@,%a@]" (String.concat "," cols) pp_plan p
+  | Hash_join { left; right; on } ->
+      Format.fprintf ppf "@[<v2>hash-join %s@,%a@,%a@]"
+        (String.concat ","
+           (List.map (fun (a, b) -> Printf.sprintf "%s=%s" a b) on))
+        pp_plan left pp_plan right
+  | Nested_loop_join { left; right; _ } ->
+      Format.fprintf ppf "@[<v2>nl-join@,%a@,%a@]" pp_plan left pp_plan right
+  | Distinct p -> Format.fprintf ppf "@[<v2>distinct@,%a@]" pp_plan p
+  | Union (a, b) -> Format.fprintf ppf "@[<v2>union@,%a@,%a@]" pp_plan a pp_plan b
+  | Order_by (cols, p) ->
+      Format.fprintf ppf "@[<v2>order-by %s@,%a@]" (String.concat "," cols) pp_plan p
+  | Limit (n, p) -> Format.fprintf ppf "@[<v2>limit %d@,%a@]" n pp_plan p
+  | Rename (names, p) ->
+      Format.fprintf ppf "@[<v2>rename %s@,%a@]" (String.concat "," names) pp_plan p
+  | Group_by { keys; aggregates; input } ->
+      Format.fprintf ppf "@[<v2>group-by %s {%s}@,%a@]" (String.concat "," keys)
+        (String.concat ","
+           (List.map
+              (fun (fn, col, out) ->
+                Printf.sprintf "%s(%s) as %s"
+                  (match fn with
+                  | Count -> "count"
+                  | Min -> "min"
+                  | Max -> "max"
+                  | Sum -> "sum")
+                  col out)
+              aggregates))
+        pp_plan input

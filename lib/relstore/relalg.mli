@@ -1,0 +1,57 @@
+(** Physical operators of the mini relational engine.
+
+    Plans are evaluated eagerly to materialized {!Relation.t}s.  The
+    operator set is the classical select/project/join core plus distinct,
+    union, order-by, and index access — enough to express the tree-encoding
+    queries of the paper's relational implementation ([13]). *)
+
+type expr =
+  | Col of string  (** column reference *)
+  | Const of Value.t
+
+type pred =
+  | True
+  | Eq of expr * expr
+  | Neq of expr * expr
+  | Lt of expr * expr
+  | Le of expr * expr
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+type plan =
+  | Scan of { table : string; alias : string }
+      (** base table; columns exposed as ["alias.col"] *)
+  | Index_lookup of { table : string; alias : string; column : string; key : Value.t }
+      (** index access; [column] is the base column name *)
+  | Select of pred * plan
+  | Project of string list * plan
+  | Hash_join of { left : plan; right : plan; on : (string * string) list }
+      (** equi-join; [on] pairs (left column, right column) *)
+  | Nested_loop_join of { left : plan; right : plan; pred : pred }
+      (** theta-join fallback *)
+  | Distinct of plan
+  | Union of plan * plan
+      (** bag union; schemas must agree *)
+  | Order_by of string list * plan
+  | Limit of int * plan
+  | Rename of string list * plan
+      (** positional renaming of every output column; the list length
+          must equal the input arity — used to strip alias prefixes
+          before materializing temp tables *)
+  | Group_by of {
+      keys : string list;  (** grouping columns, kept in the output *)
+      aggregates : (aggregate * string * string) list;
+          (** (function, input column, output column name); for [Count]
+              the input column is ignored *)
+      input : plan;
+    }
+
+and aggregate = Count | Min | Max | Sum
+
+val eval : Database.t -> plan -> Relation.t
+(** @raise Not_found on unknown tables/columns/indexes.
+    @raise Invalid_argument on schema mismatches (union, name clashes in
+    joins). *)
+
+val pp_plan : Format.formatter -> plan -> unit

@@ -1,0 +1,44 @@
+type t = { schema : Schema.t; mutable rows : Value.t array list; mutable count : int }
+
+let create schema = { schema; rows = []; count = 0 }
+
+let check_arity t row =
+  if Array.length row <> Schema.arity t.schema then
+    invalid_arg
+      (Printf.sprintf "Relation: row arity %d does not match schema arity %d"
+         (Array.length row) (Schema.arity t.schema))
+
+let insert t row =
+  check_arity t row;
+  t.rows <- row :: t.rows;
+  t.count <- t.count + 1
+
+let of_rows schema rows =
+  let t = create schema in
+  List.iter (insert t) rows;
+  t.rows <- List.rev t.rows;
+  t
+
+let schema t = t.schema
+
+let cardinality t = t.count
+
+let rows t = t.rows
+
+let iter f t = List.iter f t.rows
+
+let fold f init t = List.fold_left f init t.rows
+
+let column_values t name =
+  let i = Schema.position t.schema name in
+  List.map (fun row -> row.(i)) t.rows
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@," Schema.pp t.schema;
+  iter
+    (fun row ->
+      Format.fprintf ppf "| ";
+      Array.iter (fun v -> Format.fprintf ppf "%a | " Value.pp v) row;
+      Format.fprintf ppf "@,")
+    t;
+  Format.fprintf ppf "(%d rows)@]" t.count

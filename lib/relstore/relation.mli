@@ -1,0 +1,33 @@
+(** Materialized relations: a schema plus a bag of tuples.
+
+    Tuples are value arrays positionally aligned with the schema.  The
+    engine is bag-semantics by default; {!distinct} collapses
+    duplicates. *)
+
+type t
+
+val create : Schema.t -> t
+
+val of_rows : Schema.t -> Value.t array list -> t
+(** @raise Invalid_argument if a row's arity mismatches the schema. *)
+
+val schema : t -> Schema.t
+
+val cardinality : t -> int
+
+val insert : t -> Value.t array -> unit
+(** Appends (mutates).  @raise Invalid_argument on arity mismatch. *)
+
+val rows : t -> Value.t array list
+(** In insertion order.  The arrays are the live tuples; callers must not
+    mutate them. *)
+
+val iter : (Value.t array -> unit) -> t -> unit
+
+val fold : ('a -> Value.t array -> 'a) -> 'a -> t -> 'a
+
+val column_values : t -> string -> Value.t list
+(** @raise Not_found if the column does not exist. *)
+
+val pp : Format.formatter -> t -> unit
+(** Tabular rendering, header plus rows. *)

@@ -1,0 +1,41 @@
+type ty = Tint | Ttext
+
+type t = { columns : (string * ty) array }
+
+let make cols =
+  let names = List.map fst cols in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Schema.make: duplicate column names";
+  { columns = Array.of_list cols }
+
+let columns t = Array.to_list t.columns
+
+let arity t = Array.length t.columns
+
+let position t name =
+  let rec go i =
+    if i >= Array.length t.columns then raise Not_found
+    else if String.equal (fst t.columns.(i)) name then i
+    else go (i + 1)
+  in
+  go 0
+
+let mem t name = match position t name with _ -> true | exception Not_found -> false
+
+let ty t name = snd t.columns.(position t name)
+
+let concat a b = make (columns a @ columns b)
+
+let rename ~prefix t =
+  { columns = Array.map (fun (n, ty) -> (prefix ^ "." ^ n, ty)) t.columns }
+
+let project t names = make (List.map (fun n -> (n, ty t n)) names)
+
+let equal a b = a.columns = b.columns
+
+let pp ppf t =
+  Format.fprintf ppf "(%s)"
+    (String.concat ", "
+       (List.map
+          (fun (n, ty) -> n ^ ":" ^ (match ty with Tint -> "int" | Ttext -> "text"))
+          (columns t)))

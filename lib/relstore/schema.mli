@@ -1,0 +1,32 @@
+(** Relation schemas: ordered, named, typed columns. *)
+
+type ty = Tint | Ttext
+
+type t
+
+val make : (string * ty) list -> t
+(** @raise Invalid_argument on duplicate column names. *)
+
+val columns : t -> (string * ty) list
+
+val arity : t -> int
+
+val position : t -> string -> int
+(** @raise Not_found if the column does not exist. *)
+
+val mem : t -> string -> bool
+
+val ty : t -> string -> ty
+
+val concat : t -> t -> t
+(** Schema of a join result.
+    @raise Invalid_argument on a column-name clash (rename first). *)
+
+val rename : prefix:string -> t -> t
+(** Prefix every column name with ["prefix."]. *)
+
+val project : t -> string list -> t
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,376 @@
+type statement = {
+  distinct : bool;
+  columns : string list option;
+  from : (string * string) list;
+  where : Relalg.pred;
+  order_by : string list;
+  limit : int option;
+}
+
+(* --- lexer ------------------------------------------------------------- *)
+
+type token =
+  | Ident of string  (** possibly qualified: a.id *)
+  | Int_lit of int
+  | Str_lit of string
+  | Comma
+  | Star
+  | Lparen
+  | Rparen
+  | Op of string  (** = <> < <= > >= *)
+  | Kw of string  (** upper-cased keyword *)
+
+let keywords =
+  [ "SELECT"; "DISTINCT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "ORDER"; "BY"; "LIMIT" ]
+
+exception Lex_error of string
+
+let lex input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let i = ref 0 in
+  let is_ident_char c =
+    match c with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' -> true
+    | _ -> false
+  in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = ',' then begin emit Comma; incr i end
+    else if c = '*' then begin emit Star; incr i end
+    else if c = '(' then begin emit Lparen; incr i end
+    else if c = ')' then begin emit Rparen; incr i end
+    else if c = '\'' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while not !closed do
+        if !i >= n then raise (Lex_error "unterminated string literal")
+        else if input.[!i] = '\'' then
+          if !i + 1 < n && input.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf input.[!i];
+          incr i
+        end
+      done;
+      emit (Str_lit (Buffer.contents buf))
+    end
+    else if c = '=' then begin emit (Op "="); incr i end
+    else if c = '<' then begin
+      if !i + 1 < n && input.[!i + 1] = '=' then begin emit (Op "<="); i := !i + 2 end
+      else if !i + 1 < n && input.[!i + 1] = '>' then begin emit (Op "<>"); i := !i + 2 end
+      else begin emit (Op "<"); incr i end
+    end
+    else if c = '>' then begin
+      if !i + 1 < n && input.[!i + 1] = '=' then begin emit (Op ">="); i := !i + 2 end
+      else begin emit (Op ">"); incr i end
+    end
+    else if c = '!' && !i + 1 < n && input.[!i + 1] = '=' then begin
+      emit (Op "<>");
+      i := !i + 2
+    end
+    else if (c >= '0' && c <= '9') || (c = '-' && !i + 1 < n && input.[!i + 1] >= '0' && input.[!i + 1] <= '9')
+    then begin
+      let start = !i in
+      incr i;
+      while !i < n && input.[!i] >= '0' && input.[!i] <= '9' do incr i done;
+      emit (Int_lit (int_of_string (String.sub input start (!i - start))))
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do incr i done;
+      let word = String.sub input start (!i - start) in
+      let upper = String.uppercase_ascii word in
+      if List.mem upper keywords then emit (Kw upper) else emit (Ident word)
+    end
+    else raise (Lex_error (Printf.sprintf "unexpected character %C" c))
+  done;
+  List.rev !tokens
+
+(* --- parser ------------------------------------------------------------- *)
+
+exception Parse_error of string
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> None | t :: _ -> Some t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect_kw st kw =
+  match peek st with
+  | Some (Kw k) when k = kw -> advance st
+  | _ -> raise (Parse_error (Printf.sprintf "expected %s" kw))
+
+let accept_kw st kw =
+  match peek st with
+  | Some (Kw k) when k = kw ->
+      advance st;
+      true
+  | _ -> false
+
+let ident st =
+  match peek st with
+  | Some (Ident s) ->
+      advance st;
+      s
+  | _ -> raise (Parse_error "expected an identifier")
+
+let rec parse_pred st = parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  if accept_kw st "OR" then Relalg.Or (left, parse_or st) else left
+
+and parse_and st =
+  let left = parse_unary st in
+  if accept_kw st "AND" then Relalg.And (left, parse_and st) else left
+
+and parse_unary st =
+  if accept_kw st "NOT" then Relalg.Not (parse_unary st)
+  else
+    match peek st with
+    | Some Lparen ->
+        advance st;
+        let p = parse_pred st in
+        (match peek st with
+        | Some Rparen -> advance st
+        | _ -> raise (Parse_error "expected ')'"));
+        p
+    | _ -> parse_comparison st
+
+and parse_expr st =
+  match peek st with
+  | Some (Ident s) ->
+      advance st;
+      Relalg.Col s
+  | Some (Int_lit v) ->
+      advance st;
+      Relalg.Const (Value.Int v)
+  | Some (Str_lit s) ->
+      advance st;
+      Relalg.Const (Value.Text s)
+  | _ -> raise (Parse_error "expected a column, number, or string")
+
+and parse_comparison st =
+  let left = parse_expr st in
+  match peek st with
+  | Some (Op op) ->
+      advance st;
+      let right = parse_expr st in
+      (match op with
+      | "=" -> Relalg.Eq (left, right)
+      | "<>" -> Relalg.Neq (left, right)
+      | "<" -> Relalg.Lt (left, right)
+      | "<=" -> Relalg.Le (left, right)
+      | ">" -> Relalg.Lt (right, left)
+      | ">=" -> Relalg.Le (right, left)
+      | _ -> raise (Parse_error (Printf.sprintf "unknown operator %s" op)))
+  | _ -> raise (Parse_error "expected a comparison operator")
+
+let parse_columns st =
+  match peek st with
+  | Some Star ->
+      advance st;
+      None
+  | _ ->
+      let rec go acc =
+        let c = ident st in
+        match peek st with
+        | Some Comma ->
+            advance st;
+            go (c :: acc)
+        | _ -> List.rev (c :: acc)
+      in
+      Some (go [])
+
+let parse_from st =
+  let rec go acc =
+    let table = ident st in
+    let alias =
+      match peek st with
+      | Some (Ident a) ->
+          advance st;
+          a
+      | _ -> table
+    in
+    match peek st with
+    | Some Comma ->
+        advance st;
+        go ((table, alias) :: acc)
+    | _ -> List.rev ((table, alias) :: acc)
+  in
+  go []
+
+let parse s =
+  match
+    let st = { toks = lex s } in
+    expect_kw st "SELECT";
+    let distinct = accept_kw st "DISTINCT" in
+    let columns = parse_columns st in
+    expect_kw st "FROM";
+    let from = parse_from st in
+    let where = if accept_kw st "WHERE" then parse_pred st else Relalg.True in
+    let order_by =
+      if accept_kw st "ORDER" then begin
+        expect_kw st "BY";
+        let rec go acc =
+          let c = ident st in
+          match peek st with
+          | Some Comma ->
+              advance st;
+              go (c :: acc)
+          | _ -> List.rev (c :: acc)
+        in
+        go []
+      end
+      else []
+    in
+    let limit =
+      if accept_kw st "LIMIT" then begin
+        match peek st with
+        | Some (Int_lit v) ->
+            advance st;
+            Some v
+        | _ -> raise (Parse_error "expected a number after LIMIT")
+      end
+      else None
+    in
+    (match st.toks with
+    | [] -> ()
+    | _ -> raise (Parse_error "trailing tokens after the statement"));
+    { distinct; columns; from; where; order_by; limit }
+  with
+  | stmt -> Ok stmt
+  | exception Lex_error msg -> Error ("lexical error: " ^ msg)
+  | exception Parse_error msg -> Error ("parse error: " ^ msg)
+
+(* --- compiler ------------------------------------------------------------- *)
+
+let alias_of_column col =
+  match String.index_opt col '.' with
+  | Some i -> Some (String.sub col 0 i)
+  | None -> None
+
+(* Aliases referenced by a predicate. *)
+let rec pred_aliases = function
+  | Relalg.True -> []
+  | Relalg.Eq (a, b) | Relalg.Neq (a, b) | Relalg.Lt (a, b) | Relalg.Le (a, b) ->
+      expr_aliases a @ expr_aliases b
+  | Relalg.And (p, q) | Relalg.Or (p, q) -> pred_aliases p @ pred_aliases q
+  | Relalg.Not p -> pred_aliases p
+
+and expr_aliases = function
+  | Relalg.Col c -> ( match alias_of_column c with Some a -> [ a ] | None -> [])
+  | Relalg.Const _ -> []
+
+let conjuncts pred =
+  let rec go acc = function
+    | Relalg.And (p, q) -> go (go acc p) q
+    | Relalg.True -> acc
+    | p -> p :: acc
+  in
+  List.rev (go [] pred)
+
+let conjoin = function
+  | [] -> Relalg.True
+  | p :: rest -> List.fold_left (fun acc q -> Relalg.And (acc, q)) p rest
+
+let compile stmt =
+  match stmt.from with
+  | [] -> Error "FROM list is empty"
+  | (t0, a0) :: rest ->
+      let parts = conjuncts stmt.where in
+      (* Partition the conjuncts: single-alias predicates are pushed to
+         their table scan; two-alias equalities become hash-join keys;
+         the rest is a final selection. *)
+      let local : (string, Relalg.pred list) Hashtbl.t = Hashtbl.create 8 in
+      let joins = ref [] in
+      let residual = ref [] in
+      List.iter
+        (fun p ->
+          match (p, List.sort_uniq String.compare (pred_aliases p)) with
+          | _, [ a ] ->
+              Hashtbl.replace local a (p :: Option.value ~default:[] (Hashtbl.find_opt local a))
+          | Relalg.Eq (Relalg.Col c1, Relalg.Col c2), [ _; _ ] ->
+              joins := (c1, c2) :: !joins
+          | _, _ -> residual := p :: !residual)
+        parts;
+      let scan (table, alias) =
+        let base = Relalg.Scan { table; alias } in
+        match Hashtbl.find_opt local alias with
+        | None | Some [] -> base
+        | Some ps -> Relalg.Select (conjoin ps, base)
+      in
+      let joined_aliases = ref [ a0 ] in
+      let plan = ref (scan (t0, a0)) in
+      List.iter
+        (fun (table, alias) ->
+          let right = scan (table, alias) in
+          (* Join keys usable now: one side references an alias already
+             joined, the other references this new alias. *)
+          let usable, later =
+            List.partition
+              (fun (c1, c2) ->
+                let a1 = alias_of_column c1 and a2 = alias_of_column c2 in
+                match (a1, a2) with
+                | Some a1, Some a2 ->
+                    (List.mem a1 !joined_aliases && a2 = alias)
+                    || (List.mem a2 !joined_aliases && a1 = alias)
+                | _ -> false)
+              !joins
+          in
+          joins := later;
+          (if usable = [] then
+             plan :=
+               Relalg.Nested_loop_join { left = !plan; right; pred = Relalg.True }
+           else begin
+             let on =
+               List.map
+                 (fun (c1, c2) ->
+                   if alias_of_column c2 = Some alias then (c1, c2) else (c2, c1))
+                 usable
+             in
+             plan := Relalg.Hash_join { left = !plan; right; on }
+           end);
+          joined_aliases := alias :: !joined_aliases)
+        rest;
+      (* Unused join conditions (e.g. both sides in the same table pair
+         already joined) and residual predicates become a selection. *)
+      let leftover_joins =
+        List.map (fun (c1, c2) -> Relalg.Eq (Relalg.Col c1, Relalg.Col c2)) !joins
+      in
+      let final_pred = conjoin (leftover_joins @ List.rev !residual) in
+      let plan =
+        if final_pred = Relalg.True then !plan else Relalg.Select (final_pred, !plan)
+      in
+      let plan =
+        match stmt.columns with None -> plan | Some cols -> Relalg.Project (cols, plan)
+      in
+      let plan = if stmt.distinct then Relalg.Distinct plan else plan in
+      let plan =
+        if stmt.order_by = [] then plan else Relalg.Order_by (stmt.order_by, plan)
+      in
+      let plan = match stmt.limit with None -> plan | Some n -> Relalg.Limit (n, plan) in
+      Ok plan
+
+let run db sql =
+  match parse sql with
+  | Error e -> Error e
+  | Ok stmt -> (
+      match compile stmt with
+      | Error e -> Error e
+      | Ok plan -> (
+          match Relalg.eval db plan with
+          | rel -> Ok rel
+          | exception Not_found -> Error "unknown table or column"
+          | exception Invalid_argument msg -> Error msg))

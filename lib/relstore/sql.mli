@@ -1,0 +1,41 @@
+(** A small SQL front-end over the mini relational engine.
+
+    The paper's relational companion ([13]) expresses the tree encoding
+    as SQL over node/keyword tables; this module provides exactly enough
+    SQL to write those queries by hand (the CLI exposes it as
+    [xfrag sql]):
+
+    {v
+    SELECT [DISTINCT] cols | *
+    FROM table alias [, table alias]*
+    [WHERE predicate]
+    [ORDER BY col [, col]*]
+    [LIMIT n]
+    v}
+
+    Columns are alias-qualified ([a.id]).  Predicates combine [=], [<>],
+    [<], [<=], [>], [>=] over columns, integer literals, and
+    single-quoted strings with [AND], [OR], [NOT], and parentheses.
+
+    The compiler plans cross products as hash joins when the predicate
+    supplies cross-table equality conditions, pushes single-table
+    conjuncts below the join, and leaves the rest as a selection. *)
+
+type statement = {
+  distinct : bool;
+  columns : string list option;  (** [None] = [SELECT *] *)
+  from : (string * string) list;  (** (table, alias), in FROM order *)
+  where : Relalg.pred;
+  order_by : string list;
+  limit : int option;
+}
+
+val parse : string -> (statement, string) result
+
+val compile : statement -> (Relalg.plan, string) result
+(** Plans the statement.  Fails on an empty FROM list (the parser never
+    produces one) or other structural problems. *)
+
+val run : Database.t -> string -> (Relation.t, string) result
+(** [parse] + [compile] + {!Relalg.eval}, catching unknown
+    table/column errors as [Error]. *)

@@ -1,0 +1,36 @@
+type t = Int of int | Text of string | Null
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Text x, Text y -> String.equal x y
+  | Null, Null -> true
+  | (Int _ | Text _ | Null), _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Null, (Int _ | Text _) -> -1
+  | (Int _ | Text _), Null -> 1
+  | Int x, Int y -> Stdlib.compare x y
+  | Int _, Text _ -> -1
+  | Text _, Int _ -> 1
+  | Text x, Text y -> String.compare x y
+
+let to_int = function
+  | Int x -> x
+  | Text _ | Null -> invalid_arg "Value.to_int: not an integer"
+
+let to_text = function
+  | Text s -> s
+  | Int _ | Null -> invalid_arg "Value.to_text: not a text value"
+
+let hash = function
+  | Null -> 0
+  | Int x -> x * 0x9e3779b1
+  | Text s -> Hashtbl.hash s
+
+let pp ppf = function
+  | Int x -> Format.pp_print_int ppf x
+  | Text s -> Format.fprintf ppf "%S" s
+  | Null -> Format.pp_print_string ppf "NULL"

@@ -1,0 +1,18 @@
+(** Scalar values of the mini relational engine. *)
+
+type t = Int of int | Text of string | Null
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order: Null < Int _ < Text _. *)
+
+val to_int : t -> int
+(** @raise Invalid_argument unless the value is an [Int]. *)
+
+val to_text : t -> string
+(** @raise Invalid_argument unless the value is a [Text]. *)
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    Benchmarks and workload generators must be reproducible across runs
+    and machines, so we avoid [Random] and use an explicit-state
+    splitmix64 generator.  The sequence for a given seed is fixed
+    forever. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes an independent generator. *)
+
+val copy : t -> t
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** Derive an independent child generator (gamma-mixing). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.
+    @raise Invalid_argument on an empty array. *)

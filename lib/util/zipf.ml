@@ -1,0 +1,33 @@
+type t = { cdf : float array }
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if s < 0.0 then invalid_arg "Zipf.create: s must be non-negative";
+  let w = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let acc = ref 0.0 in
+  let cdf =
+    Array.map
+      (fun x ->
+        acc := !acc +. (x /. total);
+        !acc)
+      w
+  in
+  cdf.(n - 1) <- 1.0;
+  { cdf }
+
+let size t = Array.length t.cdf
+
+let sample t prng =
+  let u = Prng.float prng 1.0 in
+  (* Binary search for the first rank whose cdf exceeds u. *)
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let probability t r =
+  if r < 0 || r >= Array.length t.cdf then invalid_arg "Zipf.probability: rank out of range";
+  if r = 0 then t.cdf.(0) else t.cdf.(r) -. t.cdf.(r - 1)

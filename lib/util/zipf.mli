@@ -1,0 +1,21 @@
+(** Zipf-distributed sampling over ranks [0 .. n-1].
+
+    Document-centric text has heavily skewed term frequencies; the
+    workload generator draws vocabulary terms from this distribution so
+    that keyword selectivities span several orders of magnitude, as they
+    do in real corpora such as INEX. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** [create ~n ~s] prepares a sampler over ranks [0..n-1] with exponent
+    [s] (s = 0 is uniform; s ≈ 1 is classic Zipf).
+    @raise Invalid_argument if [n <= 0] or [s < 0]. *)
+
+val sample : t -> Prng.t -> int
+(** Draw a rank; rank 0 is the most frequent. *)
+
+val probability : t -> int -> float
+(** [probability t r] is the probability mass of rank [r]. *)
+
+val size : t -> int

@@ -1,0 +1,170 @@
+module Doctree = Xfrag_doctree.Doctree
+module Prng = Xfrag_util.Prng
+module Zipf = Xfrag_util.Zipf
+module Context = Xfrag_core.Context
+
+type config = {
+  seed : int;
+  sections : int;
+  subsections_per_section : int;
+  subsubsections_per_subsection : int;
+  paragraphs_per_container : int;
+  words_per_paragraph : int;
+  vocabulary_size : int;
+  zipf_exponent : float;
+}
+
+let default =
+  {
+    seed = 42;
+    sections = 5;
+    subsections_per_section = 3;
+    subsubsections_per_subsection = 0;
+    paragraphs_per_container = 6;
+    words_per_paragraph = 40;
+    vocabulary_size = 1000;
+    zipf_exponent = 1.0;
+  }
+
+let deep =
+  {
+    default with
+    sections = 3;
+    subsections_per_section = 2;
+    subsubsections_per_subsection = 3;
+    paragraphs_per_container = 3;
+    words_per_paragraph = 25;
+  }
+
+let wide =
+  {
+    default with
+    sections = 14;
+    subsections_per_section = 0;
+    paragraphs_per_container = 10;
+  }
+
+let term r = Printf.sprintf "term%04d" r
+
+(* mean ± 50%; at least 1 for positive means, 0 stays 0 *)
+let jitter prng mean =
+  if mean <= 0 then 0
+  else if mean = 1 then 1
+  else begin
+    let half = max 1 (mean / 2) in
+    max 1 (mean - half + Prng.int prng (2 * half + 1))
+  end
+
+let paragraph_text prng zipf words =
+  let buf = Buffer.create (words * 9) in
+  for i = 0 to words - 1 do
+    if i > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (term (Zipf.sample zipf prng))
+  done;
+  Buffer.contents buf
+
+let title_text prng zipf =
+  paragraph_text prng zipf (3 + Prng.int prng 4)
+
+let generate cfg =
+  if cfg.sections < 1 then invalid_arg "Docgen.generate: sections must be positive";
+  let prng = Prng.create cfg.seed in
+  let zipf = Zipf.create ~n:cfg.vocabulary_size ~s:cfg.zipf_exponent in
+  let specs = ref [] in
+  let counter = ref 0 in
+  let add parent label text =
+    let id = !counter in
+    incr counter;
+    specs :=
+      { Doctree.spec_id = id; spec_parent = parent; spec_label = label; spec_text = text }
+      :: !specs;
+    id
+  in
+  let add_paragraphs parent =
+    let n = jitter prng cfg.paragraphs_per_container in
+    for _ = 1 to n do
+      ignore
+        (add parent "par" (paragraph_text prng zipf (jitter prng cfg.words_per_paragraph)))
+    done
+  in
+  let root = add (-1) "article" "" in
+  ignore (add root "title" (title_text prng zipf));
+  for _ = 1 to cfg.sections do
+    let sec = add root "section" "" in
+    ignore (add sec "title" (title_text prng zipf));
+    add_paragraphs sec;
+    let subs = jitter prng cfg.subsections_per_section in
+    for _ = 1 to subs do
+      let sub = add sec "subsection" "" in
+      ignore (add sub "title" (title_text prng zipf));
+      add_paragraphs sub;
+      let subsubs = jitter prng cfg.subsubsections_per_subsection in
+      for _ = 1 to subsubs do
+        let subsub = add sub "subsubsection" "" in
+        ignore (add subsub "title" (title_text prng zipf));
+        add_paragraphs subsub
+      done
+    done
+  done;
+  Doctree.of_specs !specs
+
+let generate_context cfg = Context.create (generate cfg)
+
+let generate_xml cfg =
+  let tree = generate cfg in
+  let rec build n =
+    let kids = List.map build (Doctree.children tree n) in
+    let text = Doctree.text tree n in
+    let content =
+      if String.trim text = "" then kids else Xfrag_xml.Xml_dom.text text :: kids
+    in
+    Xfrag_xml.Xml_dom.element (Doctree.label tree n) content
+  in
+  match build 0 with
+  | Xfrag_xml.Xml_dom.Element root ->
+      Xfrag_xml.Xml_printer.to_string { Xfrag_xml.Xml_dom.root; prolog_pis = [] }
+  | Xfrag_xml.Xml_dom.Text _ | Xfrag_xml.Xml_dom.Comment _ | Xfrag_xml.Xml_dom.Pi _ ->
+      assert false
+
+let with_planted_keywords cfg ~plant =
+  let tree = generate cfg in
+  let paragraphs =
+    Doctree.fold
+      (fun acc n -> if Doctree.label tree n = "par" then n :: acc else acc)
+      [] tree
+    |> List.rev |> Array.of_list
+  in
+  let prng = Prng.create (cfg.seed + 7919) in
+  (* Rebuild specs with the planted keywords appended to chosen nodes. *)
+  let extra : (int, string list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (keyword, count) ->
+      if count > Array.length paragraphs then
+        invalid_arg
+          (Printf.sprintf
+             "Docgen.with_planted_keywords: %d occurrences of %S requested but \
+              only %d paragraphs exist"
+             count keyword (Array.length paragraphs));
+      let slots = Array.copy paragraphs in
+      Prng.shuffle prng slots;
+      for i = 0 to count - 1 do
+        let n = slots.(i) in
+        Hashtbl.replace extra n
+          (keyword :: Option.value ~default:[] (Hashtbl.find_opt extra n))
+      done)
+    plant;
+  let specs =
+    List.init (Doctree.size tree) (fun id ->
+        let text =
+          match Hashtbl.find_opt extra id with
+          | None -> Doctree.text tree id
+          | Some ks -> Doctree.text tree id ^ " " ^ String.concat " " ks
+        in
+        {
+          Doctree.spec_id = id;
+          spec_parent = (match Doctree.parent tree id with None -> -1 | Some p -> p);
+          spec_label = Doctree.label tree id;
+          spec_text = text;
+        })
+  in
+  Doctree.of_specs specs

@@ -1,0 +1,55 @@
+(** Synthetic document-centric XML generator.
+
+    Substitutes for the real narrative corpora (e.g. INEX) that the
+    paper's setting assumes: article / section / subsection / paragraph
+    hierarchies with titles, and paragraph text drawn from a synthetic
+    vocabulary under a Zipf distribution, so keyword selectivities span
+    orders of magnitude as in real text.  Fully deterministic for a given
+    config (explicit-state PRNG). *)
+
+type config = {
+  seed : int;
+  sections : int;
+  subsections_per_section : int;  (** mean; actual is mean ± 50% *)
+  subsubsections_per_subsection : int;
+      (** mean; 0 disables the fourth structural level *)
+  paragraphs_per_container : int;  (** mean, per section and subsection *)
+  words_per_paragraph : int;  (** mean *)
+  vocabulary_size : int;
+  zipf_exponent : float;
+}
+
+val default : config
+(** 5 sections, 3 subsections each, no subsubsections, 6 paragraphs per
+    container, 40 words per paragraph, 1000-term vocabulary, exponent
+    1.0, seed 42. *)
+
+val deep : config
+(** An INEX-article-like profile: fewer, deeper sections with
+    subsubsection nesting and shorter paragraphs — exercises taller
+    fragment shapes. *)
+
+val wide : config
+(** A flat profile: many sections, no subsections — exercises wide
+    fanouts and long sibling runs. *)
+
+val term : int -> string
+(** [term r] is the synthetic vocabulary word of Zipf rank [r]
+    (["term0000"] is the most frequent). *)
+
+val generate : config -> Xfrag_doctree.Doctree.t
+
+val generate_context : config -> Xfrag_core.Context.t
+
+val generate_xml : config -> string
+(** The same document as XML text. *)
+
+val with_planted_keywords :
+  config ->
+  plant:(string * int) list ->
+  Xfrag_doctree.Doctree.t
+(** Generate, then append each keyword to the text of [count] paragraph
+    nodes chosen deterministically, so tests and benches can control
+    posting-list sizes exactly.  The planted words are fresh (not in the
+    synthetic vocabulary).
+    @raise Invalid_argument if a count exceeds the number of paragraphs. *)

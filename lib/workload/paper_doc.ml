@@ -1,0 +1,142 @@
+module Doctree = Xfrag_doctree.Doctree
+module Dom = Xfrag_xml.Xml_dom
+module Printer = Xfrag_xml.Xml_printer
+module Context = Xfrag_core.Context
+
+let spec id parent label text =
+  { Doctree.spec_id = id; spec_parent = parent; spec_label = label; spec_text = text }
+
+(* Filler prose for nodes the paper leaves unspecified.  None of these
+   sentences may contain the tokens 'xquery' or 'optimization', which
+   must occur in exactly the nodes the paper prescribes. *)
+let filler_sentences =
+  [|
+    "Structured documents interleave narrative text with explicit markup.";
+    "A retrieval unit should be self contained and readable on its own.";
+    "Element boundaries rarely align with the granularity users expect.";
+    "Path expressions describe structure but not topical relevance.";
+    "Inverted files map terms to the components in which they occur.";
+    "Logical components nest to arbitrary depth in real articles.";
+    "Relevance judgements in element retrieval remain contentious.";
+    "Schema information is often absent from narrative collections.";
+    "Tag names describe layout roles rather than domain semantics.";
+    "Users prefer concise answers over entire documents.";
+    "Fragment granularity trades recall against readability.";
+    "Processing cost grows quickly with the number of candidate answers.";
+  |]
+
+let filler i = filler_sentences.(i mod Array.length filler_sentences)
+
+let figure1_specs () =
+  let pars parent lo hi =
+    List.init (hi - lo + 1) (fun i -> spec (lo + i) parent "par" (filler (lo + i)))
+  in
+  List.concat
+    [
+      [ spec 0 (-1) "article" "" ];
+      [ spec 1 0 "section" "" ];
+      [ spec 2 1 "title" "Processing Declarative Queries over Structured Text" ];
+      pars 1 3 13;
+      [ spec 14 1 "subsection" "" ];
+      [ spec 15 14 "title" "Evaluation Strategies for Declarative Queries" ];
+      [
+        spec 16 14 "subsubsection"
+          "Approaches to cost based optimization of declarative query languages";
+        spec 17 16 "par"
+          "The XQuery language admits systematic optimization through algebraic \
+           rewriting of its core expressions.";
+        spec 18 16 "par"
+          "Static typing in XQuery further narrows the search space considered \
+           by the planner.";
+      ];
+      pars 14 19 28;
+      [ spec 29 0 "section" "" ];
+      [ spec 30 29 "title" "Storage Models for Hierarchical Data" ];
+      pars 29 31 41;
+      [ spec 42 29 "subsection" "" ];
+      [ spec 43 42 "title" "Indexing Element Paths" ];
+      pars 42 44 53;
+      [ spec 54 0 "section" "" ];
+      [ spec 55 54 "title" "Ranking and Relevance in Element Retrieval" ];
+      pars 54 56 66;
+      [ spec 67 54 "subsection" "" ];
+      [ spec 68 67 "title" "Evaluation Benchmarks" ];
+      pars 67 69 78;
+      [ spec 79 0 "section" "" ];
+      [ spec 80 79 "subsection" "" ];
+      [
+        spec 81 80 "par"
+          "Heuristic optimization of physical operator trees remains effective \
+           when statistics are stale.";
+      ];
+    ]
+
+let figure1 () = Doctree.of_specs (figure1_specs ())
+
+let figure1_context () = Context.create (figure1 ())
+
+let dom_of_tree tree =
+  let rec build n =
+    let kids = List.map build (Doctree.children tree n) in
+    let text = Doctree.text tree n in
+    let content = if String.trim text = "" then kids else Dom.text text :: kids in
+    Dom.element (Doctree.label tree n) content
+  in
+  match build 0 with
+  | Dom.Element root -> { Dom.root; prolog_pis = [] }
+  | Dom.Text _ | Dom.Comment _ | Dom.Pi _ -> assert false
+
+let figure1_xml () = Printer.to_string (dom_of_tree (figure1 ()))
+
+let figure3 () =
+  Doctree.of_specs
+    [
+      spec 0 (-1) "n" "";
+      spec 1 0 "n" "";
+      spec 2 1 "n" "";
+      spec 3 0 "n" "";
+      spec 4 3 "n" "";
+      spec 5 4 "n" "";
+      spec 6 3 "n" "";
+      spec 7 6 "n" "";
+      spec 8 7 "n" "";
+      spec 9 7 "n" "";
+    ]
+
+let figure3_context () = Context.create (figure3 ())
+
+let figure4 () =
+  Doctree.of_specs
+    [
+      spec 0 (-1) "n" "";
+      spec 1 0 "n" "";
+      spec 2 1 "n" "";
+      spec 3 0 "n" "";
+      spec 4 3 "n" "";
+      spec 5 3 "n" "";
+      spec 6 0 "n" "";
+      spec 7 6 "n" "";
+    ]
+
+let figure4_context () = Context.create (figure4 ())
+
+let query_keywords = [ "xquery"; "optimization" ]
+
+let fragment_of_interest = [ 16; 17; 18 ]
+
+let table1_rows =
+  [
+    ([ [ 17 ]; [ 18 ] ], [ 16; 17; 18 ]);
+    ([ [ 16 ]; [ 17 ] ], [ 16; 17 ]);
+    ([ [ 16 ]; [ 18 ] ], [ 16; 18 ]);
+    ([ [ 17 ] ], [ 17 ]);
+    ([ [ 17 ]; [ 81 ] ], [ 0; 1; 14; 16; 17; 79; 80; 81 ]);
+    ([ [ 18 ]; [ 81 ] ], [ 0; 1; 14; 16; 18; 79; 80; 81 ]);
+    ([ [ 17 ]; [ 18 ]; [ 81 ] ], [ 0; 1; 14; 16; 17; 18; 79; 80; 81 ]);
+    ([ [ 16 ]; [ 17 ]; [ 18 ] ], [ 16; 17; 18 ]);
+    ([ [ 16 ]; [ 17 ]; [ 81 ] ], [ 0; 1; 14; 16; 17; 79; 80; 81 ]);
+    ([ [ 16 ]; [ 18 ]; [ 81 ] ], [ 0; 1; 14; 16; 18; 79; 80; 81 ]);
+    ([ [ 16 ]; [ 17 ]; [ 18 ]; [ 81 ] ], [ 0; 1; 14; 16; 17; 18; 79; 80; 81 ]);
+  ]
+
+let table1_irrelevant_rows = [ 5; 6; 7; 9; 10; 11 ]

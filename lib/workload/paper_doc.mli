@@ -1,0 +1,54 @@
+(** The paper's figures as concrete documents.
+
+    The running example (Figure 1 / Figure 8) is an 82-node
+    document-centric article, nodes n0…n81.  The paper prescribes only
+    part of the structure; the rest is filler that respects every stated
+    constraint:
+
+    - parent chains n17→n16→n14→n1→n0 and n81→n80→n79→n0
+      (from the joins in Table 1);
+    - keyword [xquery] occurs in exactly \{n17, n18\} and keyword
+      [optimization] in exactly \{n16, n17, n81\} (the F1 and F2 of §4);
+    - n16's children include n17 and n18, so that f17 ⋈ f18 =
+      ⟨n16, n17, n18⟩ — the paper's fragment of interest;
+    - node ids are pre-order ranks of an article/section/subsection/
+      paragraph hierarchy, 82 nodes in total. *)
+
+val figure1 : unit -> Xfrag_doctree.Doctree.t
+(** The Figure 1 document tree. *)
+
+val figure1_context : unit -> Xfrag_core.Context.t
+
+val figure1_xml : unit -> string
+(** The same document serialized as XML text (round-trips through the
+    parser to an identical tree; tested). *)
+
+val figure3 : unit -> Xfrag_doctree.Doctree.t
+(** The 10-node tree of Figure 3(a): n0 root; n1→n2; n3 with children n4
+    (→n5) and n6 (→n7 with children n8, n9).  Fragment join of ⟨n4,n5⟩
+    and ⟨n7,n9⟩ is ⟨n3,n4,n5,n6,n7,n9⟩ as in Figure 3(b). *)
+
+val figure3_context : unit -> Xfrag_core.Context.t
+
+val figure4 : unit -> Xfrag_doctree.Doctree.t
+(** The 8-node tree behind Figure 4: n0 root with children n1 (→n2), n3
+    (→n4, n5), n6 (→n7).  The set \{⟨n1⟩,⟨n3⟩,⟨n5⟩,⟨n6⟩,⟨n7⟩\} reduces to
+    \{⟨n1⟩,⟨n5⟩,⟨n7⟩\}. *)
+
+val figure4_context : unit -> Xfrag_core.Context.t
+
+val query_keywords : string list
+(** ["xquery"; "optimization"] — the running example query. *)
+
+val fragment_of_interest : int list
+(** [n16; n17; n18] — Figure 8(b). *)
+
+val table1_rows : (int list list * int list) list
+(** Table 1 verbatim: for each row, the list of input fragments (each a
+    node-id list) to be joined, and the expected output fragment.  Rows
+    appear in the paper's order, so rows 1–7 (indices 0–6) are the unique
+    outputs and rows 8–11 are the duplicates. *)
+
+val table1_irrelevant_rows : int list
+(** 1-based row numbers marked "Irrelevant (to be filtered)" in Table 1
+    under the size ≤ 3 filter: rows 5, 6, 7, 9, 10, 11. *)

@@ -1,0 +1,48 @@
+module Prng = Xfrag_util.Prng
+module Inverted_index = Xfrag_doctree.Inverted_index
+module Context = Xfrag_core.Context
+module Query = Xfrag_core.Query
+
+type spec = { keyword_count : int; min_postings : int; max_postings : int }
+
+let band_vocabulary (ctx : Context.t) spec =
+  Inverted_index.vocabulary ctx.index
+  |> List.filter (fun k ->
+         let c = Inverted_index.node_count ctx.index k in
+         c >= spec.min_postings && c <= spec.max_postings)
+  |> Array.of_list
+
+let pick_keywords ~seed spec ctx =
+  let vocab = band_vocabulary ctx spec in
+  if Array.length vocab < spec.keyword_count then None
+  else begin
+    let prng = Prng.create seed in
+    let pool = Array.copy vocab in
+    Prng.shuffle prng pool;
+    Some (Array.to_list (Array.sub pool 0 spec.keyword_count))
+  end
+
+let queries ~seed ~count ?(filter = Xfrag_core.Filter.True) spec ctx =
+  let vocab = band_vocabulary ctx spec in
+  if Array.length vocab < spec.keyword_count then []
+  else begin
+    let prng = Prng.create seed in
+    let seen = Hashtbl.create count in
+    let out = ref [] in
+    let attempts = ref 0 in
+    while List.length !out < count && !attempts < count * 20 do
+      incr attempts;
+      let pool = Array.copy vocab in
+      Prng.shuffle prng pool;
+      let ks =
+        Array.sub pool 0 spec.keyword_count |> Array.to_list
+        |> List.sort String.compare
+      in
+      let key = String.concat "," ks in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        out := Query.make ~filter ks :: !out
+      end
+    done;
+    List.rev !out
+  end

@@ -1,0 +1,25 @@
+(** Deterministic query workloads over a generated document.
+
+    Draws query keywords from the document's own vocabulary, constrained
+    to a posting-list size band so experiments can control keyword
+    selectivity (rare vs. frequent terms). *)
+
+type spec = {
+  keyword_count : int;  (** keywords per query *)
+  min_postings : int;  (** smallest acceptable posting-list length *)
+  max_postings : int;  (** largest acceptable posting-list length *)
+}
+
+val pick_keywords :
+  seed:int -> spec -> Xfrag_core.Context.t -> string list option
+(** One keyword set satisfying the band, or [None] if the vocabulary
+    cannot supply [keyword_count] distinct terms in the band. *)
+
+val queries :
+  seed:int ->
+  count:int ->
+  ?filter:Xfrag_core.Filter.t ->
+  spec ->
+  Xfrag_core.Context.t ->
+  Xfrag_core.Query.t list
+(** Up to [count] distinct queries (fewer if the band is too narrow). *)

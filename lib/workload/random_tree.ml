@@ -1,0 +1,72 @@
+module Doctree = Xfrag_doctree.Doctree
+module Prng = Xfrag_util.Prng
+module Context = Xfrag_core.Context
+module Fragment = Xfrag_core.Fragment
+module Frag_set = Xfrag_core.Frag_set
+
+let tree ~seed ~size =
+  if size < 1 then invalid_arg "Random_tree.tree: size must be positive";
+  let prng = Prng.create seed in
+  (* Pre-order requires each new node to attach somewhere on the
+     rightmost path (any other parent would already have a later
+     subtree).  Drawing the attachment point from the shallow end vs. the
+     deep end of that path mixes wide fanouts with deep chains. *)
+  let parents = Array.make size (-1) in
+  let rightmost = ref [ 0 ] in
+  for id = 1 to size - 1 do
+    let path = Array.of_list !rightmost in
+    let k = Prng.int prng (min (Array.length path) 4) in
+    let parent = path.(k) in
+    parents.(id) <- parent;
+    (* New node becomes the deepest element of the rightmost path; drop
+       everything deeper than its parent. *)
+    let rec drop = function
+      | p :: rest when p <> parent -> drop rest
+      | l -> l
+    in
+    rightmost := id :: drop !rightmost
+  done;
+  let prng_text = Prng.create (seed + 1) in
+  Doctree.of_specs
+    (List.init size (fun id ->
+         let shared = Printf.sprintf "tok%d" (Prng.int prng_text 8) in
+         {
+           Doctree.spec_id = id;
+           spec_parent = parents.(id);
+           spec_label = (if id = 0 then "root" else "node");
+           spec_text = Printf.sprintf "id%d %s" id shared;
+         }))
+
+let context ~seed ~size = Context.create (tree ~seed ~size)
+
+let fragment (ctx : Context.t) prng =
+  let n = Doctree.size ctx.tree in
+  let start = Prng.int prng n in
+  let members = Hashtbl.create 8 in
+  Hashtbl.replace members start ();
+  let grow_steps = Prng.int prng 6 in
+  for _ = 1 to grow_steps do
+    (* Candidate neighbours: parents and children of current members. *)
+    let candidates =
+      Hashtbl.fold
+        (fun m () acc ->
+          let acc =
+            match Doctree.parent ctx.tree m with
+            | Some p when not (Hashtbl.mem members p) -> p :: acc
+            | Some _ | None -> acc
+          in
+          List.fold_left
+            (fun acc c -> if Hashtbl.mem members c then acc else c :: acc)
+            acc
+            (Doctree.children ctx.tree m))
+        members []
+    in
+    match candidates with
+    | [] -> ()
+    | cs -> Hashtbl.replace members (Prng.choose prng (Array.of_list cs)) ()
+  done;
+  Fragment.of_nodes ctx (Hashtbl.fold (fun m () acc -> m :: acc) members [])
+
+let fragment_set ctx prng ~max_fragments =
+  let count = 1 + Prng.int prng max_fragments in
+  Frag_set.of_list (List.init count (fun _ -> fragment ctx prng))

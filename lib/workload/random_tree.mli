@@ -1,0 +1,25 @@
+(** Random trees and random fragments for property-based tests.
+
+    These are the generators behind the qcheck properties that validate
+    the algebraic laws (idempotency, commutativity, associativity,
+    absorption, Theorems 1–3) on arbitrary shapes, not just the paper's
+    figures. *)
+
+val tree : seed:int -> size:int -> Xfrag_doctree.Doctree.t
+(** A random tree with [size] nodes: each node's parent is drawn
+    uniformly from a bounded-depth window of earlier nodes, giving
+    realistic mixes of deep chains and wide fanouts.  Node texts embed
+    the node id as token [idN] plus a few shared tokens, so keyword
+    queries have controllable matches.
+    @raise Invalid_argument if [size < 1]. *)
+
+val context : seed:int -> size:int -> Xfrag_core.Context.t
+
+val fragment : Xfrag_core.Context.t -> Xfrag_util.Prng.t -> Xfrag_core.Fragment.t
+(** A uniform-ish random connected fragment: pick a random node, then
+    grow by repeatedly adding a random neighbour (parent or child of a
+    member) a random number of times. *)
+
+val fragment_set :
+  Xfrag_core.Context.t -> Xfrag_util.Prng.t -> max_fragments:int -> Xfrag_core.Frag_set.t
+(** A random set of 1..[max_fragments] random fragments. *)

@@ -1,0 +1,153 @@
+module Doctree = Xfrag_doctree.Doctree
+
+type pattern =
+  | Colocated_plus_context
+  | Sibling_split
+  | Title_body
+  | Same_node
+  | Cousins
+
+type topic = { tree : Xfrag_doctree.Doctree.t; keywords : string list; target : int list }
+
+let pattern_name = function
+  | Colocated_plus_context -> "colocated+context"
+  | Sibling_split -> "sibling-split"
+  | Title_body -> "title-body"
+  | Same_node -> "same-node"
+  | Cousins -> "cousins"
+
+let all_patterns =
+  [ Colocated_plus_context; Sibling_split; Title_body; Same_node; Cousins ]
+
+let keywords = [ "needleone"; "needletwo" ]
+
+(* Rebuild [base] with extra keyword text appended to selected nodes. *)
+let with_extra base extras =
+  Doctree.of_specs
+    (List.init (Doctree.size base) (fun id ->
+         let extra =
+           match List.assoc_opt id extras with Some s -> " " ^ s | None -> ""
+         in
+         {
+           Doctree.spec_id = id;
+           spec_parent = (match Doctree.parent base id with None -> -1 | Some p -> p);
+           spec_label = Doctree.label base id;
+           spec_text = Doctree.text base id ^ extra;
+         }))
+
+(* First subsection with at least two paragraph children. *)
+let find_subsection_with_pars base =
+  Doctree.fold
+    (fun acc n ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          if Doctree.label base n = "subsection" then begin
+            let pars =
+              List.filter (fun c -> Doctree.label base c = "par") (Doctree.children base n)
+            in
+            match pars with p1 :: p2 :: _ -> Some (n, p1, p2) | _ -> None
+          end
+          else None)
+    None base
+
+(* First section with a title child and a direct paragraph child. *)
+let find_section_with_title_and_par base =
+  Doctree.fold
+    (fun acc n ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          if Doctree.label base n = "section" then begin
+            let kids = Doctree.children base n in
+            let title = List.find_opt (fun c -> Doctree.label base c = "title") kids in
+            let par = List.find_opt (fun c -> Doctree.label base c = "par") kids in
+            match (title, par) with Some t, Some p -> Some (n, t, p) | _ -> None
+          end
+          else None)
+    None base
+
+(* First section owning two subsections that each have a paragraph. *)
+let find_section_with_two_subsections base =
+  Doctree.fold
+    (fun acc n ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          if Doctree.label base n = "section" then begin
+            let subs =
+              List.filter
+                (fun c -> Doctree.label base c = "subsection")
+                (Doctree.children base n)
+            in
+            let par_of sub =
+              List.find_opt (fun c -> Doctree.label base c = "par") (Doctree.children base sub)
+            in
+            match subs with
+            | s1 :: s2 :: _ -> (
+                match (par_of s1, par_of s2) with
+                | Some p1, Some p2 -> Some (n, s1, p1, s2, p2)
+                | _ -> None)
+            | _ -> None
+          end
+          else None)
+    None base
+
+let generate ~seed pattern =
+  let base = Docgen.generate { Docgen.default with seed; sections = 5 } in
+  match pattern with
+  | Colocated_plus_context -> (
+      match find_subsection_with_pars base with
+      | None -> None
+      | Some (sub, p1, p2) ->
+          Some
+            {
+              tree =
+                with_extra base
+                  [ (p1, "needleone needletwo"); (p2, "needleone"); (sub, "needletwo") ];
+              keywords;
+              target = [ sub; p1; p2 ];
+            })
+  | Sibling_split -> (
+      match find_subsection_with_pars base with
+      | None -> None
+      | Some (sub, p1, p2) ->
+          Some
+            {
+              tree = with_extra base [ (p1, "needleone"); (p2, "needletwo") ];
+              keywords;
+              target = [ sub; p1; p2 ];
+            })
+  | Title_body -> (
+      match find_section_with_title_and_par base with
+      | None -> None
+      | Some (sec, title, par) ->
+          Some
+            {
+              tree = with_extra base [ (title, "needleone"); (par, "needletwo") ];
+              keywords;
+              target = [ sec; title; par ];
+            })
+  | Same_node -> (
+      match find_subsection_with_pars base with
+      | None -> None
+      | Some (_, p1, _) ->
+          Some
+            {
+              tree = with_extra base [ (p1, "needleone needletwo") ];
+              keywords;
+              target = [ p1 ];
+            })
+  | Cousins -> (
+      match find_section_with_two_subsections base with
+      | None -> None
+      | Some (sec, s1, p1, s2, p2) ->
+          Some
+            {
+              tree = with_extra base [ (p1, "needleone"); (p2, "needletwo") ];
+              keywords;
+              target = [ sec; s1; p1; s2; p2 ];
+            })
+
+let generate_many ~seeds pattern =
+  List.filter_map (fun seed -> generate ~seed pattern) seeds

@@ -1,0 +1,45 @@
+(** Topic generation: documents with planted keyword patterns and known
+    target fragments, for effectiveness evaluation.
+
+    Each pattern encodes one way two query keywords can split across the
+    nodes of the desired retrieval unit (the paper's Figure 2 taxonomy):
+
+    - {!Colocated_plus_context} — the Figure 1/Figure 8 situation: one
+      paragraph holds both keywords, a sibling paragraph holds only k1,
+      the enclosing container holds only k2.  The intended answer is the
+      self-contained container fragment ⟨container, par, par⟩ — the case
+      smallest-subtree semantics cannot produce.
+    - {!Sibling_split} — k1 and k2 in two sibling paragraphs; intended
+      answer ⟨container, par1, par2⟩ (prior semantics produce the same
+      node set here, as full subtrees or witness trees).
+    - {!Title_body} — k1 in a section's title, k2 in one of its
+      paragraphs; intended answer ⟨section, title, par⟩.
+    - {!Same_node} — both keywords in one paragraph; intended answer
+      ⟨par⟩ (a control: every semantics should succeed here).
+    - {!Cousins} — k1 and k2 in paragraphs of two different subsections
+      of the same section; intended answer spans both subsections:
+      ⟨section, sub1, par1, sub2, par2⟩. *)
+
+type pattern =
+  | Colocated_plus_context
+  | Sibling_split
+  | Title_body
+  | Same_node
+  | Cousins
+
+type topic = {
+  tree : Xfrag_doctree.Doctree.t;
+  keywords : string list;  (** always two fresh planted keywords *)
+  target : int list;  (** node ids of the intended answer fragment *)
+}
+
+val pattern_name : pattern -> string
+
+val all_patterns : pattern list
+
+val generate : seed:int -> pattern -> topic option
+(** Builds a synthetic article (deterministic in [seed]) and plants the
+    pattern; [None] if the generated article lacks the required
+    structure (rare). *)
+
+val generate_many : seeds:int list -> pattern -> topic list

@@ -1,0 +1,90 @@
+type node =
+  | Element of element
+  | Text of string
+  | Comment of string
+  | Pi of { target : string; content : string }
+
+and element = {
+  name : string;
+  attributes : (string * string) list;
+  children : node list;
+}
+
+type document = { root : element; prolog_pis : (string * string) list }
+
+let element ?(attributes = []) name children =
+  Element { name; attributes; children }
+
+let text s = Text s
+
+let document root = { root; prolog_pis = [] }
+
+let name e = e.name
+
+let attribute e k = List.assoc_opt k e.attributes
+
+let children e = e.children
+
+let child_elements e =
+  List.filter_map (function Element e -> Some e | Text _ | Comment _ | Pi _ -> None) e.children
+
+let rec add_text buf e =
+  List.iter
+    (function
+      | Text s -> Buffer.add_string buf s
+      | Element e -> add_text buf e
+      | Comment _ | Pi _ -> ())
+    e.children
+
+let text_content e =
+  let buf = Buffer.create 64 in
+  add_text buf e;
+  Buffer.contents buf
+
+let immediate_text e =
+  let buf = Buffer.create 64 in
+  List.iter
+    (function Text s -> Buffer.add_string buf s | Element _ | Comment _ | Pi _ -> ())
+    e.children;
+  Buffer.contents buf
+
+let rec descendant_count e =
+  List.fold_left
+    (fun acc n ->
+      match n with
+      | Element e -> acc + descendant_count e
+      | Text _ | Comment _ | Pi _ -> acc)
+    1 e.children
+
+let rec find_first p e =
+  if p e then Some e
+  else
+    List.fold_left
+      (fun acc n ->
+        match (acc, n) with
+        | (Some _ as found), _ -> found
+        | None, Element e -> find_first p e
+        | None, (Text _ | Comment _ | Pi _) -> None)
+      None e.children
+
+let rec fold_elements f acc e =
+  let acc = f acc e in
+  List.fold_left
+    (fun acc n ->
+      match n with
+      | Element e -> fold_elements f acc e
+      | Text _ | Comment _ | Pi _ -> acc)
+    acc e.children
+
+let rec equal_node a b =
+  match (a, b) with
+  | Text s, Text s' -> String.equal s s'
+  | Comment s, Comment s' -> String.equal s s'
+  | Pi { target; content }, Pi { target = t'; content = c' } ->
+      String.equal target t' && String.equal content c'
+  | Element e, Element e' ->
+      String.equal e.name e'.name
+      && e.attributes = e'.attributes
+      && List.length e.children = List.length e'.children
+      && List.for_all2 equal_node e.children e'.children
+  | (Text _ | Comment _ | Pi _ | Element _), _ -> false

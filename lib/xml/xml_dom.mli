@@ -1,0 +1,60 @@
+(** In-memory XML document trees.
+
+    The DOM is deliberately simple: elements with attributes and ordered
+    children, text, comments, and processing instructions.  Namespace
+    prefixes are kept verbatim in names — document-centric retrieval
+    treats tag names as opaque labels (paper, §1). *)
+
+type node =
+  | Element of element
+  | Text of string
+  | Comment of string
+  | Pi of { target : string; content : string }
+
+and element = {
+  name : string;
+  attributes : (string * string) list;  (** in document order *)
+  children : node list;  (** in document order *)
+}
+
+type document = {
+  root : element;
+  prolog_pis : (string * string) list;
+      (** processing instructions appearing before the root element *)
+}
+
+val element : ?attributes:(string * string) list -> string -> node list -> node
+(** Convenience constructor. *)
+
+val text : string -> node
+
+val document : element -> document
+(** Wrap a root element with an empty prolog. *)
+
+val name : element -> string
+
+val attribute : element -> string -> string option
+(** First attribute with the given name, if any. *)
+
+val children : element -> node list
+
+val child_elements : element -> element list
+(** Element children only, in order. *)
+
+val text_content : element -> string
+(** Concatenation of all descendant text, in document order. *)
+
+val immediate_text : element -> string
+(** Concatenation of the element's direct text children only. *)
+
+val descendant_count : element -> int
+(** Number of element nodes in the subtree rooted here (inclusive). *)
+
+val find_first : (element -> bool) -> element -> element option
+(** Pre-order search. *)
+
+val fold_elements : ('a -> element -> 'a) -> 'a -> element -> 'a
+(** Pre-order fold over all element nodes (inclusive). *)
+
+val equal_node : node -> node -> bool
+(** Structural equality. *)

@@ -1,0 +1,72 @@
+let predefined =
+  [ ("amp", "&"); ("lt", "<"); ("gt", ">"); ("apos", "'"); ("quot", "\"") ]
+
+let decode_named name = List.assoc_opt name predefined
+
+let utf8_of_code_point cp =
+  if cp < 0 || cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF) then None
+  else if cp < 0x80 then Some (String.make 1 (Char.chr cp))
+  else begin
+    let buf = Buffer.create 4 in
+    (if cp < 0x800 then begin
+       Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+       Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+     end
+     else if cp < 0x10000 then begin
+       Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+       Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+       Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+     end
+     else begin
+       Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+       Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+       Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+       Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+     end);
+    Some (Buffer.contents buf)
+  end
+
+let parse_int_opt ~hex s =
+  if s = "" then None
+  else
+    let ok =
+      String.for_all
+        (fun c ->
+          match c with
+          | '0' .. '9' -> true
+          | 'a' .. 'f' | 'A' .. 'F' -> hex
+          | _ -> false)
+        s
+    in
+    if not ok then None
+    else int_of_string_opt (if hex then "0x" ^ s else s)
+
+let decode_char_ref body =
+  if String.length body < 2 || body.[0] <> '#' then None
+  else
+    let digits, hex =
+      if body.[1] = 'x' || body.[1] = 'X' then
+        (String.sub body 2 (String.length body - 2), true)
+      else (String.sub body 1 (String.length body - 1), false)
+    in
+    match parse_int_opt ~hex digits with
+    | None -> None
+    | Some cp -> utf8_of_code_point cp
+
+let escape ~quotes s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' when quotes -> Buffer.add_string buf "&quot;"
+      | '\'' when quotes -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_text = escape ~quotes:false
+
+let escape_attribute = escape ~quotes:true

@@ -1,0 +1,23 @@
+(** Decoding and encoding of XML entity and character references. *)
+
+val predefined : (string * string) list
+(** The five predefined XML entities: [amp], [lt], [gt], [apos], [quot]. *)
+
+val decode_named : string -> string option
+(** [decode_named "amp"] is [Some "&"]; unknown names give [None]. *)
+
+val decode_char_ref : string -> string option
+(** [decode_char_ref body] decodes the body of a character reference —
+    ["#38"] or ["#x26"] — to its UTF-8 encoding.  [None] if malformed or
+    outside the Unicode scalar range. *)
+
+val escape_text : string -> string
+(** Escape [&], [<], [>] for element content. *)
+
+val escape_attribute : string -> string
+(** Escape ampersand, angle brackets, and both quote characters for
+    attribute values. *)
+
+val utf8_of_code_point : int -> string option
+(** UTF-8 bytes for a Unicode scalar value; [None] if out of range or a
+    surrogate. *)

@@ -1,0 +1,13 @@
+type position = { line : int; column : int; offset : int }
+
+type t = { position : position; message : string }
+
+exception Parse_error of t
+
+let raise_error position message = raise (Parse_error { position; message })
+
+let pp_position ppf p = Format.fprintf ppf "line %d, column %d" p.line p.column
+
+let pp ppf e = Format.fprintf ppf "%a: %s" pp_position e.position e.message
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,17 @@
+(** Errors raised by the XML parser, with source positions. *)
+
+type position = { line : int; column : int; offset : int }
+(** 1-based line and column; 0-based byte offset. *)
+
+type t = { position : position; message : string }
+
+exception Parse_error of t
+
+val raise_error : position -> string -> 'a
+(** Raise {!Parse_error} at the given position. *)
+
+val pp_position : Format.formatter -> position -> unit
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,30 @@
+(** Recursive-descent XML 1.0 parser.
+
+    Supported: prolog ([<?xml …?>]), comments, processing instructions,
+    CDATA sections, a DOCTYPE declaration (skipped, including an internal
+    subset), the five predefined entities, decimal and hexadecimal
+    character references, single- and double-quoted attributes, and
+    well-formedness checks (matching end tags, unique attributes, a
+    single root element, no markup after the root).
+
+    Not supported (out of scope for document retrieval): external DTDs,
+    custom entity definitions, namespace resolution (prefixes are kept
+    verbatim in names). *)
+
+type options = {
+  keep_comments : bool;  (** retain [Comment] nodes (default false) *)
+  keep_pis : bool;  (** retain in-document [Pi] nodes (default false) *)
+}
+
+val default_options : options
+
+val parse_string : ?options:options -> string -> Xml_dom.document
+(** @raise Xml_error.Parse_error on malformed input. *)
+
+val parse_string_result :
+  ?options:options -> string -> (Xml_dom.document, Xml_error.t) result
+
+val parse_file : ?options:options -> string -> Xml_dom.document
+(** Read a whole file and parse it.
+    @raise Sys_error if the file cannot be read.
+    @raise Xml_error.Parse_error on malformed input. *)

@@ -1,0 +1,185 @@
+type step = {
+  axis : [ `Child | `Descendant ];
+  name : string option;
+  index : int option;
+  attribute : (string * string option) option;
+}
+
+let parse_predicate body =
+  (* body is the text inside [...] *)
+  if body = "" then Error "empty predicate"
+  else if body.[0] = '@' then begin
+    let body = String.sub body 1 (String.length body - 1) in
+    match String.index_opt body '=' with
+    | None ->
+        if body = "" then Error "empty attribute name"
+        else Ok (`Attr (body, None))
+    | Some i ->
+        let name = String.sub body 0 i in
+        let value = String.sub body (i + 1) (String.length body - i - 1) in
+        let n = String.length value in
+        if n >= 2 && value.[0] = '\'' && value.[n - 1] = '\'' then
+          Ok (`Attr (name, Some (String.sub value 1 (n - 2))))
+        else Error (Printf.sprintf "attribute value must be quoted in [%s]" body)
+  end
+  else
+    match int_of_string_opt body with
+    | Some k when k >= 1 -> Ok (`Index k)
+    | Some _ -> Error "positional predicate must be >= 1"
+    | None -> Error (Printf.sprintf "cannot parse predicate [%s]" body)
+
+let parse_step axis text =
+  (* text is e.g. "par", "*", "sec[2]", "sec[@id='x']" *)
+  let name_part, preds =
+    match String.index_opt text '[' with
+    | None -> (text, [])
+    | Some i ->
+        let name = String.sub text 0 i in
+        let rest = String.sub text i (String.length text - i) in
+        (* split balanced [..] groups *)
+        let preds = ref [] in
+        let j = ref 0 in
+        let n = String.length rest in
+        let ok = ref true in
+        while !ok && !j < n do
+          if rest.[!j] <> '[' then ok := false
+          else begin
+            match String.index_from_opt rest !j ']' with
+            | None -> ok := false
+            | Some close ->
+                preds := String.sub rest (!j + 1) (close - !j - 1) :: !preds;
+                j := close + 1
+          end
+        done;
+        if !ok && !j = n then (name, List.rev !preds) else (text, [ "\x00bad" ])
+  in
+  if List.mem "\x00bad" preds then Error (Printf.sprintf "malformed predicates in %S" text)
+  else if name_part = "" then Error "empty step name"
+  else begin
+    let name = if name_part = "*" then None else Some name_part in
+    let rec fold acc = function
+      | [] -> Ok acc
+      | p :: rest -> (
+          match parse_predicate p with
+          | Error e -> Error e
+          | Ok (`Index k) ->
+              if acc.index <> None then Error "duplicate positional predicate"
+              else fold { acc with index = Some k } rest
+          | Ok (`Attr (a, v)) ->
+              if acc.attribute <> None then Error "duplicate attribute predicate"
+              else fold { acc with attribute = Some (a, v) } rest)
+    in
+    fold { axis; name; index = None; attribute = None } preds
+  end
+
+let parse path =
+  let path = String.trim path in
+  if path = "" then Error "empty path"
+  else begin
+    (* Tokenize on '/' keeping '//' markers: split and interpret empty
+       segments between separators as descendant axis flags. *)
+    let segments = String.split_on_char '/' path in
+    (* A leading '/' yields an initial empty segment; '//x' yields two. *)
+    let rec go axis acc = function
+      | [] -> Ok (List.rev acc)
+      | "" :: rest -> go `Descendant acc rest
+      | seg :: rest -> (
+          match parse_step axis seg with
+          | Error e -> Error e
+          | Ok step -> go `Child (step :: acc) rest)
+    in
+    let segments, first_axis =
+      match segments with
+      | "" :: "" :: rest -> (rest, `Descendant)  (* starts with // *)
+      | "" :: rest -> (rest, `Child)  (* starts with / *)
+      | rest -> (rest, `Descendant)
+      (* a bare name selects anywhere, XPath-'//'-like; documented *)
+    in
+    match segments with
+    | [] -> Error "empty path"
+    | seg :: rest -> (
+        match parse_step first_axis seg with
+        | Error e -> Error e
+        | Ok step -> go `Child [ step ] rest)
+  end
+
+let attr_matches (e : Xml_dom.element) = function
+  | None -> true
+  | Some (name, expected) -> (
+      match Xml_dom.attribute e name with
+      | None -> false
+      | Some v -> ( match expected with None -> true | Some want -> String.equal v want))
+
+let name_matches (e : Xml_dom.element) = function
+  | None -> true
+  | Some n -> String.equal e.Xml_dom.name n
+
+let rec descendants_or_self (e : Xml_dom.element) =
+  e :: List.concat_map descendants_or_self (Xml_dom.child_elements e)
+
+(* Candidates for one step from a single context element. *)
+let step_candidates step (context : Xml_dom.element) =
+  let pool =
+    match step.axis with
+    | `Child -> Xml_dom.child_elements context
+    | `Descendant -> List.concat_map descendants_or_self (Xml_dom.child_elements context)
+  in
+  let filtered =
+    List.filter
+      (fun e -> name_matches e step.name && attr_matches e step.attribute)
+      pool
+  in
+  match step.index with
+  | None -> filtered
+  | Some k -> ( match List.nth_opt filtered (k - 1) with Some e -> [ e ] | None -> [])
+
+let dedup_in_order elems =
+  (* Physical identity is the right notion here: the same element value
+     reached twice via different descendant paths is one match. *)
+  let seen = ref [] in
+  List.filter
+    (fun e ->
+      if List.memq e !seen then false
+      else begin
+        seen := e :: !seen;
+        true
+      end)
+    elems
+
+let select_steps (doc : Xml_dom.document) steps =
+  match steps with
+  | [] -> []
+  | first :: rest ->
+      (* The first step matches against the root: child axis means "the
+         root itself", descendant axis means "any element". *)
+      let initial =
+        let pool =
+          match first.axis with
+          | `Child -> [ doc.Xml_dom.root ]
+          | `Descendant -> descendants_or_self doc.Xml_dom.root
+        in
+        let filtered =
+          List.filter
+            (fun e -> name_matches e first.name && attr_matches e first.attribute)
+            pool
+        in
+        match first.index with
+        | None -> filtered
+        | Some k -> ( match List.nth_opt filtered (k - 1) with Some e -> [ e ] | None -> [])
+      in
+      List.fold_left
+        (fun contexts step ->
+          dedup_in_order (List.concat_map (step_candidates step) contexts))
+        initial rest
+
+let select doc path =
+  match parse path with Error e -> Error e | Ok steps -> Ok (select_steps doc steps)
+
+let select_first doc path =
+  match select doc path with
+  | Error e -> Error e
+  | Ok [] -> Ok None
+  | Ok (e :: _) -> Ok (Some e)
+
+let matches_count doc path =
+  match select doc path with Error e -> Error e | Ok l -> Ok (List.length l)

@@ -1,0 +1,35 @@
+(** A small XPath-like selector language over DOM trees.
+
+    Supported syntax (a practical subset — enough to address document
+    components in examples, tests, and tooling):
+
+    - [/a/b/c] — child steps from the root;
+    - [//par] — descendant-or-self step ([//] may appear at any depth:
+      [/article//par], [//sec//title]);
+    - [*] — any element name;
+    - [name\[k\]] — k-th match of the step, 1-based ([/a/b\[2\]]);
+    - [name\[@attr='value'\]] — attribute equality predicate;
+    - [name\[@attr\]] — attribute presence predicate.
+
+    A leading [/] is optional; paths are resolved against the document
+    root, and the first step must match the root itself when the path
+    starts with a single [/] (as in XPath, [/article] selects the root
+    only if it is named [article]). *)
+
+type step = {
+  axis : [ `Child | `Descendant ];
+  name : string option;  (** [None] = [*] *)
+  index : int option;  (** 1-based positional predicate *)
+  attribute : (string * string option) option;
+      (** attribute presence / equality predicate *)
+}
+
+val parse : string -> (step list, string) result
+
+val select : Xml_dom.document -> string -> (Xml_dom.element list, string) result
+(** All elements matched by the path, in document order, without
+    duplicates. *)
+
+val select_first : Xml_dom.document -> string -> (Xml_dom.element option, string) result
+
+val matches_count : Xml_dom.document -> string -> (int, string) result

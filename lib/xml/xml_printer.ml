@@ -1,0 +1,103 @@
+let add_attrs buf attributes =
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf k;
+      Buffer.add_string buf "=\"";
+      Buffer.add_string buf (Xml_entities.escape_attribute v);
+      Buffer.add_char buf '"')
+    attributes
+
+let rec add_node buf (node : Xml_dom.node) =
+  match node with
+  | Text s -> Buffer.add_string buf (Xml_entities.escape_text s)
+  | Comment c ->
+      Buffer.add_string buf "<!--";
+      Buffer.add_string buf c;
+      Buffer.add_string buf "-->"
+  | Pi { target; content } ->
+      Buffer.add_string buf "<?";
+      Buffer.add_string buf target;
+      if content <> "" then begin
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf content
+      end;
+      Buffer.add_string buf "?>"
+  | Element e -> add_element buf e
+
+and add_element buf (e : Xml_dom.element) =
+  Buffer.add_char buf '<';
+  Buffer.add_string buf e.name;
+  add_attrs buf e.attributes;
+  if e.children = [] then Buffer.add_string buf "/>"
+  else begin
+    Buffer.add_char buf '>';
+    List.iter (add_node buf) e.children;
+    Buffer.add_string buf "</";
+    Buffer.add_string buf e.name;
+    Buffer.add_char buf '>'
+  end
+
+let node_to_string node =
+  let buf = Buffer.create 256 in
+  add_node buf node;
+  Buffer.contents buf
+
+let to_string ?(decl = true) (doc : Xml_dom.document) =
+  let buf = Buffer.create 1024 in
+  if decl then Buffer.add_string buf "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  List.iter
+    (fun (target, content) ->
+      Buffer.add_string buf ("<?" ^ target ^ " " ^ content ^ "?>\n"))
+    doc.prolog_pis;
+  add_element buf doc.root;
+  Buffer.contents buf
+
+let rec add_pretty buf indent level (node : Xml_dom.node) =
+  let pad () = Buffer.add_string buf (String.make (indent * level) ' ') in
+  match node with
+  | Text s ->
+      let s = String.trim s in
+      if s <> "" then begin
+        pad ();
+        Buffer.add_string buf (Xml_entities.escape_text s);
+        Buffer.add_char buf '\n'
+      end
+  | Comment c ->
+      pad ();
+      Buffer.add_string buf ("<!--" ^ c ^ "-->\n")
+  | Pi { target; content } ->
+      pad ();
+      Buffer.add_string buf ("<?" ^ target ^ " " ^ content ^ "?>\n")
+  | Element e ->
+      pad ();
+      Buffer.add_char buf '<';
+      Buffer.add_string buf e.name;
+      add_attrs buf e.attributes;
+      let only_text =
+        List.for_all
+          (function Xml_dom.Text _ -> true | Element _ | Comment _ | Pi _ -> false)
+          e.children
+      in
+      if e.children = [] then Buffer.add_string buf "/>\n"
+      else if only_text then begin
+        Buffer.add_char buf '>';
+        List.iter
+          (function
+            | Xml_dom.Text s -> Buffer.add_string buf (Xml_entities.escape_text s)
+            | Element _ | Comment _ | Pi _ -> ())
+          e.children;
+        Buffer.add_string buf ("</" ^ e.name ^ ">\n")
+      end
+      else begin
+        Buffer.add_string buf ">\n";
+        List.iter (add_pretty buf indent (level + 1)) e.children;
+        pad ();
+        Buffer.add_string buf ("</" ^ e.name ^ ">\n")
+      end
+
+let to_string_pretty ?(decl = true) ?(indent = 2) (doc : Xml_dom.document) =
+  let buf = Buffer.create 1024 in
+  if decl then Buffer.add_string buf "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  add_pretty buf indent 0 (Element doc.root);
+  Buffer.contents buf

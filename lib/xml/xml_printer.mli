@@ -1,0 +1,13 @@
+(** Serialization of DOM trees back to XML text. *)
+
+val to_string : ?decl:bool -> Xml_dom.document -> string
+(** Compact serialization.  [decl] (default true) emits the
+    [<?xml version="1.0"?>] declaration. *)
+
+val to_string_pretty : ?decl:bool -> ?indent:int -> Xml_dom.document -> string
+(** Indented serialization for human consumption.  Text nodes are emitted
+    verbatim (no re-wrapping), so pretty-printing is not round-trip safe
+    for mixed content; use {!to_string} when fidelity matters. *)
+
+val node_to_string : Xml_dom.node -> string
+(** Compact serialization of a single node. *)

@@ -1,0 +1,324 @@
+module S = Xml_source
+
+type event =
+  | Start_element of { name : string; attributes : (string * string) list }
+  | End_element of string
+  | Text of string
+  | Comment of string
+  | Pi of { target : string; content : string }
+
+(* The tokenizer pieces live in Xml_parser; to keep a single grammar we
+   re-run its element parser in a callback-driven mode.  Rather than
+   duplicate the lexical layer, we walk the source with the same helper
+   functions re-exposed here in terms of Xml_source.  The code mirrors
+   Xml_parser deliberately; both are covered by the agreement test. *)
+
+let is_name_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+  | c -> Char.code c >= 0x80
+
+let is_name_char c =
+  is_name_start c || match c with '0' .. '9' | '-' | '.' -> true | _ -> false
+
+let parse_name src =
+  match S.peek src with
+  | Some c when is_name_start c ->
+      S.advance src;
+      String.make 1 c ^ S.take_while src is_name_char
+  | Some c -> S.error src (Printf.sprintf "invalid name start character %C" c)
+  | None -> S.error src "unexpected end of input while reading a name"
+
+let parse_reference src =
+  S.expect src '&';
+  let body = S.take_while src (fun c -> c <> ';' && c <> '<' && c <> '&' && c <> '\n') in
+  S.expect src ';';
+  if body = "" then S.error src "empty entity reference"
+  else if body.[0] = '#' then
+    match Xml_entities.decode_char_ref body with
+    | Some s -> s
+    | None -> S.error src (Printf.sprintf "malformed character reference &%s;" body)
+  else
+    match Xml_entities.decode_named body with
+    | Some s -> s
+    | None -> S.error src (Printf.sprintf "unknown entity &%s;" body)
+
+let parse_attribute_value src =
+  let quote =
+    match S.next src with
+    | ('"' | '\'') as q -> q
+    | c -> S.error src (Printf.sprintf "expected quoted attribute value, found %C" c)
+  in
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match S.peek src with
+    | None -> S.error src "unterminated attribute value"
+    | Some c when c = quote -> S.advance src
+    | Some '<' -> S.error src "'<' is not allowed in attribute values"
+    | Some '&' ->
+        Buffer.add_string buf (parse_reference src);
+        go ()
+    | Some c ->
+        S.advance src;
+        Buffer.add_char buf (match c with '\t' | '\r' | '\n' -> ' ' | c -> c);
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_attributes src =
+  let rec go acc =
+    S.skip_whitespace src;
+    match S.peek src with
+    | Some c when is_name_start c ->
+        let name = parse_name src in
+        S.skip_whitespace src;
+        S.expect src '=';
+        S.skip_whitespace src;
+        let value = parse_attribute_value src in
+        if List.mem_assoc name acc then
+          S.error src (Printf.sprintf "duplicate attribute %S" name)
+        else go ((name, value) :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+let parse_comment src =
+  S.expect_string src "<!--";
+  let buf = Buffer.create 32 in
+  let rec go () =
+    if S.looking_at src "-->" then S.expect_string src "-->"
+    else if S.looking_at src "--" then S.error src "'--' is not allowed inside a comment"
+    else
+      match S.peek src with
+      | None -> S.error src "unterminated comment"
+      | Some c ->
+          S.advance src;
+          Buffer.add_char buf c;
+          go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_pi src =
+  S.expect_string src "<?";
+  let target = parse_name src in
+  if String.lowercase_ascii target = "xml" then
+    S.error src "reserved processing instruction target 'xml'";
+  S.skip_whitespace src;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if S.looking_at src "?>" then S.expect_string src "?>"
+    else
+      match S.peek src with
+      | None -> S.error src "unterminated processing instruction"
+      | Some c ->
+          S.advance src;
+          Buffer.add_char buf c;
+          go ()
+  in
+  go ();
+  (target, Buffer.contents buf)
+
+let parse_cdata src =
+  S.expect_string src "<![CDATA[";
+  let buf = Buffer.create 32 in
+  let rec go () =
+    if S.looking_at src "]]>" then S.expect_string src "]]>"
+    else
+      match S.peek src with
+      | None -> S.error src "unterminated CDATA section"
+      | Some c ->
+          S.advance src;
+          Buffer.add_char buf c;
+          go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_doctype src =
+  S.expect_string src "<!DOCTYPE";
+  let depth = ref 0 and finished = ref false in
+  while not !finished do
+    match S.peek src with
+    | None -> S.error src "unterminated DOCTYPE declaration"
+    | Some '[' ->
+        S.advance src;
+        incr depth
+    | Some ']' ->
+        S.advance src;
+        decr depth
+    | Some '>' when !depth = 0 ->
+        S.advance src;
+        finished := true
+    | Some ('"' | '\'') ->
+        let q = S.next src in
+        let rec skip () = match S.next src with c when c = q -> () | _ -> skip () in
+        skip ()
+    | Some _ -> S.advance src
+  done
+
+let parse_xml_decl src =
+  if S.looking_at src "<?xml" then begin
+    S.expect_string src "<?xml";
+    let rec go () =
+      if S.looking_at src "?>" then S.expect_string src "?>"
+      else
+        match S.peek src with
+        | None -> S.error src "unterminated XML declaration"
+        | Some _ ->
+            S.advance src;
+            go ()
+    in
+    go ()
+  end
+
+let fold f init data =
+  let src = S.of_string data in
+  let acc = ref init in
+  let emit ev = acc := f !acc ev in
+  (* prolog *)
+  parse_xml_decl src;
+  let rec prolog () =
+    S.skip_whitespace src;
+    if S.looking_at src "<!--" then begin
+      emit (Comment (parse_comment src));
+      prolog ()
+    end
+    else if S.looking_at src "<!DOCTYPE" then begin
+      parse_doctype src;
+      prolog ()
+    end
+    else if S.looking_at src "<?" then begin
+      let target, content = parse_pi src in
+      emit (Pi { target; content });
+      prolog ()
+    end
+  in
+  prolog ();
+  (match S.peek src with
+  | Some '<' -> ()
+  | Some c -> S.error src (Printf.sprintf "expected root element, found %C" c)
+  | None -> S.error src "document has no root element");
+  (* element events, driven by an explicit open-tag stack *)
+  let stack = ref [] in
+  let text_buf = Buffer.create 64 in
+  let flush_text () =
+    if Buffer.length text_buf > 0 then begin
+      emit (Text (Buffer.contents text_buf));
+      Buffer.clear text_buf
+    end
+  in
+  let open_element () =
+    S.expect src '<';
+    let name = parse_name src in
+    let attributes = parse_attributes src in
+    S.skip_whitespace src;
+    match S.peek src with
+    | Some '/' ->
+        S.expect_string src "/>";
+        emit (Start_element { name; attributes });
+        emit (End_element name)
+    | Some '>' ->
+        S.advance src;
+        emit (Start_element { name; attributes });
+        stack := name :: !stack
+    | Some c -> S.error src (Printf.sprintf "expected '>' or '/>', found %C" c)
+    | None -> S.error src "unexpected end of input inside a start tag"
+  in
+  open_element ();
+  while !stack <> [] do
+    match S.peek src with
+    | None -> S.error src "unexpected end of input inside element content"
+    | Some '<' ->
+        if S.looking_at src "</" then begin
+          flush_text ();
+          S.expect_string src "</";
+          let close = parse_name src in
+          (match !stack with
+          | top :: rest when top = close ->
+              S.skip_whitespace src;
+              S.expect src '>';
+              emit (End_element close);
+              stack := rest
+          | top :: _ ->
+              S.error src
+                (Printf.sprintf "mismatched end tag </%s>, expected </%s>" close top)
+          | [] -> assert false)
+        end
+        else if S.looking_at src "<!--" then begin
+          flush_text ();
+          emit (Comment (parse_comment src))
+        end
+        else if S.looking_at src "<![CDATA[" then
+          Buffer.add_string text_buf (parse_cdata src)
+        else if S.looking_at src "<?" then begin
+          flush_text ();
+          let target, content = parse_pi src in
+          emit (Pi { target; content })
+        end
+        else begin
+          flush_text ();
+          open_element ()
+        end
+    | Some '&' -> Buffer.add_string text_buf (parse_reference src)
+    | Some c ->
+        S.advance src;
+        Buffer.add_char text_buf c
+  done;
+  (* epilog *)
+  let rec epilog () =
+    S.skip_whitespace src;
+    if S.looking_at src "<!--" then begin
+      emit (Comment (parse_comment src));
+      epilog ()
+    end
+    else if S.looking_at src "<?" then begin
+      let target, content = parse_pi src in
+      emit (Pi { target; content });
+      epilog ()
+    end
+    else if not (S.eof src) then S.error src "content after the root element"
+  in
+  epilog ();
+  !acc
+
+let iter f data = fold (fun () ev -> f ev) () data
+
+let events data = List.rev (fold (fun acc ev -> ev :: acc) [] data)
+
+let count_elements data =
+  fold (fun n ev -> match ev with Start_element _ -> n + 1 | _ -> n) 0 data
+
+let to_dom data =
+  (* Stack of (name, attributes, reversed children). *)
+  let prolog_pis = ref [] in
+  let result = ref None in
+  let stack = ref [] in
+  let add_node node =
+    match !stack with
+    | (name, attrs, kids) :: rest -> stack := (name, attrs, node :: kids) :: rest
+    | [] -> ()
+  in
+  iter
+    (fun ev ->
+      match ev with
+      | Start_element { name; attributes } -> stack := (name, attributes, []) :: !stack
+      | End_element _ -> (
+          match !stack with
+          | (name, attributes, kids) :: rest ->
+              let e =
+                { Xml_dom.name; attributes; children = List.rev kids }
+              in
+              stack := rest;
+              if rest = [] then result := Some e else add_node (Xml_dom.Element e)
+          | [] -> ())
+      | Text s -> add_node (Xml_dom.Text s)
+      | Comment c -> add_node (Xml_dom.Comment c)
+      | Pi { target; content } ->
+          if !stack = [] && !result = None then
+            prolog_pis := (target, content) :: !prolog_pis
+          else add_node (Xml_dom.Pi { target; content }))
+    data;
+  match !result with
+  | Some root -> { Xml_dom.root; prolog_pis = List.rev !prolog_pis }
+  | None -> Xml_error.raise_error { line = 0; column = 0; offset = 0 } "no root element"

@@ -1,0 +1,36 @@
+(** Event-based (SAX-style) XML processing.
+
+    For pipelines that don't need a DOM — statistics, indexing, filtering
+    — events avoid materializing the tree.  The event stream for a
+    well-formed document is:
+
+    [Start_element] / [End_element] properly nested around [Text],
+    [Comment], and [Pi] events; prolog PIs arrive before the root's
+    [Start_element].
+
+    The same well-formedness rules as {!Xml_parser} apply (it shares the
+    grammar); [fold] raises {!Xml_error.Parse_error} on malformed
+    input. *)
+
+type event =
+  | Start_element of { name : string; attributes : (string * string) list }
+  | End_element of string
+  | Text of string  (** merged runs of character data and CDATA *)
+  | Comment of string
+  | Pi of { target : string; content : string }
+
+val fold : ('a -> event -> 'a) -> 'a -> string -> 'a
+(** Left fold over the event stream of a document.
+    @raise Xml_error.Parse_error on malformed input. *)
+
+val iter : (event -> unit) -> string -> unit
+
+val events : string -> event list
+(** The whole stream, materialized (mostly for tests). *)
+
+val count_elements : string -> int
+(** Elements in the document, without building a DOM. *)
+
+val to_dom : string -> Xml_dom.document
+(** Rebuild a DOM from the event stream — exercised by tests to confirm
+    the two parsers agree. *)

@@ -1,0 +1,125 @@
+(* Tests for multi-document collections (§7: "a very large collection of
+   XML documents"). *)
+
+module Context = Xfrag_core.Context
+module Fragment = Xfrag_core.Fragment
+module Frag_set = Xfrag_core.Frag_set
+module Filter = Xfrag_core.Filter
+module Query = Xfrag_core.Query
+module Eval = Xfrag_core.Eval
+module Corpus = Xfrag_core.Corpus
+module Docgen = Xfrag_workload.Docgen
+module Paper = Xfrag_workload.Paper_doc
+
+let make_corpus () =
+  let doc seed plant =
+    Docgen.with_planted_keywords { Docgen.default with seed; sections = 2 } ~plant
+  in
+  Corpus.of_documents
+    [
+      ("a.xml", doc 1 [ ("mangrove", 2); ("estuary", 2) ]);
+      ("b.xml", doc 2 [ ("mangrove", 3) ]);
+      ("c.xml", doc 3 [ ("estuary", 1) ]);
+      ("paper.xml", Paper.figure1 ());
+    ]
+
+let test_structure () =
+  let c = make_corpus () in
+  Alcotest.(check int) "four documents" 4 (Corpus.size c);
+  Alcotest.(check (list string)) "sorted names"
+    [ "a.xml"; "b.xml"; "c.xml"; "paper.xml" ]
+    (Corpus.names c);
+  Alcotest.(check bool) "total nodes positive" true (Corpus.total_nodes c > 82);
+  Alcotest.(check bool) "context accessible" true
+    (Context.size (Corpus.context c "paper.xml") = 82);
+  (match Corpus.context c "nope" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found")
+
+let test_duplicate_name_rejected () =
+  match Corpus.add (make_corpus ()) ~name:"a.xml" (Paper.figure3 ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected duplicate rejection"
+
+let test_search_only_matching_documents () =
+  let c = make_corpus () in
+  let q = Query.make ~filter:(Filter.Size_at_most 5) [ "mangrove"; "estuary" ] in
+  let hits = Corpus.search c q in
+  (* Only a.xml contains both keywords. *)
+  Alcotest.(check bool) "hits exist" true (hits <> []);
+  List.iter
+    (fun h -> Alcotest.(check string) "from a.xml" "a.xml" h.Corpus.doc)
+    hits
+
+let test_search_matches_per_document_eval () =
+  let c = make_corpus () in
+  let q = Query.make ~filter:(Filter.Size_at_most 4) [ "mangrove" ] in
+  let hits = Corpus.search c q in
+  let expected =
+    List.fold_left
+      (fun acc name ->
+        acc + Frag_set.cardinal (Eval.answers (Corpus.context c name) q))
+      0 (Corpus.names c)
+  in
+  Alcotest.(check int) "hit count = sum of per-doc answers" expected
+    (List.length hits)
+
+let test_search_scored_ordering () =
+  let c = make_corpus () in
+  let q = Query.make ~filter:(Filter.Size_at_most 4) [ "mangrove" ] in
+  let scorer ctx f =
+    (* Favour fragments with many keyword occurrences, penalize size. *)
+    let hits =
+      Xfrag_util.Int_sorted.fold
+        (fun acc n ->
+          if Xfrag_doctree.Inverted_index.node_contains ctx.Context.index n "mangrove"
+          then acc + 1
+          else acc)
+        0 (Fragment.nodes f)
+    in
+    float_of_int hits /. float_of_int (Fragment.size f)
+  in
+  let scored = Corpus.search_scored ~scorer c q in
+  let rec non_increasing = function
+    | (_, s1) :: ((_, s2) :: _ as rest) -> s1 >= s2 && non_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "descending" true (non_increasing scored);
+  let limited = Corpus.search_scored ~scorer ~limit:3 c q in
+  Alcotest.(check int) "limit" 3 (List.length limited)
+
+let test_document_frequency () =
+  let c = make_corpus () in
+  Alcotest.(check int) "mangrove in 2 docs" 2 (Corpus.document_frequency c "mangrove");
+  Alcotest.(check int) "estuary in 2 docs" 2 (Corpus.document_frequency c "estuary");
+  Alcotest.(check int) "xquery in paper only" 1 (Corpus.document_frequency c "xquery");
+  Alcotest.(check int) "absent" 0 (Corpus.document_frequency c "zzz")
+
+let test_fragments_never_span_documents () =
+  let c = make_corpus () in
+  let q = Query.make [ "mangrove" ] in
+  List.iter
+    (fun h ->
+      let ctx = Corpus.context c h.Corpus.doc in
+      Alcotest.(check bool) "valid in own document" true
+        (Fragment.is_connected ctx (Fragment.nodes h.Corpus.fragment)))
+    (Corpus.search c q)
+
+let () =
+  Alcotest.run "corpus"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "documents" `Quick test_structure;
+          Alcotest.test_case "duplicate name" `Quick test_duplicate_name_rejected;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "only matching docs" `Quick test_search_only_matching_documents;
+          Alcotest.test_case "matches per-doc eval" `Quick test_search_matches_per_document_eval;
+          Alcotest.test_case "scored ordering" `Quick test_search_scored_ordering;
+          Alcotest.test_case "document frequency" `Quick test_document_frequency;
+          Alcotest.test_case "fragments stay within documents" `Quick
+            test_fragments_never_span_documents;
+        ] );
+    ]

@@ -1,0 +1,170 @@
+(* Tests for Fragment: construction, connectivity validation, measures,
+   leaves, keyword containment, XML projection. *)
+
+module Context = Xfrag_core.Context
+module Fragment = Xfrag_core.Fragment
+module Doctree = Xfrag_doctree.Doctree
+module Int_sorted = Xfrag_util.Int_sorted
+module Paper = Xfrag_workload.Paper_doc
+
+let ctx = lazy (Paper.figure1_context ())
+
+let frag ns = Fragment.of_nodes (Lazy.force ctx) ns
+
+let test_singleton () =
+  let f = Fragment.singleton 17 in
+  Alcotest.(check int) "root" 17 (Fragment.root f);
+  Alcotest.(check int) "size" 1 (Fragment.size f)
+
+let test_of_nodes_valid () =
+  let f = frag [ 17; 16; 18 ] in
+  Alcotest.(check int) "root is min id" 16 (Fragment.root f);
+  Alcotest.(check int) "size" 3 (Fragment.size f);
+  Alcotest.(check (list int)) "sorted" [ 16; 17; 18 ]
+    (Int_sorted.to_list (Fragment.nodes f))
+
+let expect_invalid name ns =
+  match frag ns with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+
+let test_of_nodes_invalid () =
+  expect_invalid "empty" [];
+  expect_invalid "disconnected siblings" [ 17; 18 ];
+  expect_invalid "gap in chain" [ 0; 14 ];
+  expect_invalid "out of range" [ 99999 ]
+
+let test_is_connected () =
+  let c = Lazy.force ctx in
+  Alcotest.(check bool) "connected" true
+    (Fragment.is_connected c (Int_sorted.of_list [ 16; 17 ]));
+  Alcotest.(check bool) "disconnected" false
+    (Fragment.is_connected c (Int_sorted.of_list [ 17; 81 ]));
+  Alcotest.(check bool) "empty" false (Fragment.is_connected c Int_sorted.empty)
+
+let test_subfragment () =
+  let f = frag [ 16; 17; 18 ] in
+  let f' = frag [ 16; 17 ] in
+  Alcotest.(check bool) "sub" true (Fragment.subfragment f' f);
+  Alcotest.(check bool) "not sub" false (Fragment.subfragment f f');
+  Alcotest.(check bool) "self" true (Fragment.subfragment f f)
+
+let test_equal_compare_hash () =
+  let a = frag [ 16; 17 ] and b = frag [ 17; 16 ] and c = frag [ 16; 18 ] in
+  Alcotest.(check bool) "equal" true (Fragment.equal a b);
+  Alcotest.(check bool) "not equal" false (Fragment.equal a c);
+  Alcotest.(check int) "compare eq" 0 (Fragment.compare a b);
+  Alcotest.(check bool) "hash eq" true (Fragment.hash a = Fragment.hash b)
+
+let test_height () =
+  let c = Lazy.force ctx in
+  Alcotest.(check int) "single node" 0 (Fragment.height c (Fragment.singleton 17));
+  Alcotest.(check int) "one level" 1 (Fragment.height c (frag [ 16; 17; 18 ]));
+  Alcotest.(check int) "chain to root" 3 (Fragment.height c (frag [ 0; 1; 14; 16 ]))
+
+let test_span () =
+  Alcotest.(check int) "singleton" 0 (Fragment.span (Fragment.singleton 5));
+  Alcotest.(check int) "16..18" 2 (Fragment.span (frag [ 16; 17; 18 ]));
+  Alcotest.(check int) "wide" 81 (Fragment.span (frag [ 0; 1; 14; 16; 79; 80; 81 ]))
+
+let test_leaves () =
+  let c = Lazy.force ctx in
+  Alcotest.(check (list int)) "leaves of interest fragment" [ 17; 18 ]
+    (Fragment.leaves c (frag [ 16; 17; 18 ]));
+  Alcotest.(check (list int)) "chain leaf" [ 16 ]
+    (Fragment.leaves c (frag [ 0; 1; 14; 16 ]));
+  Alcotest.(check (list int)) "singleton leaf" [ 17 ]
+    (Fragment.leaves c (Fragment.singleton 17));
+  (* n16 is internal in ⟨n16,n17⟩ even though n18 (a document child) is
+     absent: fragment leaves are relative to the fragment. *)
+  Alcotest.(check (list int)) "fragment-relative" [ 17 ]
+    (Fragment.leaves c (frag [ 16; 17 ]))
+
+let test_depth_of () =
+  let c = Lazy.force ctx in
+  let f = frag [ 14; 16; 17 ] in
+  Alcotest.(check int) "root" 0 (Fragment.depth_of c f 14);
+  Alcotest.(check int) "leaf" 2 (Fragment.depth_of c f 17);
+  Alcotest.check_raises "non-member" (Invalid_argument "Fragment.depth_of: node is not a member")
+    (fun () -> ignore (Fragment.depth_of c f 18))
+
+let test_contains_keyword () =
+  let c = Lazy.force ctx in
+  let f = frag [ 16; 17; 18 ] in
+  Alcotest.(check bool) "xquery" true (Fragment.contains_keyword c f "xquery");
+  Alcotest.(check bool) "case" true (Fragment.contains_keyword c f "XQuery");
+  Alcotest.(check bool) "absent" false (Fragment.contains_keyword c f "relational");
+  Alcotest.(check bool) "singleton without" false
+    (Fragment.contains_keyword c (Fragment.singleton 18) "optimization")
+
+let test_to_xml () =
+  let c = Lazy.force ctx in
+  let f = frag [ 16; 17; 18 ] in
+  match Fragment.to_xml c f with
+  | Xfrag_xml.Xml_dom.Element e ->
+      Alcotest.(check string) "root label" "subsubsection" e.Xfrag_xml.Xml_dom.name;
+      Alcotest.(check int) "two child pars" 2
+        (List.length (Xfrag_xml.Xml_dom.child_elements e))
+  | _ -> Alcotest.fail "expected an element"
+
+let test_to_xml_excludes_nonmembers () =
+  let c = Lazy.force ctx in
+  let f = frag [ 16; 17 ] in
+  match Fragment.to_xml c f with
+  | Xfrag_xml.Xml_dom.Element e ->
+      Alcotest.(check int) "only member children" 1
+        (List.length (Xfrag_xml.Xml_dom.child_elements e))
+  | _ -> Alcotest.fail "expected an element"
+
+let test_pp () =
+  let rendered = Format.asprintf "%a" Fragment.pp (frag [ 16; 17; 18 ]) in
+  Alcotest.(check string) "paper notation" "\xE2\x9F\xA8n16, n17, n18\xE2\x9F\xA9" rendered
+
+(* Property: every random fragment from the generator satisfies the
+   connectivity invariant, and root = min id. *)
+let random_fragment_valid =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"random fragments are connected" ~count:200
+       QCheck2.Gen.(pair (1 -- 10_000) (2 -- 80))
+       (fun (seed, size) ->
+         let c = Xfrag_workload.Random_tree.context ~seed ~size in
+         let prng = Xfrag_util.Prng.create seed in
+         let ok = ref true in
+         for _ = 1 to 20 do
+           let f = Xfrag_workload.Random_tree.fragment c prng in
+           if not (Fragment.is_connected c (Fragment.nodes f)) then ok := false;
+           if Fragment.root f <> Int_sorted.min_elt (Fragment.nodes f) then ok := false
+         done;
+         !ok))
+
+let () =
+  Alcotest.run "fragment"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "singleton" `Quick test_singleton;
+          Alcotest.test_case "of_nodes valid" `Quick test_of_nodes_valid;
+          Alcotest.test_case "of_nodes invalid" `Quick test_of_nodes_invalid;
+          Alcotest.test_case "is_connected" `Quick test_is_connected;
+        ] );
+      ( "relations",
+        [
+          Alcotest.test_case "subfragment" `Quick test_subfragment;
+          Alcotest.test_case "equal/compare/hash" `Quick test_equal_compare_hash;
+        ] );
+      ( "measures",
+        [
+          Alcotest.test_case "height" `Quick test_height;
+          Alcotest.test_case "span" `Quick test_span;
+          Alcotest.test_case "leaves" `Quick test_leaves;
+          Alcotest.test_case "depth_of" `Quick test_depth_of;
+          Alcotest.test_case "contains_keyword" `Quick test_contains_keyword;
+        ] );
+      ( "projection",
+        [
+          Alcotest.test_case "to_xml" `Quick test_to_xml;
+          Alcotest.test_case "to_xml excludes non-members" `Quick test_to_xml_excludes_nonmembers;
+          Alcotest.test_case "pp" `Quick test_pp;
+        ] );
+      ("properties", [ random_fragment_valid ]);
+    ]

@@ -1,0 +1,165 @@
+(* Tests for retrieval metrics and topic generation. *)
+
+module Context = Xfrag_core.Context
+module Fragment = Xfrag_core.Fragment
+module Frag_set = Xfrag_core.Frag_set
+module Filter = Xfrag_core.Filter
+module Query = Xfrag_core.Query
+module Eval = Xfrag_core.Eval
+module Metrics = Xfrag_baselines.Metrics
+module Topics = Xfrag_workload.Topics
+module Paper = Xfrag_workload.Paper_doc
+module Doctree = Xfrag_doctree.Doctree
+
+let ctx = lazy (Paper.figure1_context ())
+
+let frag ns = Fragment.of_nodes (Lazy.force ctx) ns
+
+(* --- jaccard --- *)
+
+let test_jaccard () =
+  let a = frag [ 16; 17; 18 ] and b = frag [ 16; 17 ] in
+  Alcotest.(check (float 1e-9)) "identical" 1.0 (Metrics.jaccard a a);
+  Alcotest.(check (float 1e-9)) "2/3" (2.0 /. 3.0) (Metrics.jaccard a b);
+  Alcotest.(check (float 1e-9)) "symmetric" (Metrics.jaccard a b) (Metrics.jaccard b a);
+  Alcotest.(check (float 1e-9)) "disjoint" 0.0
+    (Metrics.jaccard (frag [ 17 ]) (frag [ 81 ]))
+
+let test_best_match () =
+  let set = Frag_set.of_list [ frag [ 16; 17 ]; frag [ 81 ] ] in
+  Alcotest.(check (float 1e-9)) "best" (2.0 /. 3.0)
+    (Metrics.best_match (frag [ 16; 17; 18 ]) set);
+  Alcotest.(check (float 1e-9)) "empty set" 0.0
+    (Metrics.best_match (frag [ 17 ]) Frag_set.empty)
+
+(* --- evaluate --- *)
+
+let test_evaluate_exact () =
+  let target = frag [ 16; 17; 18 ] in
+  let retrieved = Frag_set.of_list [ target; frag [ 17 ] ] in
+  let s = Metrics.evaluate ~retrieved ~targets:(Frag_set.singleton target) () in
+  Alcotest.(check (float 1e-9)) "precision 1/2" 0.5 s.Metrics.precision;
+  Alcotest.(check (float 1e-9)) "recall 1" 1.0 s.Metrics.recall;
+  Alcotest.(check (float 1e-9)) "f1" (2.0 *. 0.5 /. 1.5) s.Metrics.f1;
+  Alcotest.(check int) "counts" 2 s.Metrics.retrieved
+
+let test_evaluate_threshold () =
+  let target = frag [ 16; 17; 18 ] in
+  let retrieved = Frag_set.singleton (frag [ 16; 17 ]) in
+  let strict = Metrics.evaluate ~retrieved ~targets:(Frag_set.singleton target) () in
+  Alcotest.(check (float 1e-9)) "strict misses" 0.0 strict.Metrics.recall;
+  let lenient =
+    Metrics.evaluate ~threshold:0.5 ~retrieved ~targets:(Frag_set.singleton target) ()
+  in
+  Alcotest.(check (float 1e-9)) "lenient hits" 1.0 lenient.Metrics.recall;
+  Alcotest.(check (float 1e-9)) "lenient precision" 1.0 lenient.Metrics.precision
+
+let test_evaluate_edge_cases () =
+  let target = frag [ 17 ] in
+  let empty_ret = Metrics.evaluate ~retrieved:Frag_set.empty
+      ~targets:(Frag_set.singleton target) () in
+  Alcotest.(check (float 1e-9)) "empty retrieval precision" 1.0 empty_ret.Metrics.precision;
+  Alcotest.(check (float 1e-9)) "empty retrieval recall" 0.0 empty_ret.Metrics.recall;
+  Alcotest.(check (float 1e-9)) "f1 zero" 0.0 empty_ret.Metrics.f1;
+  let no_targets =
+    Metrics.evaluate ~retrieved:(Frag_set.singleton target) ~targets:Frag_set.empty ()
+  in
+  Alcotest.(check (float 1e-9)) "no targets recall" 1.0 no_targets.Metrics.recall
+
+(* --- topics --- *)
+
+let test_topics_deterministic () =
+  match (Topics.generate ~seed:31 Topics.Colocated_plus_context,
+         Topics.generate ~seed:31 Topics.Colocated_plus_context) with
+  | Some a, Some b ->
+      Alcotest.(check (list int)) "same target" a.Topics.target b.Topics.target;
+      Alcotest.(check int) "same size" (Doctree.size a.Topics.tree)
+        (Doctree.size b.Topics.tree)
+  | _ -> Alcotest.fail "expected topics"
+
+let check_pattern pattern ~expect_algebra_hit ~expect_smallest_hit =
+  match Topics.generate ~seed:31 pattern with
+  | None -> Alcotest.failf "%s: no topic" (Topics.pattern_name pattern)
+  | Some t ->
+      let ctx = Context.create t.Topics.tree in
+      let target = Fragment.of_nodes ctx t.Topics.target in
+      let beta = List.length t.Topics.target in
+      let algebra =
+        Eval.answers ctx
+          (Query.make ~filter:(Filter.Size_at_most beta) t.Topics.keywords)
+      in
+      Alcotest.(check bool)
+        (Topics.pattern_name pattern ^ ": algebra")
+        expect_algebra_hit (Frag_set.mem target algebra);
+      let smallest = Xfrag_baselines.Smallest_subtree.answer ctx t.Topics.keywords in
+      Alcotest.(check bool)
+        (Topics.pattern_name pattern ^ ": smallest-subtree")
+        expect_smallest_hit (Frag_set.mem target smallest)
+
+let test_colocated_pattern () =
+  (* The Figure-8 case: only the algebra retrieves the target. *)
+  check_pattern Topics.Colocated_plus_context ~expect_algebra_hit:true
+    ~expect_smallest_hit:false
+
+let test_sibling_pattern () =
+  (* Here the minimal witness tree IS the target: both retrieve it. *)
+  check_pattern Topics.Sibling_split ~expect_algebra_hit:true ~expect_smallest_hit:true
+
+let test_title_body_pattern () =
+  check_pattern Topics.Title_body ~expect_algebra_hit:true ~expect_smallest_hit:true
+
+let test_same_node_pattern () =
+  (* Control: every semantics retrieves a single co-located paragraph. *)
+  check_pattern Topics.Same_node ~expect_algebra_hit:true ~expect_smallest_hit:true
+
+let test_cousins_pattern () =
+  check_pattern Topics.Cousins ~expect_algebra_hit:true ~expect_smallest_hit:true
+
+let test_target_is_valid_fragment () =
+  List.iter
+    (fun pattern ->
+      List.iter
+        (fun (t : Topics.topic) ->
+          let ctx = Context.create t.Topics.tree in
+          (* of_nodes validates connectivity. *)
+          ignore (Fragment.of_nodes ctx t.Topics.target))
+        (Topics.generate_many ~seeds:[ 1; 2; 3; 4; 5 ] pattern))
+    Topics.all_patterns
+
+let test_keywords_planted_exactly () =
+  match Topics.generate ~seed:31 Topics.Sibling_split with
+  | None -> Alcotest.fail "no topic"
+  | Some t ->
+      let ctx = Context.create t.Topics.tree in
+      List.iter
+        (fun k ->
+          Alcotest.(check int) k 1
+            (Xfrag_doctree.Inverted_index.node_count ctx.Context.index k))
+        t.Topics.keywords
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "jaccard",
+        [
+          Alcotest.test_case "jaccard" `Quick test_jaccard;
+          Alcotest.test_case "best_match" `Quick test_best_match;
+        ] );
+      ( "evaluate",
+        [
+          Alcotest.test_case "exact" `Quick test_evaluate_exact;
+          Alcotest.test_case "threshold" `Quick test_evaluate_threshold;
+          Alcotest.test_case "edge cases" `Quick test_evaluate_edge_cases;
+        ] );
+      ( "topics",
+        [
+          Alcotest.test_case "deterministic" `Quick test_topics_deterministic;
+          Alcotest.test_case "colocated+context" `Quick test_colocated_pattern;
+          Alcotest.test_case "sibling-split" `Quick test_sibling_pattern;
+          Alcotest.test_case "title-body" `Quick test_title_body_pattern;
+          Alcotest.test_case "same-node (control)" `Quick test_same_node_pattern;
+          Alcotest.test_case "cousins" `Quick test_cousins_pattern;
+          Alcotest.test_case "targets are fragments" `Quick test_target_is_valid_fragment;
+          Alcotest.test_case "keywords planted exactly" `Quick test_keywords_planted_exactly;
+        ] );
+    ]

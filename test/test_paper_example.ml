@@ -1,0 +1,187 @@
+(* Exact reproduction of the paper's worked example (§4, Table 1,
+   Figure 8) on the Figure 1 document. *)
+
+module Context = Xfrag_core.Context
+module Fragment = Xfrag_core.Fragment
+module Frag_set = Xfrag_core.Frag_set
+module Join = Xfrag_core.Join
+module Filter = Xfrag_core.Filter
+module Query = Xfrag_core.Query
+module Eval = Xfrag_core.Eval
+module Selection = Xfrag_core.Selection
+module Paper = Xfrag_workload.Paper_doc
+module Doctree = Xfrag_doctree.Doctree
+module Int_sorted = Xfrag_util.Int_sorted
+
+let ctx = lazy (Paper.figure1_context ())
+
+let fragment_testable = Alcotest.testable Fragment.pp Fragment.equal
+
+(* --- document sanity --- *)
+
+let test_document_size () =
+  Alcotest.(check int) "82 nodes (n0..n81)" 82 (Doctree.size (Paper.figure1 ()))
+
+let test_prescribed_parent_chains () =
+  let t = Paper.figure1 () in
+  let chain n = Doctree.path_to_ancestor t n 0 in
+  Alcotest.(check (list int)) "n17 chain" [ 17; 16; 14; 1; 0 ] (chain 17);
+  Alcotest.(check (list int)) "n18 chain" [ 18; 16; 14; 1; 0 ] (chain 18);
+  Alcotest.(check (list int)) "n81 chain" [ 81; 80; 79; 0 ] (chain 81)
+
+let test_keyword_postings_match_paper () =
+  let c = Lazy.force ctx in
+  let nodes k = Int_sorted.to_list (Xfrag_doctree.Inverted_index.lookup c.Context.index k) in
+  Alcotest.(check (list int)) "F1 = {n17, n18}" [ 17; 18 ] (nodes "xquery");
+  Alcotest.(check (list int)) "F2 = {n16, n17, n81}" [ 16; 17; 81 ] (nodes "optimization")
+
+let test_figure1_xml_roundtrip () =
+  let original = Paper.figure1 () in
+  let reparsed = Doctree.of_xml (Xfrag_xml.Xml_parser.parse_string (Paper.figure1_xml ())) in
+  Alcotest.(check int) "same size" (Doctree.size original) (Doctree.size reparsed);
+  for n = 0 to Doctree.size original - 1 do
+    Alcotest.(check string) (Printf.sprintf "label n%d" n) (Doctree.label original n)
+      (Doctree.label reparsed n);
+    Alcotest.(check (option int)) (Printf.sprintf "parent n%d" n)
+      (Doctree.parent original n) (Doctree.parent reparsed n)
+  done;
+  (* Keyword postings survive the round trip. *)
+  let c2 = Context.create reparsed in
+  Alcotest.(check (list int)) "xquery postings" [ 17; 18 ]
+    (Int_sorted.to_list (Xfrag_doctree.Inverted_index.lookup c2.Context.index "xquery"))
+
+(* --- Table 1, row by row --- *)
+
+let test_table1_joins () =
+  let c = Lazy.force ctx in
+  List.iteri
+    (fun i (inputs, expected) ->
+      let fragments = List.map (fun ns -> Fragment.of_nodes c ns) inputs in
+      Alcotest.check fragment_testable
+        (Printf.sprintf "row %d" (i + 1))
+        (Fragment.of_nodes c expected)
+        (Join.fragment_many c fragments))
+    Paper.table1_rows
+
+let test_table1_rows_1_to_7_unique () =
+  let c = Lazy.force ctx in
+  let outputs =
+    List.map (fun (_, expected) -> Fragment.of_nodes c expected) Paper.table1_rows
+  in
+  let first7 = List.filteri (fun i _ -> i < 7) outputs in
+  let last4 = List.filteri (fun i _ -> i >= 7) outputs in
+  Alcotest.(check int) "first seven distinct" 7
+    (Frag_set.cardinal (Frag_set.of_list first7));
+  (* Rows 8–11 are duplicates of earlier rows. *)
+  List.iter
+    (fun dup ->
+      Alcotest.(check bool) "duplicate of an earlier row" true
+        (List.exists (Fragment.equal dup) first7))
+    last4
+
+let test_table1_irrelevant_marking () =
+  (* Rows marked irrelevant are exactly those whose output violates
+     size ≤ 3. *)
+  let c = Lazy.force ctx in
+  List.iteri
+    (fun i (_, expected) ->
+      let row = i + 1 in
+      let f = Fragment.of_nodes c expected in
+      let marked = List.mem row Paper.table1_irrelevant_rows in
+      Alcotest.(check bool)
+        (Printf.sprintf "row %d" row)
+        marked
+        (not (Filter.evaluate c (Filter.Size_at_most 3) f)))
+    Paper.table1_rows
+
+let test_powerset_generates_exactly_table1_outputs () =
+  let c = Lazy.force ctx in
+  let s1 = Selection.keyword c "xquery" in
+  let s2 = Selection.keyword c "optimization" in
+  let generated = Xfrag_core.Powerset.literal c s1 s2 in
+  let expected =
+    Frag_set.of_list
+      (List.map (fun (_, out) -> Fragment.of_nodes c out) Paper.table1_rows)
+  in
+  Alcotest.(check bool) "generated = Table 1 outputs" true
+    (Frag_set.equal generated expected);
+  Alcotest.(check int) "7 unique" 7 (Frag_set.cardinal generated)
+
+(* --- the final answer (§4.1) --- *)
+
+let test_final_answer_four_fragments () =
+  let c = Lazy.force ctx in
+  let q = Query.make ~filter:(Filter.Size_at_most 3) Paper.query_keywords in
+  let answers = Eval.answers c q in
+  Alcotest.(check int) "four fragments" 4 (Frag_set.cardinal answers);
+  List.iter
+    (fun ns ->
+      Alcotest.(check bool)
+        (Format.asprintf "%a" Fragment.pp (Fragment.of_nodes c ns))
+        true
+        (Frag_set.mem (Fragment.of_nodes c ns) answers))
+    [ [ 16; 17; 18 ]; [ 16; 17 ]; [ 16; 18 ]; [ 17 ] ]
+
+(* --- Figure 8 --- *)
+
+let test_figure8_target_fragment () =
+  let c = Lazy.force ctx in
+  let target = Fragment.of_nodes c Paper.fragment_of_interest in
+  Alcotest.(check int) "root n16" 16 (Fragment.root target);
+  let q = Query.make ~filter:(Filter.Size_at_most 3) Paper.query_keywords in
+  Alcotest.(check bool) "target retrieved" true
+    (Frag_set.mem target (Eval.answers c q))
+
+let test_figure8_irrelevant_fragment () =
+  (* Without the filter the 9-node fragment of Figure 8(c) IS generated;
+     the filter is what excludes it. *)
+  let c = Lazy.force ctx in
+  let irrelevant = Fragment.of_nodes c [ 0; 1; 14; 16; 17; 18; 79; 80; 81 ] in
+  let unfiltered = Eval.answers c (Query.make Paper.query_keywords) in
+  let filtered =
+    Eval.answers c (Query.make ~filter:(Filter.Size_at_most 3) Paper.query_keywords)
+  in
+  Alcotest.(check bool) "generated without filter" true (Frag_set.mem irrelevant unfiltered);
+  Alcotest.(check bool) "excluded with filter" false (Frag_set.mem irrelevant filtered)
+
+(* --- anti-monotonic pruning kills f16 ⋈ f81 early (§4.3) --- *)
+
+let test_f16_join_f81_pruned_early () =
+  let c = Lazy.force ctx in
+  let f16 = Fragment.singleton 16 and f81 = Fragment.singleton 81 in
+  let joined = Join.fragment c f16 f81 in
+  Alcotest.check fragment_testable "f16 ⋈ f81 (7 nodes)"
+    (Fragment.of_nodes c [ 0; 1; 14; 16; 79; 80; 81 ])
+    joined;
+  Alcotest.(check bool) "violates size ≤ 3" false
+    (Filter.evaluate c (Filter.Size_at_most 3) joined)
+  (* …so pushdown never extends it — covered by the op-stat assertions in
+     test_eval. *)
+
+let () =
+  Alcotest.run "paper_example"
+    [
+      ( "document",
+        [
+          Alcotest.test_case "82 nodes" `Quick test_document_size;
+          Alcotest.test_case "parent chains" `Quick test_prescribed_parent_chains;
+          Alcotest.test_case "keyword postings" `Quick test_keyword_postings_match_paper;
+          Alcotest.test_case "XML round trip" `Quick test_figure1_xml_roundtrip;
+        ] );
+      ( "table1",
+        [
+          Alcotest.test_case "all 11 joins" `Quick test_table1_joins;
+          Alcotest.test_case "rows 1-7 unique, 8-11 duplicates" `Quick
+            test_table1_rows_1_to_7_unique;
+          Alcotest.test_case "irrelevant marking = size>3" `Quick test_table1_irrelevant_marking;
+          Alcotest.test_case "powerset = Table 1 outputs" `Quick
+            test_powerset_generates_exactly_table1_outputs;
+        ] );
+      ( "answer",
+        [
+          Alcotest.test_case "final four fragments" `Quick test_final_answer_four_fragments;
+          Alcotest.test_case "Figure 8(b) target" `Quick test_figure8_target_fragment;
+          Alcotest.test_case "Figure 8(c) irrelevant" `Quick test_figure8_irrelevant_fragment;
+          Alcotest.test_case "f16 ⋈ f81 prunable" `Quick test_f16_join_f81_pruned_early;
+        ] );
+    ]

@@ -1,0 +1,172 @@
+(* Tests for overlap-aware answer presentation (§5). *)
+
+module Context = Xfrag_core.Context
+module Fragment = Xfrag_core.Fragment
+module Frag_set = Xfrag_core.Frag_set
+module Filter = Xfrag_core.Filter
+module Query = Xfrag_core.Query
+module Eval = Xfrag_core.Eval
+module Presentation = Xfrag_core.Presentation
+module Paper = Xfrag_workload.Paper_doc
+
+let ctx = lazy (Paper.figure1_context ())
+
+let paper_answers () =
+  Eval.answers (Lazy.force ctx)
+    (Query.make ~filter:(Filter.Size_at_most 3) Paper.query_keywords)
+
+let test_maximal_paper () =
+  (* The four Table 1 answers nest inside ⟨n16,n17,n18⟩ except ⟨n16,n18⟩
+     … which also nests inside it.  All are subfragments of the target,
+     so exactly one maximal answer remains. *)
+  let c = Lazy.force ctx in
+  let maximal = Presentation.maximal (paper_answers ()) in
+  Alcotest.(check int) "one maximal answer" 1 (List.length maximal);
+  Alcotest.(check bool) "it is the fragment of interest" true
+    (Fragment.equal (List.hd maximal) (Fragment.of_nodes c Paper.fragment_of_interest))
+
+let test_groups_cover_all_answers () =
+  let answers = paper_answers () in
+  let groups = Presentation.groups answers in
+  let covered =
+    List.concat_map
+      (fun g -> g.Presentation.representative :: g.Presentation.subsumed)
+      groups
+  in
+  Frag_set.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Format.asprintf "%a covered" Fragment.pp f)
+        true
+        (List.exists (Fragment.equal f) covered))
+    answers
+
+let test_subsumed_are_proper_subfragments () =
+  let groups = Presentation.groups (paper_answers ()) in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun f ->
+          Alcotest.(check bool) "proper subfragment" true
+            (Fragment.subfragment f g.Presentation.representative
+            && not (Fragment.equal f g.Presentation.representative)))
+        g.Presentation.subsumed)
+    groups
+
+let test_overlap_ratio () =
+  (* 3 of the 4 paper answers are subsumed. *)
+  Alcotest.(check (float 1e-9)) "3/4" 0.75 (Presentation.overlap_ratio (paper_answers ()));
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Presentation.overlap_ratio Frag_set.empty)
+
+let test_no_overlap_case () =
+  let c = Lazy.force ctx in
+  let set = Frag_set.of_list [ Fragment.singleton 17; Fragment.singleton 81 ] in
+  ignore c;
+  Alcotest.(check (float 1e-9)) "disjoint answers" 0.0 (Presentation.overlap_ratio set);
+  Alcotest.(check int) "both maximal" 2 (List.length (Presentation.maximal set))
+
+let test_policies () =
+  let answers = paper_answers () in
+  let all = Presentation.select Presentation.All answers in
+  Alcotest.(check int) "All: one group per answer" 4 (List.length all);
+  List.iter
+    (fun g -> Alcotest.(check int) "All: no nesting" 0 (List.length g.Presentation.subsumed))
+    all;
+  let hidden = Presentation.select Presentation.Hide_subsumed answers in
+  Alcotest.(check int) "Hide: only maximal" 1 (List.length hidden);
+  Alcotest.(check int) "Hide: no sublists" 0
+    (List.length (List.hd hidden).Presentation.subsumed);
+  let nested = Presentation.select Presentation.Nest answers in
+  Alcotest.(check int) "Nest: one group" 1 (List.length nested);
+  Alcotest.(check int) "Nest: three subsumed" 3
+    (List.length (List.hd nested).Presentation.subsumed)
+
+let test_pp_renders () =
+  let c = Lazy.force ctx in
+  let rendered =
+    Format.asprintf "%a" (Presentation.pp c)
+      (Presentation.select Presentation.Nest (paper_answers ()))
+  in
+  Alcotest.(check bool) "mentions n16" true
+    (Astring.String.is_infix ~affix:"n16" rendered);
+  Alcotest.(check bool) "has nesting marker" true
+    (Astring.String.is_infix ~affix:"\xE2\x86\xB3" rendered)
+
+let test_shared_subfragment_in_both_groups () =
+  (* An answer subsumed by two different maximal answers appears under
+     both. *)
+  let c = Lazy.force ctx in
+  let a = Fragment.of_nodes c [ 16; 17 ] in
+  let b = Fragment.of_nodes c [ 16; 18 ] in
+  let shared = Fragment.singleton 16 in
+  let groups = Presentation.groups (Frag_set.of_list [ a; b; shared ]) in
+  Alcotest.(check int) "two maximal groups" 2 (List.length groups);
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) "shared under each" true
+        (List.exists (Fragment.equal shared) g.Presentation.subsumed))
+    groups
+
+(* --- snippets --- *)
+
+let test_snippet_highlights () =
+  let c = Lazy.force ctx in
+  let f = Fragment.singleton 17 in
+  let s = Presentation.snippet c ~keywords:[ "xquery"; "optimization" ] f in
+  Alcotest.(check bool) "highlights xquery" true
+    (Astring.String.is_infix ~affix:"\xC2\xABXQuery\xC2\xBB" s);
+  Alcotest.(check bool) "has ellipsis or words" true (String.length s > 10)
+
+let test_snippet_multi_node () =
+  let c = Lazy.force ctx in
+  let f = Fragment.of_nodes c [ 16; 17; 18 ] in
+  let s = Presentation.snippet c ~keywords:[ "xquery" ] f in
+  (* n17 and n18 both contain XQuery; two excerpts joined. *)
+  Alcotest.(check bool) "two excerpts" true
+    (Astring.String.is_infix ~affix:" \xE2\x80\xA6 " s)
+
+let test_snippet_no_match_falls_back () =
+  let c = Lazy.force ctx in
+  let f = Fragment.singleton 15 in
+  (* n15's text is a title with no query keyword. *)
+  let s = Presentation.snippet c ~keywords:[ "zebra" ] f in
+  Alcotest.(check bool) "non-empty fallback" true (String.length s > 0);
+  Alcotest.(check bool) "no highlight marks" false
+    (Astring.String.is_infix ~affix:"\xC2\xAB" s)
+
+let test_snippet_window () =
+  let c = Lazy.force ctx in
+  let f = Fragment.singleton 17 in
+  let tight = Presentation.snippet ~window:1 c ~keywords:[ "optimization" ] f in
+  let wide = Presentation.snippet ~window:10 c ~keywords:[ "optimization" ] f in
+  Alcotest.(check bool) "window bounds length" true
+    (String.length tight < String.length wide)
+
+let () =
+  Alcotest.run "presentation"
+    [
+      ( "groups",
+        [
+          Alcotest.test_case "maximal on paper answers" `Quick test_maximal_paper;
+          Alcotest.test_case "groups cover all" `Quick test_groups_cover_all_answers;
+          Alcotest.test_case "subsumed are proper" `Quick test_subsumed_are_proper_subfragments;
+          Alcotest.test_case "shared subfragment" `Quick test_shared_subfragment_in_both_groups;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "overlap ratio" `Quick test_overlap_ratio;
+          Alcotest.test_case "no overlap" `Quick test_no_overlap_case;
+        ] );
+      ( "policies",
+        [
+          Alcotest.test_case "All/Hide/Nest" `Quick test_policies;
+          Alcotest.test_case "pp" `Quick test_pp_renders;
+        ] );
+      ( "snippets",
+        [
+          Alcotest.test_case "highlights" `Quick test_snippet_highlights;
+          Alcotest.test_case "multi node" `Quick test_snippet_multi_node;
+          Alcotest.test_case "fallback" `Quick test_snippet_no_match_falls_back;
+          Alcotest.test_case "window" `Quick test_snippet_window;
+        ] );
+    ]

@@ -1,0 +1,179 @@
+(* Tests for fragment set reduce ⊖ (Definition 10, Figure 4) and the
+   reduction factor RF (§5). *)
+
+module Fragment = Xfrag_core.Fragment
+module Frag_set = Xfrag_core.Frag_set
+module Join = Xfrag_core.Join
+module Reduce = Xfrag_core.Reduce
+module Paper = Xfrag_workload.Paper_doc
+module Random_tree = Xfrag_workload.Random_tree
+module Prng = Xfrag_util.Prng
+
+let set_testable = Alcotest.testable Frag_set.pp Frag_set.equal
+
+let singles ns = Frag_set.of_list (List.map Fragment.singleton ns)
+
+let test_figure4 () =
+  (* F = {⟨n1⟩,⟨n3⟩,⟨n5⟩,⟨n6⟩,⟨n7⟩} reduces to {⟨n1⟩,⟨n5⟩,⟨n7⟩}: n3 is
+     subsumed by n1 ⋈ n5 and n6 by n1 ⋈ n7. *)
+  let ctx = Paper.figure4_context () in
+  Alcotest.check set_testable "Figure 4"
+    (singles [ 1; 5; 7 ])
+    (Reduce.reduce ctx (singles [ 1; 3; 5; 6; 7 ]))
+
+let test_figure4_reduction_factor () =
+  let ctx = Paper.figure4_context () in
+  let rf = Reduce.reduction_factor ctx (singles [ 1; 3; 5; 6; 7 ]) in
+  Alcotest.(check bool) "RF = (5-3)/5" true (Float.abs (rf -. 0.4) < 1e-9)
+
+let test_small_sets_unreduced () =
+  (* Sets with ≤ 2 elements cannot be reduced (the proof of Theorem 1
+     notes this). *)
+  let ctx = Paper.figure4_context () in
+  let s0 = Frag_set.empty in
+  let s1 = singles [ 5 ] in
+  let s2 = singles [ 5; 7 ] in
+  Alcotest.check set_testable "empty" s0 (Reduce.reduce ctx s0);
+  Alcotest.check set_testable "one" s1 (Reduce.reduce ctx s1);
+  Alcotest.check set_testable "two" s2 (Reduce.reduce ctx s2);
+  Alcotest.(check (float 1e-9)) "RF of empty" 0.0 (Reduce.reduction_factor ctx s0)
+
+let test_paper_f2_reduction () =
+  (* §4.2: ⊖(F2) = {f17, f81} on the Figure 1 document. *)
+  let ctx = Paper.figure1_context () in
+  Alcotest.check set_testable "⊖(F2)"
+    (singles [ 17; 81 ])
+    (Reduce.reduce ctx (singles [ 16; 17; 81 ]))
+
+let test_paper_f1_already_reduced () =
+  let ctx = Paper.figure1_context () in
+  let f1 = singles [ 17; 18 ] in
+  Alcotest.check set_testable "F1 unchanged" f1 (Reduce.reduce ctx f1)
+
+let test_nothing_reducible () =
+  (* Three leaves of distinct parents: no pairwise join subsumes the
+     third node... unless it lies on the connecting path.  Figure 3 tree:
+     n2, n5, n8 — join(n2,n5) = ⟨0,1,2,3,4,5⟩ misses 8; join(n2,n8)
+     misses 5; join(n5,n8) = ⟨3,4,5,6,7,8⟩ misses 2. *)
+  let ctx = Paper.figure3_context () in
+  let s = singles [ 2; 5; 8 ] in
+  Alcotest.check set_testable "irreducible" s (Reduce.reduce ctx s)
+
+let test_chain_fully_reducible () =
+  (* On a chain 0-1-…-5, middle nodes are subsumed by join(end, end). *)
+  let specs =
+    List.init 6 (fun id ->
+        { Xfrag_doctree.Doctree.spec_id = id;
+          spec_parent = (if id = 0 then -1 else id - 1);
+          spec_label = "n"; spec_text = "" })
+  in
+  let ctx = Xfrag_core.Context.create (Xfrag_doctree.Doctree.of_specs specs) in
+  Alcotest.check set_testable "only endpoints remain"
+    (singles [ 0; 5 ])
+    (Reduce.reduce ctx (singles [ 0; 2; 3; 5 ]))
+
+(* --- properties --- *)
+
+let gen = QCheck2.Gen.(pair (1 -- 10_000) (2 -- 30))
+
+let random_set (seed, size) =
+  let ctx = Random_tree.context ~seed ~size in
+  let prng = Prng.create (seed * 11) in
+  (ctx, Random_tree.fragment_set ctx prng ~max_fragments:6)
+
+let reduce_is_subset_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"⊖(F) ⊆ F" ~count:100 gen (fun input ->
+         let ctx, s = random_set input in
+         Frag_set.subset (Reduce.reduce ctx s) s))
+
+let reduce_preserves_fixed_point_prop =
+  (* The reduced set, while smaller, must generate the same fixed point:
+     eliminated fragments are recoverable as subfragments of joins.  This
+     is the property that justifies using |⊖(F)| as the round count.
+     Note: ⊖(F)⁺ need not contain eliminated members of F themselves, but
+     ⋈-closure starting from F stabilizes after |⊖(F)| rounds — tested in
+     test_fixed_point.  Here we check the definitional characterisation:
+     every eliminated f is a subfragment of a join of two survivors or of
+     two other members. *)
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"eliminated fragments are subsumed" ~count:100 gen
+       (fun input ->
+         let ctx, s = random_set input in
+         let reduced = Reduce.reduce ctx s in
+         let eliminated = Frag_set.diff s reduced in
+         Frag_set.for_all
+           (fun f ->
+             let members = Frag_set.elements s in
+             List.exists
+               (fun f' ->
+                 List.exists
+                   (fun f'' ->
+                     (not (Fragment.equal f f')) && (not (Fragment.equal f f''))
+                     && (not (Fragment.equal f' f''))
+                     && Fragment.subfragment f (Join.fragment ctx f' f''))
+                   members)
+               members)
+           eliminated))
+
+let survivors_not_subsumed_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"survivors are not subsumed" ~count:100 gen
+       (fun input ->
+         let ctx, s = random_set input in
+         let reduced = Reduce.reduce ctx s in
+         Frag_set.cardinal s <= 2
+         || Frag_set.for_all
+              (fun f ->
+                let members = Frag_set.elements s in
+                not
+                  (List.exists
+                     (fun f' ->
+                       List.exists
+                         (fun f'' ->
+                           (not (Fragment.equal f f')) && (not (Fragment.equal f f''))
+                           && (not (Fragment.equal f' f''))
+                           && Fragment.subfragment f (Join.fragment ctx f' f''))
+                         members)
+                     members))
+              reduced))
+
+let rf_in_range_prop =
+  (* For general fragment sets RF may reach exactly 1 (empty ⊖, see the
+     Theorem 1 erratum); the paper's strict RF < 1 only holds for
+     single-node seeds — both are checked. *)
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"RF ∈ [0, 1]; < 1 on single-node sets" ~count:100 gen
+       (fun ((seed, size) as input) ->
+         let ctx, s = random_set input in
+         let rf = Reduce.reduction_factor ctx s in
+         let prng = Prng.create (seed * 29) in
+         let singles =
+           Frag_set.of_list
+             (List.init (1 + Prng.int prng 6) (fun _ ->
+                  Fragment.singleton (Prng.int prng size)))
+         in
+         let rf_single = Reduce.reduction_factor ctx singles in
+         rf >= 0.0 && rf <= 1.0 && rf_single >= 0.0 && rf_single < 1.0))
+
+let () =
+  Alcotest.run "reduce"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "Figure 4" `Quick test_figure4;
+          Alcotest.test_case "Figure 4 RF" `Quick test_figure4_reduction_factor;
+          Alcotest.test_case "small sets" `Quick test_small_sets_unreduced;
+          Alcotest.test_case "paper ⊖(F2)" `Quick test_paper_f2_reduction;
+          Alcotest.test_case "paper F1 already reduced" `Quick test_paper_f1_already_reduced;
+          Alcotest.test_case "irreducible set" `Quick test_nothing_reducible;
+          Alcotest.test_case "chain endpoints" `Quick test_chain_fully_reducible;
+        ] );
+      ( "properties",
+        [
+          reduce_is_subset_prop;
+          reduce_preserves_fixed_point_prop;
+          survivors_not_subsumed_prop;
+          rf_in_range_prop;
+        ] );
+    ]

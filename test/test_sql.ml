@@ -1,0 +1,221 @@
+(* Tests for the SQL front-end over the mini relational engine. *)
+
+module Value = Xfrag_relstore.Value
+module Schema = Xfrag_relstore.Schema
+module Relation = Xfrag_relstore.Relation
+module Database = Xfrag_relstore.Database
+module Relalg = Xfrag_relstore.Relalg
+module Sql = Xfrag_relstore.Sql
+module Mapping = Xfrag_relstore.Mapping
+module Paper = Xfrag_workload.Paper_doc
+
+let db () = Mapping.of_doctree (Paper.figure1 ())
+
+let run_exn db sql =
+  match Sql.run db sql with
+  | Ok rel -> rel
+  | Error e -> Alcotest.failf "%s: %s" sql e
+
+let expect_error db sql =
+  match Sql.run db sql with
+  | Ok _ -> Alcotest.failf "%s: expected an error" sql
+  | Error _ -> ()
+
+(* --- parsing --- *)
+
+let test_parse_minimal () =
+  match Sql.parse "SELECT * FROM node" with
+  | Ok stmt ->
+      Alcotest.(check bool) "no distinct" false stmt.Sql.distinct;
+      Alcotest.(check bool) "star" true (stmt.Sql.columns = None);
+      Alcotest.(check (list (pair string string))) "from" [ ("node", "node") ]
+        stmt.Sql.from
+  | Error e -> Alcotest.fail e
+
+let test_parse_full () =
+  match
+    Sql.parse
+      "SELECT DISTINCT n.id, n.label FROM node n, keyword k WHERE n.id = k.node \
+       AND k.word = 'xquery' ORDER BY n.id LIMIT 5"
+  with
+  | Ok stmt ->
+      Alcotest.(check bool) "distinct" true stmt.Sql.distinct;
+      Alcotest.(check (option (list string))) "columns" (Some [ "n.id"; "n.label" ])
+        stmt.Sql.columns;
+      Alcotest.(check (list (pair string string))) "from"
+        [ ("node", "n"); ("keyword", "k") ]
+        stmt.Sql.from;
+      Alcotest.(check (list string)) "order" [ "n.id" ] stmt.Sql.order_by;
+      Alcotest.(check (option int)) "limit" (Some 5) stmt.Sql.limit
+  | Error e -> Alcotest.fail e
+
+let test_parse_keywords_case_insensitive () =
+  match Sql.parse "select n.id from node n where n.id <= 3" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_parse_string_escapes () =
+  match Sql.parse "SELECT * FROM node n WHERE n.label = 'it''s'" with
+  | Ok stmt ->
+      let rec find = function
+        | Relalg.Eq (_, Relalg.Const (Value.Text s)) -> Some s
+        | Relalg.And (p, q) -> ( match find p with Some s -> Some s | None -> find q)
+        | _ -> None
+      in
+      Alcotest.(check (option string)) "escaped quote" (Some "it's")
+        (find stmt.Sql.where)
+  | Error e -> Alcotest.fail e
+
+let test_parse_errors () =
+  List.iter
+    (fun sql ->
+      match Sql.parse sql with
+      | Ok _ -> Alcotest.failf "%s: expected parse error" sql
+      | Error _ -> ())
+    [
+      "";
+      "FROM node";
+      "SELECT";
+      "SELECT * FROM";
+      "SELECT * FROM node WHERE";
+      "SELECT * FROM node WHERE id =";
+      "SELECT * FROM node LIMIT x";
+      "SELECT * FROM node extra junk +";
+      "SELECT * FROM node WHERE label = 'unterminated";
+    ]
+
+(* --- execution --- *)
+
+let test_select_all () =
+  let rel = run_exn (db ()) "SELECT * FROM node" in
+  Alcotest.(check int) "82 rows" 82 (Relation.cardinality rel)
+
+let test_where_comparisons () =
+  let d = db () in
+  Alcotest.(check int) "id = 17" 1
+    (Relation.cardinality (run_exn d "SELECT * FROM node n WHERE n.id = 17"));
+  Alcotest.(check int) "id <= 4" 5
+    (Relation.cardinality (run_exn d "SELECT * FROM node n WHERE n.id <= 4"));
+  Alcotest.(check int) "id > 79" 2
+    (Relation.cardinality (run_exn d "SELECT * FROM node n WHERE n.id > 79"));
+  (* 11 direct paragraphs in each of the three full sections. *)
+  Alcotest.(check int) "label = par and depth < 3" 33
+    (Relation.cardinality
+       (run_exn d "SELECT * FROM node n WHERE n.label = 'par' AND n.depth < 3"))
+
+let test_join_postings () =
+  (* The keyword table joined to node labels: xquery occurs at n17, n18,
+     both labelled par. *)
+  let rel =
+    run_exn (db ())
+      "SELECT n.id, n.label FROM node n, keyword k WHERE n.id = k.node AND \
+       k.word = 'xquery' ORDER BY n.id"
+  in
+  Alcotest.(check int) "two rows" 2 (Relation.cardinality rel);
+  match Relation.rows rel with
+  | [ r1; r2 ] ->
+      Alcotest.(check int) "n17" 17 (Value.to_int r1.(0));
+      Alcotest.(check int) "n18" 18 (Value.to_int r2.(0));
+      Alcotest.(check string) "par" "par" (Value.to_text r1.(1))
+  | _ -> Alcotest.fail "expected exactly two rows"
+
+let test_ancestor_query () =
+  (* Ancestors of n17 via the interval encoding: 0, 1, 14, 16. *)
+  let rel =
+    run_exn (db ())
+      "SELECT a.id FROM node a, node b WHERE b.id = 17 AND a.id < b.id AND \
+       b.id <= a.last ORDER BY a.id"
+  in
+  Alcotest.(check (list int)) "ancestors" [ 0; 1; 14; 16 ]
+    (List.map (fun r -> Value.to_int r.(0)) (Relation.rows rel))
+
+let test_distinct_and_limit () =
+  let d = db () in
+  let labels =
+    run_exn d "SELECT DISTINCT n.label FROM node n ORDER BY n.label"
+  in
+  Alcotest.(check int) "six distinct labels" 6 (Relation.cardinality labels);
+  let limited = run_exn d "SELECT n.id FROM node n ORDER BY n.id LIMIT 3" in
+  Alcotest.(check (list int)) "first three" [ 0; 1; 2 ]
+    (List.map (fun r -> Value.to_int r.(0)) (Relation.rows limited))
+
+let test_or_and_not () =
+  let d = db () in
+  Alcotest.(check int) "id=17 OR id=81" 2
+    (Relation.cardinality
+       (run_exn d "SELECT * FROM node n WHERE n.id = 17 OR n.id = 81"));
+  Alcotest.(check int) "NOT id<=80" 1
+    (Relation.cardinality (run_exn d "SELECT * FROM node n WHERE NOT n.id <= 80"));
+  Alcotest.(check int) "parenthesized" 3
+    (Relation.cardinality
+       (run_exn d
+          "SELECT * FROM node n WHERE (n.id = 17 OR n.id = 81) OR n.id = 0"))
+
+let test_three_way_join () =
+  (* Nodes containing both keywords: the n.id join through two keyword
+     aliases — n17 only. *)
+  let rel =
+    run_exn (db ())
+      "SELECT DISTINCT n.id FROM node n, keyword k1, keyword k2 WHERE n.id = \
+       k1.node AND n.id = k2.node AND k1.word = 'xquery' AND k2.word = \
+       'optimization'"
+  in
+  Alcotest.(check (list int)) "n17" [ 17 ]
+    (List.map (fun r -> Value.to_int r.(0)) (Relation.rows rel))
+
+let test_hash_join_used () =
+  (* The compiler must plan the cross-table equality as a hash join. *)
+  match Sql.parse "SELECT * FROM node n, keyword k WHERE n.id = k.node" with
+  | Error e -> Alcotest.fail e
+  | Ok stmt -> (
+      match Sql.compile stmt with
+      | Error e -> Alcotest.fail e
+      | Ok plan ->
+          let rec has_hash_join = function
+            | Relalg.Hash_join _ -> true
+            | Relalg.Scan _ | Relalg.Index_lookup _ -> false
+            | Relalg.Select (_, p)
+            | Relalg.Project (_, p)
+            | Relalg.Distinct p
+            | Relalg.Order_by (_, p)
+            | Relalg.Limit (_, p) ->
+                has_hash_join p
+            | Relalg.Nested_loop_join { left; right; _ } ->
+                has_hash_join left || has_hash_join right
+            | Relalg.Union (a, b) -> has_hash_join a || has_hash_join b
+            | Relalg.Group_by { input; _ } -> has_hash_join input
+            | Relalg.Rename (_, p) -> has_hash_join p
+          in
+          Alcotest.(check bool) "hash join planned" true (has_hash_join plan))
+
+let test_runtime_errors () =
+  let d = db () in
+  expect_error d "SELECT * FROM nonexistent";
+  expect_error d "SELECT n.bogus FROM node n";
+  expect_error d "SELECT * FROM node n WHERE n.bogus = 1"
+
+let () =
+  Alcotest.run "sql"
+    [
+      ( "parsing",
+        [
+          Alcotest.test_case "minimal" `Quick test_parse_minimal;
+          Alcotest.test_case "full statement" `Quick test_parse_full;
+          Alcotest.test_case "case insensitive keywords" `Quick
+            test_parse_keywords_case_insensitive;
+          Alcotest.test_case "string escapes" `Quick test_parse_string_escapes;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "select all" `Quick test_select_all;
+          Alcotest.test_case "comparisons" `Quick test_where_comparisons;
+          Alcotest.test_case "join postings" `Quick test_join_postings;
+          Alcotest.test_case "ancestor query" `Quick test_ancestor_query;
+          Alcotest.test_case "distinct + limit" `Quick test_distinct_and_limit;
+          Alcotest.test_case "or/not/parens" `Quick test_or_and_not;
+          Alcotest.test_case "three-way join" `Quick test_three_way_join;
+          Alcotest.test_case "hash join planned" `Quick test_hash_join_used;
+          Alcotest.test_case "runtime errors" `Quick test_runtime_errors;
+        ] );
+    ]

@@ -1,0 +1,258 @@
+(* Unit and property tests for the utility layer: sorted int sets,
+   deterministic PRNG, Zipf sampling. *)
+
+module Int_sorted = Xfrag_util.Int_sorted
+module Prng = Xfrag_util.Prng
+module Zipf = Xfrag_util.Zipf
+
+let set = Alcotest.testable (Fmt.of_to_string (fun a ->
+    "[" ^ String.concat ";" (List.map string_of_int (Int_sorted.to_list a)) ^ "]"))
+    Int_sorted.equal
+
+(* --- Int_sorted unit tests --- *)
+
+let test_of_list_sorts_dedups () =
+  Alcotest.check set "sorted and deduped"
+    (Int_sorted.of_list [ 1; 2; 3 ])
+    (Int_sorted.of_list [ 3; 1; 2; 2; 3; 1 ])
+
+let test_empty () =
+  Alcotest.(check bool) "empty is empty" true (Int_sorted.is_empty Int_sorted.empty);
+  Alcotest.(check int) "cardinal" 0 (Int_sorted.cardinal Int_sorted.empty)
+
+let test_min_max () =
+  let s = Int_sorted.of_list [ 5; 1; 9 ] in
+  Alcotest.(check int) "min" 1 (Int_sorted.min_elt s);
+  Alcotest.(check int) "max" 9 (Int_sorted.max_elt s);
+  Alcotest.check_raises "min of empty" (Invalid_argument "Int_sorted.min_elt: empty")
+    (fun () -> ignore (Int_sorted.min_elt Int_sorted.empty))
+
+let test_mem () =
+  let s = Int_sorted.of_list [ 2; 4; 6; 8 ] in
+  List.iter (fun x -> Alcotest.(check bool) (string_of_int x) true (Int_sorted.mem x s))
+    [ 2; 4; 6; 8 ];
+  List.iter (fun x -> Alcotest.(check bool) (string_of_int x) false (Int_sorted.mem x s))
+    [ 1; 3; 5; 7; 9; 0; -1 ]
+
+let test_union_basic () =
+  Alcotest.check set "union"
+    (Int_sorted.of_list [ 1; 2; 3; 4; 5 ])
+    (Int_sorted.union (Int_sorted.of_list [ 1; 3; 5 ]) (Int_sorted.of_list [ 2; 3; 4 ]))
+
+let test_union_with_empty () =
+  let s = Int_sorted.of_list [ 1; 2 ] in
+  Alcotest.check set "left empty" s (Int_sorted.union Int_sorted.empty s);
+  Alcotest.check set "right empty" s (Int_sorted.union s Int_sorted.empty)
+
+let test_inter_basic () =
+  Alcotest.check set "inter"
+    (Int_sorted.of_list [ 3 ])
+    (Int_sorted.inter (Int_sorted.of_list [ 1; 3; 5 ]) (Int_sorted.of_list [ 2; 3; 4 ]))
+
+let test_diff_basic () =
+  Alcotest.check set "diff"
+    (Int_sorted.of_list [ 1; 5 ])
+    (Int_sorted.diff (Int_sorted.of_list [ 1; 3; 5 ]) (Int_sorted.of_list [ 2; 3; 4 ]))
+
+let test_subset () =
+  let sub = Int_sorted.of_list [ 2; 4 ] in
+  let sup = Int_sorted.of_list [ 1; 2; 3; 4 ] in
+  Alcotest.(check bool) "subset" true (Int_sorted.subset sub sup);
+  Alcotest.(check bool) "not subset" false (Int_sorted.subset sup sub);
+  Alcotest.(check bool) "empty subset" true (Int_sorted.subset Int_sorted.empty sub);
+  Alcotest.(check bool) "self subset" true (Int_sorted.subset sub sub)
+
+let test_add_remove () =
+  let s = Int_sorted.of_list [ 1; 3 ] in
+  Alcotest.check set "add" (Int_sorted.of_list [ 1; 2; 3 ]) (Int_sorted.add 2 s);
+  Alcotest.check set "add existing" s (Int_sorted.add 3 s);
+  Alcotest.check set "remove" (Int_sorted.of_list [ 1 ]) (Int_sorted.remove 3 s);
+  Alcotest.check set "remove absent" s (Int_sorted.remove 7 s)
+
+let test_union_many () =
+  Alcotest.check set "union_many"
+    (Int_sorted.of_list [ 1; 2; 3; 4; 5; 6 ])
+    (Int_sorted.union_many
+       [ Int_sorted.of_list [ 1; 4 ]; Int_sorted.of_list [ 2; 5 ];
+         Int_sorted.of_list [ 3; 6 ]; Int_sorted.empty ]);
+  Alcotest.check set "union_many empty" Int_sorted.empty (Int_sorted.union_many [])
+
+let test_compare_total_order () =
+  let a = Int_sorted.of_list [ 1; 2 ] in
+  let b = Int_sorted.of_list [ 1; 2; 3 ] in
+  let c = Int_sorted.of_list [ 1; 4 ] in
+  Alcotest.(check bool) "shorter first" true (Int_sorted.compare a b < 0);
+  Alcotest.(check bool) "lexicographic" true (Int_sorted.compare a c < 0);
+  Alcotest.(check int) "reflexive" 0 (Int_sorted.compare a a)
+
+let test_filter () =
+  Alcotest.check set "filter even"
+    (Int_sorted.of_list [ 2; 4 ])
+    (Int_sorted.filter (fun x -> x mod 2 = 0) (Int_sorted.of_list [ 1; 2; 3; 4; 5 ]))
+
+let test_hash_consistent () =
+  let a = Int_sorted.of_list [ 3; 1; 2 ] in
+  let b = Int_sorted.of_list [ 1; 2; 3 ] in
+  Alcotest.(check bool) "equal values hash equal" true
+    (Int_sorted.hash a = Int_sorted.hash b)
+
+(* --- Int_sorted property tests --- *)
+
+let gen_set = QCheck2.Gen.(map Int_sorted.of_list (list_size (0 -- 30) (0 -- 50)))
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count:300 gen f)
+
+let int_sorted_props =
+  [
+    prop "union is commutative" (QCheck2.Gen.pair gen_set gen_set) (fun (a, b) ->
+        Int_sorted.equal (Int_sorted.union a b) (Int_sorted.union b a));
+    prop "inter subset of both" (QCheck2.Gen.pair gen_set gen_set) (fun (a, b) ->
+        let i = Int_sorted.inter a b in
+        Int_sorted.subset i a && Int_sorted.subset i b);
+    prop "diff disjoint from subtrahend" (QCheck2.Gen.pair gen_set gen_set)
+      (fun (a, b) -> Int_sorted.is_empty (Int_sorted.inter (Int_sorted.diff a b) b));
+    prop "union cardinality inclusion-exclusion" (QCheck2.Gen.pair gen_set gen_set)
+      (fun (a, b) ->
+        Int_sorted.cardinal (Int_sorted.union a b)
+        = Int_sorted.cardinal a + Int_sorted.cardinal b
+          - Int_sorted.cardinal (Int_sorted.inter a b));
+    prop "mem agrees with to_list" (QCheck2.Gen.pair gen_set (QCheck2.Gen.int_bound 50))
+      (fun (a, x) -> Int_sorted.mem x a = List.mem x (Int_sorted.to_list a));
+    prop "result is strictly increasing" (QCheck2.Gen.pair gen_set gen_set)
+      (fun (a, b) ->
+        let l = Int_sorted.to_list (Int_sorted.union a b) in
+        List.sort_uniq compare l = l);
+  ]
+
+(* --- Prng --- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "same stream" true (Prng.next_int64 a = Prng.next_int64 b)
+  done
+
+let test_prng_different_seeds () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let differ = ref false in
+  for _ = 1 to 10 do
+    if Prng.next_int64 a <> Prng.next_int64 b then differ := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differ
+
+let test_prng_int_bounds () =
+  let p = Prng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Prng.int p 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10)
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int p 0))
+
+let test_prng_float_bounds () =
+  let p = Prng.create 13 in
+  for _ = 1 to 1000 do
+    let v = Prng.float p 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_prng_shuffle_permutation () =
+  let p = Prng.create 17 in
+  let a = Array.init 20 Fun.id in
+  Prng.shuffle p a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 20 Fun.id) sorted
+
+let test_prng_split_independent () =
+  let p = Prng.create 19 in
+  let child = Prng.split p in
+  Alcotest.(check bool) "child differs from parent stream" true
+    (Prng.next_int64 child <> Prng.next_int64 p)
+
+(* --- Zipf --- *)
+
+let test_zipf_probabilities_sum () =
+  let z = Zipf.create ~n:100 ~s:1.0 in
+  let total = ref 0.0 in
+  for r = 0 to 99 do
+    total := !total +. Zipf.probability z r
+  done;
+  Alcotest.(check bool) "sums to 1" true (Float.abs (!total -. 1.0) < 1e-9)
+
+let test_zipf_rank_order () =
+  let z = Zipf.create ~n:50 ~s:1.2 in
+  Alcotest.(check bool) "rank 0 most likely" true
+    (Zipf.probability z 0 > Zipf.probability z 1);
+  Alcotest.(check bool) "monotone" true
+    (Zipf.probability z 10 > Zipf.probability z 40)
+
+let test_zipf_sample_range () =
+  let z = Zipf.create ~n:10 ~s:1.0 in
+  let p = Prng.create 23 in
+  for _ = 1 to 1000 do
+    let r = Zipf.sample z p in
+    Alcotest.(check bool) "rank in range" true (r >= 0 && r < 10)
+  done
+
+let test_zipf_skew () =
+  let z = Zipf.create ~n:100 ~s:1.0 in
+  let p = Prng.create 29 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 10_000 do
+    let r = Zipf.sample z p in
+    counts.(r) <- counts.(r) + 1
+  done;
+  Alcotest.(check bool) "head dominates tail" true (counts.(0) > 5 * counts.(50))
+
+let test_zipf_uniform_when_s0 () =
+  let z = Zipf.create ~n:4 ~s:0.0 in
+  for r = 0 to 3 do
+    Alcotest.(check bool) "uniform mass" true
+      (Float.abs (Zipf.probability z r -. 0.25) < 1e-9)
+  done
+
+let test_zipf_invalid () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Zipf.create: n must be positive")
+    (fun () -> ignore (Zipf.create ~n:0 ~s:1.0))
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "int_sorted",
+        [
+          Alcotest.test_case "of_list sorts and dedups" `Quick test_of_list_sorts_dedups;
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "min/max" `Quick test_min_max;
+          Alcotest.test_case "mem" `Quick test_mem;
+          Alcotest.test_case "union" `Quick test_union_basic;
+          Alcotest.test_case "union with empty" `Quick test_union_with_empty;
+          Alcotest.test_case "inter" `Quick test_inter_basic;
+          Alcotest.test_case "diff" `Quick test_diff_basic;
+          Alcotest.test_case "subset" `Quick test_subset;
+          Alcotest.test_case "add/remove" `Quick test_add_remove;
+          Alcotest.test_case "union_many" `Quick test_union_many;
+          Alcotest.test_case "compare is a total order" `Quick test_compare_total_order;
+          Alcotest.test_case "filter" `Quick test_filter;
+          Alcotest.test_case "hash consistent with equal" `Quick test_hash_consistent;
+        ] );
+      ("int_sorted_properties", int_sorted_props);
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_prng_different_seeds;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "probabilities sum to 1" `Quick test_zipf_probabilities_sum;
+          Alcotest.test_case "rank order" `Quick test_zipf_rank_order;
+          Alcotest.test_case "sample range" `Quick test_zipf_sample_range;
+          Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "uniform at s=0" `Quick test_zipf_uniform_when_s0;
+          Alcotest.test_case "invalid arguments" `Quick test_zipf_invalid;
+        ] );
+    ]

@@ -1,0 +1,198 @@
+(* Tests for the workload generators: synthetic documents, planted
+   keywords, query generation, random trees. *)
+
+module Doctree = Xfrag_doctree.Doctree
+module Index = Xfrag_doctree.Inverted_index
+module Context = Xfrag_core.Context
+module Filter = Xfrag_core.Filter
+module Docgen = Xfrag_workload.Docgen
+module Querygen = Xfrag_workload.Querygen
+module Random_tree = Xfrag_workload.Random_tree
+module Paper = Xfrag_workload.Paper_doc
+
+let test_docgen_deterministic () =
+  let t1 = Docgen.generate Docgen.default in
+  let t2 = Docgen.generate Docgen.default in
+  Alcotest.(check int) "same size" (Doctree.size t1) (Doctree.size t2);
+  for n = 0 to Doctree.size t1 - 1 do
+    if Doctree.text t1 n <> Doctree.text t2 n then
+      Alcotest.failf "node %d text differs between runs" n
+  done
+
+let test_docgen_seed_changes_output () =
+  let t1 = Docgen.generate Docgen.default in
+  let t2 = Docgen.generate { Docgen.default with seed = 43 } in
+  let differs =
+    Doctree.size t1 <> Doctree.size t2
+    ||
+    let n = min (Doctree.size t1) (Doctree.size t2) in
+    let rec go i = i < n && (Doctree.text t1 i <> Doctree.text t2 i || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "different" true differs
+
+let test_docgen_structure () =
+  let t = Docgen.generate Docgen.default in
+  Alcotest.(check string) "root is article" "article" (Doctree.label t 0);
+  (match Doctree.validate t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid tree: %s" e);
+  let labels = List.map (Doctree.label t) (Doctree.all_nodes t) in
+  List.iter
+    (fun l -> Alcotest.(check bool) l true (List.mem l labels))
+    [ "article"; "title"; "section"; "subsection"; "par" ]
+
+let test_docgen_sections_count () =
+  let t = Docgen.generate { Docgen.default with sections = 4 } in
+  let sections =
+    List.filter (fun n -> Doctree.label t n = "section") (Doctree.all_nodes t)
+  in
+  Alcotest.(check int) "4 sections" 4 (List.length sections)
+
+let test_docgen_zipf_skew () =
+  (* With exponent 1, the head term must be far more frequent than a
+     mid-tail term. *)
+  let t = Docgen.generate { Docgen.default with sections = 8 } in
+  let idx = Index.build t in
+  let head = Index.node_count idx (Docgen.term 0) in
+  let tail = Index.node_count idx (Docgen.term 800) in
+  Alcotest.(check bool) "head >> tail" true (head > tail)
+
+let test_docgen_deep_profile () =
+  let t = Docgen.generate Docgen.deep in
+  (match Doctree.validate t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid: %s" e);
+  let labels = List.map (Doctree.label t) (Doctree.all_nodes t) in
+  Alcotest.(check bool) "has subsubsections" true (List.mem "subsubsection" labels);
+  Alcotest.(check bool) "deeper than default" true (Doctree.max_depth t >= 4)
+
+let test_docgen_wide_profile () =
+  let t = Docgen.generate Docgen.wide in
+  let labels = List.map (Doctree.label t) (Doctree.all_nodes t) in
+  Alcotest.(check bool) "no subsections" false (List.mem "subsection" labels);
+  Alcotest.(check int) "max depth 2" 2 (Doctree.max_depth t);
+  let sections =
+    List.length (List.filter (fun l -> l = "section") labels)
+  in
+  Alcotest.(check int) "14 sections" 14 sections
+
+let test_docgen_xml_parses () =
+  let xml = Docgen.generate_xml { Docgen.default with sections = 2 } in
+  let t = Doctree.of_xml (Xfrag_xml.Xml_parser.parse_string xml) in
+  let direct = Docgen.generate { Docgen.default with sections = 2 } in
+  Alcotest.(check int) "same node count" (Doctree.size direct) (Doctree.size t)
+
+let test_planted_keywords_exact_counts () =
+  let tree =
+    Docgen.with_planted_keywords
+      { Docgen.default with seed = 5 }
+      ~plant:[ ("kalamazoo", 7); ("zanzibar", 2) ]
+  in
+  let idx = Index.build tree in
+  Alcotest.(check int) "7 kalamazoo" 7 (Index.node_count idx "kalamazoo");
+  Alcotest.(check int) "2 zanzibar" 2 (Index.node_count idx "zanzibar")
+
+let test_planted_keywords_guard () =
+  match
+    Docgen.with_planted_keywords
+      { Docgen.default with sections = 1; subsections_per_section = 1;
+        paragraphs_per_container = 1 }
+      ~plant:[ ("toomany", 10_000) ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected a guard on oversized plant counts"
+
+let test_querygen_band () =
+  let ctx = Docgen.generate_context Docgen.default in
+  let spec = { Querygen.keyword_count = 2; min_postings = 2; max_postings = 10 } in
+  match Querygen.pick_keywords ~seed:1 spec ctx with
+  | None -> Alcotest.fail "expected keywords in band"
+  | Some ks ->
+      Alcotest.(check int) "two keywords" 2 (List.length ks);
+      List.iter
+        (fun k ->
+          let c = Index.node_count ctx.Context.index k in
+          Alcotest.(check bool) k true (c >= 2 && c <= 10))
+        ks
+
+let test_querygen_impossible_band () =
+  let ctx = Docgen.generate_context Docgen.default in
+  let spec = { Querygen.keyword_count = 3; min_postings = 5000; max_postings = 6000 } in
+  Alcotest.(check bool) "no keywords" true (Querygen.pick_keywords ~seed:1 spec ctx = None);
+  Alcotest.(check int) "no queries" 0
+    (List.length (Querygen.queries ~seed:1 ~count:5 spec ctx))
+
+let test_querygen_distinct_queries () =
+  let ctx = Docgen.generate_context Docgen.default in
+  let spec = { Querygen.keyword_count = 2; min_postings = 1; max_postings = 50 } in
+  let qs = Querygen.queries ~seed:9 ~count:10 ~filter:(Filter.Size_at_most 3) spec ctx in
+  Alcotest.(check int) "ten queries" 10 (List.length qs);
+  let keys =
+    List.map (fun q -> String.concat "," q.Xfrag_core.Query.keywords) qs
+  in
+  Alcotest.(check int) "all distinct" 10 (List.length (List.sort_uniq compare keys));
+  List.iter
+    (fun q ->
+      Alcotest.(check bool) "filter carried" true
+        (q.Xfrag_core.Query.filter = Filter.Size_at_most 3))
+    qs
+
+let test_random_tree_valid () =
+  for seed = 1 to 50 do
+    let t = Random_tree.tree ~seed ~size:(1 + (seed mod 60)) in
+    match Doctree.validate t with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "seed %d: %s" seed e
+  done
+
+let test_random_tree_deterministic () =
+  let t1 = Random_tree.tree ~seed:77 ~size:40 in
+  let t2 = Random_tree.tree ~seed:77 ~size:40 in
+  for n = 0 to 39 do
+    Alcotest.(check (option int)) (Printf.sprintf "parent %d" n)
+      (Doctree.parent t1 n) (Doctree.parent t2 n)
+  done
+
+let test_paper_figures_valid () =
+  List.iter
+    (fun (name, t) ->
+      match Doctree.validate t with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" name e)
+    [
+      ("figure1", Paper.figure1 ());
+      ("figure3", Paper.figure3 ());
+      ("figure4", Paper.figure4 ());
+    ]
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "docgen",
+        [
+          Alcotest.test_case "deterministic" `Quick test_docgen_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_docgen_seed_changes_output;
+          Alcotest.test_case "structure" `Quick test_docgen_structure;
+          Alcotest.test_case "section count" `Quick test_docgen_sections_count;
+          Alcotest.test_case "zipf skew" `Quick test_docgen_zipf_skew;
+          Alcotest.test_case "deep profile" `Quick test_docgen_deep_profile;
+          Alcotest.test_case "wide profile" `Quick test_docgen_wide_profile;
+          Alcotest.test_case "xml round trip" `Quick test_docgen_xml_parses;
+          Alcotest.test_case "planted keywords" `Quick test_planted_keywords_exact_counts;
+          Alcotest.test_case "plant guard" `Quick test_planted_keywords_guard;
+        ] );
+      ( "querygen",
+        [
+          Alcotest.test_case "band respected" `Quick test_querygen_band;
+          Alcotest.test_case "impossible band" `Quick test_querygen_impossible_band;
+          Alcotest.test_case "distinct queries" `Quick test_querygen_distinct_queries;
+        ] );
+      ( "random_tree",
+        [
+          Alcotest.test_case "valid" `Quick test_random_tree_valid;
+          Alcotest.test_case "deterministic" `Quick test_random_tree_deterministic;
+        ] );
+      ( "paper_figures",
+        [ Alcotest.test_case "valid trees" `Quick test_paper_figures_valid ] );
+    ]

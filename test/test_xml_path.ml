@@ -1,0 +1,130 @@
+(* Tests for the XPath-lite selector. *)
+
+module Dom = Xfrag_xml.Xml_dom
+module Path = Xfrag_xml.Xml_path
+
+let doc =
+  lazy
+    (Xfrag_xml.Xml_parser.parse_string
+       {|<article id="a1">
+  <sec id="s1"><title>one</title><par>p1</par><par>p2</par></sec>
+  <sec id="s2"><title>two</title><sub><par>p3</par></sub></sec>
+  <appendix><par>p4</par></appendix>
+</article>|})
+
+let names path =
+  match Path.select (Lazy.force doc) path with
+  | Ok elems -> List.map Dom.name elems
+  | Error e -> Alcotest.failf "%s: %s" path e
+
+let texts path =
+  match Path.select (Lazy.force doc) path with
+  | Ok elems -> List.map Dom.text_content elems
+  | Error e -> Alcotest.failf "%s: %s" path e
+
+let count path =
+  match Path.matches_count (Lazy.force doc) path with
+  | Ok n -> n
+  | Error e -> Alcotest.failf "%s: %s" path e
+
+let test_root_step () =
+  Alcotest.(check (list string)) "/article" [ "article" ] (names "/article");
+  Alcotest.(check (list string)) "/sec (root is not sec)" [] (names "/sec")
+
+let test_child_steps () =
+  Alcotest.(check int) "two secs" 2 (count "/article/sec");
+  Alcotest.(check (list string)) "titles" [ "one"; "two" ] (texts "/article/sec/title")
+
+let test_descendant () =
+  Alcotest.(check int) "all pars" 4 (count "//par");
+  Alcotest.(check int) "pars under sec" 3 (count "/article/sec//par");
+  Alcotest.(check int) "mid-path descendant" 4 (count "/article//par")
+
+let test_wildcard () =
+  Alcotest.(check int) "root children" 3 (count "/article/*");
+  (* sec#1 contributes p1, p2; appendix contributes p4; sec#2's par is
+     deeper than a grandchild. *)
+  Alcotest.(check int) "any grandchild par" 3 (count "/article/*/par")
+
+let test_positional () =
+  Alcotest.(check (list string)) "second par" [ "p2" ] (texts "//par[2]");
+  Alcotest.(check (list string)) "first sec title" [ "one" ] (texts "/article/sec[1]/title");
+  Alcotest.(check int) "out of range" 0 (count "/article/sec[5]")
+
+let test_attribute_predicates () =
+  Alcotest.(check int) "sec by id" 1 (count "/article/sec[@id='s2']");
+  Alcotest.(check (list string)) "its title" [ "two" ] (texts "/article/sec[@id='s2']/title");
+  Alcotest.(check int) "attribute presence" 2 (count "//sec[@id]");
+  Alcotest.(check int) "no such value" 0 (count "//sec[@id='zzz']")
+
+let test_combined_predicates () =
+  (* presence + position: second element with an id attribute *)
+  Alcotest.(check int) "sec with id, positional" 1 (count "//sec[@id][2]")
+
+let test_bare_name_selects_anywhere () =
+  Alcotest.(check int) "bare par" 4 (count "par")
+
+let test_no_duplicates () =
+  (* //sub//par and equivalents must not duplicate elements reached
+     through multiple descendant expansions. *)
+  Alcotest.(check int) "dedup" 4 (count "//article//par")
+
+let test_select_first () =
+  match Path.select_first (Lazy.force doc) "//par" with
+  | Ok (Some e) -> Alcotest.(check string) "p1" "p1" (Dom.text_content e)
+  | Ok None -> Alcotest.fail "expected a match"
+  | Error e -> Alcotest.fail e
+
+let test_parse_errors () =
+  List.iter
+    (fun path ->
+      match Path.parse path with
+      | Ok _ -> Alcotest.failf "%s: expected parse error" path
+      | Error _ -> ())
+    [ ""; "/"; "//"; "/a[0]"; "/a[b"; "/a[@x=unquoted]"; "/a[]"; "/a[1][2]" ]
+
+let test_parse_shapes () =
+  match Path.parse "//sec[@id='s1']/par[2]" with
+  | Ok [ s1; s2 ] ->
+      Alcotest.(check bool) "descendant first" true (s1.Path.axis = `Descendant);
+      Alcotest.(check (option string)) "name" (Some "sec") s1.Path.name;
+      Alcotest.(check bool) "attr" true (s1.Path.attribute = Some ("id", Some "s1"));
+      Alcotest.(check (option int)) "index" (Some 2) s2.Path.index
+  | Ok _ -> Alcotest.fail "expected two steps"
+  | Error e -> Alcotest.fail e
+
+let test_on_paper_document () =
+  let doc =
+    Xfrag_xml.Xml_parser.parse_string (Xfrag_workload.Paper_doc.figure1_xml ())
+  in
+  (match Path.matches_count doc "//par" with
+  | Ok n -> Alcotest.(check int) "66 paragraphs" 66 n
+  | Error e -> Alcotest.fail e);
+  match Path.matches_count doc "/article/section/subsection/subsubsection/par" with
+  | Ok n -> Alcotest.(check int) "n17 and n18" 2 n
+  | Error e -> Alcotest.fail e
+
+let () =
+  Alcotest.run "xml_path"
+    [
+      ( "select",
+        [
+          Alcotest.test_case "root step" `Quick test_root_step;
+          Alcotest.test_case "child steps" `Quick test_child_steps;
+          Alcotest.test_case "descendant" `Quick test_descendant;
+          Alcotest.test_case "wildcard" `Quick test_wildcard;
+          Alcotest.test_case "positional" `Quick test_positional;
+          Alcotest.test_case "attribute predicates" `Quick test_attribute_predicates;
+          Alcotest.test_case "combined predicates" `Quick test_combined_predicates;
+          Alcotest.test_case "bare name" `Quick test_bare_name_selects_anywhere;
+          Alcotest.test_case "no duplicates" `Quick test_no_duplicates;
+          Alcotest.test_case "select_first" `Quick test_select_first;
+        ] );
+      ( "parse",
+        [
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "shapes" `Quick test_parse_shapes;
+        ] );
+      ( "paper",
+        [ Alcotest.test_case "figure 1 document" `Quick test_on_paper_document ] );
+    ]

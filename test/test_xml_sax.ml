@@ -1,0 +1,128 @@
+(* Tests for the event-based XML interface, including agreement with the
+   DOM parser. *)
+
+module Sax = Xfrag_xml.Xml_sax
+module Dom = Xfrag_xml.Xml_dom
+module Parser = Xfrag_xml.Xml_parser
+
+let test_event_stream () =
+  let evs = Sax.events "<a x=\"1\">hi<b/>bye</a>" in
+  match evs with
+  | [
+   Sax.Start_element { name = "a"; attributes = [ ("x", "1") ] };
+   Sax.Text "hi";
+   Sax.Start_element { name = "b"; attributes = [] };
+   Sax.End_element "b";
+   Sax.Text "bye";
+   Sax.End_element "a";
+  ] ->
+      ()
+  | _ -> Alcotest.failf "unexpected stream (%d events)" (List.length evs)
+
+let test_prolog_pi_event () =
+  match Sax.events "<?xml version=\"1.0\"?><?style x?><a/>" with
+  | [ Sax.Pi { target = "style"; content = "x" }; Sax.Start_element _; Sax.End_element _ ]
+    ->
+      ()
+  | evs -> Alcotest.failf "unexpected stream (%d events)" (List.length evs)
+
+let test_nesting_balanced () =
+  let depth = ref 0 and max_depth = ref 0 in
+  Sax.iter
+    (function
+      | Sax.Start_element _ ->
+          incr depth;
+          if !depth > !max_depth then max_depth := !depth
+      | Sax.End_element _ -> decr depth
+      | Sax.Text _ | Sax.Comment _ | Sax.Pi _ -> ())
+    "<a><b><c/></b><d><e><f/></e></d></a>";
+  Alcotest.(check int) "balanced" 0 !depth;
+  Alcotest.(check int) "max depth" 4 !max_depth
+
+let test_count_elements () =
+  Alcotest.(check int) "count" 6 (Sax.count_elements "<a><b><c/></b><d><e><f/></e></d></a>")
+
+let test_cdata_merges_into_text () =
+  match Sax.events "<a>one<![CDATA[ two ]]>three</a>" with
+  | [ Sax.Start_element _; Sax.Text "one two three"; Sax.End_element _ ] -> ()
+  | _ -> Alcotest.fail "CDATA not merged"
+
+let test_entities_decoded () =
+  match Sax.events "<a>&lt;&#65;&gt;</a>" with
+  | [ Sax.Start_element _; Sax.Text "<A>"; Sax.End_element _ ] -> ()
+  | _ -> Alcotest.fail "entities not decoded"
+
+let test_errors_raised () =
+  List.iter
+    (fun input ->
+      match Sax.events input with
+      | exception Xfrag_xml.Xml_error.Parse_error _ -> ()
+      | _ -> Alcotest.failf "expected parse error for %S" input)
+    [ "<a><b></a>"; "<a/><b/>"; "<a>&nope;</a>"; "" ]
+
+let test_agreement_with_dom_parser () =
+  let inputs =
+    [
+      "<a/>";
+      {|<a x="1" y="2"><b>text &amp; more</b><!-- c --><c/></a>|};
+      "<?xml version=\"1.0\"?><?pi data?><root><k><l/></k>tail</root>";
+      Xfrag_workload.Paper_doc.figure1_xml ();
+    ]
+  in
+  (* SAX keeps comments and PIs; ask the DOM parser to do the same. *)
+  let options = { Parser.keep_comments = true; keep_pis = true } in
+  List.iter
+    (fun input ->
+      let via_dom = Parser.parse_string ~options input in
+      let via_sax = Sax.to_dom input in
+      Alcotest.(check bool)
+        (Printf.sprintf "agree on %d-byte input" (String.length input))
+        true
+        (Dom.equal_node (Dom.Element via_dom.Dom.root) (Dom.Element via_sax.Dom.root)))
+    inputs
+
+let agreement_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"SAX and DOM parsers agree on generated XML" ~count:50
+       QCheck2.Gen.(1 -- 10_000)
+       (fun seed ->
+         let xml =
+           Xfrag_workload.Docgen.generate_xml
+             { Xfrag_workload.Docgen.default with seed; sections = 2 }
+         in
+         let via_dom = Parser.parse_string xml in
+         let via_sax = Sax.to_dom xml in
+         Dom.equal_node (Dom.Element via_dom.Dom.root) (Dom.Element via_sax.Dom.root)))
+
+let test_streaming_statistics () =
+  (* The point of SAX: compute document statistics with no DOM. *)
+  let xml = Xfrag_workload.Paper_doc.figure1_xml () in
+  let elements = Sax.count_elements xml in
+  Alcotest.(check int) "82 elements" 82 elements;
+  let text_bytes =
+    Sax.fold
+      (fun n -> function Sax.Text s -> n + String.length s | _ -> n)
+      0 xml
+  in
+  Alcotest.(check bool) "text present" true (text_bytes > 1000)
+
+let () =
+  Alcotest.run "xml_sax"
+    [
+      ( "events",
+        [
+          Alcotest.test_case "stream shape" `Quick test_event_stream;
+          Alcotest.test_case "prolog pi" `Quick test_prolog_pi_event;
+          Alcotest.test_case "nesting balanced" `Quick test_nesting_balanced;
+          Alcotest.test_case "count elements" `Quick test_count_elements;
+          Alcotest.test_case "cdata merge" `Quick test_cdata_merges_into_text;
+          Alcotest.test_case "entities" `Quick test_entities_decoded;
+          Alcotest.test_case "errors" `Quick test_errors_raised;
+        ] );
+      ( "agreement",
+        [
+          Alcotest.test_case "fixed inputs" `Quick test_agreement_with_dom_parser;
+          agreement_prop;
+          Alcotest.test_case "streaming statistics" `Quick test_streaming_statistics;
+        ] );
+    ]
