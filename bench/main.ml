@@ -66,6 +66,37 @@ let run_counters f =
   let outcome = f () in
   (outcome.Eval.answers, outcome.Eval.stats)
 
+(* --- machine-readable output -------------------------------------------- *)
+
+module Json = Xfrag_obs.Json
+
+(* Rows accumulated by the whole-query experiments and written to
+   BENCH_core.json at exit, so scripts can track regressions without
+   scraping the printed tables. *)
+let bench_rows : Json.t list ref = ref []
+
+let record ~experiment ~scenario ~strategy ~ns fields =
+  bench_rows :=
+    Json.Obj
+      ([
+         ("experiment", Json.String experiment);
+         ("scenario", Json.String scenario);
+         ("strategy", Json.String strategy);
+         ("ns_per_op", Json.Float ns);
+       ]
+      @ fields)
+    :: !bench_rows
+
+let write_bench_json () =
+  if !bench_rows <> [] then begin
+    let doc = Json.Obj [ ("rows", Json.List (List.rev !bench_rows)) ] in
+    let oc = open_out "BENCH_core.json" in
+    output_string oc (Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "\nwrote BENCH_core.json (%d rows)\n" (List.length !bench_rows)
+  end
+
 (* --- T1: Table 1 -------------------------------------------------------- *)
 
 let t1 () =
@@ -93,11 +124,18 @@ let t1 () =
   Printf.printf "\n%-14s %-12s %-10s %s\n" "strategy" "time" "joins" "candidates";
   List.iter
     (fun strategy ->
-      let _, stats = run_counters (fun () -> Eval.run ~strategy ctx q) in
+      let answers, stats = run_counters (fun () -> Eval.run ~strategy ctx q) in
       let ns =
         time_ns (Eval.strategy_name strategy) (fun () ->
             ignore (Eval.run ~strategy ctx q))
       in
+      record ~experiment:"t1" ~scenario:"figure1 size<=3"
+        ~strategy:(Eval.strategy_name strategy) ~ns
+        [
+          ("joins", Json.Int stats.Op_stats.fragment_joins);
+          ("candidates", Json.Int stats.Op_stats.candidates);
+          ("answers", Json.Int (Frag_set.cardinal answers));
+        ];
       Printf.printf "%-14s %-12s %-10d %d\n"
         (Eval.strategy_name strategy)
         (pp_ns ns) stats.Op_stats.fragment_joins stats.Op_stats.candidates)
@@ -237,6 +275,14 @@ let e1 () =
               let ns =
                 time_ns ~quota:0.2 label (fun () -> ignore (Eval.run ~strategy ctx q))
               in
+              record ~experiment:"e1"
+                ~scenario:(Printf.sprintf "postings %dx%d size<=4" m1 m2)
+                ~strategy:(Eval.strategy_name strategy) ~ns
+                [
+                  ("joins", Json.Int stats.Op_stats.fragment_joins);
+                  ("candidates", Json.Int stats.Op_stats.candidates);
+                  ("answers", Json.Int (Frag_set.cardinal answers));
+                ];
               Printf.printf "%-12s %-14s %-12s %-10d %-12d %d\n"
                 (Printf.sprintf "%dx%d" m1 m2)
                 (Eval.strategy_name strategy)
@@ -282,6 +328,16 @@ let e2 () =
               (if beta = max_int then 0 else beta)
           in
           let ns = time_ns label (fun () -> ignore (Eval.run ~strategy ctx q)) in
+          record ~experiment:"e2"
+            ~scenario:
+              (Printf.sprintf "postings 9x9 beta=%s"
+                 (if beta = max_int then "none" else string_of_int beta))
+            ~strategy:(Eval.strategy_name strategy) ~ns
+            [
+              ("joins", Json.Int stats.Op_stats.fragment_joins);
+              ("pruned", Json.Int stats.Op_stats.pruned);
+              ("answers", Json.Int (Frag_set.cardinal answers));
+            ];
           Printf.printf "%-8s %-14s %-12s %-10d %-10d %d\n"
             (if beta = max_int then "none" else string_of_int beta)
             (Eval.strategy_name strategy)
@@ -591,12 +647,50 @@ let a1 () =
         (Eval.strategy_name best_strategy))
     workloads
 
+(* --- OBS: tracing overhead ----------------------------------------------------- *)
+
+let obs () =
+  header
+    "OBS: tracing overhead - semi-naive Eval.run with the no-op tracer vs an\n\
+     enabled span recorder (disabled must stay within noise of the seed)";
+  let tree =
+    Docgen.with_planted_keywords
+      { Docgen.default with seed = 77; sections = 8 }
+      ~plant:[ ("needleone", 8); ("needletwo", 8) ]
+  in
+  let ctx = Context.create tree in
+  let q = Query.make ~filter:(Filter.Size_at_most 4) [ "needleone"; "needletwo" ] in
+  let strategy = Eval.Semi_naive in
+  let spans =
+    let trace = Xfrag_obs.Trace.create () in
+    ignore (Eval.run ~strategy ~trace ctx q);
+    List.length (Xfrag_obs.Trace.spans trace)
+  in
+  let ns_off =
+    time_ns ~quota:0.5 "trace-disabled" (fun () -> ignore (Eval.run ~strategy ctx q))
+  in
+  let ns_on =
+    time_ns ~quota:0.5 "trace-enabled" (fun () ->
+        ignore (Eval.run ~strategy ~trace:(Xfrag_obs.Trace.create ()) ctx q))
+  in
+  Printf.printf "query: {needleone, needletwo} 8x8, size<=4, strategy semi-naive\n\n";
+  Printf.printf "%-18s %s\n" "tracer" "time/query";
+  Printf.printf "%-18s %s\n" "disabled" (pp_ns ns_off);
+  Printf.printf "%-18s %s  (%d spans recorded per run)\n" "enabled" (pp_ns ns_on) spans;
+  Printf.printf "\nenabled/disabled ratio: %.2fx\n" (ns_on /. ns_off);
+  record ~experiment:"obs" ~scenario:"semi-naive 8x8 size<=4" ~strategy:"semi-naive"
+    ~ns:ns_off
+    [ ("tracing", Json.String "disabled") ];
+  record ~experiment:"obs" ~scenario:"semi-naive 8x8 size<=4" ~strategy:"semi-naive"
+    ~ns:ns_on
+    [ ("tracing", Json.String "enabled"); ("spans", Json.Int spans) ]
+
 (* --- driver ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("t1", t1); ("f3", f3); ("f4", f4); ("e1", e1); ("e2", e2); ("e3", e3);
-    ("e4", e4); ("e5", e5); ("e6", e6); ("a1", a1);
+    ("e4", e4); ("e5", e5); ("e6", e6); ("a1", a1); ("obs", obs);
   ]
 
 let () =
@@ -613,4 +707,5 @@ let () =
           Printf.eprintf "unknown experiment %S (known: %s)\n" name
             (String.concat ", " (List.map fst experiments)))
     requested;
+  write_bench_json ();
   print_newline ()

@@ -15,6 +15,11 @@ module Optimizer = Xfrag_core.Optimizer
 module Doctree = Xfrag_doctree.Doctree
 module Stats = Xfrag_doctree.Stats
 module Ranking = Xfrag_baselines.Ranking
+module Trace = Xfrag_obs.Trace
+module Export = Xfrag_obs.Export
+module Metrics = Xfrag_obs.Metrics
+module Clock = Xfrag_obs.Clock
+module Json = Xfrag_obs.Json
 
 open Cmdliner
 
@@ -104,8 +109,66 @@ let limit_arg =
 let show_stats_arg =
   Arg.(value & flag & info [ "show-stats" ] ~doc:"Print operation counters.")
 
+let timing_arg =
+  Arg.(
+    value & flag
+    & info [ "timing" ]
+        ~doc:"Print wall-clock elapsed time (total and per phase).")
+
+let explain_analyze_arg =
+  Arg.(
+    value & flag
+    & info [ "explain-analyze" ]
+        ~doc:
+          "Execute the optimizer's chosen plan and print a per-operator \
+           tree annotated with measured wall time, input/output \
+           cardinalities, and operation-counter deltas.")
+
+let trace_out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Record a hierarchical execution trace and write it to $(docv): \
+           Chrome trace-event JSON (open in chrome://tracing or Perfetto), \
+           or JSON-lines if $(docv) ends in .jsonl.")
+
+let metrics_out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a metrics-registry snapshot (operation counters, answer \
+           counts, latency histogram) as JSON to $(docv).")
+
+(* Build the metrics registry for one query evaluation. *)
+let metrics_of_outcome (outcome : Eval.outcome) =
+  let reg = Metrics.create () in
+  Metrics.add_assoc ~prefix:"ops." reg (Op_stats.to_assoc outcome.Eval.stats);
+  Metrics.Gauge.set (Metrics.gauge reg "query.answers")
+    (float_of_int (Frag_set.cardinal outcome.Eval.answers));
+  Metrics.Histogram.observe
+    (Metrics.histogram reg "query.elapsed_ns")
+    (float_of_int outcome.Eval.elapsed_ns);
+  List.iter
+    (fun (phase, ns) ->
+      Metrics.Counter.add (Metrics.counter reg ("query.phase_ns." ^ phase)) ns)
+    outcome.Eval.phase_ns;
+  List.iter
+    (fun (k, n) ->
+      Metrics.Counter.add (Metrics.counter reg ("query.postings." ^ k)) n)
+    outcome.Eval.keyword_node_counts;
+  reg
+
+let write_trace trace path =
+  let contents =
+    if Filename.check_suffix path ".jsonl" then Export.to_jsonl trace
+    else Export.to_chrome trace
+  in
+  Export.write_file path contents
+
 let run_query file keywords filter_str strategy_str strict as_xml rank limit show_stats
-    stem verbose =
+    timing explain_analyze trace_out metrics_out stem verbose =
   setup_logs verbose;
   let ( let* ) = Result.bind in
   let result =
@@ -117,26 +180,60 @@ let run_query file keywords filter_str strategy_str strict as_xml rank limit sho
       | q -> Ok q
       | exception Invalid_argument msg -> Error msg
     in
-    let outcome = Eval.run ~strategy ~strict_leaf_semantics:strict ctx query in
-    let answers =
-      if rank then
-        List.map (fun s -> s.Ranking.fragment)
-          (Ranking.rank ctx ~keywords:query.Query.keywords outcome.Eval.answers)
-      else Frag_set.elements outcome.Eval.answers
-    in
-    let answers = if limit > 0 then List.filteri (fun i _ -> i < limit) answers else answers in
-    Format.printf "%d answer fragment(s) [strategy: %s]@."
-      (Frag_set.cardinal outcome.Eval.answers)
-      (Eval.strategy_name outcome.Eval.strategy_used);
-    List.iter
-      (fun f ->
-        if as_xml then
-          Format.printf "@.%s@."
-            (Xfrag_xml.Xml_printer.node_to_string (Fragment.to_xml ctx f))
-        else Format.printf "  %a@." (Fragment.pp_labeled ctx) f)
-      answers;
-    if show_stats then Format.printf "ops: %a@." Op_stats.pp outcome.Eval.stats;
-    Ok ()
+    if explain_analyze then begin
+      let report = Xfrag_core.Explain.analyze ctx query in
+      Format.printf "%a@." Xfrag_core.Explain.pp report;
+      Ok ()
+    end
+    else begin
+      let trace =
+        match trace_out with Some _ -> Trace.create () | None -> Trace.disabled
+      in
+      let outcome = Eval.run ~strategy ~strict_leaf_semantics:strict ~trace ctx query in
+      let answers =
+        if rank then
+          List.map (fun s -> s.Ranking.fragment)
+            (Ranking.rank ctx ~keywords:query.Query.keywords outcome.Eval.answers)
+        else Frag_set.elements outcome.Eval.answers
+      in
+      let answers = if limit > 0 then List.filteri (fun i _ -> i < limit) answers else answers in
+      Format.printf "%d answer fragment(s) [strategy: %s]@."
+        (Frag_set.cardinal outcome.Eval.answers)
+        (Eval.strategy_name outcome.Eval.strategy_used);
+      List.iter
+        (fun f ->
+          if as_xml then
+            Format.printf "@.%s@."
+              (Xfrag_xml.Xml_printer.node_to_string (Fragment.to_xml ctx f))
+          else Format.printf "  %a@." (Fragment.pp_labeled ctx) f)
+        answers;
+      if show_stats then Format.printf "ops: %a@." Op_stats.pp outcome.Eval.stats;
+      if timing then begin
+        Format.printf "elapsed: %a@." Clock.pp_ns outcome.Eval.elapsed_ns;
+        List.iter
+          (fun (phase, ns) -> Format.printf "  %-12s %a@." phase Clock.pp_ns ns)
+          outcome.Eval.phase_ns
+      end;
+      let* () =
+        match trace_out with
+        | None -> Ok ()
+        | Some path ->
+            let* () = write_trace trace path in
+            Format.printf "trace written to %s (%d spans)@." path
+              (List.length (Trace.spans trace));
+            Ok ()
+      in
+      let* () =
+        match metrics_out with
+        | None -> Ok ()
+        | Some path ->
+            let json = Json.to_string (Metrics.to_json (metrics_of_outcome outcome)) in
+            let* () = Export.write_file path (json ^ "\n") in
+            Format.printf "metrics written to %s@." path;
+            Ok ()
+      in
+      Ok ()
+    end
   in
   match result with
   | Ok () -> 0
@@ -150,8 +247,9 @@ let query_cmd =
     (Cmd.info "query" ~doc)
     Term.(
       const run_query $ file_arg $ keywords_arg $ filter_arg $ strategy_arg
-      $ strict_arg $ xml_arg $ rank_arg $ limit_arg $ show_stats_arg $ stem_arg
-      $ verbose_arg)
+      $ strict_arg $ xml_arg $ rank_arg $ limit_arg $ show_stats_arg
+      $ timing_arg $ explain_analyze_arg $ trace_out_arg $ metrics_out_arg
+      $ stem_arg $ verbose_arg)
 
 (* --- stats command --- *)
 

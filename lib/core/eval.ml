@@ -1,4 +1,7 @@
 module Inverted_index = Xfrag_doctree.Inverted_index
+module Trace = Xfrag_obs.Trace
+module Clock = Xfrag_obs.Clock
+module Json = Xfrag_obs.Json
 
 type strategy =
   | Brute_force
@@ -14,6 +17,8 @@ type outcome = {
   stats : Op_stats.t;
   strategy_used : strategy;
   keyword_node_counts : (string * int) list;
+  elapsed_ns : int;
+  phase_ns : (string * int) list;
 }
 
 let strategy_name = function
@@ -77,34 +82,47 @@ let strict_leaf_filter ctx (q : Query.t) answers =
         q.keywords)
     answers
 
-let run ?(strategy = Auto) ?(strict_leaf_semantics = false) ctx (q : Query.t) =
+let run ?(strategy = Auto) ?(strict_leaf_semantics = false)
+    ?(trace = Trace.disabled) ?(clock = Clock.monotonic) ctx (q : Query.t) =
   let stats = Op_stats.create () in
-  let keyword_sets = List.map (Selection.keyword ctx) q.keywords in
+  let t0 = clock () in
+  Trace.with_span trace
+    ~attrs:[ ("keywords", Json.String (String.concat " " q.keywords)) ]
+    "query"
+  @@ fun () ->
+  let keyword_sets = List.map (Selection.keyword ~trace ctx) q.keywords in
   let keyword_node_counts =
     List.map2 (fun k s -> (k, Frag_set.cardinal s)) q.keywords keyword_sets
   in
   let strategy_used =
     match strategy with
-    | Auto -> choose_strategy ctx q keyword_sets
+    | Auto ->
+        Trace.with_span trace "choose-strategy" (fun () ->
+            let s = choose_strategy ctx q keyword_sets in
+            Trace.add_attr trace "chosen" (Json.String (strategy_name s));
+            s)
     | s -> s
   in
+  if Trace.is_enabled trace then
+    Trace.add_attr trace "strategy" (Json.String (strategy_name strategy_used));
+  let t_scan = clock () in
   let answers =
     if List.exists Frag_set.is_empty keyword_sets then Frag_set.empty
     else
       match strategy_used with
       | Auto -> assert false
       | Brute_force ->
-          Selection.select ~stats ctx q.filter
-            (Powerset.many_literal ~stats ctx keyword_sets)
+          Selection.select ~stats ~trace ctx q.filter
+            (Powerset.many_literal ~stats ~trace ctx keyword_sets)
       | Naive_fixpoint ->
-          Selection.select ~stats ctx q.filter
-            (Powerset.many_via_fixed_points ~stats ~fixed_point:Fixed_point.naive ctx
-               keyword_sets)
+          Selection.select ~stats ~trace ctx q.filter
+            (Powerset.many_via_fixed_points ~stats ~trace
+               ~fixed_point:Fixed_point.naive ctx keyword_sets)
       | Set_reduction ->
           (* Keyword sets contain only single-node fragments, the setting
              in which Theorem 1's unchecked round count is valid. *)
-          Selection.select ~stats ctx q.filter
-            (Powerset.many_via_fixed_points ~stats
+          Selection.select ~stats ~trace ctx q.filter
+            (Powerset.many_via_fixed_points ~stats ~trace
                ~fixed_point:Fixed_point.with_reduction_unchecked ctx keyword_sets)
       | (Pushdown | Pushdown_reduction | Semi_naive) as s ->
           let am, residual = Filter.decompose q.filter in
@@ -112,7 +130,9 @@ let run ?(strategy = Auto) ?(strict_leaf_semantics = false) ctx (q : Query.t) =
           let fixed_point =
             match s with
             | Pushdown -> Fixed_point.naive_filtered
-            | Semi_naive -> fun ?stats ctx ~keep set -> Fixed_point.semi_naive ?stats ~keep ctx set
+            | Semi_naive ->
+                fun ?stats ?trace ctx ~keep set ->
+                  Fixed_point.semi_naive ?stats ?trace ~keep ctx set
             | _ ->
                 (* Pruned keyword seeds are single-node sets, where the
                    unchecked Theorem 1 round count is valid. *)
@@ -120,18 +140,35 @@ let run ?(strategy = Auto) ?(strict_leaf_semantics = false) ctx (q : Query.t) =
           in
           let joined =
             match
-              List.map (fun s -> fixed_point ~stats ctx ~keep s) keyword_sets
+              List.map (fun s -> fixed_point ~stats ~trace ctx ~keep s) keyword_sets
             with
             | [] -> assert false
             | fp :: fps ->
-                List.fold_left (Join.pairwise_filtered ~stats ctx ~keep) fp fps
+                List.fold_left (Join.pairwise_filtered ~stats ~trace ctx ~keep) fp fps
           in
-          Selection.select ~stats ctx residual joined
+          Selection.select ~stats ~trace ctx residual joined
   in
+  let t_eval = clock () in
   let answers =
-    if strict_leaf_semantics then strict_leaf_filter ctx q answers else answers
+    if strict_leaf_semantics then
+      Trace.with_span trace "strict-leaf" (fun () -> strict_leaf_filter ctx q answers)
+    else answers
   in
-  { answers; stats; strategy_used; keyword_node_counts }
+  let t_end = clock () in
+  let phase_ns =
+    [ ("scan", t_scan - t0); ("evaluate", t_eval - t_scan) ]
+    @ if strict_leaf_semantics then [ ("strict-leaf", t_end - t_eval) ] else []
+  in
+  if Trace.is_enabled trace then
+    Trace.add_attr trace "answers" (Json.Int (Frag_set.cardinal answers));
+  {
+    answers;
+    stats;
+    strategy_used;
+    keyword_node_counts;
+    elapsed_ns = t_end - t0;
+    phase_ns;
+  }
 
 let answers ?strategy ?strict_leaf_semantics ctx q =
   (run ?strategy ?strict_leaf_semantics ctx q).answers

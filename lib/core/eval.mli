@@ -41,6 +41,13 @@ type outcome = {
   strategy_used : strategy;  (** [Auto] resolved to a concrete strategy *)
   keyword_node_counts : (string * int) list;
       (** posting-list size per query keyword *)
+  elapsed_ns : int;  (** wall-clock time of the whole evaluation *)
+  phase_ns : (string * int) list;
+      (** coarse wall-clock breakdown, in execution order: [scan]
+          (posting-list lookups), [evaluate] (strategy choice, joins,
+          fixed points, final selection) and, when requested,
+          [strict-leaf].  Measured with a handful of clock reads, so it
+          is present whether or not tracing is enabled. *)
 }
 
 val strategy_name : strategy -> string
@@ -55,11 +62,21 @@ val all_strategies : strategy list
 val run :
   ?strategy:strategy ->
   ?strict_leaf_semantics:bool ->
+  ?trace:Xfrag_obs.Trace.t ->
+  ?clock:Xfrag_obs.Clock.t ->
   Context.t ->
   Query.t ->
   outcome
 (** Evaluate a query (default strategy [Auto]).  A keyword with an empty
     posting list makes the answer empty (conjunctive semantics).
+
+    With an enabled [trace] (default {!Xfrag_obs.Trace.disabled}, which
+    costs nothing), the evaluation is recorded as a span tree rooted at
+    [query]: per-keyword [scan] spans, [choose-strategy], per-operand
+    fixed points with their [round] children, the [pairwise-join]s
+    between them, and the final [select] — exportable through
+    {!Xfrag_obs.Export}.  [clock] only affects the [elapsed_ns] /
+    [phase_ns] measurements (injectable for deterministic tests).
     @raise Invalid_argument if [Brute_force] is asked to enumerate a
     keyword set above the exponential-enumeration guard. *)
 

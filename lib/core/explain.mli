@@ -1,0 +1,47 @@
+(** EXPLAIN ANALYZE: execute the optimizer's chosen plan and annotate
+    every operator with what actually happened — wall time, input and
+    output cardinalities, and the operation-counter deltas (joins,
+    pruned, duplicates, …) attributable to it.
+
+    This is the audit view for {!Optimizer} / {!Eval.Auto}: the
+    estimated cost that drove the plan choice is printed next to the
+    measured per-operator reality, so a mis-costed rewrite is visible at
+    a glance.
+
+    Timings use an injectable {!Xfrag_obs.Clock.t}; pass
+    {!Xfrag_obs.Clock.counter} to make the rendering deterministic
+    (snapshot tests). *)
+
+type node = {
+  op : string;  (** rendered operator, e.g. ["σ size<=3"] or ["⋈"] *)
+  rows : int;  (** output cardinality *)
+  in_rows : int list;  (** input cardinalities, one per child *)
+  self_ns : int;  (** wall time of this operator, children excluded *)
+  counters : (string * int) list;
+      (** non-zero {!Op_stats} deltas recorded while this operator ran
+          (children excluded) *)
+  children : node list;
+}
+
+type report = {
+  query : Query.t;
+  plan : Plan.t;  (** the optimizer's winner, the plan that was run *)
+  estimated_cost : float;  (** the {!Cost} price that made it win *)
+  root : node;
+  answers : Frag_set.t;
+  total_ns : int;  (** inclusive wall time of the whole plan *)
+}
+
+val analyze : ?clock:Xfrag_obs.Clock.t -> Context.t -> Query.t -> report
+(** Optimize [q], execute the winning plan operator by operator, and
+    annotate.  The answers equal [Eval.answers ctx q] for the same plan
+    semantics (property-tested). *)
+
+val total_ns : node -> int
+(** Inclusive time: [self_ns] plus all descendants. *)
+
+val pp_node : Format.formatter -> node -> unit
+
+val pp : Format.formatter -> report -> unit
+(** The full report: query, plan, estimated cost, measured total, and
+    the indented per-operator tree. *)

@@ -1,57 +1,94 @@
+module Trace = Xfrag_obs.Trace
+module Json = Xfrag_obs.Json
+
 let bump stats f = match stats with None -> () | Some s -> f s
 
 let round stats = bump stats (fun s -> s.Op_stats.fixpoint_rounds <- s.Op_stats.fixpoint_rounds + 1)
+
+(* Wrap one fixed-point round in a [round] span carrying the working-set
+   size going in and out.  [n] is the 1-based round number. *)
+let traced_round trace n in_size f =
+  if not (Trace.is_enabled trace) then f ()
+  else
+    Trace.with_span trace
+      ~attrs:[ ("n", Json.Int n); ("in", Json.Int in_size) ]
+      "round"
+      (fun () ->
+        let out = f () in
+        Trace.add_attr trace "out" (Json.Int (Frag_set.cardinal out));
+        out)
+
+let traced_fixed_point trace name seed_size f =
+  if not (Trace.is_enabled trace) then f ()
+  else
+    Trace.with_span trace
+      ~attrs:[ ("seed", Json.Int seed_size) ]
+      name
+      (fun () ->
+        let out = f () in
+        Trace.add_attr trace "out" (Json.Int (Frag_set.cardinal out));
+        out)
 
 (* One pairwise-join round.  Every element of [acc] is a join of members
    of [seed], hence contains some member as a subfragment, hence absorbs
    it — so the round result is a superset of [acc] and no explicit union
    is needed. *)
-let step ?stats ctx ~keep acc seed =
-  Join.pairwise_filtered ?stats ctx ~keep acc seed
+let step ?stats ?trace ctx ~keep acc seed =
+  Join.pairwise_filtered ?stats ?trace ctx ~keep acc seed
 
-let naive_general ?stats ctx ~keep set =
+let naive_general ?stats ?(trace = Trace.disabled) ~name ctx ~keep set =
   let seed = Frag_set.filter keep set in
   if Frag_set.is_empty seed then seed
-  else begin
-    let rec go acc =
-      round stats;
-      let next = step ?stats ctx ~keep acc seed in
-      if Frag_set.cardinal next = Frag_set.cardinal acc then acc else go next
-    in
-    go seed
-  end
+  else
+    traced_fixed_point trace name (Frag_set.cardinal seed) (fun () ->
+        let rec go n acc =
+          round stats;
+          let next =
+            traced_round trace n (Frag_set.cardinal acc) (fun () ->
+                step ?stats ~trace ctx ~keep acc seed)
+          in
+          if Frag_set.cardinal next = Frag_set.cardinal acc then acc
+          else go (n + 1) next
+        in
+        go 1 seed)
 
-let naive ?stats ctx set = naive_general ?stats ctx ~keep:(fun _ -> true) set
+let naive ?stats ?trace ctx set =
+  naive_general ?stats ?trace ~name:"fixed-point" ctx ~keep:(fun _ -> true) set
 
 (* Delta iteration: only last round's discoveries are joined against the
    seed.  Complete because every k-fold join factors as a (k−1)-fold
    join ⋈ one seed member (associativity/commutativity), and that prefix
    was some round's discovery. *)
-let semi_naive ?stats ?(keep = fun _ -> true) ctx set =
+let semi_naive ?stats ?(trace = Trace.disabled) ?(keep = fun _ -> true) ctx set =
   let seed = Frag_set.filter keep set in
   if Frag_set.is_empty seed then seed
-  else begin
-    let rec go acc delta =
-      if Frag_set.is_empty delta then acc
-      else begin
-        round stats;
-        let produced = Join.pairwise_filtered ?stats ctx ~keep delta seed in
-        let fresh = Frag_set.diff produced acc in
-        go (Frag_set.union acc fresh) fresh
-      end
-    in
-    go seed seed
-  end
+  else
+    traced_fixed_point trace "fixed-point:semi-naive" (Frag_set.cardinal seed)
+      (fun () ->
+        let rec go n acc delta =
+          if Frag_set.is_empty delta then acc
+          else begin
+            round stats;
+            let fresh =
+              traced_round trace n (Frag_set.cardinal delta) (fun () ->
+                  let produced = Join.pairwise_filtered ?stats ~trace ctx ~keep delta seed in
+                  Frag_set.diff produced acc)
+            in
+            go (n + 1) (Frag_set.union acc fresh) fresh
+          end
+        in
+        go 1 seed seed)
 
-let naive_filtered ?stats ctx ~keep set = naive_general ?stats ctx ~keep set
+let naive_filtered ?stats ?trace ctx ~keep set =
+  naive_general ?stats ?trace ~name:"fixed-point:pruned" ctx ~keep set
 
-let iterate ?stats ctx n set =
+let iterate ?stats ?trace ctx n set =
   if n < 1 then invalid_arg "Fixed_point.iterate: n must be at least 1";
   let rec go acc remaining =
     if remaining = 0 then acc
     else begin
       round stats;
-      go (step ?stats ctx ~keep:(fun _ -> true) acc set) (remaining - 1)
+      go (step ?stats ?trace ctx ~keep:(fun _ -> true) acc set) (remaining - 1)
     end
   in
   go set (n - 1)
@@ -61,41 +98,51 @@ let iterate ?stats ctx n set =
    seeds (see the erratum in the interface); [confirm] appends a checked
    loop that makes the result correct for arbitrary seeds at the price of
    at least one confirming round. *)
-let with_reduction_general ?stats ctx ~keep ~confirm set =
+let with_reduction_general ?stats ?(trace = Trace.disabled) ctx ~keep ~confirm set =
   let seed = Frag_set.filter keep set in
   if Frag_set.is_empty seed then seed
-  else begin
-    (* ⊖ of a general set can be empty — mutual subsumption eliminates
-       every member (e.g. {⟨0,2,3⟩, ⟨0,1,2,4⟩, ⟨0,2,3,4⟩, ⟨0,1,2,3,4⟩}
-       under a flat root) — so floor the round count at one. *)
-    let k = max 1 (Frag_set.cardinal (Reduce.reduce ?stats ctx seed)) in
-    let rec fast_forward acc remaining =
-      if remaining <= 0 then acc
-      else begin
-        round stats;
-        fast_forward (step ?stats ctx ~keep acc seed) (remaining - 1)
-      end
-    in
-    let acc = fast_forward seed (k - 1) in
-    if not confirm then acc
-    else begin
-      let rec converge acc =
-        round stats;
-        let next = step ?stats ctx ~keep acc seed in
-        if Frag_set.cardinal next = Frag_set.cardinal acc then acc else converge next
-      in
-      converge acc
-    end
-  end
+  else
+    traced_fixed_point trace "fixed-point:reduced" (Frag_set.cardinal seed)
+      (fun () ->
+        (* ⊖ of a general set can be empty — mutual subsumption eliminates
+           every member (e.g. {⟨0,2,3⟩, ⟨0,1,2,4⟩, ⟨0,2,3,4⟩, ⟨0,1,2,3,4⟩}
+           under a flat root) — so floor the round count at one. *)
+        let k = max 1 (Frag_set.cardinal (Reduce.reduce ?stats ~trace ctx seed)) in
+        if Trace.is_enabled trace then Trace.add_attr trace "rounds" (Json.Int k);
+        let rec fast_forward n acc remaining =
+          if remaining <= 0 then (n, acc)
+          else begin
+            round stats;
+            let next =
+              traced_round trace n (Frag_set.cardinal acc) (fun () ->
+                  step ?stats ~trace ctx ~keep acc seed)
+            in
+            fast_forward (n + 1) next (remaining - 1)
+          end
+        in
+        let n, acc = fast_forward 1 seed (k - 1) in
+        if not confirm then acc
+        else begin
+          let rec converge n acc =
+            round stats;
+            let next =
+              traced_round trace n (Frag_set.cardinal acc) (fun () ->
+                  step ?stats ~trace ctx ~keep acc seed)
+            in
+            if Frag_set.cardinal next = Frag_set.cardinal acc then acc
+            else converge (n + 1) next
+          in
+          converge n acc
+        end)
 
-let with_reduction ?stats ctx set =
-  with_reduction_general ?stats ctx ~keep:(fun _ -> true) ~confirm:true set
+let with_reduction ?stats ?trace ctx set =
+  with_reduction_general ?stats ?trace ctx ~keep:(fun _ -> true) ~confirm:true set
 
-let with_reduction_unchecked ?stats ctx set =
-  with_reduction_general ?stats ctx ~keep:(fun _ -> true) ~confirm:false set
+let with_reduction_unchecked ?stats ?trace ctx set =
+  with_reduction_general ?stats ?trace ctx ~keep:(fun _ -> true) ~confirm:false set
 
-let with_reduction_filtered ?stats ctx ~keep set =
-  with_reduction_general ?stats ctx ~keep ~confirm:true set
+let with_reduction_filtered ?stats ?trace ctx ~keep set =
+  with_reduction_general ?stats ?trace ctx ~keep ~confirm:true set
 
-let with_reduction_filtered_unchecked ?stats ctx ~keep set =
-  with_reduction_general ?stats ctx ~keep ~confirm:false set
+let with_reduction_filtered_unchecked ?stats ?trace ctx ~keep set =
+  with_reduction_general ?stats ?trace ctx ~keep ~confirm:false set

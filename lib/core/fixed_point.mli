@@ -26,10 +26,12 @@
       with an anti-monotonic predicate after every join (Theorem 3
       push-down inside the fixed point). *)
 
-val naive : ?stats:Op_stats.t -> Context.t -> Frag_set.t -> Frag_set.t
+val naive :
+  ?stats:Op_stats.t -> ?trace:Xfrag_obs.Trace.t -> Context.t -> Frag_set.t -> Frag_set.t
 
 val semi_naive :
   ?stats:Op_stats.t ->
+  ?trace:Xfrag_obs.Trace.t ->
   ?keep:(Fragment.t -> bool) ->
   Context.t ->
   Frag_set.t ->
@@ -43,22 +45,25 @@ val semi_naive :
     first round; answers are identical (property-tested).  [keep] prunes
     anti-monotonically as in {!naive_filtered}. *)
 
-val with_reduction : ?stats:Op_stats.t -> Context.t -> Frag_set.t -> Frag_set.t
+val with_reduction :
+  ?stats:Op_stats.t -> ?trace:Xfrag_obs.Trace.t -> Context.t -> Frag_set.t -> Frag_set.t
 
 val with_reduction_unchecked :
-  ?stats:Op_stats.t -> Context.t -> Frag_set.t -> Frag_set.t
+  ?stats:Op_stats.t -> ?trace:Xfrag_obs.Trace.t -> Context.t -> Frag_set.t -> Frag_set.t
 (** Theorem 1 verbatim: exactly |⊖(F)|−1 pairwise-join rounds, no
     convergence check.  Correct when every member of the input is a
     single-node fragment (the paper's use case); may under-compute on
     general inputs — see the erratum above. *)
 
-val iterate : ?stats:Op_stats.t -> Context.t -> int -> Frag_set.t -> Frag_set.t
+val iterate :
+  ?stats:Op_stats.t -> ?trace:Xfrag_obs.Trace.t -> Context.t -> int -> Frag_set.t -> Frag_set.t
 (** [iterate ctx n f] is ⋈ₙ(F): the pairwise self-join applied to [n]
     copies of [F] (so [iterate ctx 1 f = f]).
     @raise Invalid_argument if [n < 1]. *)
 
 val naive_filtered :
   ?stats:Op_stats.t ->
+  ?trace:Xfrag_obs.Trace.t ->
   Context.t ->
   keep:(Fragment.t -> bool) ->
   Frag_set.t ->
@@ -69,6 +74,7 @@ val naive_filtered :
 
 val with_reduction_filtered :
   ?stats:Op_stats.t ->
+  ?trace:Xfrag_obs.Trace.t ->
   Context.t ->
   keep:(Fragment.t -> bool) ->
   Frag_set.t ->
@@ -78,6 +84,7 @@ val with_reduction_filtered :
 
 val with_reduction_filtered_unchecked :
   ?stats:Op_stats.t ->
+  ?trace:Xfrag_obs.Trace.t ->
   Context.t ->
   keep:(Fragment.t -> bool) ->
   Frag_set.t ->

@@ -1,5 +1,7 @@
 module Int_sorted = Xfrag_util.Int_sorted
 module Lca = Xfrag_doctree.Lca
+module Trace = Xfrag_obs.Trace
+module Json = Xfrag_obs.Json
 
 let bump stats f = match stats with None -> () | Some s -> f s
 
@@ -20,7 +22,7 @@ let fragment_many ?stats ctx = function
   | [] -> invalid_arg "Join.fragment_many: empty list"
   | f :: rest -> List.fold_left (fragment ?stats ctx) f rest
 
-let pairwise_general ?stats ctx ~keep s1 s2 =
+let pairwise_loop ?stats ctx ~keep s1 s2 =
   let out =
     Frag_set.Builder.create ~size_hint:(Frag_set.cardinal s1 * Frag_set.cardinal s2) ()
   in
@@ -39,11 +41,28 @@ let pairwise_general ?stats ctx ~keep s1 s2 =
     s1;
   Frag_set.Builder.freeze out
 
-let pairwise ?stats ctx s1 s2 = pairwise_general ?stats ctx ~keep:(fun _ -> true) s1 s2
+let pairwise_general ?stats ?(trace = Trace.disabled) ctx ~keep s1 s2 =
+  if not (Trace.is_enabled trace) then pairwise_loop ?stats ctx ~keep s1 s2
+  else
+    Trace.with_span trace
+      ~attrs:
+        [
+          ("left", Json.Int (Frag_set.cardinal s1));
+          ("right", Json.Int (Frag_set.cardinal s2));
+        ]
+      "pairwise-join"
+      (fun () ->
+        let out = pairwise_loop ?stats ctx ~keep s1 s2 in
+        Trace.add_attr trace "out" (Json.Int (Frag_set.cardinal out));
+        out)
 
-let pairwise_filtered ?stats ctx ~keep s1 s2 = pairwise_general ?stats ctx ~keep s1 s2
+let pairwise ?stats ?trace ctx s1 s2 =
+  pairwise_general ?stats ?trace ctx ~keep:(fun _ -> true) s1 s2
 
-let pairwise_parallel ?stats ?domains ?(keep = fun _ -> true) ctx s1 s2 =
+let pairwise_filtered ?stats ?trace ctx ~keep s1 s2 =
+  pairwise_general ?stats ?trace ctx ~keep s1 s2
+
+let pairwise_parallel ?stats ?trace ?domains ?(keep = fun _ -> true) ctx s1 s2 =
   let domains =
     match domains with
     | Some d -> max 1 d
@@ -51,34 +70,48 @@ let pairwise_parallel ?stats ?domains ?(keep = fun _ -> true) ctx s1 s2 =
   in
   let elems = Array.of_list (Frag_set.elements s1) in
   let n = Array.length elems in
-  if domains = 1 || n < 2 * domains then pairwise_general ?stats ctx ~keep s1 s2
+  if domains = 1 || n < 2 * domains then pairwise_general ?stats ?trace ctx ~keep s1 s2
   else begin
-    let chunk = (n + domains - 1) / domains in
-    let worker lo =
-      Domain.spawn (fun () ->
-          (* Per-domain counters; folded into [stats] after the join. *)
-          let local = Op_stats.create () in
-          let out = Frag_set.Builder.create () in
-          for i = lo to min (lo + chunk - 1) (n - 1) do
-            Frag_set.iter
-              (fun f2 ->
-                let f = fragment ~stats:local ctx elems.(i) f2 in
-                local.Op_stats.candidates <- local.Op_stats.candidates + 1;
-                if keep f then ignore (Frag_set.Builder.add out f)
-                else local.Op_stats.pruned <- local.Op_stats.pruned + 1)
-              s2
-          done;
-          (Frag_set.Builder.freeze out, local))
+    (* One span in the spawning domain around the whole fan-out; workers
+       do not touch the tracer (its open-span stack is per-tracer). *)
+    let run () =
+      let chunk = (n + domains - 1) / domains in
+      let worker lo =
+        Domain.spawn (fun () ->
+            (* Per-domain counters; folded into [stats] after the join. *)
+            let local = Op_stats.create () in
+            let out = Frag_set.Builder.create () in
+            for i = lo to min (lo + chunk - 1) (n - 1) do
+              Frag_set.iter
+                (fun f2 ->
+                  let f = fragment ~stats:local ctx elems.(i) f2 in
+                  local.Op_stats.candidates <- local.Op_stats.candidates + 1;
+                  if keep f then ignore (Frag_set.Builder.add out f)
+                  else local.Op_stats.pruned <- local.Op_stats.pruned + 1)
+                s2
+            done;
+            (Frag_set.Builder.freeze out, local))
+      in
+      let handles = List.init domains (fun d -> worker (d * chunk)) in
+      let results = List.map Domain.join handles in
+      bump stats (fun s ->
+          List.iter (fun (_, local) -> Op_stats.merge s local) results);
+      List.fold_left (fun acc (set, _) -> Frag_set.union acc set) Frag_set.empty results
     in
-    let handles = List.init domains (fun d -> worker (d * chunk)) in
-    let results = List.map Domain.join handles in
-    bump stats (fun s ->
-        List.iter
-          (fun (_, local) ->
-            s.Op_stats.fragment_joins <-
-              s.Op_stats.fragment_joins + local.Op_stats.fragment_joins;
-            s.Op_stats.candidates <- s.Op_stats.candidates + local.Op_stats.candidates;
-            s.Op_stats.pruned <- s.Op_stats.pruned + local.Op_stats.pruned)
-          results);
-    List.fold_left (fun acc (set, _) -> Frag_set.union acc set) Frag_set.empty results
+    match trace with
+    | None -> run ()
+    | Some trace when not (Trace.is_enabled trace) -> run ()
+    | Some trace ->
+        Trace.with_span trace
+          ~attrs:
+            [
+              ("left", Json.Int (Frag_set.cardinal s1));
+              ("right", Json.Int (Frag_set.cardinal s2));
+              ("domains", Json.Int domains);
+            ]
+          "pairwise-join-parallel"
+          (fun () ->
+            let out = run () in
+            Trace.add_attr trace "out" (Json.Int (Frag_set.cardinal out));
+            out)
   end

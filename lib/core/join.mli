@@ -24,11 +24,19 @@ val fragment_many : ?stats:Op_stats.t -> Context.t -> Fragment.t list -> Fragmen
     @raise Invalid_argument on the empty list. *)
 
 val pairwise :
-  ?stats:Op_stats.t -> Context.t -> Frag_set.t -> Frag_set.t -> Frag_set.t
-(** F1 ⋈ F2 = { f1 ⋈ f2 | f1 ∈ F1, f2 ∈ F2 } (duplicates collapse). *)
+  ?stats:Op_stats.t ->
+  ?trace:Xfrag_obs.Trace.t ->
+  Context.t ->
+  Frag_set.t ->
+  Frag_set.t ->
+  Frag_set.t
+(** F1 ⋈ F2 = { f1 ⋈ f2 | f1 ∈ F1, f2 ∈ F2 } (duplicates collapse).
+    With an enabled [trace], records a [pairwise-join] span carrying the
+    operand and result cardinalities. *)
 
 val pairwise_filtered :
   ?stats:Op_stats.t ->
+  ?trace:Xfrag_obs.Trace.t ->
   Context.t ->
   keep:(Fragment.t -> bool) ->
   Frag_set.t ->
@@ -41,6 +49,7 @@ val pairwise_filtered :
 
 val pairwise_parallel :
   ?stats:Op_stats.t ->
+  ?trace:Xfrag_obs.Trace.t ->
   ?domains:int ->
   ?keep:(Fragment.t -> bool) ->
   Context.t ->

@@ -28,6 +28,26 @@ let reset t =
   t.fixpoint_rounds <- 0;
   t.reduce_subset_checks <- 0
 
+let merge dst src =
+  dst.fragment_joins <- dst.fragment_joins + src.fragment_joins;
+  dst.candidates <- dst.candidates + src.candidates;
+  dst.duplicates <- dst.duplicates + src.duplicates;
+  dst.pruned <- dst.pruned + src.pruned;
+  dst.filtered <- dst.filtered + src.filtered;
+  dst.fixpoint_rounds <- dst.fixpoint_rounds + src.fixpoint_rounds;
+  dst.reduce_subset_checks <- dst.reduce_subset_checks + src.reduce_subset_checks
+
+let to_assoc t =
+  [
+    ("fragment_joins", t.fragment_joins);
+    ("candidates", t.candidates);
+    ("duplicates", t.duplicates);
+    ("pruned", t.pruned);
+    ("filtered", t.filtered);
+    ("fixpoint_rounds", t.fixpoint_rounds);
+    ("reduce_subset_checks", t.reduce_subset_checks);
+  ]
+
 let total_work t = t.fragment_joins + t.reduce_subset_checks
 
 let pp ppf t =

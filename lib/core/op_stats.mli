@@ -19,7 +19,22 @@ val create : unit -> t
 
 val reset : t -> unit
 
+val merge : t -> t -> unit
+(** [merge dst src] adds every counter of [src] into [dst].  Used to
+    aggregate per-worker counters after a Domain-parallel join, and to
+    fold per-operator deltas into a query total. *)
+
+val to_assoc : t -> (string * int) list
+(** Stable snapshot [(name, value)] in declaration order — the bridge
+    into a {!Xfrag_obs.Metrics} registry and the JSON exporters. *)
+
 val total_work : t -> int
-(** A single scalar proxy: joins + subset checks. *)
+(** A single scalar proxy for the paper's "amount of computation":
+    joins + subset checks — the two operations §4/§5 count when
+    comparing strategies.  [candidates] is deliberately excluded: every
+    candidate is the output of exactly one counted fragment join, so
+    adding it would double-count the same work; [duplicates], [pruned]
+    and [filtered] are likewise classifications of already-counted
+    outputs, not additional computation. *)
 
 val pp : Format.formatter -> t -> unit

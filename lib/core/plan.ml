@@ -13,22 +13,25 @@ let initial (q : Query.t) =
   | [] -> invalid_arg "Plan.initial: query has no keywords"
   | scan :: rest -> Select (q.filter, List.fold_left (fun acc s -> Power_join (acc, s)) scan rest)
 
-let rec eval ?stats ctx = function
-  | Scan_keyword k -> Selection.keyword ctx k
-  | Select (p, x) -> Selection.select ?stats ctx p (eval ?stats ctx x)
-  | Pair_join (a, b) -> Join.pairwise ?stats ctx (eval ?stats ctx a) (eval ?stats ctx b)
+let rec eval ?stats ?trace ctx = function
+  | Scan_keyword k -> Selection.keyword ?trace ctx k
+  | Select (p, x) -> Selection.select ?stats ?trace ctx p (eval ?stats ?trace ctx x)
+  | Pair_join (a, b) ->
+      Join.pairwise ?stats ?trace ctx (eval ?stats ?trace ctx a) (eval ?stats ?trace ctx b)
   | Pair_join_filtered (p, a, b) ->
-      Join.pairwise_filtered ?stats ctx
+      Join.pairwise_filtered ?stats ?trace ctx
         ~keep:(Filter.evaluate ctx p)
-        (eval ?stats ctx a) (eval ?stats ctx b)
+        (eval ?stats ?trace ctx a) (eval ?stats ?trace ctx b)
   | Power_join (a, b) ->
-      Powerset.via_fixed_points ?stats ctx (eval ?stats ctx a) (eval ?stats ctx b)
-  | Fixed_point x -> Fixed_point.naive ?stats ctx (eval ?stats ctx x)
-  | Fixed_point_reduced x -> Fixed_point.with_reduction ?stats ctx (eval ?stats ctx x)
+      Powerset.via_fixed_points ?stats ?trace ctx (eval ?stats ?trace ctx a)
+        (eval ?stats ?trace ctx b)
+  | Fixed_point x -> Fixed_point.naive ?stats ?trace ctx (eval ?stats ?trace ctx x)
+  | Fixed_point_reduced x ->
+      Fixed_point.with_reduction ?stats ?trace ctx (eval ?stats ?trace ctx x)
   | Fixed_point_filtered (p, x) ->
-      Fixed_point.naive_filtered ?stats ctx
+      Fixed_point.naive_filtered ?stats ?trace ctx
         ~keep:(Filter.evaluate ctx p)
-        (eval ?stats ctx x)
+        (eval ?stats ?trace ctx x)
 
 let rec equal a b =
   match (a, b) with

@@ -21,7 +21,8 @@ type t =
 val initial : Query.t -> t
 (** σ_P(F1 ⋈* … ⋈* Fm), joins left-associated. *)
 
-val eval : ?stats:Op_stats.t -> Context.t -> t -> Frag_set.t
+val eval :
+  ?stats:Op_stats.t -> ?trace:Xfrag_obs.Trace.t -> Context.t -> t -> Frag_set.t
 
 val equal : t -> t -> bool
 

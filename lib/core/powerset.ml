@@ -26,7 +26,19 @@ let subset_joins ?stats ctx (elems : Fragment.t array) =
   done;
   joins
 
-let literal ?stats ?(max_set_size = 14) ctx s1 s2 =
+module Trace = Xfrag_obs.Trace
+module Json = Xfrag_obs.Json
+
+let traced trace name f =
+  if not (Trace.is_enabled trace) then f ()
+  else
+    Trace.with_span trace name (fun () ->
+        let out = f () in
+        Trace.add_attr trace "out" (Json.Int (Frag_set.cardinal out));
+        out)
+
+let literal ?stats ?(trace = Trace.disabled) ?(max_set_size = 14) ctx s1 s2 =
+  traced trace "powerset-literal" @@ fun () ->
   check_size "literal" max_set_size s1;
   check_size "literal" max_set_size s2;
   let e1 = Array.of_list (Frag_set.elements s1) in
@@ -42,10 +54,13 @@ let literal ?stats ?(max_set_size = 14) ctx s1 s2 =
   done;
   Frag_set.Builder.freeze out
 
-let via_fixed_points ?stats ?(fixed_point = Fixed_point.naive) ctx s1 s2 =
-  Join.pairwise ?stats ctx (fixed_point ?stats ctx s1) (fixed_point ?stats ctx s2)
+let via_fixed_points ?stats ?trace ?(fixed_point = Fixed_point.naive) ctx s1 s2 =
+  Join.pairwise ?stats ?trace ctx
+    (fixed_point ?stats ?trace ctx s1)
+    (fixed_point ?stats ?trace ctx s2)
 
-let many_literal ?stats ?(max_set_size = 14) ctx sets =
+let many_literal ?stats ?(trace = Trace.disabled) ?(max_set_size = 14) ctx sets =
+  traced trace "powerset-literal" @@ fun () ->
   match sets with
   | [] -> invalid_arg "Powerset.many_literal: no operands"
   | [ s ] ->
@@ -84,11 +99,14 @@ let many_literal ?stats ?(max_set_size = 14) ctx sets =
       done;
       List.fold_left join_one (Frag_set.Builder.freeze acc) rest
 
-let many_via_fixed_points ?stats ?(fixed_point = Fixed_point.naive) ctx sets =
+let many_via_fixed_points ?stats ?trace ?(fixed_point = Fixed_point.naive) ctx sets =
   match sets with
   | [] -> invalid_arg "Powerset.many_via_fixed_points: no operands"
   | first :: rest ->
-      let fps = fixed_point ?stats ctx first :: List.map (fixed_point ?stats ctx) rest in
+      let fps =
+        fixed_point ?stats ?trace ctx first
+        :: List.map (fixed_point ?stats ?trace ctx) rest
+      in
       (match fps with
       | [] -> assert false
-      | fp :: fps -> List.fold_left (Join.pairwise ?stats ctx) fp fps)
+      | fp :: fps -> List.fold_left (Join.pairwise ?stats ?trace ctx) fp fps)

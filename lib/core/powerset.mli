@@ -8,14 +8,26 @@
     Theorem 2: F1 ⋈* F2 = F1⁺ ⋈ F2⁺. *)
 
 val literal :
-  ?stats:Op_stats.t -> ?max_set_size:int -> Context.t -> Frag_set.t -> Frag_set.t -> Frag_set.t
+  ?stats:Op_stats.t ->
+  ?trace:Xfrag_obs.Trace.t ->
+  ?max_set_size:int ->
+  Context.t ->
+  Frag_set.t ->
+  Frag_set.t ->
+  Frag_set.t
 (** Direct subset enumeration, 2^|F1|·2^|F2| joins.  Refuses inputs
     larger than [max_set_size] (default 14) per operand.
     @raise Invalid_argument when an operand is too large. *)
 
 val via_fixed_points :
   ?stats:Op_stats.t ->
-  ?fixed_point:(?stats:Op_stats.t -> Context.t -> Frag_set.t -> Frag_set.t) ->
+  ?trace:Xfrag_obs.Trace.t ->
+  ?fixed_point:
+    (?stats:Op_stats.t ->
+    ?trace:Xfrag_obs.Trace.t ->
+    Context.t ->
+    Frag_set.t ->
+    Frag_set.t) ->
   Context.t ->
   Frag_set.t ->
   Frag_set.t ->
@@ -24,14 +36,25 @@ val via_fixed_points :
     algorithm (default {!Fixed_point.naive}). *)
 
 val many_literal :
-  ?stats:Op_stats.t -> ?max_set_size:int -> Context.t -> Frag_set.t list -> Frag_set.t
+  ?stats:Op_stats.t ->
+  ?trace:Xfrag_obs.Trace.t ->
+  ?max_set_size:int ->
+  Context.t ->
+  Frag_set.t list ->
+  Frag_set.t
 (** m-ary extension: \{ ⋈(∪ᵢ Fi') | Fi' ⊆ Fi non-empty \} — the paper's
     query formula for m keywords.
     @raise Invalid_argument on the empty list or oversized operands. *)
 
 val many_via_fixed_points :
   ?stats:Op_stats.t ->
-  ?fixed_point:(?stats:Op_stats.t -> Context.t -> Frag_set.t -> Frag_set.t) ->
+  ?trace:Xfrag_obs.Trace.t ->
+  ?fixed_point:
+    (?stats:Op_stats.t ->
+    ?trace:Xfrag_obs.Trace.t ->
+    Context.t ->
+    Frag_set.t ->
+    Frag_set.t) ->
   Context.t ->
   Frag_set.t list ->
   Frag_set.t

@@ -1,6 +1,9 @@
+module Trace = Xfrag_obs.Trace
+module Json = Xfrag_obs.Json
+
 let bump stats f = match stats with None -> () | Some s -> f s
 
-let reduce ?stats ctx set =
+let reduce_impl ?stats ctx set =
   let elems = Array.of_list (Frag_set.elements set) in
   let n = Array.length elems in
   if n <= 2 then set
@@ -39,6 +42,17 @@ let reduce ?stats ctx set =
     done;
     Frag_set.of_list !kept
   end
+
+let reduce ?stats ?(trace = Trace.disabled) ctx set =
+  if not (Trace.is_enabled trace) then reduce_impl ?stats ctx set
+  else
+    Trace.with_span trace
+      ~attrs:[ ("in", Json.Int (Frag_set.cardinal set)) ]
+      "reduce"
+      (fun () ->
+        let out = reduce_impl ?stats ctx set in
+        Trace.add_attr trace "out" (Json.Int (Frag_set.cardinal out));
+        out)
 
 let reduction_factor ctx set =
   let a = Frag_set.cardinal set in

@@ -10,7 +10,8 @@
     Theorem 1 then states that |⊖(F)| pairwise-join rounds suffice to
     reach the fixed point F⁺. *)
 
-val reduce : ?stats:Op_stats.t -> Context.t -> Frag_set.t -> Frag_set.t
+val reduce :
+  ?stats:Op_stats.t -> ?trace:Xfrag_obs.Trace.t -> Context.t -> Frag_set.t -> Frag_set.t
 (** O(|F|² joins + |F|³ subset checks); the join of every pair is
     computed once and reused across candidates. *)
 

@@ -1,4 +1,7 @@
-let select ?stats ctx p set =
+module Trace = Xfrag_obs.Trace
+module Json = Xfrag_obs.Json
+
+let select_impl ?stats ctx p set =
   match stats with
   | None -> Frag_set.filter (Filter.evaluate ctx p) set
   | Some s ->
@@ -9,5 +12,29 @@ let select ?stats ctx p set =
           ok)
         set
 
-let keyword (ctx : Context.t) k =
-  Frag_set.of_nodes (Xfrag_doctree.Inverted_index.lookup ctx.index k)
+let select ?stats ?(trace = Trace.disabled) ctx p set =
+  if not (Trace.is_enabled trace) then select_impl ?stats ctx p set
+  else
+    Trace.with_span trace
+      ~attrs:
+        [
+          ("filter", Json.String (Format.asprintf "%a" Filter.pp p));
+          ("in", Json.Int (Frag_set.cardinal set));
+        ]
+      "select"
+      (fun () ->
+        let out = select_impl ?stats ctx p set in
+        Trace.add_attr trace "out" (Json.Int (Frag_set.cardinal out));
+        out)
+
+let keyword ?(trace = Trace.disabled) (ctx : Context.t) k =
+  if not (Trace.is_enabled trace) then
+    Frag_set.of_nodes (Xfrag_doctree.Inverted_index.lookup ctx.index k)
+  else
+    Trace.with_span trace
+      ~attrs:[ ("keyword", Json.String k) ]
+      "scan"
+      (fun () ->
+        let out = Frag_set.of_nodes (Xfrag_doctree.Inverted_index.lookup ctx.index k) in
+        Trace.add_attr trace "out" (Json.Int (Frag_set.cardinal out));
+        out)

@@ -1,10 +1,17 @@
 (** Selection σ_P (Definition 3). *)
 
 val select :
-  ?stats:Op_stats.t -> Context.t -> Filter.t -> Frag_set.t -> Frag_set.t
+  ?stats:Op_stats.t ->
+  ?trace:Xfrag_obs.Trace.t ->
+  Context.t ->
+  Filter.t ->
+  Frag_set.t ->
+  Frag_set.t
 (** σ_P(F) = \{ f ∈ F | P(f) \}.  Counts rejected fragments in
-    [stats.filtered]. *)
+    [stats.filtered]; with an enabled [trace], records a [select] span
+    with the filter and input/output cardinalities. *)
 
-val keyword : Context.t -> string -> Frag_set.t
+val keyword : ?trace:Xfrag_obs.Trace.t -> Context.t -> string -> Frag_set.t
 (** σ_{keyword=k}(nodes D) — the single-node fragments whose keywords
-    contain [k] (§2.3), served by the inverted index. *)
+    contain [k] (§2.3), served by the inverted index.  Traced as a
+    [scan] span (the per-keyword posting-list lookup). *)

@@ -1,0 +1,18 @@
+type t = unit -> int
+
+let monotonic () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let counter ?(start = 0) ?(step = 1000) () =
+  let now = ref (start - step) in
+  fun () ->
+    now := !now + step;
+    !now
+
+let ns_to_string ns =
+  let f = float_of_int ns in
+  if ns < 1_000 then Printf.sprintf "%dns" ns
+  else if ns < 1_000_000 then Printf.sprintf "%.1fus" (f /. 1e3)
+  else if ns < 1_000_000_000 then Printf.sprintf "%.2fms" (f /. 1e6)
+  else Printf.sprintf "%.2fs" (f /. 1e9)
+
+let pp_ns ppf ns = Format.pp_print_string ppf (ns_to_string ns)

@@ -1,0 +1,26 @@
+(** Nanosecond clocks for tracing and timing.
+
+    A clock is a thunk returning nanoseconds from an arbitrary origin;
+    only differences are meaningful.  {!monotonic} is the wall clock used
+    in production; {!counter} is a deterministic fake for golden tests
+    (every read advances by a fixed step, so rendered durations are
+    reproducible). *)
+
+type t = unit -> int
+(** Nanoseconds since an unspecified origin. *)
+
+val monotonic : t
+(** Best wall clock available without extra dependencies
+    ([Unix.gettimeofday], ~µs resolution).  Not strictly monotonic under
+    NTP slew, but overhead is a few tens of ns per read, which is what
+    the hot path needs. *)
+
+val counter : ?start:int -> ?step:int -> unit -> t
+(** [counter ~start ~step ()] returns [start], [start+step],
+    [start+2*step], … on successive reads (defaults: 0, 1000).
+    Deterministic; for tests. *)
+
+val pp_ns : Format.formatter -> int -> unit
+(** Human duration: [420ns], [12.5us], [3.14ms], [2.50s]. *)
+
+val ns_to_string : int -> string

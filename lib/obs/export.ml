@@ -1,0 +1,86 @@
+let span_attrs_json (sp : Trace.span) = Json.Obj sp.attrs
+
+(* --- human tree ---------------------------------------------------- *)
+
+let pp_tree ppf trace =
+  let spans = Trace.spans trace in
+  let children =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (sp : Trace.span) ->
+        Hashtbl.replace tbl sp.parent
+          (sp :: (Option.value ~default:[] (Hashtbl.find_opt tbl sp.parent))))
+      (List.rev spans);
+    tbl
+  in
+  let kids id = Option.value ~default:[] (Hashtbl.find_opt children id) in
+  let rec go indent (sp : Trace.span) =
+    Format.fprintf ppf "%s%-*s %8s" indent
+      (max 1 (36 - String.length indent))
+      sp.name
+      (Clock.ns_to_string (Trace.duration_ns sp));
+    List.iter
+      (fun (k, v) ->
+        Format.fprintf ppf "  %s=%s" k
+          (match v with Json.String s -> s | j -> Json.to_string j))
+      sp.attrs;
+    Format.fprintf ppf "@,";
+    List.iter (go (indent ^ "  ")) (kids sp.id)
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iter (go "") (kids (-1));
+  Format.fprintf ppf "@]"
+
+(* --- JSON lines ---------------------------------------------------- *)
+
+let span_json (sp : Trace.span) =
+  Json.Obj
+    [
+      ("id", Json.Int sp.id);
+      ("parent", if sp.parent < 0 then Json.Null else Json.Int sp.parent);
+      ("name", Json.String sp.name);
+      ("start_ns", Json.Int sp.start_ns);
+      ("dur_ns", Json.Int (Trace.duration_ns sp));
+      ("attrs", span_attrs_json sp);
+    ]
+
+let to_jsonl trace =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun sp ->
+      Json.to_buffer buf (span_json sp);
+      Buffer.add_char buf '\n')
+    (Trace.spans trace);
+  Buffer.contents buf
+
+(* --- Chrome trace-event format ------------------------------------- *)
+
+let chrome_event (sp : Trace.span) =
+  Json.Obj
+    [
+      ("name", Json.String sp.name);
+      ("cat", Json.String "xfrag");
+      ("ph", Json.String "X");
+      ("ts", Json.Float (float_of_int sp.start_ns /. 1e3));
+      ("dur", Json.Float (float_of_int (Trace.duration_ns sp) /. 1e3));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+      ("args", span_attrs_json sp);
+    ]
+
+let to_chrome trace =
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.List (List.map chrome_event (Trace.spans trace)));
+         ("displayTimeUnit", Json.String "ns");
+       ])
+
+let write_file path contents =
+  match open_out path with
+  | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc contents);
+      Ok ()
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,23 @@
+(** Trace exporters.
+
+    Three views of the same span forest:
+    - {!pp_tree}: human-readable indented tree (durations + attributes);
+    - {!to_jsonl}: one JSON object per span per line, machine-greppable;
+    - {!to_chrome}: Chrome trace-event format — load the file in
+      [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. *)
+
+val pp_tree : Format.formatter -> Trace.t -> unit
+
+val to_jsonl : Trace.t -> string
+(** Per span: [{"id":…,"parent":id|null,"name":…,"start_ns":…,
+    "dur_ns":…,"attrs":{…}}], one per line, start order, trailing
+    newline. *)
+
+val to_chrome : Trace.t -> string
+(** A single JSON object [{"traceEvents":[…],"displayTimeUnit":"ns"}].
+    Each span becomes a complete ("ph":"X") event with microsecond
+    [ts]/[dur] (fractional µs keep ns resolution) and its attributes
+    under ["args"]. *)
+
+val write_file : string -> string -> (unit, string) result
+(** [write_file path contents] — convenience used by the CLI. *)

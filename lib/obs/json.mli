@@ -1,0 +1,22 @@
+(** Minimal JSON emitter (no parser, no external dependency).
+
+    Used by the trace/metrics exporters and the bench harness.  Strings
+    are escaped per RFC 8259; floats print with enough digits to
+    round-trip; non-finite floats degrade to [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val escape_string : string -> string
+(** The quoted, escaped JSON literal for a string. *)

@@ -1,0 +1,161 @@
+module Counter = struct
+  type t = { mutable n : int }
+
+  let incr c = c.n <- c.n + 1
+
+  let add c k = c.n <- c.n + k
+
+  let value c = c.n
+end
+
+module Gauge = struct
+  type t = { mutable v : float }
+
+  let set g v = g.v <- v
+
+  let value g = g.v
+end
+
+module Histogram = struct
+  (* Bucket i counts samples in (2^(i-1), 2^i]; bucket 0 counts v <= 1.
+     64 buckets cover every int-expressible nanosecond duration. *)
+  let n_buckets = 64
+
+  type t = { counts : int array; mutable count : int; mutable sum : float }
+
+  let create () = { counts = Array.make n_buckets 0; count = 0; sum = 0.0 }
+
+  let bucket_of v =
+    let rec go i ub = if v <= ub || i = n_buckets - 1 then i else go (i + 1) (ub *. 2.0) in
+    go 0 1.0
+
+  let upper_bound i = Float.pow 2.0 (float_of_int i)
+
+  let observe h v =
+    let v = Float.max 0.0 v in
+    let i = bucket_of v in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v
+
+  let count h = h.count
+
+  let sum h = h.sum
+
+  let buckets h =
+    let out = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      if h.counts.(i) > 0 then out := (upper_bound i, h.counts.(i)) :: !out
+    done;
+    !out
+
+  let quantile h q =
+    if h.count = 0 then 0.0
+    else begin
+      let q = Float.min 1.0 (Float.max 0.0 q) in
+      let rank = int_of_float (Float.round (q *. float_of_int (h.count - 1))) in
+      let rec go i seen =
+        if i >= n_buckets then upper_bound (n_buckets - 1)
+        else
+          let seen = seen + h.counts.(i) in
+          if seen > rank then upper_bound i else go (i + 1) seen
+      in
+      go 0 0
+    end
+end
+
+type instrument =
+  | C of Counter.t
+  | G of Gauge.t
+  | H of Histogram.t
+
+type t = (string, instrument) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let describe = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let counter t name =
+  match Hashtbl.find_opt t name with
+  | Some (C c) -> c
+  | Some i ->
+      invalid_arg
+        (Printf.sprintf "Metrics.counter: %S is a %s" name (describe i))
+  | None ->
+      let c = { Counter.n = 0 } in
+      Hashtbl.add t name (C c);
+      c
+
+let gauge t name =
+  match Hashtbl.find_opt t name with
+  | Some (G g) -> g
+  | Some i ->
+      invalid_arg (Printf.sprintf "Metrics.gauge: %S is a %s" name (describe i))
+  | None ->
+      let g = { Gauge.v = 0.0 } in
+      Hashtbl.add t name (G g);
+      g
+
+let histogram t name =
+  match Hashtbl.find_opt t name with
+  | Some (H h) -> h
+  | Some i ->
+      invalid_arg
+        (Printf.sprintf "Metrics.histogram: %S is a %s" name (describe i))
+  | None ->
+      let h = Histogram.create () in
+      Hashtbl.add t name (H h);
+      h
+
+let add_assoc ?(prefix = "") t assoc =
+  List.iter (fun (name, n) -> Counter.add (counter t (prefix ^ name)) n) assoc
+
+let sorted_bindings t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i (name, inst) ->
+      if i > 0 then Format.fprintf ppf "@,";
+      match inst with
+      | C c -> Format.fprintf ppf "counter   %-32s %d" name (Counter.value c)
+      | G g -> Format.fprintf ppf "gauge     %-32s %g" name (Gauge.value g)
+      | H h ->
+          Format.fprintf ppf "histogram %-32s count=%d sum=%.0f p50<=%.0f p99<=%.0f"
+            name (Histogram.count h) (Histogram.sum h)
+            (Histogram.quantile h 0.5) (Histogram.quantile h 0.99))
+    (sorted_bindings t);
+  Format.fprintf ppf "@]"
+
+let to_json t =
+  let bindings = sorted_bindings t in
+  let section f =
+    List.filter_map (fun (name, inst) -> Option.map (fun j -> (name, j)) (f inst)) bindings
+  in
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (section (function C c -> Some (Json.Int (Counter.value c)) | _ -> None)) );
+      ( "gauges",
+        Json.Obj
+          (section (function G g -> Some (Json.Float (Gauge.value g)) | _ -> None)) );
+      ( "histograms",
+        Json.Obj
+          (section (function
+            | H h ->
+                Some
+                  (Json.Obj
+                     [
+                       ("count", Json.Int (Histogram.count h));
+                       ("sum", Json.Float (Histogram.sum h));
+                       ( "buckets",
+                         Json.List
+                           (List.map
+                              (fun (ub, n) -> Json.List [ Json.Float ub; Json.Int n ])
+                              (Histogram.buckets h)) );
+                     ])
+            | _ -> None)) );
+    ]

@@ -1,0 +1,66 @@
+(** Named registry of counters, gauges, and latency histograms.
+
+    A registry maps names to instruments; [counter]/[gauge]/[histogram]
+    get-or-create, so call sites need no registration step.  The
+    engine's hot-path accounting stays in [Op_stats] (a bare mutable
+    record); {!add_assoc} snapshots such counters into the registry
+    under a prefix for export. *)
+
+module Counter : sig
+  type t
+
+  val incr : t -> unit
+
+  val add : t -> int -> unit
+
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+
+  val value : t -> float
+end
+
+module Histogram : sig
+  (** Log-bucketed (powers of two) histogram for non-negative samples,
+      e.g. latencies in nanoseconds.  A sample [v] lands in the bucket
+      whose upper bound is the smallest power of two ≥ [v]. *)
+
+  type t
+
+  val observe : t -> float -> unit
+
+  val count : t -> int
+
+  val sum : t -> float
+
+  val buckets : t -> (float * int) list
+  (** Non-empty buckets as [(upper_bound, count)], ascending. *)
+
+  val quantile : t -> float -> float
+  (** [quantile h q] (0 ≤ q ≤ 1): upper bound of the bucket containing
+      the q-th sample — a coarse percentile estimate.  0 when empty. *)
+end
+
+type t
+
+val create : unit -> t
+
+val counter : t -> string -> Counter.t
+
+val gauge : t -> string -> Gauge.t
+
+val histogram : t -> string -> Histogram.t
+
+val add_assoc : ?prefix:string -> t -> (string * int) list -> unit
+(** Add each [(name, n)] into counter [prefix ^ name]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable dump, sorted by name. *)
+
+val to_json : t -> Json.t
+(** [{"counters":{…},"gauges":{…},"histograms":{name:{"count":…,
+    "sum":…,"buckets":[[ub,n],…]}}}] with each section sorted. *)

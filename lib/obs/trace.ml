@@ -1,0 +1,86 @@
+type span = {
+  id : int;
+  parent : int;
+  name : string;
+  start_ns : int;
+  mutable stop_ns : int;
+  mutable attrs : (string * Json.t) list;
+}
+
+type state = {
+  clock : Clock.t;
+  mutable next_id : int;
+  mutable spans : span list;  (* reverse start order *)
+  mutable open_stack : span list;  (* innermost first *)
+  mutex : Mutex.t;
+}
+
+type t = Disabled | Enabled of state
+
+let disabled = Disabled
+
+let create ?(clock = Clock.monotonic) () =
+  Enabled
+    {
+      clock;
+      next_id = 0;
+      spans = [];
+      open_stack = [];
+      mutex = Mutex.create ();
+    }
+
+let is_enabled = function Disabled -> false | Enabled _ -> true
+
+let locked st f =
+  Mutex.lock st.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock st.mutex) f
+
+let open_span st attrs name =
+  locked st (fun () ->
+      let parent = match st.open_stack with [] -> -1 | s :: _ -> s.id in
+      let start_ns = st.clock () in
+      let sp =
+        { id = st.next_id; parent; name; start_ns; stop_ns = start_ns - 1; attrs }
+      in
+      st.next_id <- st.next_id + 1;
+      st.spans <- sp :: st.spans;
+      st.open_stack <- sp :: st.open_stack;
+      sp)
+
+let close_span st sp =
+  locked st (fun () ->
+      sp.stop_ns <- st.clock ();
+      (* Pop up to and including [sp]; tolerates a body that leaked an
+         open child (it closes with its parent). *)
+      let rec pop = function
+        | [] -> []
+        | s :: rest -> if s.id = sp.id then rest else pop rest
+      in
+      st.open_stack <- pop st.open_stack)
+
+let with_span t ?(attrs = []) name f =
+  match t with
+  | Disabled -> f ()
+  | Enabled st ->
+      let sp = open_span st attrs name in
+      Fun.protect ~finally:(fun () -> close_span st sp) f
+
+let add_attr t key value =
+  match t with
+  | Disabled -> ()
+  | Enabled st ->
+      locked st (fun () ->
+          match st.open_stack with
+          | [] -> ()
+          | sp :: _ -> sp.attrs <- sp.attrs @ [ (key, value) ])
+
+let duration_ns sp = max 0 (sp.stop_ns - sp.start_ns)
+
+let spans = function
+  | Disabled -> []
+  | Enabled st -> locked st (fun () -> List.rev st.spans)
+
+let root_ns t =
+  List.fold_left
+    (fun acc sp -> if sp.parent = -1 then acc + duration_ns sp else acc)
+    0 (spans t)

@@ -2,6 +2,8 @@ module Int_sorted = Xfrag_util.Int_sorted
 module Fragment = Xfrag_core.Fragment
 module Frag_set = Xfrag_core.Frag_set
 module Tokenizer = Xfrag_doctree.Tokenizer
+module Trace = Xfrag_obs.Trace
+module Json = Xfrag_obs.Json
 
 type t = { db : Database.t; mutable queries : int }
 
@@ -82,38 +84,68 @@ let join_fragments t f1 f2 =
          (Int_sorted.union (Fragment.nodes f1) (Fragment.nodes f2))
          (Int_sorted.of_list (path t r1 r2)))
 
-let pairwise_filtered t ~keep s1 s2 =
-  let out = Frag_set.Builder.create () in
-  Frag_set.iter
-    (fun f1 ->
-      Frag_set.iter
-        (fun f2 ->
-          let f = join_fragments t f1 f2 in
-          if keep f then ignore (Frag_set.Builder.add out f))
-        s2)
-    s1;
-  Frag_set.Builder.freeze out
+(* Wrap an operation whose result is a fragment set in a span that also
+   records how many relational plans it issued. *)
+let traced_op t trace name attrs f =
+  if not (Trace.is_enabled trace) then f ()
+  else
+    Trace.with_span trace ~attrs name (fun () ->
+        let q0 = t.queries in
+        let out = f () in
+        Trace.add_attr trace "out" (Json.Int (Frag_set.cardinal out));
+        Trace.add_attr trace "rel_queries" (Json.Int (t.queries - q0));
+        out)
 
-let fixed_point_filtered t ~keep seed =
+let pairwise_filtered ?(trace = Trace.disabled) t ~keep s1 s2 =
+  traced_op t trace "rel.pairwise-join"
+    [
+      ("left", Json.Int (Frag_set.cardinal s1));
+      ("right", Json.Int (Frag_set.cardinal s2));
+    ]
+    (fun () ->
+      let out = Frag_set.Builder.create () in
+      Frag_set.iter
+        (fun f1 ->
+          Frag_set.iter
+            (fun f2 ->
+              let f = join_fragments t f1 f2 in
+              if keep f then ignore (Frag_set.Builder.add out f))
+            s2)
+        s1;
+      Frag_set.Builder.freeze out)
+
+let fixed_point_filtered ?(trace = Trace.disabled) t ~keep seed =
   let seed = Frag_set.filter keep seed in
   if Frag_set.is_empty seed then seed
-  else begin
-    let rec go acc =
-      let next = pairwise_filtered t ~keep acc seed in
-      if Frag_set.cardinal next = Frag_set.cardinal acc then acc else go next
-    in
-    go seed
-  end
+  else
+    traced_op t trace "rel.fixed-point"
+      [ ("seed", Json.Int (Frag_set.cardinal seed)) ]
+      (fun () ->
+        let rec go acc =
+          let next = pairwise_filtered ~trace t ~keep acc seed in
+          if Frag_set.cardinal next = Frag_set.cardinal acc then acc else go next
+        in
+        go seed)
 
-let eval_query ?size_limit t ~keywords =
+let eval_query ?size_limit ?(trace = Trace.disabled) t ~keywords =
   let keep f =
     match size_limit with None -> true | Some beta -> Fragment.size f <= beta
   in
-  let sets = List.map (fun k -> Frag_set.of_nodes (postings t k)) keywords in
-  if sets = [] || List.exists Frag_set.is_empty sets then Frag_set.empty
-  else begin
-    let fps = List.map (fun s -> fixed_point_filtered t ~keep s) sets in
-    match fps with
-    | [] -> Frag_set.empty
-    | fp :: rest -> List.fold_left (pairwise_filtered t ~keep) fp rest
-  end
+  traced_op t trace "rel.query"
+    [ ("keywords", Json.String (String.concat " " keywords)) ]
+    (fun () ->
+      let sets =
+        List.map
+          (fun k ->
+            traced_op t trace "rel.postings"
+              [ ("keyword", Json.String k) ]
+              (fun () -> Frag_set.of_nodes (postings t k)))
+          keywords
+      in
+      if sets = [] || List.exists Frag_set.is_empty sets then Frag_set.empty
+      else begin
+        let fps = List.map (fun s -> fixed_point_filtered ~trace t ~keep s) sets in
+        match fps with
+        | [] -> Frag_set.empty
+        | fp :: rest -> List.fold_left (pairwise_filtered ~trace t ~keep) fp rest
+      end)

@@ -31,9 +31,16 @@ val join_fragments : t -> Xfrag_core.Fragment.t -> Xfrag_core.Fragment.t -> Xfra
 (** Fragment join where the root path comes from {!path}. *)
 
 val eval_query :
-  ?size_limit:int -> t -> keywords:string list -> Xfrag_core.Frag_set.t
+  ?size_limit:int ->
+  ?trace:Xfrag_obs.Trace.t ->
+  t ->
+  keywords:string list ->
+  Xfrag_core.Frag_set.t
 (** Push-down evaluation of a keyword query with an optional size ≤ β
-    filter, entirely on relational primitives. *)
+    filter, entirely on relational primitives.  With an enabled [trace],
+    records a [rel.query] span with [rel.postings] / [rel.fixed-point] /
+    [rel.pairwise-join] children, each carrying its output cardinality
+    and the number of relational plans it issued ([rel_queries]). *)
 
 val queries_issued : t -> int
 (** Number of relational plans evaluated so far (for the bench report). *)

@@ -363,14 +363,29 @@ let compile stmt =
       let plan = match stmt.limit with None -> plan | Some n -> Relalg.Limit (n, plan) in
       Ok plan
 
-let run db sql =
-  match parse sql with
-  | Error e -> Error e
-  | Ok stmt -> (
-      match compile stmt with
-      | Error e -> Error e
-      | Ok plan -> (
-          match Relalg.eval db plan with
-          | rel -> Ok rel
-          | exception Not_found -> Error "unknown table or column"
-          | exception Invalid_argument msg -> Error msg))
+let run ?(trace = Xfrag_obs.Trace.disabled) db sql =
+  let module Trace = Xfrag_obs.Trace in
+  let module Json = Xfrag_obs.Json in
+  let exec () =
+    match parse sql with
+    | Error e -> Error e
+    | Ok stmt -> (
+        match compile stmt with
+        | Error e -> Error e
+        | Ok plan -> (
+            match Relalg.eval db plan with
+            | rel -> Ok rel
+            | exception Not_found -> Error "unknown table or column"
+            | exception Invalid_argument msg -> Error msg))
+  in
+  if not (Trace.is_enabled trace) then exec ()
+  else
+    Trace.with_span trace
+      ~attrs:[ ("statement", Json.String sql) ]
+      "sql"
+      (fun () ->
+        let result = exec () in
+        (match result with
+        | Ok rel -> Trace.add_attr trace "rows" (Json.Int (Relation.cardinality rel))
+        | Error e -> Trace.add_attr trace "error" (Json.String e));
+        result)

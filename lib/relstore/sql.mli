@@ -36,6 +36,9 @@ val compile : statement -> (Relalg.plan, string) result
 (** Plans the statement.  Fails on an empty FROM list (the parser never
     produces one) or other structural problems. *)
 
-val run : Database.t -> string -> (Relation.t, string) result
+val run :
+  ?trace:Xfrag_obs.Trace.t -> Database.t -> string -> (Relation.t, string) result
 (** [parse] + [compile] + {!Relalg.eval}, catching unknown
-    table/column errors as [Error]. *)
+    table/column errors as [Error].  With an enabled [trace], each call
+    records an [sql] span carrying the statement and the result row
+    count (or the error). *)
