@@ -133,6 +133,17 @@ let trace_out_arg =
            Chrome trace-event JSON (open in chrome://tracing or Perfetto), \
            or JSON-lines if $(docv) ends in .jsonl.")
 
+let join_cache_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "join-cache" ] ~docv:"SIZE"
+        ~doc:
+          "Memoize fragment joins in a bounded LRU cache of at most \
+           $(docv) entries (0 = disabled, the default).  Answers are \
+           unchanged; hit/miss/eviction counters appear in \
+           $(b,--show-stats), $(b,--metrics-out) and \
+           $(b,--explain-analyze) output.")
+
 let metrics_out_arg =
   Arg.(
     value & opt (some string) None
@@ -142,9 +153,12 @@ let metrics_out_arg =
            counts, latency histogram) as JSON to $(docv).")
 
 (* Build the metrics registry for one query evaluation. *)
-let metrics_of_outcome (outcome : Eval.outcome) =
+let metrics_of_outcome ?cache (outcome : Eval.outcome) =
   let reg = Metrics.create () in
   Metrics.add_assoc ~prefix:"ops." reg (Op_stats.to_assoc outcome.Eval.stats);
+  (match cache with
+  | None -> ()
+  | Some c -> Metrics.add_assoc reg (Xfrag_core.Join_cache.metrics_assoc c));
   Metrics.Gauge.set (Metrics.gauge reg "query.answers")
     (float_of_int (Frag_set.cardinal outcome.Eval.answers));
   Metrics.Histogram.observe
@@ -168,7 +182,7 @@ let write_trace trace path =
   Export.write_file path contents
 
 let run_query file keywords filter_str strategy_str strict as_xml rank limit show_stats
-    timing explain_analyze trace_out metrics_out stem verbose =
+    timing explain_analyze trace_out metrics_out join_cache stem verbose =
   setup_logs verbose;
   let ( let* ) = Result.bind in
   let result =
@@ -180,8 +194,13 @@ let run_query file keywords filter_str strategy_str strict as_xml rank limit sho
       | q -> Ok q
       | exception Invalid_argument msg -> Error msg
     in
+    let cache =
+      if join_cache > 0 then
+        Some (Xfrag_core.Join_cache.create ~capacity:join_cache ())
+      else None
+    in
     if explain_analyze then begin
-      let report = Xfrag_core.Explain.analyze ctx query in
+      let report = Xfrag_core.Explain.analyze ?cache ctx query in
       Format.printf "%a@." Xfrag_core.Explain.pp report;
       Ok ()
     end
@@ -189,7 +208,7 @@ let run_query file keywords filter_str strategy_str strict as_xml rank limit sho
       let trace =
         match trace_out with Some _ -> Trace.create () | None -> Trace.disabled
       in
-      let outcome = Eval.run ~strategy ~strict_leaf_semantics:strict ~trace ctx query in
+      let outcome = Eval.run ~strategy ~strict_leaf_semantics:strict ?cache ~trace ctx query in
       let answers =
         if rank then
           List.map (fun s -> s.Ranking.fragment)
@@ -227,7 +246,7 @@ let run_query file keywords filter_str strategy_str strict as_xml rank limit sho
         match metrics_out with
         | None -> Ok ()
         | Some path ->
-            let json = Json.to_string (Metrics.to_json (metrics_of_outcome outcome)) in
+            let json = Json.to_string (Metrics.to_json (metrics_of_outcome ?cache outcome)) in
             let* () = Export.write_file path (json ^ "\n") in
             Format.printf "metrics written to %s@." path;
             Ok ()
@@ -249,7 +268,7 @@ let query_cmd =
       const run_query $ file_arg $ keywords_arg $ filter_arg $ strategy_arg
       $ strict_arg $ xml_arg $ rank_arg $ limit_arg $ show_stats_arg
       $ timing_arg $ explain_analyze_arg $ trace_out_arg $ metrics_out_arg
-      $ stem_arg $ verbose_arg)
+      $ join_cache_arg $ stem_arg $ verbose_arg)
 
 (* --- stats command --- *)
 

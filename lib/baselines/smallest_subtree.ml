@@ -7,7 +7,7 @@ module Join = Xfrag_core.Join
 
 let answer (ctx : Xfrag_core.Context.t) keywords =
   match Keyword_matches.build ctx keywords with
-  | None -> Frag_set.empty
+  | None -> (Frag_set.empty ())
   | Some km ->
       let m = List.length (Keyword_matches.keywords km) in
       let slcas = Slca.answer ctx keywords in

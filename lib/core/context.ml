@@ -1,9 +1,25 @@
 open Xfrag_doctree
 
-type t = { tree : Doctree.t; lca : Lca.t; index : Inverted_index.t }
+type t = {
+  tree : Doctree.t;
+  lca : Lca.t;
+  index : Inverted_index.t;
+  generation : int;
+}
+
+(* Monotone stamp handed to every freshly built context.  Atomic so
+   corpora can be built from several domains without ever reissuing a
+   generation — caches keyed on it must never see two distinct worlds
+   under one stamp. *)
+let generations = Atomic.make 0
 
 let create ?options tree =
-  { tree; lca = Lca.build tree; index = Inverted_index.build ?options tree }
+  {
+    tree;
+    lca = Lca.build tree;
+    index = Inverted_index.build ?options tree;
+    generation = Atomic.fetch_and_add generations 1;
+  }
 
 let of_xml ?options doc = create ?options (Doctree.of_xml doc)
 
@@ -14,3 +30,5 @@ let of_xml_file ?options path =
   of_xml ?options (Xfrag_xml.Xml_parser.parse_file path)
 
 let size t = Doctree.size t.tree
+
+let generation t = t.generation

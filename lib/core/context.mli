@@ -4,7 +4,17 @@
 
 open Xfrag_doctree
 
-type t = { tree : Doctree.t; lca : Lca.t; index : Inverted_index.t }
+type t = {
+  tree : Doctree.t;
+  lca : Lca.t;
+  index : Inverted_index.t;
+  generation : int;
+      (** Process-unique stamp issued by {!create}.  Node ids only mean
+          something relative to one built context, so anything caching
+          derived results (see {!Join_cache}) keys its validity on this:
+          rebuilding a document — or a corpus — yields contexts with
+          fresh generations, invalidating stale entries automatically. *)
+}
 
 val create : ?options:Tokenizer.options -> Doctree.t -> t
 
@@ -17,3 +27,6 @@ val of_xml_file : ?options:Tokenizer.options -> string -> t
 
 val size : t -> int
 (** Number of document nodes. *)
+
+val generation : t -> int
+(** The context's generation stamp (see the field documentation). *)

@@ -54,7 +54,14 @@ let rf_probe_limit = 48
 
 let rf_threshold = 0.25
 
-let choose_strategy ctx (q : Query.t) keyword_sets =
+(* Returns the chosen strategy together with the probe's reduced sets,
+   keyed by the {e physical} keyword-set values that were probed.  The
+   probes are real work — they run the full O(n²)-join reduce — so they
+   are charged to [stats] like any other operation, and when
+   [Set_reduction] wins, its Theorem-1 fixed points reuse the reduced
+   seeds instead of re-reducing them (the pre-probe code paid for every
+   probe twice). *)
+let choose_strategy ?stats ?cache ctx (q : Query.t) keyword_sets =
   let am, _residual = Filter.decompose q.filter in
   if am <> Filter.True then
     (* Theorem 3 applies.  Measured (bench E1/A1): delta iteration with
@@ -63,14 +70,20 @@ let choose_strategy ctx (q : Query.t) keyword_sets =
        discoveries.  Theorem 1's unchecked round count loses here: under
        pruning the fixed point converges earlier than |⊖| rounds, so
        skipping the check costs whole redundant rounds. *)
-    Semi_naive
-  else if
-    List.for_all (fun s -> Frag_set.cardinal s <= rf_probe_limit) keyword_sets
-    && List.exists
-         (fun s -> Reduce.reduction_factor ctx s >= rf_threshold)
-         keyword_sets
-  then Set_reduction
-  else Semi_naive
+    (Semi_naive, [])
+  else if List.for_all (fun s -> Frag_set.cardinal s <= rf_probe_limit) keyword_sets
+  then begin
+    let probes =
+      List.map (fun s -> (s, Reduce.reduce ?stats ?cache ctx s)) keyword_sets
+    in
+    if
+      List.exists
+        (fun (s, r) -> Reduce.factor_of ~original:s ~reduced:r >= rf_threshold)
+        probes
+    then (Set_reduction, probes)
+    else (Semi_naive, [])
+  end
+  else (Semi_naive, [])
 
 let strict_leaf_filter ctx (q : Query.t) answers =
   Frag_set.filter
@@ -82,7 +95,7 @@ let strict_leaf_filter ctx (q : Query.t) answers =
         q.keywords)
     answers
 
-let run ?(strategy = Auto) ?(strict_leaf_semantics = false)
+let run ?(strategy = Auto) ?(strict_leaf_semantics = false) ?cache
     ?(trace = Trace.disabled) ?(clock = Clock.monotonic) ctx (q : Query.t) =
   let stats = Op_stats.create () in
   let t0 = clock () in
@@ -94,49 +107,61 @@ let run ?(strategy = Auto) ?(strict_leaf_semantics = false)
   let keyword_node_counts =
     List.map2 (fun k s -> (k, Frag_set.cardinal s)) q.keywords keyword_sets
   in
-  let strategy_used =
+  let strategy_used, probes =
     match strategy with
     | Auto ->
         Trace.with_span trace "choose-strategy" (fun () ->
-            let s = choose_strategy ctx q keyword_sets in
+            let s, probes = choose_strategy ~stats ?cache ctx q keyword_sets in
             Trace.add_attr trace "chosen" (Json.String (strategy_name s));
-            s)
-    | s -> s
+            (s, probes))
+    | s -> (s, [])
   in
   if Trace.is_enabled trace then
     Trace.add_attr trace "strategy" (Json.String (strategy_name strategy_used));
   let t_scan = clock () in
   let answers =
-    if List.exists Frag_set.is_empty keyword_sets then Frag_set.empty
+    if List.exists Frag_set.is_empty keyword_sets then (Frag_set.empty ())
     else
       match strategy_used with
       | Auto -> assert false
       | Brute_force ->
           Selection.select ~stats ~trace ctx q.filter
-            (Powerset.many_literal ~stats ~trace ctx keyword_sets)
+            (Powerset.many_literal ~stats ?cache ~trace ctx keyword_sets)
       | Naive_fixpoint ->
           Selection.select ~stats ~trace ctx q.filter
-            (Powerset.many_via_fixed_points ~stats ~trace
-               ~fixed_point:Fixed_point.naive ctx keyword_sets)
+            (Powerset.many_via_fixed_points ~stats ?cache ~trace
+               ~fixed_point:(fun ?stats ?trace ctx set ->
+                 Fixed_point.naive ?stats ?cache ?trace ctx set)
+               ctx keyword_sets)
       | Set_reduction ->
           (* Keyword sets contain only single-node fragments, the setting
-             in which Theorem 1's unchecked round count is valid. *)
+             in which Theorem 1's unchecked round count is valid.  The
+             Auto probe already reduced each seed (same physical sets),
+             so hand those results over instead of re-reducing. *)
           Selection.select ~stats ~trace ctx q.filter
-            (Powerset.many_via_fixed_points ~stats ~trace
-               ~fixed_point:Fixed_point.with_reduction_unchecked ctx keyword_sets)
+            (Powerset.many_via_fixed_points ~stats ?cache ~trace
+               ~fixed_point:(fun ?stats ?trace ctx set ->
+                 let reduced = List.assq_opt set probes in
+                 Fixed_point.with_reduction_unchecked ?stats ?cache ?trace ?reduced
+                   ctx set)
+               ctx keyword_sets)
       | (Pushdown | Pushdown_reduction | Semi_naive) as s ->
           let am, residual = Filter.decompose q.filter in
           let keep f = Filter.evaluate ctx am f in
           let fixed_point =
             match s with
-            | Pushdown -> Fixed_point.naive_filtered
+            | Pushdown ->
+                fun ?stats ?trace ctx ~keep set ->
+                  Fixed_point.naive_filtered ?stats ?cache ?trace ctx ~keep set
             | Semi_naive ->
                 fun ?stats ?trace ctx ~keep set ->
-                  Fixed_point.semi_naive ?stats ?trace ~keep ctx set
+                  Fixed_point.semi_naive ?stats ?cache ?trace ~keep ctx set
             | _ ->
                 (* Pruned keyword seeds are single-node sets, where the
                    unchecked Theorem 1 round count is valid. *)
-                Fixed_point.with_reduction_filtered_unchecked
+                fun ?stats ?trace ctx ~keep set ->
+                  Fixed_point.with_reduction_filtered_unchecked ?stats ?cache ?trace
+                    ctx ~keep set
           in
           let joined =
             match
@@ -144,7 +169,9 @@ let run ?(strategy = Auto) ?(strict_leaf_semantics = false)
             with
             | [] -> assert false
             | fp :: fps ->
-                List.fold_left (Join.pairwise_filtered ~stats ~trace ctx ~keep) fp fps
+                List.fold_left
+                  (Join.pairwise_filtered ~stats ?cache ~trace ctx ~keep)
+                  fp fps
           in
           Selection.select ~stats ~trace ctx residual joined
   in
@@ -170,5 +197,5 @@ let run ?(strategy = Auto) ?(strict_leaf_semantics = false)
     phase_ns;
   }
 
-let answers ?strategy ?strict_leaf_semantics ctx q =
-  (run ?strategy ?strict_leaf_semantics ctx q).answers
+let answers ?strategy ?strict_leaf_semantics ?cache ctx q =
+  (run ?strategy ?strict_leaf_semantics ?cache ctx q).answers

@@ -62,6 +62,7 @@ val all_strategies : strategy list
 val run :
   ?strategy:strategy ->
   ?strict_leaf_semantics:bool ->
+  ?cache:Join_cache.t ->
   ?trace:Xfrag_obs.Trace.t ->
   ?clock:Xfrag_obs.Clock.t ->
   Context.t ->
@@ -69,6 +70,12 @@ val run :
   outcome
 (** Evaluate a query (default strategy [Auto]).  A keyword with an empty
     posting list makes the answer empty (conjunctive semantics).
+
+    [cache], when given, memoizes fragment joins across the whole
+    evaluation (and across evaluations sharing the cache) — see
+    {!Join_cache}.  Answers are unchanged; [stats] gains
+    [cache_hits]/[cache_misses]/[cache_evictions] and [fragment_joins]
+    counts only the joins actually computed.
 
     With an enabled [trace] (default {!Xfrag_obs.Trace.disabled}, which
     costs nothing), the evaluation is recorded as a span tree rooted at
@@ -81,5 +88,10 @@ val run :
     keyword set above the exponential-enumeration guard. *)
 
 val answers :
-  ?strategy:strategy -> ?strict_leaf_semantics:bool -> Context.t -> Query.t -> Frag_set.t
+  ?strategy:strategy ->
+  ?strict_leaf_semantics:bool ->
+  ?cache:Join_cache.t ->
+  Context.t ->
+  Query.t ->
+  Frag_set.t
 (** [run] without the accounting. *)

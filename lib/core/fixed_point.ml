@@ -33,10 +33,10 @@ let traced_fixed_point trace name seed_size f =
    of [seed], hence contains some member as a subfragment, hence absorbs
    it — so the round result is a superset of [acc] and no explicit union
    is needed. *)
-let step ?stats ?trace ctx ~keep acc seed =
-  Join.pairwise_filtered ?stats ?trace ctx ~keep acc seed
+let step ?stats ?cache ?trace ctx ~keep acc seed =
+  Join.pairwise_filtered ?stats ?cache ?trace ctx ~keep acc seed
 
-let naive_general ?stats ?(trace = Trace.disabled) ~name ctx ~keep set =
+let naive_general ?stats ?cache ?(trace = Trace.disabled) ~name ctx ~keep set =
   let seed = Frag_set.filter keep set in
   if Frag_set.is_empty seed then seed
   else
@@ -45,21 +45,21 @@ let naive_general ?stats ?(trace = Trace.disabled) ~name ctx ~keep set =
           round stats;
           let next =
             traced_round trace n (Frag_set.cardinal acc) (fun () ->
-                step ?stats ~trace ctx ~keep acc seed)
+                step ?stats ?cache ~trace ctx ~keep acc seed)
           in
           if Frag_set.cardinal next = Frag_set.cardinal acc then acc
           else go (n + 1) next
         in
         go 1 seed)
 
-let naive ?stats ?trace ctx set =
-  naive_general ?stats ?trace ~name:"fixed-point" ctx ~keep:(fun _ -> true) set
+let naive ?stats ?cache ?trace ctx set =
+  naive_general ?stats ?cache ?trace ~name:"fixed-point" ctx ~keep:(fun _ -> true) set
 
 (* Delta iteration: only last round's discoveries are joined against the
    seed.  Complete because every k-fold join factors as a (k−1)-fold
    join ⋈ one seed member (associativity/commutativity), and that prefix
    was some round's discovery. *)
-let semi_naive ?stats ?(trace = Trace.disabled) ?(keep = fun _ -> true) ctx set =
+let semi_naive ?stats ?cache ?(trace = Trace.disabled) ?(keep = fun _ -> true) ctx set =
   let seed = Frag_set.filter keep set in
   if Frag_set.is_empty seed then seed
   else
@@ -71,7 +71,9 @@ let semi_naive ?stats ?(trace = Trace.disabled) ?(keep = fun _ -> true) ctx set 
             round stats;
             let fresh =
               traced_round trace n (Frag_set.cardinal delta) (fun () ->
-                  let produced = Join.pairwise_filtered ?stats ~trace ctx ~keep delta seed in
+                  let produced =
+                    Join.pairwise_filtered ?stats ?cache ~trace ctx ~keep delta seed
+                  in
                   Frag_set.diff produced acc)
             in
             go (n + 1) (Frag_set.union acc fresh) fresh
@@ -79,16 +81,16 @@ let semi_naive ?stats ?(trace = Trace.disabled) ?(keep = fun _ -> true) ctx set 
         in
         go 1 seed seed)
 
-let naive_filtered ?stats ?trace ctx ~keep set =
-  naive_general ?stats ?trace ~name:"fixed-point:pruned" ctx ~keep set
+let naive_filtered ?stats ?cache ?trace ctx ~keep set =
+  naive_general ?stats ?cache ?trace ~name:"fixed-point:pruned" ctx ~keep set
 
-let iterate ?stats ?trace ctx n set =
+let iterate ?stats ?cache ?trace ctx n set =
   if n < 1 then invalid_arg "Fixed_point.iterate: n must be at least 1";
   let rec go acc remaining =
     if remaining = 0 then acc
     else begin
       round stats;
-      go (step ?stats ?trace ctx ~keep:(fun _ -> true) acc set) (remaining - 1)
+      go (step ?stats ?cache ?trace ctx ~keep:(fun _ -> true) acc set) (remaining - 1)
     end
   in
   go set (n - 1)
@@ -98,7 +100,8 @@ let iterate ?stats ?trace ctx n set =
    seeds (see the erratum in the interface); [confirm] appends a checked
    loop that makes the result correct for arbitrary seeds at the price of
    at least one confirming round. *)
-let with_reduction_general ?stats ?(trace = Trace.disabled) ctx ~keep ~confirm set =
+let with_reduction_general ?stats ?cache ?(trace = Trace.disabled) ?reduced ctx ~keep
+    ~confirm set =
   let seed = Frag_set.filter keep set in
   if Frag_set.is_empty seed then seed
   else
@@ -107,7 +110,12 @@ let with_reduction_general ?stats ?(trace = Trace.disabled) ctx ~keep ~confirm s
         (* ⊖ of a general set can be empty — mutual subsumption eliminates
            every member (e.g. {⟨0,2,3⟩, ⟨0,1,2,4⟩, ⟨0,2,3,4⟩, ⟨0,1,2,3,4⟩}
            under a flat root) — so floor the round count at one. *)
-        let k = max 1 (Frag_set.cardinal (Reduce.reduce ?stats ~trace ctx seed)) in
+        let reduced_seed =
+          match reduced with
+          | Some r -> r
+          | None -> Reduce.reduce ?stats ?cache ~trace ctx seed
+        in
+        let k = max 1 (Frag_set.cardinal reduced_seed) in
         if Trace.is_enabled trace then Trace.add_attr trace "rounds" (Json.Int k);
         let rec fast_forward n acc remaining =
           if remaining <= 0 then (n, acc)
@@ -115,7 +123,7 @@ let with_reduction_general ?stats ?(trace = Trace.disabled) ctx ~keep ~confirm s
             round stats;
             let next =
               traced_round trace n (Frag_set.cardinal acc) (fun () ->
-                  step ?stats ~trace ctx ~keep acc seed)
+                  step ?stats ?cache ~trace ctx ~keep acc seed)
             in
             fast_forward (n + 1) next (remaining - 1)
           end
@@ -127,7 +135,7 @@ let with_reduction_general ?stats ?(trace = Trace.disabled) ctx ~keep ~confirm s
             round stats;
             let next =
               traced_round trace n (Frag_set.cardinal acc) (fun () ->
-                  step ?stats ~trace ctx ~keep acc seed)
+                  step ?stats ?cache ~trace ctx ~keep acc seed)
             in
             if Frag_set.cardinal next = Frag_set.cardinal acc then acc
             else converge (n + 1) next
@@ -135,14 +143,16 @@ let with_reduction_general ?stats ?(trace = Trace.disabled) ctx ~keep ~confirm s
           converge n acc
         end)
 
-let with_reduction ?stats ?trace ctx set =
-  with_reduction_general ?stats ?trace ctx ~keep:(fun _ -> true) ~confirm:true set
+let with_reduction ?stats ?cache ?trace ctx set =
+  with_reduction_general ?stats ?cache ?trace ctx ~keep:(fun _ -> true) ~confirm:true set
 
-let with_reduction_unchecked ?stats ?trace ctx set =
-  with_reduction_general ?stats ?trace ctx ~keep:(fun _ -> true) ~confirm:false set
+let with_reduction_unchecked ?stats ?cache ?trace ?reduced ctx set =
+  with_reduction_general ?stats ?cache ?trace ?reduced ctx
+    ~keep:(fun _ -> true)
+    ~confirm:false set
 
-let with_reduction_filtered ?stats ?trace ctx ~keep set =
-  with_reduction_general ?stats ?trace ctx ~keep ~confirm:true set
+let with_reduction_filtered ?stats ?cache ?trace ctx ~keep set =
+  with_reduction_general ?stats ?cache ?trace ctx ~keep ~confirm:true set
 
-let with_reduction_filtered_unchecked ?stats ?trace ctx ~keep set =
-  with_reduction_general ?stats ?trace ctx ~keep ~confirm:false set
+let with_reduction_filtered_unchecked ?stats ?cache ?trace ctx ~keep set =
+  with_reduction_general ?stats ?cache ?trace ctx ~keep ~confirm:false set

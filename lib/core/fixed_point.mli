@@ -27,10 +27,16 @@
       push-down inside the fixed point). *)
 
 val naive :
-  ?stats:Op_stats.t -> ?trace:Xfrag_obs.Trace.t -> Context.t -> Frag_set.t -> Frag_set.t
+  ?stats:Op_stats.t ->
+  ?cache:Join_cache.t ->
+  ?trace:Xfrag_obs.Trace.t ->
+  Context.t ->
+  Frag_set.t ->
+  Frag_set.t
 
 val semi_naive :
   ?stats:Op_stats.t ->
+  ?cache:Join_cache.t ->
   ?trace:Xfrag_obs.Trace.t ->
   ?keep:(Fragment.t -> bool) ->
   Context.t ->
@@ -46,23 +52,44 @@ val semi_naive :
     anti-monotonically as in {!naive_filtered}. *)
 
 val with_reduction :
-  ?stats:Op_stats.t -> ?trace:Xfrag_obs.Trace.t -> Context.t -> Frag_set.t -> Frag_set.t
+  ?stats:Op_stats.t ->
+  ?cache:Join_cache.t ->
+  ?trace:Xfrag_obs.Trace.t ->
+  Context.t ->
+  Frag_set.t ->
+  Frag_set.t
 
 val with_reduction_unchecked :
-  ?stats:Op_stats.t -> ?trace:Xfrag_obs.Trace.t -> Context.t -> Frag_set.t -> Frag_set.t
+  ?stats:Op_stats.t ->
+  ?cache:Join_cache.t ->
+  ?trace:Xfrag_obs.Trace.t ->
+  ?reduced:Frag_set.t ->
+  Context.t ->
+  Frag_set.t ->
+  Frag_set.t
 (** Theorem 1 verbatim: exactly |⊖(F)|−1 pairwise-join rounds, no
     convergence check.  Correct when every member of the input is a
     single-node fragment (the paper's use case); may under-compute on
-    general inputs — see the erratum above. *)
+    general inputs — see the erratum above.  [reduced], when given, must
+    be ⊖ of the input computed against the same context — it skips the
+    internal reduce so a caller that already reduced the seed (e.g. the
+    Auto-strategy probe in {!Eval}) does not pay for it twice. *)
 
 val iterate :
-  ?stats:Op_stats.t -> ?trace:Xfrag_obs.Trace.t -> Context.t -> int -> Frag_set.t -> Frag_set.t
+  ?stats:Op_stats.t ->
+  ?cache:Join_cache.t ->
+  ?trace:Xfrag_obs.Trace.t ->
+  Context.t ->
+  int ->
+  Frag_set.t ->
+  Frag_set.t
 (** [iterate ctx n f] is ⋈ₙ(F): the pairwise self-join applied to [n]
     copies of [F] (so [iterate ctx 1 f = f]).
     @raise Invalid_argument if [n < 1]. *)
 
 val naive_filtered :
   ?stats:Op_stats.t ->
+  ?cache:Join_cache.t ->
   ?trace:Xfrag_obs.Trace.t ->
   Context.t ->
   keep:(Fragment.t -> bool) ->
@@ -74,6 +101,7 @@ val naive_filtered :
 
 val with_reduction_filtered :
   ?stats:Op_stats.t ->
+  ?cache:Join_cache.t ->
   ?trace:Xfrag_obs.Trace.t ->
   Context.t ->
   keep:(Fragment.t -> bool) ->
@@ -84,6 +112,7 @@ val with_reduction_filtered :
 
 val with_reduction_filtered_unchecked :
   ?stats:Op_stats.t ->
+  ?cache:Join_cache.t ->
   ?trace:Xfrag_obs.Trace.t ->
   Context.t ->
   keep:(Fragment.t -> bool) ->

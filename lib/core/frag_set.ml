@@ -10,7 +10,11 @@ type t = unit H.t
 
 let create_table n : t = H.create (max 16 n)
 
-let empty : t = create_table 1
+(* A function, not a shared constant: the representation is a mutable
+   hashtable, and a single global "empty" value would be corrupted for
+   every holder by the first caller that mutates it (e.g. through
+   [Builder.freeze] aliasing).  Each call returns a fresh table. *)
+let empty () : t = create_table 1
 
 let is_empty t = H.length t = 0
 

@@ -8,7 +8,12 @@
 
 type t
 
-val empty : t
+val empty : unit -> t
+(** A fresh empty set.  This is a function because the representation is
+    a mutable hash table: a single shared empty value could be silently
+    corrupted for the whole program by any code path that mutates it
+    (notably anything aliasing it the way {!Builder.freeze} aliases its
+    builder).  Each call returns an independent set. *)
 
 val is_empty : t -> bool
 
@@ -76,4 +81,10 @@ module Builder : sig
   val cardinal : t -> int
 
   val freeze : t -> set
+  (** {b Aliasing, not copying:} the returned set shares the builder's
+      storage (freezing is O(1), by design — builders exist so the join
+      loops pay no copy at the end).  The builder must not be used again
+      after [freeze]; adding to it afterwards would mutate the
+      supposedly-frozen set.  Each builder therefore feeds exactly one
+      set, and in particular never a shared constant. *)
 end

@@ -91,6 +91,41 @@ let to_xml (ctx : Context.t) f =
   in
   build (root f)
 
+module Interner = struct
+  type fragment = t
+
+  module Tbl = Hashtbl.Make (struct
+    type nonrec t = t
+
+    let equal = Int_sorted.equal
+
+    let hash = Int_sorted.hash
+  end)
+
+  type interner = { tbl : int Tbl.t; mutable next : int }
+
+  type t = interner
+
+  let create () = { tbl = Tbl.create 1024; next = 0 }
+
+  let intern t f =
+    match Tbl.find_opt t.tbl f with
+    | Some id -> id
+    | None ->
+        let id = t.next in
+        t.next <- id + 1;
+        Tbl.replace t.tbl f id;
+        id
+
+  let find t f = Tbl.find_opt t.tbl f
+
+  let size t = t.next
+
+  let clear t =
+    Tbl.reset t.tbl;
+    t.next <- 0
+end
+
 let pp = Int_sorted.pp
 
 let pp_labeled ctx ppf f =

@@ -82,6 +82,39 @@ val to_xml : Context.t -> t -> Xfrag_xml.Xml_dom.node
 (** Project the fragment back to an XML tree: member elements keep their
     labels and text; non-member descendants are omitted. *)
 
+(** Hash-consing of fragments into dense integer identities.
+
+    An interner assigns each structurally-distinct fragment a small id
+    (0, 1, 2, …) the first time it is seen and returns the same id ever
+    after.  Downstream tables — notably the join memo table in
+    {!Join_cache} — can then key on an id pair (two machine words,
+    O(1) hash and compare) instead of hashing whole node arrays per
+    probe; the fragment is hashed once, at interning time per lookup,
+    instead of once per bucket comparison.
+
+    Ids are only meaningful relative to the interner that issued them
+    (and, transitively, the document generation its fragments came
+    from); {!clear} restarts the numbering. *)
+module Interner : sig
+  type fragment = t
+
+  type t
+
+  val create : unit -> t
+
+  val intern : t -> fragment -> int
+  (** The fragment's id, allocating a fresh one on first sight. *)
+
+  val find : t -> fragment -> int option
+  (** The id if already interned; never allocates. *)
+
+  val size : t -> int
+  (** Number of distinct fragments interned since creation/{!clear}. *)
+
+  val clear : t -> unit
+  (** Forget every interned fragment and restart ids at 0. *)
+end
+
 val pp : Format.formatter -> t -> unit
 (** Prints the paper's ⟨n1, n2, …⟩ notation. *)
 

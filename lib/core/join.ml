@@ -5,7 +5,7 @@ module Json = Xfrag_obs.Json
 
 let bump stats f = match stats with None -> () | Some s -> f s
 
-let fragment ?stats (ctx : Context.t) f1 f2 =
+let compute_fragment ?stats (ctx : Context.t) f1 f2 =
   bump stats (fun s -> s.Op_stats.fragment_joins <- s.Op_stats.fragment_joins + 1);
   let r1 = Fragment.root f1 and r2 = Fragment.root f2 in
   if r1 = r2 then
@@ -18,19 +18,40 @@ let fragment ?stats (ctx : Context.t) f1 f2 =
          (Int_sorted.of_list path))
   end
 
-let fragment_many ?stats ctx = function
-  | [] -> invalid_arg "Join.fragment_many: empty list"
-  | f :: rest -> List.fold_left (fragment ?stats ctx) f rest
+let fragment ?stats ?cache ctx f1 f2 =
+  match cache with
+  | None -> compute_fragment ?stats ctx f1 f2
+  | Some cache ->
+      Join_cache.find_or_join cache ?stats ctx f1 f2 ~join:(fun () ->
+          compute_fragment ?stats ctx f1 f2)
 
-let pairwise_loop ?stats ctx ~keep s1 s2 =
+let fragment_many ?stats ?cache ctx = function
+  | [] -> invalid_arg "Join.fragment_many: empty list"
+  | f :: rest -> List.fold_left (fragment ?stats ?cache ctx) f rest
+
+(* Upper bound on builder pre-allocation.  The true output cardinality of
+   a pairwise join is at most |s1|·|s2|, but that product explodes on
+   large operands (two 100k-element keyword sets would ask for 10^10
+   buckets up front) while actual outputs collapse heavily; beyond this
+   bound we let the hashtable grow organically. *)
+let max_size_hint = 1 lsl 20
+
+let product_hint c1 c2 =
+  if c1 = 0 || c2 = 0 then 0
+  else if c1 > max_size_hint / c2 then max_size_hint
+  else c1 * c2
+
+let pairwise_loop ?stats ?cache ctx ~keep s1 s2 =
   let out =
-    Frag_set.Builder.create ~size_hint:(Frag_set.cardinal s1 * Frag_set.cardinal s2) ()
+    Frag_set.Builder.create
+      ~size_hint:(product_hint (Frag_set.cardinal s1) (Frag_set.cardinal s2))
+      ()
   in
   Frag_set.iter
     (fun f1 ->
       Frag_set.iter
         (fun f2 ->
-          let f = fragment ?stats ctx f1 f2 in
+          let f = fragment ?stats ?cache ctx f1 f2 in
           bump stats (fun s -> s.Op_stats.candidates <- s.Op_stats.candidates + 1);
           if keep f then begin
             if not (Frag_set.Builder.add out f) then
@@ -41,8 +62,8 @@ let pairwise_loop ?stats ctx ~keep s1 s2 =
     s1;
   Frag_set.Builder.freeze out
 
-let pairwise_general ?stats ?(trace = Trace.disabled) ctx ~keep s1 s2 =
-  if not (Trace.is_enabled trace) then pairwise_loop ?stats ctx ~keep s1 s2
+let pairwise_general ?stats ?cache ?(trace = Trace.disabled) ctx ~keep s1 s2 =
+  if not (Trace.is_enabled trace) then pairwise_loop ?stats ?cache ctx ~keep s1 s2
   else
     Trace.with_span trace
       ~attrs:
@@ -52,17 +73,17 @@ let pairwise_general ?stats ?(trace = Trace.disabled) ctx ~keep s1 s2 =
         ]
       "pairwise-join"
       (fun () ->
-        let out = pairwise_loop ?stats ctx ~keep s1 s2 in
+        let out = pairwise_loop ?stats ?cache ctx ~keep s1 s2 in
         Trace.add_attr trace "out" (Json.Int (Frag_set.cardinal out));
         out)
 
-let pairwise ?stats ?trace ctx s1 s2 =
-  pairwise_general ?stats ?trace ctx ~keep:(fun _ -> true) s1 s2
+let pairwise ?stats ?cache ?trace ctx s1 s2 =
+  pairwise_general ?stats ?cache ?trace ctx ~keep:(fun _ -> true) s1 s2
 
-let pairwise_filtered ?stats ?trace ctx ~keep s1 s2 =
-  pairwise_general ?stats ?trace ctx ~keep s1 s2
+let pairwise_filtered ?stats ?cache ?trace ctx ~keep s1 s2 =
+  pairwise_general ?stats ?cache ?trace ctx ~keep s1 s2
 
-let pairwise_parallel ?stats ?trace ?domains ?(keep = fun _ -> true) ctx s1 s2 =
+let pairwise_parallel ?stats ?cache ?trace ?domains ?(keep = fun _ -> true) ctx s1 s2 =
   let domains =
     match domains with
     | Some d -> max 1 d
@@ -70,23 +91,35 @@ let pairwise_parallel ?stats ?trace ?domains ?(keep = fun _ -> true) ctx s1 s2 =
   in
   let elems = Array.of_list (Frag_set.elements s1) in
   let n = Array.length elems in
-  if domains = 1 || n < 2 * domains then pairwise_general ?stats ?trace ctx ~keep s1 s2
+  if domains = 1 || n < 2 * domains then
+    pairwise_general ?stats ?cache ?trace ctx ~keep s1 s2
   else begin
     (* One span in the spawning domain around the whole fan-out; workers
-       do not touch the tracer (its open-span stack is per-tracer). *)
+       do not touch the tracer (its open-span stack is per-tracer) and
+       bypass the join cache (it is not domain-safe). *)
     let run () =
       let chunk = (n + domains - 1) / domains in
       let worker lo =
         Domain.spawn (fun () ->
             (* Per-domain counters; folded into [stats] after the join. *)
             let local = Op_stats.create () in
-            let out = Frag_set.Builder.create () in
+            let out =
+              Frag_set.Builder.create
+                ~size_hint:
+                  (product_hint
+                     (min chunk (max 0 (n - lo)))
+                     (Frag_set.cardinal s2))
+                ()
+            in
             for i = lo to min (lo + chunk - 1) (n - 1) do
               Frag_set.iter
                 (fun f2 ->
-                  let f = fragment ~stats:local ctx elems.(i) f2 in
+                  let f = compute_fragment ~stats:local ctx elems.(i) f2 in
                   local.Op_stats.candidates <- local.Op_stats.candidates + 1;
-                  if keep f then ignore (Frag_set.Builder.add out f)
+                  if keep f then begin
+                    if not (Frag_set.Builder.add out f) then
+                      local.Op_stats.duplicates <- local.Op_stats.duplicates + 1
+                  end
                   else local.Op_stats.pruned <- local.Op_stats.pruned + 1)
                 s2
             done;
@@ -94,9 +127,26 @@ let pairwise_parallel ?stats ?trace ?domains ?(keep = fun _ -> true) ctx s1 s2 =
       in
       let handles = List.init domains (fun d -> worker (d * chunk)) in
       let results = List.map Domain.join handles in
+      let merged =
+        List.fold_left
+          (fun acc (set, _) -> Frag_set.union acc set)
+          (Frag_set.empty ()) results
+      in
       bump stats (fun s ->
-          List.iter (fun (_, local) -> Op_stats.merge s local) results);
-      List.fold_left (fun acc (set, _) -> Frag_set.union acc set) Frag_set.empty results
+          List.iter (fun (_, local) -> Op_stats.merge s local) results;
+          (* Per-domain counters only see collisions within their own
+             partition; fragments produced independently by two domains
+             collapse in the union above.  Charging that difference to
+             [duplicates] makes the parallel accounting identical to the
+             serial one: per-domain collisions + cross-domain collapses
+             = kept candidates − distinct results, exactly what the
+             sequential loop counts. *)
+          let kept_per_domain =
+            List.fold_left (fun acc (set, _) -> acc + Frag_set.cardinal set) 0 results
+          in
+          s.Op_stats.duplicates <-
+            s.Op_stats.duplicates + (kept_per_domain - Frag_set.cardinal merged));
+      merged
     in
     match trace with
     | None -> run ()

@@ -13,18 +13,40 @@
       minimum, and in particular unique.
 
     The algebraic laws of Definition 4 (idempotency, commutativity,
-    associativity, absorption) follow and are property-tested. *)
+    associativity, absorption) follow and are property-tested.
+
+    Every operation accepts an optional [?cache] ({!Join_cache.t}):
+    when given, single-fragment joins are memoized by interned operand
+    identity, answering repeats in O(1) without recomputing the LCA
+    path or the node-set unions.  Answers are unchanged (the cache only
+    replays previously computed results for the same context
+    generation); accounting moves from [fragment_joins] to
+    [cache_hits] for the joins avoided. *)
 
 val fragment :
-  ?stats:Op_stats.t -> Context.t -> Fragment.t -> Fragment.t -> Fragment.t
+  ?stats:Op_stats.t ->
+  ?cache:Join_cache.t ->
+  Context.t ->
+  Fragment.t ->
+  Fragment.t ->
+  Fragment.t
 (** f1 ⋈ f2. *)
 
-val fragment_many : ?stats:Op_stats.t -> Context.t -> Fragment.t list -> Fragment.t
+val fragment_many :
+  ?stats:Op_stats.t -> ?cache:Join_cache.t -> Context.t -> Fragment.t list -> Fragment.t
 (** ⋈{f1, …, fn} — left fold of {!fragment}.
     @raise Invalid_argument on the empty list. *)
 
+val max_size_hint : int
+(** Cap on builder pre-allocation in the pairwise loops: the |F1|·|F2|
+    upper bound is used as the initial table size only up to this many
+    buckets (2^20); larger outputs grow the table organically instead of
+    pre-allocating gigabytes for a product that overwhelmingly
+    collapses. *)
+
 val pairwise :
   ?stats:Op_stats.t ->
+  ?cache:Join_cache.t ->
   ?trace:Xfrag_obs.Trace.t ->
   Context.t ->
   Frag_set.t ->
@@ -36,6 +58,7 @@ val pairwise :
 
 val pairwise_filtered :
   ?stats:Op_stats.t ->
+  ?cache:Join_cache.t ->
   ?trace:Xfrag_obs.Trace.t ->
   Context.t ->
   keep:(Fragment.t -> bool) ->
@@ -49,6 +72,7 @@ val pairwise_filtered :
 
 val pairwise_parallel :
   ?stats:Op_stats.t ->
+  ?cache:Join_cache.t ->
   ?trace:Xfrag_obs.Trace.t ->
   ?domains:int ->
   ?keep:(Fragment.t -> bool) ->
@@ -61,4 +85,8 @@ val pairwise_parallel :
     at 8).  The context is only read, so sharing it is safe; results are
     merged deterministically.  Falls back to the sequential path for
     small inputs.  [stats] is updated once at the end with the summed
-    per-domain counters. *)
+    per-domain counters plus the cross-domain duplicate collapses, so
+    [candidates], [duplicates] and [pruned] match what the sequential
+    join reports on the same input.  [cache] is honored only on the
+    sequential fallback — the memo table is not domain-safe, so workers
+    always compute their joins directly. *)

@@ -1,0 +1,97 @@
+(* Keys are unordered pairs of interned fragment ids.  The mix keeps
+   (a, b) collisions structured like a random function rather than the
+   near-diagonal patterns dense sequential ids would otherwise produce
+   in a power-of-two table. *)
+module Pair_key = struct
+  type t = int * int
+
+  let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
+
+  let hash (a, b) = (a * 0x9e3779b1) lxor (b * 0x85ebca77)
+end
+
+module Lru = Xfrag_cache.Lru.Make (Pair_key)
+
+type t = {
+  lru : Fragment.t Lru.t;
+  interner : Fragment.Interner.t;
+}
+
+let default_capacity = 1 lsl 16
+
+let create ?(capacity = default_capacity) () =
+  {
+    (* generation -1 never collides with a real context stamp (they
+       start at 0), so the first use always adopts the context's
+       generation without counting a spurious invalidation. *)
+    lru = Lru.create ~generation:(-1) ~capacity ();
+    interner = Fragment.Interner.create ();
+  }
+
+let capacity t = Lru.capacity t.lru
+
+let length t = Lru.length t.lru
+
+let enabled t = Lru.capacity t.lru > 0
+
+let hits t = Lru.hits t.lru
+
+let misses t = Lru.misses t.lru
+
+let evictions t = Lru.evictions t.lru
+
+let invalidations t = Lru.invalidations t.lru
+
+let interned t = Fragment.Interner.size t.interner
+
+let generation t = Lru.generation t.lru
+
+let sync t (ctx : Context.t) =
+  if Lru.generation t.lru <> ctx.generation then begin
+    (* Interned ids embed the old document's node numbering; they must
+       die with the cached results. *)
+    Fragment.Interner.clear t.interner;
+    Lru.set_generation t.lru ctx.generation
+  end
+
+let bump stats f = match stats with None -> () | Some s -> f s
+
+let find_or_join t ?stats ctx f1 f2 ~join =
+  if not (enabled t) then join ()
+  else begin
+    sync t ctx;
+    let i1 = Fragment.Interner.intern t.interner f1 in
+    let i2 = Fragment.Interner.intern t.interner f2 in
+    let key = if i1 <= i2 then (i1, i2) else (i2, i1) in
+    match Lru.find t.lru key with
+    | Some result ->
+        bump stats (fun s -> s.Op_stats.cache_hits <- s.Op_stats.cache_hits + 1);
+        result
+    | None ->
+        let evictions_before = Lru.evictions t.lru in
+        let result = join () in
+        Lru.add t.lru key result;
+        (* Interning the result means a later join that uses it as an
+           operand (every fixed-point round does) gets its id for one
+           hashtable probe. *)
+        ignore (Fragment.Interner.intern t.interner result);
+        bump stats (fun s ->
+            s.Op_stats.cache_misses <- s.Op_stats.cache_misses + 1;
+            s.Op_stats.cache_evictions <-
+              s.Op_stats.cache_evictions + (Lru.evictions t.lru - evictions_before));
+        result
+  end
+
+let clear t =
+  Fragment.Interner.clear t.interner;
+  Lru.clear t.lru
+
+let metrics_assoc t =
+  [
+    ("cache.hits", hits t);
+    ("cache.misses", misses t);
+    ("cache.evictions", evictions t);
+    ("cache.invalidations", invalidations t);
+    ("cache.entries", length t);
+    ("cache.interned", interned t);
+  ]

@@ -1,0 +1,91 @@
+(** Memoization of fragment joins (⋈, Definition 4).
+
+    Every fixed-point strategy re-derives [Join.fragment] for fragment
+    pairs it has already joined — the naive fixed point re-joins the
+    whole [acc × seed] product each round, reduce pre-computes all
+    pairwise joins, and ⋈*-heavy plans repeat subset joins across
+    operands.  A join cache makes that reuse explicit: a bounded LRU
+    table from unordered pairs of interned fragment ids to the joined
+    fragment (which embeds the LCA path the join depended on, so the
+    path computation is amortized away with it).
+
+    {b Keying.}  Fragments are first interned ({!Fragment.Interner}) to
+    dense ids; the memo key is the unordered id pair, exploiting join
+    commutativity ([f1 ⋈ f2 = f2 ⋈ f1]).  A lookup therefore hashes each
+    operand once, and bucket collisions compare two ints instead of two
+    node arrays.
+
+    {b Invalidation.}  Cached results are only valid for the context
+    whose node numbering produced them.  The cache tracks
+    {!Context.generation}: serving a context with a different generation
+    (a rebuilt document, another corpus member) atomically drops every
+    entry and every interned id before the first lookup, so a stale hit
+    is impossible by construction.  Rebuilding a corpus thus invalidates
+    simply by virtue of {!Context.create} stamping fresh generations.
+
+    {b Why answers are unchanged.}  [Join.fragment] is a pure function
+    of the context and the two operands; the cache only ever returns a
+    value previously computed by the same function for structurally
+    equal operands under the same generation.  Strategy answer sets are
+    therefore bit-identical with the cache on or off (property-tested).
+
+    {b Concurrency.}  Not domain-safe.  [Join.pairwise_parallel] workers
+    bypass the cache rather than serialize on a lock; only the calling
+    domain's sequential joins are memoized.
+
+    A cache with capacity 0 is a legal no-op (always misses, stores
+    nothing) — useful to exercise the "disabled" configuration through
+    the same code path. *)
+
+type t
+
+val default_capacity : int
+(** 65536 entries. *)
+
+val create : ?capacity:int -> unit -> t
+(** A fresh, empty cache.  [capacity <= 0] gives the no-op cache. *)
+
+val find_or_join :
+  t ->
+  ?stats:Op_stats.t ->
+  Context.t ->
+  Fragment.t ->
+  Fragment.t ->
+  join:(unit -> Fragment.t) ->
+  Fragment.t
+(** [find_or_join t ctx f1 f2 ~join] returns the memoized [f1 ⋈ f2] if
+    present, else calls [join], stores its result, and returns it.
+    Bumps [stats.cache_hits] / [cache_misses] / [cache_evictions]
+    accordingly ([join] itself is expected to count the actual join
+    work).  Adopts [ctx]'s generation first, invalidating stale
+    entries. *)
+
+val enabled : t -> bool
+(** [capacity t > 0]. *)
+
+val capacity : t -> int
+
+val length : t -> int
+(** Live memo entries. *)
+
+val interned : t -> int
+(** Distinct fragments interned under the current generation. *)
+
+val generation : t -> int
+(** Generation of the last context served; [-1] before first use. *)
+
+val clear : t -> unit
+(** Drop all entries and interned ids; cumulative counters survive. *)
+
+val hits : t -> int
+
+val misses : t -> int
+
+val evictions : t -> int
+
+val invalidations : t -> int
+(** Generation changes observed (each dropped the whole table). *)
+
+val metrics_assoc : t -> (string * int) list
+(** Lifetime counters as [("cache.hits", …); …] — ready for
+    [Xfrag_obs.Metrics.add_assoc]. *)

@@ -6,6 +6,9 @@ type t = {
   mutable filtered : int;
   mutable fixpoint_rounds : int;
   mutable reduce_subset_checks : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_evictions : int;
 }
 
 let create () =
@@ -17,6 +20,9 @@ let create () =
     filtered = 0;
     fixpoint_rounds = 0;
     reduce_subset_checks = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_evictions = 0;
   }
 
 let reset t =
@@ -26,7 +32,10 @@ let reset t =
   t.pruned <- 0;
   t.filtered <- 0;
   t.fixpoint_rounds <- 0;
-  t.reduce_subset_checks <- 0
+  t.reduce_subset_checks <- 0;
+  t.cache_hits <- 0;
+  t.cache_misses <- 0;
+  t.cache_evictions <- 0
 
 let merge dst src =
   dst.fragment_joins <- dst.fragment_joins + src.fragment_joins;
@@ -35,7 +44,10 @@ let merge dst src =
   dst.pruned <- dst.pruned + src.pruned;
   dst.filtered <- dst.filtered + src.filtered;
   dst.fixpoint_rounds <- dst.fixpoint_rounds + src.fixpoint_rounds;
-  dst.reduce_subset_checks <- dst.reduce_subset_checks + src.reduce_subset_checks
+  dst.reduce_subset_checks <- dst.reduce_subset_checks + src.reduce_subset_checks;
+  dst.cache_hits <- dst.cache_hits + src.cache_hits;
+  dst.cache_misses <- dst.cache_misses + src.cache_misses;
+  dst.cache_evictions <- dst.cache_evictions + src.cache_evictions
 
 let to_assoc t =
   [
@@ -46,6 +58,9 @@ let to_assoc t =
     ("filtered", t.filtered);
     ("fixpoint_rounds", t.fixpoint_rounds);
     ("reduce_subset_checks", t.reduce_subset_checks);
+    ("cache_hits", t.cache_hits);
+    ("cache_misses", t.cache_misses);
+    ("cache_evictions", t.cache_evictions);
   ]
 
 let total_work t = t.fragment_joins + t.reduce_subset_checks
@@ -55,4 +70,7 @@ let pp ppf t =
     "@[<h>joins=%d candidates=%d duplicates=%d pruned=%d filtered=%d \
      rounds=%d reduce-checks=%d@]"
     t.fragment_joins t.candidates t.duplicates t.pruned t.filtered
-    t.fixpoint_rounds t.reduce_subset_checks
+    t.fixpoint_rounds t.reduce_subset_checks;
+  if t.cache_hits + t.cache_misses + t.cache_evictions > 0 then
+    Format.fprintf ppf "@[<h> cache-hits=%d cache-misses=%d cache-evictions=%d@]"
+      t.cache_hits t.cache_misses t.cache_evictions

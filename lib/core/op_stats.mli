@@ -13,6 +13,9 @@ type t = {
   mutable filtered : int;  (** fragments discarded by the final selection *)
   mutable fixpoint_rounds : int;  (** pairwise-join rounds executed *)
   mutable reduce_subset_checks : int;  (** subset tests inside ⊖ *)
+  mutable cache_hits : int;  (** joins answered from the memo table *)
+  mutable cache_misses : int;  (** memoized joins computed then stored *)
+  mutable cache_evictions : int;  (** memo entries displaced by LRU *)
 }
 
 val create : unit -> t
@@ -35,6 +38,13 @@ val total_work : t -> int
     candidate is the output of exactly one counted fragment join, so
     adding it would double-count the same work; [duplicates], [pruned]
     and [filtered] are likewise classifications of already-counted
-    outputs, not additional computation. *)
+    outputs, not additional computation.  Cache counters are excluded
+    too: a hit is an O(1) table probe standing in for a join the engine
+    did {e not} perform — with a {!Join_cache} attached,
+    [cache_hits + fragment_joins] is comparable to an uncached run's
+    [fragment_joins]. *)
 
 val pp : Format.formatter -> t -> unit
+(** One line of [k=v] pairs; the cache counters are appended only when
+    at least one of them is non-zero, so uncached runs print exactly as
+    they did before the join cache existed. *)

@@ -9,6 +9,7 @@
 
 val literal :
   ?stats:Op_stats.t ->
+  ?cache:Join_cache.t ->
   ?trace:Xfrag_obs.Trace.t ->
   ?max_set_size:int ->
   Context.t ->
@@ -21,6 +22,7 @@ val literal :
 
 val via_fixed_points :
   ?stats:Op_stats.t ->
+  ?cache:Join_cache.t ->
   ?trace:Xfrag_obs.Trace.t ->
   ?fixed_point:
     (?stats:Op_stats.t ->
@@ -37,6 +39,7 @@ val via_fixed_points :
 
 val many_literal :
   ?stats:Op_stats.t ->
+  ?cache:Join_cache.t ->
   ?trace:Xfrag_obs.Trace.t ->
   ?max_set_size:int ->
   Context.t ->
@@ -48,6 +51,7 @@ val many_literal :
 
 val many_via_fixed_points :
   ?stats:Op_stats.t ->
+  ?cache:Join_cache.t ->
   ?trace:Xfrag_obs.Trace.t ->
   ?fixed_point:
     (?stats:Op_stats.t ->

@@ -3,7 +3,7 @@ module Json = Xfrag_obs.Json
 
 let bump stats f = match stats with None -> () | Some s -> f s
 
-let reduce_impl ?stats ctx set =
+let reduce_impl ?stats ?cache ctx set =
   let elems = Array.of_list (Frag_set.elements set) in
   let n = Array.length elems in
   if n <= 2 then set
@@ -13,7 +13,7 @@ let reduce_impl ?stats ctx set =
       Array.init n (fun i ->
           Array.init n (fun j ->
               if j <= i then None
-              else Some (Join.fragment ?stats ctx elems.(i) elems.(j))))
+              else Some (Join.fragment ?stats ?cache ctx elems.(i) elems.(j))))
     in
     let join i j = Option.get (if i < j then joins.(i).(j) else joins.(j).(i)) in
     let keep f_idx =
@@ -43,20 +43,23 @@ let reduce_impl ?stats ctx set =
     Frag_set.of_list !kept
   end
 
-let reduce ?stats ?(trace = Trace.disabled) ctx set =
-  if not (Trace.is_enabled trace) then reduce_impl ?stats ctx set
+let reduce ?stats ?cache ?(trace = Trace.disabled) ctx set =
+  if not (Trace.is_enabled trace) then reduce_impl ?stats ?cache ctx set
   else
     Trace.with_span trace
       ~attrs:[ ("in", Json.Int (Frag_set.cardinal set)) ]
       "reduce"
       (fun () ->
-        let out = reduce_impl ?stats ctx set in
+        let out = reduce_impl ?stats ?cache ctx set in
         Trace.add_attr trace "out" (Json.Int (Frag_set.cardinal out));
         out)
 
-let reduction_factor ctx set =
+let factor_of ~original ~reduced =
+  let a = Frag_set.cardinal original in
+  if a = 0 then 0.0
+  else float_of_int (a - Frag_set.cardinal reduced) /. float_of_int a
+
+let reduction_factor ?stats ?cache ctx set =
   let a = Frag_set.cardinal set in
   if a = 0 then 0.0
-  else
-    let b = Frag_set.cardinal (reduce ctx set) in
-    float_of_int (a - b) /. float_of_int a
+  else factor_of ~original:set ~reduced:(reduce ?stats ?cache ctx set)

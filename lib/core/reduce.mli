@@ -11,11 +11,24 @@
     reach the fixed point F⁺. *)
 
 val reduce :
-  ?stats:Op_stats.t -> ?trace:Xfrag_obs.Trace.t -> Context.t -> Frag_set.t -> Frag_set.t
+  ?stats:Op_stats.t ->
+  ?cache:Join_cache.t ->
+  ?trace:Xfrag_obs.Trace.t ->
+  Context.t ->
+  Frag_set.t ->
+  Frag_set.t
 (** O(|F|² joins + |F|³ subset checks); the join of every pair is
-    computed once and reused across candidates. *)
+    computed once and reused across candidates (and served from [cache]
+    when one is attached — reduce's pairwise joins frequently recur in
+    the fixed-point rounds that follow it). *)
 
-val reduction_factor : Context.t -> Frag_set.t -> float
+val factor_of : original:Frag_set.t -> reduced:Frag_set.t -> float
+(** RF from an already-computed reduction — lets a caller that needs
+    both the factor {e and} the reduced set (e.g. the Auto strategy
+    probe) pay for one {!reduce} instead of two. *)
+
+val reduction_factor :
+  ?stats:Op_stats.t -> ?cache:Join_cache.t -> Context.t -> Frag_set.t -> float
 (** RF = (|F| − |⊖(F)|) / |F|; 0 when |F| ≤ 2 (nothing can be reduced).
     The paper claims RF < 1, which holds for single-node fragment sets;
     for general sets mutual subsumption can empty ⊖(F) entirely, giving

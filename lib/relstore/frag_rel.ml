@@ -142,10 +142,10 @@ let eval_query ?size_limit ?(trace = Trace.disabled) t ~keywords =
               (fun () -> Frag_set.of_nodes (postings t k)))
           keywords
       in
-      if sets = [] || List.exists Frag_set.is_empty sets then Frag_set.empty
+      if sets = [] || List.exists Frag_set.is_empty sets then (Frag_set.empty ())
       else begin
         let fps = List.map (fun s -> fixed_point_filtered ~trace t ~keep s) sets in
         match fps with
-        | [] -> Frag_set.empty
+        | [] -> (Frag_set.empty ())
         | fp :: rest -> List.fold_left (pairwise_filtered ~trace t ~keep) fp rest
       end)

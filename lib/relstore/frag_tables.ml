@@ -112,7 +112,7 @@ let cleanup t =
     ]
 
 let pairwise_join t s1 s2 =
-  if Frag_set.is_empty s1 || Frag_set.is_empty s2 then Frag_set.empty
+  if Frag_set.is_empty s1 || Frag_set.is_empty s2 then (Frag_set.empty ())
   else begin
     put t "tmp_f1" (relation_of_set s1);
     put t "tmp_f2" (relation_of_set s2);
@@ -256,11 +256,11 @@ let eval_query ?size_limit t ~keywords =
     match size_limit with None -> true | Some beta -> Fragment.size f <= beta
   in
   let sets = List.map (fun k -> Frag_set.of_nodes (postings t k)) keywords in
-  if sets = [] || List.exists Frag_set.is_empty sets then Frag_set.empty
+  if sets = [] || List.exists Frag_set.is_empty sets then (Frag_set.empty ())
   else begin
     let fps = List.map (fun s -> fixed_point ~keep t s) sets in
     match fps with
-    | [] -> Frag_set.empty
+    | [] -> (Frag_set.empty ())
     | fp :: rest ->
         List.fold_left
           (fun acc s -> Frag_set.filter keep (pairwise_join t acc s))

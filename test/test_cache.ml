@@ -1,0 +1,328 @@
+(* Tests for the join memo cache stack: the generic bounded LRU
+   (lib/cache), fragment interning, generation-based invalidation, and
+   the headline guarantees — answers are bit-identical with the cache on
+   or off, cached/serial/parallel pairwise joins agree on both results
+   and Op_stats accounting, and the cache actually eliminates repeated
+   fragment joins.
+
+   Capacity selection honours the XFRAG_JOIN_CACHE environment variable
+   (used by CI to run the suite once with the cache disabled and once
+   with a tiny, eviction-heavy cache); unset, tests use the default
+   capacity. *)
+
+module Context = Xfrag_core.Context
+module Fragment = Xfrag_core.Fragment
+module Frag_set = Xfrag_core.Frag_set
+module Join = Xfrag_core.Join
+module Join_cache = Xfrag_core.Join_cache
+module Fixed_point = Xfrag_core.Fixed_point
+module Reduce = Xfrag_core.Reduce
+module Eval = Xfrag_core.Eval
+module Query = Xfrag_core.Query
+module Filter = Xfrag_core.Filter
+module Op_stats = Xfrag_core.Op_stats
+module Paper = Xfrag_workload.Paper_doc
+module Random_tree = Xfrag_workload.Random_tree
+module Prng = Xfrag_util.Prng
+
+let set_testable = Alcotest.testable Frag_set.pp Frag_set.equal
+
+let env_capacity =
+  match Sys.getenv_opt "XFRAG_JOIN_CACHE" with
+  | Some s -> int_of_string_opt s
+  | None -> None
+
+let make_cache () = Join_cache.create ?capacity:env_capacity ()
+
+(* --- generic LRU --- *)
+
+module Int_lru = Xfrag_cache.Lru.Make (struct
+  type t = int
+
+  let equal = Int.equal
+
+  let hash = Hashtbl.hash
+end)
+
+let test_lru_eviction_order () =
+  let c = Int_lru.create ~capacity:2 () in
+  Int_lru.add c 1 "one";
+  Int_lru.add c 2 "two";
+  (* Touch 1 so 2 becomes least recently used. *)
+  Alcotest.(check (option string)) "hit 1" (Some "one") (Int_lru.find c 1);
+  Int_lru.add c 3 "three";
+  Alcotest.(check bool) "1 survives" true (Int_lru.mem c 1);
+  Alcotest.(check bool) "2 evicted" false (Int_lru.mem c 2);
+  Alcotest.(check bool) "3 present" true (Int_lru.mem c 3);
+  Alcotest.(check int) "one eviction" 1 (Int_lru.evictions c);
+  Alcotest.(check int) "length stays at capacity" 2 (Int_lru.length c);
+  (* Re-adding an existing key replaces in place, no eviction. *)
+  Int_lru.add c 3 "THREE";
+  Alcotest.(check int) "still one eviction" 1 (Int_lru.evictions c);
+  Alcotest.(check (option string)) "replaced" (Some "THREE") (Int_lru.find c 3)
+
+let test_lru_counters_and_clear () =
+  let c = Int_lru.create ~capacity:4 () in
+  ignore (Int_lru.find c 7);
+  Int_lru.add c 7 "x";
+  ignore (Int_lru.find c 7);
+  Alcotest.(check int) "hits" 1 (Int_lru.hits c);
+  Alcotest.(check int) "misses" 1 (Int_lru.misses c);
+  Int_lru.clear c;
+  Alcotest.(check int) "cleared" 0 (Int_lru.length c);
+  Alcotest.(check int) "hits survive clear" 1 (Int_lru.hits c);
+  Alcotest.(check int) "misses survive clear" 1 (Int_lru.misses c)
+
+let test_lru_disabled () =
+  let c = Int_lru.create ~capacity:0 () in
+  Int_lru.add c 1 "one";
+  Alcotest.(check int) "stores nothing" 0 (Int_lru.length c);
+  Alcotest.(check (option string)) "always misses" None (Int_lru.find c 1);
+  Alcotest.(check int) "no eviction" 0 (Int_lru.evictions c)
+
+let test_lru_generation () =
+  let c = Int_lru.create ~generation:0 ~capacity:4 () in
+  Int_lru.add c 1 "one";
+  Int_lru.set_generation c 0;
+  Alcotest.(check int) "same generation keeps entries" 1 (Int_lru.length c);
+  Alcotest.(check int) "no invalidation" 0 (Int_lru.invalidations c);
+  Int_lru.set_generation c 1;
+  Alcotest.(check int) "new generation drops entries" 0 (Int_lru.length c);
+  Alcotest.(check int) "one invalidation" 1 (Int_lru.invalidations c);
+  Alcotest.(check int) "generation adopted" 1 (Int_lru.generation c)
+
+(* --- fragment interner --- *)
+
+let test_interner () =
+  let ctx = Paper.figure3_context () in
+  let i = Fragment.Interner.create () in
+  let f1 = Fragment.of_nodes ctx [ 4; 5 ] in
+  let f1' = Fragment.of_nodes ctx [ 4; 5 ] in
+  let f2 = Fragment.of_nodes ctx [ 7; 9 ] in
+  let id1 = Fragment.Interner.intern i f1 in
+  Alcotest.(check int) "structural equality shares ids" id1
+    (Fragment.Interner.intern i f1');
+  Alcotest.(check bool) "distinct fragments get distinct ids" true
+    (Fragment.Interner.intern i f2 <> id1);
+  Alcotest.(check int) "two interned" 2 (Fragment.Interner.size i);
+  Alcotest.(check (option int)) "find does not allocate ids" (Some id1)
+    (Fragment.Interner.find i f1);
+  Alcotest.(check (option int)) "unseen fragment not found" None
+    (Fragment.Interner.find i (Fragment.of_nodes ctx [ 3; 6 ]));
+  Fragment.Interner.clear i;
+  Alcotest.(check int) "clear restarts" 0 (Fragment.Interner.size i)
+
+(* --- Join_cache behaviour --- *)
+
+let test_join_cache_hits () =
+  let ctx = Paper.figure3_context () in
+  let cache = Join_cache.create ~capacity:64 () in
+  let stats = Op_stats.create () in
+  let f1 = Fragment.of_nodes ctx [ 4; 5 ] and f2 = Fragment.of_nodes ctx [ 7; 9 ] in
+  let a = Join.fragment ~stats ~cache ctx f1 f2 in
+  (* Commutativity: the swapped pair must hit the same entry. *)
+  let b = Join.fragment ~stats ~cache ctx f2 f1 in
+  Alcotest.(check bool) "same result" true (Fragment.equal a b);
+  Alcotest.(check int) "one computed join" 1 stats.Op_stats.fragment_joins;
+  Alcotest.(check int) "one hit" 1 stats.Op_stats.cache_hits;
+  Alcotest.(check int) "one miss" 1 stats.Op_stats.cache_misses;
+  Alcotest.(check int) "cache agrees" 1 (Join_cache.hits cache)
+
+let test_join_cache_generation_invalidation () =
+  let cache = Join_cache.create ~capacity:64 () in
+  let ctx1 = Paper.figure3_context () in
+  let f1 = Fragment.of_nodes ctx1 [ 4; 5 ] and f2 = Fragment.of_nodes ctx1 [ 7; 9 ] in
+  ignore (Join.fragment ~cache ctx1 f1 f2);
+  Alcotest.(check int) "entry cached" 1 (Join_cache.length cache);
+  (* A rebuilt context gets a fresh generation; its first lookup must
+     drop everything the old world cached. *)
+  let ctx2 = Paper.figure3_context () in
+  Alcotest.(check bool) "generations differ" true
+    (Context.generation ctx1 <> Context.generation ctx2);
+  let stats = Op_stats.create () in
+  ignore (Join.fragment ~stats ~cache ctx2 f1 f2);
+  Alcotest.(check int) "stale entry not served" 1 stats.Op_stats.cache_misses;
+  Alcotest.(check int) "one invalidation" 1 (Join_cache.invalidations cache);
+  Alcotest.(check int) "generation adopted" (Context.generation ctx2)
+    (Join_cache.generation cache)
+
+let test_join_cache_eviction_correctness () =
+  (* A 2-entry cache under a workload with many distinct pairs: lots of
+     evictions, answers still exact. *)
+  let ctx = Random_tree.context ~seed:99 ~size:40 in
+  let prng = Prng.create 99 in
+  let s1 = Frag_set.of_list (List.init 8 (fun _ -> Random_tree.fragment ctx prng)) in
+  let s2 = Frag_set.of_list (List.init 8 (fun _ -> Random_tree.fragment ctx prng)) in
+  let cache = Join_cache.create ~capacity:2 () in
+  let cached = Join.pairwise ~cache ctx s1 s2 in
+  Alcotest.check set_testable "tiny cache, same answers"
+    (Join.pairwise ctx s1 s2) cached;
+  Alcotest.(check bool) "evictions happened" true (Join_cache.evictions cache > 0);
+  Alcotest.(check bool) "length bounded" true (Join_cache.length cache <= 2)
+
+let test_join_cache_metrics_assoc () =
+  let cache = Join_cache.create ~capacity:8 () in
+  let keys = List.map fst (Join_cache.metrics_assoc cache) in
+  List.iter
+    (fun k -> Alcotest.(check bool) k true (List.mem k keys))
+    [
+      "cache.hits"; "cache.misses"; "cache.evictions"; "cache.invalidations";
+      "cache.entries"; "cache.interned";
+    ]
+
+(* --- fewer joins with the cache on --- *)
+
+let test_cache_reduces_fragment_joins () =
+  let ctx = Random_tree.context ~seed:7 ~size:50 in
+  let prng = Prng.create 7 in
+  let seed =
+    Frag_set.of_list
+      (List.init 10 (fun _ -> Fragment.singleton (Random_tree.fragment ctx prng |> Fragment.root)))
+  in
+  let plain = Op_stats.create () in
+  let baseline = Fixed_point.naive ~stats:plain ctx seed in
+  let cached_stats = Op_stats.create () in
+  let cache = Join_cache.create ~capacity:(1 lsl 12) () in
+  let cached = Fixed_point.naive ~stats:cached_stats ~cache ctx seed in
+  Alcotest.check set_testable "fixed point unchanged" baseline cached;
+  Alcotest.(check bool) "cache hits occurred" true
+    (cached_stats.Op_stats.cache_hits > 0);
+  Alcotest.(check bool) "fewer joins computed" true
+    (cached_stats.Op_stats.fragment_joins < plain.Op_stats.fragment_joins);
+  Alcotest.(check int) "work is conserved"
+    plain.Op_stats.fragment_joins
+    (cached_stats.Op_stats.fragment_joins + cached_stats.Op_stats.cache_hits)
+
+(* --- property: serial / parallel / cached pairwise agree --- *)
+
+let prop_pairwise_variants_agree =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"serial = parallel = cached (sets and stats)"
+       ~count:60
+       QCheck2.Gen.(pair (1 -- 10_000) (2 -- 40))
+       (fun (seed, size) ->
+         let ctx = Random_tree.context ~seed ~size in
+         let prng = Prng.create (seed * 13) in
+         let s1 =
+           Frag_set.of_list (List.init 9 (fun _ -> Random_tree.fragment ctx prng))
+         in
+         let s2 =
+           Frag_set.of_list (List.init 6 (fun _ -> Random_tree.fragment ctx prng))
+         in
+         let serial_stats = Op_stats.create () in
+         let serial = Join.pairwise ~stats:serial_stats ctx s1 s2 in
+         let agree name set (stats : Op_stats.t) =
+           if not (Frag_set.equal serial set) then
+             QCheck2.Test.fail_reportf "%s: sets differ" name;
+           if stats.Op_stats.candidates <> serial_stats.Op_stats.candidates then
+             QCheck2.Test.fail_reportf "%s: candidates %d <> serial %d" name
+               stats.Op_stats.candidates serial_stats.Op_stats.candidates;
+           if stats.Op_stats.duplicates <> serial_stats.Op_stats.duplicates then
+             QCheck2.Test.fail_reportf "%s: duplicates %d <> serial %d" name
+               stats.Op_stats.duplicates serial_stats.Op_stats.duplicates
+         in
+         List.iter
+           (fun domains ->
+             let stats = Op_stats.create () in
+             let par = Join.pairwise_parallel ~stats ~domains ctx s1 s2 in
+             agree (Printf.sprintf "parallel/%d" domains) par stats)
+           [ 1; 2; 8 ];
+         let cached_stats = Op_stats.create () in
+         let cache = make_cache () in
+         let cached = Join.pairwise ~stats:cached_stats ~cache ctx s1 s2 in
+         agree "cached" cached cached_stats;
+         (* Within one pairwise join, every candidate is either computed
+            or served from the memo table. *)
+         if
+           cached_stats.Op_stats.fragment_joins + cached_stats.Op_stats.cache_hits
+           <> serial_stats.Op_stats.fragment_joins
+         then
+           QCheck2.Test.fail_reportf
+             "cached: joins %d + hits %d <> uncached joins %d"
+             cached_stats.Op_stats.fragment_joins cached_stats.Op_stats.cache_hits
+             serial_stats.Op_stats.fragment_joins;
+         true))
+
+(* --- cache on/off equality across every strategy, Table 1 document --- *)
+
+let test_strategies_cache_transparent () =
+  let ctx = Paper.figure1_context () in
+  let queries =
+    [
+      (Query.make ~filter:(Filter.Size_at_most 3) Paper.query_keywords, false);
+      (Query.make ~filter:Filter.True Paper.query_keywords, false);
+      (Query.make ~filter:(Filter.Size_at_most 3) Paper.query_keywords, true);
+    ]
+  in
+  List.iter
+    (fun strategy ->
+      List.iter
+        (fun (q, strict) ->
+          let baseline = Eval.answers ~strategy ~strict_leaf_semantics:strict ctx q in
+          let cache = make_cache () in
+          let cached =
+            Eval.answers ~strategy ~strict_leaf_semantics:strict ~cache ctx q
+          in
+          Alcotest.check set_testable
+            (Printf.sprintf "%s%s cache-transparent"
+               (Eval.strategy_name strategy)
+               (if strict then " (strict)" else ""))
+            baseline cached;
+          (* One shared cache across repeated evaluations must also be
+             transparent (this is the service configuration). *)
+          let again =
+            Eval.answers ~strategy ~strict_leaf_semantics:strict ~cache ctx q
+          in
+          Alcotest.check set_testable
+            (Printf.sprintf "%s warm re-run" (Eval.strategy_name strategy))
+            baseline again)
+        queries)
+    (Eval.Auto :: Eval.all_strategies)
+
+let test_auto_probe_charged_once () =
+  (* The Auto probe reduces each keyword set; when Set_reduction wins the
+     probe's reduced seeds must be reused, not recomputed.  Compare
+     against an explicit Set_reduction run: Auto's reduce work must not
+     exceed it (it was exactly double before the fix). *)
+  let ctx = Paper.figure1_context () in
+  let q = Query.make ~filter:Filter.True Paper.query_keywords in
+  let auto = Eval.run ~strategy:Eval.Auto ctx q in
+  let explicit = Eval.run ~strategy:Eval.Set_reduction ctx q in
+  Alcotest.check set_testable "same answers" explicit.Eval.answers auto.Eval.answers;
+  if auto.Eval.strategy_used = Eval.Set_reduction then
+    Alcotest.(check int) "probe reduce reused, not repeated"
+      explicit.Eval.stats.Op_stats.reduce_subset_checks
+      auto.Eval.stats.Op_stats.reduce_subset_checks
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "lru",
+        [
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "counters and clear" `Quick test_lru_counters_and_clear;
+          Alcotest.test_case "capacity 0 is a no-op" `Quick test_lru_disabled;
+          Alcotest.test_case "generation invalidation" `Quick test_lru_generation;
+        ] );
+      ( "interner",
+        [ Alcotest.test_case "dense ids, structural sharing" `Quick test_interner ] );
+      ( "join-cache",
+        [
+          Alcotest.test_case "commutative hits" `Quick test_join_cache_hits;
+          Alcotest.test_case "context generation invalidates" `Quick
+            test_join_cache_generation_invalidation;
+          Alcotest.test_case "eviction keeps answers exact" `Quick
+            test_join_cache_eviction_correctness;
+          Alcotest.test_case "metrics assoc keys" `Quick test_join_cache_metrics_assoc;
+          Alcotest.test_case "cache reduces fragment joins" `Quick
+            test_cache_reduces_fragment_joins;
+        ] );
+      ( "properties",
+        [
+          prop_pairwise_variants_agree;
+          Alcotest.test_case "all strategies cache-transparent" `Quick
+            test_strategies_cache_transparent;
+          Alcotest.test_case "auto probe charged once" `Quick
+            test_auto_probe_charged_once;
+        ] );
+    ]

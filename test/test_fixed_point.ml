@@ -70,9 +70,9 @@ let test_naive_equals_reduction () =
 
 let test_empty_set () =
   let ctx = Paper.figure3_context () in
-  Alcotest.(check int) "naive" 0 (Frag_set.cardinal (Fixed_point.naive ctx Frag_set.empty));
+  Alcotest.(check int) "naive" 0 (Frag_set.cardinal (Fixed_point.naive ctx (Frag_set.empty ())));
   Alcotest.(check int) "reduced" 0
-    (Frag_set.cardinal (Fixed_point.with_reduction ctx Frag_set.empty))
+    (Frag_set.cardinal (Fixed_point.with_reduction ctx (Frag_set.empty ())))
 
 let test_filtered_fixed_point_prunes () =
   let ctx = Paper.figure1_context () in

@@ -30,7 +30,7 @@ let test_best_match () =
   Alcotest.(check (float 1e-9)) "best" (2.0 /. 3.0)
     (Metrics.best_match (frag [ 16; 17; 18 ]) set);
   Alcotest.(check (float 1e-9)) "empty set" 0.0
-    (Metrics.best_match (frag [ 17 ]) Frag_set.empty)
+    (Metrics.best_match (frag [ 17 ]) (Frag_set.empty ()))
 
 (* --- evaluate --- *)
 
@@ -56,13 +56,13 @@ let test_evaluate_threshold () =
 
 let test_evaluate_edge_cases () =
   let target = frag [ 17 ] in
-  let empty_ret = Metrics.evaluate ~retrieved:Frag_set.empty
+  let empty_ret = Metrics.evaluate ~retrieved:(Frag_set.empty ())
       ~targets:(Frag_set.singleton target) () in
   Alcotest.(check (float 1e-9)) "empty retrieval precision" 1.0 empty_ret.Metrics.precision;
   Alcotest.(check (float 1e-9)) "empty retrieval recall" 0.0 empty_ret.Metrics.recall;
   Alcotest.(check (float 1e-9)) "f1 zero" 0.0 empty_ret.Metrics.f1;
   let no_targets =
-    Metrics.evaluate ~retrieved:(Frag_set.singleton target) ~targets:Frag_set.empty ()
+    Metrics.evaluate ~retrieved:(Frag_set.singleton target) ~targets:(Frag_set.empty ()) ()
   in
   Alcotest.(check (float 1e-9)) "no targets recall" 1.0 no_targets.Metrics.recall
 

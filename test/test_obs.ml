@@ -385,6 +385,7 @@ let test_op_stats_to_assoc () =
   s.Op_stats.fragment_joins <- 3;
   s.Op_stats.candidates <- 2;
   s.Op_stats.reduce_subset_checks <- 9;
+  s.Op_stats.cache_hits <- 4;
   Alcotest.(check (list (pair string int)))
     "assoc order and values"
     [
@@ -395,6 +396,9 @@ let test_op_stats_to_assoc () =
       ("filtered", 0);
       ("fixpoint_rounds", 0);
       ("reduce_subset_checks", 9);
+      ("cache_hits", 4);
+      ("cache_misses", 0);
+      ("cache_evictions", 0);
     ]
     (Op_stats.to_assoc s)
 
@@ -405,6 +409,10 @@ let test_op_stats_merge () =
   b.Op_stats.fragment_joins <- 2;
   b.Op_stats.duplicates <- 4;
   b.Op_stats.fixpoint_rounds <- 3;
+  a.Op_stats.cache_hits <- 1;
+  b.Op_stats.cache_hits <- 2;
+  b.Op_stats.cache_misses <- 5;
+  b.Op_stats.cache_evictions <- 1;
   Op_stats.merge a b;
   Alcotest.(check (list (pair string int)))
     "merged counters"
@@ -416,6 +424,9 @@ let test_op_stats_merge () =
       ("filtered", 0);
       ("fixpoint_rounds", 3);
       ("reduce_subset_checks", 0);
+      ("cache_hits", 3);
+      ("cache_misses", 5);
+      ("cache_evictions", 1);
     ]
     (Op_stats.to_assoc a);
   (* src is unchanged *)

@@ -84,7 +84,9 @@ let theorem2_with_reduction_prop =
          let s1 = Random_tree.fragment_set ctx prng ~max_fragments:4 in
          let s2 = Random_tree.fragment_set ctx prng ~max_fragments:4 in
          Frag_set.equal (Powerset.literal ctx s1 s2)
-           (Powerset.via_fixed_points ~fixed_point:Fixed_point.with_reduction ctx s1 s2)))
+           (Powerset.via_fixed_points ~fixed_point:(fun ?stats ?trace ctx set ->
+                 Fixed_point.with_reduction ?stats ?trace ctx set)
+               ctx s1 s2)))
 
 let test_many_literal_single () =
   (* With one operand, the m-ary powerset join degenerates to the fixed

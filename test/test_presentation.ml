@@ -56,7 +56,7 @@ let test_subsumed_are_proper_subfragments () =
 let test_overlap_ratio () =
   (* 3 of the 4 paper answers are subsumed. *)
   Alcotest.(check (float 1e-9)) "3/4" 0.75 (Presentation.overlap_ratio (paper_answers ()));
-  Alcotest.(check (float 1e-9)) "empty" 0.0 (Presentation.overlap_ratio Frag_set.empty)
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Presentation.overlap_ratio (Frag_set.empty ()))
 
 let test_no_overlap_case () =
   let c = Lazy.force ctx in

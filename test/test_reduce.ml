@@ -30,7 +30,7 @@ let test_small_sets_unreduced () =
   (* Sets with ≤ 2 elements cannot be reduced (the proof of Theorem 1
      notes this). *)
   let ctx = Paper.figure4_context () in
-  let s0 = Frag_set.empty in
+  let s0 = (Frag_set.empty ()) in
   let s1 = singles [ 5 ] in
   let s2 = singles [ 5; 7 ] in
   Alcotest.check set_testable "empty" s0 (Reduce.reduce ctx s0);
