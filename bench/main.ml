@@ -14,6 +14,7 @@
      E4  — native vs relational backend (§7 / ref [13])
      E5  — effectiveness vs SLCA/ELCA/smallest-subtree (§1, Figure 8)
      C1  — join memoization cache: cached vs uncached per strategy
+     S1  — HTTP server load test: qps + tail latency vs concurrency (serve)
 
    Run everything:   dune exec bench/main.exe
    Run a subset:     dune exec bench/main.exe -- t1 e2 …        *)
@@ -88,14 +89,50 @@ let record ~experiment ~scenario ~strategy ~ns fields =
       @ fields)
     :: !bench_rows
 
+(* Merge-on-write: a partial run (`bench/main.exe e2`) must replace
+   only its own experiments' rows in BENCH_core.json, keyed by the
+   "experiment" field — earlier behavior overwrote the whole file, so
+   alternating partial runs kept dropping every other experiment's
+   history (and re-running appended nothing deterministic). *)
 let write_bench_json () =
   if !bench_rows <> [] then begin
-    let doc = Json.Obj [ ("rows", Json.List (List.rev !bench_rows)) ] in
+    let fresh = List.rev !bench_rows in
+    let experiment_of = function
+      | Json.Obj fields -> (
+          match List.assoc_opt "experiment" fields with
+          | Some (Json.String e) -> Some e
+          | _ -> None)
+      | _ -> None
+    in
+    let fresh_experiments = List.filter_map experiment_of fresh in
+    let kept =
+      match
+        let ic = open_in_bin "BENCH_core.json" in
+        let data = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Json.of_string data
+      with
+      | Ok (Json.Obj fields) -> (
+          match List.assoc_opt "rows" fields with
+          | Some (Json.List rows) ->
+              List.filter
+                (fun row ->
+                  match experiment_of row with
+                  | Some e -> not (List.mem e fresh_experiments)
+                  | None -> false)
+                rows
+          | _ -> [])
+      | Ok _ | Error _ -> []
+      | exception Sys_error _ -> []
+    in
+    let doc = Json.Obj [ ("rows", Json.List (kept @ fresh)) ] in
     let oc = open_out "BENCH_core.json" in
     output_string oc (Json.to_string doc);
     output_char oc '\n';
     close_out oc;
-    Printf.printf "\nwrote BENCH_core.json (%d rows)\n" (List.length !bench_rows)
+    Printf.printf "\nwrote BENCH_core.json (%d rows: %d kept + %d new)\n"
+      (List.length kept + List.length fresh)
+      (List.length kept) (List.length fresh)
   end
 
 (* --- T1: Table 1 -------------------------------------------------------- *)
@@ -759,12 +796,142 @@ let c1 () =
       print_newline ())
     Eval.all_strategies
 
+(* --- S1: serve - closed-loop load generator ------------------------------- *)
+
+module Server = Xfrag_server.Server
+module Router = Xfrag_server.Router
+module Client = Xfrag_server.Client
+module Clock = Xfrag_obs.Clock
+
+(* Nearest-rank percentile over a sorted array of latencies (ns). *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else sorted.(min (n - 1) (int_of_float ((q *. float_of_int (n - 1)) +. 0.5)))
+
+let s1 () =
+  header
+    "S1: xfrag serve - throughput and tail latency under concurrent load\n\
+     (closed loop, one connection per request, deadline 500ms)";
+  let ctx = Docgen.generate_context { Docgen.default with seed = 9; sections = 10 } in
+  let spec =
+    { Xfrag_workload.Querygen.keyword_count = 2; min_postings = 4; max_postings = 40 }
+  in
+  let queries =
+    Xfrag_workload.Querygen.queries ~seed:1 ~count:32
+      ~filter:(Filter.Size_at_most 3) spec ctx
+  in
+  let bodies =
+    queries
+    |> List.map (fun q ->
+           Json.to_string
+             (Json.Obj
+                [
+                  ( "keywords",
+                    Json.List
+                      (List.map (fun k -> Json.String k) q.Query.keywords) );
+                  ("filters", Json.Obj [ ("max_size", Json.Int 3) ]);
+                  ("limit", Json.Int 10);
+                ]))
+    |> Array.of_list
+  in
+  if Array.length bodies = 0 then
+    print_endline "  (vocabulary band produced no queries; skipping)"
+  else begin
+    Printf.printf "queries: %d distinct, 2 keywords each, size<=3\n\n"
+      (Array.length bodies);
+    Printf.printf "%-22s %9s %10s %10s %10s %7s %6s %5s\n" "scenario" "qps"
+      "p50" "p95" "p99" "ok" "shed" "err";
+    List.iter
+      (fun cache_on ->
+        List.iter
+          (fun conc ->
+            let cache =
+              if cache_on then Some (Join_cache.create ~synchronized:true ())
+              else None
+            in
+            let router =
+              Router.create ?cache ~default_deadline_ns:500_000_000 ctx
+            in
+            let config = { Server.default_config with port = 0; queue_cap = 64 } in
+            let server = Server.start ~config router in
+            let accept_d = Domain.spawn (fun () -> Server.run server) in
+            let port = Server.port server in
+            let budget_ns = 1_200_000_000 in
+            let t0 = Clock.monotonic () in
+            (* Each client owns its slot in [results]; no shared state
+               until after the joins. *)
+            let results = Array.make conc ([], 0, 0, 0) in
+            let run_client tid =
+              let lats = ref [] and ok = ref 0 and shed = ref 0 and err = ref 0 in
+              let i = ref tid in
+              while Clock.monotonic () - t0 < budget_ns do
+                let body = bodies.(!i mod Array.length bodies) in
+                incr i;
+                let sent = Clock.monotonic () in
+                (match
+                   Client.once ~host:"127.0.0.1" ~port ~meth:"POST"
+                     ~path:"/query" ~body ()
+                 with
+                | Ok (200, _, _) ->
+                    incr ok;
+                    lats := float_of_int (Clock.monotonic () - sent) :: !lats
+                | Ok (503, _, _) -> incr shed
+                | Ok _ | Error _ -> incr err)
+              done;
+              results.(tid) <- (!lats, !ok, !shed, !err)
+            in
+            let threads =
+              List.init conc (fun tid -> Thread.create run_client tid)
+            in
+            List.iter Thread.join threads;
+            let wall_ns = Clock.monotonic () - t0 in
+            Server.stop server;
+            Domain.join accept_d;
+            let lats =
+              Array.of_list
+                (Array.fold_left
+                   (fun acc (l, _, _, _) -> List.rev_append l acc)
+                   [] results)
+            in
+            Array.sort compare lats;
+            let sum f = Array.fold_left (fun a r -> a + f r) 0 results in
+            let ok = sum (fun (_, o, _, _) -> o) in
+            let shed = sum (fun (_, _, s, _) -> s) in
+            let err = sum (fun (_, _, _, e) -> e) in
+            let qps = float_of_int ok /. (float_of_int wall_ns /. 1e9) in
+            let p50 = percentile lats 0.50 in
+            let p95 = percentile lats 0.95 in
+            let p99 = percentile lats 0.99 in
+            let scenario =
+              Printf.sprintf "conc=%d cache=%s" conc
+                (if cache_on then "on" else "off")
+            in
+            Printf.printf "%-22s %9.0f %10s %10s %10s %7d %6d %5d\n" scenario
+              qps (pp_ns p50) (pp_ns p95) (pp_ns p99) ok shed err;
+            record ~experiment:"s1" ~scenario ~strategy:"auto" ~ns:p50
+              [
+                ("qps", Json.Float qps);
+                ("p95_ns", Json.Float p95);
+                ("p99_ns", Json.Float p99);
+                ("concurrency", Json.Int conc);
+                ("cache", Json.String (if cache_on then "on" else "off"));
+                ("ok", Json.Int ok);
+                ("shed", Json.Int shed);
+                ("errors", Json.Int err);
+                ("wall_ns", Json.Int wall_ns);
+              ])
+          [ 8; 32; 64 ])
+      [ false; true ]
+  end
+
 (* --- driver ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("t1", t1); ("f3", f3); ("f4", f4); ("e1", e1); ("e2", e2); ("e3", e3);
     ("e4", e4); ("e5", e5); ("e6", e6); ("c1", c1); ("a1", a1); ("obs", obs);
+    ("s1", s1);
   ]
 
 let () =

@@ -520,13 +520,126 @@ let generate_cmd =
     (Cmd.info "generate" ~doc)
     Term.(const run_generate $ seed_arg $ sections_arg $ vocab_arg $ verbose_arg)
 
+(* --- serve command --- *)
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Bind address.")
+
+let port_arg =
+  Arg.(
+    value & opt int 8080
+    & info [ "p"; "port" ] ~docv:"PORT"
+        ~doc:"TCP port to listen on (0 = pick an ephemeral port; the \
+              chosen one is printed).")
+
+let workers_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "workers" ] ~docv:"N"
+        ~doc:"Worker domains evaluating queries in parallel (0 = one per \
+              core, capped at 4).")
+
+let queue_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "queue" ] ~docv:"N"
+        ~doc:"Admission-control bound: connections waiting for a worker \
+              before new ones are shed with 503 Retry-After.")
+
+let request_timeout_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "request-timeout-ms" ] ~docv:"MS"
+        ~doc:"Default per-request evaluation deadline; a query running \
+              past it aborts with 408 (0 = none).  Requests can override \
+              it with ?deadline_ns or a deadline_ms body field.")
+
+let io_timeout_arg =
+  Arg.(
+    value & opt float 10.0
+    & info [ "io-timeout-s" ] ~docv:"S"
+        ~doc:"Socket read/write timeout guarding against slow clients.")
+
+let serve_join_cache_arg =
+  Arg.(
+    value & opt int 4096
+    & info [ "join-cache" ] ~docv:"SIZE"
+        ~doc:"Shared synchronized join-memoization cache, in entries \
+              (0 = disabled).")
+
+let run_serve file host port workers queue request_timeout_ms io_timeout
+    join_cache stem verbose =
+  setup_logs verbose;
+  match load_context ~stem file with
+  | Error msg ->
+      Format.eprintf "xfrag: %s@." msg;
+      1
+  | Ok ctx ->
+      let cache =
+        if join_cache > 0 then
+          Some
+            (Xfrag_core.Join_cache.create ~synchronized:true
+               ~capacity:join_cache ())
+        else None
+      in
+      let default_deadline_ns =
+        if request_timeout_ms > 0 then Some (request_timeout_ms * 1_000_000)
+        else None
+      in
+      let router = Xfrag_server.Router.create ?cache ?default_deadline_ns ctx in
+      let config =
+        {
+          Xfrag_server.Server.default_config with
+          host;
+          port;
+          queue_cap = queue;
+          io_timeout_s = io_timeout;
+          workers =
+            (if workers > 0 then workers
+             else Xfrag_server.Server.default_config.Xfrag_server.Server.workers);
+          default_deadline_ns;
+        }
+      in
+      (match Xfrag_server.Server.start ~config router with
+      | exception Unix.Unix_error (err, _, _) ->
+          Format.eprintf "xfrag: cannot bind %s:%d: %s@." host port
+            (Unix.error_message err);
+          1
+      | server ->
+          Xfrag_server.Server.install_signal_handlers server;
+          (* The smoke test and scripts parse this line for the port. *)
+          Format.printf "xfrag: listening on %s:%d (%d workers, queue %d)@."
+            host
+            (Xfrag_server.Server.port server)
+            config.Xfrag_server.Server.workers queue;
+          Xfrag_server.Server.run server;
+          Format.printf "xfrag: drained, bye@.";
+          0)
+
+let serve_cmd =
+  let doc =
+    "Serve queries over HTTP: POST /query and /explain (JSON), GET \
+     /healthz and /metrics (Prometheus text format).  A fixed worker \
+     pool shares one in-memory index and one join cache; a bounded \
+     queue sheds overload with 503; per-request deadlines abort \
+     runaway evaluations with 408; SIGINT/SIGTERM drain gracefully."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const run_serve $ file_arg $ host_arg $ port_arg $ workers_arg
+      $ queue_arg $ request_timeout_arg $ io_timeout_arg
+      $ serve_join_cache_arg $ stem_arg $ verbose_arg)
+
 let main_cmd =
   let doc = "algebraic keyword search over document-centric XML fragments" in
   Cmd.group
     (Cmd.info "xfrag" ~version:"1.0.0" ~doc)
     [
       query_cmd; stats_cmd; explain_cmd; baseline_cmd; corpus_cmd; sql_cmd;
-      cache_cmd; generate_cmd;
+      cache_cmd; generate_cmd; serve_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

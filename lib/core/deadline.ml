@@ -1,0 +1,23 @@
+module Clock = Xfrag_obs.Clock
+
+exception Expired
+
+type t = { limit : int; clock : Clock.t }
+
+let none = { limit = max_int; clock = (fun () -> 0) }
+
+let at ?(clock = Clock.monotonic) limit =
+  (* max_int is reserved for [none]; an absolute deadline that far out
+     is indistinguishable from no deadline anyway. *)
+  { limit = min limit (max_int - 1); clock }
+
+let after ?(clock = Clock.monotonic) ns = at ~clock (clock () + ns)
+
+let is_none t = t.limit = max_int
+
+let expired t = t.limit <> max_int && t.clock () > t.limit
+
+let check t = if t.limit <> max_int && t.clock () > t.limit then raise Expired
+
+let remaining_ns t =
+  if t.limit = max_int then max_int else max 0 (t.limit - t.clock ())

@@ -96,7 +96,8 @@ let strict_leaf_filter ctx (q : Query.t) answers =
     answers
 
 let run ?(strategy = Auto) ?(strict_leaf_semantics = false) ?cache
-    ?(trace = Trace.disabled) ?(clock = Clock.monotonic) ctx (q : Query.t) =
+    ?(trace = Trace.disabled) ?(clock = Clock.monotonic)
+    ?(deadline = Deadline.none) ctx (q : Query.t) =
   let stats = Op_stats.create () in
   let t0 = clock () in
   Trace.with_span trace
@@ -126,12 +127,13 @@ let run ?(strategy = Auto) ?(strict_leaf_semantics = false) ?cache
       | Auto -> assert false
       | Brute_force ->
           Selection.select ~stats ~trace ctx q.filter
-            (Powerset.many_literal ~stats ?cache ~trace ctx keyword_sets)
+            (Powerset.many_literal ~stats ?cache ~trace ~deadline ctx
+               keyword_sets)
       | Naive_fixpoint ->
           Selection.select ~stats ~trace ctx q.filter
-            (Powerset.many_via_fixed_points ~stats ?cache ~trace
+            (Powerset.many_via_fixed_points ~stats ?cache ~trace ~deadline
                ~fixed_point:(fun ?stats ?trace ctx set ->
-                 Fixed_point.naive ?stats ?cache ?trace ctx set)
+                 Fixed_point.naive ?stats ?cache ?trace ~deadline ctx set)
                ctx keyword_sets)
       | Set_reduction ->
           (* Keyword sets contain only single-node fragments, the setting
@@ -139,11 +141,11 @@ let run ?(strategy = Auto) ?(strict_leaf_semantics = false) ?cache
              Auto probe already reduced each seed (same physical sets),
              so hand those results over instead of re-reducing. *)
           Selection.select ~stats ~trace ctx q.filter
-            (Powerset.many_via_fixed_points ~stats ?cache ~trace
+            (Powerset.many_via_fixed_points ~stats ?cache ~trace ~deadline
                ~fixed_point:(fun ?stats ?trace ctx set ->
                  let reduced = List.assq_opt set probes in
-                 Fixed_point.with_reduction_unchecked ?stats ?cache ?trace ?reduced
-                   ctx set)
+                 Fixed_point.with_reduction_unchecked ?stats ?cache ?trace
+                   ~deadline ?reduced ctx set)
                ctx keyword_sets)
       | (Pushdown | Pushdown_reduction | Semi_naive) as s ->
           let am, residual = Filter.decompose q.filter in
@@ -152,16 +154,18 @@ let run ?(strategy = Auto) ?(strict_leaf_semantics = false) ?cache
             match s with
             | Pushdown ->
                 fun ?stats ?trace ctx ~keep set ->
-                  Fixed_point.naive_filtered ?stats ?cache ?trace ctx ~keep set
+                  Fixed_point.naive_filtered ?stats ?cache ?trace ~deadline ctx
+                    ~keep set
             | Semi_naive ->
                 fun ?stats ?trace ctx ~keep set ->
-                  Fixed_point.semi_naive ?stats ?cache ?trace ~keep ctx set
+                  Fixed_point.semi_naive ?stats ?cache ?trace ~deadline ~keep
+                    ctx set
             | _ ->
                 (* Pruned keyword seeds are single-node sets, where the
                    unchecked Theorem 1 round count is valid. *)
                 fun ?stats ?trace ctx ~keep set ->
-                  Fixed_point.with_reduction_filtered_unchecked ?stats ?cache ?trace
-                    ctx ~keep set
+                  Fixed_point.with_reduction_filtered_unchecked ?stats ?cache
+                    ?trace ~deadline ctx ~keep set
           in
           let joined =
             match
@@ -170,15 +174,17 @@ let run ?(strategy = Auto) ?(strict_leaf_semantics = false) ?cache
             | [] -> assert false
             | fp :: fps ->
                 List.fold_left
-                  (Join.pairwise_filtered ~stats ?cache ~trace ctx ~keep)
+                  (Join.pairwise_filtered ~stats ?cache ~trace ~deadline ctx ~keep)
                   fp fps
           in
           Selection.select ~stats ~trace ctx residual joined
   in
   let t_eval = clock () in
   let answers =
-    if strict_leaf_semantics then
+    if strict_leaf_semantics then begin
+      Deadline.check deadline;
       Trace.with_span trace "strict-leaf" (fun () -> strict_leaf_filter ctx q answers)
+    end
     else answers
   in
   let t_end = clock () in
@@ -197,5 +203,5 @@ let run ?(strategy = Auto) ?(strict_leaf_semantics = false) ?cache
     phase_ns;
   }
 
-let answers ?strategy ?strict_leaf_semantics ?cache ctx q =
-  (run ?strategy ?strict_leaf_semantics ?cache ctx q).answers
+let answers ?strategy ?strict_leaf_semantics ?cache ?deadline ctx q =
+  (run ?strategy ?strict_leaf_semantics ?cache ?deadline ctx q).answers

@@ -65,6 +65,7 @@ val run :
   ?cache:Join_cache.t ->
   ?trace:Xfrag_obs.Trace.t ->
   ?clock:Xfrag_obs.Clock.t ->
+  ?deadline:Deadline.t ->
   Context.t ->
   Query.t ->
   outcome
@@ -84,6 +85,11 @@ val run :
     between them, and the final [select] — exportable through
     {!Xfrag_obs.Export}.  [clock] only affects the [elapsed_ns] /
     [phase_ns] measurements (injectable for deterministic tests).
+    [deadline] (default {!Deadline.none}) bounds the evaluation in
+    wall-clock: every strategy's inner loops check it between whole
+    fragment joins and abort with {!Deadline.Expired} once it passes —
+    a shared [cache] is never left mid-update (see {!Deadline}).
+    @raise Deadline.Expired once [deadline] passes.
     @raise Invalid_argument if [Brute_force] is asked to enumerate a
     keyword set above the exponential-enumeration guard. *)
 
@@ -91,6 +97,7 @@ val answers :
   ?strategy:strategy ->
   ?strict_leaf_semantics:bool ->
   ?cache:Join_cache.t ->
+  ?deadline:Deadline.t ->
   Context.t ->
   Query.t ->
   Frag_set.t

@@ -40,7 +40,7 @@ let counter_delta before after =
   List.map2 (fun (_, a) (k, b) -> (k, b - a)) before after
   |> List.filter (fun (_, d) -> d <> 0)
 
-let analyze ?(clock = Clock.monotonic) ?cache ctx (q : Query.t) =
+let analyze ?(clock = Clock.monotonic) ?cache ?deadline ctx (q : Query.t) =
   let choice = Optimizer.optimize ctx q in
   let stats = Op_stats.create () in
   (* Post-order: children are fully evaluated (and timed) first, so the
@@ -65,14 +65,18 @@ let analyze ?(clock = Clock.monotonic) ?cache ctx (q : Query.t) =
       match (plan, child_sets) with
       | Plan.Scan_keyword k, [] -> Selection.keyword ctx k
       | Plan.Select (p, _), [ s ] -> Selection.select ~stats ctx p s
-      | Plan.Pair_join _, [ a; b ] -> Join.pairwise ~stats ?cache ctx a b
+      | Plan.Pair_join _, [ a; b ] -> Join.pairwise ~stats ?cache ?deadline ctx a b
       | Plan.Pair_join_filtered (p, _, _), [ a; b ] ->
-          Join.pairwise_filtered ~stats ?cache ctx ~keep:(Filter.evaluate ctx p) a b
-      | Plan.Power_join _, [ a; b ] -> Powerset.via_fixed_points ~stats ?cache ctx a b
-      | Plan.Fixed_point _, [ s ] -> Fixed_point.naive ~stats ?cache ctx s
-      | Plan.Fixed_point_reduced _, [ s ] -> Fixed_point.with_reduction ~stats ?cache ctx s
+          Join.pairwise_filtered ~stats ?cache ?deadline ctx
+            ~keep:(Filter.evaluate ctx p) a b
+      | Plan.Power_join _, [ a; b ] ->
+          Powerset.via_fixed_points ~stats ?cache ?deadline ctx a b
+      | Plan.Fixed_point _, [ s ] -> Fixed_point.naive ~stats ?cache ?deadline ctx s
+      | Plan.Fixed_point_reduced _, [ s ] ->
+          Fixed_point.with_reduction ~stats ?cache ?deadline ctx s
       | Plan.Fixed_point_filtered (p, _), [ s ] ->
-          Fixed_point.naive_filtered ~stats ?cache ctx ~keep:(Filter.evaluate ctx p) s
+          Fixed_point.naive_filtered ~stats ?cache ?deadline ctx
+            ~keep:(Filter.evaluate ctx p) s
       | _ -> assert false
     in
     let before = Op_stats.to_assoc stats in

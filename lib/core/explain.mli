@@ -33,14 +33,20 @@ type report = {
 }
 
 val analyze :
-  ?clock:Xfrag_obs.Clock.t -> ?cache:Join_cache.t -> Context.t -> Query.t -> report
+  ?clock:Xfrag_obs.Clock.t ->
+  ?cache:Join_cache.t ->
+  ?deadline:Deadline.t ->
+  Context.t ->
+  Query.t ->
+  report
 (** Optimize [q], execute the winning plan operator by operator, and
     annotate.  The answers equal [Eval.answers ctx q] for the same plan
     semantics (property-tested).  With [cache], join operators serve
     repeated fragment joins from the memo table; the per-operator
     counter deltas then include [cache_hits]/[cache_misses]/
     [cache_evictions] (zero deltas are omitted, so cache-less reports
-    are unchanged). *)
+    are unchanged).  [deadline] bounds the execution like {!Eval.run}'s.
+    @raise Deadline.Expired once [deadline] passes. *)
 
 val total_ns : node -> int
 (** Inclusive time: [self_ns] plus all descendants. *)

@@ -33,33 +33,38 @@ let traced_fixed_point trace name seed_size f =
    of [seed], hence contains some member as a subfragment, hence absorbs
    it — so the round result is a superset of [acc] and no explicit union
    is needed. *)
-let step ?stats ?cache ?trace ctx ~keep acc seed =
-  Join.pairwise_filtered ?stats ?cache ?trace ctx ~keep acc seed
+let step ?stats ?cache ?trace ?deadline ctx ~keep acc seed =
+  Join.pairwise_filtered ?stats ?cache ?trace ?deadline ctx ~keep acc seed
 
-let naive_general ?stats ?cache ?(trace = Trace.disabled) ~name ctx ~keep set =
+let naive_general ?stats ?cache ?(trace = Trace.disabled)
+    ?(deadline = Deadline.none) ~name ctx ~keep set =
   let seed = Frag_set.filter keep set in
   if Frag_set.is_empty seed then seed
   else
     traced_fixed_point trace name (Frag_set.cardinal seed) (fun () ->
         let rec go n acc =
+          Deadline.check deadline;
           round stats;
           let next =
             traced_round trace n (Frag_set.cardinal acc) (fun () ->
-                step ?stats ?cache ~trace ctx ~keep acc seed)
+                step ?stats ?cache ~trace ~deadline ctx ~keep acc seed)
           in
           if Frag_set.cardinal next = Frag_set.cardinal acc then acc
           else go (n + 1) next
         in
         go 1 seed)
 
-let naive ?stats ?cache ?trace ctx set =
-  naive_general ?stats ?cache ?trace ~name:"fixed-point" ctx ~keep:(fun _ -> true) set
+let naive ?stats ?cache ?trace ?deadline ctx set =
+  naive_general ?stats ?cache ?trace ?deadline ~name:"fixed-point" ctx
+    ~keep:(fun _ -> true)
+    set
 
 (* Delta iteration: only last round's discoveries are joined against the
    seed.  Complete because every k-fold join factors as a (k−1)-fold
    join ⋈ one seed member (associativity/commutativity), and that prefix
    was some round's discovery. *)
-let semi_naive ?stats ?cache ?(trace = Trace.disabled) ?(keep = fun _ -> true) ctx set =
+let semi_naive ?stats ?cache ?(trace = Trace.disabled)
+    ?(deadline = Deadline.none) ?(keep = fun _ -> true) ctx set =
   let seed = Frag_set.filter keep set in
   if Frag_set.is_empty seed then seed
   else
@@ -68,11 +73,13 @@ let semi_naive ?stats ?cache ?(trace = Trace.disabled) ?(keep = fun _ -> true) c
         let rec go n acc delta =
           if Frag_set.is_empty delta then acc
           else begin
+            Deadline.check deadline;
             round stats;
             let fresh =
               traced_round trace n (Frag_set.cardinal delta) (fun () ->
                   let produced =
-                    Join.pairwise_filtered ?stats ?cache ~trace ctx ~keep delta seed
+                    Join.pairwise_filtered ?stats ?cache ~trace ~deadline ctx
+                      ~keep delta seed
                   in
                   Frag_set.diff produced acc)
             in
@@ -81,16 +88,19 @@ let semi_naive ?stats ?cache ?(trace = Trace.disabled) ?(keep = fun _ -> true) c
         in
         go 1 seed seed)
 
-let naive_filtered ?stats ?cache ?trace ctx ~keep set =
-  naive_general ?stats ?cache ?trace ~name:"fixed-point:pruned" ctx ~keep set
+let naive_filtered ?stats ?cache ?trace ?deadline ctx ~keep set =
+  naive_general ?stats ?cache ?trace ?deadline ~name:"fixed-point:pruned" ctx
+    ~keep set
 
-let iterate ?stats ?cache ?trace ctx n set =
+let iterate ?stats ?cache ?trace ?deadline ctx n set =
   if n < 1 then invalid_arg "Fixed_point.iterate: n must be at least 1";
   let rec go acc remaining =
     if remaining = 0 then acc
     else begin
       round stats;
-      go (step ?stats ?cache ?trace ctx ~keep:(fun _ -> true) acc set) (remaining - 1)
+      go
+        (step ?stats ?cache ?trace ?deadline ctx ~keep:(fun _ -> true) acc set)
+        (remaining - 1)
     end
   in
   go set (n - 1)
@@ -100,8 +110,8 @@ let iterate ?stats ?cache ?trace ctx n set =
    seeds (see the erratum in the interface); [confirm] appends a checked
    loop that makes the result correct for arbitrary seeds at the price of
    at least one confirming round. *)
-let with_reduction_general ?stats ?cache ?(trace = Trace.disabled) ?reduced ctx ~keep
-    ~confirm set =
+let with_reduction_general ?stats ?cache ?(trace = Trace.disabled)
+    ?(deadline = Deadline.none) ?reduced ctx ~keep ~confirm set =
   let seed = Frag_set.filter keep set in
   if Frag_set.is_empty seed then seed
   else
@@ -120,10 +130,11 @@ let with_reduction_general ?stats ?cache ?(trace = Trace.disabled) ?reduced ctx 
         let rec fast_forward n acc remaining =
           if remaining <= 0 then (n, acc)
           else begin
+            Deadline.check deadline;
             round stats;
             let next =
               traced_round trace n (Frag_set.cardinal acc) (fun () ->
-                  step ?stats ?cache ~trace ctx ~keep acc seed)
+                  step ?stats ?cache ~trace ~deadline ctx ~keep acc seed)
             in
             fast_forward (n + 1) next (remaining - 1)
           end
@@ -132,10 +143,11 @@ let with_reduction_general ?stats ?cache ?(trace = Trace.disabled) ?reduced ctx 
         if not confirm then acc
         else begin
           let rec converge n acc =
+            Deadline.check deadline;
             round stats;
             let next =
               traced_round trace n (Frag_set.cardinal acc) (fun () ->
-                  step ?stats ?cache ~trace ctx ~keep acc seed)
+                  step ?stats ?cache ~trace ~deadline ctx ~keep acc seed)
             in
             if Frag_set.cardinal next = Frag_set.cardinal acc then acc
             else converge (n + 1) next
@@ -143,16 +155,21 @@ let with_reduction_general ?stats ?cache ?(trace = Trace.disabled) ?reduced ctx 
           converge n acc
         end)
 
-let with_reduction ?stats ?cache ?trace ctx set =
-  with_reduction_general ?stats ?cache ?trace ctx ~keep:(fun _ -> true) ~confirm:true set
+let with_reduction ?stats ?cache ?trace ?deadline ctx set =
+  with_reduction_general ?stats ?cache ?trace ?deadline ctx
+    ~keep:(fun _ -> true)
+    ~confirm:true set
 
-let with_reduction_unchecked ?stats ?cache ?trace ?reduced ctx set =
-  with_reduction_general ?stats ?cache ?trace ?reduced ctx
+let with_reduction_unchecked ?stats ?cache ?trace ?deadline ?reduced ctx set =
+  with_reduction_general ?stats ?cache ?trace ?deadline ?reduced ctx
     ~keep:(fun _ -> true)
     ~confirm:false set
 
-let with_reduction_filtered ?stats ?cache ?trace ctx ~keep set =
-  with_reduction_general ?stats ?cache ?trace ctx ~keep ~confirm:true set
+let with_reduction_filtered ?stats ?cache ?trace ?deadline ctx ~keep set =
+  with_reduction_general ?stats ?cache ?trace ?deadline ctx ~keep ~confirm:true
+    set
 
-let with_reduction_filtered_unchecked ?stats ?cache ?trace ctx ~keep set =
-  with_reduction_general ?stats ?cache ?trace ctx ~keep ~confirm:false set
+let with_reduction_filtered_unchecked ?stats ?cache ?trace ?deadline ctx ~keep
+    set =
+  with_reduction_general ?stats ?cache ?trace ?deadline ctx ~keep
+    ~confirm:false set

@@ -24,12 +24,18 @@
       exactly k−1 rounds and no check — use only on single-node seeds;
     - {!naive_filtered} / {!with_reduction_filtered}: the same, pruning
       with an anti-monotonic predicate after every join (Theorem 3
-      push-down inside the fixed point). *)
+      push-down inside the fixed point).
+
+    Every strategy accepts an optional [?deadline] ({!Deadline.t},
+    default {!Deadline.none}): checked at the top of every round and
+    once per row inside the round's pairwise join, so a runaway fixed
+    point aborts with {!Deadline.Expired} between whole joins. *)
 
 val naive :
   ?stats:Op_stats.t ->
   ?cache:Join_cache.t ->
   ?trace:Xfrag_obs.Trace.t ->
+  ?deadline:Deadline.t ->
   Context.t ->
   Frag_set.t ->
   Frag_set.t
@@ -38,6 +44,7 @@ val semi_naive :
   ?stats:Op_stats.t ->
   ?cache:Join_cache.t ->
   ?trace:Xfrag_obs.Trace.t ->
+  ?deadline:Deadline.t ->
   ?keep:(Fragment.t -> bool) ->
   Context.t ->
   Frag_set.t ->
@@ -55,6 +62,7 @@ val with_reduction :
   ?stats:Op_stats.t ->
   ?cache:Join_cache.t ->
   ?trace:Xfrag_obs.Trace.t ->
+  ?deadline:Deadline.t ->
   Context.t ->
   Frag_set.t ->
   Frag_set.t
@@ -63,6 +71,7 @@ val with_reduction_unchecked :
   ?stats:Op_stats.t ->
   ?cache:Join_cache.t ->
   ?trace:Xfrag_obs.Trace.t ->
+  ?deadline:Deadline.t ->
   ?reduced:Frag_set.t ->
   Context.t ->
   Frag_set.t ->
@@ -79,6 +88,7 @@ val iterate :
   ?stats:Op_stats.t ->
   ?cache:Join_cache.t ->
   ?trace:Xfrag_obs.Trace.t ->
+  ?deadline:Deadline.t ->
   Context.t ->
   int ->
   Frag_set.t ->
@@ -91,6 +101,7 @@ val naive_filtered :
   ?stats:Op_stats.t ->
   ?cache:Join_cache.t ->
   ?trace:Xfrag_obs.Trace.t ->
+  ?deadline:Deadline.t ->
   Context.t ->
   keep:(Fragment.t -> bool) ->
   Frag_set.t ->
@@ -103,6 +114,7 @@ val with_reduction_filtered :
   ?stats:Op_stats.t ->
   ?cache:Join_cache.t ->
   ?trace:Xfrag_obs.Trace.t ->
+  ?deadline:Deadline.t ->
   Context.t ->
   keep:(Fragment.t -> bool) ->
   Frag_set.t ->
@@ -114,6 +126,7 @@ val with_reduction_filtered_unchecked :
   ?stats:Op_stats.t ->
   ?cache:Join_cache.t ->
   ?trace:Xfrag_obs.Trace.t ->
+  ?deadline:Deadline.t ->
   Context.t ->
   keep:(Fragment.t -> bool) ->
   Frag_set.t ->

@@ -41,7 +41,7 @@ let product_hint c1 c2 =
   else if c1 > max_size_hint / c2 then max_size_hint
   else c1 * c2
 
-let pairwise_loop ?stats ?cache ctx ~keep s1 s2 =
+let pairwise_loop ?stats ?cache ?(deadline = Deadline.none) ctx ~keep s1 s2 =
   let out =
     Frag_set.Builder.create
       ~size_hint:(product_hint (Frag_set.cardinal s1) (Frag_set.cardinal s2))
@@ -49,6 +49,11 @@ let pairwise_loop ?stats ?cache ctx ~keep s1 s2 =
   in
   Frag_set.iter
     (fun f1 ->
+      (* One check per outer row: between whole joins, never inside
+         [find_or_join], so an abort cannot leave a shared cache
+         mid-update.  The inner loop allocates at most |s2| fragments
+         between checks. *)
+      Deadline.check deadline;
       Frag_set.iter
         (fun f2 ->
           let f = fragment ?stats ?cache ctx f1 f2 in
@@ -62,8 +67,10 @@ let pairwise_loop ?stats ?cache ctx ~keep s1 s2 =
     s1;
   Frag_set.Builder.freeze out
 
-let pairwise_general ?stats ?cache ?(trace = Trace.disabled) ctx ~keep s1 s2 =
-  if not (Trace.is_enabled trace) then pairwise_loop ?stats ?cache ctx ~keep s1 s2
+let pairwise_general ?stats ?cache ?(trace = Trace.disabled) ?deadline ctx ~keep
+    s1 s2 =
+  if not (Trace.is_enabled trace) then
+    pairwise_loop ?stats ?cache ?deadline ctx ~keep s1 s2
   else
     Trace.with_span trace
       ~attrs:
@@ -73,15 +80,15 @@ let pairwise_general ?stats ?cache ?(trace = Trace.disabled) ctx ~keep s1 s2 =
         ]
       "pairwise-join"
       (fun () ->
-        let out = pairwise_loop ?stats ?cache ctx ~keep s1 s2 in
+        let out = pairwise_loop ?stats ?cache ?deadline ctx ~keep s1 s2 in
         Trace.add_attr trace "out" (Json.Int (Frag_set.cardinal out));
         out)
 
-let pairwise ?stats ?cache ?trace ctx s1 s2 =
-  pairwise_general ?stats ?cache ?trace ctx ~keep:(fun _ -> true) s1 s2
+let pairwise ?stats ?cache ?trace ?deadline ctx s1 s2 =
+  pairwise_general ?stats ?cache ?trace ?deadline ctx ~keep:(fun _ -> true) s1 s2
 
-let pairwise_filtered ?stats ?cache ?trace ctx ~keep s1 s2 =
-  pairwise_general ?stats ?cache ?trace ctx ~keep s1 s2
+let pairwise_filtered ?stats ?cache ?trace ?deadline ctx ~keep s1 s2 =
+  pairwise_general ?stats ?cache ?trace ?deadline ctx ~keep s1 s2
 
 let pairwise_parallel ?stats ?cache ?trace ?domains ?(keep = fun _ -> true) ctx s1 s2 =
   let domains =

@@ -21,7 +21,13 @@
     path or the node-set unions.  Answers are unchanged (the cache only
     replays previously computed results for the same context
     generation); accounting moves from [fragment_joins] to
-    [cache_hits] for the joins avoided. *)
+    [cache_hits] for the joins avoided.
+
+    The set-level operations also accept an optional [?deadline]
+    ({!Deadline.t}, default {!Deadline.none}): the pairwise loops call
+    {!Deadline.check} once per outer-operand row, between whole
+    fragment joins, so a long-running join product aborts with
+    {!Deadline.Expired} without ever interrupting a cache update. *)
 
 val fragment :
   ?stats:Op_stats.t ->
@@ -48,6 +54,7 @@ val pairwise :
   ?stats:Op_stats.t ->
   ?cache:Join_cache.t ->
   ?trace:Xfrag_obs.Trace.t ->
+  ?deadline:Deadline.t ->
   Context.t ->
   Frag_set.t ->
   Frag_set.t ->
@@ -60,6 +67,7 @@ val pairwise_filtered :
   ?stats:Op_stats.t ->
   ?cache:Join_cache.t ->
   ?trace:Xfrag_obs.Trace.t ->
+  ?deadline:Deadline.t ->
   Context.t ->
   keep:(Fragment.t -> bool) ->
   Frag_set.t ->

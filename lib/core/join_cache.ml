@@ -15,18 +15,22 @@ module Lru = Xfrag_cache.Lru.Make (Pair_key)
 type t = {
   lru : Fragment.t Lru.t;
   interner : Fragment.Interner.t;
+  lock : Mutex.t option;
 }
 
 let default_capacity = 1 lsl 16
 
-let create ?(capacity = default_capacity) () =
+let create ?(synchronized = false) ?(capacity = default_capacity) () =
   {
     (* generation -1 never collides with a real context stamp (they
        start at 0), so the first use always adopts the context's
        generation without counting a spurious invalidation. *)
     lru = Lru.create ~generation:(-1) ~capacity ();
     interner = Fragment.Interner.create ();
+    lock = (if synchronized then Some (Mutex.create ()) else None);
   }
+
+let synchronized t = t.lock <> None
 
 let capacity t = Lru.capacity t.lru
 
@@ -56,33 +60,80 @@ let sync t (ctx : Context.t) =
 
 let bump stats f = match stats with None -> () | Some s -> f s
 
+let find_or_join_unlocked t ?stats ctx f1 f2 ~join =
+  sync t ctx;
+  let i1 = Fragment.Interner.intern t.interner f1 in
+  let i2 = Fragment.Interner.intern t.interner f2 in
+  let key = if i1 <= i2 then (i1, i2) else (i2, i1) in
+  match Lru.find t.lru key with
+  | Some result ->
+      bump stats (fun s -> s.Op_stats.cache_hits <- s.Op_stats.cache_hits + 1);
+      result
+  | None ->
+      let evictions_before = Lru.evictions t.lru in
+      let result = join () in
+      Lru.add t.lru key result;
+      (* Interning the result means a later join that uses it as an
+         operand (every fixed-point round does) gets its id for one
+         hashtable probe. *)
+      ignore (Fragment.Interner.intern t.interner result);
+      bump stats (fun s ->
+          s.Op_stats.cache_misses <- s.Op_stats.cache_misses + 1;
+          s.Op_stats.cache_evictions <-
+            s.Op_stats.cache_evictions + (Lru.evictions t.lru - evictions_before));
+      result
+
+(* Synchronized path: lookup and store are separate critical sections so
+   the join itself — the expensive part, and the only part that can
+   raise (e.g. [Deadline.Expired]) — runs outside the lock.  Two workers
+   missing on the same key may both compute the join; both results are
+   identical ([Join.fragment] is pure), so the second [Lru.add] merely
+   refreshes the entry.  If another worker flipped the generation while
+   we were joining, the interned key ids are stale and the result is
+   dropped instead of stored under a wrong key. *)
+let find_or_join_locked t m ?stats ctx f1 f2 ~join =
+  Mutex.lock m;
+  sync t ctx;
+  let i1 = Fragment.Interner.intern t.interner f1 in
+  let i2 = Fragment.Interner.intern t.interner f2 in
+  let key = if i1 <= i2 then (i1, i2) else (i2, i1) in
+  let cached = Lru.find t.lru key in
+  Mutex.unlock m;
+  match cached with
+  | Some result ->
+      bump stats (fun s -> s.Op_stats.cache_hits <- s.Op_stats.cache_hits + 1);
+      result
+  | None ->
+      let result = join () in
+      Mutex.lock m;
+      let evictions_before = Lru.evictions t.lru in
+      if Lru.generation t.lru = ctx.Context.generation then begin
+        Lru.add t.lru key result;
+        ignore (Fragment.Interner.intern t.interner result)
+      end;
+      let evicted = Lru.evictions t.lru - evictions_before in
+      Mutex.unlock m;
+      bump stats (fun s ->
+          s.Op_stats.cache_misses <- s.Op_stats.cache_misses + 1;
+          s.Op_stats.cache_evictions <- s.Op_stats.cache_evictions + evicted);
+      result
+
 let find_or_join t ?stats ctx f1 f2 ~join =
   if not (enabled t) then join ()
-  else begin
-    sync t ctx;
-    let i1 = Fragment.Interner.intern t.interner f1 in
-    let i2 = Fragment.Interner.intern t.interner f2 in
-    let key = if i1 <= i2 then (i1, i2) else (i2, i1) in
-    match Lru.find t.lru key with
-    | Some result ->
-        bump stats (fun s -> s.Op_stats.cache_hits <- s.Op_stats.cache_hits + 1);
-        result
-    | None ->
-        let evictions_before = Lru.evictions t.lru in
-        let result = join () in
-        Lru.add t.lru key result;
-        (* Interning the result means a later join that uses it as an
-           operand (every fixed-point round does) gets its id for one
-           hashtable probe. *)
-        ignore (Fragment.Interner.intern t.interner result);
-        bump stats (fun s ->
-            s.Op_stats.cache_misses <- s.Op_stats.cache_misses + 1;
-            s.Op_stats.cache_evictions <-
-              s.Op_stats.cache_evictions + (Lru.evictions t.lru - evictions_before));
-        result
-  end
+  else
+    match t.lock with
+    | None -> find_or_join_unlocked t ?stats ctx f1 f2 ~join
+    | Some m -> find_or_join_locked t m ?stats ctx f1 f2 ~join
+
+let with_lock t f =
+  match t.lock with
+  | None -> f ()
+  | Some m ->
+      Mutex.lock m;
+      Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
 let clear t =
+  with_lock t @@ fun () ->
   Fragment.Interner.clear t.interner;
   Lru.clear t.lru
 

@@ -29,9 +29,16 @@
     equal operands under the same generation.  Strategy answer sets are
     therefore bit-identical with the cache on or off (property-tested).
 
-    {b Concurrency.}  Not domain-safe.  [Join.pairwise_parallel] workers
-    bypass the cache rather than serialize on a lock; only the calling
-    domain's sequential joins are memoized.
+    {b Concurrency.}  By default not domain-safe: [Join.pairwise_parallel]
+    workers bypass the cache rather than serialize on a lock, and only
+    the calling domain's sequential joins are memoized.  A cache created
+    with [~synchronized:true] guards its table with a mutex so it can be
+    shared across server worker domains: the lookup and the store are
+    separate short critical sections, and the join itself — the
+    expensive part, and the only part that can raise — always runs
+    outside the lock, so an aborted evaluation (deadline, exception)
+    can never leave the table mid-update.  Two workers racing on the
+    same miss both compute the (pure, identical) join; one store wins.
 
     A cache with capacity 0 is a legal no-op (always misses, stores
     nothing) — useful to exercise the "disabled" configuration through
@@ -42,8 +49,12 @@ type t
 val default_capacity : int
 (** 65536 entries. *)
 
-val create : ?capacity:int -> unit -> t
-(** A fresh, empty cache.  [capacity <= 0] gives the no-op cache. *)
+val create : ?synchronized:bool -> ?capacity:int -> unit -> t
+(** A fresh, empty cache.  [capacity <= 0] gives the no-op cache.
+    [synchronized] (default false) makes the cache safe to share across
+    domains/threads at the price of a mutex around lookups and stores. *)
+
+val synchronized : t -> bool
 
 val find_or_join :
   t ->

@@ -8,10 +8,14 @@ let check_size name max_set_size set =
          name n max_set_size)
 
 (* All joins ⋈S of non-empty subsets S of [elems], indexed by bitmask. *)
-let subset_joins ?stats ?cache ctx (elems : Fragment.t array) =
+let subset_joins ?stats ?cache ?(deadline = Deadline.none) ctx
+    (elems : Fragment.t array) =
   let n = Array.length elems in
   let joins = Array.make (1 lsl n) None in
   for mask = 1 to (1 lsl n) - 1 do
+    (* Exponentially many masks: check between every two joins so even a
+       millisecond deadline aborts the enumeration promptly. *)
+    Deadline.check deadline;
     let lowest = mask land -mask in
     let idx =
       let rec bit i = if 1 lsl i = lowest then i else bit (i + 1) in
@@ -37,16 +41,18 @@ let traced trace name f =
         Trace.add_attr trace "out" (Json.Int (Frag_set.cardinal out));
         out)
 
-let literal ?stats ?cache ?(trace = Trace.disabled) ?(max_set_size = 14) ctx s1 s2 =
+let literal ?stats ?cache ?(trace = Trace.disabled)
+    ?(deadline = Deadline.none) ?(max_set_size = 14) ctx s1 s2 =
   traced trace "powerset-literal" @@ fun () ->
   check_size "literal" max_set_size s1;
   check_size "literal" max_set_size s2;
   let e1 = Array.of_list (Frag_set.elements s1) in
   let e2 = Array.of_list (Frag_set.elements s2) in
-  let j1 = subset_joins ?stats ?cache ctx e1 in
-  let j2 = subset_joins ?stats ?cache ctx e2 in
+  let j1 = subset_joins ?stats ?cache ~deadline ctx e1 in
+  let j2 = subset_joins ?stats ?cache ~deadline ctx e2 in
   let out = Frag_set.Builder.create () in
   for m1 = 1 to (1 lsl Array.length e1) - 1 do
+    Deadline.check deadline;
     for m2 = 1 to (1 lsl Array.length e2) - 1 do
       let f = Join.fragment ?stats ?cache ctx (Option.get j1.(m1)) (Option.get j2.(m2)) in
       ignore (Frag_set.Builder.add out f)
@@ -54,19 +60,23 @@ let literal ?stats ?cache ?(trace = Trace.disabled) ?(max_set_size = 14) ctx s1 
   done;
   Frag_set.Builder.freeze out
 
-let via_fixed_points ?stats ?cache ?trace ?(fixed_point = fun ?stats ?trace ctx set -> Fixed_point.naive ?stats ?trace ctx set) ctx s1 s2 =
-  Join.pairwise ?stats ?cache ?trace ctx
+let via_fixed_points ?stats ?cache ?trace ?deadline
+    ?(fixed_point =
+      fun ?stats ?trace ctx set -> Fixed_point.naive ?stats ?trace ctx set) ctx
+    s1 s2 =
+  Join.pairwise ?stats ?cache ?trace ?deadline ctx
     (fixed_point ?stats ?trace ctx s1)
     (fixed_point ?stats ?trace ctx s2)
 
-let many_literal ?stats ?cache ?(trace = Trace.disabled) ?(max_set_size = 14) ctx sets =
+let many_literal ?stats ?cache ?(trace = Trace.disabled)
+    ?(deadline = Deadline.none) ?(max_set_size = 14) ctx sets =
   traced trace "powerset-literal" @@ fun () ->
   match sets with
   | [] -> invalid_arg "Powerset.many_literal: no operands"
   | [ s ] ->
       check_size "many_literal" max_set_size s;
       let e = Array.of_list (Frag_set.elements s) in
-      let j = subset_joins ?stats ?cache ctx e in
+      let j = subset_joins ?stats ?cache ~deadline ctx e in
       let out = Frag_set.Builder.create () in
       for m = 1 to (1 lsl Array.length e) - 1 do
         ignore (Frag_set.Builder.add out (Option.get j.(m)))
@@ -79,10 +89,11 @@ let many_literal ?stats ?cache ?(trace = Trace.disabled) ?(max_set_size = 14) ct
          least one fragment from each operand. *)
       let join_one acc s =
         let e = Array.of_list (Frag_set.elements s) in
-        let j = subset_joins ?stats ?cache ctx e in
+        let j = subset_joins ?stats ?cache ~deadline ctx e in
         let out = Frag_set.Builder.create () in
         Frag_set.iter
           (fun fa ->
+            Deadline.check deadline;
             for m = 1 to (1 lsl Array.length e) - 1 do
               ignore
                 (Frag_set.Builder.add out
@@ -92,14 +103,17 @@ let many_literal ?stats ?cache ?(trace = Trace.disabled) ?(max_set_size = 14) ct
         Frag_set.Builder.freeze out
       in
       let e1 = Array.of_list (Frag_set.elements first) in
-      let j1 = subset_joins ?stats ?cache ctx e1 in
+      let j1 = subset_joins ?stats ?cache ~deadline ctx e1 in
       let acc = Frag_set.Builder.create () in
       for m = 1 to (1 lsl Array.length e1) - 1 do
         ignore (Frag_set.Builder.add acc (Option.get j1.(m)))
       done;
       List.fold_left join_one (Frag_set.Builder.freeze acc) rest
 
-let many_via_fixed_points ?stats ?cache ?trace ?(fixed_point = fun ?stats ?trace ctx set -> Fixed_point.naive ?stats ?trace ctx set) ctx sets =
+let many_via_fixed_points ?stats ?cache ?trace ?deadline
+    ?(fixed_point =
+      fun ?stats ?trace ctx set -> Fixed_point.naive ?stats ?trace ctx set) ctx
+    sets =
   match sets with
   | [] -> invalid_arg "Powerset.many_via_fixed_points: no operands"
   | first :: rest ->
@@ -109,4 +123,5 @@ let many_via_fixed_points ?stats ?cache ?trace ?(fixed_point = fun ?stats ?trace
       in
       (match fps with
       | [] -> assert false
-      | fp :: fps -> List.fold_left (Join.pairwise ?stats ?cache ?trace ctx) fp fps)
+      | fp :: fps ->
+          List.fold_left (Join.pairwise ?stats ?cache ?trace ?deadline ctx) fp fps)

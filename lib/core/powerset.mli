@@ -5,12 +5,19 @@
     {!literal} enumerates subsets exactly as the definition reads —
     exponential, usable only on small inputs, and kept as the oracle the
     optimized paths are tested against.  {!via_fixed_points} is
-    Theorem 2: F1 ⋈* F2 = F1⁺ ⋈ F2⁺. *)
+    Theorem 2: F1 ⋈* F2 = F1⁺ ⋈ F2⁺.
+
+    All operations accept [?deadline] ({!Deadline.t}): the exponential
+    enumeration checks it between every two subset joins, so even a
+    worst-case ⋈* aborts with {!Deadline.Expired} within microseconds of
+    the instant passing.  [fixed_point] callbacks are expected to close
+    over the same deadline (see {!Eval}). *)
 
 val literal :
   ?stats:Op_stats.t ->
   ?cache:Join_cache.t ->
   ?trace:Xfrag_obs.Trace.t ->
+  ?deadline:Deadline.t ->
   ?max_set_size:int ->
   Context.t ->
   Frag_set.t ->
@@ -24,6 +31,7 @@ val via_fixed_points :
   ?stats:Op_stats.t ->
   ?cache:Join_cache.t ->
   ?trace:Xfrag_obs.Trace.t ->
+  ?deadline:Deadline.t ->
   ?fixed_point:
     (?stats:Op_stats.t ->
     ?trace:Xfrag_obs.Trace.t ->
@@ -41,6 +49,7 @@ val many_literal :
   ?stats:Op_stats.t ->
   ?cache:Join_cache.t ->
   ?trace:Xfrag_obs.Trace.t ->
+  ?deadline:Deadline.t ->
   ?max_set_size:int ->
   Context.t ->
   Frag_set.t list ->
@@ -53,6 +62,7 @@ val many_via_fixed_points :
   ?stats:Op_stats.t ->
   ?cache:Join_cache.t ->
   ?trace:Xfrag_obs.Trace.t ->
+  ?deadline:Deadline.t ->
   ?fixed_point:
     (?stats:Op_stats.t ->
     ?trace:Xfrag_obs.Trace.t ->

@@ -52,7 +52,12 @@ let to_string tree =
     tree;
   Buffer.contents buf
 
-let of_string data =
+(* Decoding untrusted bytes: every failure — bogus header counts,
+   truncated records, bit flips that break field structure — must come
+   back as [Error], never an exception, and never an allocation sized
+   by a corrupt length field (records are counted, not pre-allocated,
+   so a bogus count can only produce a mismatch error). *)
+let of_string_exn data =
   let lines = String.split_on_char '\n' data in
   match lines with
   | header :: records -> (
@@ -61,6 +66,11 @@ let of_string data =
           match (int_of_string_opt version, int_of_string_opt count) with
           | Some v, _ when v <> format_version ->
               Error (Printf.sprintf "unsupported format version %d" v)
+          | Some _, Some count when count < 0 || count > String.length data ->
+              (* Each record takes at least two bytes, so a count beyond
+                 the input size is corrupt; reject before touching the
+                 records. *)
+              Error (Printf.sprintf "implausible record count %d" count)
           | Some _, Some count -> (
               let records = List.filter (fun l -> l <> "") records in
               if List.length records <> count then
@@ -104,6 +114,14 @@ let of_string data =
       | _ -> Error "not an xfrag-doctree file")
   | [] -> Error "empty input"
 
+let of_string data =
+  (* Belt and braces: the decoder is written to return [Error]s, but a
+     corrupted file must never crash the caller even if some path was
+     missed, so convert any escapee too. *)
+  match of_string_exn data with
+  | result -> result
+  | exception e -> Error ("corrupt doctree: " ^ Printexc.to_string e)
+
 let save tree path =
   let oc = open_out_bin path in
   output_string oc (to_string tree);
@@ -111,7 +129,17 @@ let save tree path =
 
 let load path =
   let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let data = really_input_string ic n in
-  close_in ic;
-  of_string data
+  match
+    let n = in_channel_length ic in
+    really_input_string ic n
+  with
+  | data ->
+      close_in ic;
+      of_string data
+  | exception End_of_file ->
+      (* The file shrank between [in_channel_length] and the read. *)
+      close_in_noerr ic;
+      Error "truncated file"
+  | exception e ->
+      close_in_noerr ic;
+      raise e

@@ -12,7 +12,10 @@ val to_string : Doctree.t -> string
 
 val of_string : string -> (Doctree.t, string) result
 (** Rejects unknown versions, malformed records, and node sets that do
-    not form a valid pre-order tree. *)
+    not form a valid pre-order tree.  Safe on untrusted bytes:
+    truncation, bit flips, and bogus header length fields all return
+    [Error] — never an exception, and never an allocation sized by a
+    corrupt count. *)
 
 val save : Doctree.t -> string -> unit
 (** [save tree path] writes the serialized form.

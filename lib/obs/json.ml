@@ -63,3 +63,218 @@ let to_string j =
   let buf = Buffer.create 256 in
   to_buffer buf j;
   Buffer.contents buf
+
+(* --- parser ------------------------------------------------------------ *)
+
+exception Parse_fail of string
+
+(* Recursion depth bound: a hostile body of 100k '[' characters must
+   produce an [Error], not a stack overflow in a server worker. *)
+let max_depth = 512
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_fail (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then advance ()
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let digit c =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> fail "bad \\u escape"
+    in
+    let v =
+      (digit s.[!pos] lsl 12) lor (digit s.[!pos + 1] lsl 8)
+      lor (digit s.[!pos + 2] lsl 4) lor digit s.[!pos + 3]
+    in
+    pos := !pos + 4;
+    v
+  in
+  (* Encode a code point as UTF-8; surrogate pairs are combined first. *)
+  let add_utf8 buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance (); Buffer.contents buf
+      | '\\' ->
+          advance ();
+          if !pos >= n then fail "unterminated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char buf '"'; advance ()
+          | '\\' -> Buffer.add_char buf '\\'; advance ()
+          | '/' -> Buffer.add_char buf '/'; advance ()
+          | 'b' -> Buffer.add_char buf '\b'; advance ()
+          | 'f' -> Buffer.add_char buf '\012'; advance ()
+          | 'n' -> Buffer.add_char buf '\n'; advance ()
+          | 'r' -> Buffer.add_char buf '\r'; advance ()
+          | 't' -> Buffer.add_char buf '\t'; advance ()
+          | 'u' ->
+              advance ();
+              let cp = hex4 () in
+              let cp =
+                if cp >= 0xD800 && cp <= 0xDBFF then begin
+                  (* A high surrogate is only meaningful as the first
+                     half of a \uXXXX\uXXXX pair. *)
+                  if not (!pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u')
+                  then fail "unpaired surrogate";
+                  pos := !pos + 2;
+                  let lo = hex4 () in
+                  if lo >= 0xDC00 && lo <= 0xDFFF then
+                    0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
+                  else fail "unpaired surrogate"
+                end
+                else if cp >= 0xDC00 && cp <= 0xDFFF then
+                  fail "unpaired surrogate"
+                else cp
+              in
+              add_utf8 buf cp
+          | c -> fail (Printf.sprintf "bad escape \\%c" c));
+          go ()
+      | c when Char.code c < 0x20 -> fail "control character in string"
+      | c -> Buffer.add_char buf c; advance (); go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let is_digit () =
+      match peek () with Some ('0' .. '9') -> true | _ -> false
+    in
+    if not (is_digit ()) then fail "bad number";
+    while is_digit () do advance () done;
+    let is_float = ref false in
+    if peek () = Some '.' then begin
+      is_float := true;
+      advance ();
+      if not (is_digit ()) then fail "bad number";
+      while is_digit () do advance () done
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        is_float := true;
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        if not (is_digit ()) then fail "bad number";
+        while is_digit () do advance () done
+    | _ -> ());
+    let lit = String.sub s start (!pos - start) in
+    if !is_float then Float (float_of_string lit)
+    else
+      match int_of_string_opt lit with
+      | Some i -> Int i
+      | None -> Float (float_of_string lit)
+  in
+  let rec parse_value depth =
+    if depth > max_depth then fail "nesting too deep";
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); List [] end
+        else begin
+          let rec items acc =
+            let v = parse_value (depth + 1) in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); items (v :: acc)
+            | Some ']' -> advance (); List (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          items []
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value (depth + 1) in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((k, v) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected %C" c)
+  in
+  match
+    let v = parse_value 0 in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_fail msg -> Error msg
+
+(* --- accessors --------------------------------------------------------- *)
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let to_string_opt = function String s -> Some s | _ -> None
+
+let to_int_opt = function
+  | Int i -> Some i
+  | Float f when Float.is_integer f && Float.abs f <= 2. ** 53. ->
+      Some (int_of_float f)
+  | _ -> None
+
+let to_bool_opt = function Bool b -> Some b | _ -> None
+
+let to_list_opt = function List xs -> Some xs | _ -> None

@@ -1,8 +1,10 @@
-(** Minimal JSON emitter (no parser, no external dependency).
+(** Minimal JSON emitter and parser (no external dependency).
 
-    Used by the trace/metrics exporters and the bench harness.  Strings
-    are escaped per RFC 8259; floats print with enough digits to
-    round-trip; non-finite floats degrade to [null]. *)
+    Used by the trace/metrics exporters, the bench harness, and the
+    HTTP server's request bodies.  Strings are escaped per RFC 8259;
+    floats print with enough digits to round-trip; non-finite floats
+    degrade to [null].  The parser is strict RFC 8259 with a recursion
+    bound, so hostile inputs yield [Error], never an exception. *)
 
 type t =
   | Null
@@ -20,3 +22,25 @@ val to_string : t -> string
 
 val escape_string : string -> string
 (** The quoted, escaped JSON literal for a string. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document.  Numeric literals without a fraction or
+    exponent that fit in an OCaml [int] parse as [Int], everything else
+    as [Float]; [\u] escapes (including surrogate pairs) decode to
+    UTF-8.  Rejects trailing garbage and nesting deeper than 512 levels;
+    never raises. *)
+
+(** {2 Accessors} — shape-tolerant helpers for picking a request body
+    apart; each returns [None] on a type mismatch. *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] for non-objects and absent keys. *)
+
+val to_string_opt : t -> string option
+
+val to_int_opt : t -> int option
+(** [Int], or a [Float] with integral value (JSON has one number type). *)
+
+val to_bool_opt : t -> bool option
+
+val to_list_opt : t -> t list option

@@ -114,6 +114,17 @@ let sorted_bindings t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let bindings t =
+  List.map
+    (fun (name, inst) ->
+      ( name,
+        match inst with
+        | C c -> `Counter (Counter.value c)
+        | G g -> `Gauge (Gauge.value g)
+        | H h -> `Histogram (Histogram.buckets h, Histogram.count h, Histogram.sum h)
+      ))
+    (sorted_bindings t)
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
   List.iteri

@@ -58,6 +58,16 @@ val histogram : t -> string -> Histogram.t
 val add_assoc : ?prefix:string -> t -> (string * int) list -> unit
 (** Add each [(name, n)] into counter [prefix ^ name]. *)
 
+val bindings :
+  t ->
+  (string
+  * [ `Counter of int
+    | `Gauge of float
+    | `Histogram of (float * int) list * int * float ])
+  list
+(** Value snapshot of every instrument, sorted by name; histograms as
+    [(buckets, count, sum)].  Exporters ({!Prometheus}) build on this. *)
+
 val pp : Format.formatter -> t -> unit
 (** Human-readable dump, sorted by name. *)
 

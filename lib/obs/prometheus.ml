@@ -1,0 +1,95 @@
+(* Prometheus text format 0.0.4.  The registry is label-free, so label
+   blocks ride inside registry names ("name{k=\"v\"}"): the part before
+   '{' is sanitized into the metric name, the block is kept verbatim. *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+(* A metric name must not start with a digit. *)
+let metric_name base =
+  let base = sanitize base in
+  if base = "" then "_"
+  else match base.[0] with '0' .. '9' -> "_" ^ base | _ -> base
+
+let split_labels name =
+  match String.index_opt name '{' with
+  | None -> (name, None)
+  | Some i ->
+      let base = String.sub name 0 i in
+      let rest = String.sub name i (String.length name - i) in
+      (* Keep the block only if it closes; otherwise sanitize it away. *)
+      if String.length rest >= 2 && rest.[String.length rest - 1] = '}' then
+        (base, Some (String.sub rest 1 (String.length rest - 2)))
+      else (name, None)
+
+let number f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else if Float.is_finite f then Printf.sprintf "%.17g" f
+  else if f > 0.0 then "+Inf"
+  else if f < 0.0 then "-Inf"
+  else "NaN"
+
+let with_labels name = function
+  | None | Some "" -> name
+  | Some labels -> Printf.sprintf "%s{%s}" name labels
+
+(* [labels] plus one more [k="v"] pair. *)
+let add_label labels k v =
+  let pair = Printf.sprintf "%s=%S" k v in
+  match labels with
+  | None | Some "" -> Some pair
+  | Some l -> Some (l ^ "," ^ pair)
+
+let render ?namespace registry =
+  let buf = Buffer.create 1024 in
+  let prefix = match namespace with None -> "" | Some ns -> sanitize ns ^ "_" in
+  let last_family = ref "" in
+  let type_header family kind =
+    if family <> !last_family then begin
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" family kind);
+      last_family := family
+    end
+  in
+  List.iter
+    (fun (name, value) ->
+      let base, labels = split_labels name in
+      let family = prefix ^ metric_name base in
+      match value with
+      | `Counter v ->
+          type_header family "counter";
+          Buffer.add_string buf
+            (Printf.sprintf "%s %d\n" (with_labels family labels) v)
+      | `Gauge v ->
+          type_header family "gauge";
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s\n" (with_labels family labels) (number v))
+      | `Histogram (buckets, count, sum) ->
+          type_header family "histogram";
+          let cumulative = ref 0 in
+          List.iter
+            (fun (ub, n) ->
+              cumulative := !cumulative + n;
+              Buffer.add_string buf
+                (Printf.sprintf "%s %d\n"
+                   (with_labels (family ^ "_bucket")
+                      (add_label labels "le" (number ub)))
+                   !cumulative))
+            buckets;
+          Buffer.add_string buf
+            (Printf.sprintf "%s %d\n"
+               (with_labels (family ^ "_bucket") (add_label labels "le" "+Inf"))
+               count);
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s\n" (with_labels (family ^ "_sum") labels)
+               (number sum));
+          Buffer.add_string buf
+            (Printf.sprintf "%s %d\n" (with_labels (family ^ "_count") labels)
+               count))
+    (Metrics.bindings registry);
+  Buffer.contents buf

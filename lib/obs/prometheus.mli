@@ -1,0 +1,19 @@
+(** Prometheus text exposition (version 0.0.4) of a {!Metrics}
+    registry — what a [GET /metrics] endpoint serves.
+
+    Registry names map to Prometheus metric names by sanitizing every
+    character outside [[a-zA-Z0-9_:]] to ['_'] (so ["query.elapsed_ns"]
+    becomes [query_elapsed_ns]).  A registry name may carry a literal
+    label block — e.g.
+    ["server.requests{endpoint=\"/query\",status=\"200\"}"] — which is
+    preserved verbatim, letting label-free {!Metrics} model labelled
+    families; instruments sharing a base name are grouped under one
+    [# TYPE] header.
+
+    Histograms render in the standard cumulative form:
+    [name_bucket{le="…"}] for each non-empty power-of-two bucket, the
+    [le="+Inf"] bucket, then [name_sum] and [name_count]. *)
+
+val render : ?namespace:string -> Metrics.t -> string
+(** The whole registry, families sorted by name.  [namespace] (default
+    none) prefixes every metric name as [namespace ^ "_"]. *)

@@ -1,0 +1,50 @@
+type conn = { fd : Unix.file_descr; reader : Http.reader }
+
+let connect ?(timeout_s = 10.0) ~host ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  { fd; reader = Http.reader_of_fd fd }
+
+let close c = try Unix.close c.fd with _ -> ()
+
+let error_to_string = function
+  | Http.Bad_request msg -> "malformed response: " ^ msg
+  | Http.Payload_too_large -> "response too large"
+  | Http.Timeout -> "response read timeout"
+  | Http.Closed -> "connection closed"
+
+let request c ~meth ~path ?(headers = []) ?(body = "") () =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "%s %s HTTP/1.1\r\n" meth path);
+  List.iter
+    (fun (n, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" n v))
+    (("Host", "localhost") :: headers);
+  if body <> "" then
+    Buffer.add_string b
+      (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  Buffer.add_string b "\r\n";
+  Buffer.add_string b body;
+  match
+    Http.write_all c.fd (Buffer.contents b);
+    Http.read_response c.reader
+  with
+  | Ok resp -> Ok resp
+  | Error e -> Error (error_to_string e)
+  | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+
+let once ?timeout_s ~host ~port ~meth ~path ?(headers = []) ?body () =
+  match connect ?timeout_s ~host ~port () with
+  | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+  | c ->
+      Fun.protect
+        ~finally:(fun () -> close c)
+        (fun () ->
+          request c ~meth ~path
+            ~headers:(("Connection", "close") :: headers)
+            ?body ())

@@ -1,0 +1,35 @@
+(** Tiny blocking HTTP/1.1 client — enough to drive {!Server} from the
+    load-generator bench and the smoke tests without external tooling.
+    One connection per call unless you hold a {!conn}. *)
+
+type conn
+
+val connect : ?timeout_s:float -> host:string -> port:int -> unit -> conn
+(** @raise Unix.Unix_error when the connection is refused. *)
+
+val close : conn -> unit
+
+val request :
+  conn ->
+  meth:string ->
+  path:string ->
+  ?headers:(string * string) list ->
+  ?body:string ->
+  unit ->
+  (int * (string * string) list * string, string) result
+(** One request/response round-trip on the connection —
+    [(status, headers, body)].  Adds [Host] and, for non-empty bodies,
+    [Content-Length]. *)
+
+val once :
+  ?timeout_s:float ->
+  host:string ->
+  port:int ->
+  meth:string ->
+  path:string ->
+  ?headers:(string * string) list ->
+  ?body:string ->
+  unit ->
+  (int * (string * string) list * string, string) result
+(** Connect, send one request with [Connection: close], read the
+    response, close.  Connection errors come back as [Error]. *)

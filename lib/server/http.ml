@@ -1,0 +1,334 @@
+(* Hand-rolled HTTP/1.1 subset.  Control flow inside the parser uses a
+   private exception (Fail) that read_request converts into a result at
+   the boundary; no exception escapes to callers except through
+   write_all, which is documented to raise. *)
+
+(* --- readers --- *)
+
+type reader = {
+  refill : bytes -> int -> int -> int;
+  buf : Bytes.t;
+  mutable pos : int;
+  mutable len : int;
+  mutable sawbytes : bool;  (* any byte of the current message consumed? *)
+}
+
+type error =
+  | Bad_request of string
+  | Payload_too_large
+  | Timeout
+  | Closed
+
+exception Fail of error
+
+let buf_size = 8192
+
+let make_reader refill =
+  { refill; buf = Bytes.create buf_size; pos = 0; len = 0; sawbytes = false }
+
+let reader_of_function refill = make_reader refill
+
+let reader_of_string s =
+  let off = ref 0 in
+  make_reader (fun b pos len ->
+      let n = min len (String.length s - !off) in
+      Bytes.blit_string s !off b pos n;
+      off := !off + n;
+      n)
+
+let reader_of_fd fd =
+  make_reader (fun b pos len ->
+      try Unix.read fd b pos len with
+      | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          (* SO_RCVTIMEO expired: a slow client. *)
+          raise (Fail Timeout)
+      | Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      | Unix.Unix_error (_, _, _) -> 0)
+
+(* Returns false at EOF. *)
+let refill r =
+  if r.pos < r.len then true
+  else begin
+    let n = r.refill r.buf 0 (Bytes.length r.buf) in
+    r.pos <- 0;
+    r.len <- n;
+    n > 0
+  end
+
+let next_byte r =
+  if not (refill r) then
+    raise (Fail (if r.sawbytes then Bad_request "unexpected end of input" else Closed));
+  let c = Bytes.get r.buf r.pos in
+  r.pos <- r.pos + 1;
+  r.sawbytes <- true;
+  c
+
+let in_message r = r.sawbytes
+
+let max_line = 8192
+
+let max_header_count = 128
+
+(* One line, CRLF (or bare LF) stripped. *)
+let read_line r =
+  let b = Buffer.create 80 in
+  let rec go () =
+    match next_byte r with
+    | '\n' -> ()
+    | '\r' -> (
+        match next_byte r with
+        | '\n' -> ()
+        | _ -> raise (Fail (Bad_request "bare CR in line")))
+    | c ->
+        if Buffer.length b >= max_line then
+          raise (Fail (Bad_request "line too long"));
+        Buffer.add_char b c;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let read_exactly r n =
+  let out = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set out i (next_byte r)
+  done;
+  Bytes.unsafe_to_string out
+
+(* --- request parsing --- *)
+
+type request = {
+  meth : string;
+  path : string;
+  query : (string * string) list;
+  version : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+let is_tchar = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true
+  | '!' | '#' | '$' | '%' | '&' | '\'' | '*' | '+' | '-' | '.' | '^' | '_'
+  | '`' | '|' | '~' ->
+      true
+  | _ -> false
+
+let trim_ows s =
+  let is_ows c = c = ' ' || c = '\t' in
+  let n = String.length s in
+  let i = ref 0 and j = ref (n - 1) in
+  while !i < n && is_ows s.[!i] do incr i done;
+  while !j >= !i && is_ows s.[!j] do decr j done;
+  String.sub s !i (!j - !i + 1)
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> raise (Fail (Bad_request "bad percent escape"))
+
+let percent_decode ?(plus_space = false) s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '%' ->
+        if !i + 2 >= n then raise (Fail (Bad_request "bad percent escape"));
+        Buffer.add_char b
+          (Char.chr ((hex_val s.[!i + 1] * 16) + hex_val s.[!i + 2]));
+        i := !i + 2
+    | '+' when plus_space -> Buffer.add_char b ' '
+    | c -> Buffer.add_char b c);
+    incr i
+  done;
+  Buffer.contents b
+
+let parse_query s =
+  if s = "" then []
+  else
+    String.split_on_char '&' s
+    |> List.filter_map (fun kv ->
+           if kv = "" then None
+           else
+             let k, v =
+               match String.index_opt kv '=' with
+               | None -> (kv, "")
+               | Some i ->
+                   ( String.sub kv 0 i,
+                     String.sub kv (i + 1) (String.length kv - i - 1) )
+             in
+             Some
+               (percent_decode ~plus_space:true k, percent_decode ~plus_space:true v))
+
+let parse_request_line line =
+  match String.split_on_char ' ' line with
+  | [ meth; target; version ] ->
+      if meth = "" || not (String.for_all is_tchar meth) then
+        raise (Fail (Bad_request "malformed method"));
+      if not (version = "HTTP/1.1" || version = "HTTP/1.0") then
+        raise (Fail (Bad_request "unsupported HTTP version"));
+      if target = "" || target.[0] <> '/' then
+        raise (Fail (Bad_request "malformed request target"));
+      let path, query =
+        match String.index_opt target '?' with
+        | None -> (target, [])
+        | Some i ->
+            ( String.sub target 0 i,
+              parse_query (String.sub target (i + 1) (String.length target - i - 1))
+            )
+      in
+      (meth, percent_decode path, query, version)
+  | _ -> raise (Fail (Bad_request "malformed request line"))
+
+(* Header block: "Name: value" lines until the empty line; a line that
+   starts with SP/HTAB is an obs-fold continuation of the previous
+   header's value. *)
+let read_headers r =
+  let rec go acc count =
+    let line = read_line r in
+    if line = "" then List.rev acc
+    else if count >= max_header_count then
+      raise (Fail (Bad_request "too many headers"))
+    else if line.[0] = ' ' || line.[0] = '\t' then
+      match acc with
+      | [] -> raise (Fail (Bad_request "continuation before first header"))
+      | (name, value) :: rest ->
+          go ((name, value ^ " " ^ trim_ows line) :: rest) count
+    else
+      match String.index_opt line ':' with
+      | None | Some 0 -> raise (Fail (Bad_request "malformed header"))
+      | Some i ->
+          let name = String.sub line 0 i in
+          if not (String.for_all is_tchar name) then
+            raise (Fail (Bad_request "malformed header name"));
+          let value = trim_ows (String.sub line (i + 1) (String.length line - i - 1)) in
+          go ((String.lowercase_ascii name, value) :: acc) (count + 1)
+  in
+  go [] 0
+
+let find_header headers name =
+  List.assoc_opt (String.lowercase_ascii name) headers
+
+let content_length headers =
+  match List.filter (fun (n, _) -> n = "content-length") headers with
+  | [] -> None
+  | (_, v) :: rest ->
+      if List.exists (fun (_, v') -> v' <> v) rest then
+        raise (Fail (Bad_request "conflicting content-length"));
+      if v = "" || not (String.for_all (function '0' .. '9' -> true | _ -> false) v)
+      then raise (Fail (Bad_request "malformed content-length"));
+      (* 19 digits can overflow int; anything that long is absurd anyway. *)
+      if String.length v > 15 then raise (Fail Payload_too_large);
+      Some (int_of_string v)
+
+let default_max_body = 1 lsl 20
+
+let read_request ?(max_body = default_max_body) r =
+  r.sawbytes <- false;
+  match
+    let meth, path, query, version = parse_request_line (read_line r) in
+    let headers = read_headers r in
+    if find_header headers "transfer-encoding" <> None then
+      raise (Fail (Bad_request "transfer-encoding not supported"));
+    let body =
+      match content_length headers with
+      | None -> ""
+      | Some n ->
+          if n > max_body then raise (Fail Payload_too_large);
+          read_exactly r n
+    in
+    { meth; path; query; version; headers; body }
+  with
+  | req -> Ok req
+  | exception Fail e -> Error e
+
+let header req name = find_header req.headers name
+
+let query_param req name = List.assoc_opt name req.query
+
+let keep_alive req =
+  let conn =
+    Option.map String.lowercase_ascii (header req "connection")
+  in
+  match req.version, conn with
+  | _, Some "close" -> false
+  | "HTTP/1.0", Some "keep-alive" -> true
+  | "HTTP/1.0", _ -> false
+  | _, _ -> true
+
+(* --- responses --- *)
+
+type response = {
+  status : int;
+  reason : string;
+  resp_headers : (string * string) list;
+  resp_body : string;
+}
+
+let status_reason = function
+  | 200 -> "OK"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Payload Too Large"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | s when s >= 200 && s < 300 -> "OK"
+  | s when s >= 400 && s < 500 -> "Client Error"
+  | _ -> "Server Error"
+
+let response ?(headers = []) ~status body =
+  { status; reason = status_reason status; resp_headers = headers; resp_body = body }
+
+let response_to_string ?(keep_alive = true) resp =
+  let b = Buffer.create (256 + String.length resp.resp_body) in
+  Buffer.add_string b
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" resp.status resp.reason);
+  List.iter
+    (fun (n, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" n v))
+    resp.resp_headers;
+  Buffer.add_string b
+    (Printf.sprintf "Content-Length: %d\r\n" (String.length resp.resp_body));
+  Buffer.add_string b
+    (if keep_alive then "Connection: keep-alive\r\n" else "Connection: close\r\n");
+  Buffer.add_string b "\r\n";
+  Buffer.add_string b resp.resp_body;
+  Buffer.contents b
+
+let read_response r =
+  r.sawbytes <- false;
+  match
+    let line = read_line r in
+    let status =
+      match String.split_on_char ' ' line with
+      | version :: code :: _
+        when String.length version >= 5 && String.sub version 0 5 = "HTTP/" -> (
+          match int_of_string_opt code with
+          | Some s when s >= 100 && s <= 599 -> s
+          | _ -> raise (Fail (Bad_request "malformed status code")))
+      | _ -> raise (Fail (Bad_request "malformed status line"))
+    in
+    let headers = read_headers r in
+    let body =
+      match content_length headers with
+      | None -> ""
+      | Some n -> read_exactly r n
+    in
+    (status, headers, body)
+  with
+  | resp -> Ok resp
+  | exception Fail e -> Error e
+
+(* --- socket helpers --- *)
+
+let write_all fd s =
+  let len = String.length s in
+  let pos = ref 0 in
+  while !pos < len do
+    let n = Unix.write_substring fd s !pos (len - !pos) in
+    pos := !pos + n
+  done

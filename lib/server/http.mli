@@ -1,0 +1,97 @@
+(** Minimal HTTP/1.1 message layer for {!Server} — hand-rolled on the
+    stdlib, no external dependency.
+
+    Scope: request line + headers + [Content-Length] bodies, keep-alive,
+    and the handful of status codes the server actually emits (200, 400,
+    404, 405, 408, 413, 500, 503).  Chunked transfer encoding is
+    rejected with 400 rather than implemented.
+
+    Parsing reads from a {!reader}, an abstraction over "give me more
+    bytes" that can wrap a socket, a string, or a function — so the
+    parser is unit-testable without sockets (folding, pipelining,
+    malformed request lines, oversized bodies). *)
+
+(** {2 Readers} *)
+
+type reader
+
+val reader_of_string : string -> reader
+(** A reader over an in-memory byte sequence (tests; pipelined request
+    streams). *)
+
+val reader_of_fd : Unix.file_descr -> reader
+(** A reader over a socket or file.  A receive timeout set on the fd
+    ([SO_RCVTIMEO]) surfaces as [Error Timeout] from the parser. *)
+
+val reader_of_function : (bytes -> int -> int -> int) -> reader
+(** [reader_of_function refill]: [refill buf pos len] returns the number
+    of bytes written into [buf] at [pos] (≤ [len]), 0 at end of input. *)
+
+(** {2 Requests} *)
+
+type request = {
+  meth : string;  (** verb, verbatim (["GET"], ["POST"], …) *)
+  path : string;  (** request target up to ['?'], percent-decoded *)
+  query : (string * string) list;  (** decoded query parameters, in order *)
+  version : string;  (** ["HTTP/1.0"] or ["HTTP/1.1"] *)
+  headers : (string * string) list;
+      (** names lowercased, values trimmed, obs-folds unfolded;
+          in arrival order *)
+  body : string;
+}
+
+type error =
+  | Bad_request of string  (** malformed message → respond 400 *)
+  | Payload_too_large  (** declared [Content-Length] over the cap → 413 *)
+  | Timeout  (** slow client: the reader's receive timeout fired *)
+  | Closed  (** clean EOF before a request line (keep-alive end) *)
+
+val in_message : reader -> bool
+(** Did the last [read_request]/[read_response] consume any bytes
+    before failing?  Distinguishes a slow client mid-request (worth a
+    408 response) from an idle keep-alive connection timing out (just
+    close it). *)
+
+val read_request : ?max_body:int -> reader -> (request, error) result
+(** Parse one request.  Reads exactly one message from the reader, so
+    calling it again on the same reader yields the next pipelined
+    request.  [max_body] (default 1 MiB) caps the declared
+    [Content-Length].  EOF in the middle of a message (after any byte of
+    it has been read) is [Bad_request], not [Closed]. *)
+
+val header : request -> string -> string option
+(** Case-insensitive header lookup (first match). *)
+
+val query_param : request -> string -> string option
+
+val keep_alive : request -> bool
+(** HTTP/1.1 defaults to persistent unless [Connection: close];
+    HTTP/1.0 is persistent only with [Connection: keep-alive]. *)
+
+(** {2 Responses} *)
+
+type response = {
+  status : int;
+  reason : string;
+  resp_headers : (string * string) list;
+  resp_body : string;
+}
+
+val response : ?headers:(string * string) list -> status:int -> string -> response
+(** [reason] is derived from [status]. *)
+
+val status_reason : int -> string
+
+val response_to_string : ?keep_alive:bool -> response -> string
+(** Serialized message with [Content-Length] and [Connection] headers
+    added (default [keep_alive:true]). *)
+
+val read_response : reader -> (int * (string * string) list * string, error) result
+(** Client side: parse one response — [(status, headers, body)].  The
+    body requires a [Content-Length] (the server always sends one). *)
+
+(** {2 Socket helpers} *)
+
+val write_all : Unix.file_descr -> string -> unit
+(** Loop until written.  @raise Unix.Unix_error on broken pipes and
+    send timeouts — callers treat any failure as "drop the connection". *)

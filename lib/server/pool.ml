@@ -1,0 +1,75 @@
+type t = {
+  jobs : (unit -> unit) Queue.t;
+  queue_cap : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+  on_error : exn -> unit;
+}
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let worker_loop t =
+  let rec next () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.jobs && not t.stopping do
+      Condition.wait t.work_ready t.mutex
+    done;
+    (* Drain the queue even when stopping: shutdown promised every
+       accepted job runs. *)
+    if Queue.is_empty t.jobs then begin
+      Mutex.unlock t.mutex;
+      ()
+    end
+    else begin
+      let job = Queue.pop t.jobs in
+      Mutex.unlock t.mutex;
+      (try job () with e -> (try t.on_error e with _ -> ()));
+      next ()
+    end
+  in
+  next ()
+
+let create ?(on_error = fun _ -> ()) ~workers ~queue_cap () =
+  if workers < 1 then invalid_arg "Pool.create: workers < 1";
+  if queue_cap < 1 then invalid_arg "Pool.create: queue_cap < 1";
+  let t =
+    {
+      jobs = Queue.create ();
+      queue_cap;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      stopping = false;
+      domains = [];
+      on_error;
+    }
+  in
+  t.domains <- List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let submit t job =
+  with_lock t (fun () ->
+      if t.stopping || Queue.length t.jobs >= t.queue_cap then false
+      else begin
+        Queue.push job t.jobs;
+        Condition.signal t.work_ready;
+        true
+      end)
+
+let queue_depth t = with_lock t (fun () -> Queue.length t.jobs)
+
+let workers t = List.length t.domains
+
+let shutdown t =
+  let ds =
+    with_lock t (fun () ->
+        t.stopping <- true;
+        Condition.broadcast t.work_ready;
+        let ds = t.domains in
+        t.domains <- [];
+        ds)
+  in
+  List.iter Domain.join ds

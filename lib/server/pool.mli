@@ -1,0 +1,37 @@
+(** Fixed pool of worker domains draining a bounded job queue — the
+    server's admission-control core.
+
+    The queue bound is the load-shedding mechanism: {!submit} never
+    blocks, it returns [false] when the queue is full (or the pool is
+    shutting down) and the caller sheds the request (HTTP 503) instead
+    of letting an unbounded backlog grow.  A bounded queue keeps
+    worst-case latency proportional to [queue_cap / workers] jobs,
+    where unbounded accept would let every queued client time out.
+
+    Workers are {!Domain}s, so jobs run in parallel; anything a job
+    touches that is shared must be synchronized (the server shares an
+    immutable {!Xfrag_core.Context} and a [~synchronized]
+    {!Xfrag_core.Join_cache}).  A job that raises is dropped (the
+    exception is swallowed after an optional [on_error] callback); it
+    never kills the worker. *)
+
+type t
+
+val create :
+  ?on_error:(exn -> unit) -> workers:int -> queue_cap:int -> unit -> t
+(** Spawns [workers] ≥ 1 domains.  [queue_cap] ≥ 1 bounds jobs waiting
+    (jobs being executed don't count). *)
+
+val submit : t -> (unit -> unit) -> bool
+(** Enqueue a job; [false] — without blocking — if the queue is at
+    capacity or {!shutdown} has begun. *)
+
+val queue_depth : t -> int
+(** Jobs currently waiting (not yet picked up by a worker). *)
+
+val workers : t -> int
+
+val shutdown : t -> unit
+(** Graceful drain: stop accepting new jobs, let workers finish every
+    job already queued, then join them.  Idempotent; blocks until the
+    pool is quiescent. *)

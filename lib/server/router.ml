@@ -1,0 +1,300 @@
+module Context = Xfrag_core.Context
+module Fragment = Xfrag_core.Fragment
+module Frag_set = Xfrag_core.Frag_set
+module Filter = Xfrag_core.Filter
+module Query = Xfrag_core.Query
+module Eval = Xfrag_core.Eval
+module Explain = Xfrag_core.Explain
+module Deadline = Xfrag_core.Deadline
+module Op_stats = Xfrag_core.Op_stats
+module Join_cache = Xfrag_core.Join_cache
+module Doctree = Xfrag_doctree.Doctree
+module Json = Xfrag_obs.Json
+module Metrics = Xfrag_obs.Metrics
+module Prometheus = Xfrag_obs.Prometheus
+module Clock = Xfrag_obs.Clock
+
+type t = {
+  ctx : Context.t;
+  cache : Join_cache.t option;
+  default_deadline_ns : int option;
+  mutable queue_depth : unit -> int;
+  registry : Metrics.t;
+  reg_lock : Mutex.t;
+      (* Workers run in parallel domains and the registry's get-or-create
+         Hashtbl is not; every registry touch goes through this lock. *)
+}
+
+let create ?cache ?default_deadline_ns ?(queue_depth = fun () -> 0) ctx =
+  {
+    ctx;
+    cache;
+    default_deadline_ns;
+    queue_depth;
+    registry = Metrics.create ();
+    reg_lock = Mutex.create ();
+  }
+
+let set_queue_depth t f = t.queue_depth <- f
+
+let locked t f =
+  Mutex.lock t.reg_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.reg_lock) f
+
+let record t ~endpoint ~status ~ns =
+  locked t (fun () ->
+      Metrics.Counter.incr
+        (Metrics.counter t.registry
+           (Printf.sprintf "server.requests{endpoint=%S,status=\"%d\"}" endpoint
+              status));
+      Metrics.Histogram.observe
+        (Metrics.histogram t.registry
+           (Printf.sprintf "server.latency_ns{endpoint=%S}" endpoint))
+        (float_of_int ns))
+
+let record_shed t =
+  locked t (fun () ->
+      Metrics.Counter.incr (Metrics.counter t.registry "server.shed");
+      Metrics.Counter.incr
+        (Metrics.counter t.registry
+           "server.requests{endpoint=\"*\",status=\"503\"}"))
+
+let metrics_page t =
+  locked t (fun () ->
+      Metrics.Gauge.set
+        (Metrics.gauge t.registry "server.queue_depth")
+        (float_of_int (t.queue_depth ()));
+      (match t.cache with
+      | None -> ()
+      | Some c ->
+          List.iter
+            (fun (name, v) ->
+              let c = Metrics.counter t.registry ("server." ^ name) in
+              Metrics.Counter.add c (v - Metrics.Counter.value c))
+            (Join_cache.metrics_assoc c));
+      Prometheus.render t.registry)
+
+(* --- JSON plumbing --- *)
+
+let json_response ~status j =
+  Http.response
+    ~headers:[ ("Content-Type", "application/json") ]
+    ~status
+    (Json.to_string j ^ "\n")
+
+let error_response ~status msg =
+  json_response ~status (Json.Obj [ ("error", Json.String msg) ])
+
+exception Reject of Http.response
+
+let reject ~status msg = raise (Reject (error_response ~status msg))
+
+let member_opt key decode what j =
+  match Json.member key j with
+  | None -> None
+  | Some v -> (
+      match decode v with
+      | Some x -> Some x
+      | None -> reject ~status:400 (Printf.sprintf "%S must be %s" key what))
+
+(* --- request body --- *)
+
+type query_request = {
+  query : Query.t;
+  strategy : Eval.strategy;
+  strict_leaf : bool;
+  deadline_ms : int option;
+  limit : int;
+}
+
+let keywords_of_json j =
+  match member_opt "keywords" Json.to_list_opt "an array" j with
+  | None -> reject ~status:400 "missing \"keywords\""
+  | Some l ->
+      List.map
+        (fun k ->
+          match Json.to_string_opt k with
+          | Some s when s <> "" -> s
+          | _ -> reject ~status:400 "\"keywords\" must be non-empty strings")
+        l
+
+let filter_of_json j =
+  let from_string =
+    match member_opt "filter" Json.to_string_opt "a string" j with
+    | None -> Filter.True
+    | Some s -> (
+        match Filter.of_string s with
+        | Ok f -> f
+        | Error msg -> reject ~status:400 ("bad \"filter\": " ^ msg))
+  in
+  let from_bounds =
+    match Json.member "filters" j with
+    | None -> Filter.True
+    | Some bounds ->
+        let bound key make =
+          Option.map make (member_opt key Json.to_int_opt "an integer" bounds)
+        in
+        Filter.conjoin
+          (List.filter_map Fun.id
+             [
+               bound "max_size" (fun n -> Filter.Size_at_most n);
+               bound "max_height" (fun n -> Filter.Height_at_most n);
+               bound "max_width" (fun n -> Filter.Width_at_most n);
+             ])
+  in
+  Filter.conjoin [ from_bounds; from_string ]
+
+let query_request_of_body body =
+  let j =
+    match Json.of_string body with
+    | Ok j -> j
+    | Error msg -> reject ~status:400 ("bad JSON body: " ^ msg)
+  in
+  let keywords = keywords_of_json j in
+  let filter = filter_of_json j in
+  let query =
+    match Query.make ~filter keywords with
+    | q -> q
+    | exception Invalid_argument msg -> reject ~status:400 msg
+  in
+  let strategy =
+    match member_opt "strategy" Json.to_string_opt "a string" j with
+    | None -> Eval.Auto
+    | Some s -> (
+        match Eval.strategy_of_string s with
+        | Ok s -> s
+        | Error msg -> reject ~status:400 msg)
+  in
+  let strict_leaf =
+    Option.value ~default:false
+      (member_opt "strict_leaf" Json.to_bool_opt "a boolean" j)
+  in
+  let deadline_ms = member_opt "deadline_ms" Json.to_int_opt "an integer" j in
+  let limit =
+    Option.value ~default:100 (member_opt "limit" Json.to_int_opt "an integer" j)
+  in
+  { query; strategy; strict_leaf; deadline_ms; limit }
+
+let deadline_of t req (qr : query_request) =
+  let ns =
+    match Http.query_param req "deadline_ns" with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n >= 0 -> Some n
+        | _ -> reject ~status:400 "deadline_ns must be a non-negative integer")
+    | None -> (
+        match qr.deadline_ms with
+        | Some ms when ms >= 0 -> Some (ms * 1_000_000)
+        | Some _ -> reject ~status:400 "deadline_ms must be non-negative"
+        | None -> t.default_deadline_ns)
+  in
+  match ns with None -> Deadline.none | Some ns -> Deadline.after ns
+
+(* --- /query --- *)
+
+let fragment_json ctx f =
+  let root = Fragment.root f in
+  Json.Obj
+    [
+      ("root", Json.Int root);
+      ("label", Json.String (Doctree.label ctx.Context.tree root));
+      ( "nodes",
+        Json.List
+          (List.map (fun n -> Json.Int n)
+             (Xfrag_util.Int_sorted.to_list (Fragment.nodes f))) );
+    ]
+
+let stats_json stats =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (Op_stats.to_assoc stats))
+
+let handle_query t req =
+  let qr = query_request_of_body req.Http.body in
+  let deadline = deadline_of t req qr in
+  let outcome =
+    try
+      Eval.run ~strategy:qr.strategy ~strict_leaf_semantics:qr.strict_leaf
+        ?cache:t.cache ~deadline t.ctx qr.query
+    with Invalid_argument msg -> reject ~status:400 msg
+  in
+  let answers = Frag_set.elements outcome.Eval.answers in
+  let count = List.length answers in
+  let shown =
+    if qr.limit > 0 && count > qr.limit then List.filteri (fun i _ -> i < qr.limit) answers
+    else answers
+  in
+  json_response ~status:200
+    (Json.Obj
+       [
+         ("count", Json.Int count);
+         ( "strategy",
+           Json.String (Eval.strategy_name outcome.Eval.strategy_used) );
+         ("elapsed_ns", Json.Int outcome.Eval.elapsed_ns);
+         ("answers", Json.List (List.map (fragment_json t.ctx) shown));
+         ("stats", stats_json outcome.Eval.stats);
+       ])
+
+(* --- /explain --- *)
+
+let rec explain_node_json (n : Explain.node) =
+  Json.Obj
+    [
+      ("op", Json.String n.Explain.op);
+      ("rows", Json.Int n.Explain.rows);
+      ("in_rows", Json.List (List.map (fun r -> Json.Int r) n.Explain.in_rows));
+      ("self_ns", Json.Int n.Explain.self_ns);
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) n.Explain.counters) );
+      ("children", Json.List (List.map explain_node_json n.Explain.children));
+    ]
+
+let handle_explain t req =
+  let qr = query_request_of_body req.Http.body in
+  let deadline = deadline_of t req qr in
+  let report = Explain.analyze ?cache:t.cache ~deadline t.ctx qr.query in
+  let plan_str = Format.asprintf "%a" Xfrag_core.Plan.pp report.Explain.plan in
+  json_response ~status:200
+    (Json.Obj
+       [
+         ("plan", Json.String plan_str);
+         ("estimated_cost", Json.Float report.Explain.estimated_cost);
+         ("total_ns", Json.Int report.Explain.total_ns);
+         ("count", Json.Int (Frag_set.cardinal report.Explain.answers));
+         ("root", explain_node_json report.Explain.root);
+       ])
+
+(* --- dispatch --- *)
+
+let method_not_allowed allow =
+  Http.response
+    ~headers:[ ("Allow", allow); ("Content-Type", "application/json") ]
+    ~status:405
+    (Json.to_string (Json.Obj [ ("error", Json.String "method not allowed") ])
+    ^ "\n")
+
+let dispatch t req =
+  match (req.Http.meth, req.Http.path) with
+  | "POST", "/query" -> handle_query t req
+  | "POST", "/explain" -> handle_explain t req
+  | "GET", "/healthz" ->
+      Http.response ~headers:[ ("Content-Type", "text/plain") ] ~status:200 "ok\n"
+  | "GET", "/metrics" ->
+      Http.response
+        ~headers:[ ("Content-Type", "text/plain; version=0.0.4") ]
+        ~status:200 (metrics_page t)
+  | _, ("/query" | "/explain") -> method_not_allowed "POST"
+  | _, ("/healthz" | "/metrics") -> method_not_allowed "GET"
+  | _, _ -> error_response ~status:404 "not found"
+
+let handle t req =
+  let t0 = Clock.monotonic () in
+  let resp =
+    try dispatch t req with
+    | Reject resp -> resp
+    | Deadline.Expired -> error_response ~status:408 "deadline exceeded"
+    | e ->
+        error_response ~status:500
+          ("internal error: " ^ Printexc.to_string e)
+  in
+  record t ~endpoint:req.Http.path ~status:resp.Http.status
+    ~ns:(Clock.monotonic () - t0);
+  resp

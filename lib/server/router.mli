@@ -1,0 +1,57 @@
+(** Request dispatch for {!Server}: maps parsed {!Http.request}s to
+    responses against one shared document context.
+
+    Endpoints:
+    - [POST /query] — evaluate a keyword query.  JSON body:
+      [{"keywords": ["a","b"], "filter": "size<=5",
+        "filters": {"max_size": 5, "max_height": 3, "max_width": 4},
+        "strategy": "auto", "strict_leaf": false, "deadline_ms": 100,
+        "limit": 50}] — everything but [keywords] optional; [filter]
+      (CLI syntax) and [filters] (the common bounds spelled out) are
+      conjoined.  Answer: [{"count", "strategy", "elapsed_ns",
+      "answers": [{"root","label","nodes"}…], "stats": {…}}].
+    - [POST /explain] — same body; runs EXPLAIN ANALYZE and returns the
+      annotated operator tree as JSON.
+    - [GET /healthz] — liveness probe, ["ok"].
+    - [GET /metrics] — Prometheus text exposition of the server
+      registry (request counts by endpoint and status, latency
+      histograms, queue depth, shed count).
+
+    Every request carries a deadline: [?deadline_ns=N] (query
+    parameter) overrides the body's [deadline_ms], which overrides the
+    router's default.  A query that exceeds it aborts cooperatively
+    (see {!Xfrag_core.Deadline}) and answers 408.
+
+    Wrong method on a known path is 405 with [Allow]; unknown paths are
+    404; undecodable bodies are 400.  [handle] never raises. *)
+
+type t
+
+val create :
+  ?cache:Xfrag_core.Join_cache.t ->
+  ?default_deadline_ns:int ->
+  ?queue_depth:(unit -> int) ->
+  Xfrag_core.Context.t ->
+  t
+(** [cache] should be [~synchronized:true] when the server runs more
+    than one worker (see {!Xfrag_core.Join_cache}).  [queue_depth]
+    feeds the [server_queue_depth] gauge at scrape time. *)
+
+val set_queue_depth : t -> (unit -> int) -> unit
+(** Replace the queue-depth probe — {!Server.start} wires the pool's
+    depth in here (the pool doesn't exist yet when the router is
+    built). *)
+
+val handle : t -> Http.request -> Http.response
+(** Dispatch one request, recording per-endpoint request counters and
+    latency into the registry. *)
+
+val record : t -> endpoint:string -> status:int -> ns:int -> unit
+(** Account a request the router never saw — the listener uses this for
+    shed (503) and malformed (400/408/413) connections. *)
+
+val record_shed : t -> unit
+(** Bump the load-shedding counter (and the 503 request counter). *)
+
+val metrics_page : t -> string
+(** The [GET /metrics] body (also reachable through {!handle}). *)

@@ -1,0 +1,153 @@
+type config = {
+  host : string;
+  port : int;
+  workers : int;
+  queue_cap : int;
+  max_body : int;
+  io_timeout_s : float;
+  keepalive_max : int;
+  default_deadline_ns : int option;
+}
+
+let default_workers =
+  min 4 (max 1 (Domain.recommended_domain_count () - 1))
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    workers = default_workers;
+    queue_cap = 64;
+    max_body = 1 lsl 20;
+    io_timeout_s = 10.0;
+    keepalive_max = 100;
+    default_deadline_ns = None;
+  }
+
+type t = {
+  config : config;
+  router : Router.t;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  pool : Pool.t;
+  stopping : bool Atomic.t;
+}
+
+let shed_response =
+  Http.response_to_string ~keep_alive:false
+    (Http.response
+       ~headers:
+         [ ("Retry-After", "1"); ("Content-Type", "application/json") ]
+       ~status:503 "{\"error\":\"server overloaded\"}\n")
+
+let start ?(config = default_config) router =
+  (* A peer that disappears mid-write must surface as EPIPE, not kill
+     the process. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  (try
+     Unix.bind fd
+       (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+     Unix.listen fd 128
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  let pool =
+    Pool.create ~workers:config.workers ~queue_cap:config.queue_cap ()
+  in
+  Router.set_queue_depth router (fun () -> Pool.queue_depth pool);
+  {
+    config;
+    router;
+    listen_fd = fd;
+    bound_port;
+    pool;
+    stopping = Atomic.make false;
+  }
+
+let port t = t.bound_port
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then
+    (* Wake a blocked accept: on Linux, shutting the listening socket
+       down makes accept fail with EINVAL.  run() closes the fd. *)
+    try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with _ -> ()
+
+let install_signal_handlers t =
+  let handler = Sys.Signal_handle (fun _ -> stop t) in
+  Sys.set_signal Sys.sigint handler;
+  Sys.set_signal Sys.sigterm handler
+
+(* Serve one connection: up to keepalive_max requests, closing on
+   errors, Connection: close, or server shutdown.  Runs on a worker
+   domain; all shared state it reaches (router registry, join cache) is
+   synchronized. *)
+let handle_conn t fd =
+  let reader = Http.reader_of_fd fd in
+  let send resp ~keep_alive =
+    Http.write_all fd (Http.response_to_string ~keep_alive resp)
+  in
+  let fail ~status msg =
+    Router.record t.router ~endpoint:"*" ~status ~ns:0;
+    send ~keep_alive:false
+      (Http.response
+         ~headers:[ ("Content-Type", "application/json") ]
+         ~status
+         (Printf.sprintf "{\"error\":%s}\n" (Xfrag_obs.Json.escape_string msg)))
+  in
+  let rec serve n =
+    match Http.read_request ~max_body:t.config.max_body reader with
+    | Error Http.Closed -> ()
+    | Error Http.Timeout ->
+        (* Mid-request: the client is too slow, tell it so.  Idle
+           keep-alive connection: just hang up. *)
+        if Http.in_message reader then fail ~status:408 "request read timeout"
+    | Error (Http.Bad_request msg) -> fail ~status:400 msg
+    | Error Http.Payload_too_large -> fail ~status:413 "request body too large"
+    | Ok req ->
+        let resp = Router.handle t.router req in
+        let keep_alive =
+          Http.keep_alive req
+          && n + 1 < t.config.keepalive_max
+          && not (Atomic.get t.stopping)
+        in
+        send resp ~keep_alive;
+        if keep_alive then serve (n + 1)
+  in
+  (* Any socket error (EPIPE, send timeout) just drops the connection. *)
+  (try serve 0 with _ -> ());
+  try Unix.close fd with _ -> ()
+
+let accept_one t =
+  let conn, _peer = Unix.accept t.listen_fd in
+  (try
+     Unix.setsockopt_float conn Unix.SO_RCVTIMEO t.config.io_timeout_s;
+     Unix.setsockopt_float conn Unix.SO_SNDTIMEO t.config.io_timeout_s
+   with _ -> ());
+  if not (Pool.submit t.pool (fun () -> handle_conn t conn)) then begin
+    (* Queue full: shed inline from the accept loop. *)
+    Router.record_shed t.router;
+    (try Http.write_all conn shed_response with _ -> ());
+    try Unix.close conn with _ -> ()
+  end
+
+let run t =
+  let rec loop () =
+    if not (Atomic.get t.stopping) then
+      match accept_one t with
+      | () -> loop ()
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+          loop ()
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+          (* stop() shut the listening socket down. *)
+          ()
+  in
+  loop ();
+  Pool.shutdown t.pool;
+  try Unix.close t.listen_fd with _ -> ()

@@ -1,0 +1,54 @@
+(** TCP listener + worker pool: the [xfrag serve] engine.
+
+    One immutable {!Xfrag_core.Context} (inside the {!Router}) and one
+    synchronized {!Xfrag_core.Join_cache} are shared by every worker.
+    The accept loop stays cheap — accept, try to enqueue, on a full
+    queue answer [503 Retry-After] inline and close (load shedding; see
+    {!Pool}).  Workers own connections: they parse requests, dispatch
+    through the router, and keep the connection alive up to
+    [keepalive_max] requests.  Slow clients are bounded by kernel
+    send/receive timeouts on the connection socket, so a stalled peer
+    can never wedge a worker for more than [io_timeout_s].
+
+    Shutdown is graceful: {!stop} (or SIGINT/SIGTERM once
+    {!install_signal_handlers} ran) makes the accept loop exit, queued
+    connections still get served, workers are joined, and {!run}
+    returns normally — the CLI then exits 0. *)
+
+type config = {
+  host : string;  (** bind address (default ["127.0.0.1"]) *)
+  port : int;  (** 0 = ephemeral; see {!port} for the actual one *)
+  workers : int;  (** worker domains (default: cores-1, capped at 4) *)
+  queue_cap : int;  (** waiting connections before shedding (default 64) *)
+  max_body : int;  (** request-body cap in bytes → 413 (default 1 MiB) *)
+  io_timeout_s : float;  (** per-socket read/write timeout (default 10s) *)
+  keepalive_max : int;  (** requests served per connection (default 100) *)
+  default_deadline_ns : int option;
+      (** deadline applied to requests that don't set one (default none) *)
+}
+
+val default_config : config
+
+type t
+
+val start : ?config:config -> Router.t -> t
+(** Bind + listen (with [SO_REUSEADDR]) and spawn the worker pool.  The
+    socket is listening when [start] returns — connects succeed even
+    before {!run} — so "bind, print {!port}, then {!run}" has no
+    accept race.  Ignores [SIGPIPE] process-wide (a client hanging up
+    mid-response must not kill the server).
+    @raise Unix.Unix_error if the address cannot be bound. *)
+
+val port : t -> int
+(** The bound port — meaningful when the config asked for port 0. *)
+
+val run : t -> unit
+(** Accept loop; blocks until {!stop}.  Returns only after the drain:
+    every accepted connection has been served and workers joined. *)
+
+val stop : t -> unit
+(** Request shutdown from any thread or signal handler; idempotent,
+    returns immediately ({!run} does the draining). *)
+
+val install_signal_handlers : t -> unit
+(** SIGINT and SIGTERM → {!stop}. *)

@@ -1,0 +1,138 @@
+(* End-to-end smoke test for `xfrag serve`, run as its own executable
+   (CI leg, not part of runtest): start the real binary on an ephemeral
+   port, issue a query, scrape /metrics, then assert that SIGTERM
+   drains gracefully and the process exits 0.
+
+   Usage: server_smoke.exe [path-to-xfrag.exe] *)
+
+module Client = Xfrag_server.Client
+module Json = Xfrag_obs.Json
+
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("FAIL: " ^ msg); exit 1) fmt
+
+let step fmt = Printf.ksprintf (fun msg -> print_endline ("smoke: " ^ msg)) fmt
+
+let contains ~sub s = Astring.String.find_sub ~sub s <> None
+
+let () =
+  let xfrag =
+    if Array.length Sys.argv > 1 then Sys.argv.(1)
+    else "_build/default/bin/xfrag.exe"
+  in
+  if not (Sys.file_exists xfrag) then die "xfrag binary not found at %s" xfrag;
+
+  (* A synthetic document to serve. *)
+  let doc = Filename.temp_file "xfrag_smoke" ".xml" in
+  let oc = open_out doc in
+  output_string oc (Xfrag_workload.Docgen.generate_xml Xfrag_workload.Docgen.default);
+  close_out oc;
+
+  (* Start the server on an ephemeral port; its stdout names the port. *)
+  let out_read, out_write = Unix.pipe ~cloexec:false () in
+  let pid =
+    Unix.create_process xfrag
+      [| xfrag; "serve"; doc; "--port"; "0"; "--request-timeout-ms"; "5000" |]
+      Unix.stdin out_write Unix.stderr
+  in
+  Unix.close out_write;
+  let cleanup () =
+    (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+    (try Sys.remove doc with Sys_error _ -> ())
+  in
+  let ic = Unix.in_channel_of_descr out_read in
+  let first_line =
+    match input_line ic with
+    | line -> line
+    | exception End_of_file ->
+        cleanup ();
+        die "server exited before announcing its port"
+  in
+  (* The line reads "xfrag: listening on HOST:PORT (...)". *)
+  let port =
+    match String.rindex_opt first_line ':' with
+    | None ->
+        cleanup ();
+        die "cannot find port in %S" first_line
+    | Some i -> (
+        let rest =
+          String.sub first_line (i + 1) (String.length first_line - i - 1)
+        in
+        let digits =
+          String.to_seq rest
+          |> Seq.take_while (fun c -> c >= '0' && c <= '9')
+          |> String.of_seq
+        in
+        match int_of_string_opt digits with
+        | Some p -> p
+        | None ->
+            cleanup ();
+            die "cannot parse port from %S" first_line)
+  in
+  step "server pid %d on port %d" pid port;
+
+  (* Health. *)
+  (match Client.once ~host:"127.0.0.1" ~port ~meth:"GET" ~path:"/healthz" () with
+  | Ok (200, _, "ok\n") -> step "healthz ok"
+  | Ok (s, _, body) -> (cleanup (); die "healthz: %d %s" s body)
+  | Error e -> (cleanup (); die "healthz: %s" e));
+
+  (* A real query. *)
+  let body = {|{"keywords":["term0000"],"filters":{"max_size":3},"limit":5}|} in
+  (match
+     Client.once ~host:"127.0.0.1" ~port ~meth:"POST" ~path:"/query" ~body ()
+   with
+  | Ok (200, _, reply) -> (
+      match Json.of_string reply with
+      | Ok j when Option.bind (Json.member "count" j) Json.to_int_opt <> None ->
+          step "query ok: %s" (String.sub reply 0 (min 60 (String.length reply)))
+      | Ok _ -> (cleanup (); die "query reply missing count: %s" reply)
+      | Error e -> (cleanup (); die "query reply not JSON: %s" e))
+  | Ok (s, _, reply) -> (cleanup (); die "query: %d %s" s reply)
+  | Error e -> (cleanup (); die "query: %s" e));
+
+  (* Deadline enforcement through the HTTP surface. *)
+  (match
+     Client.once ~host:"127.0.0.1" ~port ~meth:"POST"
+       ~path:"/query?deadline_ns=1"
+       ~body:{|{"keywords":["term0000","term0001"],"strategy":"semi-naive"}|}
+       ()
+   with
+  | Ok (408, _, _) -> step "deadline -> 408 ok"
+  | Ok (s, _, reply) -> (cleanup (); die "deadline: got %d %s" s reply)
+  | Error e -> (cleanup (); die "deadline: %s" e));
+
+  (* Metrics must reflect the traffic above. *)
+  (match Client.once ~host:"127.0.0.1" ~port ~meth:"GET" ~path:"/metrics" () with
+  | Ok (200, _, page) ->
+      List.iter
+        (fun sub ->
+          if not (contains ~sub page) then
+            (cleanup (); die "metrics page lacks %S" sub))
+        [
+          "server_requests{endpoint=\"/query\",status=\"200\"} 1";
+          "server_requests{endpoint=\"/query\",status=\"408\"} 1";
+          "server_requests{endpoint=\"/healthz\",status=\"200\"} 1";
+          "server_latency_ns_bucket{endpoint=\"/query\"";
+          "server_queue_depth";
+        ];
+      step "metrics ok (%d bytes)" (String.length page)
+  | Ok (s, _, _) -> (cleanup (); die "metrics: %d" s)
+  | Error e -> (cleanup (); die "metrics: %s" e));
+
+  (* Graceful shutdown: SIGTERM must drain and exit 0. *)
+  Unix.kill pid Sys.sigterm;
+  let rec wait_exit tries =
+    if tries = 0 then (cleanup (); die "server did not exit after SIGTERM")
+    else
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ ->
+          Unix.sleepf 0.1;
+          wait_exit (tries - 1)
+      | _, Unix.WEXITED 0 -> step "SIGTERM -> clean exit 0"
+      | _, Unix.WEXITED n -> (cleanup (); die "exit code %d" n)
+      | _, (Unix.WSIGNALED n | Unix.WSTOPPED n) ->
+          (cleanup (); die "killed/stopped by signal %d" n)
+  in
+  wait_exit 100;
+  (try Sys.remove doc with Sys_error _ -> ());
+  print_endline "smoke: PASS"

@@ -1,0 +1,153 @@
+(* Codec robustness: the .doctree decoder takes untrusted bytes, so
+   corruption — truncation at every byte boundary, single-bit flips,
+   bogus header length fields — must come back as [Error] (or a still-
+   valid tree, for flips in text content), never an exception and never
+   an allocation driven by a corrupt count. *)
+
+module Codec = Xfrag_doctree.Codec
+module Doctree = Xfrag_doctree.Doctree
+module Paper = Xfrag_workload.Paper_doc
+
+let golden () = Codec.to_string (Paper.figure1 ())
+
+let decode_never_raises name data =
+  match Codec.of_string data with
+  | Ok tree -> (
+      match Doctree.validate tree with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s: decoded an invalid tree: %s" name msg)
+  | Error _ -> ()
+  | exception e ->
+      Alcotest.failf "%s: decoder raised %s" name (Printexc.to_string e)
+
+let test_round_trip () =
+  let data = golden () in
+  match Codec.of_string data with
+  | Error e -> Alcotest.failf "golden round trip failed: %s" e
+  | Ok tree ->
+      Alcotest.(check string) "byte-identical re-encoding" data
+        (Codec.to_string tree);
+      Alcotest.(check int) "size" (Doctree.size (Paper.figure1 ()))
+        (Doctree.size tree)
+
+let test_every_truncation () =
+  let data = golden () in
+  (* A line-based format without checksums cannot detect a truncation
+     that only shortens the final record's free-text field — such a
+     prefix is a smaller but well-formed document.  Everything earlier
+     (dropped records, broken fields, half an integer) must be an
+     Error, and no prefix may ever raise. *)
+  let last_tab = String.rindex data '\t' in
+  for len = 0 to String.length data - 2 do
+    let prefix = String.sub data 0 len in
+    match Codec.of_string prefix with
+    | Ok tree ->
+        if len <= last_tab then
+          Alcotest.failf "structural truncation at %d decoded successfully" len;
+        (match Doctree.validate tree with
+        | Ok () -> ()
+        | Error msg ->
+            Alcotest.failf "truncation at %d decoded an invalid tree: %s" len msg)
+    | Error _ -> ()
+    | exception e ->
+        Alcotest.failf "truncation at %d raised %s" len (Printexc.to_string e)
+  done
+
+let test_bit_flips () =
+  let data = golden () in
+  (* Flip one bit at a time (all 8 bits of every 3rd byte to keep the
+     runtime modest): decoding must never raise; when it still
+     succeeds — a flip inside free text — the tree must validate. *)
+  let b = Bytes.of_string data in
+  let i = ref 0 in
+  while !i < Bytes.length b do
+    for bit = 0 to 7 do
+      let orig = Bytes.get b !i in
+      Bytes.set b !i (Char.chr (Char.code orig lxor (1 lsl bit)));
+      decode_never_raises
+        (Printf.sprintf "flip byte %d bit %d" !i bit)
+        (Bytes.to_string b);
+      Bytes.set b !i orig
+    done;
+    i := !i + 3
+  done
+
+let test_bogus_counts () =
+  let body =
+    "0\t-1\ta\tx\n1\t0\tb\ty\n"
+  in
+  let with_count c = Printf.sprintf "xfrag-doctree 1 %s\n%s" c body in
+  List.iter
+    (fun c ->
+      match Codec.of_string (with_count c) with
+      | Ok _ -> Alcotest.failf "count %s accepted" c
+      | Error _ -> ()
+      | exception e ->
+          Alcotest.failf "count %s raised %s" c (Printexc.to_string e))
+    [
+      "0";  (* fewer than present *)
+      "3";  (* more than present *)
+      "-7";
+      "999999999";  (* implausible: larger than the input itself *)
+      "4611686018427387904";  (* would overflow any allocation *)
+      "99999999999999999999";  (* does not even fit an int *)
+      "two";
+    ]
+
+let test_header_corruption () =
+  List.iter
+    (fun data -> decode_never_raises (String.escaped data) data)
+    [
+      "";
+      "\n";
+      "not a doctree at all";
+      "xfrag-doctree\n";
+      "xfrag-doctree 1\n";
+      "xfrag-doctree 2 1\n0\t-1\ta\tx\n";  (* future version *)
+      "xfrag-doctree one 1\n0\t-1\ta\tx\n";
+      (* structural corruption in records *)
+      "xfrag-doctree 1 2\n0\t-1\ta\tx\n1\t5\tb\ty\n";  (* forward parent *)
+      "xfrag-doctree 1 2\n0\t-1\ta\tx\n7\t0\tb\ty\n";  (* id gap *)
+      "xfrag-doctree 1 1\n0\t0\ta\tx\n";  (* root with a parent *)
+      "xfrag-doctree 1 1\n0\t-1\ta\tx%\n";  (* truncated escape *)
+      "xfrag-doctree 1 1\n0\t-1\ta\tx%GG\n";  (* bad escape digits *)
+      "xfrag-doctree 1 1\n0\t-1\ta\n";  (* missing field *)
+      "xfrag-doctree 1 1\n0\t-1\ta\tx\textra\n";  (* extra field *)
+    ]
+
+let test_load_truncated_file () =
+  let path = Filename.temp_file "xfrag_codec" ".doctree" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let data = golden () in
+      let oc = open_out_bin path in
+      output_string oc (String.sub data 0 (String.length data / 2));
+      close_out oc;
+      match Codec.load path with
+      | Ok _ -> Alcotest.fail "truncated file loaded"
+      | Error _ -> ()
+      | exception e ->
+          Alcotest.failf "load raised %s" (Printexc.to_string e))
+
+let test_load_missing_file () =
+  (* I/O failures keep their documented Sys_error contract — only
+     *decoding* failures are Errors. *)
+  match Codec.load "/nonexistent/xfrag.doctree" with
+  | Ok _ | Error _ -> Alcotest.fail "expected Sys_error"
+  | exception Sys_error _ -> ()
+
+let () =
+  Alcotest.run "codec"
+    [
+      ( "robustness",
+        [
+          Alcotest.test_case "golden round trip" `Quick test_round_trip;
+          Alcotest.test_case "every truncation errors" `Quick test_every_truncation;
+          Alcotest.test_case "bit flips never crash" `Quick test_bit_flips;
+          Alcotest.test_case "bogus header counts" `Quick test_bogus_counts;
+          Alcotest.test_case "header/record corruption" `Quick test_header_corruption;
+          Alcotest.test_case "load truncated file" `Quick test_load_truncated_file;
+          Alcotest.test_case "load missing file" `Quick test_load_missing_file;
+        ] );
+    ]

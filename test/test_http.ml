@@ -1,0 +1,201 @@
+(* HTTP request-parser unit tests — no sockets anywhere: every case
+   feeds bytes through Http.reader_of_string, including multi-message
+   (pipelined keep-alive) streams. *)
+
+module Http = Xfrag_server.Http
+
+let req = Alcotest.testable (fun ppf (r : Http.request) ->
+    Format.fprintf ppf "%s %s" r.Http.meth r.Http.path)
+    (fun a b -> a = b)
+
+let _ = req
+
+let parse ?max_body s = Http.read_request ?max_body (Http.reader_of_string s)
+
+let parse_ok ?max_body s =
+  match parse ?max_body s with
+  | Ok r -> r
+  | Error _ -> Alcotest.fail ("expected parse success on " ^ String.escaped s)
+
+let check_error name expected s =
+  match parse s with
+  | Ok _ -> Alcotest.failf "%s: expected failure" name
+  | Error e ->
+      let tag =
+        match e with
+        | Http.Bad_request _ -> "bad_request"
+        | Http.Payload_too_large -> "too_large"
+        | Http.Timeout -> "timeout"
+        | Http.Closed -> "closed"
+      in
+      Alcotest.(check string) name expected tag
+
+(* --- well-formed messages --- *)
+
+let test_simple_get () =
+  let r = parse_ok "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n" in
+  Alcotest.(check string) "meth" "GET" r.Http.meth;
+  Alcotest.(check string) "path" "/healthz" r.Http.path;
+  Alcotest.(check string) "version" "HTTP/1.1" r.Http.version;
+  Alcotest.(check (option string)) "host" (Some "x") (Http.header r "Host");
+  Alcotest.(check string) "body" "" r.Http.body
+
+let test_body () =
+  let r =
+    parse_ok "POST /query HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello worldEXTRA"
+  in
+  (* Exactly Content-Length bytes: the EXTRA stays for the next message. *)
+  Alcotest.(check string) "body" "hello world" r.Http.body
+
+let test_query_params () =
+  let r = parse_ok "GET /query?deadline_ns=5000&x=a%20b+c HTTP/1.1\r\n\r\n" in
+  Alcotest.(check string) "path" "/query" r.Http.path;
+  Alcotest.(check (option string)) "deadline" (Some "5000")
+    (Http.query_param r "deadline_ns");
+  Alcotest.(check (option string)) "decoded" (Some "a b c")
+    (Http.query_param r "x")
+
+let test_percent_path () =
+  let r = parse_ok "GET /a%2Fb HTTP/1.1\r\n\r\n" in
+  Alcotest.(check string) "decoded path" "/a/b" r.Http.path
+
+let test_header_case_and_trim () =
+  let r = parse_ok "GET / HTTP/1.1\r\nX-Thing:   padded value  \r\n\r\n" in
+  Alcotest.(check (option string)) "trimmed, case-insensitive"
+    (Some "padded value") (Http.header r "x-thing")
+
+let test_header_folding () =
+  (* obs-fold: a continuation line starting with whitespace extends the
+     previous header's value. *)
+  let r =
+    parse_ok "GET / HTTP/1.1\r\nX-Long: first\r\n  second\r\n\tthird\r\n\r\n"
+  in
+  Alcotest.(check (option string)) "unfolded"
+    (Some "first second third") (Http.header r "X-Long")
+
+let test_pipelined_keep_alive () =
+  let reader =
+    Http.reader_of_string
+      ("POST /query HTTP/1.1\r\nContent-Length: 2\r\n\r\nab"
+      ^ "GET /metrics HTTP/1.1\r\n\r\n"
+      ^ "GET /bye HTTP/1.1\r\nConnection: close\r\n\r\n")
+  in
+  (match Http.read_request reader with
+  | Ok r ->
+      Alcotest.(check string) "first" "/query" r.Http.path;
+      Alcotest.(check string) "first body" "ab" r.Http.body;
+      Alcotest.(check bool) "keep-alive" true (Http.keep_alive r)
+  | Error _ -> Alcotest.fail "first request");
+  (match Http.read_request reader with
+  | Ok r -> Alcotest.(check string) "second" "/metrics" r.Http.path
+  | Error _ -> Alcotest.fail "second request");
+  (match Http.read_request reader with
+  | Ok r ->
+      Alcotest.(check string) "third" "/bye" r.Http.path;
+      Alcotest.(check bool) "close" false (Http.keep_alive r)
+  | Error _ -> Alcotest.fail "third request");
+  match Http.read_request reader with
+  | Error Http.Closed -> ()
+  | _ -> Alcotest.fail "expected clean EOF after last message"
+
+let test_keep_alive_rules () =
+  let ka s = Http.keep_alive (parse_ok s) in
+  Alcotest.(check bool) "1.1 default" true (ka "GET / HTTP/1.1\r\n\r\n");
+  Alcotest.(check bool) "1.1 close" false
+    (ka "GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+  Alcotest.(check bool) "1.1 Close case-insensitive" false
+    (ka "GET / HTTP/1.1\r\nConnection: Close\r\n\r\n");
+  Alcotest.(check bool) "1.0 default" false (ka "GET / HTTP/1.0\r\n\r\n");
+  Alcotest.(check bool) "1.0 keep-alive" true
+    (ka "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+
+(* --- malformed messages --- *)
+
+let test_malformed_request_lines () =
+  check_error "two tokens" "bad_request" "GET /\r\n\r\n";
+  check_error "four tokens" "bad_request" "GET / HTTP/1.1 junk\r\n\r\n";
+  check_error "empty method" "bad_request" " / HTTP/1.1\r\n\r\n";
+  check_error "bad method chars" "bad_request" "GE T / HTTP/1.1\r\n\r\n";
+  check_error "bad version" "bad_request" "GET / HTTP/2.0\r\n\r\n";
+  check_error "relative target" "bad_request" "GET nope HTTP/1.1\r\n\r\n";
+  check_error "garbage" "bad_request" "\x00\x01\x02\r\n\r\n"
+
+let test_malformed_headers () =
+  check_error "no colon" "bad_request" "GET / HTTP/1.1\r\nNoColonHere\r\n\r\n";
+  check_error "empty name" "bad_request" "GET / HTTP/1.1\r\n: v\r\n\r\n";
+  check_error "space in name" "bad_request" "GET / HTTP/1.1\r\nBad Name: v\r\n\r\n";
+  check_error "fold before any header" "bad_request" "GET / HTTP/1.1\r\n folded\r\n\r\n"
+
+let test_content_length_errors () =
+  check_error "non-numeric" "bad_request"
+    "POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n";
+  check_error "negative" "bad_request"
+    "POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n";
+  check_error "conflicting duplicates" "bad_request"
+    "POST / HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\nxx";
+  check_error "absurdly long digits" "too_large"
+    "POST / HTTP/1.1\r\nContent-Length: 99999999999999999999\r\n\r\n";
+  check_error "transfer-encoding" "bad_request"
+    "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+
+let test_oversized_body () =
+  match
+    Http.read_request ~max_body:8
+      (Http.reader_of_string "POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789")
+  with
+  | Error Http.Payload_too_large -> ()
+  | _ -> Alcotest.fail "expected Payload_too_large"
+
+let test_truncated () =
+  (* EOF after part of a message is Bad_request, not Closed. *)
+  check_error "mid request line" "bad_request" "GET /he";
+  check_error "mid headers" "bad_request" "GET / HTTP/1.1\r\nHost: x\r\n";
+  check_error "mid body" "bad_request"
+    "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+  check_error "clean EOF" "closed" ""
+
+let test_line_too_long () =
+  check_error "giant header line" "bad_request"
+    ("GET / HTTP/1.1\r\nX: " ^ String.make 10000 'a' ^ "\r\n\r\n")
+
+(* --- responses --- *)
+
+let test_response_round_trip () =
+  let resp =
+    Http.response ~headers:[ ("Content-Type", "text/plain") ] ~status:200 "hi"
+  in
+  let wire = Http.response_to_string ~keep_alive:false resp in
+  match Http.read_response (Http.reader_of_string wire) with
+  | Ok (status, headers, body) ->
+      Alcotest.(check int) "status" 200 status;
+      Alcotest.(check string) "body" "hi" body;
+      Alcotest.(check (option string)) "content-length" (Some "2")
+        (List.assoc_opt "content-length" headers)
+  | Error _ -> Alcotest.fail "response should parse"
+
+let () =
+  Alcotest.run "http"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "simple GET" `Quick test_simple_get;
+          Alcotest.test_case "content-length body" `Quick test_body;
+          Alcotest.test_case "query params" `Quick test_query_params;
+          Alcotest.test_case "percent-decoded path" `Quick test_percent_path;
+          Alcotest.test_case "header case/trim" `Quick test_header_case_and_trim;
+          Alcotest.test_case "header folding" `Quick test_header_folding;
+          Alcotest.test_case "pipelined keep-alive" `Quick test_pipelined_keep_alive;
+          Alcotest.test_case "keep-alive rules" `Quick test_keep_alive_rules;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "malformed request lines" `Quick test_malformed_request_lines;
+          Alcotest.test_case "malformed headers" `Quick test_malformed_headers;
+          Alcotest.test_case "content-length" `Quick test_content_length_errors;
+          Alcotest.test_case "oversized body" `Quick test_oversized_body;
+          Alcotest.test_case "truncation" `Quick test_truncated;
+          Alcotest.test_case "line too long" `Quick test_line_too_long;
+        ] );
+      ( "response",
+        [ Alcotest.test_case "round trip" `Quick test_response_round_trip ] );
+    ]

@@ -1,0 +1,361 @@
+(* Server-subsystem tests: worker pool semantics (bounded queue,
+   shedding, graceful drain), router dispatch against the paper's
+   Figure 1 document, the Prometheus exporter, the JSON parser, and an
+   in-process end-to-end run over real sockets (accept loop on its own
+   domain, no external tooling). *)
+
+module Http = Xfrag_server.Http
+module Pool = Xfrag_server.Pool
+module Router = Xfrag_server.Router
+module Server = Xfrag_server.Server
+module Client = Xfrag_server.Client
+module Json = Xfrag_obs.Json
+module Metrics = Xfrag_obs.Metrics
+module Prometheus = Xfrag_obs.Prometheus
+module Paper = Xfrag_workload.Paper_doc
+
+(* --- pool --- *)
+
+let test_pool_runs_everything () =
+  let pool = Pool.create ~workers:3 ~queue_cap:64 () in
+  let hits = Atomic.make 0 in
+  for _ = 1 to 50 do
+    assert (Pool.submit pool (fun () -> Atomic.incr hits))
+  done;
+  Pool.shutdown pool;
+  Alcotest.(check int) "all jobs ran before shutdown returned" 50
+    (Atomic.get hits)
+
+let test_pool_sheds_when_full () =
+  let pool = Pool.create ~workers:1 ~queue_cap:2 () in
+  let release = Atomic.make false in
+  let started = Atomic.make false in
+  (* Occupy the single worker... *)
+  assert (
+    Pool.submit pool (fun () ->
+        Atomic.set started true;
+        while not (Atomic.get release) do Domain.cpu_relax () done));
+  while not (Atomic.get started) do Domain.cpu_relax () done;
+  (* ...fill the queue... *)
+  assert (Pool.submit pool ignore);
+  assert (Pool.submit pool ignore);
+  Alcotest.(check int) "queue depth" 2 (Pool.queue_depth pool);
+  (* ...and the next submit is refused without blocking. *)
+  Alcotest.(check bool) "shed" false (Pool.submit pool ignore);
+  Atomic.set release true;
+  Pool.shutdown pool
+
+let test_pool_job_exception_is_contained () =
+  let pool = Pool.create ~workers:1 ~queue_cap:8 () in
+  let ran = Atomic.make false in
+  assert (Pool.submit pool (fun () -> failwith "boom"));
+  assert (Pool.submit pool (fun () -> Atomic.set ran true));
+  Pool.shutdown pool;
+  Alcotest.(check bool) "worker survived the raising job" true (Atomic.get ran)
+
+(* --- router --- *)
+
+let make_request ?(meth = "POST") ?(path = "/query") ?(query = []) body =
+  {
+    Http.meth;
+    path;
+    query;
+    version = "HTTP/1.1";
+    headers = [];
+    body;
+  }
+
+let make_router () = Router.create (Paper.figure1_context ())
+
+let body_json (resp : Http.response) =
+  match Json.of_string resp.Http.resp_body with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "response body is not JSON (%s): %s" e resp.Http.resp_body
+
+let int_field key j =
+  match Option.bind (Json.member key j) Json.to_int_opt with
+  | Some n -> n
+  | None -> Alcotest.failf "missing int field %S" key
+
+let test_router_query () =
+  let router = make_router () in
+  let keywords =
+    Json.List (List.map (fun k -> Json.String k) Paper.query_keywords)
+  in
+  let body = Json.to_string (Json.Obj [ ("keywords", keywords) ]) in
+  let resp = Router.handle router (make_request body) in
+  Alcotest.(check int) "status" 200 resp.Http.status;
+  let j = body_json resp in
+  Alcotest.(check bool) "has answers" true (int_field "count" j > 0);
+  (* The answer set must match a direct evaluation. *)
+  let direct =
+    Xfrag_core.Eval.answers (Paper.figure1_context ())
+      (Xfrag_core.Query.make Paper.query_keywords)
+  in
+  Alcotest.(check int) "count agrees with direct Eval"
+    (Xfrag_core.Frag_set.cardinal direct) (int_field "count" j)
+
+let test_router_filters () =
+  let router = make_router () in
+  let keywords =
+    Json.List (List.map (fun k -> Json.String k) Paper.query_keywords)
+  in
+  let body filters =
+    Json.to_string (Json.Obj [ ("keywords", keywords); ("filters", filters) ])
+  in
+  let count filters =
+    int_field "count"
+      (body_json (Router.handle router (make_request (body filters))))
+  in
+  let unfiltered = count (Json.Obj []) in
+  let tight = count (Json.Obj [ ("max_size", Json.Int 2) ]) in
+  Alcotest.(check bool) "max_size filters answers" true (tight <= unfiltered)
+
+let test_router_errors () =
+  let router = make_router () in
+  let status ?meth ?path ?query body =
+    (Router.handle router (make_request ?meth ?path ?query body)).Http.status
+  in
+  Alcotest.(check int) "bad JSON" 400 (status "{nope");
+  Alcotest.(check int) "missing keywords" 400 (status "{}");
+  Alcotest.(check int) "empty keywords" 400 (status "{\"keywords\":[]}");
+  Alcotest.(check int) "bad strategy" 400
+    (status "{\"keywords\":[\"a\"],\"strategy\":\"wat\"}");
+  Alcotest.(check int) "bad filter" 400
+    (status "{\"keywords\":[\"a\"],\"filter\":\"size<=x\"}");
+  Alcotest.(check int) "unknown path" 404 (status ~path:"/nope" "{}");
+  Alcotest.(check int) "GET /query" 405 (status ~meth:"GET" "");
+  Alcotest.(check int) "POST /healthz" 405 (status ~path:"/healthz" "{}");
+  Alcotest.(check int) "healthz" 200 (status ~meth:"GET" ~path:"/healthz" "")
+
+let test_router_deadline_408 () =
+  let router = make_router () in
+  let body =
+    Json.to_string
+      (Json.Obj
+         [
+           ( "keywords",
+             Json.List (List.map (fun k -> Json.String k) Paper.query_keywords)
+           );
+         ])
+  in
+  let resp =
+    Router.handle router
+      (make_request ~query:[ ("deadline_ns", "0") ] body)
+  in
+  Alcotest.(check int) "deadline 0 -> 408" 408 resp.Http.status
+
+let test_router_explain () =
+  let router = make_router () in
+  let body =
+    Json.to_string
+      (Json.Obj
+         [
+           ( "keywords",
+             Json.List (List.map (fun k -> Json.String k) Paper.query_keywords)
+           );
+         ])
+  in
+  let resp = Router.handle router (make_request ~path:"/explain" body) in
+  Alcotest.(check int) "status" 200 resp.Http.status;
+  let j = body_json resp in
+  Alcotest.(check bool) "has a plan" true (Json.member "plan" j <> None);
+  Alcotest.(check bool) "has an operator tree" true (Json.member "root" j <> None)
+
+let test_router_metrics_page () =
+  let router = make_router () in
+  ignore (Router.handle router (make_request ~meth:"GET" ~path:"/healthz" ""));
+  Router.record_shed router;
+  let page = Router.metrics_page router in
+  let contains sub =
+    Astring.String.find_sub ~sub page <> None
+  in
+  Alcotest.(check bool) "request series" true
+    (contains "server_requests{endpoint=\"/healthz\",status=\"200\"}");
+  Alcotest.(check bool) "latency series" true
+    (contains "server_latency_ns_bucket{endpoint=\"/healthz\",le=");
+  Alcotest.(check bool) "shed counter" true (contains "server_shed 1");
+  Alcotest.(check bool) "queue depth gauge" true (contains "server_queue_depth")
+
+(* --- prometheus exporter --- *)
+
+let test_prometheus_render () =
+  let reg = Metrics.create () in
+  Metrics.Counter.add (Metrics.counter reg "reqs{endpoint=\"/q\"}") 3;
+  Metrics.Counter.add (Metrics.counter reg "reqs{endpoint=\"/x\"}") 1;
+  Metrics.Gauge.set (Metrics.gauge reg "queue.depth") 2.0;
+  let h = Metrics.histogram reg "lat_ns" in
+  Metrics.Histogram.observe h 1.0;
+  Metrics.Histogram.observe h 3.0;
+  Metrics.Histogram.observe h 3.0;
+  let out = Prometheus.render reg in
+  Alcotest.(check string) "full exposition"
+    "# TYPE lat_ns histogram\n\
+     lat_ns_bucket{le=\"1\"} 1\n\
+     lat_ns_bucket{le=\"4\"} 3\n\
+     lat_ns_bucket{le=\"+Inf\"} 3\n\
+     lat_ns_sum 7\n\
+     lat_ns_count 3\n\
+     # TYPE queue_depth gauge\n\
+     queue_depth 2\n\
+     # TYPE reqs counter\n\
+     reqs{endpoint=\"/q\"} 3\n\
+     reqs{endpoint=\"/x\"} 1\n"
+    out
+
+let test_prometheus_sanitize () =
+  let reg = Metrics.create () in
+  Metrics.Counter.incr (Metrics.counter reg "ops.fragment-joins");
+  let out = Prometheus.render ~namespace:"xfrag" reg in
+  Alcotest.(check string) "sanitized + namespaced"
+    "# TYPE xfrag_ops_fragment_joins counter\nxfrag_ops_fragment_joins 1\n" out
+
+(* --- JSON parser --- *)
+
+let parse_json s =
+  match Json.of_string s with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "parse %S failed: %s" s e
+
+let test_json_values () =
+  Alcotest.(check bool) "null" true (parse_json " null " = Json.Null);
+  Alcotest.(check bool) "ints" true (parse_json "[0,-5,123]"
+    = Json.List [ Json.Int 0; Json.Int (-5); Json.Int 123 ]);
+  Alcotest.(check bool) "float" true (parse_json "1.5" = Json.Float 1.5);
+  Alcotest.(check bool) "exponent is float" true
+    (match parse_json "1e3" with Json.Float f -> f = 1000.0 | _ -> false);
+  Alcotest.(check bool) "nested" true
+    (parse_json "{\"a\":[true,false],\"b\":{\"c\":\"d\"}}"
+    = Json.Obj
+        [
+          ("a", Json.List [ Json.Bool true; Json.Bool false ]);
+          ("b", Json.Obj [ ("c", Json.String "d") ]);
+        ])
+
+let test_json_strings () =
+  Alcotest.(check bool) "escapes" true
+    (parse_json {|"a\"b\\c\nd\t"|} = Json.String "a\"b\\c\nd\t");
+  Alcotest.(check bool) "unicode escape" true
+    (parse_json "\"\\u0041\"" = Json.String "A");
+  Alcotest.(check bool) "surrogate pair" true
+    (parse_json "\"\\ud83d\\ude00\"" = Json.String "\xf0\x9f\x98\x80")
+
+let test_json_round_trip () =
+  let j =
+    Json.Obj
+      [
+        ("keywords", Json.List [ Json.String "xml"; Json.String "query" ]);
+        ("n", Json.Int 42);
+        ("f", Json.Float 2.5);
+        ("deep", Json.Obj [ ("l", Json.List [ Json.Null; Json.Bool true ]) ]);
+      ]
+  in
+  Alcotest.(check bool) "to_string |> of_string is identity" true
+    (parse_json (Json.to_string j) = j)
+
+let test_json_errors () =
+  let fails s =
+    match Json.of_string s with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "empty" true (fails "");
+  Alcotest.(check bool) "trailing garbage" true (fails "1 2");
+  Alcotest.(check bool) "unterminated string" true (fails "\"abc");
+  Alcotest.(check bool) "bare word" true (fails "nope");
+  Alcotest.(check bool) "trailing comma" true (fails "[1,]");
+  Alcotest.(check bool) "control char in string" true (fails "\"a\nb\"");
+  Alcotest.(check bool) "lone surrogate" true (fails {|"\ud83d"|});
+  Alcotest.(check bool) "deep nesting bounded" true
+    (fails (String.make 1000 '[' ^ String.make 1000 ']'))
+
+(* --- end to end over real sockets --- *)
+
+let test_end_to_end () =
+  let ctx = Paper.figure1_context () in
+  let cache = Xfrag_core.Join_cache.create ~synchronized:true () in
+  let router = Router.create ~cache ctx in
+  let config =
+    { Server.default_config with workers = 2; queue_cap = 8; port = 0 }
+  in
+  let server = Server.start ~config router in
+  let accept_domain = Domain.spawn (fun () -> Server.run server) in
+  let port = Server.port server in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Domain.join accept_domain)
+    (fun () ->
+      (* healthz *)
+      (match
+         Client.once ~host:"127.0.0.1" ~port ~meth:"GET" ~path:"/healthz" ()
+       with
+      | Ok (200, _, body) -> Alcotest.(check string) "healthz" "ok\n" body
+      | Ok (s, _, _) -> Alcotest.failf "healthz: %d" s
+      | Error e -> Alcotest.fail e);
+      (* keep-alive: two queries on one connection *)
+      let conn = Client.connect ~host:"127.0.0.1" ~port () in
+      let body =
+        Json.to_string
+          (Json.Obj
+             [
+               ( "keywords",
+                 Json.List
+                   (List.map (fun k -> Json.String k) Paper.query_keywords) );
+             ])
+      in
+      let do_query () =
+        match Client.request conn ~meth:"POST" ~path:"/query" ~body () with
+        | Ok (200, _, body) -> int_field "count" (parse_json body)
+        | Ok (s, _, _) -> Alcotest.failf "query: %d" s
+        | Error e -> Alcotest.fail e
+      in
+      let c1 = do_query () in
+      let c2 = do_query () in
+      Client.close conn;
+      Alcotest.(check bool) "answers" true (c1 > 0);
+      Alcotest.(check int) "same on reused connection" c1 c2;
+      (* metrics reflect what happened *)
+      match
+        Client.once ~host:"127.0.0.1" ~port ~meth:"GET" ~path:"/metrics" ()
+      with
+      | Ok (200, _, page) ->
+          Alcotest.(check bool) "query counter" true
+            (Astring.String.find_sub
+               ~sub:"server_requests{endpoint=\"/query\",status=\"200\"} 2" page
+            <> None)
+      | Ok (s, _, _) -> Alcotest.failf "metrics: %d" s
+      | Error e -> Alcotest.fail e)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "runs everything" `Quick test_pool_runs_everything;
+          Alcotest.test_case "sheds when full" `Quick test_pool_sheds_when_full;
+          Alcotest.test_case "contains exceptions" `Quick
+            test_pool_job_exception_is_contained;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "query" `Quick test_router_query;
+          Alcotest.test_case "filters" `Quick test_router_filters;
+          Alcotest.test_case "errors" `Quick test_router_errors;
+          Alcotest.test_case "deadline 408" `Quick test_router_deadline_408;
+          Alcotest.test_case "explain" `Quick test_router_explain;
+          Alcotest.test_case "metrics page" `Quick test_router_metrics_page;
+        ] );
+      ( "prometheus",
+        [
+          Alcotest.test_case "render" `Quick test_prometheus_render;
+          Alcotest.test_case "sanitize" `Quick test_prometheus_sanitize;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "values" `Quick test_json_values;
+          Alcotest.test_case "strings" `Quick test_json_strings;
+          Alcotest.test_case "round trip" `Quick test_json_round_trip;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+        ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "sockets" `Quick test_end_to_end ] );
+    ]
