@@ -38,12 +38,18 @@ let reader_of_string s =
 
 let reader_of_fd fd =
   make_reader (fun b pos len ->
-      try Unix.read fd b pos len with
-      | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-          (* SO_RCVTIMEO expired: a slow client. *)
-          raise (Fail Timeout)
-      | Unix.Unix_error (Unix.EINTR, _, _) -> 0
-      | Unix.Unix_error (_, _, _) -> 0)
+      let rec go () =
+        try Unix.read fd b pos len with
+        | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            (* SO_RCVTIMEO expired: a slow client. *)
+            raise (Fail Timeout)
+        | Unix.Unix_error (Unix.EINTR, _, _) ->
+            (* A signal (e.g. the drain SIGTERM) must not abort an
+               in-flight read; 0 is reserved for genuine EOF. *)
+            go ()
+        | Unix.Unix_error (_, _, _) -> 0
+      in
+      go ())
 
 (* Returns false at EOF. *)
 let refill r =
@@ -184,7 +190,9 @@ let parse_request_line line =
 
 (* Header block: "Name: value" lines until the empty line; a line that
    starts with SP/HTAB is an obs-fold continuation of the previous
-   header's value. *)
+   header's value.  Continuations count toward max_header_count and the
+   unfolded value is capped at max_line, so a stream of fold lines
+   cannot grow a header without bound. *)
 let read_headers r =
   let rec go acc count =
     let line = read_line r in
@@ -195,7 +203,10 @@ let read_headers r =
       match acc with
       | [] -> raise (Fail (Bad_request "continuation before first header"))
       | (name, value) :: rest ->
-          go ((name, value ^ " " ^ trim_ows line) :: rest) count
+          let value = value ^ " " ^ trim_ows line in
+          if String.length value > max_line then
+            raise (Fail (Bad_request "header value too long"));
+          go ((name, value) :: rest) (count + 1)
     else
       match String.index_opt line ':' with
       | None | Some 0 -> raise (Fail (Bad_request "malformed header"))

@@ -41,6 +41,14 @@ let locked t f =
   Mutex.lock t.reg_lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.reg_lock) f
 
+(* Metric labels come from this fixed set, never the raw request path:
+   untrusted clients probing random paths must not be able to mint new
+   registry series (unbounded memory, unbounded /metrics page). *)
+let endpoint_label path =
+  match path with
+  | "/query" | "/explain" | "/healthz" | "/metrics" -> path
+  | _ -> "other"
+
 let record t ~endpoint ~status ~ns =
   locked t (fun () ->
       Metrics.Counter.incr
@@ -184,8 +192,13 @@ let deadline_of t req (qr : query_request) =
         | _ -> reject ~status:400 "deadline_ns must be a non-negative integer")
     | None -> (
         match qr.deadline_ms with
-        | Some ms when ms >= 0 -> Some (ms * 1_000_000)
-        | Some _ -> reject ~status:400 "deadline_ms must be non-negative"
+        | Some ms when ms < 0 ->
+            reject ~status:400 "deadline_ms must be non-negative"
+        | Some ms when ms > max_int / 1_000_000 ->
+            (* ms * 1_000_000 would overflow into a negative, already-
+               expired deadline; that's a validation error, not a 408. *)
+            reject ~status:400 "deadline_ms too large"
+        | Some ms -> Some (ms * 1_000_000)
         | None -> t.default_deadline_ns)
   in
   match ns with None -> Deadline.none | Some ns -> Deadline.after ns
@@ -250,7 +263,10 @@ let rec explain_node_json (n : Explain.node) =
 let handle_explain t req =
   let qr = query_request_of_body req.Http.body in
   let deadline = deadline_of t req qr in
-  let report = Explain.analyze ?cache:t.cache ~deadline t.ctx qr.query in
+  let report =
+    try Explain.analyze ?cache:t.cache ~deadline t.ctx qr.query
+    with Invalid_argument msg -> reject ~status:400 msg
+  in
   let plan_str = Format.asprintf "%a" Xfrag_core.Plan.pp report.Explain.plan in
   json_response ~status:200
     (Json.Obj
@@ -295,6 +311,6 @@ let handle t req =
         error_response ~status:500
           ("internal error: " ^ Printexc.to_string e)
   in
-  record t ~endpoint:req.Http.path ~status:resp.Http.status
+  record t ~endpoint:(endpoint_label req.Http.path) ~status:resp.Http.status
     ~ns:(Clock.monotonic () - t0);
   resp

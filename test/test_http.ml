@@ -158,6 +158,22 @@ let test_line_too_long () =
   check_error "giant header line" "bad_request"
     ("GET / HTTP/1.1\r\nX: " ^ String.make 10000 'a' ^ "\r\n\r\n")
 
+let test_fold_bomb () =
+  (* Obs-fold continuations must not bypass the header limits: an
+     endless stream of fold lines is a memory-growth DoS unless each
+     one counts toward max_header_count... *)
+  let folds = Buffer.create 4096 in
+  for _ = 1 to 500 do
+    Buffer.add_string folds " x\r\n"
+  done;
+  check_error "fold flood" "bad_request"
+    ("GET / HTTP/1.1\r\nX: v\r\n" ^ Buffer.contents folds ^ "\r\n");
+  (* ...and the unfolded value is capped: a few fold lines that are
+     each under max_line but accumulate past it are rejected too. *)
+  let big = String.make 3000 'a' in
+  check_error "unfolded value too long" "bad_request"
+    ("GET / HTTP/1.1\r\nX: " ^ big ^ "\r\n " ^ big ^ "\r\n " ^ big ^ "\r\n\r\n")
+
 (* --- responses --- *)
 
 let test_response_round_trip () =
@@ -195,6 +211,7 @@ let () =
           Alcotest.test_case "oversized body" `Quick test_oversized_body;
           Alcotest.test_case "truncation" `Quick test_truncated;
           Alcotest.test_case "line too long" `Quick test_line_too_long;
+          Alcotest.test_case "fold bomb" `Quick test_fold_bomb;
         ] );
       ( "response",
         [ Alcotest.test_case "round trip" `Quick test_response_round_trip ] );

@@ -177,6 +177,61 @@ let test_router_metrics_page () =
   Alcotest.(check bool) "shed counter" true (contains "server_shed 1");
   Alcotest.(check bool) "queue depth gauge" true (contains "server_queue_depth")
 
+let test_router_metrics_label_cardinality () =
+  (* Untrusted request paths must not mint metric series: a scanner
+     probing distinct paths would otherwise grow the registry (and the
+     /metrics page) without bound.  Unknown paths share one "other"
+     label. *)
+  let router = make_router () in
+  List.iter
+    (fun path ->
+      ignore (Router.handle router (make_request ~meth:"GET" ~path "")))
+    [ "/nope"; "/admin.php"; "/%2e%2e/etc/passwd" ];
+  let page = Router.metrics_page router in
+  let contains sub = Astring.String.find_sub ~sub page <> None in
+  Alcotest.(check bool) "bucketed under \"other\"" true
+    (contains "server_requests{endpoint=\"other\",status=\"404\"} 3");
+  Alcotest.(check bool) "raw path is not a label" false (contains "nope");
+  Alcotest.(check bool) "decoded path is not a label" false (contains "passwd")
+
+let test_router_deadline_ms_overflow () =
+  (* A deadline_ms whose ns conversion would overflow is a validation
+     error (400), not a negative deadline masquerading as a 408. *)
+  let router = make_router () in
+  let body =
+    Json.to_string
+      (Json.Obj
+         [
+           ("keywords", Json.List [ Json.String "xml" ]);
+           ("deadline_ms", Json.Int ((max_int / 1_000_000) + 1));
+         ])
+  in
+  let resp = Router.handle router (make_request body) in
+  Alcotest.(check int) "overflowing deadline_ms -> 400" 400 resp.Http.status
+
+let oversized_brute_force_body () =
+  (* 15 occurrences of one keyword is above Powerset's 14-element
+     enumeration guard, so Brute_force raises Invalid_argument. *)
+  Json.to_string
+    (Json.Obj
+       [
+         ("keywords", Json.List [ Json.String "alpha" ]);
+         ("strategy", Json.String "brute-force");
+       ])
+
+let test_router_powerset_guard_is_400 () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "<doc>";
+  for i = 1 to 15 do
+    Buffer.add_string buf (Printf.sprintf "<p>alpha filler%d</p>" i)
+  done;
+  Buffer.add_string buf "</doc>";
+  let router =
+    Router.create (Xfrag_core.Context.of_xml_string (Buffer.contents buf))
+  in
+  let resp = Router.handle router (make_request (oversized_brute_force_body ())) in
+  Alcotest.(check int) "enumeration guard -> 400, not 500" 400 resp.Http.status
+
 (* --- prometheus exporter --- *)
 
 let test_prometheus_render () =
@@ -343,6 +398,12 @@ let () =
           Alcotest.test_case "deadline 408" `Quick test_router_deadline_408;
           Alcotest.test_case "explain" `Quick test_router_explain;
           Alcotest.test_case "metrics page" `Quick test_router_metrics_page;
+          Alcotest.test_case "metrics label cardinality" `Quick
+            test_router_metrics_label_cardinality;
+          Alcotest.test_case "deadline_ms overflow" `Quick
+            test_router_deadline_ms_overflow;
+          Alcotest.test_case "powerset guard is 400" `Quick
+            test_router_powerset_guard_is_400;
         ] );
       ( "prometheus",
         [
