@@ -15,6 +15,7 @@
      E5  — effectiveness vs SLCA/ELCA/smallest-subtree (§1, Figure 8)
      C1  — join memoization cache: cached vs uncached per strategy
      S1  — HTTP server load test: qps + tail latency vs concurrency (serve)
+     P1  — sharded corpus execution: shard count vs corpus size (§7)
 
    Run everything:   dune exec bench/main.exe
    Run a subset:     dune exec bench/main.exe -- t1 e2 …        *)
@@ -925,13 +926,83 @@ let s1 () =
       [ false; true ]
   end
 
+(* --- P1: sharded corpus execution ---------------------------------------- *)
+
+module Corpus = Xfrag_core.Corpus
+module Exec = Xfrag_core.Exec
+module Shard_pool = Xfrag_core.Shard_pool
+module Ranking = Xfrag_baselines.Ranking
+
+(* Shard-count sweep over corpus sizes.  Each configuration gets its own
+   pool sized shards-1 so the parallelism structure is real; on a
+   single-core host the domains time-slice, so "speedup" reports the
+   sharding overhead rather than a parallel win (see EXPERIMENTS.md). *)
+let p1 () =
+  header
+    "P1: sharded corpus execution - shard count vs corpus size\n\
+     (top-10 scored search, nearest-rank percentiles over repeated runs,\n\
+     speedup = p50(1 shard) / p50(n shards))";
+  let keywords = [ "shardterm"; "estuary" ] in
+  let corpus_of n =
+    Corpus.of_documents
+      (List.init n (fun i ->
+           let cfg = { Docgen.default with seed = 1000 + i; sections = 4 } in
+           let plant =
+             ("shardterm", 1 + (i mod 4))
+             :: (if i mod 3 = 0 then [ ("estuary", 2) ] else [])
+           in
+           (Printf.sprintf "doc%03d.xml" i, Docgen.with_planted_keywords cfg ~plant)))
+  in
+  let request =
+    Exec.Request.(with_limit (Some 10) (with_keywords keywords default))
+  in
+  let scorer ctx f = Ranking.score ctx ~keywords f in
+  let iterations = 12 in
+  Printf.printf "%-24s %10s %10s %12s %8s\n" "scenario" "p50" "p95"
+    "merge p50" "speedup";
+  List.iter
+    (fun docs ->
+      let corpus = corpus_of docs in
+      let baseline_p50 = ref Float.nan in
+      List.iter
+        (fun shards ->
+          let pool = Shard_pool.create ~domains:(max 0 (shards - 1)) () in
+          let elapsed = Array.make iterations 0.0 in
+          let merge = Array.make iterations 0.0 in
+          for i = 0 to iterations - 1 do
+            let o = Corpus.run ~pool ~shards ~scorer corpus request in
+            elapsed.(i) <- float_of_int o.Corpus.elapsed_ns;
+            merge.(i) <- float_of_int o.Corpus.merge_ns
+          done;
+          Shard_pool.shutdown pool;
+          Array.sort compare elapsed;
+          Array.sort compare merge;
+          let p50 = percentile elapsed 0.50 in
+          let p95 = percentile elapsed 0.95 in
+          let merge_p50 = percentile merge 0.50 in
+          if shards = 1 then baseline_p50 := p50;
+          let speedup = !baseline_p50 /. p50 in
+          let scenario = Printf.sprintf "docs=%d shards=%d" docs shards in
+          Printf.printf "%-24s %10s %10s %12s %7.2fx\n" scenario (pp_ns p50)
+            (pp_ns p95) (pp_ns merge_p50) speedup;
+          record ~experiment:"p1" ~scenario ~strategy:"auto" ~ns:p50
+            [
+              ("p95_ns", Json.Float p95);
+              ("merge_p50_ns", Json.Float merge_p50);
+              ("docs", Json.Int docs);
+              ("shards", Json.Int shards);
+              ("speedup_vs_1_shard", Json.Float speedup);
+            ])
+        [ 1; 2; 4; 8 ])
+    [ 8; 32 ]
+
 (* --- driver ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("t1", t1); ("f3", f3); ("f4", f4); ("e1", e1); ("e2", e2); ("e3", e3);
     ("e4", e4); ("e5", e5); ("e6", e6); ("c1", c1); ("a1", a1); ("obs", obs);
-    ("s1", s1);
+    ("s1", s1); ("p1", p1);
   ]
 
 let () =

@@ -10,6 +10,9 @@ module Frag_set = Xfrag_core.Frag_set
 module Filter = Xfrag_core.Filter
 module Query = Xfrag_core.Query
 module Eval = Xfrag_core.Eval
+module Exec = Xfrag_core.Exec
+module Corpus = Xfrag_core.Corpus
+module Deadline = Xfrag_core.Deadline
 module Op_stats = Xfrag_core.Op_stats
 module Optimizer = Xfrag_core.Optimizer
 module Doctree = Xfrag_doctree.Doctree
@@ -80,6 +83,43 @@ let verbose_arg =
 let parse_filter s =
   if s = "" then Ok Filter.True
   else Filter.of_string s
+
+let deadline_ms_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Abort the evaluation once it has run for $(docv) milliseconds \
+           (0 = no deadline).  A corpus search returns the partial \
+           results gathered so far; a single-document query fails.")
+
+(* Flags -> Exec.Request, the one assembly path every evaluating
+   subcommand shares (mirroring the HTTP endpoints, which share the
+   Exec.Request JSON codec): flag semantics cannot drift between
+   subcommands, and validation messages come from Exec itself. *)
+let request_of_flags ?(strict = false) ?(deadline_ms = 0) ?limit ~keywords
+    ~filter_str ~strategy_str () =
+  let ( let* ) = Result.bind in
+  let* filter = parse_filter filter_str in
+  let* strategy = Eval.strategy_of_string strategy_str in
+  let* deadline =
+    if deadline_ms = 0 then Ok Deadline.none
+    else Exec.deadline_of_ms deadline_ms
+  in
+  let request =
+    Exec.Request.default
+    |> Exec.Request.with_keywords keywords
+    |> Exec.Request.with_filter filter
+    |> Exec.Request.with_strategy strategy
+    |> Exec.Request.with_strict_leaf strict
+    |> Exec.Request.with_deadline deadline
+    |> Exec.Request.with_limit limit
+  in
+  (* Normalize eagerly so an unusable keyword list is a flag error
+     (message + exit 1), not a raised exception mid-evaluation. *)
+  match Exec.Request.to_query request with
+  | _ -> Ok request
+  | exception Invalid_argument msg -> Error msg
 
 (* --- query command --- *)
 
@@ -181,34 +221,41 @@ let write_trace trace path =
   in
   Export.write_file path contents
 
-let run_query file keywords filter_str strategy_str strict as_xml rank limit show_stats
-    timing explain_analyze trace_out metrics_out join_cache stem verbose =
+let run_query file keywords filter_str strategy_str strict deadline_ms as_xml
+    rank limit show_stats timing explain_analyze trace_out metrics_out
+    join_cache stem verbose =
   setup_logs verbose;
   let ( let* ) = Result.bind in
   let result =
     let* ctx = load_context ~stem file in
-    let* filter = parse_filter filter_str in
-    let* strategy = Eval.strategy_of_string strategy_str in
-    let* query =
-      match Query.make ~filter keywords with
-      | q -> Ok q
-      | exception Invalid_argument msg -> Error msg
+    let* request =
+      request_of_flags ~strict ~deadline_ms ~keywords ~filter_str ~strategy_str
+        ()
     in
+    let query = Exec.Request.to_query request in
     let cache =
       if join_cache > 0 then
         Some (Xfrag_core.Join_cache.create ~capacity:join_cache ())
       else None
     in
+    let request = Exec.Request.with_cache cache request in
     if explain_analyze then begin
-      let report = Xfrag_core.Explain.analyze ?cache ctx query in
-      Format.printf "%a@." Xfrag_core.Explain.pp report;
-      Ok ()
+      match Xfrag_core.Explain.analyze_request ctx request with
+      | report ->
+          Format.printf "%a@." Xfrag_core.Explain.pp report;
+          Ok ()
+      | exception Deadline.Expired -> Error "deadline exceeded"
     end
     else begin
       let trace =
         match trace_out with Some _ -> Trace.create () | None -> Trace.disabled
       in
-      let outcome = Eval.run ~strategy ~strict_leaf_semantics:strict ?cache ~trace ctx query in
+      let request = Exec.Request.with_trace trace request in
+      let* outcome =
+        match Eval.exec ctx request with
+        | o -> Ok o
+        | exception Deadline.Expired -> Error "deadline exceeded"
+      in
       let answers =
         if rank then
           List.map (fun s -> s.Ranking.fragment)
@@ -266,9 +313,9 @@ let query_cmd =
     (Cmd.info "query" ~doc)
     Term.(
       const run_query $ file_arg $ keywords_arg $ filter_arg $ strategy_arg
-      $ strict_arg $ xml_arg $ rank_arg $ limit_arg $ show_stats_arg
-      $ timing_arg $ explain_analyze_arg $ trace_out_arg $ metrics_out_arg
-      $ join_cache_arg $ stem_arg $ verbose_arg)
+      $ strict_arg $ deadline_ms_arg $ xml_arg $ rank_arg $ limit_arg
+      $ show_stats_arg $ timing_arg $ explain_analyze_arg $ trace_out_arg
+      $ metrics_out_arg $ join_cache_arg $ stem_arg $ verbose_arg)
 
 (* --- stats command --- *)
 
@@ -373,45 +420,76 @@ let files_arg =
 let top_arg =
   Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Show the N best-scoring hits.")
 
-let run_corpus files keywords filter_str top verbose =
+let shards_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Partition the corpus into $(docv) shards evaluated in parallel \
+           on the shared domain pool (0 = automatic: $(b,XFRAG_SHARDS) or \
+           the pool's parallelism).  Results are identical for every \
+           shard count.")
+
+let load_corpus files =
+  let ( let* ) = Result.bind in
+  List.fold_left
+    (fun acc file ->
+      let* acc = acc in
+      match load_tree file with
+      | Error msg -> Error msg
+      | Ok tree -> (
+          match Corpus.add acc ~name:(Filename.basename file) tree with
+          | corpus -> Ok corpus
+          | exception Invalid_argument msg -> Error msg))
+    (Ok Corpus.empty) files
+
+let run_corpus files keywords filter_str strategy_str strict deadline_ms top
+    shards verbose =
   setup_logs verbose;
   let ( let* ) = Result.bind in
   let result =
-    let* filter = parse_filter filter_str in
-    let* query =
-      match Query.make ~filter keywords with
-      | q -> Ok q
+    let* request =
+      request_of_flags ~strict ~deadline_ms
+        ?limit:(if top > 0 then Some top else None)
+        ~keywords ~filter_str ~strategy_str ()
+    in
+    let query = Exec.Request.to_query request in
+    let* corpus = load_corpus files in
+    Format.printf "corpus: %d documents, %d nodes@." (Corpus.size corpus)
+      (Corpus.total_nodes corpus);
+    let scorer ctx f = Ranking.score ctx ~keywords:query.Query.keywords f in
+    let* outcome =
+      match
+        Corpus.run
+          ?shards:(if shards > 0 then Some shards else None)
+          ~scorer corpus request
+      with
+      | o -> Ok o
       | exception Invalid_argument msg -> Error msg
     in
-    let* corpus =
-      List.fold_left
-        (fun acc file ->
-          let* acc = acc in
-          match Xfrag_xml.Xml_parser.parse_file file with
-          | doc -> (
-              match
-                Xfrag_core.Corpus.add acc ~name:(Filename.basename file)
-                  (Doctree.of_xml doc)
-              with
-              | corpus -> Ok corpus
-              | exception Invalid_argument msg -> Error msg)
-          | exception Xfrag_xml.Xml_error.Parse_error e ->
-              Error (Printf.sprintf "%s: %s" file (Xfrag_xml.Xml_error.to_string e))
-          | exception Sys_error msg -> Error msg)
-        (Ok Xfrag_core.Corpus.empty) files
-    in
-    Format.printf "corpus: %d documents, %d nodes@."
-      (Xfrag_core.Corpus.size corpus)
-      (Xfrag_core.Corpus.total_nodes corpus);
-    let scorer ctx f = Ranking.score ctx ~keywords:query.Query.keywords f in
-    let hits = Xfrag_core.Corpus.search_scored ~scorer ~limit:top corpus query in
-    Format.printf "%d hit(s) shown:@." (List.length hits);
+    Format.printf "%d answer(s) across the corpus, %d hit(s) shown [%d shard(s), merge %a]@."
+      outcome.Corpus.total_answers
+      (List.length outcome.Corpus.hits)
+      (List.length outcome.Corpus.shard_reports)
+      Clock.pp_ns outcome.Corpus.merge_ns;
     List.iteri
       (fun i (hit, score) ->
-        let ctx = Xfrag_core.Corpus.context corpus hit.Xfrag_core.Corpus.doc in
-        Format.printf "  #%d %-20s %.2f  %a@." (i + 1) hit.Xfrag_core.Corpus.doc score
-          (Fragment.pp_labeled ctx) hit.Xfrag_core.Corpus.fragment)
-      hits;
+        let ctx = Corpus.context corpus hit.Corpus.doc in
+        Format.printf "  #%d %-20s %.2f  %a@." (i + 1) hit.Corpus.doc score
+          (Fragment.pp_labeled ctx) hit.Corpus.fragment)
+      outcome.Corpus.hits;
+    if verbose then
+      List.iter
+        (fun (sr : Corpus.shard_report) ->
+          Format.printf "shard %d: %d doc(s), %d node(s), %a%s@."
+            sr.Corpus.shard_index
+            (List.length sr.Corpus.shard_docs)
+            sr.Corpus.shard_nodes Clock.pp_ns sr.Corpus.shard_elapsed_ns
+            (if sr.Corpus.shard_deadline_expired then " (deadline expired)"
+             else ""))
+        outcome.Corpus.shard_reports;
+    if outcome.Corpus.deadline_expired then
+      Format.printf "deadline exceeded: results are partial@.";
     Ok ()
   in
   match result with
@@ -421,10 +499,15 @@ let run_corpus files keywords filter_str top verbose =
       1
 
 let corpus_cmd =
-  let doc = "Search a collection of XML documents (scored, cross-document)." in
+  let doc =
+    "Search a collection of XML documents (scored, cross-document), \
+     sharded across parallel domains."
+  in
   Cmd.v
     (Cmd.info "corpus" ~doc)
-    Term.(const run_corpus $ files_arg $ keywords_arg $ filter_arg $ top_arg $ verbose_arg)
+    Term.(
+      const run_corpus $ files_arg $ keywords_arg $ filter_arg $ strategy_arg
+      $ strict_arg $ deadline_ms_arg $ top_arg $ shards_arg $ verbose_arg)
 
 (* --- sql command --- *)
 
@@ -569,14 +652,22 @@ let serve_join_cache_arg =
         ~doc:"Shared synchronized join-memoization cache, in entries \
               (0 = disabled).")
 
-let run_serve file host port workers queue request_timeout_ms io_timeout
-    join_cache stem verbose =
+let run_serve files host port workers queue request_timeout_ms io_timeout
+    join_cache shards stem verbose =
   setup_logs verbose;
-  match load_context ~stem file with
+  let ( let* ) = Result.bind in
+  let loaded =
+    (* First FILE is the single-document target of /query and /explain;
+       the whole FILE list forms the corpus behind /corpus/query. *)
+    let* ctx = load_context ~stem (List.hd files) in
+    let* corpus = load_corpus files in
+    Ok (ctx, corpus)
+  in
+  match loaded with
   | Error msg ->
       Format.eprintf "xfrag: %s@." msg;
       1
-  | Ok ctx ->
+  | Ok (ctx, corpus) ->
       let cache =
         if join_cache > 0 then
           Some
@@ -588,7 +679,11 @@ let run_serve file host port workers queue request_timeout_ms io_timeout
         if request_timeout_ms > 0 then Some (request_timeout_ms * 1_000_000)
         else None
       in
-      let router = Xfrag_server.Router.create ?cache ?default_deadline_ns ctx in
+      let router =
+        Xfrag_server.Router.create ?cache ?default_deadline_ns ~corpus
+          ?shards:(if shards > 0 then Some shards else None)
+          ctx
+      in
       let config =
         {
           Xfrag_server.Server.default_config with
@@ -620,7 +715,9 @@ let run_serve file host port workers queue request_timeout_ms io_timeout
 
 let serve_cmd =
   let doc =
-    "Serve queries over HTTP: POST /query and /explain (JSON), GET \
+    "Serve queries over HTTP: POST /query, /explain, and /corpus/query \
+     (JSON; the corpus endpoint searches every FILE, sharded across \
+     parallel domains, and accepts a JSON array as a batch), GET \
      /healthz and /metrics (Prometheus text format).  A fixed worker \
      pool shares one in-memory index and one join cache; a bounded \
      queue sheds overload with 503; per-request deadlines abort \
@@ -629,9 +726,9 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
-      const run_serve $ file_arg $ host_arg $ port_arg $ workers_arg
+      const run_serve $ files_arg $ host_arg $ port_arg $ workers_arg
       $ queue_arg $ request_timeout_arg $ io_timeout_arg
-      $ serve_join_cache_arg $ stem_arg $ verbose_arg)
+      $ serve_join_cache_arg $ shards_arg $ stem_arg $ verbose_arg)
 
 let main_cmd =
   let doc = "algebraic keyword search over document-centric XML fragments" in

@@ -48,16 +48,24 @@ let () =
   in
   Format.printf "@.query: %a@.@." Query.pp query;
 
-  (* Scored cross-document search. *)
+  (* Scored cross-document search on the sharded engine: one request
+     value, documents partitioned across shards, per-shard top-k merged
+     with a k-way heap merge.  The answer list is identical for every
+     shard count. *)
   let scorer ctx f = Ranking.score ctx ~keywords f in
-  let results = Corpus.search_scored ~scorer ~limit:8 corpus query in
-  Format.printf "top results:@.";
+  let request =
+    Xfrag_core.Exec.Request.(with_limit (Some 8) (of_query query))
+  in
+  let outcome = Corpus.run ~shards:2 ~scorer corpus request in
+  Format.printf "top results (%d answers corpus-wide, %d shards):@."
+    outcome.Corpus.total_answers
+    (List.length outcome.Corpus.shard_reports);
   List.iteri
     (fun i (hit, score) ->
       let ctx = Corpus.context corpus hit.Corpus.doc in
       Format.printf "  #%d %-14s score %.2f  %a@." (i + 1) hit.Corpus.doc score
         (Fragment.pp_labeled ctx) hit.Corpus.fragment)
-    results;
+    outcome.Corpus.hits;
 
   (* Per-document overlap handling: collapse nested answers. *)
   Format.printf "@.overlap-collapsed view per document:@.";

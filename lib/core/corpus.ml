@@ -1,8 +1,36 @@
 module String_map = Map.Make (String)
+module Clock = Xfrag_obs.Clock
+module Min_heap = Xfrag_util.Min_heap
 
 type t = Context.t String_map.t
 
 type hit = { doc : string; fragment : Fragment.t }
+
+type doc_report = {
+  doc_name : string;
+  doc_nodes : int;
+  doc_answers : int;
+  doc_elapsed_ns : int;
+  doc_strategy : Exec.strategy;
+}
+
+type shard_report = {
+  shard_index : int;
+  shard_docs : doc_report list;
+  shard_nodes : int;
+  shard_elapsed_ns : int;
+  shard_deadline_expired : bool;
+}
+
+type outcome = {
+  hits : (hit * float) list;
+  stats : Op_stats.t;
+  shard_reports : shard_report list;
+  merge_ns : int;
+  elapsed_ns : int;
+  total_answers : int;
+  deadline_expired : bool;
+}
 
 let empty = String_map.empty
 
@@ -24,40 +52,6 @@ let context t name =
 let total_nodes t =
   String_map.fold (fun _ ctx acc -> acc + Context.size ctx) t 0
 
-let search ?strategy t query =
-  String_map.fold
-    (fun doc ctx acc ->
-      let answers = Eval.answers ?strategy ctx query in
-      let hits =
-        List.map (fun fragment -> { doc; fragment }) (Frag_set.elements answers)
-      in
-      acc @ hits)
-    t []
-
-let search_scored ~scorer ?strategy ?limit t query =
-  let scored =
-    String_map.fold
-      (fun doc ctx acc ->
-        let answers = Eval.answers ?strategy ctx query in
-        Frag_set.fold
-          (fun acc fragment -> ({ doc; fragment }, scorer ctx fragment) :: acc)
-          acc answers)
-      t []
-  in
-  let sorted =
-    List.stable_sort
-      (fun (h1, s1) (h2, s2) ->
-        let c = compare s2 s1 in
-        if c <> 0 then c
-        else
-          let c = String.compare h1.doc h2.doc in
-          if c <> 0 then c else Fragment.compare h1.fragment h2.fragment)
-      scored
-  in
-  match limit with
-  | None -> sorted
-  | Some n -> List.filteri (fun i _ -> i < n) sorted
-
 let document_frequency t keyword =
   String_map.fold
     (fun _ ctx acc ->
@@ -65,3 +59,261 @@ let document_frequency t keyword =
         acc + 1
       else acc)
     t 0
+
+(* Ranking order shared by the per-shard top-k heaps, the k-way merge,
+   and the legacy full sort: score descending, then document name, then
+   fragment.  Hits are pairwise distinct (unique doc names, sets of
+   fragments per doc), so this is a strict total order — which is what
+   makes sharded execution bit-identical to sequential: the global top-k
+   under a total order is a subset of the union of per-shard top-ks. *)
+let cmp_scored (h1, s1) (h2, s2) =
+  let c = compare (s2 : float) s1 in
+  if c <> 0 then c
+  else
+    let c = String.compare h1.doc h2.doc in
+    if c <> 0 then c else Fragment.compare h1.fragment h2.fragment
+
+(* Documents hash-assign to shards by name (stable across runs and
+   corpus mutations elsewhere), then a greedy rebalance moves documents
+   from the heaviest to the lightest shard while that strictly shrinks
+   the gap — node count is the work proxy.  Each move reduces the
+   sum of squared shard weights, so the loop terminates; the cap is
+   belt and braces. *)
+let plan_shards t n =
+  let bindings = String_map.bindings t in
+  if n <= 1 then [| bindings |]
+  else begin
+    let buckets = Array.make n [] in
+    let weights = Array.make n 0 in
+    List.iter
+      (fun ((name, ctx) as doc) ->
+        let i = Hashtbl.hash name mod n in
+        buckets.(i) <- doc :: buckets.(i);
+        weights.(i) <- weights.(i) + Context.size ctx)
+      bindings;
+    let arg_extreme better =
+      let best = ref 0 in
+      for i = 1 to n - 1 do
+        if better weights.(i) weights.(!best) then best := i
+      done;
+      !best
+    in
+    let moves = ref (0, (4 * List.length bindings) + 16) in
+    let progress = ref true in
+    while !progress && fst !moves < snd !moves do
+      progress := false;
+      let hi = arg_extreme ( > ) and lo = arg_extreme ( < ) in
+      if hi <> lo then begin
+        (* Smallest movable document that still strictly improves:
+           small moves converge toward balance without overshooting. *)
+        let candidate =
+          List.fold_left
+            (fun acc ((_, ctx) as doc) ->
+              let s = Context.size ctx in
+              if weights.(lo) + s < weights.(hi) then
+                match acc with
+                | Some (_, best_s) when best_s <= s -> acc
+                | _ -> Some (doc, s)
+              else acc)
+            None buckets.(hi)
+        in
+        match candidate with
+        | None -> ()
+        | Some (((name, _) as doc), s) ->
+            buckets.(hi) <-
+              List.filter (fun (n', _) -> n' <> name) buckets.(hi);
+            buckets.(lo) <- doc :: buckets.(lo);
+            weights.(hi) <- weights.(hi) - s;
+            weights.(lo) <- weights.(lo) + s;
+            moves := (fst !moves + 1, snd !moves);
+            progress := true
+      end
+    done;
+    Array.map
+      (List.sort (fun (a, _) (b, _) -> String.compare a b))
+      buckets
+  end
+
+type shard_eval = {
+  s_report : shard_report;
+  s_run : (hit * float) list;  (* sorted best-first by [cmp_scored] *)
+  s_stats : Op_stats.t;
+  s_answers : int;
+}
+
+let eval_shard ~scorer ~clock (request : Exec.Request.t) idx docs =
+  let t0 = clock () in
+  let stats = Op_stats.create () in
+  let expired = ref false in
+  let doc_reports = ref [] in
+  let total_answers = ref 0 in
+  let limit = request.Exec.Request.limit in
+  (* Per-document request: the shared join cache is withheld (its
+     generation bookkeeping is per-context and a concurrently shared
+     memo table would be poisoned by a mid-update abort) and tracing is
+     disabled (the span stack is not safe to interleave across
+     domains). *)
+  let doc_request =
+    { request with Exec.Request.cache = None; trace = Xfrag_obs.Trace.disabled }
+  in
+  let heap = Min_heap.create ~cmp:(fun a b -> cmp_scored b a) in
+  let all = ref [] in
+  let add_hit scored =
+    match limit with
+    | None -> all := scored :: !all
+    | Some k when k <= 0 -> ()
+    | Some k ->
+        if Min_heap.length heap < k then Min_heap.push heap scored
+        else (
+          match Min_heap.peek heap with
+          | Some worst when cmp_scored scored worst < 0 ->
+              Min_heap.replace_min heap scored
+          | _ -> ())
+  in
+  (try
+     List.iter
+       (fun (doc, ctx) ->
+         if Deadline.expired request.Exec.Request.deadline then begin
+           expired := true;
+           raise_notrace Stdlib.Exit
+         end;
+         match Eval.exec ctx doc_request with
+         | outcome ->
+             Op_stats.merge stats outcome.Eval.stats;
+             let n = Frag_set.cardinal outcome.Eval.answers in
+             total_answers := !total_answers + n;
+             List.iter
+               (fun fragment ->
+                 add_hit ({ doc; fragment }, scorer ctx fragment))
+               (Frag_set.elements outcome.Eval.answers);
+             doc_reports :=
+               {
+                 doc_name = doc;
+                 doc_nodes = Context.size ctx;
+                 doc_answers = n;
+                 doc_elapsed_ns = outcome.Eval.elapsed_ns;
+                 doc_strategy = outcome.Eval.strategy_used;
+               }
+               :: !doc_reports
+         | exception Deadline.Expired ->
+             (* Partial-result contract: the in-flight document's
+                answers are dropped wholesale (a half-evaluated answer
+                set would not be bit-identical to any shard plan), the
+                shard stops, and the expiry is reported as data — the
+                corpus engine never lets [Expired] escape. *)
+             expired := true;
+             raise_notrace Stdlib.Exit)
+       docs
+   with Stdlib.Exit -> ());
+  let run =
+    match limit with
+    | None -> List.sort cmp_scored !all
+    | Some _ -> List.sort cmp_scored (Min_heap.to_list heap)
+  in
+  let nodes = List.fold_left (fun a (_, c) -> a + Context.size c) 0 docs in
+  {
+    s_report =
+      {
+        shard_index = idx;
+        shard_docs = List.rev !doc_reports;
+        shard_nodes = nodes;
+        shard_elapsed_ns = clock () - t0;
+        shard_deadline_expired = !expired;
+      };
+    s_run = run;
+    s_stats = stats;
+    s_answers = !total_answers;
+  }
+
+(* K-way merge of per-shard best-first runs: a heap of run heads, pop
+   the global best, push its successor.  At most [shards] heads are
+   live, and with a limit at most [limit] hits are ever emitted, so the
+   merge never materializes more than [shards x limit] scored hits
+   (the per-shard runs) plus the output. *)
+let merge_runs ~limit runs =
+  let heap = Min_heap.create ~cmp:(fun (a, _) (b, _) -> cmp_scored a b) in
+  List.iter
+    (function [] -> () | head :: rest -> Min_heap.push heap (head, rest))
+    runs;
+  let out = ref [] in
+  let emitted = ref 0 in
+  let want_more () =
+    match limit with None -> true | Some k -> !emitted < k
+  in
+  let continue = ref true in
+  while !continue && want_more () do
+    match Min_heap.pop heap with
+    | None -> continue := false
+    | Some (best, rest) ->
+        out := best :: !out;
+        incr emitted;
+        (match rest with
+        | [] -> ()
+        | head :: rest' -> Min_heap.push heap (head, rest'))
+  done;
+  List.rev !out
+
+let run ?pool ?shards ?(scorer = fun _ _ -> 0.)
+    ?(clock = Clock.monotonic) t (request : Exec.Request.t) =
+  let t0 = clock () in
+  let pool = match pool with Some p -> p | None -> Shard_pool.default () in
+  let requested =
+    match shards with
+    | Some n -> max 1 n
+    | None -> (
+        match Sys.getenv_opt "XFRAG_SHARDS" with
+        | Some s -> (
+            match int_of_string_opt s with
+            | Some n when n >= 1 -> n
+            | _ -> Shard_pool.parallelism pool)
+        | None -> Shard_pool.parallelism pool)
+  in
+  let n = max 1 (min requested (max 1 (String_map.cardinal t))) in
+  let shard_docs = plan_shards t n in
+  let jobs =
+    Array.mapi
+      (fun i docs () -> eval_shard ~scorer ~clock request i docs)
+      shard_docs
+  in
+  let results = Shard_pool.map_all pool jobs in
+  let shard_results =
+    Array.to_list results
+    |> List.map (function Ok r -> r | Error e -> raise e)
+  in
+  let t_merge = clock () in
+  let hits =
+    merge_runs ~limit:request.Exec.Request.limit
+      (List.map (fun r -> r.s_run) shard_results)
+  in
+  let merge_ns = clock () - t_merge in
+  let stats = Op_stats.create () in
+  List.iter (fun r -> Op_stats.merge stats r.s_stats) shard_results;
+  {
+    hits;
+    stats;
+    shard_reports = List.map (fun r -> r.s_report) shard_results;
+    merge_ns;
+    elapsed_ns = clock () - t0;
+    total_answers =
+      List.fold_left (fun a r -> a + r.s_answers) 0 shard_results;
+    deadline_expired =
+      List.exists (fun r -> r.s_report.shard_deadline_expired) shard_results;
+  }
+
+let request_of ?strategy query =
+  let request = Exec.Request.of_query query in
+  match strategy with
+  | None -> request
+  | Some s -> Exec.Request.with_strategy s request
+
+let search ?strategy t query =
+  List.map fst (run t (request_of ?strategy query)).hits
+
+let search_scored ~scorer ?strategy ?limit t query =
+  let request = request_of ?strategy query in
+  let request =
+    match limit with
+    | None -> request
+    | Some _ -> Exec.Request.with_limit limit request
+  in
+  (run ~scorer t request).hits

@@ -1,14 +1,56 @@
-(** Multi-document collections.
+(** Multi-document collections and the sharded corpus engine.
 
     The paper closes by noting the model "can accommodate a very large
     collection of XML documents" (§7).  A corpus is a set of named
     documents, each with its own {!Context.t}; queries run per document
     (fragments never span documents — a fragment is connected within one
-    tree) and results carry their document of origin. *)
+    tree) and results carry their document of origin.
+
+    {!run} is the engine: the corpus is partitioned into shards
+    (documents hash-assigned by name, then rebalanced by node count),
+    each shard evaluates the request on a shared pool of reused domains
+    ({!Shard_pool}), keeps only its top-k hits in a bounded heap, and
+    the per-shard runs meet in a k-way merge — never materializing more
+    than [shards x k] scored hits.  Because the ranking order is a
+    strict total order, the sharded answer list is bit-identical to the
+    sequential one for any shard count (property-tested). *)
 
 type t
 
 type hit = { doc : string; fragment : Fragment.t }
+
+type doc_report = {
+  doc_name : string;
+  doc_nodes : int;  (** tree size, the shard-balancing weight *)
+  doc_answers : int;  (** answer fragments before any top-k truncation *)
+  doc_elapsed_ns : int;
+  doc_strategy : Exec.strategy;  (** what [Auto] resolved to, per doc *)
+}
+
+type shard_report = {
+  shard_index : int;
+  shard_docs : doc_report list;  (** documents evaluated, in name order *)
+  shard_nodes : int;
+  shard_elapsed_ns : int;
+  shard_deadline_expired : bool;
+      (** the shard stopped early; [shard_docs] lists only the documents
+          that completed *)
+}
+
+type outcome = {
+  hits : (hit * float) list;
+      (** merged, score descending (ties by document name then
+          fragment), truncated to the request's [limit] *)
+  stats : Op_stats.t;  (** merged across every evaluated document *)
+  shard_reports : shard_report list;  (** by [shard_index] *)
+  merge_ns : int;  (** wall time of the k-way merge alone *)
+  elapsed_ns : int;  (** wall time of the whole corpus run *)
+  total_answers : int;
+      (** answer fragments across all documents, before truncation *)
+  deadline_expired : bool;
+      (** some shard hit the request deadline; [hits] are the complete
+          merge of what finished (partial results, never an exception) *)
+}
 
 val empty : t
 
@@ -29,15 +71,53 @@ val context : t -> string -> Context.t
 
 val total_nodes : t -> int
 
+val run :
+  ?pool:Shard_pool.t ->
+  ?shards:int ->
+  ?scorer:(Context.t -> Fragment.t -> float) ->
+  ?clock:Xfrag_obs.Clock.t ->
+  t ->
+  Exec.Request.t ->
+  outcome
+(** Evaluate [request] against every document, sharded.
+
+    [shards] defaults to the [XFRAG_SHARDS] environment variable when it
+    is a positive integer, else to the pool's parallelism; it is clamped
+    to the document count.  [pool] defaults to {!Shard_pool.default}
+    (shared process-wide — concurrent callers reuse the same worker
+    domains).  [scorer] ranks hits (default: constant [0.], which orders
+    purely by document name and fragment).  [clock] times the shards and
+    the merge; an injected clock must be safe to call from multiple
+    domains.
+
+    Each document evaluates with the request's [cache] and [trace]
+    stripped: a shared memo table must not be poisoned by a mid-update
+    abort on another domain, and the span stack is not domain-safe.
+
+    When the request deadline expires mid-run, each shard stops at the
+    next document boundary, the in-flight document's answers are
+    dropped, and the outcome carries everything that completed with
+    [deadline_expired] set — {!Deadline.Expired} never escapes.  Any
+    other exception from an evaluation (unknown strategy guard, empty
+    keyword set, a raising [scorer]) is re-raised. *)
+
 val search : ?strategy:Eval.strategy -> t -> Query.t -> hit list
+  [@@deprecated "use Corpus.run with an Exec.Request.t"]
 (** All answers across the corpus, grouped by document name (sorted) and
-    {!Fragment.compare} within a document. *)
+    {!Fragment.compare} within a document.
+    @deprecated Thin wrapper over {!run} (identical answers). *)
 
 val search_scored :
-  scorer:(Context.t -> Fragment.t -> float) -> ?strategy:Eval.strategy ->
-  ?limit:int -> t -> Query.t -> (hit * float) list
+  scorer:(Context.t -> Fragment.t -> float) ->
+  ?strategy:Eval.strategy ->
+  ?limit:int ->
+  t ->
+  Query.t ->
+  (hit * float) list
+  [@@deprecated "use Corpus.run with an Exec.Request.t"]
 (** Answers ordered by descending score (ties by document/fragment
-    order); [limit] truncates (default: no truncation). *)
+    order); [limit] truncates (default: no truncation).
+    @deprecated Thin wrapper over {!run} (identical ranking). *)
 
 val document_frequency : t -> string -> int
 (** Number of documents whose index contains the keyword. *)

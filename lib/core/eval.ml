@@ -3,7 +3,7 @@ module Trace = Xfrag_obs.Trace
 module Clock = Xfrag_obs.Clock
 module Json = Xfrag_obs.Json
 
-type strategy =
+type strategy = Exec.strategy =
   | Brute_force
   | Naive_fixpoint
   | Set_reduction
@@ -21,30 +21,11 @@ type outcome = {
   phase_ns : (string * int) list;
 }
 
-let strategy_name = function
-  | Brute_force -> "brute-force"
-  | Naive_fixpoint -> "naive"
-  | Set_reduction -> "set-reduction"
-  | Pushdown -> "pushdown"
-  | Pushdown_reduction -> "pushdown-red"
-  | Semi_naive -> "semi-naive"
-  | Auto -> "auto"
+let strategy_name = Exec.strategy_name
 
-let strategy_of_string = function
-  | "brute-force" | "bruteforce" | "brute" -> Ok Brute_force
-  | "naive" | "naive-fixpoint" -> Ok Naive_fixpoint
-  | "set-reduction" | "reduction" -> Ok Set_reduction
-  | "pushdown" | "push-down" -> Ok Pushdown
-  | "pushdown-reduction" | "pushdown-red" -> Ok Pushdown_reduction
-  | "semi-naive" | "seminaive" -> Ok Semi_naive
-  | "auto" -> Ok Auto
-  | s -> Error (Printf.sprintf "unknown strategy %S" s)
+let strategy_of_string = Exec.strategy_of_string
 
-let all_strategies =
-  [
-    Brute_force; Naive_fixpoint; Set_reduction; Pushdown; Pushdown_reduction;
-    Semi_naive;
-  ]
+let all_strategies = Exec.all_strategies
 
 (* Auto heuristics (§5): pushdown whenever the filter has a usable
    anti-monotonic part; otherwise choose set reduction when the reduction
@@ -95,9 +76,13 @@ let strict_leaf_filter ctx (q : Query.t) answers =
         q.keywords)
     answers
 
-let run ?(strategy = Auto) ?(strict_leaf_semantics = false) ?cache
-    ?(trace = Trace.disabled) ?(clock = Clock.monotonic)
-    ?(deadline = Deadline.none) ctx (q : Query.t) =
+let exec ?(clock = Clock.monotonic) ctx (r : Exec.Request.t) =
+  let q = Exec.Request.to_query r in
+  let strategy = r.Exec.Request.strategy in
+  let strict_leaf_semantics = r.Exec.Request.strict_leaf in
+  let cache = r.Exec.Request.cache in
+  let trace = r.Exec.Request.trace in
+  let deadline = r.Exec.Request.deadline in
   let stats = Op_stats.create () in
   let t0 = clock () in
   Trace.with_span trace
@@ -202,6 +187,19 @@ let run ?(strategy = Auto) ?(strict_leaf_semantics = false) ?cache
     elapsed_ns = t_end - t0;
     phase_ns;
   }
+
+let run ?(strategy = Auto) ?(strict_leaf_semantics = false) ?cache
+    ?(trace = Trace.disabled) ?clock ?(deadline = Deadline.none) ctx
+    (q : Query.t) =
+  exec ?clock ctx
+    {
+      (Exec.Request.of_query q) with
+      Exec.Request.strategy;
+      strict_leaf = strict_leaf_semantics;
+      cache;
+      trace;
+      deadline;
+    }
 
 let answers ?strategy ?strict_leaf_semantics ?cache ?deadline ctx q =
   (run ?strategy ?strict_leaf_semantics ?cache ?deadline ctx q).answers

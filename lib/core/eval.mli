@@ -26,7 +26,7 @@
     filtered by Definition 8's leaf-occurrence requirement (see
     {!Query}). *)
 
-type strategy =
+type strategy = Exec.strategy =
   | Brute_force
   | Naive_fixpoint
   | Set_reduction
@@ -34,6 +34,8 @@ type strategy =
   | Pushdown_reduction
   | Semi_naive
   | Auto
+(** Re-export of {!Exec.strategy} — the type lives with the request
+    API; this equation keeps [Eval.Auto]-style code compiling. *)
 
 type outcome = {
   answers : Frag_set.t;
@@ -59,6 +61,35 @@ val strategy_of_string : string -> (strategy, string) result
 val all_strategies : strategy list
 (** The six concrete strategies (without [Auto]). *)
 
+val exec : ?clock:Xfrag_obs.Clock.t -> Context.t -> Exec.Request.t -> outcome
+(** Evaluate an {!Exec.Request.t} — the primary entry point; the CLI,
+    the HTTP endpoints, and the sharded corpus engine all build one
+    request value and land here.  A keyword with an empty posting list
+    makes the answer empty (conjunctive semantics).  The request's
+    [limit] is presentation-side and is {e not} applied here: [answers]
+    is always the full set (the corpus engine and the endpoints
+    truncate).
+
+    [request.cache], when set, memoizes fragment joins across the whole
+    evaluation (and across evaluations sharing the cache) — see
+    {!Join_cache}.  Answers are unchanged; [stats] gains
+    [cache_hits]/[cache_misses]/[cache_evictions] and [fragment_joins]
+    counts only the joins actually computed.
+
+    With an enabled [request.trace] (default
+    {!Xfrag_obs.Trace.disabled}, which costs nothing), the evaluation is
+    recorded as a span tree rooted at [query] — see {!Xfrag_obs.Export}.
+    [clock] only affects the [elapsed_ns] / [phase_ns] measurements
+    (injectable for deterministic tests).  [request.deadline] bounds the
+    evaluation in wall-clock: every strategy's inner loops check it
+    between whole fragment joins and abort with {!Deadline.Expired} once
+    it passes — a shared cache is never left mid-update (see
+    {!Deadline}).
+    @raise Deadline.Expired once [request.deadline] passes.
+    @raise Invalid_argument if the request has no usable keyword, or if
+    [Brute_force] is asked to enumerate a keyword set above the
+    exponential-enumeration guard. *)
+
 val run :
   ?strategy:strategy ->
   ?strict_leaf_semantics:bool ->
@@ -69,29 +100,10 @@ val run :
   Context.t ->
   Query.t ->
   outcome
-(** Evaluate a query (default strategy [Auto]).  A keyword with an empty
-    posting list makes the answer empty (conjunctive semantics).
-
-    [cache], when given, memoizes fragment joins across the whole
-    evaluation (and across evaluations sharing the cache) — see
-    {!Join_cache}.  Answers are unchanged; [stats] gains
-    [cache_hits]/[cache_misses]/[cache_evictions] and [fragment_joins]
-    counts only the joins actually computed.
-
-    With an enabled [trace] (default {!Xfrag_obs.Trace.disabled}, which
-    costs nothing), the evaluation is recorded as a span tree rooted at
-    [query]: per-keyword [scan] spans, [choose-strategy], per-operand
-    fixed points with their [round] children, the [pairwise-join]s
-    between them, and the final [select] — exportable through
-    {!Xfrag_obs.Export}.  [clock] only affects the [elapsed_ns] /
-    [phase_ns] measurements (injectable for deterministic tests).
-    [deadline] (default {!Deadline.none}) bounds the evaluation in
-    wall-clock: every strategy's inner loops check it between whole
-    fragment joins and abort with {!Deadline.Expired} once it passes —
-    a shared [cache] is never left mid-update (see {!Deadline}).
-    @raise Deadline.Expired once [deadline] passes.
-    @raise Invalid_argument if [Brute_force] is asked to enumerate a
-    keyword set above the exponential-enumeration guard. *)
+(** @deprecated Thin wrapper kept for one release: builds an
+    {!Exec.Request.t} from the optional arguments and calls {!exec}.
+    New code should construct the request with the {!Exec.Request}
+    builders instead.  Semantics are exactly {!exec}'s. *)
 
 val answers :
   ?strategy:strategy ->
@@ -101,4 +113,6 @@ val answers :
   Context.t ->
   Query.t ->
   Frag_set.t
-(** [run] without the accounting. *)
+(** [run] without the accounting.
+    @deprecated Same wrapper status as {!run}: prefer
+    [(Eval.exec ctx request).answers]. *)

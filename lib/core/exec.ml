@@ -1,0 +1,237 @@
+module Trace = Xfrag_obs.Trace
+module Json = Xfrag_obs.Json
+
+type strategy =
+  | Brute_force
+  | Naive_fixpoint
+  | Set_reduction
+  | Pushdown
+  | Pushdown_reduction
+  | Semi_naive
+  | Auto
+
+let strategy_name = function
+  | Brute_force -> "brute-force"
+  | Naive_fixpoint -> "naive"
+  | Set_reduction -> "set-reduction"
+  | Pushdown -> "pushdown"
+  | Pushdown_reduction -> "pushdown-red"
+  | Semi_naive -> "semi-naive"
+  | Auto -> "auto"
+
+let strategy_of_string = function
+  | "brute-force" | "bruteforce" | "brute" -> Ok Brute_force
+  | "naive" | "naive-fixpoint" -> Ok Naive_fixpoint
+  | "set-reduction" | "reduction" -> Ok Set_reduction
+  | "pushdown" | "push-down" -> Ok Pushdown
+  | "pushdown-reduction" | "pushdown-red" -> Ok Pushdown_reduction
+  | "semi-naive" | "seminaive" -> Ok Semi_naive
+  | "auto" -> Ok Auto
+  | s -> Error (Printf.sprintf "unknown strategy %S" s)
+
+let all_strategies =
+  [
+    Brute_force; Naive_fixpoint; Set_reduction; Pushdown; Pushdown_reduction;
+    Semi_naive;
+  ]
+
+(* ms * 1_000_000 overflowing into a negative, already-expired deadline
+   is a validation error, not a 408; this rule must live in exactly one
+   place (it used to be re-implemented per endpoint). *)
+let deadline_of_ms ms =
+  if ms < 0 then Error "deadline_ms must be non-negative"
+  else if ms > max_int / 1_000_000 then Error "deadline_ms too large"
+  else Ok (Deadline.after (ms * 1_000_000))
+
+module Request = struct
+  type t = {
+    keywords : string list;
+    filter : Filter.t;
+    strategy : strategy;
+    strict_leaf : bool;
+    deadline : Deadline.t;
+    cache : Join_cache.t option;
+    trace : Trace.t;
+    limit : int option;
+  }
+
+  let default =
+    {
+      keywords = [];
+      filter = Filter.True;
+      strategy = Auto;
+      strict_leaf = false;
+      deadline = Deadline.none;
+      cache = None;
+      trace = Trace.disabled;
+      limit = None;
+    }
+
+  let with_keywords keywords t = { t with keywords }
+
+  let with_filter filter t = { t with filter }
+
+  let with_strategy strategy t = { t with strategy }
+
+  let with_strict_leaf strict_leaf t = { t with strict_leaf }
+
+  let with_deadline deadline t = { t with deadline }
+
+  let with_cache cache t = { t with cache }
+
+  let with_trace trace t = { t with trace }
+
+  let with_limit limit t = { t with limit }
+
+  let of_query (q : Query.t) =
+    { default with keywords = q.Query.keywords; filter = q.Query.filter }
+
+  let to_query t = Query.make ~filter:t.filter t.keywords
+
+  (* --- the one JSON codec ---------------------------------------------- *)
+
+  let ( let* ) = Result.bind
+
+  let member_opt key decode what j =
+    match Json.member key j with
+    | None -> Ok None
+    | Some v -> (
+        match decode v with
+        | Some x -> Ok (Some x)
+        | None -> Error (Printf.sprintf "%S must be %s" key what))
+
+  let keywords_of_json j =
+    match Json.member "keywords" j with
+    | None -> Error "missing \"keywords\""
+    | Some v -> (
+        match Json.to_list_opt v with
+        | None -> Error "\"keywords\" must be an array"
+        | Some l ->
+            let rec go acc = function
+              | [] -> Ok (List.rev acc)
+              | k :: rest -> (
+                  match Json.to_string_opt k with
+                  | Some s when s <> "" -> go (s :: acc) rest
+                  | _ -> Error "\"keywords\" must be non-empty strings")
+            in
+            go [] l)
+
+  let filter_of_json j =
+    let* from_string =
+      match Json.member "filter" j with
+      | None -> Ok Filter.True
+      | Some v -> (
+          match Json.to_string_opt v with
+          | None -> Error "\"filter\" must be a string"
+          | Some s -> (
+              match Filter.of_string s with
+              | Ok f -> Ok f
+              | Error msg -> Error ("bad \"filter\": " ^ msg)))
+    in
+    let* from_bounds =
+      match Json.member "filters" j with
+      | None -> Ok Filter.True
+      | Some bounds ->
+          let bound key make acc =
+            let* acc = acc in
+            let* b = member_opt key Json.to_int_opt "an integer" bounds in
+            Ok (match b with None -> acc | Some n -> make n :: acc)
+          in
+          let* terms =
+            Ok []
+            |> bound "max_size" (fun n -> Filter.Size_at_most n)
+            |> bound "max_height" (fun n -> Filter.Height_at_most n)
+            |> bound "max_width" (fun n -> Filter.Width_at_most n)
+          in
+          Ok (Filter.conjoin (List.rev terms))
+    in
+    (* [conjuncts] drops [True] terms, so absent fields contribute
+       nothing and a lone filter decodes back to itself. *)
+    Ok (Filter.conjoin (Filter.conjuncts from_bounds @ Filter.conjuncts from_string))
+
+  let of_json ?default_deadline_ns j =
+    let* keywords = keywords_of_json j in
+    let* filter = filter_of_json j in
+    (* Validate the keyword list the way evaluation will (normalization
+       can empty it out), so a bad request fails here, with a message,
+       not mid-evaluation. *)
+    let* () =
+      match Query.make ~filter keywords with
+      | (_ : Query.t) -> Ok ()
+      | exception Invalid_argument msg -> Error msg
+    in
+    let* strategy =
+      let* s = member_opt "strategy" Json.to_string_opt "a string" j in
+      match s with None -> Ok Auto | Some s -> strategy_of_string s
+    in
+    let* strict_leaf =
+      let* b = member_opt "strict_leaf" Json.to_bool_opt "a boolean" j in
+      Ok (Option.value ~default:false b)
+    in
+    let* deadline =
+      let* ms = member_opt "deadline_ms" Json.to_int_opt "an integer" j in
+      match ms with
+      | Some ms -> deadline_of_ms ms
+      | None -> (
+          match default_deadline_ns with
+          | Some ns -> Ok (Deadline.after ns)
+          | None -> Ok Deadline.none)
+    in
+    let* limit =
+      let* l = member_opt "limit" Json.to_int_opt "an integer" j in
+      Ok
+        (match l with
+        | None -> Some 100
+        | Some n when n <= 0 -> None
+        | Some n -> Some n)
+    in
+    Ok
+      {
+        keywords;
+        filter;
+        strategy;
+        strict_leaf;
+        deadline;
+        cache = None;
+        trace = Trace.disabled;
+        limit;
+      }
+
+  let of_body ?default_deadline_ns body =
+    match Json.of_string body with
+    | Error msg -> Error ("bad JSON body: " ^ msg)
+    | Ok j -> of_json ?default_deadline_ns j
+
+  let to_json t =
+    let fields =
+      [ ("keywords", Json.List (List.map (fun k -> Json.String k) t.keywords)) ]
+    in
+    let fields =
+      if t.filter = Filter.True then fields
+      else fields @ [ ("filter", Json.String (Filter.to_string t.filter)) ]
+    in
+    let fields =
+      if t.strategy = Auto then fields
+      else fields @ [ ("strategy", Json.String (strategy_name t.strategy)) ]
+    in
+    let fields =
+      if t.strict_leaf then fields @ [ ("strict_leaf", Json.Bool true) ]
+      else fields
+    in
+    let fields =
+      if Deadline.is_none t.deadline then fields
+      else
+        let ms =
+          (* Round up so a still-live deadline never serializes to an
+             already-expired 0. *)
+          (Deadline.remaining_ns t.deadline + 999_999) / 1_000_000
+        in
+        fields @ [ ("deadline_ms", Json.Int ms) ]
+    in
+    let fields =
+      match t.limit with
+      | None -> fields @ [ ("limit", Json.Int 0) ]
+      | Some n -> fields @ [ ("limit", Json.Int n) ]
+    in
+    Json.Obj fields
+end

@@ -1,0 +1,100 @@
+(** The unified evaluation-request API.
+
+    Every front end — the CLI, [POST /query], [POST /explain],
+    [POST /corpus/query], and the sharded corpus engine — used to
+    re-thread the same six optional arguments ([?strategy]
+    [?strict_leaf_semantics] [?cache] [?trace] [?deadline] [?limit])
+    and re-parse them independently.  {!Request.t} bundles them into one
+    value with one JSON codec, so the entry points cannot drift:
+    validation rules (the [deadline_ms] overflow rejection, keyword
+    non-emptiness, filter syntax) live here and nowhere else.
+
+    The evaluation {!strategy} type also lives here (it is part of a
+    request, not of any one evaluator); {!Eval} re-exports it, so
+    existing [Eval.Auto]-style code keeps compiling. *)
+
+type strategy =
+  | Brute_force
+  | Naive_fixpoint
+  | Set_reduction
+  | Pushdown
+  | Pushdown_reduction
+  | Semi_naive
+  | Auto
+
+val strategy_name : strategy -> string
+
+val strategy_of_string : string -> (strategy, string) result
+(** Recognizes [brute-force], [naive], [set-reduction], [pushdown],
+    [pushdown-reduction], [semi-naive], [auto]. *)
+
+val all_strategies : strategy list
+(** The six concrete strategies (without [Auto]). *)
+
+val deadline_of_ms : int -> (Deadline.t, string) result
+(** [deadline_of_ms ms] is a deadline [ms] milliseconds from now.
+    Negative values and values whose nanosecond conversion would
+    overflow are rejected with a message (they are validation errors —
+    HTTP 400 — not expirations).  The single home of this rule. *)
+
+module Request : sig
+  type t = {
+    keywords : string list;  (** raw; normalized by {!to_query} *)
+    filter : Filter.t;
+    strategy : strategy;
+    strict_leaf : bool;  (** Definition 8 leaf-occurrence semantics *)
+    deadline : Deadline.t;
+    cache : Join_cache.t option;  (** join memo table, see {!Join_cache} *)
+    trace : Xfrag_obs.Trace.t;  (** span sink, default disabled *)
+    limit : int option;  (** top-k bound; [None] = unlimited *)
+  }
+
+  val default : t
+  (** Empty keywords (invalid to evaluate as-is), [Filter.True], [Auto],
+      no deadline, no cache, disabled trace, no limit — the seed for the
+      [with_*] builders. *)
+
+  val with_keywords : string list -> t -> t
+
+  val with_filter : Filter.t -> t -> t
+
+  val with_strategy : strategy -> t -> t
+
+  val with_strict_leaf : bool -> t -> t
+
+  val with_deadline : Deadline.t -> t -> t
+
+  val with_cache : Join_cache.t option -> t -> t
+
+  val with_trace : Xfrag_obs.Trace.t -> t -> t
+
+  val with_limit : int option -> t -> t
+
+  val of_query : Query.t -> t
+  (** [default] carrying the query's keywords and filter. *)
+
+  val to_query : t -> Query.t
+  (** Normalizes and validates the keyword list.
+      @raise Invalid_argument when no keyword survives normalization. *)
+
+  val of_json : ?default_deadline_ns:int -> Xfrag_obs.Json.t -> (t, string) result
+  (** The single request decoder shared by every HTTP endpoint and the
+      batch corpus path.  Fields: [keywords] (required array of
+      non-empty strings), [filter] (string, {!Filter.of_string}
+      syntax), [filters] (object with [max_size]/[max_height]/
+      [max_width] integer bounds, conjoined with [filter]), [strategy]
+      (string), [strict_leaf] (bool), [deadline_ms] (int, validated by
+      {!deadline_of_ms}; absent → [default_deadline_ns] if given),
+      [limit] (int; absent → 100, [<= 0] → unlimited).  Error strings
+      are ready to surface as HTTP 400 bodies. *)
+
+  val of_body : ?default_deadline_ns:int -> string -> (t, string) result
+  (** {!of_json} after parsing; a malformed body yields
+      [Error "bad JSON body: …"]. *)
+
+  val to_json : t -> Xfrag_obs.Json.t
+  (** Inverse of {!of_json} for the serializable fields (keywords,
+      filter, strategy, strict_leaf, limit, and a remaining-time
+      [deadline_ms] when a deadline is set).  [cache] and [trace] are
+      process-local handles and do not serialize. *)
+end

@@ -40,7 +40,7 @@ let counter_delta before after =
   List.map2 (fun (_, a) (k, b) -> (k, b - a)) before after
   |> List.filter (fun (_, d) -> d <> 0)
 
-let analyze ?(clock = Clock.monotonic) ?cache ?deadline ctx (q : Query.t) =
+let analyze_query ?(clock = Clock.monotonic) ?cache ?deadline ctx (q : Query.t) =
   let choice = Optimizer.optimize ctx q in
   let stats = Op_stats.create () in
   (* Post-order: children are fully evaluated (and timed) first, so the
@@ -104,6 +104,13 @@ let analyze ?(clock = Clock.monotonic) ?cache ?deadline ctx (q : Query.t) =
     answers;
     total_ns = total_ns root;
   }
+
+let analyze_request ?clock ctx (r : Exec.Request.t) =
+  let q = Exec.Request.to_query r in
+  let deadline = r.Exec.Request.deadline in
+  analyze_query ?clock ?cache:r.Exec.Request.cache ~deadline ctx q
+
+let analyze ?clock ?cache ?deadline ctx q = analyze_query ?clock ?cache ?deadline ctx q
 
 let pp_node ppf root =
   let rec go indent n =

@@ -32,6 +32,16 @@ type report = {
   total_ns : int;  (** inclusive wall time of the whole plan *)
 }
 
+val analyze_request : ?clock:Xfrag_obs.Clock.t -> Context.t -> Exec.Request.t -> report
+(** Optimize the request's query, execute the winning plan operator by
+    operator, and annotate — the {!Exec.Request} entry point used by
+    [POST /explain] and the CLI.  Uses the request's [cache] and
+    [deadline]; [strategy] is ignored (the optimizer picks the plan) and
+    [limit]/[strict_leaf] are presentation concerns EXPLAIN does not
+    model.
+    @raise Deadline.Expired once the request deadline passes.
+    @raise Invalid_argument when no keyword survives normalization. *)
+
 val analyze :
   ?clock:Xfrag_obs.Clock.t ->
   ?cache:Join_cache.t ->
@@ -39,7 +49,10 @@ val analyze :
   Context.t ->
   Query.t ->
   report
-(** Optimize [q], execute the winning plan operator by operator, and
+(** @deprecated Optional-argument wrapper around {!analyze_request},
+    kept for one release.
+
+    Optimize [q], execute the winning plan operator by operator, and
     annotate.  The answers equal [Eval.answers ctx q] for the same plan
     semantics (property-tested).  With [cache], join operators serve
     repeated fragment joins from the memo table; the per-operator

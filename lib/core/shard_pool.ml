@@ -1,0 +1,138 @@
+type t = {
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let worker_loop t =
+  let rec next () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.jobs && not t.stopping do
+      Condition.wait t.work_ready t.mutex
+    done;
+    if Queue.is_empty t.jobs then Mutex.unlock t.mutex
+    else begin
+      let job = Queue.pop t.jobs in
+      Mutex.unlock t.mutex;
+      (* Jobs are claim-wrappers built by [map_all]; they never raise. *)
+      job ();
+      next ()
+    end
+  in
+  next ()
+
+let recommended_domains () =
+  min 7 (max 0 (Domain.recommended_domain_count () - 1))
+
+let create ?domains () =
+  let domains =
+    match domains with Some d -> max 0 d | None -> recommended_domains ()
+  in
+  let t =
+    {
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      jobs = Queue.create ();
+      stopping = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init domains (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let domains t = List.length t.domains
+
+let parallelism t = domains t + 1
+
+let shutdown t =
+  let ds =
+    with_lock t (fun () ->
+        t.stopping <- true;
+        Condition.broadcast t.work_ready;
+        let ds = t.domains in
+        t.domains <- [];
+        ds)
+  in
+  List.iter Domain.join ds
+
+(* Process-wide pool, created on first use so merely linking the
+   library never spawns domains.  Joined at exit: leaving domains
+   blocked in [Condition.wait] at program termination is undefined
+   behaviour territory. *)
+let default_pool = ref None
+
+let default_mutex = Mutex.create ()
+
+let default () =
+  Mutex.lock default_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock default_mutex) @@ fun () ->
+  match !default_pool with
+  | Some t -> t
+  | None ->
+      let domains =
+        match Sys.getenv_opt "XFRAG_SHARD_DOMAINS" with
+        | Some s -> (
+            match int_of_string_opt s with
+            | Some d when d >= 0 -> d
+            | _ -> recommended_domains ())
+        | None -> recommended_domains ()
+      in
+      let t = create ~domains () in
+      default_pool := Some t;
+      at_exit (fun () -> shutdown t);
+      t
+
+let map_all t fs =
+  let n = Array.length fs in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n (Error Stdlib.Exit) in
+    let claimed = Array.init n (fun _ -> Atomic.make false) in
+    let done_mutex = Mutex.create () in
+    let all_done = Condition.create () in
+    let pending = ref n in
+    let run_task i =
+      let r = try Ok (fs.(i) ()) with e -> Error e in
+      results.(i) <- r;
+      Mutex.lock done_mutex;
+      pending := !pending - 1;
+      if !pending = 0 then Condition.signal all_done;
+      Mutex.unlock done_mutex
+    in
+    (* First-claim wins: a task is run by whichever of the pool workers
+       and the calling domain gets to it first, so a saturated (or
+       empty) pool degrades to inline execution instead of blocking. *)
+    let try_run i =
+      if Atomic.compare_and_set claimed.(i) false true then run_task i
+    in
+    let offloaded =
+      domains t > 0
+      && with_lock t (fun () ->
+             if t.stopping then false
+             else begin
+               for i = 1 to n - 1 do
+                 Queue.push (fun () -> try_run i) t.jobs
+               done;
+               Condition.broadcast t.work_ready;
+               true
+             end)
+    in
+    ignore offloaded;
+    (* Help: run task 0, then claim whatever the workers haven't. *)
+    try_run 0;
+    for i = 1 to n - 1 do
+      try_run i
+    done;
+    Mutex.lock done_mutex;
+    while !pending > 0 do
+      Condition.wait all_done done_mutex
+    done;
+    Mutex.unlock done_mutex;
+    results
+  end

@@ -1,0 +1,44 @@
+(** Shared pool of worker domains for sharded corpus execution.
+
+    One pool serves every concurrent corpus query in the process: the
+    server's request workers all submit their shard jobs here, so the
+    number of live domains stays [domains + server workers] instead of
+    [shards x in-flight queries].
+
+    [map_all] uses a caller-helps discipline: each job carries an atomic
+    claimed flag; the calling domain enqueues the jobs, runs what the
+    workers have not claimed yet, and blocks only for jobs a worker is
+    actively running.  A saturated (or zero-domain) pool therefore
+    degrades to plain sequential execution in the caller — it can never
+    deadlock, and [create ~domains:0] is a valid "sequential mode". *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** Spawn [domains] worker domains (default
+    [min 7 (recommended_domain_count () - 1)], which is [0] on a
+    single-core machine).  [domains:0] is allowed: [map_all] then runs
+    everything in the caller. *)
+
+val default : unit -> t
+(** The lazily created process-wide pool, shut down via [at_exit].
+    Domain count comes from [XFRAG_SHARD_DOMAINS] when set to a
+    non-negative integer, else the [create] default. *)
+
+val domains : t -> int
+(** Number of worker domains (0 after [shutdown]). *)
+
+val parallelism : t -> int
+(** [domains t + 1] — the workers plus the calling domain, which always
+    helps. *)
+
+val map_all : t -> (unit -> 'a) array -> ('a, exn) result array
+(** Run every thunk, distributing across the pool's workers and the
+    calling domain, and wait for all of them.  Result order matches
+    input order.  A raising thunk yields [Error exn] in its slot and
+    never disturbs its siblings.  Safe to call from multiple domains
+    concurrently. *)
+
+val shutdown : t -> unit
+(** Stop and join the workers.  Subsequent [map_all] calls run entirely
+    in the caller.  Idempotent. *)

@@ -1,13 +1,14 @@
 module Context = Xfrag_core.Context
 module Fragment = Xfrag_core.Fragment
 module Frag_set = Xfrag_core.Frag_set
-module Filter = Xfrag_core.Filter
-module Query = Xfrag_core.Query
 module Eval = Xfrag_core.Eval
+module Exec = Xfrag_core.Exec
 module Explain = Xfrag_core.Explain
+module Corpus = Xfrag_core.Corpus
 module Deadline = Xfrag_core.Deadline
 module Op_stats = Xfrag_core.Op_stats
 module Join_cache = Xfrag_core.Join_cache
+module Ranking = Xfrag_baselines.Ranking
 module Doctree = Xfrag_doctree.Doctree
 module Json = Xfrag_obs.Json
 module Metrics = Xfrag_obs.Metrics
@@ -16,6 +17,8 @@ module Clock = Xfrag_obs.Clock
 
 type t = {
   ctx : Context.t;
+  corpus : Corpus.t option;
+  shards : int option;
   cache : Join_cache.t option;
   default_deadline_ns : int option;
   mutable queue_depth : unit -> int;
@@ -25,9 +28,12 @@ type t = {
          Hashtbl is not; every registry touch goes through this lock. *)
 }
 
-let create ?cache ?default_deadline_ns ?(queue_depth = fun () -> 0) ctx =
+let create ?cache ?default_deadline_ns ?(queue_depth = fun () -> 0) ?corpus
+    ?shards ctx =
   {
     ctx;
+    corpus;
+    shards;
     cache;
     default_deadline_ns;
     queue_depth;
@@ -46,7 +52,7 @@ let locked t f =
    registry series (unbounded memory, unbounded /metrics page). *)
 let endpoint_label path =
   match path with
-  | "/query" | "/explain" | "/healthz" | "/metrics" -> path
+  | "/query" | "/explain" | "/corpus/query" | "/healthz" | "/metrics" -> path
   | _ -> "other"
 
 let record t ~endpoint ~status ~ns =
@@ -66,6 +72,28 @@ let record_shed t =
       Metrics.Counter.incr
         (Metrics.counter t.registry
            "server.requests{endpoint=\"*\",status=\"503\"}"))
+
+(* Sharded-execution telemetry: the shard count of the last corpus
+   query, per-shard wall times, and the k-way-merge cost.  Surfaces in
+   the registry snapshot and as corpus_shards / corpus_shard_elapsed_ns
+   / corpus_merge_ns on the Prometheus page. *)
+let record_corpus t (o : Corpus.outcome) =
+  locked t (fun () ->
+      Metrics.Gauge.set
+        (Metrics.gauge t.registry "corpus.shards")
+        (float_of_int (List.length o.Corpus.shard_reports));
+      List.iter
+        (fun (sr : Corpus.shard_report) ->
+          Metrics.Histogram.observe
+            (Metrics.histogram t.registry "corpus.shard_elapsed_ns")
+            (float_of_int sr.Corpus.shard_elapsed_ns))
+        o.Corpus.shard_reports;
+      Metrics.Histogram.observe
+        (Metrics.histogram t.registry "corpus.merge_ns")
+        (float_of_int o.Corpus.merge_ns);
+      if o.Corpus.deadline_expired then
+        Metrics.Counter.incr
+          (Metrics.counter t.registry "corpus.deadline_expired"))
 
 let metrics_page t =
   locked t (fun () ->
@@ -97,111 +125,34 @@ exception Reject of Http.response
 
 let reject ~status msg = raise (Reject (error_response ~status msg))
 
-let member_opt key decode what j =
-  match Json.member key j with
-  | None -> None
-  | Some v -> (
-      match decode v with
-      | Some x -> Some x
-      | None -> reject ~status:400 (Printf.sprintf "%S must be %s" key what))
+(* --- request decoding ---
 
-(* --- request body --- *)
+   All body decoding is Exec.Request's single codec; the router only
+   layers the [?deadline_ns] query-parameter override on top.  The
+   validation rules (keyword shape, filter syntax, deadline_ms
+   overflow) live in Exec and surface here as 400s. *)
 
-type query_request = {
-  query : Query.t;
-  strategy : Eval.strategy;
-  strict_leaf : bool;
-  deadline_ms : int option;
-  limit : int;
-}
+let apply_deadline_param req r =
+  match Http.query_param req "deadline_ns" with
+  | None -> r
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 0 -> Exec.Request.with_deadline (Deadline.after n) r
+      | _ -> reject ~status:400 "deadline_ns must be a non-negative integer")
 
-let keywords_of_json j =
-  match member_opt "keywords" Json.to_list_opt "an array" j with
-  | None -> reject ~status:400 "missing \"keywords\""
-  | Some l ->
-      List.map
-        (fun k ->
-          match Json.to_string_opt k with
-          | Some s when s <> "" -> s
-          | _ -> reject ~status:400 "\"keywords\" must be non-empty strings")
-        l
+let request_of_json t req j =
+  match
+    Exec.Request.of_json ?default_deadline_ns:t.default_deadline_ns j
+  with
+  | Ok r -> apply_deadline_param req r
+  | Error msg -> reject ~status:400 msg
 
-let filter_of_json j =
-  let from_string =
-    match member_opt "filter" Json.to_string_opt "a string" j with
-    | None -> Filter.True
-    | Some s -> (
-        match Filter.of_string s with
-        | Ok f -> f
-        | Error msg -> reject ~status:400 ("bad \"filter\": " ^ msg))
-  in
-  let from_bounds =
-    match Json.member "filters" j with
-    | None -> Filter.True
-    | Some bounds ->
-        let bound key make =
-          Option.map make (member_opt key Json.to_int_opt "an integer" bounds)
-        in
-        Filter.conjoin
-          (List.filter_map Fun.id
-             [
-               bound "max_size" (fun n -> Filter.Size_at_most n);
-               bound "max_height" (fun n -> Filter.Height_at_most n);
-               bound "max_width" (fun n -> Filter.Width_at_most n);
-             ])
-  in
-  Filter.conjoin [ from_bounds; from_string ]
+let body_json req =
+  match Json.of_string req.Http.body with
+  | Ok j -> j
+  | Error msg -> reject ~status:400 ("bad JSON body: " ^ msg)
 
-let query_request_of_body body =
-  let j =
-    match Json.of_string body with
-    | Ok j -> j
-    | Error msg -> reject ~status:400 ("bad JSON body: " ^ msg)
-  in
-  let keywords = keywords_of_json j in
-  let filter = filter_of_json j in
-  let query =
-    match Query.make ~filter keywords with
-    | q -> q
-    | exception Invalid_argument msg -> reject ~status:400 msg
-  in
-  let strategy =
-    match member_opt "strategy" Json.to_string_opt "a string" j with
-    | None -> Eval.Auto
-    | Some s -> (
-        match Eval.strategy_of_string s with
-        | Ok s -> s
-        | Error msg -> reject ~status:400 msg)
-  in
-  let strict_leaf =
-    Option.value ~default:false
-      (member_opt "strict_leaf" Json.to_bool_opt "a boolean" j)
-  in
-  let deadline_ms = member_opt "deadline_ms" Json.to_int_opt "an integer" j in
-  let limit =
-    Option.value ~default:100 (member_opt "limit" Json.to_int_opt "an integer" j)
-  in
-  { query; strategy; strict_leaf; deadline_ms; limit }
-
-let deadline_of t req (qr : query_request) =
-  let ns =
-    match Http.query_param req "deadline_ns" with
-    | Some s -> (
-        match int_of_string_opt s with
-        | Some n when n >= 0 -> Some n
-        | _ -> reject ~status:400 "deadline_ns must be a non-negative integer")
-    | None -> (
-        match qr.deadline_ms with
-        | Some ms when ms < 0 ->
-            reject ~status:400 "deadline_ms must be non-negative"
-        | Some ms when ms > max_int / 1_000_000 ->
-            (* ms * 1_000_000 would overflow into a negative, already-
-               expired deadline; that's a validation error, not a 408. *)
-            reject ~status:400 "deadline_ms too large"
-        | Some ms -> Some (ms * 1_000_000)
-        | None -> t.default_deadline_ns)
-  in
-  match ns with None -> Deadline.none | Some ns -> Deadline.after ns
+let request_of_body t req = request_of_json t req (body_json req)
 
 (* --- /query --- *)
 
@@ -221,19 +172,17 @@ let stats_json stats =
   Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (Op_stats.to_assoc stats))
 
 let handle_query t req =
-  let qr = query_request_of_body req.Http.body in
-  let deadline = deadline_of t req qr in
+  let r = request_of_body t req in
+  let r = Exec.Request.with_cache t.cache r in
   let outcome =
-    try
-      Eval.run ~strategy:qr.strategy ~strict_leaf_semantics:qr.strict_leaf
-        ?cache:t.cache ~deadline t.ctx qr.query
-    with Invalid_argument msg -> reject ~status:400 msg
+    try Eval.exec t.ctx r with Invalid_argument msg -> reject ~status:400 msg
   in
   let answers = Frag_set.elements outcome.Eval.answers in
   let count = List.length answers in
   let shown =
-    if qr.limit > 0 && count > qr.limit then List.filteri (fun i _ -> i < qr.limit) answers
-    else answers
+    match r.Exec.Request.limit with
+    | Some n when count > n -> List.filteri (fun i _ -> i < n) answers
+    | _ -> answers
   in
   json_response ~status:200
     (Json.Obj
@@ -261,10 +210,10 @@ let rec explain_node_json (n : Explain.node) =
     ]
 
 let handle_explain t req =
-  let qr = query_request_of_body req.Http.body in
-  let deadline = deadline_of t req qr in
+  let r = request_of_body t req in
+  let r = Exec.Request.with_cache t.cache r in
   let report =
-    try Explain.analyze ?cache:t.cache ~deadline t.ctx qr.query
+    try Explain.analyze_request t.ctx r
     with Invalid_argument msg -> reject ~status:400 msg
   in
   let plan_str = Format.asprintf "%a" Xfrag_core.Plan.pp report.Explain.plan in
@@ -277,6 +226,82 @@ let handle_explain t req =
          ("count", Json.Int (Frag_set.cardinal report.Explain.answers));
          ("root", explain_node_json report.Explain.root);
        ])
+
+(* --- /corpus/query --- *)
+
+let max_batch = 32
+
+let corpus_of t =
+  match t.corpus with
+  | Some c when Corpus.size c > 0 -> c
+  | _ -> reject ~status:404 "no corpus loaded (serve with multiple FILEs)"
+
+let corpus_hit_json corpus (hit, score) =
+  let ctx = Corpus.context corpus hit.Corpus.doc in
+  match fragment_json ctx hit.Corpus.fragment with
+  | Json.Obj fields ->
+      Json.Obj
+        (("doc", Json.String hit.Corpus.doc)
+        :: ("score", Json.Float score)
+        :: fields)
+  | j -> j
+
+let shard_report_json (sr : Corpus.shard_report) =
+  Json.Obj
+    [
+      ("shard", Json.Int sr.Corpus.shard_index);
+      ("docs", Json.Int (List.length sr.Corpus.shard_docs));
+      ("nodes", Json.Int sr.Corpus.shard_nodes);
+      ("elapsed_ns", Json.Int sr.Corpus.shard_elapsed_ns);
+      ("deadline_expired", Json.Bool sr.Corpus.shard_deadline_expired);
+    ]
+
+let corpus_outcome_json corpus (o : Corpus.outcome) =
+  Json.Obj
+    [
+      ("count", Json.Int (List.length o.Corpus.hits));
+      ("total_answers", Json.Int o.Corpus.total_answers);
+      ("deadline_expired", Json.Bool o.Corpus.deadline_expired);
+      ("elapsed_ns", Json.Int o.Corpus.elapsed_ns);
+      ("merge_ns", Json.Int o.Corpus.merge_ns);
+      ("shards", Json.List (List.map shard_report_json o.Corpus.shard_reports));
+      ("hits", Json.List (List.map (corpus_hit_json corpus) o.Corpus.hits));
+      ("stats", stats_json o.Corpus.stats);
+    ]
+
+let run_corpus_request t corpus (r : Exec.Request.t) =
+  (* The per-document cache/trace stripping happens inside Corpus.run;
+     the shared server cache is deliberately not attached (see the
+     Corpus.run contract).  A mid-run deadline yields partial results
+     with [deadline_expired] set — a 200, not a 408: the contract of the
+     corpus endpoint is "everything that finished". *)
+  let keywords = (Exec.Request.to_query r).Xfrag_core.Query.keywords in
+  let scorer ctx f = Ranking.score ctx ~keywords f in
+  let outcome =
+    try Corpus.run ?shards:t.shards ~scorer corpus r
+    with Invalid_argument msg -> reject ~status:400 msg
+  in
+  record_corpus t outcome;
+  corpus_outcome_json corpus outcome
+
+let handle_corpus_query t req =
+  let corpus = corpus_of t in
+  match body_json req with
+  | Json.List batch ->
+      (* One HTTP request = one admission-control ticket: the batch
+         shares the worker slot it was admitted under and runs its
+         requests back to back on the shard pool. *)
+      if List.length batch > max_batch then
+        reject ~status:400
+          (Printf.sprintf "batch too large (max %d requests)" max_batch)
+      else if batch = [] then reject ~status:400 "empty batch"
+      else
+        let requests = List.map (request_of_json t req) batch in
+        let results = List.map (run_corpus_request t corpus) requests in
+        json_response ~status:200 (Json.Obj [ ("results", Json.List results) ])
+  | j ->
+      let r = request_of_json t req j in
+      json_response ~status:200 (run_corpus_request t corpus r)
 
 (* --- dispatch --- *)
 
@@ -291,13 +316,14 @@ let dispatch t req =
   match (req.Http.meth, req.Http.path) with
   | "POST", "/query" -> handle_query t req
   | "POST", "/explain" -> handle_explain t req
+  | "POST", "/corpus/query" -> handle_corpus_query t req
   | "GET", "/healthz" ->
       Http.response ~headers:[ ("Content-Type", "text/plain") ] ~status:200 "ok\n"
   | "GET", "/metrics" ->
       Http.response
         ~headers:[ ("Content-Type", "text/plain; version=0.0.4") ]
         ~status:200 (metrics_page t)
-  | _, ("/query" | "/explain") -> method_not_allowed "POST"
+  | _, ("/query" | "/explain" | "/corpus/query") -> method_not_allowed "POST"
   | _, ("/healthz" | "/metrics") -> method_not_allowed "GET"
   | _, _ -> error_response ~status:404 "not found"
 

@@ -1,8 +1,10 @@
 (** Request dispatch for {!Server}: maps parsed {!Http.request}s to
-    responses against one shared document context.
+    responses against one shared document context (and, when serving a
+    collection, a corpus).
 
     Endpoints:
-    - [POST /query] — evaluate a keyword query.  JSON body:
+    - [POST /query] — evaluate a keyword query.  JSON body: the
+      {!Xfrag_core.Exec.Request} codec —
       [{"keywords": ["a","b"], "filter": "size<=5",
         "filters": {"max_size": 5, "max_height": 3, "max_width": 4},
         "strategy": "auto", "strict_leaf": false, "deadline_ms": 100,
@@ -12,14 +14,30 @@
       "answers": [{"root","label","nodes"}…], "stats": {…}}].
     - [POST /explain] — same body; runs EXPLAIN ANALYZE and returns the
       annotated operator tree as JSON.
+    - [POST /corpus/query] — same body, evaluated against every corpus
+      document on the sharded engine ({!Xfrag_core.Corpus.run}); hits
+      are ranked and carry their document.  Answer: [{"count",
+      "total_answers", "deadline_expired", "elapsed_ns", "merge_ns",
+      "shards": [{"shard","docs","nodes","elapsed_ns",
+      "deadline_expired"}…], "hits": [{"doc","score","root","label",
+      "nodes"}…], "stats"}].  A JSON {e array} body is a batch: each
+      element is one request, evaluated back to back under the single
+      admission ticket the HTTP request was admitted on; the answer is
+      [{"results": […]}].  Batches are capped (400 above the cap).  A
+      deadline that expires mid-corpus-run returns the partial merge
+      with ["deadline_expired": true] — a 200, not a 408.
     - [GET /healthz] — liveness probe, ["ok"].
     - [GET /metrics] — Prometheus text exposition of the server
       registry (request counts by endpoint and status, latency
-      histograms, queue depth, shed count).
+      histograms, queue depth, shed count, and after corpus queries the
+      [corpus_shards] gauge plus [corpus_shard_elapsed_ns] /
+      [corpus_merge_ns] histograms).
 
-    Every request carries a deadline: [?deadline_ns=N] (query
-    parameter) overrides the body's [deadline_ms], which overrides the
-    router's default.  A query that exceeds it aborts cooperatively
+    All three POST bodies decode through the single
+    {!Xfrag_core.Exec.Request.of_json} codec; the router adds only the
+    [?deadline_ns=N] query-parameter override, which beats the body's
+    [deadline_ms], which beats the router's default.  A [/query] or
+    [/explain] evaluation that exceeds its deadline aborts cooperatively
     (see {!Xfrag_core.Deadline}) and answers 408.
 
     Wrong method on a known path is 405 with [Allow]; unknown paths are
@@ -31,11 +49,18 @@ val create :
   ?cache:Xfrag_core.Join_cache.t ->
   ?default_deadline_ns:int ->
   ?queue_depth:(unit -> int) ->
+  ?corpus:Xfrag_core.Corpus.t ->
+  ?shards:int ->
   Xfrag_core.Context.t ->
   t
 (** [cache] should be [~synchronized:true] when the server runs more
-    than one worker (see {!Xfrag_core.Join_cache}).  [queue_depth]
-    feeds the [server_queue_depth] gauge at scrape time. *)
+    than one worker (see {!Xfrag_core.Join_cache}); it serves [/query]
+    and [/explain] — corpus runs deliberately evaluate cache-less (see
+    {!Xfrag_core.Corpus.run}).  [corpus] enables [POST /corpus/query]
+    (404 without it); [shards] pins its shard count (default: the
+    {!Xfrag_core.Corpus.run} default — [XFRAG_SHARDS] or the pool's
+    parallelism).  [queue_depth] feeds the [server_queue_depth] gauge at
+    scrape time. *)
 
 val set_queue_depth : t -> (unit -> int) -> unit
 (** Replace the queue-depth probe — {!Server.start} wires the pool's

@@ -1,0 +1,34 @@
+(** Array-backed binary min-heap with an explicit comparator.
+
+    Two corpus-engine uses: bounded top-k selection per shard (keep the
+    k best hits: a min-heap ordered "worst of the kept first", with
+    {!replace_min} displacing it when a better hit arrives), and the
+    k-way merge of per-shard sorted runs (a heap of run heads).  Both
+    need [O(log k)] push/pop on small [k], nothing fancier. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Empty heap; the minimum is wrt [cmp]. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** The minimum, without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum. *)
+
+val replace_min : 'a t -> 'a -> unit
+(** Replace the minimum with a new element and restore the heap —
+    [push] after [pop] minus one sift.  On an empty heap, just [push]. *)
+
+val to_list : 'a t -> 'a list
+(** Elements in unspecified order. *)
+
+val sorted : 'a t -> 'a list
+(** Elements ascending wrt the heap's comparator. *)

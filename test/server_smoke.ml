@@ -21,23 +21,34 @@ let () =
   in
   if not (Sys.file_exists xfrag) then die "xfrag binary not found at %s" xfrag;
 
-  (* A synthetic document to serve. *)
-  let doc = Filename.temp_file "xfrag_smoke" ".xml" in
-  let oc = open_out doc in
-  output_string oc (Xfrag_workload.Docgen.generate_xml Xfrag_workload.Docgen.default);
-  close_out oc;
+  (* Synthetic documents to serve: the first backs /query, the whole
+     set backs /corpus/query. *)
+  let write_doc cfg =
+    let path = Filename.temp_file "xfrag_smoke" ".xml" in
+    let oc = open_out path in
+    output_string oc (Xfrag_workload.Docgen.generate_xml cfg);
+    close_out oc;
+    path
+  in
+  let doc = write_doc Xfrag_workload.Docgen.default in
+  let doc2 = write_doc { Xfrag_workload.Docgen.default with seed = 99 } in
 
   (* Start the server on an ephemeral port; its stdout names the port. *)
   let out_read, out_write = Unix.pipe ~cloexec:false () in
   let pid =
     Unix.create_process xfrag
-      [| xfrag; "serve"; doc; "--port"; "0"; "--request-timeout-ms"; "5000" |]
+      [|
+        xfrag; "serve"; doc; doc2; "--port"; "0"; "--request-timeout-ms";
+        "5000"; "--shards"; "2";
+      |]
       Unix.stdin out_write Unix.stderr
   in
   Unix.close out_write;
   let cleanup () =
     (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
-    (try Sys.remove doc with Sys_error _ -> ())
+    List.iter
+      (fun p -> try Sys.remove p with Sys_error _ -> ())
+      [ doc; doc2 ]
   in
   let ic = Unix.in_channel_of_descr out_read in
   let first_line =
@@ -101,6 +112,36 @@ let () =
   | Ok (s, _, reply) -> (cleanup (); die "deadline: got %d %s" s reply)
   | Error e -> (cleanup (); die "deadline: %s" e));
 
+  (* Sharded corpus search across both served documents. *)
+  (match
+     Client.once ~host:"127.0.0.1" ~port ~meth:"POST" ~path:"/corpus/query"
+       ~body:{|{"keywords":["term0000"],"limit":5}|} ()
+   with
+  | Ok (200, _, reply) -> (
+      match Json.of_string reply with
+      | Ok j -> (
+          match Json.member "shards" j with
+          | Some (Json.List (_ :: _ :: _)) -> step "corpus query ok (2 shards)"
+          | _ -> (cleanup (); die "corpus reply lacks shard reports: %s" reply))
+      | Error e -> (cleanup (); die "corpus reply not JSON: %s" e))
+  | Ok (s, _, reply) -> (cleanup (); die "corpus query: %d %s" s reply)
+  | Error e -> (cleanup (); die "corpus query: %s" e));
+
+  (* Batched corpus search: one HTTP request, two result objects. *)
+  (match
+     Client.once ~host:"127.0.0.1" ~port ~meth:"POST" ~path:"/corpus/query"
+       ~body:{|[{"keywords":["term0000"]},{"keywords":["term0001"]}]|} ()
+   with
+  | Ok (200, _, reply) -> (
+      match Json.of_string reply with
+      | Ok j -> (
+          match Json.member "results" j with
+          | Some (Json.List [ _; _ ]) -> step "corpus batch ok"
+          | _ -> (cleanup (); die "corpus batch reply malformed: %s" reply))
+      | Error e -> (cleanup (); die "corpus batch reply not JSON: %s" e))
+  | Ok (s, _, reply) -> (cleanup (); die "corpus batch: %d %s" s reply)
+  | Error e -> (cleanup (); die "corpus batch: %s" e));
+
   (* Metrics must reflect the traffic above. *)
   (match Client.once ~host:"127.0.0.1" ~port ~meth:"GET" ~path:"/metrics" () with
   | Ok (200, _, page) ->
@@ -112,8 +153,12 @@ let () =
           "server_requests{endpoint=\"/query\",status=\"200\"} 1";
           "server_requests{endpoint=\"/query\",status=\"408\"} 1";
           "server_requests{endpoint=\"/healthz\",status=\"200\"} 1";
+          "server_requests{endpoint=\"/corpus/query\",status=\"200\"} 2";
           "server_latency_ns_bucket{endpoint=\"/query\"";
           "server_queue_depth";
+          "corpus_shards 2";
+          "corpus_shard_elapsed_ns_bucket";
+          "corpus_merge_ns_count";
         ];
       step "metrics ok (%d bytes)" (String.length page)
   | Ok (s, _, _) -> (cleanup (); die "metrics: %d" s)

@@ -1,5 +1,12 @@
 (* Tests for multi-document collections (§7: "a very large collection of
-   XML documents"). *)
+   XML documents") and the sharded parallel corpus engine: sharded
+   answers must be bit-identical to sequential for every shard count,
+   the k-way merge must honor ties and limits, and a deadline expiring
+   mid-run must yield a partial outcome, never an exception. *)
+
+[@@@alert "-deprecated"]
+(* The deprecated Corpus.search / Corpus.search_scored wrappers stay
+   covered until they are removed. *)
 
 module Context = Xfrag_core.Context
 module Fragment = Xfrag_core.Fragment
@@ -7,7 +14,11 @@ module Frag_set = Xfrag_core.Frag_set
 module Filter = Xfrag_core.Filter
 module Query = Xfrag_core.Query
 module Eval = Xfrag_core.Eval
+module Exec = Xfrag_core.Exec
 module Corpus = Xfrag_core.Corpus
+module Deadline = Xfrag_core.Deadline
+module Shard_pool = Xfrag_core.Shard_pool
+module Clock = Xfrag_obs.Clock
 module Docgen = Xfrag_workload.Docgen
 module Paper = Xfrag_workload.Paper_doc
 
@@ -22,6 +33,47 @@ let make_corpus () =
       ("c.xml", doc 3 [ ("estuary", 1) ]);
       ("paper.xml", Paper.figure1 ());
     ]
+
+(* A wider collection so seven shards are meaningfully non-empty. *)
+let make_wide_corpus () =
+  let doc seed plant =
+    Docgen.with_planted_keywords { Docgen.default with seed; sections = 2 } ~plant
+  in
+  Corpus.of_documents
+    (List.init 10 (fun i ->
+         let plant =
+           [ ("mangrove", 1 + (i mod 3)) ]
+           @ (if i mod 2 = 0 then [ ("estuary", 1 + (i mod 2)) ] else [])
+         in
+         (Printf.sprintf "doc%02d.xml" i, doc (100 + i) plant)))
+
+let request ?(filter = Filter.True) ?strategy ?strict ?limit keywords =
+  let r =
+    Exec.Request.default
+    |> Exec.Request.with_keywords keywords
+    |> Exec.Request.with_filter filter
+  in
+  let r =
+    match strategy with None -> r | Some s -> Exec.Request.with_strategy s r
+  in
+  let r =
+    match strict with None -> r | Some b -> Exec.Request.with_strict_leaf b r
+  in
+  Exec.Request.with_limit limit r
+
+let hits_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (h1, s1) (h2, s2) ->
+         h1.Corpus.doc = h2.Corpus.doc
+         && Fragment.compare h1.Corpus.fragment h2.Corpus.fragment = 0
+         && (s1 : float) = s2)
+       a b
+
+let tfidf_scorer keywords ctx f =
+  Xfrag_baselines.Ranking.score ctx ~keywords f
+
+(* --- structure --- *)
 
 let test_structure () =
   let c = make_corpus () in
@@ -40,6 +92,8 @@ let test_duplicate_name_rejected () =
   match Corpus.add (make_corpus ()) ~name:"a.xml" (Paper.figure3 ()) with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected duplicate rejection"
+
+(* --- legacy wrappers (deprecated, still covered) --- *)
 
 let test_search_only_matching_documents () =
   let c = make_corpus () in
@@ -105,6 +159,229 @@ let test_fragments_never_span_documents () =
         (Fragment.is_connected ctx (Fragment.nodes h.Corpus.fragment)))
     (Corpus.search c q)
 
+(* --- sharded execution: bit-identical to sequential --- *)
+
+let test_sharded_identical_to_sequential () =
+  let c = make_wide_corpus () in
+  let keywords = [ "mangrove"; "estuary" ] in
+  let scorer = tfidf_scorer keywords in
+  List.iter
+    (fun strategy ->
+      List.iter
+        (fun strict ->
+          let r =
+            request ~filter:(Filter.Size_at_most 6) ~strategy ~strict
+              ~limit:10 keywords
+          in
+          let baseline = (Corpus.run ~shards:1 ~scorer c r).Corpus.hits in
+          List.iter
+            (fun shards ->
+              let sharded = (Corpus.run ~shards ~scorer c r).Corpus.hits in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s strict=%b shards=%d == sequential"
+                   (Eval.strategy_name strategy) strict shards)
+                true
+                (hits_equal baseline sharded))
+            [ 2; 7 ])
+        [ false; true ])
+    [
+      Eval.Auto; Eval.Naive_fixpoint; Eval.Set_reduction; Eval.Pushdown;
+      Eval.Pushdown_reduction; Eval.Semi_naive;
+    ]
+
+let test_sharded_identical_unlimited_constant_score () =
+  (* With the constant scorer and no limit the merged order is document
+     name then fragment order — exactly the legacy Corpus.search
+     order — for every shard count. *)
+  let c = make_wide_corpus () in
+  let r = request ~filter:(Filter.Size_at_most 5) [ "mangrove" ] in
+  let baseline = Corpus.run ~shards:1 c r in
+  let legacy =
+    List.map (fun h -> (h, 0.)) (Corpus.search c (Exec.Request.to_query r))
+  in
+  Alcotest.(check bool) "sequential run == legacy search" true
+    (hits_equal legacy baseline.Corpus.hits);
+  List.iter
+    (fun shards ->
+      let o = Corpus.run ~shards c r in
+      Alcotest.(check bool)
+        (Printf.sprintf "shards=%d == sequential" shards)
+        true
+        (hits_equal baseline.Corpus.hits o.Corpus.hits);
+      Alcotest.(check int)
+        (Printf.sprintf "shards=%d same total answers" shards)
+        baseline.Corpus.total_answers o.Corpus.total_answers;
+      (* Per-document work is independent of the sharding, so the merged
+         operator counters must agree too. *)
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "shards=%d same merged stats" shards)
+        (Xfrag_core.Op_stats.to_assoc baseline.Corpus.stats)
+        (Xfrag_core.Op_stats.to_assoc o.Corpus.stats))
+    [ 2; 7 ]
+
+let test_merge_limit_is_prefix () =
+  (* Truncating to k must return exactly the first k of the untruncated
+     merge (ties included), whatever the shard count. *)
+  let c = make_wide_corpus () in
+  let keywords = [ "mangrove" ] in
+  let scorer = tfidf_scorer keywords in
+  let full_r = request ~filter:(Filter.Size_at_most 5) keywords in
+  List.iter
+    (fun shards ->
+      let full = (Corpus.run ~shards ~scorer c full_r).Corpus.hits in
+      Alcotest.(check bool) "enough hits for the test" true
+        (List.length full > 4);
+      List.iter
+        (fun k ->
+          let limited =
+            (Corpus.run ~shards ~scorer c
+               (Exec.Request.with_limit (Some k) full_r))
+              .Corpus.hits
+          in
+          let prefix = List.filteri (fun i _ -> i < k) full in
+          Alcotest.(check bool)
+            (Printf.sprintf "limit %d is a prefix (shards=%d)" k shards)
+            true
+            (hits_equal prefix limited))
+        [ 1; 3; 4 ])
+    [ 1; 2; 7 ]
+
+let test_shard_reports_partition_the_corpus () =
+  let c = make_wide_corpus () in
+  let r = request [ "mangrove" ] in
+  let o = Corpus.run ~shards:7 c r in
+  Alcotest.(check int) "seven shards" 7 (List.length o.Corpus.shard_reports);
+  let docs =
+    List.concat_map
+      (fun sr ->
+        List.map (fun d -> d.Corpus.doc_name) sr.Corpus.shard_docs)
+      o.Corpus.shard_reports
+  in
+  Alcotest.(check (list string)) "every document evaluated exactly once"
+    (Corpus.names c) (List.sort String.compare docs);
+  List.iter
+    (fun sr ->
+      Alcotest.(check bool) "per-shard nodes accounted" true
+        (sr.Corpus.shard_nodes
+        = List.fold_left
+            (fun a d -> a + d.Corpus.doc_nodes)
+            0 sr.Corpus.shard_docs))
+    o.Corpus.shard_reports;
+  Alcotest.(check bool) "shard count clamps to corpus size" true
+    (List.length (Corpus.run ~shards:64 c r).Corpus.shard_reports
+    <= Corpus.size c)
+
+let test_explicit_pool_and_zero_domains () =
+  (* domains:0 is the sequential mode; a dedicated pool must give the
+     same answers as the shared default. *)
+  let c = make_wide_corpus () in
+  let r = request ~limit:5 [ "mangrove" ] in
+  let pool = Shard_pool.create ~domains:0 () in
+  let a = (Corpus.run ~pool ~shards:4 c r).Corpus.hits in
+  let b = (Corpus.run ~shards:4 c r).Corpus.hits in
+  Shard_pool.shutdown pool;
+  Alcotest.(check bool) "same hits" true (hits_equal a b)
+
+(* --- deadline: partial results, never an exception --- *)
+
+let test_deadline_already_expired_is_partial_not_raise () =
+  let c = make_wide_corpus () in
+  let expired = Deadline.at ~clock:(fun () -> 10) 5 in
+  List.iter
+    (fun shards ->
+      let r =
+        Exec.Request.with_deadline expired (request [ "mangrove" ])
+      in
+      let o = Corpus.run ~shards c r in
+      Alcotest.(check bool)
+        (Printf.sprintf "expired flag set (shards=%d)" shards)
+        true o.Corpus.deadline_expired;
+      Alcotest.(check int)
+        (Printf.sprintf "no hits (shards=%d)" shards)
+        0
+        (List.length o.Corpus.hits);
+      List.iter
+        (fun sr ->
+          Alcotest.(check bool) "shard reports expiry" true
+            sr.Corpus.shard_deadline_expired;
+          Alcotest.(check int) "no document completed" 0
+            (List.length sr.Corpus.shard_docs))
+        o.Corpus.shard_reports)
+    [ 1; 3 ]
+
+let test_deadline_mid_run_yields_partial_outcome () =
+  (* A counter clock makes the deadline expire a deterministic number of
+     clock reads into the run: some documents complete, the rest are
+     dropped at a document boundary.  The outcome must be a consistent
+     partial result — completed documents' hits only, flag set, no
+     exception. *)
+  let c = make_wide_corpus () in
+  let full =
+    Corpus.run ~shards:1 c (request ~filter:(Filter.Size_at_most 5) [ "mangrove" ])
+  in
+  let mid_deadline =
+    Deadline.at ~clock:(Clock.counter ~start:0 ~step:1 ()) 40
+  in
+  let r =
+    request ~filter:(Filter.Size_at_most 5) [ "mangrove" ]
+    |> Exec.Request.with_deadline mid_deadline
+  in
+  let o = Corpus.run ~shards:1 c r in
+  Alcotest.(check bool) "expired mid-run" true o.Corpus.deadline_expired;
+  Alcotest.(check bool) "strictly partial" true
+    (List.length o.Corpus.hits < List.length full.Corpus.hits);
+  (* Every surviving hit comes verbatim from the full result set. *)
+  List.iter
+    (fun (h, _) ->
+      Alcotest.(check bool) "hit also in full run" true
+        (List.exists
+           (fun (h', _) ->
+             h.Corpus.doc = h'.Corpus.doc
+             && Fragment.compare h.Corpus.fragment h'.Corpus.fragment = 0)
+           full.Corpus.hits))
+    o.Corpus.hits;
+  (* Completed documents are exactly the ones reported. *)
+  let completed =
+    List.concat_map
+      (fun sr -> List.map (fun d -> d.Corpus.doc_name) sr.Corpus.shard_docs)
+      o.Corpus.shard_reports
+  in
+  List.iter
+    (fun (h, _) ->
+      Alcotest.(check bool) "hits only from completed documents" true
+        (List.mem h.Corpus.doc completed))
+    o.Corpus.hits
+
+let test_deadline_does_not_poison_cache () =
+  (* The request's cache handle is deliberately not used by per-document
+     corpus evaluations; an expiring corpus run must leave it fully
+     usable. *)
+  let c = make_wide_corpus () in
+  let cache = Xfrag_core.Join_cache.create ~capacity:64 () in
+  let expired = Deadline.at ~clock:(fun () -> 10) 5 in
+  let r =
+    request [ "mangrove" ]
+    |> Exec.Request.with_cache (Some cache)
+    |> Exec.Request.with_deadline expired
+  in
+  let o = Corpus.run ~shards:2 c r in
+  Alcotest.(check bool) "partial outcome" true o.Corpus.deadline_expired;
+  let ctx = Corpus.context c "doc00.xml" in
+  let q = Query.make [ "mangrove" ] in
+  let with_cache = Eval.answers ~cache ctx q in
+  let without = Eval.answers ctx q in
+  Alcotest.(check bool) "cache still answers correctly" true
+    (Frag_set.equal with_cache without)
+
+let test_non_deadline_errors_propagate () =
+  (* Errors other than deadline expiry must surface, not be swallowed by
+     the shard machinery. *)
+  let c = make_wide_corpus () in
+  let boom _ _ = failwith "boom" in
+  match Corpus.run ~shards:3 ~scorer:boom c (request [ "mangrove" ]) with
+  | _ -> Alcotest.fail "expected the scorer's exception to propagate"
+  | exception Failure msg -> Alcotest.(check string) "the scorer's error" "boom" msg
+
 let () =
   Alcotest.run "corpus"
     [
@@ -121,5 +398,29 @@ let () =
           Alcotest.test_case "document frequency" `Quick test_document_frequency;
           Alcotest.test_case "fragments stay within documents" `Quick
             test_fragments_never_span_documents;
+        ] );
+      ( "sharding",
+        [
+          Alcotest.test_case "bit-identical across strategies and strictness"
+            `Quick test_sharded_identical_to_sequential;
+          Alcotest.test_case "bit-identical unlimited, ties by doc/fragment"
+            `Quick test_sharded_identical_unlimited_constant_score;
+          Alcotest.test_case "limit is a prefix of the full merge" `Quick
+            test_merge_limit_is_prefix;
+          Alcotest.test_case "shard reports partition the corpus" `Quick
+            test_shard_reports_partition_the_corpus;
+          Alcotest.test_case "explicit zero-domain pool" `Quick
+            test_explicit_pool_and_zero_domains;
+        ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "pre-expired deadline is partial, no raise" `Quick
+            test_deadline_already_expired_is_partial_not_raise;
+          Alcotest.test_case "mid-run expiry yields consistent partial outcome"
+            `Quick test_deadline_mid_run_yields_partial_outcome;
+          Alcotest.test_case "expiry leaves the shared cache usable" `Quick
+            test_deadline_does_not_poison_cache;
+          Alcotest.test_case "non-deadline errors propagate" `Quick
+            test_non_deadline_errors_propagate;
         ] );
     ]

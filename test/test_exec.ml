@@ -1,0 +1,220 @@
+(* Tests for the unified Exec.Request API: builders, query conversion,
+   and the single JSON codec every front end (CLI, /query, /explain,
+   /corpus/query) decodes through. *)
+
+module Exec = Xfrag_core.Exec
+module Filter = Xfrag_core.Filter
+module Query = Xfrag_core.Query
+module Deadline = Xfrag_core.Deadline
+module Json = Xfrag_obs.Json
+
+let decode ?default_deadline_ns s =
+  match Json.of_string s with
+  | Error e -> Alcotest.failf "test fixture is not JSON: %s" e
+  | Ok j -> Exec.Request.of_json ?default_deadline_ns j
+
+let expect_error name expected = function
+  | Ok (_ : Exec.Request.t) -> Alcotest.failf "%s: expected an error" name
+  | Error msg -> Alcotest.(check string) name expected msg
+
+let expect_ok name = function
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "%s: unexpected error %S" name msg
+
+(* --- builders and query conversion --- *)
+
+let test_default_and_builders () =
+  let r =
+    Exec.Request.default
+    |> Exec.Request.with_keywords [ "xml"; "index" ]
+    |> Exec.Request.with_filter (Filter.Size_at_most 4)
+    |> Exec.Request.with_strategy Exec.Semi_naive
+    |> Exec.Request.with_strict_leaf true
+    |> Exec.Request.with_limit (Some 7)
+  in
+  Alcotest.(check (list string)) "keywords" [ "xml"; "index" ]
+    r.Exec.Request.keywords;
+  Alcotest.(check bool) "strategy" true (r.Exec.Request.strategy = Exec.Semi_naive);
+  Alcotest.(check bool) "strict" true r.Exec.Request.strict_leaf;
+  Alcotest.(check (option int)) "limit" (Some 7) r.Exec.Request.limit;
+  Alcotest.(check bool) "default deadline is none" true
+    (Deadline.is_none Exec.Request.default.Exec.Request.deadline);
+  Alcotest.(check (option int)) "default limit unlimited" None
+    Exec.Request.default.Exec.Request.limit
+
+let test_query_round_trip () =
+  let q = Query.make ~filter:(Filter.Height_at_most 2) [ "alpha"; "beta" ] in
+  let r = Exec.Request.of_query q in
+  let q' = Exec.Request.to_query r in
+  Alcotest.(check (list string)) "keywords survive" q.Query.keywords q'.Query.keywords;
+  Alcotest.(check bool) "filter survives" true (q.Query.filter = q'.Query.filter)
+
+let test_to_query_validates () =
+  match Exec.Request.to_query Exec.Request.default with
+  | (_ : Query.t) -> Alcotest.fail "empty keywords must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* --- strategy names --- *)
+
+let test_strategy_round_trip () =
+  List.iter
+    (fun s ->
+      match Exec.strategy_of_string (Exec.strategy_name s) with
+      | Ok s' -> Alcotest.(check bool) (Exec.strategy_name s) true (s = s')
+      | Error e -> Alcotest.fail e)
+    (Exec.Auto :: Exec.all_strategies);
+  (match Exec.strategy_of_string "wat" with
+  | Ok _ -> Alcotest.fail "unknown strategy accepted"
+  | Error _ -> ())
+
+(* --- deadline_of_ms: the one overflow rule --- *)
+
+let test_deadline_of_ms () =
+  (match Exec.deadline_of_ms 50 with
+  | Ok d -> Alcotest.(check bool) "live deadline" false (Deadline.expired d)
+  | Error e -> Alcotest.fail e);
+  expect_error "negative" "deadline_ms must be non-negative"
+    (Result.map (fun _ -> Exec.Request.default) (Exec.deadline_of_ms (-1)));
+  expect_error "overflow" "deadline_ms too large"
+    (Result.map
+       (fun _ -> Exec.Request.default)
+       (Exec.deadline_of_ms ((max_int / 1_000_000) + 1)))
+
+(* --- the JSON codec --- *)
+
+let test_of_json_minimal () =
+  let r = expect_ok "minimal" (decode {|{"keywords":["xml"]}|}) in
+  Alcotest.(check (list string)) "keywords" [ "xml" ] r.Exec.Request.keywords;
+  Alcotest.(check bool) "filter true" true (r.Exec.Request.filter = Filter.True);
+  Alcotest.(check bool) "auto" true (r.Exec.Request.strategy = Exec.Auto);
+  Alcotest.(check bool) "no deadline" true (Deadline.is_none r.Exec.Request.deadline);
+  Alcotest.(check (option int)) "default limit 100" (Some 100) r.Exec.Request.limit
+
+let test_of_json_full () =
+  let r =
+    expect_ok "full"
+      (decode
+         {|{"keywords":["a","b"],"filter":"size<=5",
+            "filters":{"max_size":9,"max_height":3},
+            "strategy":"semi-naive","strict_leaf":true,
+            "deadline_ms":1000,"limit":5}|})
+  in
+  Alcotest.(check (list string)) "keywords" [ "a"; "b" ] r.Exec.Request.keywords;
+  Alcotest.(check bool) "strategy" true (r.Exec.Request.strategy = Exec.Semi_naive);
+  Alcotest.(check bool) "strict" true r.Exec.Request.strict_leaf;
+  Alcotest.(check (option int)) "limit" (Some 5) r.Exec.Request.limit;
+  Alcotest.(check bool) "deadline live" false (Deadline.expired r.Exec.Request.deadline);
+  (* filter and filters conjoin into a non-trivial predicate. *)
+  match r.Exec.Request.filter with
+  | Filter.True -> Alcotest.fail "filters were dropped"
+  | _ -> ()
+
+let test_of_json_errors () =
+  expect_error "missing keywords" "missing \"keywords\"" (decode {|{}|});
+  expect_error "keywords not array" "\"keywords\" must be an array"
+    (decode {|{"keywords":"xml"}|});
+  expect_error "empty keyword" "\"keywords\" must be non-empty strings"
+    (decode {|{"keywords":[""]}|});
+  expect_error "non-string keyword" "\"keywords\" must be non-empty strings"
+    (decode {|{"keywords":[3]}|});
+  (match decode {|{"keywords":[]}|} with
+  | Ok _ -> Alcotest.fail "empty keyword list accepted"
+  | Error _ -> ());
+  (match decode {|{"keywords":["a"],"filter":"size<=x"}|} with
+  | Error msg ->
+      Alcotest.(check bool) "filter error is prefixed" true
+        (String.length msg > 14 && String.sub msg 0 14 = {|bad "filter": |})
+  | Ok _ -> Alcotest.fail "bad filter accepted");
+  expect_error "bad strategy" "unknown strategy \"wat\""
+    (decode {|{"keywords":["a"],"strategy":"wat"}|});
+  expect_error "bad strict_leaf" "\"strict_leaf\" must be a boolean"
+    (decode {|{"keywords":["a"],"strict_leaf":3}|});
+  expect_error "negative deadline" "deadline_ms must be non-negative"
+    (decode {|{"keywords":["a"],"deadline_ms":-5}|});
+  expect_error "overflowing deadline" "deadline_ms too large"
+    (decode
+       (Printf.sprintf {|{"keywords":["a"],"deadline_ms":%d}|}
+          ((max_int / 1_000_000) + 1)))
+
+let test_of_json_limit_rules () =
+  let limit s = (expect_ok s (decode s)).Exec.Request.limit in
+  Alcotest.(check (option int)) "absent -> 100" (Some 100)
+    (limit {|{"keywords":["a"]}|});
+  Alcotest.(check (option int)) "zero -> unlimited" None
+    (limit {|{"keywords":["a"],"limit":0}|});
+  Alcotest.(check (option int)) "negative -> unlimited" None
+    (limit {|{"keywords":["a"],"limit":-2}|});
+  Alcotest.(check (option int)) "positive kept" (Some 3)
+    (limit {|{"keywords":["a"],"limit":3}|})
+
+let test_of_json_default_deadline () =
+  let r =
+    expect_ok "default applied"
+      (decode ~default_deadline_ns:1_000_000_000 {|{"keywords":["a"]}|})
+  in
+  Alcotest.(check bool) "deadline set" false
+    (Deadline.is_none r.Exec.Request.deadline);
+  let r =
+    expect_ok "body overrides default"
+      (decode ~default_deadline_ns:1 {|{"keywords":["a"],"deadline_ms":60000}|})
+  in
+  Alcotest.(check bool) "body deadline wins (not yet expired)" false
+    (Deadline.expired r.Exec.Request.deadline)
+
+let test_of_body () =
+  (match Exec.Request.of_body {|{"keywords":["a"]}|} with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  match Exec.Request.of_body "{nope" with
+  | Ok _ -> Alcotest.fail "malformed body accepted"
+  | Error msg ->
+      Alcotest.(check bool) "prefixed" true
+        (String.length msg > 14 && String.sub msg 0 14 = "bad JSON body:")
+
+let test_json_round_trip () =
+  let r =
+    Exec.Request.default
+    |> Exec.Request.with_keywords [ "xml"; "query" ]
+    |> Exec.Request.with_filter (Filter.Size_at_most 4)
+    |> Exec.Request.with_strategy Exec.Pushdown
+    |> Exec.Request.with_strict_leaf true
+    |> Exec.Request.with_limit (Some 9)
+  in
+  let r' = expect_ok "decode(encode)" (
+    Exec.Request.of_json (Exec.Request.to_json r)) in
+  Alcotest.(check (list string)) "keywords" r.Exec.Request.keywords
+    r'.Exec.Request.keywords;
+  Alcotest.(check bool) "filter" true
+    (r.Exec.Request.filter = r'.Exec.Request.filter);
+  Alcotest.(check bool) "strategy" true
+    (r.Exec.Request.strategy = r'.Exec.Request.strategy);
+  Alcotest.(check bool) "strict" true
+    (r.Exec.Request.strict_leaf = r'.Exec.Request.strict_leaf);
+  Alcotest.(check (option int)) "limit" r.Exec.Request.limit r'.Exec.Request.limit;
+  (* Unlimited serializes as 0 and decodes back to unlimited. *)
+  let unl = Exec.Request.with_limit None r in
+  let unl' = expect_ok "unlimited" (Exec.Request.of_json (Exec.Request.to_json unl)) in
+  Alcotest.(check (option int)) "unlimited survives" None unl'.Exec.Request.limit
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "request",
+        [
+          Alcotest.test_case "builders" `Quick test_default_and_builders;
+          Alcotest.test_case "query round trip" `Quick test_query_round_trip;
+          Alcotest.test_case "to_query validates" `Quick test_to_query_validates;
+          Alcotest.test_case "strategy names" `Quick test_strategy_round_trip;
+          Alcotest.test_case "deadline_of_ms" `Quick test_deadline_of_ms;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "minimal body" `Quick test_of_json_minimal;
+          Alcotest.test_case "full body" `Quick test_of_json_full;
+          Alcotest.test_case "validation errors" `Quick test_of_json_errors;
+          Alcotest.test_case "limit rules" `Quick test_of_json_limit_rules;
+          Alcotest.test_case "default deadline" `Quick test_of_json_default_deadline;
+          Alcotest.test_case "of_body" `Quick test_of_body;
+          Alcotest.test_case "json round trip" `Quick test_json_round_trip;
+        ] );
+    ]

@@ -232,6 +232,109 @@ let test_router_powerset_guard_is_400 () =
   let resp = Router.handle router (make_request (oversized_brute_force_body ())) in
   Alcotest.(check int) "enumeration guard -> 400, not 500" 400 resp.Http.status
 
+(* --- /corpus/query --- *)
+
+let corpus_fixture () =
+  let doc seed plant =
+    Xfrag_workload.Docgen.with_planted_keywords
+      { Xfrag_workload.Docgen.default with seed; sections = 2 }
+      ~plant
+  in
+  Xfrag_core.Corpus.of_documents
+    [
+      ("a.xml", doc 11 [ ("mangrove", 2); ("estuary", 1) ]);
+      ("b.xml", doc 12 [ ("mangrove", 3) ]);
+      ("c.xml", doc 13 [ ("estuary", 2) ]);
+    ]
+
+let make_corpus_router ?shards () =
+  Router.create ?shards ~corpus:(corpus_fixture ()) (Paper.figure1_context ())
+
+let corpus_body =
+  Json.to_string (Json.Obj [ ("keywords", Json.List [ Json.String "mangrove" ]) ])
+
+let list_field key j =
+  match Json.member key j with
+  | Some (Json.List l) -> l
+  | _ -> Alcotest.failf "missing list field %S" key
+
+let test_corpus_query_single () =
+  let router = make_corpus_router ~shards:2 () in
+  let resp =
+    Router.handle router (make_request ~path:"/corpus/query" corpus_body)
+  in
+  Alcotest.(check int) "status" 200 resp.Http.status;
+  let j = body_json resp in
+  Alcotest.(check bool) "has hits" true (int_field "count" j > 0);
+  Alcotest.(check int) "two shard reports" 2 (List.length (list_field "shards" j));
+  Alcotest.(check bool) "merge timing" true (int_field "merge_ns" j >= 0);
+  (* Every hit names its document and carries a score. *)
+  List.iter
+    (fun h ->
+      (match Json.member "doc" h with
+      | Some (Json.String _) -> ()
+      | _ -> Alcotest.fail "hit is missing its doc name");
+      match Json.member "score" h with
+      | Some (Json.Float _) -> ()
+      | _ -> Alcotest.fail "hit is missing its score")
+    (list_field "hits" j);
+  (* Hit counts agree with a direct sharded run over the same corpus. *)
+  let direct =
+    Xfrag_core.Corpus.run ~shards:2 (corpus_fixture ())
+      Xfrag_core.Exec.Request.(
+        with_limit (Some 100) (with_keywords [ "mangrove" ] default))
+  in
+  Alcotest.(check int) "count agrees with direct Corpus.run"
+    (List.length direct.Xfrag_core.Corpus.hits)
+    (int_field "count" j)
+
+let test_corpus_query_batch () =
+  let router = make_corpus_router () in
+  let one kw = Json.Obj [ ("keywords", Json.List [ Json.String kw ]) ] in
+  let body = Json.to_string (Json.List [ one "mangrove"; one "estuary" ]) in
+  let resp = Router.handle router (make_request ~path:"/corpus/query" body) in
+  Alcotest.(check int) "status" 200 resp.Http.status;
+  let results = list_field "results" (body_json resp) in
+  Alcotest.(check int) "one result per batch entry" 2 (List.length results);
+  List.iter
+    (fun r -> Alcotest.(check bool) "each has hits" true (int_field "count" r > 0))
+    results
+
+let test_corpus_query_batch_limits () =
+  let router = make_corpus_router () in
+  let status body =
+    (Router.handle router (make_request ~path:"/corpus/query" body)).Http.status
+  in
+  Alcotest.(check int) "empty batch" 400 (status "[]");
+  let one = {|{"keywords":["mangrove"]}|} in
+  let oversized =
+    "[" ^ String.concat "," (List.init 33 (fun _ -> one)) ^ "]"
+  in
+  Alcotest.(check int) "batch above cap" 400 (status oversized);
+  (* A bad entry rejects the whole batch: one ticket, one verdict. *)
+  Alcotest.(check int) "bad entry poisons batch" 400
+    (status ("[" ^ one ^ ",{}]"))
+
+let test_corpus_query_without_corpus () =
+  let router = make_router () in
+  let resp =
+    Router.handle router (make_request ~path:"/corpus/query" corpus_body)
+  in
+  Alcotest.(check int) "no corpus -> 404" 404 resp.Http.status
+
+let test_corpus_metrics () =
+  let router = make_corpus_router ~shards:2 () in
+  ignore (Router.handle router (make_request ~path:"/corpus/query" corpus_body));
+  let page = Router.metrics_page router in
+  let contains sub = Astring.String.find_sub ~sub page <> None in
+  Alcotest.(check bool) "shard-count gauge" true (contains "corpus_shards 2");
+  Alcotest.(check bool) "per-shard latency histogram" true
+    (contains "corpus_shard_elapsed_ns_bucket");
+  Alcotest.(check bool) "merge latency histogram" true
+    (contains "corpus_merge_ns_count 1");
+  Alcotest.(check bool) "endpoint counter" true
+    (contains "server_requests{endpoint=\"/corpus/query\",status=\"200\"} 1")
+
 (* --- prometheus exporter --- *)
 
 let test_prometheus_render () =
@@ -404,6 +507,15 @@ let () =
             test_router_deadline_ms_overflow;
           Alcotest.test_case "powerset guard is 400" `Quick
             test_router_powerset_guard_is_400;
+        ] );
+      ( "corpus endpoint",
+        [
+          Alcotest.test_case "single request" `Quick test_corpus_query_single;
+          Alcotest.test_case "batch" `Quick test_corpus_query_batch;
+          Alcotest.test_case "batch limits" `Quick test_corpus_query_batch_limits;
+          Alcotest.test_case "404 without corpus" `Quick
+            test_corpus_query_without_corpus;
+          Alcotest.test_case "metrics" `Quick test_corpus_metrics;
         ] );
       ( "prometheus",
         [

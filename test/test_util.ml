@@ -216,6 +216,60 @@ let test_zipf_invalid () =
   Alcotest.check_raises "n=0" (Invalid_argument "Zipf.create: n must be positive")
     (fun () -> ignore (Zipf.create ~n:0 ~s:1.0))
 
+(* --- Min_heap --- *)
+
+module Min_heap = Xfrag_util.Min_heap
+
+let test_heap_basic () =
+  let h = Min_heap.create ~cmp:Int.compare in
+  Alcotest.(check bool) "empty" true (Min_heap.is_empty h);
+  Alcotest.(check (option int)) "peek empty" None (Min_heap.peek h);
+  Alcotest.(check (option int)) "pop empty" None (Min_heap.pop h);
+  List.iter (Min_heap.push h) [ 5; 1; 4; 1; 3 ];
+  Alcotest.(check int) "length" 5 (Min_heap.length h);
+  Alcotest.(check (option int)) "peek min" (Some 1) (Min_heap.peek h);
+  Alcotest.(check (list int)) "sorted drain" [ 1; 1; 3; 4; 5 ] (Min_heap.sorted h)
+
+let test_heap_pop_order () =
+  let h = Min_heap.create ~cmp:Int.compare in
+  List.iter (Min_heap.push h) [ 9; 2; 7; 2; 0; 8 ];
+  let rec drain acc =
+    match Min_heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  Alcotest.(check (list int)) "ascending" [ 0; 2; 2; 7; 8; 9 ] (drain []);
+  Alcotest.(check bool) "drained" true (Min_heap.is_empty h)
+
+let test_heap_replace_min () =
+  let h = Min_heap.create ~cmp:Int.compare in
+  Min_heap.replace_min h 4;
+  Alcotest.(check (option int)) "replace on empty pushes" (Some 4) (Min_heap.peek h);
+  List.iter (Min_heap.push h) [ 2; 9 ];
+  Min_heap.replace_min h 7;
+  (* 2 was displaced by 7: the kept set is now {4; 7; 9}. *)
+  Alcotest.(check (list int)) "heap after replace" [ 4; 7; 9 ] (Min_heap.sorted h)
+
+let test_heap_bounded_topk () =
+  (* The corpus engine's top-k discipline: a worst-first heap of size k,
+     replace_min when a better element arrives.  Must match sorting the
+     whole stream and truncating. *)
+  let prng = Prng.create 97 in
+  let stream = List.init 200 (fun _ -> Prng.int prng 1000) in
+  let k = 10 in
+  let cmp_best a b = Int.compare a b in
+  let worst_first a b = cmp_best b a in
+  let h = Min_heap.create ~cmp:worst_first in
+  List.iter
+    (fun x ->
+      if Min_heap.length h < k then Min_heap.push h x
+      else
+        match Min_heap.peek h with
+        | Some worst when cmp_best x worst < 0 -> Min_heap.replace_min h x
+        | _ -> ())
+    stream;
+  let expected = List.filteri (fun i _ -> i < k) (List.sort cmp_best stream) in
+  Alcotest.(check (list int)) "top-k equals sort-and-truncate" expected
+    (List.sort cmp_best (Min_heap.to_list h))
+
 let () =
   Alcotest.run "util"
     [
@@ -245,6 +299,13 @@ let () =
           Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
           Alcotest.test_case "shuffle is a permutation" `Quick test_prng_shuffle_permutation;
           Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+        ] );
+      ( "min_heap",
+        [
+          Alcotest.test_case "basics" `Quick test_heap_basic;
+          Alcotest.test_case "pop order" `Quick test_heap_pop_order;
+          Alcotest.test_case "replace_min" `Quick test_heap_replace_min;
+          Alcotest.test_case "bounded top-k" `Quick test_heap_bounded_topk;
         ] );
       ( "zipf",
         [
