@@ -724,6 +724,66 @@ let obs () =
     ~ns:ns_on
     [ ("tracing", Json.String "enabled"); ("spans", Json.Int spans) ]
 
+(* --- F1: fault-injection overhead --------------------------------------------- *)
+
+module Fault = Xfrag_fault.Fault
+
+let f1 () =
+  header
+    "F1: fault-injection overhead - Eval.run with every failpoint disarmed\n\
+     (production steady state: one atomic load per site) vs one armed but\n\
+     never-firing site forcing the locked slow path at every hit";
+  let tree =
+    Docgen.with_planted_keywords
+      { Docgen.default with seed = 77; sections = 8 }
+      ~plant:[ ("needleone", 8); ("needletwo", 8) ]
+  in
+  let ctx = Context.create tree in
+  let q = Query.make ~filter:(Filter.Size_at_most 4) [ "needleone"; "needletwo" ] in
+  let strategy = Eval.Semi_naive in
+  Fault.Failpoint.clear ();
+  let hit_disarmed =
+    time_ns ~quota:0.25 "hit-disarmed" (fun () ->
+        Fault.Failpoint.hit "eval.join")
+  in
+  let ns_disarmed =
+    time_ns ~quota:0.5 "failpoints-disarmed" (fun () ->
+        ignore (Eval.run ~strategy ctx q))
+  in
+  (* A Key trigger whose key is never supplied: every hit takes the lock,
+     evaluates the trigger, and declines to fire — the worst case a chaos
+     run imposes on sites it is not targeting. *)
+  Fault.Failpoint.arm ~trigger:(Fault.Key "\x00never") "bench.unrelated"
+    Fault.Raise;
+  let hit_armed =
+    time_ns ~quota:0.25 "hit-armed-slow-path" (fun () ->
+        Fault.Failpoint.hit "eval.join")
+  in
+  let ns_armed =
+    time_ns ~quota:0.5 "failpoints-armed-unrelated" (fun () ->
+        ignore (Eval.run ~strategy ctx q))
+  in
+  Fault.Failpoint.reset ();
+  Printf.printf "query: {needleone, needletwo} 8x8, size<=4, strategy semi-naive\n\n";
+  Printf.printf "%-24s %-14s %s\n" "failpoints" "time/query" "time/hit";
+  Printf.printf "%-24s %-14s %s\n" "disarmed" (pp_ns ns_disarmed)
+    (pp_ns hit_disarmed);
+  Printf.printf "%-24s %-14s %s\n" "armed (never fires)" (pp_ns ns_armed)
+    (pp_ns hit_armed);
+  Printf.printf "\narmed/disarmed query ratio: %.2fx\n" (ns_armed /. ns_disarmed);
+  record ~experiment:"f1" ~scenario:"semi-naive 8x8 size<=4"
+    ~strategy:"semi-naive" ~ns:ns_disarmed
+    [
+      ("failpoints", Json.String "disarmed");
+      ("hit_ns", Json.Float hit_disarmed);
+    ];
+  record ~experiment:"f1" ~scenario:"semi-naive 8x8 size<=4"
+    ~strategy:"semi-naive" ~ns:ns_armed
+    [
+      ("failpoints", Json.String "armed-unrelated");
+      ("hit_ns", Json.Float hit_armed);
+    ]
+
 (* --- C1: join memo cache ------------------------------------------------------ *)
 
 module Join_cache = Xfrag_core.Join_cache
@@ -1001,7 +1061,8 @@ let p1 () =
 let experiments =
   [
     ("t1", t1); ("f3", f3); ("f4", f4); ("e1", e1); ("e2", e2); ("e3", e3);
-    ("e4", e4); ("e5", e5); ("e6", e6); ("c1", c1); ("a1", a1); ("obs", obs);
+    ("e4", e4); ("e5", e5); ("e6", e6); ("f1", f1); ("c1", c1); ("a1", a1);
+    ("obs", obs);
     ("s1", s1); ("p1", p1);
   ]
 

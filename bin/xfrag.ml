@@ -37,18 +37,10 @@ let stem_arg =
         ~doc:"Index and match keywords through a Porter stemmer (plural and \
               derived forms match their stems).")
 
-let load_tree file =
-  if Filename.check_suffix file ".doctree" then
-    match Xfrag_doctree.Codec.load file with
-    | Ok tree -> Ok tree
-    | Error msg -> Error (Printf.sprintf "%s: %s" file msg)
-    | exception Sys_error msg -> Error msg
-  else
-    match Xfrag_xml.Xml_parser.parse_file file with
-    | doc -> Ok (Doctree.of_xml doc)
-    | exception Xfrag_xml.Xml_error.Parse_error e ->
-        Error (Printf.sprintf "%s: %s" file (Xfrag_xml.Xml_error.to_string e))
-    | exception Sys_error msg -> Error msg
+(* All document loading goes through Loader: corrupt input comes back
+   as [Error], never as an exception, and the [parse.document] fault
+   site is honored. *)
+let load_tree = Xfrag_doctree.Loader.load_tree
 
 let load_context ?(stem = false) file =
   let options = { Xfrag_doctree.Tokenizer.default_options with stem } in
@@ -430,18 +422,29 @@ let shards_arg =
            the pool's parallelism).  Results are identical for every \
            shard count.")
 
+(* Quarantining load: a corrupt (or duplicate-named) FILE costs a
+   warning and its own absence from the corpus, never the run.  Only a
+   fully-empty corpus is an error. *)
+let load_documents files =
+  let docs, quarantine = Xfrag_doctree.Loader.load_documents files in
+  List.iter
+    (fun (q : Xfrag_doctree.Loader.quarantined) ->
+      Format.eprintf "xfrag: quarantined %s: %s@."
+        q.Xfrag_doctree.Loader.q_file q.Xfrag_doctree.Loader.q_reason)
+    quarantine;
+  if docs = [] then
+    Error
+      (Printf.sprintf "no loadable documents (%d quarantined)"
+         (List.length quarantine))
+  else Ok docs
+
 let load_corpus files =
-  let ( let* ) = Result.bind in
-  List.fold_left
-    (fun acc file ->
-      let* acc = acc in
-      match load_tree file with
-      | Error msg -> Error msg
-      | Ok tree -> (
-          match Corpus.add acc ~name:(Filename.basename file) tree with
-          | corpus -> Ok corpus
-          | exception Invalid_argument msg -> Error msg))
-    (Ok Corpus.empty) files
+  Result.map
+    (fun docs ->
+      List.fold_left
+        (fun corpus (name, tree) -> Corpus.add corpus ~name tree)
+        Corpus.empty docs)
+    (load_documents files)
 
 let run_corpus files keywords filter_str strategy_str strict deadline_ms top
     shards verbose =
@@ -488,6 +491,14 @@ let run_corpus files keywords filter_str strategy_str strict deadline_ms top
             (if sr.Corpus.shard_deadline_expired then " (deadline expired)"
              else ""))
         outcome.Corpus.shard_reports;
+    (* Contained per-document failures: the hits above are exactly what
+       a corpus without these documents would return, so report them
+       and still exit 0. *)
+    List.iter
+      (fun (e : Corpus.doc_error) ->
+        Format.printf "document error (contained): %s: %s@." e.Corpus.err_doc
+          e.Corpus.err_detail)
+      outcome.Corpus.errors;
     if outcome.Corpus.deadline_expired then
       Format.printf "deadline exceeded: results are partial@.";
     Ok ()
@@ -657,10 +668,18 @@ let run_serve files host port workers queue request_timeout_ms io_timeout
   setup_logs verbose;
   let ( let* ) = Result.bind in
   let loaded =
-    (* First FILE is the single-document target of /query and /explain;
-       the whole FILE list forms the corpus behind /corpus/query. *)
-    let* ctx = load_context ~stem (List.hd files) in
-    let* corpus = load_corpus files in
+    (* First successfully loaded FILE is the single-document target of
+       /query and /explain; every loaded FILE forms the corpus behind
+       /corpus/query.  Quarantined files are warned about and skipped —
+       the server refuses to start only with nothing to serve. *)
+    let* docs = load_documents files in
+    let options = { Xfrag_doctree.Tokenizer.default_options with stem } in
+    let ctx = Context.create ~options (snd (List.hd docs)) in
+    let corpus =
+      List.fold_left
+        (fun corpus (name, tree) -> Corpus.add corpus ~name tree)
+        Corpus.empty docs
+    in
     Ok (ctx, corpus)
   in
   match loaded with

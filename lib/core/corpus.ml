@@ -14,9 +14,12 @@ type doc_report = {
   doc_strategy : Exec.strategy;
 }
 
+type doc_error = { err_doc : string; err_detail : string }
+
 type shard_report = {
   shard_index : int;
   shard_docs : doc_report list;
+  shard_errors : doc_error list;
   shard_nodes : int;
   shard_elapsed_ns : int;
   shard_deadline_expired : bool;
@@ -26,6 +29,7 @@ type outcome = {
   hits : (hit * float) list;
   stats : Op_stats.t;
   shard_reports : shard_report list;
+  errors : doc_error list;
   merge_ns : int;
   elapsed_ns : int;
   total_answers : int;
@@ -146,6 +150,7 @@ let eval_shard ~scorer ~clock (request : Exec.Request.t) idx docs =
   let stats = Op_stats.create () in
   let expired = ref false in
   let doc_reports = ref [] in
+  let doc_errors = ref [] in
   let total_answers = ref 0 in
   let limit = request.Exec.Request.limit in
   (* Per-document request: the shared join cache is withheld (its
@@ -177,15 +182,25 @@ let eval_shard ~scorer ~clock (request : Exec.Request.t) idx docs =
            expired := true;
            raise_notrace Stdlib.Exit
          end;
-         match Eval.exec ctx doc_request with
-         | outcome ->
+         (* Evaluate and score into a local buffer, then commit: a
+            document that fails anywhere — evaluation, scoring, an armed
+            [eval.document] failpoint — contributes nothing, so the
+            surviving hits are bit-identical to a run without it. *)
+         match
+           Xfrag_fault.Fault.Failpoint.hit ~key:doc "eval.document";
+           let outcome = Eval.exec ctx doc_request in
+           let scored =
+             List.map
+               (fun fragment -> ({ doc; fragment }, scorer ctx fragment))
+               (Frag_set.elements outcome.Eval.answers)
+           in
+           (outcome, scored)
+         with
+         | outcome, scored ->
              Op_stats.merge stats outcome.Eval.stats;
              let n = Frag_set.cardinal outcome.Eval.answers in
              total_answers := !total_answers + n;
-             List.iter
-               (fun fragment ->
-                 add_hit ({ doc; fragment }, scorer ctx fragment))
-               (Frag_set.elements outcome.Eval.answers);
+             List.iter add_hit scored;
              doc_reports :=
                {
                  doc_name = doc;
@@ -202,7 +217,16 @@ let eval_shard ~scorer ~clock (request : Exec.Request.t) idx docs =
                 shard stops, and the expiry is reported as data — the
                 corpus engine never lets [Expired] escape. *)
              expired := true;
-             raise_notrace Stdlib.Exit)
+             raise_notrace Stdlib.Exit
+         | exception e ->
+             (* Failure containment: one document blowing up — corrupt
+                structure, an adversarial evaluation, an injected fault —
+                is data about that document, not a reason to lose the
+                other N−1 documents' answers or the process. *)
+             Xfrag_fault.Fault.record "doc_errors";
+             doc_errors :=
+               { err_doc = doc; err_detail = Printexc.to_string e }
+               :: !doc_errors)
        docs
    with Stdlib.Exit -> ());
   let run =
@@ -216,6 +240,7 @@ let eval_shard ~scorer ~clock (request : Exec.Request.t) idx docs =
       {
         shard_index = idx;
         shard_docs = List.rev !doc_reports;
+        shard_errors = List.rev !doc_errors;
         shard_nodes = nodes;
         shard_elapsed_ns = clock () - t0;
         shard_deadline_expired = !expired;
@@ -292,6 +317,7 @@ let run ?pool ?shards ?(scorer = fun _ _ -> 0.)
     hits;
     stats;
     shard_reports = List.map (fun r -> r.s_report) shard_results;
+    errors = List.concat_map (fun r -> r.s_report.shard_errors) shard_results;
     merge_ns;
     elapsed_ns = clock () - t0;
     total_answers =

@@ -27,9 +27,19 @@ type doc_report = {
   doc_strategy : Exec.strategy;  (** what [Auto] resolved to, per doc *)
 }
 
+type doc_error = {
+  err_doc : string;
+  err_detail : string;  (** [Printexc.to_string] of the contained exception *)
+}
+(** A document whose evaluation raised: contained per shard, reported as
+    data.  The surviving documents' hits are bit-identical to a run of
+    the corpus without the failing document. *)
+
 type shard_report = {
   shard_index : int;
   shard_docs : doc_report list;  (** documents evaluated, in name order *)
+  shard_errors : doc_error list;
+      (** documents whose evaluation was contained, in name order *)
   shard_nodes : int;
   shard_elapsed_ns : int;
   shard_deadline_expired : bool;
@@ -43,6 +53,9 @@ type outcome = {
           fragment), truncated to the request's [limit] *)
   stats : Op_stats.t;  (** merged across every evaluated document *)
   shard_reports : shard_report list;  (** by [shard_index] *)
+  errors : doc_error list;
+      (** flattened [shard_errors] in shard order — every contained
+          per-document failure of the run *)
   merge_ns : int;  (** wall time of the k-way merge alone *)
   elapsed_ns : int;  (** wall time of the whole corpus run *)
   total_answers : int;
@@ -97,9 +110,21 @@ val run :
     When the request deadline expires mid-run, each shard stops at the
     next document boundary, the in-flight document's answers are
     dropped, and the outcome carries everything that completed with
-    [deadline_expired] set — {!Deadline.Expired} never escapes.  Any
-    other exception from an evaluation (unknown strategy guard, empty
-    keyword set, a raising [scorer]) is re-raised. *)
+    [deadline_expired] set — {!Deadline.Expired} never escapes.
+
+    {b Failure containment}: any other exception raised while
+    evaluating or scoring one document (a malformed tree, an
+    adversarial evaluation blowing the stack, an armed [eval.document]
+    / [eval.join] failpoint, a raising [scorer]) is caught at the
+    document boundary and reported in [shard_errors] / [errors]; the
+    failing document contributes no hits, no stats, and no report row,
+    so the surviving hits are bit-identical to a run of the corpus
+    without that document (property-tested).  Each contained failure
+    bumps the [doc_errors] fault counter.  Note the trade-off: a
+    request-level mistake that makes {e every} document raise (e.g. an
+    unvalidated keyword list) surfaces as one error per document, not
+    as a single exception — callers should pre-validate requests with
+    {!Exec.Request.of_json} / {!Query.make}. *)
 
 val search : ?strategy:Eval.strategy -> t -> Query.t -> hit list
   [@@deprecated "use Corpus.run with an Exec.Request.t"]

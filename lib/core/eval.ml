@@ -77,6 +77,9 @@ let strict_leaf_filter ctx (q : Query.t) answers =
     answers
 
 let exec ?(clock = Clock.monotonic) ctx (r : Exec.Request.t) =
+  (* One deterministic fault site per evaluation: arming it proves the
+     callers' containment (router → 500, corpus → per-doc error). *)
+  Xfrag_fault.Fault.Failpoint.hit "eval.request";
   let q = Exec.Request.to_query r in
   let strategy = r.Exec.Request.strategy in
   let strict_leaf_semantics = r.Exec.Request.strict_leaf in

@@ -6,6 +6,10 @@ module Json = Xfrag_obs.Json
 let bump stats f = match stats with None -> () | Some s -> f s
 
 let compute_fragment ?stats (ctx : Context.t) f1 f2 =
+  (* Disarmed cost is one atomic load; armed, this site can abort or
+     slow any join deep inside a fixed point — the engine above must
+     contain it at the document boundary. *)
+  Xfrag_fault.Fault.Failpoint.hit "eval.join";
   bump stats (fun s -> s.Op_stats.fragment_joins <- s.Op_stats.fragment_joins + 1);
   let r1 = Fragment.root f1 and r2 = Fragment.root f2 in
   if r1 = r2 then

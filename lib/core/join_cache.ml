@@ -60,6 +60,17 @@ let sync t (ctx : Context.t) =
 
 let bump stats f = match stats with None -> () | Some s -> f s
 
+(* The [cache.admit] failpoint models a failing admission path (e.g. an
+   allocator refusing the entry): an injected raise degrades to "don't
+   memoize this join" — answers are unchanged, the skip is counted —
+   instead of escaping into the evaluation. *)
+let admit () =
+  match Xfrag_fault.Fault.Failpoint.hit "cache.admit" with
+  | () -> true
+  | exception Xfrag_fault.Fault.Injected _ ->
+      Xfrag_fault.Fault.record "cache_admit_skipped";
+      false
+
 let find_or_join_unlocked t ?stats ctx f1 f2 ~join =
   sync t ctx;
   let i1 = Fragment.Interner.intern t.interner f1 in
@@ -72,11 +83,13 @@ let find_or_join_unlocked t ?stats ctx f1 f2 ~join =
   | None ->
       let evictions_before = Lru.evictions t.lru in
       let result = join () in
-      Lru.add t.lru key result;
-      (* Interning the result means a later join that uses it as an
-         operand (every fixed-point round does) gets its id for one
-         hashtable probe. *)
-      ignore (Fragment.Interner.intern t.interner result);
+      if admit () then begin
+        Lru.add t.lru key result;
+        (* Interning the result means a later join that uses it as an
+           operand (every fixed-point round does) gets its id for one
+           hashtable probe. *)
+        ignore (Fragment.Interner.intern t.interner result)
+      end;
       bump stats (fun s ->
           s.Op_stats.cache_misses <- s.Op_stats.cache_misses + 1;
           s.Op_stats.cache_evictions <-
@@ -105,9 +118,12 @@ let find_or_join_locked t m ?stats ctx f1 f2 ~join =
       result
   | None ->
       let result = join () in
+      (* Admission decided before taking the lock: the failpoint action
+         (raise, delay) must never run while holding the cache mutex. *)
+      let admitted = admit () in
       Mutex.lock m;
       let evictions_before = Lru.evictions t.lru in
-      if Lru.generation t.lru = ctx.Context.generation then begin
+      if admitted && Lru.generation t.lru = ctx.Context.generation then begin
         Lru.add t.lru key result;
         ignore (Fragment.Interner.intern t.interner result)
       end;

@@ -1,9 +1,15 @@
+module Fault = Xfrag_fault.Fault
+
 type t = {
   mutex : Mutex.t;
   work_ready : Condition.t;
   jobs : (unit -> unit) Queue.t;
   mutable stopping : bool;
   mutable domains : unit Domain.t list;
+  mutable live : int;  (** workers currently in their loop *)
+  mutable restarts : int;
+  restart_cap : int;
+  mutable degraded : bool;
 }
 
 let with_lock t f =
@@ -20,6 +26,11 @@ let worker_loop t =
     else begin
       let job = Queue.pop t.jobs in
       Mutex.unlock t.mutex;
+      (* Deterministic fault site: a raise here is a worker domain dying
+         mid-run.  The popped job is a claim-wrapper (see [map_all]), so
+         losing it loses no work — the caller's help loop runs the
+         underlying task — and the supervisor replaces the domain. *)
+      Fault.Failpoint.hit "shard.worker";
       (* Jobs are claim-wrappers built by [map_all]; they never raise. *)
       job ();
       next ()
@@ -27,10 +38,42 @@ let worker_loop t =
   in
   next ()
 
+(* Every worker runs under this supervisor: a clean loop exit (shutdown)
+   just decrements [live]; a death — which only a bug or an armed
+   failpoint can cause, since jobs are wrapped — is counted, logged, and
+   the domain replaced, up to [restart_cap] lifetime restarts.  Past the
+   cap the pool stops replacing and is marked degraded: it keeps working
+   with fewer (possibly zero) domains because [map_all]'s caller-helps
+   discipline never depends on any worker existing.  The supervisor
+   swallows the exception so [Domain.join] at shutdown stays clean. *)
+let rec supervised t () =
+  match worker_loop t with
+  | () -> with_lock t (fun () -> t.live <- t.live - 1)
+  | exception e ->
+      Fault.record "worker_restarts";
+      with_lock t (fun () ->
+          t.live <- t.live - 1;
+          if (not t.stopping) && t.restarts < t.restart_cap then begin
+            t.restarts <- t.restarts + 1;
+            Printf.eprintf
+              "xfrag: shard worker died (%s); restarting (%d/%d)\n%!"
+              (Printexc.to_string e) t.restarts t.restart_cap;
+            t.live <- t.live + 1;
+            t.domains <- Domain.spawn (supervised t) :: t.domains
+          end
+          else if not t.degraded then begin
+            t.degraded <- true;
+            Fault.record "pool_degraded";
+            Printf.eprintf
+              "xfrag: shard worker died (%s); restart cap %d reached, \
+               degrading to %d domain(s)\n%!"
+              (Printexc.to_string e) t.restart_cap t.live
+          end)
+
 let recommended_domains () =
   min 7 (max 0 (Domain.recommended_domain_count () - 1))
 
-let create ?domains () =
+let create ?domains ?(restart_cap = 8) () =
   let domains =
     match domains with Some d -> max 0 d | None -> recommended_domains ()
   in
@@ -41,14 +84,22 @@ let create ?domains () =
       jobs = Queue.create ();
       stopping = false;
       domains = [];
+      live = domains;
+      restarts = 0;
+      restart_cap = max 0 restart_cap;
+      degraded = false;
     }
   in
-  t.domains <- List.init domains (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.domains <- List.init domains (fun _ -> Domain.spawn (supervised t));
   t
 
-let domains t = List.length t.domains
+let domains t = with_lock t (fun () -> t.live)
 
 let parallelism t = domains t + 1
+
+let restarts t = with_lock t (fun () -> t.restarts)
+
+let degraded t = with_lock t (fun () -> t.degraded)
 
 let shutdown t =
   let ds =
@@ -107,21 +158,21 @@ let map_all t fs =
     in
     (* First-claim wins: a task is run by whichever of the pool workers
        and the calling domain gets to it first, so a saturated (or
-       empty) pool degrades to inline execution instead of blocking. *)
+       empty, or fully degraded) pool falls back to inline execution
+       instead of blocking. *)
     let try_run i =
       if Atomic.compare_and_set claimed.(i) false true then run_task i
     in
     let offloaded =
-      domains t > 0
-      && with_lock t (fun () ->
-             if t.stopping then false
-             else begin
-               for i = 1 to n - 1 do
-                 Queue.push (fun () -> try_run i) t.jobs
-               done;
-               Condition.broadcast t.work_ready;
-               true
-             end)
+      with_lock t (fun () ->
+          if t.stopping || t.live = 0 then false
+          else begin
+            for i = 1 to n - 1 do
+              Queue.push (fun () -> try_run i) t.jobs
+            done;
+            Condition.broadcast t.work_ready;
+            true
+          end)
     in
     ignore offloaded;
     (* Help: run task 0, then claim whatever the workers haven't. *)

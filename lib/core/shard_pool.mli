@@ -10,15 +10,27 @@
     workers have not claimed yet, and blocks only for jobs a worker is
     actively running.  A saturated (or zero-domain) pool therefore
     degrades to plain sequential execution in the caller — it can never
-    deadlock, and [create ~domains:0] is a valid "sequential mode". *)
+    deadlock, and [create ~domains:0] is a valid "sequential mode".
+
+    {b Supervision}: every worker domain runs under a supervisor.  A
+    worker dying (only a bug or the armed [shard.worker] failpoint can
+    cause it — jobs are exception-proof claim-wrappers) is detected,
+    logged to stderr, counted in the [worker_restarts] fault counter,
+    and replaced by a fresh domain, up to [restart_cap] restarts over
+    the pool's lifetime.  Past the cap the pool is marked {!degraded}
+    (counted as [pool_degraded]) and keeps serving with fewer — possibly
+    zero — domains: caller-helps makes a shrunken pool a slower pool,
+    never a stuck one, and no in-flight [map_all] ever loses a task to
+    a dying worker (the task's claim-wrapper is re-run by the caller). *)
 
 type t
 
-val create : ?domains:int -> unit -> t
+val create : ?domains:int -> ?restart_cap:int -> unit -> t
 (** Spawn [domains] worker domains (default
     [min 7 (recommended_domain_count () - 1)], which is [0] on a
     single-core machine).  [domains:0] is allowed: [map_all] then runs
-    everything in the caller. *)
+    everything in the caller.  [restart_cap] (default 8) bounds lifetime
+    worker replacements — the restart-storm brake. *)
 
 val default : unit -> t
 (** The lazily created process-wide pool, shut down via [at_exit].
@@ -26,7 +38,14 @@ val default : unit -> t
     non-negative integer, else the [create] default. *)
 
 val domains : t -> int
-(** Number of worker domains (0 after [shutdown]). *)
+(** Number of live worker domains (0 after [shutdown], and possibly
+    lower than requested after unreplaced deaths). *)
+
+val restarts : t -> int
+(** Worker replacements performed so far. *)
+
+val degraded : t -> bool
+(** The restart cap was reached; dead workers are no longer replaced. *)
 
 val parallelism : t -> int
 (** [domains t + 1] — the workers plus the calling domain, which always

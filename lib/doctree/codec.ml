@@ -133,9 +133,15 @@ let load path =
     let n = in_channel_length ic in
     really_input_string ic n
   with
-  | data ->
+  | data -> (
       close_in ic;
-      of_string data
+      (* The [codec.read] failpoint models a torn or short read of the
+         cache file: truncation exercises the decoder's corrupt-input
+         handling, a raise is converted to the same [Error] channel. *)
+      match Xfrag_fault.Fault.Failpoint.data ~key:path "codec.read" data with
+      | data -> of_string data
+      | exception Xfrag_fault.Fault.Injected (site, detail) ->
+          Error (Printf.sprintf "injected fault at %s: %s" site detail))
   | exception End_of_file ->
       (* The file shrank between [in_channel_length] and the read. *)
       close_in_noerr ic;

@@ -1,0 +1,45 @@
+module Fault = Xfrag_fault.Fault
+
+type quarantined = { q_file : string; q_reason : string }
+
+let load_tree path =
+  match
+    Fault.Failpoint.hit ~key:path "parse.document";
+    if Filename.check_suffix path ".doctree" then
+      match Codec.load path with
+      | Ok tree -> Ok tree
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+    else
+      match Xfrag_xml.Xml_parser.parse_file path with
+      | doc -> Ok (Doctree.of_xml doc)
+      | exception Xfrag_xml.Xml_error.Parse_error e ->
+          Error (Printf.sprintf "%s: %s" path (Xfrag_xml.Xml_error.to_string e))
+  with
+  | result -> result
+  | exception Sys_error msg -> Error msg
+  | exception Fault.Injected (site, detail) ->
+      Error (Printf.sprintf "%s: injected fault at %s: %s" path site detail)
+  | exception e ->
+      (* Quarantine contract: corrupt input surfaces as a reason string,
+         never as an exception, even for an escape the typed paths
+         missed. *)
+      Error (Printf.sprintf "%s: %s" path (Printexc.to_string e))
+
+let load_documents ?(name_of = Filename.basename) files =
+  let docs, quarantine =
+    List.fold_left
+      (fun (docs, quarantine) file ->
+        let reject reason =
+          Fault.record "quarantined_docs";
+          (docs, { q_file = file; q_reason = reason } :: quarantine)
+        in
+        match load_tree file with
+        | Error reason -> reject reason
+        | Ok tree ->
+            let name = name_of file in
+            if List.exists (fun (n, _) -> String.equal n name) docs then
+              reject (Printf.sprintf "duplicate document name %S" name)
+            else ((name, tree) :: docs, quarantine))
+      ([], []) files
+  in
+  (List.rev docs, List.rev quarantine)

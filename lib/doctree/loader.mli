@@ -1,0 +1,29 @@
+(** Fault-contained document ingestion.
+
+    The one load path shared by the CLI, the server, and the tests.
+    Loading a file never raises: every failure mode — unreadable file,
+    malformed XML, corrupt [.doctree] bytes, an injected
+    [parse.document] fault — comes back as [Error] from {!load_tree},
+    and {!load_documents} turns per-file errors into {e quarantine}
+    entries so one bad document cannot abort loading a collection.
+
+    Failpoints: [parse.document] is hit once per file with the file
+    path as key; [codec.read] (inside {!Codec.load}) can truncate or
+    corrupt the bytes of a [.doctree] read. *)
+
+type quarantined = { q_file : string; q_reason : string }
+
+val load_tree : string -> (Doctree.t, string) result
+(** Parse [path] as XML, or decode it with {!Codec.load} when it ends
+    in [.doctree].  Never raises. *)
+
+val load_documents :
+  ?name_of:(string -> string) ->
+  string list ->
+  (string * Doctree.t) list * quarantined list
+(** Load every file, quarantining the ones that fail instead of
+    stopping: returns the surviving [(name, tree)] pairs in input order
+    and the quarantine list (also in input order).  [name_of] derives
+    the document name from the path (default [Filename.basename]); a
+    name collision quarantines the later file.  Each quarantined file
+    bumps the [quarantined_docs] fault counter. *)

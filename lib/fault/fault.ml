@@ -1,0 +1,254 @@
+exception Injected of string * string
+
+type action = Raise | Delay of int | Truncate of int
+
+type trigger = Always | Nth of int | From of int | Key of string
+
+type point = {
+  p_action : action;
+  p_trigger : trigger;
+  mutable p_hits : int;
+}
+
+(* All slow-path state lives behind one mutex; the fast path (nothing
+   armed anywhere, the production steady state) is a single atomic load
+   of [armed_total]. *)
+let lock = Mutex.create ()
+
+let points : (string, point) Hashtbl.t = Hashtbl.create 8
+
+let armed_total = Atomic.make 0
+
+(* Fired counts survive disarming so telemetry can report what a whole
+   run injected; [counters_tbl] holds the containment-side counters
+   ([worker_restarts], [doc_errors], …). *)
+let fired_totals : (string, int ref) Hashtbl.t = Hashtbl.create 8
+
+let counters_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 8
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let bump tbl name n =
+  match Hashtbl.find_opt tbl name with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.replace tbl name (ref n)
+
+(* --- fault counters --------------------------------------------------- *)
+
+let add name n = if n <> 0 then with_lock (fun () -> bump counters_tbl name n)
+
+let record name = add name 1
+
+let count name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt counters_tbl name with
+      | Some r -> !r
+      | None -> 0)
+
+let counters () =
+  with_lock (fun () ->
+      let acc =
+        Hashtbl.fold (fun name r acc -> (name, !r) :: acc) counters_tbl []
+      in
+      let acc =
+        Hashtbl.fold
+          (fun site r acc ->
+            (Printf.sprintf "injected{site=%S}" site, !r) :: acc)
+          fired_totals acc
+      in
+      List.sort compare acc)
+
+let reset_counters () =
+  with_lock (fun () ->
+      Hashtbl.reset counters_tbl;
+      Hashtbl.reset fired_totals)
+
+(* --- failpoints ------------------------------------------------------- *)
+
+module Failpoint = struct
+  (* Deterministic stand-in for "this operation got slow": data-dependent
+     spinning, no clock, no syscall, so the same arming produces the
+     same schedule perturbation on every run. *)
+  let default_delay n =
+    let x = ref 0 in
+    for i = 1 to n * 512 do
+      x := !x lxor (i * 0x9e3779b1)
+    done;
+    ignore (Sys.opaque_identity !x)
+
+  let delay_hook = ref default_delay
+
+  let set_delay_hook f = delay_hook := f
+
+  let arm ?(trigger = Always) site action =
+    with_lock (fun () ->
+        if not (Hashtbl.mem points site) then Atomic.incr armed_total;
+        Hashtbl.replace points site
+          { p_action = action; p_trigger = trigger; p_hits = 0 })
+
+  let disarm site =
+    with_lock (fun () ->
+        if Hashtbl.mem points site then begin
+          Hashtbl.remove points site;
+          Atomic.decr armed_total
+        end)
+
+  let clear () =
+    with_lock (fun () ->
+        Hashtbl.reset points;
+        Atomic.set armed_total 0)
+
+  let armed site = with_lock (fun () -> Hashtbl.mem points site)
+
+  let hit_count site =
+    with_lock (fun () ->
+        match Hashtbl.find_opt points site with
+        | Some p -> p.p_hits
+        | None -> 0)
+
+  let fired_count site =
+    with_lock (fun () ->
+        match Hashtbl.find_opt fired_totals site with
+        | Some r -> !r
+        | None -> 0)
+
+  (* Decide under the lock, act outside it: a [Raise] or [Delay] must
+     never run while holding [lock]. *)
+  let strike site key =
+    with_lock (fun () ->
+        match Hashtbl.find_opt points site with
+        | None -> None
+        | Some p ->
+            p.p_hits <- p.p_hits + 1;
+            let fires =
+              match p.p_trigger with
+              | Always -> true
+              | Nth n -> p.p_hits = n
+              | From n -> p.p_hits >= n
+              | Key k -> ( match key with Some k' -> String.equal k k' | None -> false)
+            in
+            if fires then begin
+              bump fired_totals site 1;
+              Some p.p_action
+            end
+            else None)
+
+  let hit ?key site =
+    if Atomic.get armed_total = 0 then ()
+    else
+      match strike site key with
+      | None | Some (Truncate _) -> ()
+      | Some Raise -> raise (Injected (site, "injected fault"))
+      | Some (Delay n) -> !delay_hook n
+
+  let data ?key site s =
+    if Atomic.get armed_total = 0 then s
+    else
+      match strike site key with
+      | None -> s
+      | Some Raise -> raise (Injected (site, "injected fault"))
+      | Some (Delay n) ->
+          !delay_hook n;
+          s
+      | Some (Truncate n) ->
+          let n = max 0 n in
+          if String.length s <= n then s else String.sub s 0 n
+
+  let with_armed ?trigger site action f =
+    arm ?trigger site action;
+    Fun.protect ~finally:(fun () -> disarm site) f
+
+  (* --- spec parsing --------------------------------------------------- *)
+
+  let parse_trigger s =
+    if String.length s > 4 && String.sub s 0 4 = "key=" then
+      Ok (Key (String.sub s 4 (String.length s - 4)))
+    else if String.length s > 1 && s.[String.length s - 1] = '+' then
+      match int_of_string_opt (String.sub s 0 (String.length s - 1)) with
+      | Some n when n >= 1 -> Ok (From n)
+      | _ -> Error (Printf.sprintf "bad trigger %S" s)
+    else
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok (Nth n)
+      | _ -> Error (Printf.sprintf "bad trigger %S" s)
+
+  let parse_action s =
+    match String.index_opt s ':' with
+    | None -> (
+        match s with
+        | "raise" -> Ok (Some Raise)
+        | "off" -> Ok None
+        | _ -> Error (Printf.sprintf "unknown action %S" s))
+    | Some i -> (
+        let name = String.sub s 0 i in
+        let arg = String.sub s (i + 1) (String.length s - i - 1) in
+        match (name, int_of_string_opt arg) with
+        | "delay", Some n when n >= 0 -> Ok (Some (Delay n))
+        | "truncate", Some n when n >= 0 -> Ok (Some (Truncate n))
+        | ("delay" | "truncate"), _ ->
+            Error (Printf.sprintf "bad %s argument %S" name arg)
+        | _ -> Error (Printf.sprintf "unknown action %S" s))
+
+  let parse_entry entry =
+    match String.index_opt entry '=' with
+    | None -> Error (Printf.sprintf "missing '=' in %S" entry)
+    | Some i -> (
+        let site = String.trim (String.sub entry 0 i) in
+        let rhs = String.sub entry (i + 1) (String.length entry - i - 1) in
+        if site = "" then Error (Printf.sprintf "empty site in %S" entry)
+        else
+          let action_str, trigger_str =
+            match String.index_opt rhs '@' with
+            | None -> (rhs, None)
+            | Some j ->
+                ( String.sub rhs 0 j,
+                  Some (String.sub rhs (j + 1) (String.length rhs - j - 1)) )
+          in
+          let ( let* ) = Result.bind in
+          let* action = parse_action (String.trim action_str) in
+          let* trigger =
+            match trigger_str with
+            | None -> Ok Always
+            | Some t -> parse_trigger (String.trim t)
+          in
+          match action with
+          | None ->
+              disarm site;
+              Ok ()
+          | Some a ->
+              arm ~trigger site a;
+              Ok ())
+
+  let arm_spec spec =
+    let entries =
+      String.split_on_char ';' spec
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    in
+    let errors =
+      List.filter_map
+        (fun e -> match parse_entry e with Ok () -> None | Error m -> Some m)
+        entries
+    in
+    if errors = [] then Ok () else Error (String.concat "; " errors)
+
+  let init_from_env () =
+    match Sys.getenv_opt "XFRAG_FAILPOINTS" with
+    | None | Some "" -> ()
+    | Some spec -> (
+        match arm_spec spec with
+        | Ok () -> ()
+        | Error msg ->
+            (* A bad spec must degrade to "partially armed", never crash:
+               the injector may not amplify faults. *)
+            Printf.eprintf "xfrag: ignoring bad XFRAG_FAILPOINTS entries: %s\n%!"
+              msg)
+
+  let reset () =
+    clear ();
+    init_from_env ()
+
+  let () = init_from_env ()
+end

@@ -1,0 +1,115 @@
+(** Deterministic fault injection and process-wide fault accounting.
+
+    A {e failpoint} is a named site in the code ([parse.document],
+    [eval.join], [shard.worker], …) that normally does nothing and costs
+    one atomic load.  Arming a site — through the test API or the
+    [XFRAG_FAILPOINTS] environment variable — makes the site raise
+    {!Injected}, spin a deterministic delay, or truncate the data
+    flowing through it, under a trigger evaluated against a seeded
+    per-site hit counter (no wall clock, no randomness): the same
+    program run fires the same faults at the same hits.
+
+    The containment layers (corpus per-document isolation, pool worker
+    supervision, load-path quarantine, router error mapping) are written
+    against these sites; the test suite and the CI chaos legs arm them
+    to prove one failing document, worker, or connection cannot take
+    down a corpus query or the serving process.
+
+    {b Spec grammar} ([XFRAG_FAILPOINTS], {!Failpoint.arm_spec}):
+    {v entries   ::= entry (';' entry)*
+entry     ::= site '=' action ('@' trigger)?
+action    ::= 'raise' | 'off' | 'delay:' INT | 'truncate:' INT
+trigger   ::= INT            fire only on the Nth hit (1-based)
+            | INT '+'        fire on the Nth hit and every later one
+            | 'key=' STRING  fire on hits whose key matches exactly v}
+    Example: [parse.document=raise@key=b.xml;shard.worker=raise@1;
+    eval.join=delay:16].  Without a trigger the site fires on every
+    hit.  Malformed entries are reported on stderr and skipped — a bad
+    spec must never take the process down (that would be a fault
+    amplifier, not an injector).
+
+    Everything here is domain-safe: sites are hit from pool workers. *)
+
+exception Injected of string * string
+(** [Injected (site, detail)] — the exception an armed [raise] site
+    throws.  Containment layers may match on it to label the failure,
+    but must contain {e any} exception the same way; fault injection
+    only proves the path. *)
+
+type action =
+  | Raise  (** raise {!Injected} at the site *)
+  | Delay of int
+      (** spin the deterministic delay hook for [n] units — models a
+          slow document / lock-holder without touching any clock *)
+  | Truncate of int
+      (** cut the string passing through a {!Failpoint.data} site to at
+          most [n] bytes; plain {!Failpoint.hit} sites treat it as a
+          no-op *)
+
+type trigger =
+  | Always
+  | Nth of int  (** fire only on the [n]-th hit since arming (1-based) *)
+  | From of int  (** fire on the [n]-th hit and all later ones *)
+  | Key of string
+      (** fire on hits whose [?key] (document name, file path…) matches *)
+
+module Failpoint : sig
+  val arm : ?trigger:trigger -> string -> action -> unit
+  (** Arm [site]; replaces any previous arming and resets the site's
+      hit counter, so triggers count from the arming point. *)
+
+  val disarm : string -> unit
+
+  val clear : unit -> unit
+  (** Disarm every site (including the ones armed from the
+      environment).  Fired-count telemetry is kept. *)
+
+  val reset : unit -> unit
+  (** {!clear}, then re-arm from [XFRAG_FAILPOINTS]. *)
+
+  val with_armed : ?trigger:trigger -> string -> action -> (unit -> 'a) -> 'a
+  (** Scoped arming: arm, run, disarm (also on exception). *)
+
+  val arm_spec : string -> (unit, string) result
+  (** Parse and arm a spec string (grammar above).  Valid entries are
+      armed even when later ones are malformed; the error lists every
+      rejected entry. *)
+
+  val armed : string -> bool
+
+  val hit : ?key:string -> string -> unit
+  (** Pass through the site: no-op unless the site is armed and its
+      trigger matches, in which case the action runs ([Raise] raises
+      {!Injected}, [Delay] spins, [Truncate] is a no-op).  Disarmed
+      cost is one atomic load. *)
+
+  val data : ?key:string -> string -> string -> string
+  (** [data site s]: like {!hit} but for sites with bytes in flight —
+      [Truncate n] returns the first [n] bytes of [s]. *)
+
+  val hit_count : string -> int
+  (** Hits since the site was (last) armed; 0 for unarmed sites. *)
+
+  val fired_count : string -> int
+  (** Times the site's action actually ran, across armings. *)
+
+  val set_delay_hook : (int -> unit) -> unit
+  (** Replace the [Delay] implementation (default: a deterministic
+      spin).  Tests inject a recorder. *)
+end
+
+val record : string -> unit
+(** Bump process-wide fault counter [name] — e.g. the pools record
+    [worker_restarts], the corpus engine [doc_errors], the loader
+    [quarantined_docs].  These surface as [faults.*] metrics. *)
+
+val add : string -> int -> unit
+
+val count : string -> int
+
+val counters : unit -> (string * int) list
+(** Snapshot, sorted by name: every {!record}ed counter plus
+    [injected{site="…"}] fired counts for sites that ever fired. *)
+
+val reset_counters : unit -> unit
+(** Zero all counters and fired counts (tests only). *)

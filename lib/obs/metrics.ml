@@ -110,6 +110,13 @@ let histogram t name =
 let add_assoc ?(prefix = "") t assoc =
   List.iter (fun (name, n) -> Counter.add (counter t (prefix ^ name)) n) assoc
 
+let sync_assoc ?(prefix = "") t assoc =
+  List.iter
+    (fun (name, n) ->
+      let c = counter t (prefix ^ name) in
+      Counter.add c (n - Counter.value c))
+    assoc
+
 let sorted_bindings t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)

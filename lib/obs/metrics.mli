@@ -58,6 +58,13 @@ val histogram : t -> string -> Histogram.t
 val add_assoc : ?prefix:string -> t -> (string * int) list -> unit
 (** Add each [(name, n)] into counter [prefix ^ name]. *)
 
+val sync_assoc : ?prefix:string -> t -> (string * int) list -> unit
+(** Set counter [prefix ^ name] to exactly [n] for each [(name, n)] —
+    the idempotent mirror for externally-owned monotonic counters
+    (cache stats, fault counters) snapshotted into the registry at
+    scrape time.  Unlike {!add_assoc}, repeated calls don't double
+    count. *)
+
 val bindings :
   t ->
   (string

@@ -48,3 +48,61 @@ let once ?timeout_s ~host ~port ~meth ~path ?(headers = []) ?body () =
           request c ~meth ~path
             ~headers:(("Connection", "close") :: headers)
             ?body ())
+
+(* --- retries --- *)
+
+let header_value name headers =
+  let name = String.lowercase_ascii name in
+  List.find_map
+    (fun (n, v) ->
+      if String.lowercase_ascii n = name then Some (String.trim v) else None)
+    headers
+
+let retry_after_ms headers =
+  match header_value "retry-after" headers with
+  | None -> None
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some s when s >= 0 -> Some (s * 1000)
+      | _ -> None)
+
+(* 503 is the server shedding load and 500 an engine escape; both are
+   worth one more try.  Every other status — including 4xx — reflects
+   the request itself and will not improve on replay. *)
+let retryable = function
+  | Error _ -> true
+  | Ok (status, _, _) -> status = 500 || status = 503
+
+let default_sleep ms =
+  if ms > 0 then Unix.sleepf (float_of_int ms /. 1000.0)
+
+let with_retry ?(max_attempts = 4) ?(base_delay_ms = 50) ?(max_delay_ms = 2000)
+    ?(sleep = default_sleep) f =
+  if max_attempts < 1 then invalid_arg "Client.with_retry: max_attempts < 1";
+  let cap d = min max_delay_ms (max 0 d) in
+  let rec go attempt =
+    let result = f ~attempt in
+    if attempt + 1 >= max_attempts || not (retryable result) then result
+    else begin
+      (* Deterministic capped doubling; a parseable Retry-After can
+         lengthen the wait (still capped) but never shorten it. *)
+      let backoff = cap (base_delay_ms * (1 lsl min attempt 20)) in
+      let delay =
+        match result with
+        | Ok (_, headers, _) -> (
+            match retry_after_ms headers with
+            | Some ra -> max backoff (cap ra)
+            | None -> backoff)
+        | Error _ -> backoff
+      in
+      sleep delay;
+      go (attempt + 1)
+    end
+  in
+  go 0
+
+let once_retry ?max_attempts ?base_delay_ms ?max_delay_ms ?sleep ?timeout_s
+    ~host ~port ~meth ~path ?(headers = []) ?body () =
+  with_retry ?max_attempts ?base_delay_ms ?max_delay_ms ?sleep
+    (fun ~attempt:_ ->
+      once ?timeout_s ~host ~port ~meth ~path ~headers ?body ())

@@ -33,3 +33,48 @@ val once :
   (int * (string * string) list * string, string) result
 (** Connect, send one request with [Connection: close], read the
     response, close.  Connection errors come back as [Error]. *)
+
+val with_retry :
+  ?max_attempts:int ->
+  ?base_delay_ms:int ->
+  ?max_delay_ms:int ->
+  ?sleep:(int -> unit) ->
+  (attempt:int -> (int * (string * string) list * string, string) result) ->
+  (int * (string * string) list * string, string) result
+(** [with_retry f] runs [f ~attempt:0], retrying transient failures —
+    connection-level [Error]s, 503 (shedding), 500 (engine escape) —
+    up to [max_attempts] (default 4) total attempts, and returns the
+    last result.  Any other status, 4xx included, is returned at once:
+    it reflects the request, not the server's moment.
+
+    The backoff before attempt [n+1] is the deterministic capped
+    doubling [min max_delay_ms (base_delay_ms * 2^n)] (defaults 50 ms
+    doubling to a 2 s cap) — no randomness, no wall-clock reads, so a
+    retry schedule is exactly reproducible.  A [Retry-After: s] header
+    on a retryable response raises the wait to [s] seconds (still
+    capped); it never shortens it.  [sleep] (milliseconds; default
+    [Unix.sleepf]) is injectable so tests can record the schedule
+    instead of waiting it out.
+
+    Retrying POSTs here is safe by design: the server's POST endpoints
+    ([/query], [/explain], [/corpus/query]) are read-only evaluations —
+    idempotent, so a replay after an ambiguous failure can at worst
+    recompute an answer. *)
+
+val once_retry :
+  ?max_attempts:int ->
+  ?base_delay_ms:int ->
+  ?max_delay_ms:int ->
+  ?sleep:(int -> unit) ->
+  ?timeout_s:float ->
+  host:string ->
+  port:int ->
+  meth:string ->
+  path:string ->
+  ?headers:(string * string) list ->
+  ?body:string ->
+  unit ->
+  (int * (string * string) list * string, string) result
+(** {!once} wrapped in {!with_retry}: each attempt is a fresh
+    connection, so a worker dying mid-response or a shed 503 is
+    absorbed by the backoff schedule. *)

@@ -1,3 +1,5 @@
+module Fault = Xfrag_fault.Fault
+
 type t = {
   jobs : (unit -> unit) Queue.t;
   queue_cap : int;
@@ -5,6 +7,10 @@ type t = {
   work_ready : Condition.t;
   mutable stopping : bool;
   mutable domains : unit Domain.t list;
+  mutable live : int;
+  mutable restarts : int;
+  restart_cap : int;
+  mutable degraded : bool;
   on_error : exn -> unit;
 }
 
@@ -14,6 +20,10 @@ let with_lock t f =
 
 let worker_loop t =
   let rec next () =
+    (* Fault site placed before the queue is touched: a worker killed
+       here loses no accepted connection — the job stays queued for a
+       sibling or the replacement worker. *)
+    Fault.Failpoint.hit "server.worker";
     Mutex.lock t.mutex;
     while Queue.is_empty t.jobs && not t.stopping do
       Condition.wait t.work_ready t.mutex
@@ -33,7 +43,39 @@ let worker_loop t =
   in
   next ()
 
-let create ?(on_error = fun _ -> ()) ~workers ~queue_cap () =
+(* Same supervision discipline as [Shard_pool]: a dying worker is
+   counted, logged, and replaced up to [restart_cap] lifetime restarts;
+   past the cap the pool degrades to the surviving workers.  With zero
+   survivors [submit] refuses new jobs, so the accept loop sheds with
+   503 instead of queueing connections nobody will serve.  The
+   supervisor returns normally so shutdown's [Domain.join] stays
+   clean. *)
+let rec supervised t () =
+  match worker_loop t with
+  | () -> with_lock t (fun () -> t.live <- t.live - 1)
+  | exception e ->
+      Fault.record "server_worker_restarts";
+      with_lock t (fun () ->
+          t.live <- t.live - 1;
+          if (not t.stopping) && t.restarts < t.restart_cap then begin
+            t.restarts <- t.restarts + 1;
+            Printf.eprintf
+              "xfrag: server worker died (%s); restarting (%d/%d)\n%!"
+              (Printexc.to_string e) t.restarts t.restart_cap;
+            t.live <- t.live + 1;
+            t.domains <- Domain.spawn (supervised t) :: t.domains
+          end
+          else if not t.degraded then begin
+            t.degraded <- true;
+            Fault.record "server_pool_degraded";
+            Printf.eprintf
+              "xfrag: server worker died (%s); restart cap %d reached, \
+               degrading to %d worker(s)\n%!"
+              (Printexc.to_string e) t.restart_cap t.live
+          end)
+
+let create ?(on_error = fun _ -> ()) ?(restart_cap = 8) ~workers ~queue_cap ()
+    =
   if workers < 1 then invalid_arg "Pool.create: workers < 1";
   if queue_cap < 1 then invalid_arg "Pool.create: queue_cap < 1";
   let t =
@@ -44,15 +86,20 @@ let create ?(on_error = fun _ -> ()) ~workers ~queue_cap () =
       work_ready = Condition.create ();
       stopping = false;
       domains = [];
+      live = workers;
+      restarts = 0;
+      restart_cap = max 0 restart_cap;
+      degraded = false;
       on_error;
     }
   in
-  t.domains <- List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.domains <- List.init workers (fun _ -> Domain.spawn (supervised t));
   t
 
 let submit t job =
   with_lock t (fun () ->
-      if t.stopping || Queue.length t.jobs >= t.queue_cap then false
+      if t.stopping || t.live < 1 || Queue.length t.jobs >= t.queue_cap then
+        false
       else begin
         Queue.push job t.jobs;
         Condition.signal t.work_ready;
@@ -61,7 +108,11 @@ let submit t job =
 
 let queue_depth t = with_lock t (fun () -> Queue.length t.jobs)
 
-let workers t = List.length t.domains
+let workers t = with_lock t (fun () -> t.live)
+
+let restarts t = with_lock t (fun () -> t.restarts)
+
+let degraded t = with_lock t (fun () -> t.degraded)
 
 let shutdown t =
   let ds =

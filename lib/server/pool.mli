@@ -13,23 +13,47 @@
     immutable {!Xfrag_core.Context} and a [~synchronized]
     {!Xfrag_core.Join_cache}).  A job that raises is dropped (the
     exception is swallowed after an optional [on_error] callback); it
-    never kills the worker. *)
+    never kills the worker.
+
+    {b Supervision}: a worker domain that nonetheless dies (the armed
+    [server.worker] failpoint, or a bug outside the job wrapper) is
+    detected, logged, counted in the [server_worker_restarts] fault
+    counter, and replaced, up to [restart_cap] lifetime restarts.  The
+    fault site sits before the queue is touched, so a killed worker
+    never loses an accepted connection.  Past the cap the pool is
+    {!degraded}: it serves with the surviving workers, and with zero
+    survivors {!submit} refuses jobs so the accept loop sheds (503)
+    instead of queueing connections nobody will serve. *)
 
 type t
 
 val create :
-  ?on_error:(exn -> unit) -> workers:int -> queue_cap:int -> unit -> t
+  ?on_error:(exn -> unit) ->
+  ?restart_cap:int ->
+  workers:int ->
+  queue_cap:int ->
+  unit ->
+  t
 (** Spawns [workers] ≥ 1 domains.  [queue_cap] ≥ 1 bounds jobs waiting
-    (jobs being executed don't count). *)
+    (jobs being executed don't count).  [restart_cap] (default 8)
+    bounds lifetime worker replacements. *)
 
 val submit : t -> (unit -> unit) -> bool
 (** Enqueue a job; [false] — without blocking — if the queue is at
-    capacity or {!shutdown} has begun. *)
+    capacity, {!shutdown} has begun, or every worker is dead. *)
 
 val queue_depth : t -> int
 (** Jobs currently waiting (not yet picked up by a worker). *)
 
 val workers : t -> int
+(** Live worker domains (may shrink below the requested count after
+    unreplaced deaths). *)
+
+val restarts : t -> int
+(** Worker replacements performed so far. *)
+
+val degraded : t -> bool
+(** The restart cap was reached; dead workers are no longer replaced. *)
 
 val shutdown : t -> unit
 (** Graceful drain: stop accepting new jobs, let workers finish every

@@ -14,6 +14,7 @@ module Json = Xfrag_obs.Json
 module Metrics = Xfrag_obs.Metrics
 module Prometheus = Xfrag_obs.Prometheus
 module Clock = Xfrag_obs.Clock
+module Fault = Xfrag_fault.Fault
 
 type t = {
   ctx : Context.t;
@@ -103,11 +104,12 @@ let metrics_page t =
       (match t.cache with
       | None -> ()
       | Some c ->
-          List.iter
-            (fun (name, v) ->
-              let c = Metrics.counter t.registry ("server." ^ name) in
-              Metrics.Counter.add c (v - Metrics.Counter.value c))
+          Metrics.sync_assoc ~prefix:"server." t.registry
             (Join_cache.metrics_assoc c));
+      (* Fault counters (worker restarts, quarantined docs, injected
+         fires) are process-global; mirror them under faults.* so chaos
+         runs can assert on the /metrics page. *)
+      Metrics.sync_assoc ~prefix:"faults." t.registry (Fault.counters ());
       Prometheus.render t.registry)
 
 (* --- JSON plumbing --- *)
@@ -246,6 +248,13 @@ let corpus_hit_json corpus (hit, score) =
         :: fields)
   | j -> j
 
+let doc_error_json (e : Corpus.doc_error) =
+  Json.Obj
+    [
+      ("doc", Json.String e.Corpus.err_doc);
+      ("detail", Json.String e.Corpus.err_detail);
+    ]
+
 let shard_report_json (sr : Corpus.shard_report) =
   Json.Obj
     [
@@ -254,6 +263,7 @@ let shard_report_json (sr : Corpus.shard_report) =
       ("nodes", Json.Int sr.Corpus.shard_nodes);
       ("elapsed_ns", Json.Int sr.Corpus.shard_elapsed_ns);
       ("deadline_expired", Json.Bool sr.Corpus.shard_deadline_expired);
+      ("errors", Json.List (List.map doc_error_json sr.Corpus.shard_errors));
     ]
 
 let corpus_outcome_json corpus (o : Corpus.outcome) =
@@ -265,6 +275,7 @@ let corpus_outcome_json corpus (o : Corpus.outcome) =
       ("elapsed_ns", Json.Int o.Corpus.elapsed_ns);
       ("merge_ns", Json.Int o.Corpus.merge_ns);
       ("shards", Json.List (List.map shard_report_json o.Corpus.shard_reports));
+      ("errors", Json.List (List.map doc_error_json o.Corpus.errors));
       ("hits", Json.List (List.map (corpus_hit_json corpus) o.Corpus.hits));
       ("stats", stats_json o.Corpus.stats);
     ]
@@ -327,15 +338,38 @@ let dispatch t req =
   | _, ("/healthz" | "/metrics") -> method_not_allowed "GET"
   | _, _ -> error_response ~status:404 "not found"
 
+(* Engine escapes become structured 500s: a machine-readable [kind]
+   (plus [site] for injected faults) so clients and chaos harnesses can
+   distinguish deliberate injection from a genuine bug without parsing
+   the human-oriented message.  Every 500 bumps the [request_errors]
+   fault counter — the containment signal on /metrics. *)
+let internal_error_response e =
+  Fault.record "request_errors";
+  let fields =
+    match e with
+    | Fault.Injected (site, detail) ->
+        [
+          ( "error",
+            Json.String (Printf.sprintf "injected fault at %s: %s" site detail)
+          );
+          ("kind", Json.String "fault_injected");
+          ("site", Json.String site);
+        ]
+    | e ->
+        [
+          ("error", Json.String ("internal error: " ^ Printexc.to_string e));
+          ("kind", Json.String "internal");
+        ]
+  in
+  json_response ~status:500 (Json.Obj fields)
+
 let handle t req =
   let t0 = Clock.monotonic () in
   let resp =
     try dispatch t req with
     | Reject resp -> resp
     | Deadline.Expired -> error_response ~status:408 "deadline exceeded"
-    | e ->
-        error_response ~status:500
-          ("internal error: " ^ Printexc.to_string e)
+    | e -> internal_error_response e
   in
   record t ~endpoint:(endpoint_label req.Http.path) ~status:resp.Http.status
     ~ns:(Clock.monotonic () - t0);

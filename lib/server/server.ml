@@ -102,6 +102,10 @@ let handle_conn t fd =
          (Printf.sprintf "{\"error\":%s}\n" (Xfrag_obs.Json.escape_string msg)))
   in
   let rec serve n =
+    (* Fault site modelling the socket dying between requests: a raise
+       here aborts only this connection (counted below), never the
+       worker or its siblings. *)
+    Xfrag_fault.Fault.Failpoint.hit "server.read";
     match Http.read_request ~max_body:t.config.max_body reader with
     | Error Http.Closed -> ()
     | Error Http.Timeout ->
@@ -120,8 +124,9 @@ let handle_conn t fd =
         send resp ~keep_alive;
         if keep_alive then serve (n + 1)
   in
-  (* Any socket error (EPIPE, send timeout) just drops the connection. *)
-  (try serve 0 with _ -> ());
+  (* Any socket error (EPIPE, send timeout) just drops the connection —
+     counted so /metrics shows containment doing its job. *)
+  (try serve 0 with _ -> Xfrag_fault.Fault.record "connection_aborted");
   try Unix.close fd with _ -> ()
 
 let accept_one t =

@@ -1,7 +1,10 @@
 (* End-to-end smoke test for `xfrag serve`, run as its own executable
    (CI leg, not part of runtest): start the real binary on an ephemeral
    port, issue a query, scrape /metrics, then assert that SIGTERM
-   drains gracefully and the process exits 0.
+   drains gracefully and the process exits 0.  A second, chaos phase
+   restarts the server with XFRAG_FAILPOINTS armed and a corrupt
+   document on the command line, and asserts structured 500s, recovery,
+   quarantine, and nonzero faults_* series on /metrics.
 
    Usage: server_smoke.exe [path-to-xfrag.exe] *)
 
@@ -13,6 +16,65 @@ let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("FAIL: " ^ msg); exit 1
 let step fmt = Printf.ksprintf (fun msg -> print_endline ("smoke: " ^ msg)) fmt
 
 let contains ~sub s = Astring.String.find_sub ~sub s <> None
+
+(* Start `xfrag serve` on an ephemeral port, optionally with extra
+   environment entries (the chaos phase arms XFRAG_FAILPOINTS this
+   way), and parse the announced port off its stdout. *)
+let start_server ?(env = []) xfrag args =
+  let out_read, out_write = Unix.pipe ~cloexec:false () in
+  let argv = Array.of_list (xfrag :: "serve" :: args) in
+  let pid =
+    match env with
+    | [] -> Unix.create_process xfrag argv Unix.stdin out_write Unix.stderr
+    | extra ->
+        Unix.create_process_env xfrag argv
+          (Array.append (Unix.environment ()) (Array.of_list extra))
+          Unix.stdin out_write Unix.stderr
+  in
+  Unix.close out_write;
+  let ic = Unix.in_channel_of_descr out_read in
+  let first_line =
+    match input_line ic with
+    | line -> line
+    | exception End_of_file ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        die "server exited before announcing its port"
+  in
+  (* The line reads "xfrag: listening on HOST:PORT (...)". *)
+  let port =
+    match String.rindex_opt first_line ':' with
+    | None -> die "cannot find port in %S" first_line
+    | Some i -> (
+        let rest =
+          String.sub first_line (i + 1) (String.length first_line - i - 1)
+        in
+        let digits =
+          String.to_seq rest
+          |> Seq.take_while (fun c -> c >= '0' && c <= '9')
+          |> String.of_seq
+        in
+        match int_of_string_opt digits with
+        | Some p -> p
+        | None -> die "cannot parse port from %S" first_line)
+  in
+  (pid, port)
+
+(* SIGTERM must drain and exit 0. *)
+let assert_clean_shutdown ~cleanup pid =
+  Unix.kill pid Sys.sigterm;
+  let rec wait_exit tries =
+    if tries = 0 then (cleanup (); die "server did not exit after SIGTERM")
+    else
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ ->
+          Unix.sleepf 0.1;
+          wait_exit (tries - 1)
+      | _, Unix.WEXITED 0 -> step "SIGTERM -> clean exit 0"
+      | _, Unix.WEXITED n -> (cleanup (); die "exit code %d" n)
+      | _, (Unix.WSIGNALED n | Unix.WSTOPPED n) ->
+          (cleanup (); die "killed/stopped by signal %d" n)
+  in
+  wait_exit 100
 
 let () =
   let xfrag =
@@ -33,51 +95,15 @@ let () =
   let doc = write_doc Xfrag_workload.Docgen.default in
   let doc2 = write_doc { Xfrag_workload.Docgen.default with seed = 99 } in
 
-  (* Start the server on an ephemeral port; its stdout names the port. *)
-  let out_read, out_write = Unix.pipe ~cloexec:false () in
-  let pid =
-    Unix.create_process xfrag
-      [|
-        xfrag; "serve"; doc; doc2; "--port"; "0"; "--request-timeout-ms";
-        "5000"; "--shards"; "2";
-      |]
-      Unix.stdin out_write Unix.stderr
+  let pid, port =
+    start_server xfrag
+      [ doc; doc2; "--port"; "0"; "--request-timeout-ms"; "5000"; "--shards"; "2" ]
   in
-  Unix.close out_write;
   let cleanup () =
     (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
     List.iter
       (fun p -> try Sys.remove p with Sys_error _ -> ())
       [ doc; doc2 ]
-  in
-  let ic = Unix.in_channel_of_descr out_read in
-  let first_line =
-    match input_line ic with
-    | line -> line
-    | exception End_of_file ->
-        cleanup ();
-        die "server exited before announcing its port"
-  in
-  (* The line reads "xfrag: listening on HOST:PORT (...)". *)
-  let port =
-    match String.rindex_opt first_line ':' with
-    | None ->
-        cleanup ();
-        die "cannot find port in %S" first_line
-    | Some i -> (
-        let rest =
-          String.sub first_line (i + 1) (String.length first_line - i - 1)
-        in
-        let digits =
-          String.to_seq rest
-          |> Seq.take_while (fun c -> c >= '0' && c <= '9')
-          |> String.of_seq
-        in
-        match int_of_string_opt digits with
-        | Some p -> p
-        | None ->
-            cleanup ();
-            die "cannot parse port from %S" first_line)
   in
   step "server pid %d on port %d" pid port;
 
@@ -164,20 +190,88 @@ let () =
   | Ok (s, _, _) -> (cleanup (); die "metrics: %d" s)
   | Error e -> (cleanup (); die "metrics: %s" e));
 
-  (* Graceful shutdown: SIGTERM must drain and exit 0. *)
-  Unix.kill pid Sys.sigterm;
-  let rec wait_exit tries =
-    if tries = 0 then (cleanup (); die "server did not exit after SIGTERM")
-    else
-      match Unix.waitpid [ Unix.WNOHANG ] pid with
-      | 0, _ ->
-          Unix.sleepf 0.1;
-          wait_exit (tries - 1)
-      | _, Unix.WEXITED 0 -> step "SIGTERM -> clean exit 0"
-      | _, Unix.WEXITED n -> (cleanup (); die "exit code %d" n)
-      | _, (Unix.WSIGNALED n | Unix.WSTOPPED n) ->
-          (cleanup (); die "killed/stopped by signal %d" n)
+  assert_clean_shutdown ~cleanup pid;
+
+  (* --- chaos phase ---
+
+     The same binary, now with a corrupt document on the command line
+     and the eval.request failpoint armed to kill the first evaluation.
+     The server must start (quarantining the corrupt file), turn the
+     injected fault into a structured JSON 500, keep serving afterwards,
+     and expose nonzero faults_* series on /metrics. *)
+  let corrupt = Filename.temp_file "xfrag_smoke_bad" ".xml" in
+  let oc = open_out corrupt in
+  output_string oc "<doc><p>never closed";
+  close_out oc;
+  let pid, port =
+    start_server
+      ~env:[ "XFRAG_FAILPOINTS=eval.request=raise@1" ]
+      xfrag
+      [
+        doc; corrupt; doc2;
+        "--port"; "0"; "--request-timeout-ms"; "5000"; "--shards"; "2";
+      ]
   in
-  wait_exit 100;
-  (try Sys.remove doc with Sys_error _ -> ());
+  let cleanup () =
+    (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+    List.iter
+      (fun p -> try Sys.remove p with Sys_error _ -> ())
+      [ doc; doc2; corrupt ]
+  in
+  step "chaos server pid %d on port %d (corrupt doc quarantined)" pid port;
+
+  let body = {|{"keywords":["term0000"],"filters":{"max_size":3},"limit":5}|} in
+  (match
+     Client.once ~host:"127.0.0.1" ~port ~meth:"POST" ~path:"/query" ~body ()
+   with
+  | Ok (500, _, reply) -> (
+      match Json.of_string reply with
+      | Ok j
+        when Json.member "kind" j = Some (Json.String "fault_injected")
+             && Json.member "site" j = Some (Json.String "eval.request") ->
+          step "injected fault -> structured 500 ok"
+      | Ok _ -> (cleanup (); die "500 body not structured: %s" reply)
+      | Error e -> (cleanup (); die "500 body not JSON (%s): %s" e reply))
+  | Ok (s, _, reply) -> (cleanup (); die "chaos query: expected 500, got %d %s" s reply)
+  | Error e -> (cleanup (); die "chaos query: %s" e));
+
+  (* The fault was one-shot (raise@1): the very next query succeeds. *)
+  (match
+     Client.once ~host:"127.0.0.1" ~port ~meth:"POST" ~path:"/query" ~body ()
+   with
+  | Ok (200, _, _) -> step "server recovered after the injected fault"
+  | Ok (s, _, reply) -> (cleanup (); die "chaos recovery: %d %s" s reply)
+  | Error e -> (cleanup (); die "chaos recovery: %s" e));
+
+  (* The two loadable documents still back /corpus/query. *)
+  (match
+     Client.once ~host:"127.0.0.1" ~port ~meth:"POST" ~path:"/corpus/query"
+       ~body:{|{"keywords":["term0000"],"filters":{"max_size":3},"limit":5}|} ()
+   with
+  | Ok (200, _, reply) ->
+      if contains ~sub:"\"errors\":[]" reply then
+        step "corpus of survivors ok"
+      else (cleanup (); die "corpus reply reports errors: %s" reply)
+  | Ok (s, _, reply) -> (cleanup (); die "chaos corpus: %d %s" s reply)
+  | Error e -> (cleanup (); die "chaos corpus: %s" e));
+
+  (match Client.once ~host:"127.0.0.1" ~port ~meth:"GET" ~path:"/metrics" () with
+  | Ok (200, _, page) ->
+      List.iter
+        (fun sub ->
+          if not (contains ~sub page) then
+            (cleanup (); die "chaos metrics page lacks %S" sub))
+        [
+          "faults_request_errors 1";
+          "faults_injected{site=\"eval.request\"} 1";
+          "faults_quarantined_docs 1";
+        ];
+      step "faults_* metrics ok"
+  | Ok (s, _, _) -> (cleanup (); die "chaos metrics: %d" s)
+  | Error e -> (cleanup (); die "chaos metrics: %s" e));
+
+  assert_clean_shutdown ~cleanup pid;
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ doc; doc2; corrupt ];
   print_endline "smoke: PASS"

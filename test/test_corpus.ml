@@ -34,18 +34,21 @@ let make_corpus () =
       ("paper.xml", Paper.figure1 ());
     ]
 
-(* A wider collection so seven shards are meaningfully non-empty. *)
-let make_wide_corpus () =
+(* A wider collection so seven shards are meaningfully non-empty.  The
+   document list is exposed so the containment tests can rebuild the
+   corpus minus a chosen victim. *)
+let wide_docs () =
   let doc seed plant =
     Docgen.with_planted_keywords { Docgen.default with seed; sections = 2 } ~plant
   in
-  Corpus.of_documents
-    (List.init 10 (fun i ->
-         let plant =
-           [ ("mangrove", 1 + (i mod 3)) ]
-           @ (if i mod 2 = 0 then [ ("estuary", 1 + (i mod 2)) ] else [])
-         in
-         (Printf.sprintf "doc%02d.xml" i, doc (100 + i) plant)))
+  List.init 10 (fun i ->
+      let plant =
+        [ ("mangrove", 1 + (i mod 3)) ]
+        @ (if i mod 2 = 0 then [ ("estuary", 1 + (i mod 2)) ] else [])
+      in
+      (Printf.sprintf "doc%02d.xml" i, doc (100 + i) plant))
+
+let make_wide_corpus () = Corpus.of_documents (wide_docs ())
 
 let request ?(filter = Filter.True) ?strategy ?strict ?limit keywords =
   let r =
@@ -373,14 +376,122 @@ let test_deadline_does_not_poison_cache () =
   Alcotest.(check bool) "cache still answers correctly" true
     (Frag_set.equal with_cache without)
 
-let test_non_deadline_errors_propagate () =
-  (* Errors other than deadline expiry must surface, not be swallowed by
-     the shard machinery. *)
+let test_non_deadline_errors_are_contained () =
+  (* Errors other than deadline expiry are contained per document: the
+     failing document is dropped from the answer set and reported in the
+     outcome's error list, never raised through the shard machinery. *)
   let c = make_wide_corpus () in
   let boom _ _ = failwith "boom" in
-  match Corpus.run ~shards:3 ~scorer:boom c (request [ "mangrove" ]) with
-  | _ -> Alcotest.fail "expected the scorer's exception to propagate"
-  | exception Failure msg -> Alcotest.(check string) "the scorer's error" "boom" msg
+  let o = Corpus.run ~shards:3 ~scorer:boom c (request [ "mangrove" ]) in
+  Alcotest.(check int) "no hits from failing documents" 0
+    (List.length o.Corpus.hits);
+  Alcotest.(check bool) "every matching document is reported" true
+    (o.Corpus.errors <> []);
+  List.iter
+    (fun (e : Corpus.doc_error) ->
+      Alcotest.(check bool) "the scorer's error is preserved" true
+        (Astring.String.find_sub ~sub:"boom" e.Corpus.err_detail <> None))
+    o.Corpus.errors;
+  (* Shard error lists concatenate into the outcome's. *)
+  Alcotest.(check int) "outcome errors = union of shard errors"
+    (List.length o.Corpus.errors)
+    (List.fold_left
+       (fun a sr -> a + List.length sr.Corpus.shard_errors)
+       0 o.Corpus.shard_reports)
+
+(* --- fault containment: one failing document never disturbs the rest --- *)
+
+module Fault = Xfrag_fault.Fault
+
+let corpus_without victim =
+  Corpus.of_documents
+    (List.filter (fun (n, _) -> n <> victim) (wide_docs ()))
+
+let check_errors_name_victim label victim (o : Corpus.outcome) =
+  Alcotest.(check (list string)) label [ victim ]
+    (List.map (fun e -> e.Corpus.err_doc) o.Corpus.errors)
+
+let test_eval_document_fault_is_contained () =
+  (* The containment property: for every victim and shard count, arming
+     eval.document to kill one document yields exactly — same hits, same
+     order, same scores — the corpus that never held that document. *)
+  let docs = wide_docs () in
+  let keywords = [ "mangrove"; "estuary" ] in
+  let scorer = tfidf_scorer keywords in
+  let r = request ~filter:(Filter.Size_at_most 6) ~limit:10 keywords in
+  List.iter
+    (fun (victim, _) ->
+      let expected =
+        (Corpus.run ~shards:1 ~scorer (corpus_without victim) r).Corpus.hits
+      in
+      List.iter
+        (fun shards ->
+          Fault.Failpoint.with_armed ~trigger:(Fault.Key victim)
+            "eval.document" Fault.Raise (fun () ->
+              let o =
+                Corpus.run ~shards ~scorer (Corpus.of_documents docs) r
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "victim=%s shards=%d == corpus without it"
+                   victim shards)
+                true
+                (hits_equal expected o.Corpus.hits);
+              check_errors_name_victim
+                (Printf.sprintf "victim=%s shards=%d reported" victim shards)
+                victim o))
+        [ 1; 2; 7 ])
+    docs
+
+let test_eval_document_fault_contained_across_strategies () =
+  let victim = "doc03.xml" in
+  let keywords = [ "mangrove" ] in
+  let scorer = tfidf_scorer keywords in
+  List.iter
+    (fun strategy ->
+      let r =
+        request ~filter:(Filter.Size_at_most 5) ~strategy ~limit:10 keywords
+      in
+      let expected =
+        (Corpus.run ~shards:1 ~scorer (corpus_without victim) r).Corpus.hits
+      in
+      Fault.Failpoint.with_armed ~trigger:(Fault.Key victim) "eval.document"
+        Fault.Raise (fun () ->
+          let o = Corpus.run ~shards:2 ~scorer (make_wide_corpus ()) r in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: survivors identical"
+               (Eval.strategy_name strategy))
+            true
+            (hits_equal expected o.Corpus.hits);
+          check_errors_name_victim
+            (Printf.sprintf "%s: victim reported" (Eval.strategy_name strategy))
+            victim o))
+    [
+      Eval.Auto; Eval.Naive_fixpoint; Eval.Set_reduction; Eval.Pushdown;
+      Eval.Pushdown_reduction; Eval.Semi_naive;
+    ]
+
+let test_eval_join_fault_is_contained () =
+  (* A fault deep in the algebra (first fragment join of the run) kills
+     exactly one document's evaluation; which one is deterministic at
+     shards=1, and the error report tells us.  The surviving hits must
+     match the corpus without that document. *)
+  let keywords = [ "mangrove"; "estuary" ] in
+  let scorer = tfidf_scorer keywords in
+  let r = request ~filter:(Filter.Size_at_most 6) ~limit:10 keywords in
+  let o =
+    Fault.Failpoint.with_armed ~trigger:(Fault.Nth 1) "eval.join" Fault.Raise
+      (fun () -> Corpus.run ~shards:1 ~scorer (make_wide_corpus ()) r)
+  in
+  Alcotest.(check int) "exactly one document lost" 1
+    (List.length o.Corpus.errors);
+  let victim = (List.hd o.Corpus.errors).Corpus.err_doc in
+  let expected =
+    (Corpus.run ~shards:1 ~scorer (corpus_without victim) r).Corpus.hits
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "survivors identical to corpus without %s" victim)
+    true
+    (hits_equal expected o.Corpus.hits)
 
 let () =
   Alcotest.run "corpus"
@@ -420,7 +531,17 @@ let () =
             `Quick test_deadline_mid_run_yields_partial_outcome;
           Alcotest.test_case "expiry leaves the shared cache usable" `Quick
             test_deadline_does_not_poison_cache;
-          Alcotest.test_case "non-deadline errors propagate" `Quick
-            test_non_deadline_errors_propagate;
+        ] );
+      ( "containment",
+        [
+          Alcotest.test_case "non-deadline errors are contained" `Quick
+            test_non_deadline_errors_are_contained;
+          Alcotest.test_case
+            "eval.document fault == corpus without the victim" `Quick
+            test_eval_document_fault_is_contained;
+          Alcotest.test_case "contained under every strategy" `Quick
+            test_eval_document_fault_contained_across_strategies;
+          Alcotest.test_case "eval.join fault == corpus without the victim"
+            `Quick test_eval_join_fault_is_contained;
         ] );
     ]
