@@ -23,6 +23,8 @@ module Export = Xfrag_obs.Export
 module Metrics = Xfrag_obs.Metrics
 module Clock = Xfrag_obs.Clock
 module Json = Xfrag_obs.Json
+module Recorder = Xfrag_obs.Recorder
+module Reqid = Xfrag_obs.Reqid
 
 open Cmdliner
 
@@ -447,7 +449,7 @@ let load_corpus files =
     (load_documents files)
 
 let run_corpus files keywords filter_str strategy_str strict deadline_ms top
-    shards verbose =
+    shards slow_ms verbose =
   setup_logs verbose;
   let ( let* ) = Result.bind in
   let result =
@@ -456,6 +458,9 @@ let run_corpus files keywords filter_str strategy_str strict deadline_ms top
         ?limit:(if top > 0 then Some top else None)
         ~keywords ~filter_str ~strategy_str ()
     in
+    (* CLI runs get a request id too: it tags doc_error rows, the wide
+       event below, and the SLOW lines, exactly like a served request. *)
+    let request = Exec.Request.with_id (Reqid.mint ()) request in
     let query = Exec.Request.to_query request in
     let* corpus = load_corpus files in
     Format.printf "corpus: %d documents, %d nodes@." (Corpus.size corpus)
@@ -501,6 +506,37 @@ let run_corpus files keywords filter_str strategy_str strict deadline_ms top
       outcome.Corpus.errors;
     if outcome.Corpus.deadline_expired then
       Format.printf "deadline exceeded: results are partial@.";
+    Recorder.record ~endpoint:"cli.corpus"
+      ~strategy:(Exec.strategy_name request.Exec.Request.strategy)
+      ~shards:(List.length outcome.Corpus.shard_reports)
+      ~eval_ns:outcome.Corpus.elapsed_ns ~merge_ns:outcome.Corpus.merge_ns
+      ~total_ns:outcome.Corpus.elapsed_ns
+      ~hits:(List.length outcome.Corpus.hits)
+      ~doc_errors:(List.length outcome.Corpus.errors)
+      ~id:request.Exec.Request.id
+      ~outcome:(if outcome.Corpus.deadline_expired then "deadline" else "ok")
+      ();
+    (* --slow-ms: the CLI's slow-query log.  SLOW lines go to stderr so
+       scripted stdout (the `  #N` hit lines) stays machine-parseable. *)
+    if slow_ms >= 0 then begin
+      let threshold_ns = slow_ms * 1_000_000 in
+      if outcome.Corpus.elapsed_ns >= threshold_ns then
+        Format.eprintf "SLOW request %s: %a total (merge %a, %d shard(s))@."
+          request.Exec.Request.id Clock.pp_ns outcome.Corpus.elapsed_ns
+          Clock.pp_ns outcome.Corpus.merge_ns
+          (List.length outcome.Corpus.shard_reports);
+      List.iter
+        (fun (sr : Corpus.shard_report) ->
+          List.iter
+            (fun (dr : Corpus.doc_report) ->
+              if dr.Corpus.doc_elapsed_ns >= threshold_ns then
+                Format.eprintf "SLOW doc %s: %a (%s, %d answer(s)) [%s]@."
+                  dr.Corpus.doc_name Clock.pp_ns dr.Corpus.doc_elapsed_ns
+                  (Exec.strategy_name dr.Corpus.doc_strategy)
+                  dr.Corpus.doc_answers request.Exec.Request.id)
+            sr.Corpus.shard_docs)
+        outcome.Corpus.shard_reports
+    end;
     Ok ()
   in
   match result with
@@ -508,6 +544,14 @@ let run_corpus files keywords filter_str strategy_str strict deadline_ms top
   | Error msg ->
       Format.eprintf "xfrag: %s@." msg;
       1
+
+let slow_ms_arg =
+  Arg.(
+    value & opt int (-1)
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:"Slow-query threshold in milliseconds: requests (and \
+              per-document evaluations) at or over it print SLOW lines \
+              to stderr.  Negative = disabled.")
 
 let corpus_cmd =
   let doc =
@@ -518,7 +562,8 @@ let corpus_cmd =
     (Cmd.info "corpus" ~doc)
     Term.(
       const run_corpus $ files_arg $ keywords_arg $ filter_arg $ strategy_arg
-      $ strict_arg $ deadline_ms_arg $ top_arg $ shards_arg $ verbose_arg)
+      $ strict_arg $ deadline_ms_arg $ top_arg $ shards_arg $ slow_ms_arg
+      $ verbose_arg)
 
 (* --- sql command --- *)
 
@@ -663,8 +708,24 @@ let serve_join_cache_arg =
         ~doc:"Shared synchronized join-memoization cache, in entries \
               (0 = disabled).")
 
+let serve_slow_ms_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:"Slow-request threshold: requests at or over it mirror \
+              their wide event as SLOW lines into the access log, and \
+              GET /debug/slow defaults to this threshold (0 = SLOW \
+              mirroring off; /debug/slow then defaults to 100 ms).")
+
+let access_log_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "access-log" ] ~docv:"FILE"
+        ~doc:"Append one structured JSON line per request to FILE \
+              (default: stderr).")
+
 let run_serve files host port workers queue request_timeout_ms io_timeout
-    join_cache shards stem verbose =
+    join_cache shards slow_ms access_log stem verbose =
   setup_logs verbose;
   let ( let* ) = Result.bind in
   let loaded =
@@ -698,10 +759,16 @@ let run_serve files host port workers queue request_timeout_ms io_timeout
         if request_timeout_ms > 0 then Some (request_timeout_ms * 1_000_000)
         else None
       in
+      let access_log_oc =
+        match access_log with
+        | None -> stderr
+        | Some file -> open_out_gen [ Open_append; Open_creat ] 0o644 file
+      in
       let router =
         Xfrag_server.Router.create ?cache ?default_deadline_ns ~corpus
           ?shards:(if shards > 0 then Some shards else None)
-          ctx
+          ?slow_ms:(if slow_ms > 0 then Some slow_ms else None)
+          ~access_log:access_log_oc ctx
       in
       let config =
         {
@@ -723,12 +790,25 @@ let run_serve files host port workers queue request_timeout_ms io_timeout
           1
       | server ->
           Xfrag_server.Server.install_signal_handlers server;
+          (* SIGQUIT: dump the flight recorder without stopping — the
+             live-incident "what has this server been doing" escape
+             hatch (kill -QUIT <pid>). *)
+          (try
+             Sys.set_signal Sys.sigquit
+               (Sys.Signal_handle
+                  (fun _ ->
+                    if Recorder.enabled () then
+                      Recorder.dump ~reason:"SIGQUIT" stderr))
+           with Invalid_argument _ | Sys_error _ -> ());
           (* The smoke test and scripts parse this line for the port. *)
           Format.printf "xfrag: listening on %s:%d (%d workers, queue %d)@."
             host
             (Xfrag_server.Server.port server)
             config.Xfrag_server.Server.workers queue;
           Xfrag_server.Server.run server;
+          (match access_log with
+          | Some _ -> ( try close_out access_log_oc with Sys_error _ -> ())
+          | None -> ());
           Format.printf "xfrag: drained, bye@.";
           0)
 
@@ -747,7 +827,8 @@ let serve_cmd =
     Term.(
       const run_serve $ files_arg $ host_arg $ port_arg $ workers_arg
       $ queue_arg $ request_timeout_arg $ io_timeout_arg
-      $ serve_join_cache_arg $ shards_arg $ stem_arg $ verbose_arg)
+      $ serve_join_cache_arg $ shards_arg $ serve_slow_ms_arg
+      $ access_log_arg $ stem_arg $ verbose_arg)
 
 let main_cmd =
   let doc = "algebraic keyword search over document-centric XML fragments" in

@@ -14,7 +14,11 @@ type doc_report = {
   doc_strategy : Exec.strategy;
 }
 
-type doc_error = { err_doc : string; err_detail : string }
+type doc_error = {
+  err_doc : string;
+  err_detail : string;
+  err_request_id : string;
+}
 
 type shard_report = {
   shard_index : int;
@@ -225,7 +229,11 @@ let eval_shard ~scorer ~clock (request : Exec.Request.t) idx docs =
                 other N−1 documents' answers or the process. *)
              Xfrag_fault.Fault.record "doc_errors";
              doc_errors :=
-               { err_doc = doc; err_detail = Printexc.to_string e }
+               {
+                 err_doc = doc;
+                 err_detail = Printexc.to_string e;
+                 err_request_id = request.Exec.Request.id;
+               }
                :: !doc_errors)
        docs
    with Stdlib.Exit -> ());

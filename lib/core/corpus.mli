@@ -30,6 +30,10 @@ type doc_report = {
 type doc_error = {
   err_doc : string;
   err_detail : string;  (** [Printexc.to_string] of the contained exception *)
+  err_request_id : string;
+      (** id of the request whose evaluation failed ([Exec.Request.id];
+          [""] when the request was anonymous) — lets a structured 500
+          or access-log line be joined back to the exact victim row *)
 }
 (** A document whose evaluation raised: contained per shard, reported as
     data.  The surviving documents' hits are bit-identical to a run of

@@ -92,6 +92,8 @@ let exec ?(clock = Clock.monotonic) ctx (r : Exec.Request.t) =
     ~attrs:[ ("keywords", Json.String (String.concat " " q.keywords)) ]
     "query"
   @@ fun () ->
+  if Trace.is_enabled trace && r.Exec.Request.id <> "" then
+    Trace.add_attr trace "request_id" (Json.String r.Exec.Request.id);
   let keyword_sets = List.map (Selection.keyword ~trace ctx) q.keywords in
   let keyword_node_counts =
     List.map2 (fun k s -> (k, Frag_set.cardinal s)) q.keywords keyword_sets

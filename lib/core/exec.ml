@@ -53,6 +53,7 @@ module Request = struct
     cache : Join_cache.t option;
     trace : Trace.t;
     limit : int option;
+    id : string;
   }
 
   let default =
@@ -65,6 +66,7 @@ module Request = struct
       cache = None;
       trace = Trace.disabled;
       limit = None;
+      id = "";
     }
 
   let with_keywords keywords t = { t with keywords }
@@ -82,6 +84,8 @@ module Request = struct
   let with_trace trace t = { t with trace }
 
   let with_limit limit t = { t with limit }
+
+  let with_id id t = { t with id }
 
   let of_query (q : Query.t) =
     { default with keywords = q.Query.keywords; filter = q.Query.filter }
@@ -195,6 +199,7 @@ module Request = struct
         cache = None;
         trace = Trace.disabled;
         limit;
+        id = "";
       }
 
   let of_body ?default_deadline_ns body =

@@ -47,6 +47,11 @@ module Request : sig
     cache : Join_cache.t option;  (** join memo table, see {!Join_cache} *)
     trace : Xfrag_obs.Trace.t;  (** span sink, default disabled *)
     limit : int option;  (** top-k bound; [None] = unlimited *)
+    id : string;
+        (** request id ({!Xfrag_obs.Reqid}); [""] = anonymous.  Like
+            [cache] and [trace] this is transport-level state — set by
+            the router or CLI, carried through sharding and eval, and
+            deliberately absent from the JSON codec. *)
   }
 
   val default : t
@@ -69,6 +74,8 @@ module Request : sig
   val with_trace : Xfrag_obs.Trace.t -> t -> t
 
   val with_limit : int option -> t -> t
+
+  val with_id : string -> t -> t
 
   val of_query : Query.t -> t
   (** [default] carrying the query's keywords and filter. *)

@@ -67,7 +67,12 @@ let rec supervised t () =
             Printf.eprintf
               "xfrag: shard worker died (%s); restart cap %d reached, \
                degrading to %d domain(s)\n%!"
-              (Printexc.to_string e) t.restart_cap t.live
+              (Printexc.to_string e) t.restart_cap t.live;
+            (* Degradation is exactly when you want the recent request
+               history: snapshot the flight recorder before traffic
+               under the degraded pool overwrites it. *)
+            if Xfrag_obs.Recorder.enabled () then
+              Xfrag_obs.Recorder.dump ~reason:"shard pool degraded" stderr
           end)
 
 let recommended_domains () =

@@ -1,29 +1,44 @@
 module Counter = struct
-  type t = { mutable n : int }
+  type t = int Atomic.t
 
-  let incr c = c.n <- c.n + 1
+  let incr c = Atomic.incr c
 
-  let add c k = c.n <- c.n + k
+  let add c k = ignore (Atomic.fetch_and_add c k)
 
-  let value c = c.n
+  let value c = Atomic.get c
 end
 
 module Gauge = struct
-  type t = { mutable v : float }
+  type t = float Atomic.t
 
-  let set g v = g.v <- v
+  let set g v = Atomic.set g v
 
-  let value g = g.v
+  let value g = Atomic.get g
 end
 
 module Histogram = struct
   (* Bucket i counts samples in (2^(i-1), 2^i]; bucket 0 counts v <= 1.
-     64 buckets cover every int-expressible nanosecond duration. *)
+     64 buckets cover every int-expressible nanosecond duration.
+
+     Server worker domains observe into shared histograms concurrently,
+     so all mutation and every multi-field read goes through [lock]:
+     a torn (counts, count, sum) triple would break the cumulative
+     invariants the Prometheus exposition depends on. *)
   let n_buckets = 64
 
-  type t = { counts : int array; mutable count : int; mutable sum : float }
+  type t = {
+    counts : int array;
+    mutable count : int;
+    mutable sum : float;
+    lock : Mutex.t;
+  }
 
-  let create () = { counts = Array.make n_buckets 0; count = 0; sum = 0.0 }
+  let create () =
+    { counts = Array.make n_buckets 0; count = 0; sum = 0.0; lock = Mutex.create () }
+
+  let locked h f =
+    Mutex.lock h.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock h.lock) f
 
   let bucket_of v =
     let rec go i ub = if v <= ub || i = n_buckets - 1 then i else go (i + 1) (ub *. 2.0) in
@@ -31,37 +46,56 @@ module Histogram = struct
 
   let upper_bound i = Float.pow 2.0 (float_of_int i)
 
+  let lower_bound i = if i = 0 then 0.0 else upper_bound (i - 1)
+
   let observe h v =
     let v = Float.max 0.0 v in
     let i = bucket_of v in
-    h.counts.(i) <- h.counts.(i) + 1;
-    h.count <- h.count + 1;
-    h.sum <- h.sum +. v
+    locked h (fun () ->
+        h.counts.(i) <- h.counts.(i) + 1;
+        h.count <- h.count + 1;
+        h.sum <- h.sum +. v)
 
-  let count h = h.count
+  let count h = locked h (fun () -> h.count)
 
-  let sum h = h.sum
+  let sum h = locked h (fun () -> h.sum)
 
   let buckets h =
-    let out = ref [] in
-    for i = n_buckets - 1 downto 0 do
-      if h.counts.(i) > 0 then out := (upper_bound i, h.counts.(i)) :: !out
-    done;
-    !out
+    locked h (fun () ->
+        let out = ref [] in
+        for i = n_buckets - 1 downto 0 do
+          if h.counts.(i) > 0 then out := (upper_bound i, h.counts.(i)) :: !out
+        done;
+        !out)
 
+  (* Quantile with within-bucket log-linear interpolation.  The target
+     rank is q*count; the bucket holding it is located by cumulative
+     counts, then the sample is assumed log-uniform across the bucket:
+     value = lo * (hi/lo)^frac (linear for bucket 0, whose lower bound
+     is 0).  q=1 still returns the top bucket's upper bound; every
+     answer is <= the pre-interpolation estimate. *)
   let quantile h q =
-    if h.count = 0 then 0.0
-    else begin
-      let q = Float.min 1.0 (Float.max 0.0 q) in
-      let rank = int_of_float (Float.round (q *. float_of_int (h.count - 1))) in
-      let rec go i seen =
-        if i >= n_buckets then upper_bound (n_buckets - 1)
-        else
-          let seen = seen + h.counts.(i) in
-          if seen > rank then upper_bound i else go (i + 1) seen
-      in
-      go 0 0
-    end
+    locked h (fun () ->
+        if h.count = 0 then 0.0
+        else begin
+          let q = Float.min 1.0 (Float.max 0.0 q) in
+          let target = q *. float_of_int h.count in
+          let rec go i before =
+            if i >= n_buckets then upper_bound (n_buckets - 1)
+            else
+              let n = h.counts.(i) in
+              let seen = before + n in
+              if n > 0 && float_of_int seen >= target then begin
+                let frac = (target -. float_of_int before) /. float_of_int n in
+                let frac = Float.min 1.0 (Float.max 0.0 frac) in
+                let lo = lower_bound i and hi = upper_bound i in
+                if i = 0 then lo +. (frac *. (hi -. lo))
+                else lo *. Float.pow (hi /. lo) frac
+              end
+              else go (i + 1) seen
+          in
+          go 0 0
+        end)
 end
 
 type instrument =
@@ -69,43 +103,50 @@ type instrument =
   | G of Gauge.t
   | H of Histogram.t
 
-type t = (string, instrument) Hashtbl.t
+type t = { tbl : (string, instrument) Hashtbl.t; lock : Mutex.t }
 
-let create () : t = Hashtbl.create 32
+let create () : t = { tbl = Hashtbl.create 32; lock = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let describe = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
 
 let counter t name =
-  match Hashtbl.find_opt t name with
-  | Some (C c) -> c
-  | Some i ->
-      invalid_arg
-        (Printf.sprintf "Metrics.counter: %S is a %s" name (describe i))
-  | None ->
-      let c = { Counter.n = 0 } in
-      Hashtbl.add t name (C c);
-      c
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (C c) -> c
+      | Some i ->
+          invalid_arg
+            (Printf.sprintf "Metrics.counter: %S is a %s" name (describe i))
+      | None ->
+          let c = Atomic.make 0 in
+          Hashtbl.add t.tbl name (C c);
+          c)
 
 let gauge t name =
-  match Hashtbl.find_opt t name with
-  | Some (G g) -> g
-  | Some i ->
-      invalid_arg (Printf.sprintf "Metrics.gauge: %S is a %s" name (describe i))
-  | None ->
-      let g = { Gauge.v = 0.0 } in
-      Hashtbl.add t name (G g);
-      g
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (G g) -> g
+      | Some i ->
+          invalid_arg (Printf.sprintf "Metrics.gauge: %S is a %s" name (describe i))
+      | None ->
+          let g = Atomic.make 0.0 in
+          Hashtbl.add t.tbl name (G g);
+          g)
 
 let histogram t name =
-  match Hashtbl.find_opt t name with
-  | Some (H h) -> h
-  | Some i ->
-      invalid_arg
-        (Printf.sprintf "Metrics.histogram: %S is a %s" name (describe i))
-  | None ->
-      let h = Histogram.create () in
-      Hashtbl.add t name (H h);
-      h
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (H h) -> h
+      | Some i ->
+          invalid_arg
+            (Printf.sprintf "Metrics.histogram: %S is a %s" name (describe i))
+      | None ->
+          let h = Histogram.create () in
+          Hashtbl.add t.tbl name (H h);
+          h)
 
 let add_assoc ?(prefix = "") t assoc =
   List.iter (fun (name, n) -> Counter.add (counter t (prefix ^ name)) n) assoc
@@ -118,7 +159,7 @@ let sync_assoc ?(prefix = "") t assoc =
     assoc
 
 let sorted_bindings t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+  locked t (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let bindings t =
@@ -143,7 +184,8 @@ let pp ppf t =
       | H h ->
           Format.fprintf ppf "histogram %-32s count=%d sum=%.0f p50<=%.0f p99<=%.0f"
             name (Histogram.count h) (Histogram.sum h)
-            (Histogram.quantile h 0.5) (Histogram.quantile h 0.99))
+            (Float.ceil (Histogram.quantile h 0.5))
+            (Float.ceil (Histogram.quantile h 0.99)))
     (sorted_bindings t);
   Format.fprintf ppf "@]"
 

@@ -4,7 +4,13 @@
     get-or-create, so call sites need no registration step.  The
     engine's hot-path accounting stays in [Op_stats] (a bare mutable
     record); {!add_assoc} snapshots such counters into the registry
-    under a prefix for export. *)
+    under a prefix for export.
+
+    Every instrument is safe to mutate from multiple domains: counters
+    and gauges are atomics, histograms guard their (buckets, count,
+    sum) triple with a per-histogram mutex, and registry get-or-create
+    is serialized — concurrent server worker domains never lose
+    updates or expose torn snapshots. *)
 
 module Counter : sig
   type t
@@ -41,8 +47,13 @@ module Histogram : sig
   (** Non-empty buckets as [(upper_bound, count)], ascending. *)
 
   val quantile : t -> float -> float
-  (** [quantile h q] (0 ≤ q ≤ 1): upper bound of the bucket containing
-      the q-th sample — a coarse percentile estimate.  0 when empty. *)
+  (** [quantile h q] (0 ≤ q ≤ 1): estimate of the q-th sample using
+      within-bucket log-linear interpolation — the target rank
+      [q * count] is located by cumulative bucket counts and the value
+      interpolated as [lo * (hi/lo)^frac] across that bucket's bounds
+      (linearly for the first bucket, whose lower bound is 0).  Always
+      ≤ the bucket's upper bound; [q = 1] returns it exactly.  0 when
+      empty. *)
 end
 
 type t

@@ -39,9 +39,24 @@ let with_labels name = function
   | None | Some "" -> name
   | Some labels -> Printf.sprintf "%s{%s}" name labels
 
+(* Text-format 0.0.4 escapes exactly backslash, double-quote and
+   newline inside label values — OCaml's %S would additionally emit
+   decimal \ddd escapes Prometheus parsers reject. *)
+let escape_label_value v =
+  let buf = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
 (* [labels] plus one more [k="v"] pair. *)
 let add_label labels k v =
-  let pair = Printf.sprintf "%s=%S" k v in
+  let pair = Printf.sprintf "%s=\"%s\"" k (escape_label_value v) in
   match labels with
   | None | Some "" -> Some pair
   | Some l -> Some (l ^ "," ^ pair)

@@ -14,6 +14,11 @@
     [name_bucket{le="…"}] for each non-empty power-of-two bucket, the
     [le="+Inf"] bucket, then [name_sum] and [name_count]. *)
 
+val escape_label_value : string -> string
+(** Escape a label value per text format 0.0.4: exactly backslash,
+    double quote and newline gain a backslash prefix (newline becomes
+    backslash-n); every other byte passes through verbatim. *)
+
 val render : ?namespace:string -> Metrics.t -> string
 (** The whole registry, families sorted by name.  [namespace] (default
     none) prefixes every metric name as [namespace ^ "_"]. *)

@@ -1,0 +1,165 @@
+(* Always-on flight recorder: a striped ring buffer of wide events,
+   one JSON-able record per request.
+
+   Hot path (record): one atomic load to check enablement, one
+   fetch-and-add on the global sequence, one fetch-and-add on the
+   writing stripe's cursor, one pointer store into the slot array —
+   no locks, no allocation beyond the event record itself.  Stripes
+   are picked by domain id so concurrent writers rarely share a
+   cursor cache line; a slot store is a single word write under the
+   OCaml memory model, so readers never observe a torn event (they
+   may observe a slightly stale ring, which is fine for debugging).
+   Readers merge all stripes and sort by the global sequence. *)
+
+type event = {
+  seq : int;
+  id : string;
+  endpoint : string;
+  strategy : string;
+  shards : int;
+  queue_ns : int;
+  parse_ns : int;
+  eval_ns : int;
+  merge_ns : int;
+  total_ns : int;
+  hits : int;
+  cache_hits : int;
+  cache_misses : int;
+  doc_errors : int;
+  status : int;
+  outcome : string;
+  site : string;
+}
+
+let n_stripes = 8
+
+type stripe = { slots : event option array; cursor : int Atomic.t }
+
+let default_capacity = 256
+
+let env_capacity () =
+  match Sys.getenv_opt "XFRAG_RECORDER" with
+  | None | Some "" -> Some default_capacity
+  | Some s -> (
+      match String.lowercase_ascii s with
+      | "0" | "off" | "false" -> None
+      | s -> (
+          match int_of_string_opt s with
+          | Some n when n > 0 -> Some n
+          | _ -> Some default_capacity))
+
+let requested = env_capacity ()
+
+let enabled_flag = Atomic.make (requested <> None)
+
+(* Per-stripe capacity: total capacity split across stripes, >= 1. *)
+let stripe_capacity =
+  let cap = match requested with Some n -> n | None -> default_capacity in
+  max 1 ((cap + n_stripes - 1) / n_stripes)
+
+let stripes =
+  Array.init n_stripes (fun _ ->
+      { slots = Array.make stripe_capacity None; cursor = Atomic.make 0 })
+
+let seq_counter = Atomic.make 0
+
+let enabled () = Atomic.get enabled_flag
+
+let set_enabled b = Atomic.set enabled_flag b
+
+let capacity () = n_stripes * stripe_capacity
+
+let clear () =
+  Array.iter
+    (fun s ->
+      Array.fill s.slots 0 (Array.length s.slots) None;
+      Atomic.set s.cursor 0)
+    stripes;
+  Atomic.set seq_counter 0
+
+let record ?(endpoint = "") ?(strategy = "") ?(shards = 0) ?(queue_ns = 0)
+    ?(parse_ns = 0) ?(eval_ns = 0) ?(merge_ns = 0) ?(total_ns = 0) ?(hits = 0)
+    ?(cache_hits = 0) ?(cache_misses = 0) ?(doc_errors = 0) ?(status = 0)
+    ?(site = "") ~id ~outcome () =
+  if Atomic.get enabled_flag then begin
+    let seq = Atomic.fetch_and_add seq_counter 1 in
+    let ev =
+      {
+        seq;
+        id;
+        endpoint;
+        strategy;
+        shards;
+        queue_ns;
+        parse_ns;
+        eval_ns;
+        merge_ns;
+        total_ns;
+        hits;
+        cache_hits;
+        cache_misses;
+        doc_errors;
+        status;
+        outcome;
+        site;
+      }
+    in
+    let s = stripes.((Domain.self () :> int) mod n_stripes) in
+    let i = Atomic.fetch_and_add s.cursor 1 in
+    s.slots.(i mod stripe_capacity) <- Some ev
+  end
+
+let events () =
+  let out = ref [] in
+  Array.iter
+    (fun s ->
+      Array.iter
+        (function Some ev -> out := ev :: !out | None -> ())
+        s.slots)
+    stripes;
+  List.sort (fun a b -> compare a.seq b.seq) !out
+
+let last n =
+  let evs = events () in
+  let len = List.length evs in
+  if len <= n then evs else List.filteri (fun i _ -> i >= len - n) evs
+
+let find id =
+  List.fold_left
+    (fun acc ev -> if ev.id = id then Some ev else acc)
+    None (events ())
+
+let slow ~threshold_ns =
+  List.filter (fun ev -> ev.total_ns >= threshold_ns) (events ())
+
+let to_json ev =
+  let base =
+    [
+      ("seq", Json.Int ev.seq);
+      ("id", Json.String ev.id);
+      ("endpoint", Json.String ev.endpoint);
+      ("strategy", Json.String ev.strategy);
+      ("shards", Json.Int ev.shards);
+      ("queue_ns", Json.Int ev.queue_ns);
+      ("parse_ns", Json.Int ev.parse_ns);
+      ("eval_ns", Json.Int ev.eval_ns);
+      ("merge_ns", Json.Int ev.merge_ns);
+      ("total_ns", Json.Int ev.total_ns);
+      ("hits", Json.Int ev.hits);
+      ("cache_hits", Json.Int ev.cache_hits);
+      ("cache_misses", Json.Int ev.cache_misses);
+      ("doc_errors", Json.Int ev.doc_errors);
+      ("status", Json.Int ev.status);
+      ("outcome", Json.String ev.outcome);
+    ]
+  in
+  Json.Obj (if ev.site = "" then base else base @ [ ("site", Json.String ev.site) ])
+
+let dump ?(reason = "") oc =
+  let evs = events () in
+  Printf.fprintf oc "xfrag: recorder dump%s (%d event%s)\n"
+    (if reason = "" then "" else Printf.sprintf " [%s]" reason)
+    (List.length evs)
+    (if List.length evs = 1 then "" else "s");
+  List.iter (fun ev -> Printf.fprintf oc "%s\n" (Json.to_string (to_json ev))) evs;
+  flush oc

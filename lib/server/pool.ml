@@ -71,7 +71,11 @@ let rec supervised t () =
             Printf.eprintf
               "xfrag: server worker died (%s); restart cap %d reached, \
                degrading to %d worker(s)\n%!"
-              (Printexc.to_string e) t.restart_cap t.live
+              (Printexc.to_string e) t.restart_cap t.live;
+            (* Snapshot the request history before degraded-mode traffic
+               overwrites the ring — this is the moment a human reads it. *)
+            if Xfrag_obs.Recorder.enabled () then
+              Xfrag_obs.Recorder.dump ~reason:"server pool degraded" stderr
           end)
 
 let create ?(on_error = fun _ -> ()) ?(restart_cap = 8) ~workers ~queue_cap ()

@@ -14,7 +14,11 @@ module Json = Xfrag_obs.Json
 module Metrics = Xfrag_obs.Metrics
 module Prometheus = Xfrag_obs.Prometheus
 module Clock = Xfrag_obs.Clock
+module Recorder = Xfrag_obs.Recorder
+module Reqid = Xfrag_obs.Reqid
 module Fault = Xfrag_fault.Fault
+
+let default_slow_ms = 100
 
 type t = {
   ctx : Context.t;
@@ -22,21 +26,32 @@ type t = {
   shards : int option;
   cache : Join_cache.t option;
   default_deadline_ns : int option;
+  slow_ns : int option;
+  access_log : out_channel option;
+  log_lock : Mutex.t;
   mutable queue_depth : unit -> int;
   registry : Metrics.t;
   reg_lock : Mutex.t;
-      (* Workers run in parallel domains and the registry's get-or-create
-         Hashtbl is not; every registry touch goes through this lock. *)
+      (* Instruments are individually domain-safe, but composite
+         updates (a request's counter + histogram, the scrape-time
+         gauge/sync sweep) should land atomically with respect to a
+         concurrent /metrics render; they go through this lock. *)
 }
 
 let create ?cache ?default_deadline_ns ?(queue_depth = fun () -> 0) ?corpus
-    ?shards ctx =
+    ?shards ?slow_ms ?access_log ctx =
   {
     ctx;
     corpus;
     shards;
     cache;
     default_deadline_ns;
+    slow_ns =
+      (match slow_ms with
+      | Some ms when ms >= 0 -> Some (ms * 1_000_000)
+      | _ -> None);
+    access_log;
+    log_lock = Mutex.create ();
     queue_depth;
     registry = Metrics.create ();
     reg_lock = Mutex.create ();
@@ -53,7 +68,9 @@ let locked t f =
    registry series (unbounded memory, unbounded /metrics page). *)
 let endpoint_label path =
   match path with
-  | "/query" | "/explain" | "/corpus/query" | "/healthz" | "/metrics" -> path
+  | "/query" | "/explain" | "/corpus/query" | "/healthz" | "/metrics"
+  | "/debug/requests" | "/debug/slow" ->
+      path
   | _ -> "other"
 
 let record t ~endpoint ~status ~ns =
@@ -112,6 +129,55 @@ let metrics_page t =
       Metrics.sync_assoc ~prefix:"faults." t.registry (Fault.counters ());
       Prometheus.render t.registry)
 
+(* --- per-request telemetry accumulator ---
+
+   One mutable scratch record per in-flight request, filled by whichever
+   handler runs and flushed into the flight recorder (plus access log)
+   by [handle] — request-local, so unsynchronized. *)
+
+type pending = {
+  mutable p_strategy : string;
+  mutable p_shards : int;
+  mutable p_parse_ns : int;
+  mutable p_eval_ns : int;
+  mutable p_merge_ns : int;
+  mutable p_hits : int;
+  mutable p_cache_hits : int;
+  mutable p_cache_misses : int;
+  mutable p_doc_errors : int;
+  mutable p_outcome : string;  (* "" = derive from status *)
+  mutable p_site : string;
+}
+
+let new_pending () =
+  {
+    p_strategy = "";
+    p_shards = 0;
+    p_parse_ns = 0;
+    p_eval_ns = 0;
+    p_merge_ns = 0;
+    p_hits = 0;
+    p_cache_hits = 0;
+    p_cache_misses = 0;
+    p_doc_errors = 0;
+    p_outcome = "";
+    p_site = "";
+  }
+
+(* Join-cache hit/miss lifetime counters sampled around an evaluation.
+   Under concurrent workers the delta can blend in a neighbor's
+   traffic — it is attribution for debugging, not accounting. *)
+let cache_snapshot = function
+  | None -> (0, 0)
+  | Some c -> (Join_cache.hits c, Join_cache.misses c)
+
+let charge_cache p cache (h0, m0) =
+  match cache with
+  | None -> ()
+  | Some c ->
+      p.p_cache_hits <- p.p_cache_hits + (Join_cache.hits c - h0);
+      p.p_cache_misses <- p.p_cache_misses + (Join_cache.misses c - m0)
+
 (* --- JSON plumbing --- *)
 
 let json_response ~status j =
@@ -154,7 +220,11 @@ let body_json req =
   | Ok j -> j
   | Error msg -> reject ~status:400 ("bad JSON body: " ^ msg)
 
-let request_of_body t req = request_of_json t req (body_json req)
+let request_of_body t p ~id req =
+  let t0 = Clock.monotonic () in
+  Fun.protect
+    ~finally:(fun () -> p.p_parse_ns <- Clock.monotonic () - t0)
+    (fun () -> Exec.Request.with_id id (request_of_json t req (body_json req)))
 
 (* --- /query --- *)
 
@@ -173,14 +243,19 @@ let fragment_json ctx f =
 let stats_json stats =
   Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (Op_stats.to_assoc stats))
 
-let handle_query t req =
-  let r = request_of_body t req in
+let handle_query t p ~id req =
+  let r = request_of_body t p ~id req in
   let r = Exec.Request.with_cache t.cache r in
+  let snap = cache_snapshot t.cache in
   let outcome =
     try Eval.exec t.ctx r with Invalid_argument msg -> reject ~status:400 msg
   in
+  charge_cache p t.cache snap;
   let answers = Frag_set.elements outcome.Eval.answers in
   let count = List.length answers in
+  p.p_strategy <- Eval.strategy_name outcome.Eval.strategy_used;
+  p.p_eval_ns <- outcome.Eval.elapsed_ns;
+  p.p_hits <- count;
   let shown =
     match r.Exec.Request.limit with
     | Some n when count > n -> List.filteri (fun i _ -> i < n) answers
@@ -189,6 +264,7 @@ let handle_query t req =
   json_response ~status:200
     (Json.Obj
        [
+         ("request_id", Json.String id);
          ("count", Json.Int count);
          ( "strategy",
            Json.String (Eval.strategy_name outcome.Eval.strategy_used) );
@@ -211,17 +287,22 @@ let rec explain_node_json (n : Explain.node) =
       ("children", Json.List (List.map explain_node_json n.Explain.children));
     ]
 
-let handle_explain t req =
-  let r = request_of_body t req in
+let handle_explain t p ~id req =
+  let r = request_of_body t p ~id req in
   let r = Exec.Request.with_cache t.cache r in
+  let snap = cache_snapshot t.cache in
   let report =
     try Explain.analyze_request t.ctx r
     with Invalid_argument msg -> reject ~status:400 msg
   in
+  charge_cache p t.cache snap;
+  p.p_eval_ns <- report.Explain.total_ns;
+  p.p_hits <- Frag_set.cardinal report.Explain.answers;
   let plan_str = Format.asprintf "%a" Xfrag_core.Plan.pp report.Explain.plan in
   json_response ~status:200
     (Json.Obj
        [
+         ("request_id", Json.String id);
          ("plan", Json.String plan_str);
          ("estimated_cost", Json.Float report.Explain.estimated_cost);
          ("total_ns", Json.Int report.Explain.total_ns);
@@ -249,11 +330,15 @@ let corpus_hit_json corpus (hit, score) =
   | j -> j
 
 let doc_error_json (e : Corpus.doc_error) =
-  Json.Obj
+  let fields =
     [
       ("doc", Json.String e.Corpus.err_doc);
       ("detail", Json.String e.Corpus.err_detail);
     ]
+  in
+  Json.Obj
+    (if e.Corpus.err_request_id = "" then fields
+     else fields @ [ ("request_id", Json.String e.Corpus.err_request_id) ])
 
 let shard_report_json (sr : Corpus.shard_report) =
   Json.Obj
@@ -280,7 +365,7 @@ let corpus_outcome_json corpus (o : Corpus.outcome) =
       ("stats", stats_json o.Corpus.stats);
     ]
 
-let run_corpus_request t corpus (r : Exec.Request.t) =
+let run_corpus_request t p corpus (r : Exec.Request.t) =
   (* The per-document cache/trace stripping happens inside Corpus.run;
      the shared server cache is deliberately not attached (see the
      Corpus.run contract).  A mid-run deadline yields partial results
@@ -293,9 +378,16 @@ let run_corpus_request t corpus (r : Exec.Request.t) =
     with Invalid_argument msg -> reject ~status:400 msg
   in
   record_corpus t outcome;
+  p.p_strategy <- Exec.strategy_name r.Exec.Request.strategy;
+  p.p_shards <- max p.p_shards (List.length outcome.Corpus.shard_reports);
+  p.p_eval_ns <- p.p_eval_ns + outcome.Corpus.elapsed_ns;
+  p.p_merge_ns <- p.p_merge_ns + outcome.Corpus.merge_ns;
+  p.p_hits <- p.p_hits + List.length outcome.Corpus.hits;
+  p.p_doc_errors <- p.p_doc_errors + List.length outcome.Corpus.errors;
+  if outcome.Corpus.deadline_expired then p.p_outcome <- "deadline";
   corpus_outcome_json corpus outcome
 
-let handle_corpus_query t req =
+let handle_corpus_query t p ~id req =
   let corpus = corpus_of t in
   match body_json req with
   | Json.List batch ->
@@ -307,12 +399,74 @@ let handle_corpus_query t req =
           (Printf.sprintf "batch too large (max %d requests)" max_batch)
       else if batch = [] then reject ~status:400 "empty batch"
       else
-        let requests = List.map (request_of_json t req) batch in
-        let results = List.map (run_corpus_request t corpus) requests in
-        json_response ~status:200 (Json.Obj [ ("results", Json.List results) ])
+        let t0 = Clock.monotonic () in
+        let requests =
+          List.map
+            (fun j -> Exec.Request.with_id id (request_of_json t req j))
+            batch
+        in
+        p.p_parse_ns <- Clock.monotonic () - t0;
+        let results = List.map (run_corpus_request t p corpus) requests in
+        json_response ~status:200
+          (Json.Obj
+             [
+               ("request_id", Json.String id);
+               ("results", Json.List results);
+             ])
   | j ->
-      let r = request_of_json t req j in
-      json_response ~status:200 (run_corpus_request t corpus r)
+      let t0 = Clock.monotonic () in
+      let r = Exec.Request.with_id id (request_of_json t req j) in
+      p.p_parse_ns <- Clock.monotonic () - t0;
+      let body = run_corpus_request t p corpus r in
+      let body =
+        match body with
+        | Json.Obj fields ->
+            Json.Obj (("request_id", Json.String id) :: fields)
+        | j -> j
+      in
+      json_response ~status:200 body
+
+(* --- /debug/requests and /debug/slow --- *)
+
+let int_param req name ~default =
+  match Http.query_param req name with
+  | None -> default
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 0 -> n
+      | _ -> reject ~status:400 (Printf.sprintf "%s must be a non-negative integer" name))
+
+let events_response ?threshold_ns events =
+  let fields =
+    [ ("enabled", Json.Bool (Recorder.enabled ())) ]
+    @ (match threshold_ns with
+      | None -> []
+      | Some ns -> [ ("threshold_ns", Json.Int ns) ])
+    @ [
+        ("count", Json.Int (List.length events));
+        ("events", Json.List (List.map Recorder.to_json events));
+      ]
+  in
+  json_response ~status:200 (Json.Obj fields)
+
+let handle_debug_requests req =
+  match Http.query_param req "id" with
+  | Some id ->
+      events_response
+        (List.filter (fun ev -> ev.Recorder.id = id) (Recorder.events ()))
+  | None ->
+      let n = int_param req "n" ~default:64 in
+      events_response (Recorder.last n)
+
+let handle_debug_slow t req =
+  let default_ms =
+    match t.slow_ns with
+    | Some ns -> ns / 1_000_000
+    | None -> default_slow_ms
+  in
+  let ms = int_param req "ms" ~default:default_ms in
+  let threshold_ns = ms * 1_000_000 in
+  events_response ~threshold_ns (Recorder.slow ~threshold_ns)
 
 (* --- dispatch --- *)
 
@@ -323,27 +477,32 @@ let method_not_allowed allow =
     (Json.to_string (Json.Obj [ ("error", Json.String "method not allowed") ])
     ^ "\n")
 
-let dispatch t req =
+let dispatch t p ~id req =
   match (req.Http.meth, req.Http.path) with
-  | "POST", "/query" -> handle_query t req
-  | "POST", "/explain" -> handle_explain t req
-  | "POST", "/corpus/query" -> handle_corpus_query t req
+  | "POST", "/query" -> handle_query t p ~id req
+  | "POST", "/explain" -> handle_explain t p ~id req
+  | "POST", "/corpus/query" -> handle_corpus_query t p ~id req
   | "GET", "/healthz" ->
       Http.response ~headers:[ ("Content-Type", "text/plain") ] ~status:200 "ok\n"
   | "GET", "/metrics" ->
       Http.response
         ~headers:[ ("Content-Type", "text/plain; version=0.0.4") ]
         ~status:200 (metrics_page t)
+  | "GET", "/debug/requests" -> handle_debug_requests req
+  | "GET", "/debug/slow" -> handle_debug_slow t req
   | _, ("/query" | "/explain" | "/corpus/query") -> method_not_allowed "POST"
-  | _, ("/healthz" | "/metrics") -> method_not_allowed "GET"
+  | _, ("/healthz" | "/metrics" | "/debug/requests" | "/debug/slow") ->
+      method_not_allowed "GET"
   | _, _ -> error_response ~status:404 "not found"
 
 (* Engine escapes become structured 500s: a machine-readable [kind]
    (plus [site] for injected faults) so clients and chaos harnesses can
    distinguish deliberate injection from a genuine bug without parsing
    the human-oriented message.  Every 500 bumps the [request_errors]
-   fault counter — the containment signal on /metrics. *)
-let internal_error_response e =
+   fault counter — the containment signal on /metrics.  The body echoes
+   the request id, so the failure can be joined back to its wide event
+   in /debug/requests. *)
+let internal_error_response ~id e =
   Fault.record "request_errors";
   let fields =
     match e with
@@ -361,16 +520,131 @@ let internal_error_response e =
           ("kind", Json.String "internal");
         ]
   in
-  json_response ~status:500 (Json.Obj fields)
+  json_response ~status:500 (Json.Obj (fields @ [ ("request_id", Json.String id) ]))
 
-let handle t req =
+let with_request_id id resp =
+  {
+    resp with
+    Http.resp_headers = resp.Http.resp_headers @ [ ("X-Request-Id", id) ];
+  }
+
+(* Error bodies are built by [reject] deep inside decoding helpers,
+   before the request id is in scope; stamp it in at the single exit
+   point instead so every JSON error (400/404/405/408) can be joined
+   back to its wide event, like the 200s and 500s already can. *)
+let ensure_body_request_id ~id resp =
+  if resp.Http.status < 400 then resp
+  else
+    match Json.of_string resp.Http.resp_body with
+    | Ok (Json.Obj fields) when not (List.mem_assoc "request_id" fields) ->
+        {
+          resp with
+          Http.resp_body =
+            Json.to_string
+              (Json.Obj (fields @ [ ("request_id", Json.String id) ]))
+            ^ "\n";
+        }
+    | _ -> resp
+
+let outcome_of_status = function
+  | s when s >= 200 && s < 400 -> "ok"
+  | 408 -> "deadline"
+  | s when s >= 400 && s < 500 -> "client_error"
+  | 503 -> "shed"
+  | _ -> "error"
+
+(* One structured line per request.  JSON so it greps and parses; SLOW
+   mirror lines carry the whole wide event for requests over the
+   threshold.  The channel is shared by every worker domain, hence the
+   lock. *)
+let access_log_line t ~id ~req ~status ~total_ns ~outcome =
+  match t.access_log with
+  | None -> ()
+  | Some oc ->
+      let line =
+        Json.to_string
+          (Json.Obj
+             [
+               ("id", Json.String id);
+               ("method", Json.String req.Http.meth);
+               ("path", Json.String req.Http.path);
+               ("status", Json.Int status);
+               ("total_ns", Json.Int total_ns);
+               ("outcome", Json.String outcome);
+             ])
+      in
+      Mutex.lock t.log_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.log_lock)
+        (fun () ->
+          output_string oc (line ^ "\n");
+          flush oc)
+
+let slow_log_line t ev =
+  match t.access_log with
+  | None -> ()
+  | Some oc ->
+      let line = "SLOW " ^ Json.to_string (Recorder.to_json ev) in
+      Mutex.lock t.log_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.log_lock)
+        (fun () ->
+          output_string oc (line ^ "\n");
+          flush oc)
+
+let handle ?(queue_ns = 0) t req =
   let t0 = Clock.monotonic () in
+  let id = Reqid.accept_or_mint (Http.header req "x-request-id") in
+  let p = new_pending () in
   let resp =
-    try dispatch t req with
+    try dispatch t p ~id req with
     | Reject resp -> resp
-    | Deadline.Expired -> error_response ~status:408 "deadline exceeded"
-    | e -> internal_error_response e
+    | Deadline.Expired ->
+        p.p_outcome <- "deadline";
+        error_response ~status:408 "deadline exceeded"
+    | e ->
+        (match e with
+        | Fault.Injected (site, _) ->
+            p.p_outcome <- "fault";
+            p.p_site <- site
+        | _ -> p.p_outcome <- "error");
+        internal_error_response ~id e
   in
-  record t ~endpoint:(endpoint_label req.Http.path) ~status:resp.Http.status
-    ~ns:(Clock.monotonic () - t0);
+  let resp = with_request_id id (ensure_body_request_id ~id resp) in
+  let total_ns = Clock.monotonic () - t0 in
+  let endpoint = endpoint_label req.Http.path in
+  record t ~endpoint ~status:resp.Http.status ~ns:total_ns;
+  let outcome =
+    if p.p_outcome <> "" then p.p_outcome else outcome_of_status resp.Http.status
+  in
+  let ev : Recorder.event =
+    {
+      Recorder.seq = 0;
+      id;
+      endpoint;
+      strategy = p.p_strategy;
+      shards = p.p_shards;
+      queue_ns;
+      parse_ns = p.p_parse_ns;
+      eval_ns = p.p_eval_ns;
+      merge_ns = p.p_merge_ns;
+      total_ns;
+      hits = p.p_hits;
+      cache_hits = p.p_cache_hits;
+      cache_misses = p.p_cache_misses;
+      doc_errors = p.p_doc_errors;
+      status = resp.Http.status;
+      outcome;
+      site = p.p_site;
+    }
+  in
+  Recorder.record ~endpoint ~strategy:p.p_strategy ~shards:p.p_shards ~queue_ns
+    ~parse_ns:p.p_parse_ns ~eval_ns:p.p_eval_ns ~merge_ns:p.p_merge_ns
+    ~total_ns ~hits:p.p_hits ~cache_hits:p.p_cache_hits
+    ~cache_misses:p.p_cache_misses ~doc_errors:p.p_doc_errors
+    ~status:resp.Http.status ~site:p.p_site ~id ~outcome ();
+  access_log_line t ~id ~req ~status:resp.Http.status ~total_ns ~outcome;
+  (match t.slow_ns with
+  | Some threshold when total_ns >= threshold -> slow_log_line t ev
+  | _ -> ());
   resp

@@ -32,6 +32,22 @@
       histograms, queue depth, shed count, and after corpus queries the
       [corpus_shards] gauge plus [corpus_shard_elapsed_ns] /
       [corpus_merge_ns] histograms).
+    - [GET /debug/requests] — the flight recorder's retained wide
+      events ({!Xfrag_obs.Recorder}), newest-last:
+      [{"enabled", "count", "events": […]}].  [?n=N] caps the event
+      count (default 64); [?id=ID] returns every retained event for
+      that request id instead.
+    - [GET /debug/slow] — retained events whose [total_ns] meets the
+      slow threshold ([?ms=N] override; default the router's
+      [slow_ms], else 100 ms), plus ["threshold_ns"].
+
+    Every response — including 400/404/405/408/500s — carries an
+    [X-Request-Id] header: the client's (when it passes
+    {!Xfrag_obs.Reqid.valid}) or a freshly minted id.  The id rides
+    inside {!Xfrag_core.Exec.Request} through eval and corpus sharding
+    (trace spans, [doc_error] rows), is echoed in 2xx/500 JSON bodies
+    as ["request_id"], keys the request's wide event in
+    [/debug/requests], and prefixes the access-log line.
 
     All three POST bodies decode through the single
     {!Xfrag_core.Exec.Request.of_json} codec; the router adds only the
@@ -51,6 +67,8 @@ val create :
   ?queue_depth:(unit -> int) ->
   ?corpus:Xfrag_core.Corpus.t ->
   ?shards:int ->
+  ?slow_ms:int ->
+  ?access_log:out_channel ->
   Xfrag_core.Context.t ->
   t
 (** [cache] should be [~synchronized:true] when the server runs more
@@ -60,16 +78,22 @@ val create :
     (404 without it); [shards] pins its shard count (default: the
     {!Xfrag_core.Corpus.run} default — [XFRAG_SHARDS] or the pool's
     parallelism).  [queue_depth] feeds the [server_queue_depth] gauge at
-    scrape time. *)
+    scrape time.  [slow_ms] sets the [/debug/slow] default threshold
+    and arms SLOW mirror lines; [access_log] (e.g. [stderr] or an
+    opened [--access-log] file) receives one structured JSON line per
+    request — absent, no access logging. *)
 
 val set_queue_depth : t -> (unit -> int) -> unit
 (** Replace the queue-depth probe — {!Server.start} wires the pool's
     depth in here (the pool doesn't exist yet when the router is
     built). *)
 
-val handle : t -> Http.request -> Http.response
+val handle : ?queue_ns:int -> t -> Http.request -> Http.response
 (** Dispatch one request, recording per-endpoint request counters and
-    latency into the registry. *)
+    latency into the registry, one wide event into the flight recorder
+    (stage timings, hit counts, cache deltas, outcome), and one
+    access-log line.  [queue_ns] is the admission-queue wait the
+    listener measured before a worker picked the connection up. *)
 
 val record : t -> endpoint:string -> status:int -> ns:int -> unit
 (** Account a request the router never saw — the listener uses this for

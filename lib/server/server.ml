@@ -33,12 +33,21 @@ type t = {
   stopping : bool Atomic.t;
 }
 
-let shed_response =
+(* Built per shed (not prerendered): a 503 carries a freshly minted
+   request id like every other response, so even rejected clients have
+   a handle to quote back. *)
+let shed_response id =
   Http.response_to_string ~keep_alive:false
     (Http.response
        ~headers:
-         [ ("Retry-After", "1"); ("Content-Type", "application/json") ]
-       ~status:503 "{\"error\":\"server overloaded\"}\n")
+         [
+           ("Retry-After", "1");
+           ("Content-Type", "application/json");
+           ("X-Request-Id", id);
+         ]
+       ~status:503
+       (Printf.sprintf "{\"error\":\"server overloaded\",\"request_id\":%s}\n"
+          (Xfrag_obs.Json.escape_string id)))
 
 let start ?(config = default_config) router =
   (* A peer that disappears mid-write must surface as EPIPE, not kill
@@ -88,19 +97,32 @@ let install_signal_handlers t =
    errors, Connection: close, or server shutdown.  Runs on a worker
    domain; all shared state it reaches (router registry, join cache) is
    synchronized. *)
-let handle_conn t fd =
+let handle_conn t ~queued_at fd =
   let reader = Http.reader_of_fd fd in
   let send resp ~keep_alive =
     Http.write_all fd (Http.response_to_string ~keep_alive resp)
   in
   let fail ~status msg =
+    (* The request never parsed, so there is no inbound header to
+       honor: mint an id anyway — even a 400 is a wide event and an
+       X-Request-Id the client can quote. *)
+    let id = Xfrag_obs.Reqid.mint () in
     Router.record t.router ~endpoint:"*" ~status ~ns:0;
+    Xfrag_obs.Recorder.record ~endpoint:"*" ~status ~id
+      ~outcome:"client_error" ();
     send ~keep_alive:false
       (Http.response
-         ~headers:[ ("Content-Type", "application/json") ]
+         ~headers:
+           [ ("Content-Type", "application/json"); ("X-Request-Id", id) ]
          ~status
-         (Printf.sprintf "{\"error\":%s}\n" (Xfrag_obs.Json.escape_string msg)))
+         (Printf.sprintf "{\"error\":%s,\"request_id\":%s}\n"
+            (Xfrag_obs.Json.escape_string msg)
+            (Xfrag_obs.Json.escape_string id)))
   in
+  (* Queue wait is charged to the connection's first request — the one
+     that actually sat in the admission queue; keep-alive successors
+     start service immediately. *)
+  let queue_ns = Xfrag_obs.Clock.monotonic () - queued_at in
   let rec serve n =
     (* Fault site modelling the socket dying between requests: a raise
        here aborts only this connection (counted below), never the
@@ -115,7 +137,9 @@ let handle_conn t fd =
     | Error (Http.Bad_request msg) -> fail ~status:400 msg
     | Error Http.Payload_too_large -> fail ~status:413 "request body too large"
     | Ok req ->
-        let resp = Router.handle t.router req in
+        let resp =
+          Router.handle ~queue_ns:(if n = 0 then queue_ns else 0) t.router req
+        in
         let keep_alive =
           Http.keep_alive req
           && n + 1 < t.config.keepalive_max
@@ -135,10 +159,13 @@ let accept_one t =
      Unix.setsockopt_float conn Unix.SO_RCVTIMEO t.config.io_timeout_s;
      Unix.setsockopt_float conn Unix.SO_SNDTIMEO t.config.io_timeout_s
    with _ -> ());
-  if not (Pool.submit t.pool (fun () -> handle_conn t conn)) then begin
+  let queued_at = Xfrag_obs.Clock.monotonic () in
+  if not (Pool.submit t.pool (fun () -> handle_conn t ~queued_at conn)) then begin
     (* Queue full: shed inline from the accept loop. *)
+    let id = Xfrag_obs.Reqid.mint () in
     Router.record_shed t.router;
-    (try Http.write_all conn shed_response with _ -> ());
+    Xfrag_obs.Recorder.record ~endpoint:"*" ~status:503 ~id ~outcome:"shed" ();
+    (try Http.write_all conn (shed_response id) with _ -> ());
     try Unix.close conn with _ -> ()
   end
 

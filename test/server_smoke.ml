@@ -17,6 +17,16 @@ let step fmt = Printf.ksprintf (fun msg -> print_endline ("smoke: " ^ msg)) fmt
 
 let contains ~sub s = Astring.String.find_sub ~sub s <> None
 
+let resp_header name headers =
+  List.find_map
+    (fun (k, v) -> if String.lowercase_ascii k = name then Some v else None)
+    headers
+
+let string_member key j =
+  Option.bind (Json.member key j) Json.to_string_opt
+
+let int_member key j = Option.bind (Json.member key j) Json.to_int_opt
+
 (* Start `xfrag serve` on an ephemeral port, optionally with extra
    environment entries (the chaos phase arms XFRAG_FAILPOINTS this
    way), and parse the announced port off its stdout. *)
@@ -113,14 +123,24 @@ let () =
   | Ok (s, _, body) -> (cleanup (); die "healthz: %d %s" s body)
   | Error e -> (cleanup (); die "healthz: %s" e));
 
-  (* A real query. *)
+  (* A real query, carrying a client request id that must be echoed. *)
   let body = {|{"keywords":["term0000"],"filters":{"max_size":3},"limit":5}|} in
   (match
-     Client.once ~host:"127.0.0.1" ~port ~meth:"POST" ~path:"/query" ~body ()
+     Client.once ~host:"127.0.0.1" ~port ~meth:"POST" ~path:"/query"
+       ~headers:[ ("X-Request-Id", "smoketest-123") ]
+       ~body ()
    with
-  | Ok (200, _, reply) -> (
+  | Ok (200, headers, reply) -> (
+      (match resp_header "x-request-id" headers with
+      | Some "smoketest-123" -> step "X-Request-Id echoed"
+      | other ->
+          (cleanup ();
+           die "X-Request-Id not echoed (got %s)"
+             (Option.value ~default:"<none>" other)));
       match Json.of_string reply with
-      | Ok j when Option.bind (Json.member "count" j) Json.to_int_opt <> None ->
+      | Ok j when int_member "count" j <> None ->
+          if string_member "request_id" j <> Some "smoketest-123" then
+            (cleanup (); die "200 body lacks the request id: %s" reply);
           step "query ok: %s" (String.sub reply 0 (min 60 (String.length reply)))
       | Ok _ -> (cleanup (); die "query reply missing count: %s" reply)
       | Error e -> (cleanup (); die "query reply not JSON: %s" e))
@@ -190,6 +210,46 @@ let () =
   | Ok (s, _, _) -> (cleanup (); die "metrics: %d" s)
   | Error e -> (cleanup (); die "metrics: %s" e));
 
+  (* The flight recorder kept a wide event for the id-carrying query,
+     with real stage timings. *)
+  (match
+     Client.once ~host:"127.0.0.1" ~port ~meth:"GET"
+       ~path:"/debug/requests?id=smoketest-123" ()
+   with
+  | Ok (200, _, reply) -> (
+      match Json.of_string reply with
+      | Ok j -> (
+          match Json.member "events" j with
+          | Some (Json.List [ ev ]) ->
+              if string_member "outcome" ev <> Some "ok" then
+                (cleanup (); die "wide event outcome not ok: %s" reply);
+              let positive key =
+                match int_member key ev with
+                | Some n when n > 0 -> ()
+                | _ -> (cleanup (); die "wide event %s not > 0: %s" key reply)
+              in
+              positive "eval_ns";
+              positive "total_ns";
+              step "/debug/requests has the wide event (timings > 0)"
+          | _ -> (cleanup (); die "/debug/requests?id= found %s" reply))
+      | Error e -> (cleanup (); die "/debug/requests not JSON: %s" e))
+  | Ok (s, _, reply) -> (cleanup (); die "/debug/requests: %d %s" s reply)
+  | Error e -> (cleanup (); die "/debug/requests: %s" e));
+
+  (* /debug/slow with a zero threshold classifies everything as slow. *)
+  (match
+     Client.once ~host:"127.0.0.1" ~port ~meth:"GET" ~path:"/debug/slow?ms=0" ()
+   with
+  | Ok (200, _, reply) -> (
+      match Json.of_string reply with
+      | Ok j -> (
+          match int_member "count" j with
+          | Some n when n >= 1 -> step "/debug/slow ok (%d events at 0ms)" n
+          | _ -> (cleanup (); die "/debug/slow?ms=0 empty: %s" reply))
+      | Error e -> (cleanup (); die "/debug/slow not JSON: %s" e))
+  | Ok (s, _, reply) -> (cleanup (); die "/debug/slow: %d %s" s reply)
+  | Error e -> (cleanup (); die "/debug/slow: %s" e));
+
   assert_clean_shutdown ~cleanup pid;
 
   (* --- chaos phase ---
@@ -221,19 +281,45 @@ let () =
   step "chaos server pid %d on port %d (corrupt doc quarantined)" pid port;
 
   let body = {|{"keywords":["term0000"],"filters":{"max_size":3},"limit":5}|} in
+  let fault_request_id =
+    match
+      Client.once ~host:"127.0.0.1" ~port ~meth:"POST" ~path:"/query" ~body ()
+    with
+    | Ok (500, _, reply) -> (
+        match Json.of_string reply with
+        | Ok j
+          when Json.member "kind" j = Some (Json.String "fault_injected")
+               && Json.member "site" j = Some (Json.String "eval.request") -> (
+            match string_member "request_id" j with
+            | Some id ->
+                step "injected fault -> structured 500 ok (id %s)" id;
+                id
+            | None -> (cleanup (); die "500 body lacks request_id: %s" reply))
+        | Ok _ -> (cleanup (); die "500 body not structured: %s" reply)
+        | Error e -> (cleanup (); die "500 body not JSON (%s): %s" e reply))
+    | Ok (s, _, reply) ->
+        (cleanup (); die "chaos query: expected 500, got %d %s" s reply)
+    | Error e -> (cleanup (); die "chaos query: %s" e)
+  in
+
+  (* The 500's request id joins back to a wide event that names the
+     outcome and the injection site. *)
   (match
-     Client.once ~host:"127.0.0.1" ~port ~meth:"POST" ~path:"/query" ~body ()
+     Client.once ~host:"127.0.0.1" ~port ~meth:"GET"
+       ~path:("/debug/requests?id=" ^ fault_request_id) ()
    with
-  | Ok (500, _, reply) -> (
+  | Ok (200, _, reply) -> (
       match Json.of_string reply with
-      | Ok j
-        when Json.member "kind" j = Some (Json.String "fault_injected")
-             && Json.member "site" j = Some (Json.String "eval.request") ->
-          step "injected fault -> structured 500 ok"
-      | Ok _ -> (cleanup (); die "500 body not structured: %s" reply)
-      | Error e -> (cleanup (); die "500 body not JSON (%s): %s" e reply))
-  | Ok (s, _, reply) -> (cleanup (); die "chaos query: expected 500, got %d %s" s reply)
-  | Error e -> (cleanup (); die "chaos query: %s" e));
+      | Ok j -> (
+          match Json.member "events" j with
+          | Some (Json.List [ ev ])
+            when string_member "outcome" ev = Some "fault"
+                 && string_member "site" ev = Some "eval.request" ->
+              step "fault's wide event names outcome and site"
+          | _ -> (cleanup (); die "fault wide event wrong: %s" reply))
+      | Error e -> (cleanup (); die "fault /debug/requests not JSON: %s" e))
+  | Ok (s, _, reply) -> (cleanup (); die "fault /debug/requests: %d %s" s reply)
+  | Error e -> (cleanup (); die "fault /debug/requests: %s" e));
 
   (* The fault was one-shot (raise@1): the very next query succeeds. *)
   (match

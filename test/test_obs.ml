@@ -365,7 +365,12 @@ let test_histogram () =
     "buckets"
     [ (1.0, 1); (4.0, 2); (128.0, 1) ]
     (Metrics.Histogram.buckets h);
-  Alcotest.(check (float 0.0)) "p50" 4.0 (Metrics.Histogram.quantile h 0.5);
+  (* p50: target rank 2 lands mid-bucket in (2,4] -> 2*(4/2)^0.5 via
+     log-linear interpolation; p100 is still the top bucket's bound. *)
+  Alcotest.(check (float 1e-9))
+    "p50"
+    (2.0 *. Float.sqrt 2.0)
+    (Metrics.Histogram.quantile h 0.5);
   Alcotest.(check (float 0.0)) "p100" 128.0 (Metrics.Histogram.quantile h 1.0)
 
 let test_metrics_json () =

@@ -55,13 +55,14 @@ let test_pool_job_exception_is_contained () =
 
 (* --- router --- *)
 
-let make_request ?(meth = "POST") ?(path = "/query") ?(query = []) body =
+let make_request ?(meth = "POST") ?(path = "/query") ?(query = [])
+    ?(headers = []) body =
   {
     Http.meth;
     path;
     query;
     version = "HTTP/1.1";
-    headers = [];
+    headers;
     body;
   }
 
@@ -335,6 +336,200 @@ let test_corpus_metrics () =
   Alcotest.(check bool) "endpoint counter" true
     (contains "server_requests{endpoint=\"/corpus/query\",status=\"200\"} 1")
 
+(* --- request ids and /debug endpoints --- *)
+
+module Recorder = Xfrag_obs.Recorder
+
+(* The recorder is process-global; force it on and restore so these
+   tests stay meaningful (and honest) under the XFRAG_RECORDER=0 CI
+   leg, which proves the engine never depends on it. *)
+let with_recorder f =
+  let was = Recorder.enabled () in
+  Recorder.set_enabled true;
+  Recorder.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Recorder.clear ();
+      Recorder.set_enabled was)
+    f
+
+let resp_header name (resp : Http.response) =
+  List.find_map
+    (fun (k, v) ->
+      if String.lowercase_ascii k = String.lowercase_ascii name then Some v
+      else None)
+    resp.Http.resp_headers
+
+let string_field key j =
+  match Option.bind (Json.member key j) Json.to_string_opt with
+  | Some s -> s
+  | None -> Alcotest.failf "missing string field %S" key
+
+let query_body =
+  Json.to_string
+    (Json.Obj
+       [
+         ( "keywords",
+           Json.List (List.map (fun k -> Json.String k) Paper.query_keywords) );
+       ])
+
+let test_request_id_echo () =
+  let router = make_router () in
+  let resp =
+    Router.handle router
+      (make_request ~headers:[ ("x-request-id", "client-abc.1") ] query_body)
+  in
+  Alcotest.(check int) "status" 200 resp.Http.status;
+  Alcotest.(check (option string)) "inbound id echoed" (Some "client-abc.1")
+    (resp_header "x-request-id" resp);
+  Alcotest.(check string) "inbound id in body" "client-abc.1"
+    (string_field "request_id" (body_json resp))
+
+let test_request_id_minted_when_invalid () =
+  let router = make_router () in
+  let check_minted resp =
+    match resp_header "x-request-id" resp with
+    | None -> Alcotest.fail "response lost its X-Request-Id"
+    | Some id ->
+        Alcotest.(check bool) "fresh mint, not the bad inbound id" true
+          (id <> "bad id!" && String.length id > 4 && String.sub id 0 4 = "req-")
+  in
+  check_minted
+    (Router.handle router
+       (make_request ~headers:[ ("x-request-id", "bad id!") ] query_body));
+  (* Absent header: still minted. *)
+  check_minted (Router.handle router (make_request query_body))
+
+let test_request_id_on_error_responses () =
+  let router = make_router () in
+  let has_id ?meth ?path ?query body =
+    let resp = Router.handle router (make_request ?meth ?path ?query body) in
+    (match resp_header "x-request-id" resp with
+    | None -> Alcotest.failf "%d response has no X-Request-Id" resp.Http.status
+    | Some _ -> ());
+    Alcotest.(check bool)
+      (Printf.sprintf "%d body carries request_id" resp.Http.status)
+      true
+      (String.length (string_field "request_id" (body_json resp)) > 0)
+  in
+  has_id "{nope";
+  (* 400: unparseable body *)
+  has_id ~path:"/nope" "{}";
+  (* 404 *)
+  has_id ~meth:"GET" ~path:"/query" "";
+  (* 405 *)
+  has_id ~query:[ ("deadline_ns", "0") ] query_body (* 408 *)
+
+let test_debug_requests () =
+  with_recorder (fun () ->
+      let router = make_router () in
+      let resp =
+        Router.handle router
+          (make_request ~headers:[ ("x-request-id", "debug-probe-1") ] query_body)
+      in
+      Alcotest.(check int) "query status" 200 resp.Http.status;
+      let dbg =
+        Router.handle router
+          (make_request ~meth:"GET" ~path:"/debug/requests"
+             ~query:[ ("id", "debug-probe-1") ]
+             "")
+      in
+      Alcotest.(check int) "debug status" 200 dbg.Http.status;
+      let j = body_json dbg in
+      Alcotest.(check int) "one matching event" 1 (int_field "count" j);
+      match list_field "events" j with
+      | [ ev ] ->
+          Alcotest.(check string) "event id" "debug-probe-1"
+            (string_field "id" ev);
+          Alcotest.(check string) "endpoint" "/query" (string_field "endpoint" ev);
+          Alcotest.(check string) "outcome" "ok" (string_field "outcome" ev);
+          Alcotest.(check int) "status" 200 (int_field "status" ev);
+          (* Stage timings: eval and total are non-zero for a real
+             evaluation (parse can round to 0 at clock resolution). *)
+          Alcotest.(check bool) "eval_ns > 0" true (int_field "eval_ns" ev > 0);
+          Alcotest.(check bool) "total_ns > 0" true (int_field "total_ns" ev > 0);
+          Alcotest.(check bool) "hits recorded" true (int_field "hits" ev > 0)
+      | evs -> Alcotest.failf "expected one event, got %d" (List.length evs))
+
+let test_debug_requests_last_n () =
+  with_recorder (fun () ->
+      let router = make_router () in
+      for i = 1 to 5 do
+        ignore
+          (Router.handle router
+             (make_request
+                ~headers:[ ("x-request-id", Printf.sprintf "burst-%d" i) ]
+                query_body))
+      done;
+      let dbg =
+        Router.handle router
+          (make_request ~meth:"GET" ~path:"/debug/requests"
+             ~query:[ ("n", "3") ] "")
+      in
+      let j = body_json dbg in
+      Alcotest.(check int) "last 3" 3 (int_field "count" j);
+      let ids = List.map (string_field "id") (list_field "events" j) in
+      Alcotest.(check (list string)) "newest three, oldest first"
+        [ "burst-3"; "burst-4"; "burst-5" ] ids;
+      (* Junk n is a client error, not a crash. *)
+      let bad =
+        Router.handle router
+          (make_request ~meth:"GET" ~path:"/debug/requests"
+             ~query:[ ("n", "wat") ] "")
+      in
+      Alcotest.(check int) "non-numeric n -> 400" 400 bad.Http.status)
+
+let test_debug_slow () =
+  with_recorder (fun () ->
+      let router = make_router () in
+      ignore
+        (Router.handle router
+           (make_request ~headers:[ ("x-request-id", "slow-probe") ] query_body));
+      let slow_at ms =
+        body_json
+          (Router.handle router
+             (make_request ~meth:"GET" ~path:"/debug/slow"
+                ~query:[ ("ms", ms) ] ""))
+      in
+      (* Threshold 0: everything qualifies. *)
+      let j = slow_at "0" in
+      Alcotest.(check bool) "threshold surfaces" true
+        (Json.member "threshold_ns" j <> None);
+      Alcotest.(check bool) "all requests qualify at 0ms" true
+        (int_field "count" j >= 1);
+      (* An hour: nothing does. *)
+      Alcotest.(check int) "none at 3600000ms" 0
+        (int_field "count" (slow_at "3600000")))
+
+let test_debug_endpoints_are_get_only () =
+  let router = make_router () in
+  List.iter
+    (fun path ->
+      let resp = Router.handle router (make_request ~path "{}") in
+      Alcotest.(check int) (path ^ " POST -> 405") 405 resp.Http.status)
+    [ "/debug/requests"; "/debug/slow" ]
+
+let test_fault_500_lands_in_recorder () =
+  with_recorder (fun () ->
+      let router = make_router () in
+      let resp =
+        Xfrag_fault.Fault.Failpoint.with_armed "eval.request" Xfrag_fault.Fault.Raise
+          (fun () ->
+            Router.handle router
+              (make_request ~headers:[ ("x-request-id", "chaos-1") ] query_body))
+      in
+      Alcotest.(check int) "fault -> 500" 500 resp.Http.status;
+      Alcotest.(check (option string)) "500 echoes the id" (Some "chaos-1")
+        (resp_header "x-request-id" resp);
+      Alcotest.(check string) "500 body carries request_id" "chaos-1"
+        (string_field "request_id" (body_json resp));
+      match Recorder.find "chaos-1" with
+      | None -> Alcotest.fail "fault event not in the flight recorder"
+      | Some ev ->
+          Alcotest.(check string) "outcome" "fault" ev.Recorder.outcome;
+          Alcotest.(check string) "site" "eval.request" ev.Recorder.site;
+          Alcotest.(check int) "status" 500 ev.Recorder.status)
+
 (* --- prometheus exporter --- *)
 
 let test_prometheus_render () =
@@ -516,6 +711,22 @@ let () =
           Alcotest.test_case "404 without corpus" `Quick
             test_corpus_query_without_corpus;
           Alcotest.test_case "metrics" `Quick test_corpus_metrics;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "X-Request-Id echo" `Quick test_request_id_echo;
+          Alcotest.test_case "invalid id re-minted" `Quick
+            test_request_id_minted_when_invalid;
+          Alcotest.test_case "ids on error responses" `Quick
+            test_request_id_on_error_responses;
+          Alcotest.test_case "/debug/requests by id" `Quick test_debug_requests;
+          Alcotest.test_case "/debug/requests last n" `Quick
+            test_debug_requests_last_n;
+          Alcotest.test_case "/debug/slow" `Quick test_debug_slow;
+          Alcotest.test_case "debug endpoints GET-only" `Quick
+            test_debug_endpoints_are_get_only;
+          Alcotest.test_case "fault 500 in recorder" `Quick
+            test_fault_500_lands_in_recorder;
         ] );
       ( "prometheus",
         [
