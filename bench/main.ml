@@ -96,8 +96,27 @@ let record ~experiment ~scenario ~strategy ~ns fields =
    "experiment" field — earlier behavior overwrote the whole file, so
    alternating partial runs kept dropping every other experiment's
    history (and re-running appended nothing deterministic). *)
+(* The output path is stable regardless of where the harness is invoked
+   from: XFRAG_BENCH_OUT wins, else walk up from the cwd to the
+   directory holding dune-project (the repo root), falling back to the
+   cwd.  Writing relative to the cwd silently scattered history files
+   around and lost the committed one. *)
+let bench_json_path () =
+  match Sys.getenv_opt "XFRAG_BENCH_OUT" with
+  | Some p when p <> "" -> p
+  | _ ->
+      let rec up dir =
+        if Sys.file_exists (Filename.concat dir "dune-project") then
+          Some (Filename.concat dir "BENCH_core.json")
+        else
+          let parent = Filename.dirname dir in
+          if parent = dir then None else up parent
+      in
+      Option.value (up (Sys.getcwd ())) ~default:"BENCH_core.json"
+
 let write_bench_json () =
   if !bench_rows <> [] then begin
+    let path = bench_json_path () in
     let fresh = List.rev !bench_rows in
     let experiment_of = function
       | Json.Obj fields -> (
@@ -109,7 +128,7 @@ let write_bench_json () =
     let fresh_experiments = List.filter_map experiment_of fresh in
     let kept =
       match
-        let ic = open_in_bin "BENCH_core.json" in
+        let ic = open_in_bin path in
         let data = really_input_string ic (in_channel_length ic) in
         close_in ic;
         Json.of_string data
@@ -121,18 +140,21 @@ let write_bench_json () =
                 (fun row ->
                   match experiment_of row with
                   | Some e -> not (List.mem e fresh_experiments)
-                  | None -> false)
+                  (* Rows without an experiment tag belong to no run of
+                     this harness and must never be dropped — losing
+                     them silently erased committed history. *)
+                  | None -> true)
                 rows
           | _ -> [])
       | Ok _ | Error _ -> []
       | exception Sys_error _ -> []
     in
     let doc = Json.Obj [ ("rows", Json.List (kept @ fresh)) ] in
-    let oc = open_out "BENCH_core.json" in
+    let oc = open_out path in
     output_string oc (Json.to_string doc);
     output_char oc '\n';
     close_out oc;
-    Printf.printf "\nwrote BENCH_core.json (%d rows: %d kept + %d new)\n"
+    Printf.printf "\nwrote %s (%d rows: %d kept + %d new)\n" path
       (List.length kept + List.length fresh)
       (List.length kept) (List.length fresh)
   end
@@ -792,7 +814,8 @@ module Join_cache = Xfrag_core.Join_cache
 let c1 () =
   header
     "C1: join memoization cache - cached vs uncached, every strategy\n\
-     (bounded LRU keyed by interned fragment-id pairs, lib/cache)";
+     (per-document partitions, admission-gated; 'default' uses the\n\
+     strategy-aware policy, 'admit-all' forces memoization everywhere)";
   let tree =
     Docgen.with_planted_keywords
       { Docgen.default with seed = 77; sections = 6 }
@@ -801,10 +824,10 @@ let c1 () =
   let ctx = Context.create tree in
   let q = Query.make ~filter:(Filter.Size_at_most 4) [ "needleone"; "needletwo" ] in
   Printf.printf
-    "query: {needleone, needletwo} 8x8, filter size<=4; capacities: off, %d, 128\n\n"
+    "query: {needleone, needletwo} 8x8, filter size<=4; capacity %d (tiny: 128)\n\n"
     Join_cache.default_capacity;
-  Printf.printf "%-14s %-10s %-12s %-8s %-8s %-8s %-10s %s\n" "strategy" "cache"
-    "time" "joins" "hits" "misses" "evictions" "answers";
+  Printf.printf "%-14s %-10s %-12s %-8s %-8s %-8s %-9s %-9s %s\n" "strategy"
+    "cache" "time" "joins" "hits" "misses" "evicted" "rejected" "answers";
   let scenario = "postings 8x8 size<=4" in
   List.iter
     (fun strategy ->
@@ -820,20 +843,21 @@ let c1 () =
           ("joins", Json.Int off_stats.Op_stats.fragment_joins);
           ("answers", Json.Int (Frag_set.cardinal baseline));
         ];
-      Printf.printf "%-14s %-10s %-12s %-8d %-8s %-8s %-10s %d\n" name "off"
-        (pp_ns ns_off) off_stats.Op_stats.fragment_joins "-" "-" "-"
+      Printf.printf "%-14s %-10s %-12s %-8d %-8s %-8s %-9s %-9s %d\n" name "off"
+        (pp_ns ns_off) off_stats.Op_stats.fragment_joins "-" "-" "-" "-"
         (Frag_set.cardinal baseline);
       List.iter
-        (fun (label, capacity) ->
+        (fun (label, capacity, admission) ->
           (* Instrument one cold run for the counters, then time against a
              warm shared cache — the service configuration, where repeated
              queries amortize the memo table. *)
-          let cold_cache = Join_cache.create ~capacity () in
+          let make () = Join_cache.create ~capacity ?admission () in
+          let cold_cache = make () in
           let answers, stats =
             run_counters (fun () -> Eval.run ~strategy ~cache:cold_cache ctx q)
           in
           assert (Frag_set.equal answers baseline);
-          let warm_cache = Join_cache.create ~capacity () in
+          let warm_cache = make () in
           ignore (Eval.run ~strategy ~cache:warm_cache ctx q);
           let ns_on =
             time_ns ~quota:0.2
@@ -848,13 +872,23 @@ let c1 () =
               ("cache_hits", Json.Int stats.Op_stats.cache_hits);
               ("cache_misses", Json.Int stats.Op_stats.cache_misses);
               ("cache_evictions", Json.Int stats.Op_stats.cache_evictions);
+              ("cache_rejected", Json.Int stats.Op_stats.cache_rejected);
               ("answers", Json.Int (Frag_set.cardinal answers));
             ];
-          Printf.printf "%-14s %-10s %-12s %-8d %-8d %-8d %-10d %d\n" name label
-            (pp_ns ns_on) stats.Op_stats.fragment_joins stats.Op_stats.cache_hits
-            stats.Op_stats.cache_misses stats.Op_stats.cache_evictions
+          Printf.printf "%-14s %-10s %-12s %-8d %-8d %-8d %-9d %-9d %d\n" name
+            label (pp_ns ns_on) stats.Op_stats.fragment_joins
+            stats.Op_stats.cache_hits stats.Op_stats.cache_misses
+            stats.Op_stats.cache_evictions stats.Op_stats.cache_rejected
             (Frag_set.cardinal answers))
-        [ ("default", Join_cache.default_capacity); ("tiny", 128) ];
+        [
+          (* default = strategy-aware admission: unpruned strategies run
+             detached (cache == off by design), pruned ones memoize. *)
+          ("default", Join_cache.default_capacity, None);
+          ( "admit-all",
+            Join_cache.default_capacity,
+            Some Join_cache.Admission.Admit_all );
+          ("tiny", 128, Some Join_cache.Admission.Admit_all);
+        ];
       print_newline ())
     Eval.all_strategies
 
@@ -906,13 +940,10 @@ let s1 () =
     Printf.printf "%-22s %9s %10s %10s %10s %7s %6s %5s\n" "scenario" "qps"
       "p50" "p95" "p99" "ok" "shed" "err";
     List.iter
-      (fun cache_on ->
+      (fun (cache_label, mk_cache) ->
         List.iter
           (fun conc ->
-            let cache =
-              if cache_on then Some (Join_cache.create ~synchronized:true ())
-              else None
-            in
+            let cache = mk_cache () in
             let router =
               Router.create ?cache ~default_deadline_ns:500_000_000 ctx
             in
@@ -971,8 +1002,7 @@ let s1 () =
             let p95 = Xfrag_obs.Metrics.Histogram.quantile hist 0.95 in
             let p99 = Xfrag_obs.Metrics.Histogram.quantile hist 0.99 in
             let scenario =
-              Printf.sprintf "conc=%d cache=%s" conc
-                (if cache_on then "on" else "off")
+              Printf.sprintf "conc=%d cache=%s" conc cache_label
             in
             Printf.printf "%-22s %9.0f %10s %10s %10s %7d %6d %5d\n" scenario
               qps (pp_ns p50) (pp_ns p95) (pp_ns p99) ok shed err;
@@ -982,14 +1012,21 @@ let s1 () =
                 ("p95_ns", Json.Float p95);
                 ("p99_ns", Json.Float p99);
                 ("concurrency", Json.Int conc);
-                ("cache", Json.String (if cache_on then "on" else "off"));
+                ("cache", Json.String cache_label);
                 ("ok", Json.Int ok);
                 ("shed", Json.Int shed);
                 ("errors", Json.Int err);
                 ("wall_ns", Json.Int wall_ns);
               ])
           [ 8; 32; 64 ])
-      [ false; true ]
+      [
+        ("off", fun () -> None);
+        (* Single global mutex vs. the default striped lock: same shared
+           cache semantics, different contention profile under load. *)
+        ( "mutex",
+          fun () -> Some (Join_cache.create ~synchronized:true ~stripes:1 ()) );
+        ("striped", fun () -> Some (Join_cache.create ~synchronized:true ()));
+      ]
   end
 
 (* --- P1: sharded corpus execution ---------------------------------------- *)

@@ -11,9 +11,10 @@ type t = {
   generation : int;
       (** Process-unique stamp issued by {!create}.  Node ids only mean
           something relative to one built context, so anything caching
-          derived results (see {!Join_cache}) keys its validity on this:
-          rebuilding a document — or a corpus — yields contexts with
-          fresh generations, invalidating stale entries automatically. *)
+          derived results (see {!Join_cache}) must scope its entries by
+          this stamp: the join cache keeps a partition per generation,
+          so rebuilding a document — or interleaving documents of a
+          corpus — never conflates entries across worlds. *)
 }
 
 val create : ?options:Tokenizer.options -> Doctree.t -> t

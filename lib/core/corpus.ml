@@ -157,14 +157,12 @@ let eval_shard ~scorer ~clock (request : Exec.Request.t) idx docs =
   let doc_errors = ref [] in
   let total_answers = ref 0 in
   let limit = request.Exec.Request.limit in
-  (* Per-document request: the shared join cache is withheld (its
-     generation bookkeeping is per-context and a concurrently shared
-     memo table would be poisoned by a mid-update abort) and tracing is
-     disabled (the span stack is not safe to interleave across
-     domains). *)
-  let doc_request =
-    { request with Exec.Request.cache = None; trace = Xfrag_obs.Trace.disabled }
-  in
+  (* Per-document request: the join cache is kept — its per-generation
+     partitions give each document a scoped view, so shard workers warm
+     one shared cache instead of thrashing it (the domain-safety gate
+     for unsynchronized caches lives in [run]).  Tracing is disabled
+     (the span stack is not safe to interleave across domains). *)
+  let doc_request = { request with Exec.Request.trace = Xfrag_obs.Trace.disabled } in
   let heap = Min_heap.create ~cmp:(fun a b -> cmp_scored b a) in
   let all = ref [] in
   let add_hit scored =
@@ -302,6 +300,18 @@ let run ?pool ?shards ?(scorer = fun _ _ -> 0.)
         | None -> Shard_pool.parallelism pool)
   in
   let n = max 1 (min requested (max 1 (String_map.cardinal t))) in
+  (* Caching across shards: a synchronized cache is striped and safe to
+     share between worker domains; an unsynchronized one is only kept
+     when there is a single shard (the pool runs one job at a time and
+     hands results back through a synchronized channel, so access is
+     sequential).  Multi-shard + unsynchronized is the one combination
+     that must stay detached. *)
+  let request =
+    match request.Exec.Request.cache with
+    | Some c when n > 1 && not (Join_cache.synchronized c) ->
+        Exec.Request.with_cache None request
+    | _ -> request
+  in
   let shard_docs = plan_shards t n in
   let jobs =
     Array.mapi

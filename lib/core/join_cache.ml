@@ -12,51 +12,255 @@ end
 
 module Lru = Xfrag_cache.Lru.Make (Pair_key)
 
-type t = {
+module Admission = struct
+  type t = Admit_all | Admit_none | Min_nodes of int | Second_touch
+
+  let to_string = function
+    | Admit_all -> "all"
+    | Admit_none -> "none"
+    | Min_nodes n -> string_of_int n
+    | Second_touch -> "second-touch"
+
+  let of_string s =
+    match String.lowercase_ascii (String.trim s) with
+    | "all" -> Ok Admit_all
+    | "none" -> Ok Admit_none
+    | "second-touch" | "second_touch" | "touch2" -> Ok Second_touch
+    | s -> (
+        match int_of_string_opt s with
+        | Some n when n >= 0 -> Ok (Min_nodes n)
+        | _ ->
+            Error
+              (Printf.sprintf
+                 "XFRAG_CACHE_ADMIT: expected all | none | second-touch | \
+                  <min-nodes>, got %S"
+                 s))
+
+  let default () =
+    match Sys.getenv_opt "XFRAG_CACHE_ADMIT" with
+    | None -> Min_nodes 0
+    | Some s -> ( match of_string s with Ok a -> a | Error _ -> Min_nodes 0)
+
+  (* Does attaching the cache pay for a strategy of this shape?  On
+     pruned strategies (pushdown family) operands stay small — bounded
+     by the anti-monotone filter — so probing is cheap and hits erase
+     whole joins: measured 3-4x wins.  On unpruned strategies the
+     operands are the huge intermediate fragments themselves; hashing
+     one to probe costs as much as joining it, so even a 20% hit rate
+     loses 2-4x.  The default policies therefore decline unpruned
+     strategies outright; [Admit_all] forces attachment everywhere, and
+     an explicit [Min_nodes n > 0] threshold widens to unpruned
+     strategies too (the caller asked for selective memoization, and the
+     size gate runs before any hashing). *)
+  let pays t ~pruned =
+    match t with
+    | Admit_all -> true
+    | Admit_none -> false
+    | Min_nodes n -> pruned || n > 0
+    | Second_touch -> pruned
+end
+
+(* One partition per context generation: a document's entries and
+   interned ids live and die together, so a request against doc B can
+   never invalidate doc A's warm entries — the failure mode of the old
+   single-generation design, where a shared cache serving alternating
+   documents thrashed to zero hits.  A partition evicted by the
+   [max_docs] bound takes its interner with it, which both bounds memory
+   and keeps stale hits impossible by construction (an id is only ever
+   interpreted inside the partition that allocated it). *)
+type partition = {
+  part_gen : int;
   lru : Fragment.t Lru.t;
   interner : Fragment.Interner.t;
+}
+
+type stripe = {
   lock : Mutex.t option;
+  mutable parts : partition list;  (* MRU first; length <= max_docs *)
+  touched : int array;  (* second-touch fingerprint sketch; [||] unless used *)
+}
+
+type t = {
+  stripes : stripe array;
+  capacity : int;
+  part_capacity : int;
+  max_docs : int;
+  admission : Admission.t;
+  (* Lifetime counters are [Atomic] so the metrics/scratch paths can
+     read them without the stripe locks (and without tearing). *)
+  c_hits : int Atomic.t;
+  c_misses : int Atomic.t;
+  c_evictions : int Atomic.t;
+  c_invalidations : int Atomic.t;
+  c_rejected : int Atomic.t;
+  last_gen : int Atomic.t;
 }
 
 let default_capacity = 1 lsl 16
 
-let create ?(synchronized = false) ?(capacity = default_capacity) () =
+let default_max_docs = 4
+
+let default_stripes () =
+  match Sys.getenv_opt "XFRAG_CACHE_STRIPES" with
+  | Some s -> (
+      match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 8)
+  | None -> 8
+
+let sketch_slots = 2048
+
+let create ?(synchronized = false) ?(capacity = default_capacity) ?stripes
+    ?(max_docs = default_max_docs) ?admission () =
+  let admission =
+    match admission with Some a -> a | None -> Admission.default ()
+  in
+  (* An unsynchronized cache is single-domain by contract, so striping
+     buys nothing; force one stripe and skip the mutexes entirely. *)
+  let nstripes =
+    if synchronized then
+      max 1 (match stripes with Some n -> n | None -> default_stripes ())
+    else 1
+  in
+  let part_capacity = if capacity <= 0 then 0 else max 1 (capacity / nstripes) in
   {
-    (* generation -1 never collides with a real context stamp (they
-       start at 0), so the first use always adopts the context's
-       generation without counting a spurious invalidation. *)
-    lru = Lru.create ~generation:(-1) ~capacity ();
-    interner = Fragment.Interner.create ();
-    lock = (if synchronized then Some (Mutex.create ()) else None);
+    stripes =
+      Array.init nstripes (fun _ ->
+          {
+            lock = (if synchronized then Some (Mutex.create ()) else None);
+            parts = [];
+            touched =
+              (match admission with
+              | Admission.Second_touch -> Array.make sketch_slots 0
+              | _ -> [||]);
+          });
+    capacity;
+    part_capacity;
+    max_docs = max 1 max_docs;
+    admission;
+    c_hits = Atomic.make 0;
+    c_misses = Atomic.make 0;
+    c_evictions = Atomic.make 0;
+    c_invalidations = Atomic.make 0;
+    c_rejected = Atomic.make 0;
+    (* -1 never collides with a real context stamp (they start at 0). *)
+    last_gen = Atomic.make (-1);
   }
 
-let synchronized t = t.lock <> None
+let synchronized t = t.stripes.(0).lock <> None
 
-let capacity t = Lru.capacity t.lru
+let capacity t = t.capacity
 
-let length t = Lru.length t.lru
+let stripes t = Array.length t.stripes
 
-let enabled t = Lru.capacity t.lru > 0
+let max_docs t = t.max_docs
 
-let hits t = Lru.hits t.lru
+let admission t = t.admission
 
-let misses t = Lru.misses t.lru
+let enabled t = t.capacity > 0 && t.admission <> Admission.Admit_none
 
-let evictions t = Lru.evictions t.lru
+let pays t ~pruned = enabled t && Admission.pays t.admission ~pruned
 
-let invalidations t = Lru.invalidations t.lru
+let hits t = Atomic.get t.c_hits
 
-let interned t = Fragment.Interner.size t.interner
+let misses t = Atomic.get t.c_misses
 
-let generation t = Lru.generation t.lru
+let evictions t = Atomic.get t.c_evictions
 
-let sync t (ctx : Context.t) =
-  if Lru.generation t.lru <> ctx.generation then begin
-    (* Interned ids embed the old document's node numbering; they must
-       die with the cached results. *)
-    Fragment.Interner.clear t.interner;
-    Lru.set_generation t.lru ctx.generation
-  end
+let invalidations t = Atomic.get t.c_invalidations
+
+let rejected t = Atomic.get t.c_rejected
+
+let generation t = Atomic.get t.last_gen
+
+let with_stripe stripe f =
+  match stripe.lock with
+  | None -> f ()
+  | Some m ->
+      Mutex.lock m;
+      Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let length t =
+  Array.fold_left
+    (fun acc stripe ->
+      acc
+      + with_stripe stripe (fun () ->
+            List.fold_left (fun a p -> a + Lru.length p.lru) 0 stripe.parts))
+    0 t.stripes
+
+let interned t =
+  Array.fold_left
+    (fun acc stripe ->
+      acc
+      + with_stripe stripe (fun () ->
+            List.fold_left
+              (fun a p -> a + Fragment.Interner.size p.interner)
+              0 stripe.parts))
+    0 t.stripes
+
+let partitions t =
+  Array.fold_left
+    (fun acc stripe ->
+      acc + with_stripe stripe (fun () -> List.length stripe.parts))
+    0 t.stripes
+
+let clear t =
+  Array.iter
+    (fun stripe -> with_stripe stripe (fun () -> stripe.parts <- []))
+    t.stripes
+
+(* Both orders of the same unordered pair must land on the same stripe,
+   and picking it must not hash the node arrays (that O(n) cost is
+   exactly what sinks the cache on large operands) — so mix each
+   operand's O(1) summary (root, size) and combine commutatively. *)
+let stripe_of t f1 f2 =
+  let n = Array.length t.stripes in
+  if n = 1 then t.stripes.(0)
+  else
+    let mix f =
+      (Fragment.root f * 0x9e3779b1) lxor (Fragment.size f * 0x85ebca77)
+    in
+    t.stripes.((mix f1 + mix f2) land max_int mod n)
+
+(* Dropping the over-[max_docs] tail: each dropped partition that still
+   held entries is one invalidation event (its document's memo state is
+   gone, exactly like the old generation flip — but scoped to the least
+   recently used document instead of the whole world). *)
+let rec trim t n parts =
+  match parts with
+  | [] -> []
+  | rest when n = 0 ->
+      List.iter
+        (fun p -> if Lru.length p.lru > 0 then Atomic.incr t.c_invalidations)
+        rest;
+      []
+  | p :: rest -> p :: trim t (n - 1) rest
+
+(* Call with the stripe lock held (or unsynchronized). *)
+let partition_of t stripe gen =
+  match stripe.parts with
+  | p :: _ when p.part_gen = gen -> p
+  | parts -> (
+      match List.find_opt (fun p -> p.part_gen = gen) parts with
+      | Some p ->
+          stripe.parts <- p :: List.filter (fun q -> q != p) parts;
+          p
+      | None ->
+          let p =
+            {
+              part_gen = gen;
+              lru = Lru.create ~generation:gen ~capacity:t.part_capacity ();
+              interner = Fragment.Interner.create ();
+            }
+          in
+          stripe.parts <- trim t t.max_docs (p :: parts);
+          p)
+
+(* Call with the stripe lock held (or unsynchronized). *)
+let probe t stripe gen f1 f2 =
+  let part = partition_of t stripe gen in
+  let i1 = Fragment.Interner.intern part.interner f1 in
+  let i2 = Fragment.Interner.intern part.interner f2 in
+  let key = if i1 <= i2 then (i1, i2) else (i2, i1) in
+  (part, key, Lru.find part.lru key)
 
 let bump stats f = match stats with None -> () | Some s -> f s
 
@@ -71,29 +275,67 @@ let admit () =
       Xfrag_fault.Fault.record "cache_admit_skipped";
       false
 
-let find_or_join_unlocked t ?stats ctx f1 f2 ~join =
-  sync t ctx;
-  let i1 = Fragment.Interner.intern t.interner f1 in
-  let i2 = Fragment.Interner.intern t.interner f2 in
-  let key = if i1 <= i2 then (i1, i2) else (i2, i1) in
-  match Lru.find t.lru key with
+(* Second-touch admission: a fixed-size per-stripe fingerprint sketch
+   remembers keys that missed once; a key is only stored the second time
+   it is requested, so one-shot joins never pay insert/evict churn.
+   Collisions merely admit early or forget a first touch — harmless
+   either way.  Mutates the sketch, so call under the stripe lock. *)
+let second_touch_ok t stripe part (i1, i2) =
+  match t.admission with
+  | Admission.Second_touch ->
+      let fp =
+        ((part.part_gen * 0x9e3779b1) lxor (i1 * 0x85ebca77)
+        lxor (i2 * 0xc2b2ae35))
+        land max_int
+      in
+      let fp = if fp = 0 then 1 else fp in
+      let slot = fp land (sketch_slots - 1) in
+      if stripe.touched.(slot) = fp then true
+      else begin
+        stripe.touched.(slot) <- fp;
+        false
+      end
+  | _ -> true
+
+(* Store under the stripe lock; returns [(stored, evicted)]. *)
+let store t stripe part key result =
+  if second_touch_ok t stripe part key then begin
+    let ev0 = Lru.evictions part.lru in
+    Lru.add part.lru key result;
+    (* Interning the result means a later join that uses it as an
+       operand (every fixed-point round does) gets its id for one
+       hashtable probe. *)
+    ignore (Fragment.Interner.intern part.interner result);
+    (true, Lru.evictions part.lru - ev0)
+  end
+  else (false, 0)
+
+let charge_miss t ?stats ~stored ~evicted () =
+  Atomic.incr t.c_misses;
+  if evicted > 0 then ignore (Atomic.fetch_and_add t.c_evictions evicted);
+  if not stored then Atomic.incr t.c_rejected;
+  bump stats (fun s ->
+      s.Op_stats.cache_misses <- s.Op_stats.cache_misses + 1;
+      s.Op_stats.cache_evictions <- s.Op_stats.cache_evictions + evicted;
+      if not stored then
+        s.Op_stats.cache_rejected <- s.Op_stats.cache_rejected + 1)
+
+let charge_hit t ?stats () =
+  Atomic.incr t.c_hits;
+  bump stats (fun s -> s.Op_stats.cache_hits <- s.Op_stats.cache_hits + 1)
+
+let find_or_join_unlocked t stripe ?stats gen f1 f2 ~join =
+  let part, key, cached = probe t stripe gen f1 f2 in
+  match cached with
   | Some result ->
-      bump stats (fun s -> s.Op_stats.cache_hits <- s.Op_stats.cache_hits + 1);
+      charge_hit t ?stats ();
       result
   | None ->
-      let evictions_before = Lru.evictions t.lru in
       let result = join () in
-      if admit () then begin
-        Lru.add t.lru key result;
-        (* Interning the result means a later join that uses it as an
-           operand (every fixed-point round does) gets its id for one
-           hashtable probe. *)
-        ignore (Fragment.Interner.intern t.interner result)
-      end;
-      bump stats (fun s ->
-          s.Op_stats.cache_misses <- s.Op_stats.cache_misses + 1;
-          s.Op_stats.cache_evictions <-
-            s.Op_stats.cache_evictions + (Lru.evictions t.lru - evictions_before));
+      let stored, evicted =
+        if admit () then store t stripe part key result else (false, 0)
+      in
+      charge_miss t ?stats ~stored ~evicted ();
       result
 
 (* Synchronized path: lookup and store are separate critical sections so
@@ -101,57 +343,62 @@ let find_or_join_unlocked t ?stats ctx f1 f2 ~join =
    raise (e.g. [Deadline.Expired]) — runs outside the lock.  Two workers
    missing on the same key may both compute the join; both results are
    identical ([Join.fragment] is pure), so the second [Lru.add] merely
-   refreshes the entry.  If another worker flipped the generation while
-   we were joining, the interned key ids are stale and the result is
-   dropped instead of stored under a wrong key. *)
-let find_or_join_locked t m ?stats ctx f1 f2 ~join =
+   refreshes the entry.  If the partition was evicted while we were
+   joining, the interned key ids belong to a dead interner — the result
+   is dropped instead of stored under a wrong key (physical membership
+   is the validity token). *)
+let find_or_join_locked t stripe m ?stats gen f1 f2 ~join =
   Mutex.lock m;
-  sync t ctx;
-  let i1 = Fragment.Interner.intern t.interner f1 in
-  let i2 = Fragment.Interner.intern t.interner f2 in
-  let key = if i1 <= i2 then (i1, i2) else (i2, i1) in
-  let cached = Lru.find t.lru key in
+  let part, key, cached = probe t stripe gen f1 f2 in
   Mutex.unlock m;
   match cached with
   | Some result ->
-      bump stats (fun s -> s.Op_stats.cache_hits <- s.Op_stats.cache_hits + 1);
+      charge_hit t ?stats ();
       result
   | None ->
       let result = join () in
       (* Admission decided before taking the lock: the failpoint action
-         (raise, delay) must never run while holding the cache mutex. *)
+         (raise, delay) must never run while holding a cache mutex. *)
       let admitted = admit () in
-      Mutex.lock m;
-      let evictions_before = Lru.evictions t.lru in
-      if admitted && Lru.generation t.lru = ctx.Context.generation then begin
-        Lru.add t.lru key result;
-        ignore (Fragment.Interner.intern t.interner result)
-      end;
-      let evicted = Lru.evictions t.lru - evictions_before in
-      Mutex.unlock m;
-      bump stats (fun s ->
-          s.Op_stats.cache_misses <- s.Op_stats.cache_misses + 1;
-          s.Op_stats.cache_evictions <- s.Op_stats.cache_evictions + evicted);
+      let stored, evicted =
+        if admitted then begin
+          Mutex.lock m;
+          let r =
+            if List.memq part stripe.parts then store t stripe part key result
+            else (false, 0)
+          in
+          Mutex.unlock m;
+          r
+        end
+        else (false, 0)
+      in
+      charge_miss t ?stats ~stored ~evicted ();
       result
+
+let size_admitted t f1 f2 =
+  match t.admission with
+  | Admission.Min_nodes n when n > 0 ->
+      Fragment.size f1 + Fragment.size f2 >= n
+  | _ -> true
 
 let find_or_join t ?stats ctx f1 f2 ~join =
   if not (enabled t) then join ()
-  else
-    match t.lock with
-    | None -> find_or_join_unlocked t ?stats ctx f1 f2 ~join
-    | Some m -> find_or_join_locked t m ?stats ctx f1 f2 ~join
-
-let with_lock t f =
-  match t.lock with
-  | None -> f ()
-  | Some m ->
-      Mutex.lock m;
-      Fun.protect ~finally:(fun () -> Mutex.unlock m) f
-
-let clear t =
-  with_lock t @@ fun () ->
-  Fragment.Interner.clear t.interner;
-  Lru.clear t.lru
+  else if not (size_admitted t f1 f2) then begin
+    (* Rejected before any interning or locking: the whole point of the
+       size gate is that declined joins cost two O(1) size reads. *)
+    Atomic.incr t.c_rejected;
+    bump stats (fun s ->
+        s.Op_stats.cache_rejected <- s.Op_stats.cache_rejected + 1);
+    join ()
+  end
+  else begin
+    let gen = ctx.Context.generation in
+    if Atomic.get t.last_gen <> gen then Atomic.set t.last_gen gen;
+    let stripe = stripe_of t f1 f2 in
+    match stripe.lock with
+    | None -> find_or_join_unlocked t stripe ?stats gen f1 f2 ~join
+    | Some m -> find_or_join_locked t stripe m ?stats gen f1 f2 ~join
+  end
 
 let metrics_assoc t =
   [
@@ -159,6 +406,9 @@ let metrics_assoc t =
     ("cache.misses", misses t);
     ("cache.evictions", evictions t);
     ("cache.invalidations", invalidations t);
+    ("cache.rejected", rejected t);
     ("cache.entries", length t);
     ("cache.interned", interned t);
+    ("cache.partitions", partitions t);
+    ("cache.stripes", stripes t);
   ]

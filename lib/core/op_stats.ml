@@ -9,6 +9,7 @@ type t = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable cache_evictions : int;
+  mutable cache_rejected : int;
 }
 
 let create () =
@@ -23,6 +24,7 @@ let create () =
     cache_hits = 0;
     cache_misses = 0;
     cache_evictions = 0;
+    cache_rejected = 0;
   }
 
 let reset t =
@@ -35,7 +37,8 @@ let reset t =
   t.reduce_subset_checks <- 0;
   t.cache_hits <- 0;
   t.cache_misses <- 0;
-  t.cache_evictions <- 0
+  t.cache_evictions <- 0;
+  t.cache_rejected <- 0
 
 let merge dst src =
   dst.fragment_joins <- dst.fragment_joins + src.fragment_joins;
@@ -47,7 +50,8 @@ let merge dst src =
   dst.reduce_subset_checks <- dst.reduce_subset_checks + src.reduce_subset_checks;
   dst.cache_hits <- dst.cache_hits + src.cache_hits;
   dst.cache_misses <- dst.cache_misses + src.cache_misses;
-  dst.cache_evictions <- dst.cache_evictions + src.cache_evictions
+  dst.cache_evictions <- dst.cache_evictions + src.cache_evictions;
+  dst.cache_rejected <- dst.cache_rejected + src.cache_rejected
 
 let to_assoc t =
   [
@@ -61,6 +65,7 @@ let to_assoc t =
     ("cache_hits", t.cache_hits);
     ("cache_misses", t.cache_misses);
     ("cache_evictions", t.cache_evictions);
+    ("cache_rejected", t.cache_rejected);
   ]
 
 let total_work t = t.fragment_joins + t.reduce_subset_checks
@@ -71,6 +76,9 @@ let pp ppf t =
      rounds=%d reduce-checks=%d@]"
     t.fragment_joins t.candidates t.duplicates t.pruned t.filtered
     t.fixpoint_rounds t.reduce_subset_checks;
-  if t.cache_hits + t.cache_misses + t.cache_evictions > 0 then
-    Format.fprintf ppf "@[<h> cache-hits=%d cache-misses=%d cache-evictions=%d@]"
-      t.cache_hits t.cache_misses t.cache_evictions
+  if t.cache_hits + t.cache_misses + t.cache_evictions + t.cache_rejected > 0
+  then
+    Format.fprintf ppf
+      "@[<h> cache-hits=%d cache-misses=%d cache-evictions=%d \
+       cache-rejected=%d@]"
+      t.cache_hits t.cache_misses t.cache_evictions t.cache_rejected

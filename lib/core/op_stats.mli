@@ -16,6 +16,7 @@ type t = {
   mutable cache_hits : int;  (** joins answered from the memo table *)
   mutable cache_misses : int;  (** memoized joins computed then stored *)
   mutable cache_evictions : int;  (** memo entries displaced by LRU *)
+  mutable cache_rejected : int;  (** joins the admission policy declined *)
 }
 
 val create : unit -> t

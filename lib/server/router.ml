@@ -121,6 +121,8 @@ let metrics_page t =
       (match t.cache with
       | None -> ()
       | Some c ->
+          (* Safe against concurrent workers: counters are [Atomic] and
+             the entry/interned gauges are summed under stripe locks. *)
           Metrics.sync_assoc ~prefix:"server." t.registry
             (Join_cache.metrics_assoc c));
       (* Fault counters (worker restarts, quarantined docs, injected
@@ -164,9 +166,10 @@ let new_pending () =
     p_site = "";
   }
 
-(* Join-cache hit/miss lifetime counters sampled around an evaluation.
-   Under concurrent workers the delta can blend in a neighbor's
-   traffic — it is attribution for debugging, not accounting. *)
+(* Join-cache hit/miss lifetime counters sampled around an evaluation
+   ([Atomic] reads — no lock needed).  Under concurrent workers the
+   delta can blend in a neighbor's traffic — it is attribution for
+   debugging, not accounting. *)
 let cache_snapshot = function
   | None -> (0, 0)
   | Some c -> (Join_cache.hits c, Join_cache.misses c)
@@ -366,17 +369,21 @@ let corpus_outcome_json corpus (o : Corpus.outcome) =
     ]
 
 let run_corpus_request t p corpus (r : Exec.Request.t) =
-  (* The per-document cache/trace stripping happens inside Corpus.run;
-     the shared server cache is deliberately not attached (see the
-     Corpus.run contract).  A mid-run deadline yields partial results
-     with [deadline_expired] set — a 200, not a 408: the contract of the
+  (* The shared server cache is attached: it is synchronized (striped)
+     and its per-document partitions give every corpus member a scoped
+     view, so shard workers warm it concurrently instead of thrashing a
+     global generation.  A mid-run deadline yields partial results with
+     [deadline_expired] set — a 200, not a 408: the contract of the
      corpus endpoint is "everything that finished". *)
+  let r = Exec.Request.with_cache t.cache r in
+  let snap = cache_snapshot t.cache in
   let keywords = (Exec.Request.to_query r).Xfrag_core.Query.keywords in
   let scorer ctx f = Ranking.score ctx ~keywords f in
   let outcome =
     try Corpus.run ?shards:t.shards ~scorer corpus r
     with Invalid_argument msg -> reject ~status:400 msg
   in
+  charge_cache p t.cache snap;
   record_corpus t outcome;
   p.p_strategy <- Exec.strategy_name r.Exec.Request.strategy;
   p.p_shards <- max p.p_shards (List.length outcome.Corpus.shard_reports);

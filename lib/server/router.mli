@@ -72,9 +72,10 @@ val create :
   Xfrag_core.Context.t ->
   t
 (** [cache] should be [~synchronized:true] when the server runs more
-    than one worker (see {!Xfrag_core.Join_cache}); it serves [/query]
-    and [/explain] — corpus runs deliberately evaluate cache-less (see
-    {!Xfrag_core.Corpus.run}).  [corpus] enables [POST /corpus/query]
+    than one worker (see {!Xfrag_core.Join_cache}); it serves [/query],
+    [/explain], and — now that the cache partitions per document —
+    [POST /corpus/query] as well (see {!Xfrag_core.Corpus.run} for the
+    sharding rule).  [corpus] enables [POST /corpus/query]
     (404 without it); [shards] pins its shard count (default: the
     {!Xfrag_core.Corpus.run} default — [XFRAG_SHARDS] or the pool's
     parallelism).  [queue_depth] feeds the [server_queue_depth] gauge at

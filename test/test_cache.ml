@@ -1,9 +1,10 @@
 (* Tests for the join memo cache stack: the generic bounded LRU
-   (lib/cache), fragment interning, generation-based invalidation, and
-   the headline guarantees — answers are bit-identical with the cache on
-   or off, cached/serial/parallel pairwise joins agree on both results
-   and Op_stats accounting, and the cache actually eliminates repeated
-   fragment joins.
+   (lib/cache), fragment interning, per-document partitioning, admission
+   policies, mutex striping, and the headline guarantees — answers are
+   bit-identical with the cache on or off (under any admission policy
+   and stripe count), cached/serial/parallel pairwise joins agree on
+   both results and Op_stats accounting, and the cache actually
+   eliminates repeated fragment joins.
 
    Capacity selection honours the XFRAG_JOIN_CACHE environment variable
    (used by CI to run the suite once with the cache disabled and once
@@ -114,9 +115,13 @@ let test_interner () =
 
 (* --- Join_cache behaviour --- *)
 
+(* Counter-asserting tests pin [Admit_all] so the XFRAG_CACHE_ADMIT CI
+   legs (admit-none, admit-all) cannot skew their exact expectations. *)
+let admit_all = Join_cache.Admission.Admit_all
+
 let test_join_cache_hits () =
   let ctx = Paper.figure3_context () in
-  let cache = Join_cache.create ~capacity:64 () in
+  let cache = Join_cache.create ~capacity:64 ~admission:admit_all () in
   let stats = Op_stats.create () in
   let f1 = Fragment.of_nodes ctx [ 4; 5 ] and f2 = Fragment.of_nodes ctx [ 7; 9 ] in
   let a = Join.fragment ~stats ~cache ctx f1 f2 in
@@ -128,23 +133,128 @@ let test_join_cache_hits () =
   Alcotest.(check int) "one miss" 1 stats.Op_stats.cache_misses;
   Alcotest.(check int) "cache agrees" 1 (Join_cache.hits cache)
 
-let test_join_cache_generation_invalidation () =
-  let cache = Join_cache.create ~capacity:64 () in
+let test_join_cache_per_document_partitions () =
+  let cache = Join_cache.create ~capacity:64 ~admission:admit_all () in
   let ctx1 = Paper.figure3_context () in
   let f1 = Fragment.of_nodes ctx1 [ 4; 5 ] and f2 = Fragment.of_nodes ctx1 [ 7; 9 ] in
   ignore (Join.fragment ~cache ctx1 f1 f2);
   Alcotest.(check int) "entry cached" 1 (Join_cache.length cache);
-  (* A rebuilt context gets a fresh generation; its first lookup must
-     drop everything the old world cached. *)
+  (* A rebuilt context gets a fresh generation; it must get its own
+     partition — never a stale hit — while the old document's entry
+     stays warm. *)
   let ctx2 = Paper.figure3_context () in
   Alcotest.(check bool) "generations differ" true
     (Context.generation ctx1 <> Context.generation ctx2);
   let stats = Op_stats.create () in
   ignore (Join.fragment ~stats ~cache ctx2 f1 f2);
   Alcotest.(check int) "stale entry not served" 1 stats.Op_stats.cache_misses;
-  Alcotest.(check int) "one invalidation" 1 (Join_cache.invalidations cache);
-  Alcotest.(check int) "generation adopted" (Context.generation ctx2)
+  Alcotest.(check int) "no invalidation" 0 (Join_cache.invalidations cache);
+  Alcotest.(check int) "both partitions live" 2 (Join_cache.partitions cache);
+  Alcotest.(check int) "both entries live" 2 (Join_cache.length cache);
+  (* Returning to the first document hits its still-warm partition —
+     the old single-generation design re-missed here. *)
+  let stats1 = Op_stats.create () in
+  ignore (Join.fragment ~stats:stats1 ~cache ctx1 f1 f2);
+  Alcotest.(check int) "first document still warm" 1 stats1.Op_stats.cache_hits;
+  Alcotest.(check int) "generation tracks last served" (Context.generation ctx1)
     (Join_cache.generation cache)
+
+let test_join_cache_partition_eviction () =
+  (* Only [max_docs] per-document partitions are retained per stripe;
+     the least recently used one is dropped (counted as an
+     invalidation), so re-serving that document misses. *)
+  let cache = Join_cache.create ~capacity:64 ~max_docs:2 ~admission:admit_all () in
+  let serve ctx =
+    let stats = Op_stats.create () in
+    let f1 = Fragment.of_nodes ctx [ 4; 5 ] and f2 = Fragment.of_nodes ctx [ 7; 9 ] in
+    ignore (Join.fragment ~stats ~cache ctx f1 f2);
+    stats
+  in
+  let ctx1 = Paper.figure3_context () in
+  let ctx2 = Paper.figure3_context () in
+  let ctx3 = Paper.figure3_context () in
+  ignore (serve ctx1);
+  ignore (serve ctx2);
+  ignore (serve ctx3);
+  Alcotest.(check int) "bounded partitions" 2 (Join_cache.partitions cache);
+  Alcotest.(check int) "oldest partition invalidated" 1
+    (Join_cache.invalidations cache);
+  let stats = serve ctx1 in
+  Alcotest.(check int) "evicted document re-misses" 1 stats.Op_stats.cache_misses
+
+let test_min_nodes_admission () =
+  (* Joins under the size threshold are declined in O(1): no probe, no
+     store, a [rejected] tick — repeated small joins never hit. *)
+  let ctx = Paper.figure3_context () in
+  let cache =
+    Join_cache.create ~capacity:64
+      ~admission:(Join_cache.Admission.Min_nodes 100) ()
+  in
+  let stats = Op_stats.create () in
+  let f1 = Fragment.of_nodes ctx [ 4; 5 ] and f2 = Fragment.of_nodes ctx [ 7; 9 ] in
+  ignore (Join.fragment ~stats ~cache ctx f1 f2);
+  ignore (Join.fragment ~stats ~cache ctx f1 f2);
+  Alcotest.(check int) "both joins computed" 2 stats.Op_stats.fragment_joins;
+  Alcotest.(check int) "both rejected" 2 stats.Op_stats.cache_rejected;
+  Alcotest.(check int) "cache agrees" 2 (Join_cache.rejected cache);
+  Alcotest.(check int) "no hits" 0 (Join_cache.hits cache);
+  Alcotest.(check int) "nothing stored" 0 (Join_cache.length cache)
+
+let test_second_touch_admission () =
+  (* First miss is not stored (one-shot joins never pay insert churn);
+     the second miss stores; the third request hits. *)
+  let ctx = Paper.figure3_context () in
+  let cache =
+    Join_cache.create ~capacity:64 ~admission:Join_cache.Admission.Second_touch
+      ()
+  in
+  let stats = Op_stats.create () in
+  let f1 = Fragment.of_nodes ctx [ 4; 5 ] and f2 = Fragment.of_nodes ctx [ 7; 9 ] in
+  ignore (Join.fragment ~stats ~cache ctx f1 f2);
+  Alcotest.(check int) "first touch rejected" 1 stats.Op_stats.cache_rejected;
+  Alcotest.(check int) "not stored yet" 0 (Join_cache.length cache);
+  ignore (Join.fragment ~stats ~cache ctx f1 f2);
+  Alcotest.(check int) "second touch stored" 1 (Join_cache.length cache);
+  ignore (Join.fragment ~stats ~cache ctx f1 f2);
+  Alcotest.(check int) "third touch hits" 1 stats.Op_stats.cache_hits;
+  Alcotest.(check int) "two misses total" 2 stats.Op_stats.cache_misses
+
+let test_admit_none_is_noop () =
+  let ctx = Paper.figure3_context () in
+  let cache =
+    Join_cache.create ~capacity:64 ~admission:Join_cache.Admission.Admit_none ()
+  in
+  Alcotest.(check bool) "disabled" false (Join_cache.enabled cache);
+  let stats = Op_stats.create () in
+  let f1 = Fragment.of_nodes ctx [ 4; 5 ] and f2 = Fragment.of_nodes ctx [ 7; 9 ] in
+  ignore (Join.fragment ~stats ~cache ctx f1 f2);
+  ignore (Join.fragment ~stats ~cache ctx f1 f2);
+  Alcotest.(check int) "all joins computed" 2 stats.Op_stats.fragment_joins;
+  Alcotest.(check int) "no cache traffic" 0
+    (Join_cache.hits cache + Join_cache.misses cache + Join_cache.length cache)
+
+let test_admission_pays () =
+  let open Join_cache.Admission in
+  let pays admission pruned =
+    Join_cache.pays (Join_cache.create ~capacity:8 ~admission ()) ~pruned
+  in
+  Alcotest.(check bool) "all/unpruned" true (pays Admit_all false);
+  Alcotest.(check bool) "none/pruned" false (pays Admit_none true);
+  Alcotest.(check bool) "default/pruned" true (pays (Min_nodes 0) true);
+  Alcotest.(check bool) "default/unpruned" false (pays (Min_nodes 0) false);
+  Alcotest.(check bool) "threshold/unpruned" true (pays (Min_nodes 8) false);
+  Alcotest.(check bool) "second-touch/pruned" true (pays Second_touch true);
+  Alcotest.(check bool) "second-touch/unpruned" false (pays Second_touch false);
+  (* Env-string round trips. *)
+  List.iter
+    (fun a ->
+      Alcotest.(check bool)
+        (to_string a ^ " round-trips")
+        true
+        (of_string (to_string a) = Ok a))
+    [ Admit_all; Admit_none; Min_nodes 0; Min_nodes 17; Second_touch ];
+  Alcotest.(check bool) "garbage rejected" true
+    (match of_string "bogus" with Error _ -> true | Ok _ -> false)
 
 let test_join_cache_eviction_correctness () =
   (* A 2-entry cache under a workload with many distinct pairs: lots of
@@ -153,7 +263,7 @@ let test_join_cache_eviction_correctness () =
   let prng = Prng.create 99 in
   let s1 = Frag_set.of_list (List.init 8 (fun _ -> Random_tree.fragment ctx prng)) in
   let s2 = Frag_set.of_list (List.init 8 (fun _ -> Random_tree.fragment ctx prng)) in
-  let cache = Join_cache.create ~capacity:2 () in
+  let cache = Join_cache.create ~capacity:2 ~admission:admit_all () in
   let cached = Join.pairwise ~cache ctx s1 s2 in
   Alcotest.check set_testable "tiny cache, same answers"
     (Join.pairwise ctx s1 s2) cached;
@@ -167,7 +277,8 @@ let test_join_cache_metrics_assoc () =
     (fun k -> Alcotest.(check bool) k true (List.mem k keys))
     [
       "cache.hits"; "cache.misses"; "cache.evictions"; "cache.invalidations";
-      "cache.entries"; "cache.interned";
+      "cache.rejected"; "cache.entries"; "cache.interned"; "cache.partitions";
+      "cache.stripes";
     ]
 
 (* --- fewer joins with the cache on --- *)
@@ -182,7 +293,7 @@ let test_cache_reduces_fragment_joins () =
   let plain = Op_stats.create () in
   let baseline = Fixed_point.naive ~stats:plain ctx seed in
   let cached_stats = Op_stats.create () in
-  let cache = Join_cache.create ~capacity:(1 lsl 12) () in
+  let cache = Join_cache.create ~capacity:(1 lsl 12) ~admission:admit_all () in
   let cached = Fixed_point.naive ~stats:cached_stats ~cache ctx seed in
   Alcotest.check set_testable "fixed point unchanged" baseline cached;
   Alcotest.(check bool) "cache hits occurred" true
@@ -245,6 +356,23 @@ let prop_pairwise_variants_agree =
 
 (* --- cache on/off equality across every strategy, Table 1 document --- *)
 
+(* The cache configurations the transparency tests sweep: the default,
+   every admission policy, and striped synchronized variants — answers
+   must be bit-identical under all of them. *)
+let cache_variants () =
+  [
+    ("default", make_cache ());
+    ("admit-all", Join_cache.create ~admission:admit_all ());
+    ("admit-none", Join_cache.create ~admission:Join_cache.Admission.Admit_none ());
+    ("min-nodes-3", Join_cache.create ~admission:(Join_cache.Admission.Min_nodes 3) ());
+    ("second-touch", Join_cache.create ~admission:Join_cache.Admission.Second_touch ());
+    ( "striped-2",
+      Join_cache.create ~synchronized:true ~stripes:2 ~admission:admit_all () );
+    ( "striped-7",
+      Join_cache.create ~synchronized:true ~stripes:7
+        ~admission:(Join_cache.Admission.Min_nodes 2) () );
+  ]
+
 let test_strategies_cache_transparent () =
   let ctx = Paper.figure1_context () in
   let queries =
@@ -259,25 +387,98 @@ let test_strategies_cache_transparent () =
       List.iter
         (fun (q, strict) ->
           let baseline = Eval.answers ~strategy ~strict_leaf_semantics:strict ctx q in
-          let cache = make_cache () in
-          let cached =
-            Eval.answers ~strategy ~strict_leaf_semantics:strict ~cache ctx q
-          in
-          Alcotest.check set_testable
-            (Printf.sprintf "%s%s cache-transparent"
-               (Eval.strategy_name strategy)
-               (if strict then " (strict)" else ""))
-            baseline cached;
-          (* One shared cache across repeated evaluations must also be
-             transparent (this is the service configuration). *)
-          let again =
-            Eval.answers ~strategy ~strict_leaf_semantics:strict ~cache ctx q
-          in
-          Alcotest.check set_testable
-            (Printf.sprintf "%s warm re-run" (Eval.strategy_name strategy))
-            baseline again)
+          List.iter
+            (fun (variant, cache) ->
+              let cached =
+                Eval.answers ~strategy ~strict_leaf_semantics:strict ~cache ctx q
+              in
+              Alcotest.check set_testable
+                (Printf.sprintf "%s%s/%s cache-transparent"
+                   (Eval.strategy_name strategy)
+                   (if strict then " (strict)" else "")
+                   variant)
+                baseline cached;
+              (* One shared cache across repeated evaluations must also
+                 be transparent (this is the service configuration). *)
+              let again =
+                Eval.answers ~strategy ~strict_leaf_semantics:strict ~cache ctx q
+              in
+              Alcotest.check set_testable
+                (Printf.sprintf "%s/%s warm re-run"
+                   (Eval.strategy_name strategy)
+                   variant)
+                baseline again)
+            (cache_variants ()))
         queries)
     (Eval.Auto :: Eval.all_strategies)
+
+(* --- cross-document sharing: the regression this PR exists for --- *)
+
+let test_cross_document_sharing_stays_warm () =
+  (* One shared (synchronized, striped) cache, two documents, requests
+     alternating between them — the old single-generation design
+     invalidated the whole table on every switch (zero hits forever);
+     per-document partitions must keep both documents warm: hit count
+     grows every round after the first and no invalidation ever fires. *)
+  let cache =
+    Join_cache.create ~synchronized:true ~stripes:4 ~admission:admit_all ()
+  in
+  let ctx_a = Paper.figure1_context () in
+  let ctx_b = Random_tree.context ~seed:11 ~size:30 in
+  let q = Query.make ~filter:(Filter.Size_at_most 4) Paper.query_keywords in
+  let qb = Query.make ~filter:(Filter.Size_at_most 4) [ "n1"; "n2" ] in
+  let baseline_a = Eval.answers ~strategy:Eval.Semi_naive ctx_a q in
+  let baseline_b = Eval.answers ~strategy:Eval.Semi_naive ctx_b qb in
+  let round () =
+    Alcotest.check set_testable "doc A answers stable" baseline_a
+      (Eval.answers ~strategy:Eval.Semi_naive ~cache ctx_a q);
+    Alcotest.check set_testable "doc B answers stable" baseline_b
+      (Eval.answers ~strategy:Eval.Semi_naive ~cache ctx_b qb)
+  in
+  round ();
+  let warm = Join_cache.hits cache in
+  let prev = ref warm in
+  for _ = 1 to 3 do
+    round ();
+    let now = Join_cache.hits cache in
+    Alcotest.(check bool) "hits grow every alternating round" true (now > !prev);
+    prev := now
+  done;
+  Alcotest.(check int) "no invalidation storm" 0 (Join_cache.invalidations cache);
+  (* Partitions are per (stripe, document): both documents hold at
+     least one, and nothing beyond what 2 documents over 4 stripes can
+     occupy. *)
+  let parts = Join_cache.partitions cache in
+  Alcotest.(check bool) "both documents partitioned" true
+    (parts >= 2 && parts <= 8)
+
+let test_striped_cache_concurrent_domains () =
+  (* Four domains hammer one striped cache across two documents; every
+     evaluation must keep returning the baseline answer set. *)
+  let cache =
+    Join_cache.create ~synchronized:true ~stripes:4 ~admission:admit_all ()
+  in
+  let ctx_a = Paper.figure1_context () in
+  let ctx_b = Random_tree.context ~seed:23 ~size:40 in
+  let q_a = Query.make ~filter:(Filter.Size_at_most 4) Paper.query_keywords in
+  let q_b = Query.make ~filter:(Filter.Size_at_most 4) [ "n1"; "n3" ] in
+  let baseline_a = Eval.answers ~strategy:Eval.Semi_naive ctx_a q_a in
+  let baseline_b = Eval.answers ~strategy:Eval.Semi_naive ctx_b q_b in
+  let errors = Atomic.make 0 in
+  let worker i () =
+    let ctx, q, baseline =
+      if i mod 2 = 0 then (ctx_a, q_a, baseline_a) else (ctx_b, q_b, baseline_b)
+    in
+    for _ = 1 to 8 do
+      let got = Eval.answers ~strategy:Eval.Semi_naive ~cache ctx q in
+      if not (Frag_set.equal got baseline) then Atomic.incr errors
+    done
+  in
+  let domains = List.init 4 (fun i -> Domain.spawn (worker i)) in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "all concurrent answers exact" 0 (Atomic.get errors);
+  Alcotest.(check bool) "shared cache saw traffic" true
+    (Join_cache.hits cache + Join_cache.misses cache > 0)
 
 let test_auto_probe_charged_once () =
   (* The Auto probe reduces each keyword set; when Set_reduction wins the
@@ -309,13 +510,29 @@ let () =
       ( "join-cache",
         [
           Alcotest.test_case "commutative hits" `Quick test_join_cache_hits;
-          Alcotest.test_case "context generation invalidates" `Quick
-            test_join_cache_generation_invalidation;
+          Alcotest.test_case "per-document partitions" `Quick
+            test_join_cache_per_document_partitions;
+          Alcotest.test_case "partition eviction bound" `Quick
+            test_join_cache_partition_eviction;
           Alcotest.test_case "eviction keeps answers exact" `Quick
             test_join_cache_eviction_correctness;
           Alcotest.test_case "metrics assoc keys" `Quick test_join_cache_metrics_assoc;
           Alcotest.test_case "cache reduces fragment joins" `Quick
             test_cache_reduces_fragment_joins;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "min-nodes threshold" `Quick test_min_nodes_admission;
+          Alcotest.test_case "second touch" `Quick test_second_touch_admission;
+          Alcotest.test_case "admit-none is a no-op" `Quick test_admit_none_is_noop;
+          Alcotest.test_case "pays model" `Quick test_admission_pays;
+        ] );
+      ( "sharing",
+        [
+          Alcotest.test_case "alternating documents stay warm" `Quick
+            test_cross_document_sharing_stays_warm;
+          Alcotest.test_case "striped cache under concurrent domains" `Quick
+            test_striped_cache_concurrent_domains;
         ] );
       ( "properties",
         [

@@ -192,6 +192,79 @@ let test_sharded_identical_to_sequential () =
       Eval.Pushdown_reduction; Eval.Semi_naive;
     ]
 
+(* --- shared cache across shards: bit-identical, warm, never stale --- *)
+
+module JC = Xfrag_core.Join_cache
+
+let test_sharded_cache_identical () =
+  (* One synchronized striped cache shared by every shard worker:
+     answers bit-identical to the uncached sequential baseline across
+     strategies x strict-leaf x shards {1,2,7} x admission policies. *)
+  let c = make_wide_corpus () in
+  let keywords = [ "mangrove"; "estuary" ] in
+  let scorer = tfidf_scorer keywords in
+  List.iter
+    (fun strategy ->
+      List.iter
+        (fun strict ->
+          let r =
+            request ~filter:(Filter.Size_at_most 6) ~strategy ~strict
+              ~limit:10 keywords
+          in
+          let baseline = (Corpus.run ~shards:1 ~scorer c r).Corpus.hits in
+          List.iter
+            (fun (variant, admission) ->
+              let cache =
+                JC.create ~synchronized:true ~stripes:3 ~admission ()
+              in
+              let rc = Exec.Request.with_cache (Some cache) r in
+              List.iter
+                (fun shards ->
+                  let sharded = (Corpus.run ~shards ~scorer c rc).Corpus.hits in
+                  Alcotest.(check bool)
+                    (Printf.sprintf
+                       "%s strict=%b shards=%d %s == uncached sequential"
+                       (Eval.strategy_name strategy) strict shards variant)
+                    true
+                    (hits_equal baseline sharded))
+                [ 1; 2; 7 ])
+            [
+              ("admit-all", JC.Admission.Admit_all);
+              ("min-nodes-4", JC.Admission.Min_nodes 4);
+              ("second-touch", JC.Admission.Second_touch);
+            ])
+        [ false; true ])
+    [ Eval.Auto; Eval.Naive_fixpoint; Eval.Semi_naive ]
+
+let test_sharded_cache_serves_hits () =
+  (* The corpus path must actually use the shared cache now (it was
+     silently stripped before): repeated sharded runs against the same
+     corpus serve hits from warm per-document partitions, with no
+     invalidation churn. *)
+  let c = make_wide_corpus () in
+  let cache =
+    JC.create ~synchronized:true ~max_docs:16
+      ~admission:JC.Admission.Admit_all ()
+  in
+  let r =
+    request ~filter:(Filter.Size_at_most 6) [ "mangrove" ]
+    |> Exec.Request.with_cache (Some cache)
+  in
+  let baseline = (Corpus.run ~shards:4 c (request ~filter:(Filter.Size_at_most 6) [ "mangrove" ])).Corpus.hits in
+  let o1 = Corpus.run ~shards:4 c r in
+  let h1 = JC.hits cache in
+  let o2 = Corpus.run ~shards:4 c r in
+  Alcotest.(check bool) "first sharded cached run exact" true
+    (hits_equal baseline o1.Corpus.hits);
+  Alcotest.(check bool) "second sharded cached run exact" true
+    (hits_equal baseline o2.Corpus.hits);
+  Alcotest.(check bool) "nonzero hits in sharded execution" true
+    (o2.Corpus.stats.Xfrag_core.Op_stats.cache_hits > 0);
+  Alcotest.(check bool) "warm partitions serve the re-run" true
+    (JC.hits cache > h1);
+  Alcotest.(check int) "no cross-document invalidation" 0
+    (JC.invalidations cache)
+
 let test_sharded_identical_unlimited_constant_score () =
   (* With the constant scorer and no limit the merged order is document
      name then fragment order — exactly the legacy Corpus.search
@@ -356,11 +429,12 @@ let test_deadline_mid_run_yields_partial_outcome () =
     o.Corpus.hits
 
 let test_deadline_does_not_poison_cache () =
-  (* The request's cache handle is deliberately not used by per-document
-     corpus evaluations; an expiring corpus run must leave it fully
-     usable. *)
+  (* Per-document corpus evaluations now share the request's cache (when
+     synchronized); an expiring corpus run must leave it fully usable —
+     the deadline only ever raises outside the cache's critical
+     sections, so no partition is left mid-update. *)
   let c = make_wide_corpus () in
-  let cache = Xfrag_core.Join_cache.create ~capacity:64 () in
+  let cache = Xfrag_core.Join_cache.create ~synchronized:true ~capacity:64 () in
   let expired = Deadline.at ~clock:(fun () -> 10) 5 in
   let r =
     request [ "mangrove" ]
@@ -522,6 +596,11 @@ let () =
             test_shard_reports_partition_the_corpus;
           Alcotest.test_case "explicit zero-domain pool" `Quick
             test_explicit_pool_and_zero_domains;
+          Alcotest.test_case
+            "shared cache bit-identical across admissions and shards" `Quick
+            test_sharded_cache_identical;
+          Alcotest.test_case "shared cache serves hits in sharded runs" `Quick
+            test_sharded_cache_serves_hits;
         ] );
       ( "deadline",
         [

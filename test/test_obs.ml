@@ -404,6 +404,7 @@ let test_op_stats_to_assoc () =
       ("cache_hits", 4);
       ("cache_misses", 0);
       ("cache_evictions", 0);
+      ("cache_rejected", 0);
     ]
     (Op_stats.to_assoc s)
 
@@ -418,6 +419,8 @@ let test_op_stats_merge () =
   b.Op_stats.cache_hits <- 2;
   b.Op_stats.cache_misses <- 5;
   b.Op_stats.cache_evictions <- 1;
+  a.Op_stats.cache_rejected <- 2;
+  b.Op_stats.cache_rejected <- 1;
   Op_stats.merge a b;
   Alcotest.(check (list (pair string int)))
     "merged counters"
@@ -432,6 +435,7 @@ let test_op_stats_merge () =
       ("cache_hits", 3);
       ("cache_misses", 5);
       ("cache_evictions", 1);
+      ("cache_rejected", 3);
     ]
     (Op_stats.to_assoc a);
   (* src is unchanged *)
