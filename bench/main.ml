@@ -16,6 +16,7 @@
      C1  — join memoization cache: cached vs uncached per strategy
      S1  — HTTP server load test: qps + tail latency vs concurrency (serve)
      P1  — sharded corpus execution: shard count vs corpus size (§7)
+     R1  — corpus index: routed vs full scan, bound-based early termination
      O1  — flight-recorder overhead: /query ns/op, recorder off vs on
 
    Run everything:   dune exec bench/main.exe
@@ -87,6 +88,10 @@ let record ~experiment ~scenario ~strategy ~ns fields =
          ("scenario", Json.String scenario);
          ("strategy", Json.String strategy);
          ("ns_per_op", Json.Float ns);
+         (* The host's parallelism budget: numbers measured on a 2-domain
+            container and a 32-domain workstation are not comparable, and
+            nothing else in the row says which one produced it. *)
+         ("domains", Json.Int (Domain.recommended_domain_count ()));
        ]
       @ fields)
     :: !bench_rows
@@ -1099,6 +1104,93 @@ let p1 () =
         [ 1; 2; 4; 8 ])
     [ 8; 32 ]
 
+(* --- R1: index routing and early termination ------------------------------ *)
+
+(* Routed vs full-scan corpus search over a selective query.  One in four
+   documents contains the query keyword at all (the rest are routed out by
+   the posting-list intersection before any shard is dispatched), and the
+   occurrence counts are tiered so most candidates carry a score bound
+   strictly below the top-k threshold once the heap fills — those are
+   skipped without evaluation.  Answers are asserted identical. *)
+let r1 () =
+  header
+    "R1: corpus index routing + top-k early termination - routed vs full\n\
+     scan (selective keyword in 1/4 of documents, tiered occurrence\n\
+     counts, top-10; answers asserted bit-identical)";
+  let keywords = [ "rarepearl" ] in
+  let corpus_of n =
+    Corpus.of_documents
+      (List.init n (fun i ->
+           let cfg = { Docgen.default with seed = 4000 + i; sections = 4 } in
+           (* Every 4th doc carries the keyword; every 16th carries it
+              three times in a single paragraph, so its one-node answer
+              scores 3x idf and owns the top-10 while staying as cheap
+              to evaluate as everything else — the sweep then measures
+              visit cost, which is what routing and the bound eliminate,
+              not the price of the winners (paid by both sides). *)
+           let plant =
+             if i mod 16 = 0 then [ ("rarepearl rarepearl rarepearl", 1) ]
+             else if i mod 4 = 0 then [ ("rarepearl", 1) ]
+             else []
+           in
+           (Printf.sprintf "doc%03d.xml" i, Docgen.with_planted_keywords cfg ~plant)))
+  in
+  let request =
+    Exec.Request.(with_limit (Some 10) (with_keywords keywords default))
+  in
+  let scorer ctx f = Ranking.score ctx ~keywords f in
+  Printf.printf "%-24s %-12s %-12s %12s %12s %12s\n" "scenario" "full scan"
+    "routed" "candidates" "routed out" "bound skips";
+  List.iter
+    (fun docs ->
+      let corpus = corpus_of docs in
+      let bound = Corpus.score_bound corpus ~keywords in
+      assert (bound <> None);
+      let full = Corpus.run ~routing:false ~shards:1 ~scorer corpus request in
+      let routed =
+        Corpus.run ~routing:true ?bound ~shards:1 ~scorer corpus request
+      in
+      assert (
+        List.for_all2
+          (fun (h1, s1) (h2, s2) ->
+            h1.Corpus.doc = h2.Corpus.doc
+            && Fragment.compare h1.Corpus.fragment h2.Corpus.fragment = 0
+            && (s1 : float) = s2)
+          full.Corpus.hits routed.Corpus.hits);
+      let candidates, routed_out, bound_skips =
+        match routed.Corpus.routing with
+        | Some ri -> (ri.Corpus.candidates, ri.Corpus.routed_out, ri.Corpus.bound_skips)
+        | None -> (0, 0, 0)
+      in
+      let ns_full =
+        time_ns
+          (Printf.sprintf "full-%d" docs)
+          (fun () ->
+            ignore (Corpus.run ~routing:false ~shards:1 ~scorer corpus request))
+      in
+      let ns_routed =
+        time_ns
+          (Printf.sprintf "routed-%d" docs)
+          (fun () ->
+            ignore
+              (Corpus.run ~routing:true ?bound ~shards:1 ~scorer corpus request))
+      in
+      let scenario = Printf.sprintf "docs=%d top-10" docs in
+      Printf.printf "%-24s %-12s %-12s %12d %12d %12d\n" scenario
+        (pp_ns ns_full) (pp_ns ns_routed) candidates routed_out bound_skips;
+      record ~experiment:"r1" ~scenario ~strategy:"full-scan" ~ns:ns_full
+        [ ("docs", Json.Int docs); ("routing", Json.String "off") ];
+      record ~experiment:"r1" ~scenario ~strategy:"routed" ~ns:ns_routed
+        [
+          ("docs", Json.Int docs);
+          ("routing", Json.String "on");
+          ("candidates", Json.Int candidates);
+          ("routed_out", Json.Int routed_out);
+          ("bound_skips", Json.Int bound_skips);
+          ("speedup_vs_full", Json.Float (ns_full /. ns_routed));
+        ])
+    [ 8; 64; 256 ]
+
 (* --- O1: flight recorder overhead ----------------------------------------- *)
 
 (* The always-on claim, measured: the full /query handling path on the
@@ -1159,7 +1251,7 @@ let experiments =
     ("t1", t1); ("f3", f3); ("f4", f4); ("e1", e1); ("e2", e2); ("e3", e3);
     ("e4", e4); ("e5", e5); ("e6", e6); ("f1", f1); ("c1", c1); ("a1", a1);
     ("obs", obs);
-    ("s1", s1); ("p1", p1); ("o1", o1);
+    ("s1", s1); ("p1", p1); ("r1", r1); ("o1", o1);
   ]
 
 let () =

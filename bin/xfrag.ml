@@ -453,7 +453,7 @@ let load_corpus files =
     (load_documents files)
 
 let run_corpus files keywords filter_str strategy_str strict deadline_ms top
-    shards slow_ms verbose =
+    shards no_routing slow_ms verbose =
   setup_logs verbose;
   let ( let* ) = Result.bind in
   let result =
@@ -470,11 +470,13 @@ let run_corpus files keywords filter_str strategy_str strict deadline_ms top
     Format.printf "corpus: %d documents, %d nodes@." (Corpus.size corpus)
       (Corpus.total_nodes corpus);
     let scorer ctx f = Ranking.score ctx ~keywords:query.Query.keywords f in
+    let bound = Corpus.score_bound corpus ~keywords:query.Query.keywords in
     let* outcome =
       match
         Corpus.run
           ?shards:(if shards > 0 then Some shards else None)
-          ~scorer corpus request
+          ?routing:(if no_routing then Some false else None)
+          ?bound ~scorer corpus request
       with
       | o -> Ok o
       | exception Invalid_argument msg -> Error msg
@@ -484,6 +486,12 @@ let run_corpus files keywords filter_str strategy_str strict deadline_ms top
       (List.length outcome.Corpus.hits)
       (List.length outcome.Corpus.shard_reports)
       Clock.pp_ns outcome.Corpus.merge_ns;
+    (match outcome.Corpus.routing with
+    | None -> ()
+    | Some ri ->
+        Format.printf
+          "routing: %d candidate(s), %d routed out, %d bound skip(s)@."
+          ri.Corpus.candidates ri.Corpus.routed_out ri.Corpus.bound_skips);
     List.iteri
       (fun i (hit, score) ->
         let ctx = Corpus.context corpus hit.Corpus.doc in
@@ -517,6 +525,10 @@ let run_corpus files keywords filter_str strategy_str strict deadline_ms top
       ~total_ns:outcome.Corpus.elapsed_ns
       ~hits:(List.length outcome.Corpus.hits)
       ~doc_errors:(List.length outcome.Corpus.errors)
+      ?routed_out:
+        (Option.map (fun r -> r.Corpus.routed_out) outcome.Corpus.routing)
+      ?bound_skips:
+        (Option.map (fun r -> r.Corpus.bound_skips) outcome.Corpus.routing)
       ~id:request.Exec.Request.id
       ~outcome:(if outcome.Corpus.deadline_expired then "deadline" else "ok")
       ();
@@ -549,6 +561,16 @@ let run_corpus files keywords filter_str strategy_str strict deadline_ms top
       Format.eprintf "xfrag: %s@." msg;
       1
 
+let no_routing_arg =
+  Arg.(
+    value & flag
+    & info [ "no-routing" ]
+        ~doc:
+          "Disable index routing and top-k early termination: evaluate \
+           the query against every document (the answers are identical \
+           either way — this is the escape hatch, like \
+           $(b,XFRAG_ROUTING=0)).")
+
 let slow_ms_arg =
   Arg.(
     value & opt int (-1)
@@ -566,8 +588,8 @@ let corpus_cmd =
     (Cmd.info "corpus" ~doc)
     Term.(
       const run_corpus $ files_arg $ keywords_arg $ filter_arg $ strategy_arg
-      $ strict_arg $ deadline_ms_arg $ top_arg $ shards_arg $ slow_ms_arg
-      $ verbose_arg)
+      $ strict_arg $ deadline_ms_arg $ top_arg $ shards_arg $ no_routing_arg
+      $ slow_ms_arg $ verbose_arg)
 
 (* --- sql command --- *)
 

@@ -1,8 +1,15 @@
 module String_map = Map.Make (String)
 module Clock = Xfrag_obs.Clock
 module Min_heap = Xfrag_util.Min_heap
+module Corpus_index = Xfrag_index.Corpus_index
 
-type t = Context.t String_map.t
+type t = {
+  docs : Context.t String_map.t;
+  cindex : Corpus_index.t option;
+      (* [None] after an index-maintenance failure: the corpus degrades
+         to full-scan execution rather than serving a half-built index
+         (a missing posting would silently drop answers). *)
+}
 
 type hit = { doc : string; fragment : Fragment.t }
 
@@ -27,7 +34,10 @@ type shard_report = {
   shard_nodes : int;
   shard_elapsed_ns : int;
   shard_deadline_expired : bool;
+  shard_bound_skips : int;
 }
+
+type routing = { candidates : int; routed_out : int; bound_skips : int }
 
 type outcome = {
   hits : (hit * float) list;
@@ -38,35 +48,67 @@ type outcome = {
   elapsed_ns : int;
   total_answers : int;
   deadline_expired : bool;
+  routing : routing option;
 }
 
-let empty = String_map.empty
+let empty = { docs = String_map.empty; cindex = Some Corpus_index.empty }
 
 let add t ~name tree =
-  if String_map.mem name t then
+  if String_map.mem name t.docs then
     invalid_arg (Printf.sprintf "Corpus.add: duplicate document name %S" name);
-  String_map.add name (Context.create tree) t
+  let ctx = Context.create tree in
+  let cindex =
+    match t.cindex with
+    | None -> None
+    | Some idx -> (
+        (* Index maintenance is an optimization, never a correctness
+           dependency: if folding this document in fails (the armed
+           [index.build] failpoint, or any real defect), drop the whole
+           index and let every later run full-scan.  The document itself
+           is still added — queries lose speed, not answers. *)
+        match Corpus_index.add_document idx ~name ctx.Context.index with
+        | idx -> Some idx
+        | exception e ->
+            Xfrag_fault.Fault.record "index_build_errors";
+            ignore e;
+            None)
+  in
+  { docs = String_map.add name ctx t.docs; cindex }
 
 let of_documents docs =
   List.fold_left (fun t (name, tree) -> add t ~name tree) empty docs
 
-let size = String_map.cardinal
+let size t = String_map.cardinal t.docs
 
-let names t = List.map fst (String_map.bindings t)
+let names t = List.map fst (String_map.bindings t.docs)
 
 let context t name =
-  match String_map.find_opt name t with Some c -> c | None -> raise Not_found
+  match String_map.find_opt name t.docs with
+  | Some c -> c
+  | None -> raise Not_found
 
 let total_nodes t =
-  String_map.fold (fun _ ctx acc -> acc + Context.size ctx) t 0
+  String_map.fold (fun _ ctx acc -> acc + Context.size ctx) t.docs 0
+
+let index t = t.cindex
 
 let document_frequency t keyword =
-  String_map.fold
-    (fun _ ctx acc ->
-      if Xfrag_doctree.Inverted_index.node_count ctx.Context.index keyword > 0 then
-        acc + 1
-      else acc)
-    t 0
+  match t.cindex with
+  | Some idx -> Corpus_index.document_frequency idx keyword
+  | None ->
+      String_map.fold
+        (fun _ ctx acc ->
+          if
+            Xfrag_doctree.Inverted_index.node_count ctx.Context.index keyword
+            > 0
+          then acc + 1
+          else acc)
+        t.docs 0
+
+let score_bound t ~keywords =
+  match t.cindex with
+  | None -> None
+  | Some idx -> Some (fun doc -> Corpus_index.score_bound idx ~doc ~keywords)
 
 (* Ranking order shared by the per-shard top-k heaps, the k-way merge,
    and the legacy full sort: score descending, then document name, then
@@ -87,8 +129,8 @@ let cmp_scored (h1, s1) (h2, s2) =
    the gap — node count is the work proxy.  Each move reduces the
    sum of squared shard weights, so the loop terminates; the cap is
    belt and braces. *)
-let plan_shards t n =
-  let bindings = String_map.bindings t in
+let plan_shards docs n =
+  let bindings = String_map.bindings docs in
   if n <= 1 then [| bindings |]
   else begin
     let buckets = Array.make n [] in
@@ -149,14 +191,27 @@ type shard_eval = {
   s_answers : int;
 }
 
-let eval_shard ~scorer ~clock (request : Exec.Request.t) idx docs =
+let eval_shard ~scorer ~bound ~clock (request : Exec.Request.t) idx docs =
   let t0 = clock () in
   let stats = Op_stats.create () in
   let expired = ref false in
   let doc_reports = ref [] in
   let doc_errors = ref [] in
   let total_answers = ref 0 in
+  let bound_skips = ref 0 in
   let limit = request.Exec.Request.limit in
+  (* Early-termination order: visit high-bound documents first so the
+     heap threshold rises as fast as possible and low-bound documents
+     become skippable.  Ties keep name order (the input is name-sorted
+     and the sort is stable), so the visit order is deterministic. *)
+  let docs =
+    match bound with
+    | None -> docs
+    | Some b ->
+        List.stable_sort
+          (fun (d1, _) (d2, _) -> Float.compare (b d2) (b d1))
+          docs
+  in
   (* Per-document request: the join cache is kept — its per-generation
      partitions give each document a scoped view, so shard workers warm
      one shared cache instead of thrashing it (the domain-safety gate
@@ -177,6 +232,20 @@ let eval_shard ~scorer ~clock (request : Exec.Request.t) idx docs =
               Min_heap.replace_min heap scored
           | _ -> ())
   in
+  (* A document is skippable only when the heap already holds a full
+     top-k AND its score bound is *strictly* below the current worst
+     kept score: ties break by document name after score, so a document
+     whose bound equals the threshold could still displace the worst
+     hit.  Strictness is what keeps early termination bit-identical to
+     the full scan (property-tested). *)
+  let can_skip doc =
+    match (bound, limit) with
+    | Some b, Some k when k > 0 && Min_heap.length heap >= k -> (
+        match Min_heap.peek heap with
+        | Some (_, worst_score) -> b doc < worst_score
+        | None -> false)
+    | _ -> false
+  in
   (try
      List.iter
        (fun (doc, ctx) ->
@@ -184,6 +253,8 @@ let eval_shard ~scorer ~clock (request : Exec.Request.t) idx docs =
            expired := true;
            raise_notrace Stdlib.Exit
          end;
+         if can_skip doc then incr bound_skips
+         else
          (* Evaluate and score into a local buffer, then commit: a
             document that fails anywhere — evaluation, scoring, an armed
             [eval.document] failpoint — contributes nothing, so the
@@ -241,15 +312,19 @@ let eval_shard ~scorer ~clock (request : Exec.Request.t) idx docs =
     | Some _ -> List.sort cmp_scored (Min_heap.to_list heap)
   in
   let nodes = List.fold_left (fun a (_, c) -> a + Context.size c) 0 docs in
+  (* Bound ordering visits documents out of name order; the report
+     contract is name order regardless. *)
+  let by_name field = List.sort (fun a b -> String.compare (field a) (field b)) in
   {
     s_report =
       {
         shard_index = idx;
-        shard_docs = List.rev !doc_reports;
-        shard_errors = List.rev !doc_errors;
+        shard_docs = by_name (fun d -> d.doc_name) (List.rev !doc_reports);
+        shard_errors = by_name (fun e -> e.err_doc) (List.rev !doc_errors);
         shard_nodes = nodes;
         shard_elapsed_ns = clock () - t0;
         shard_deadline_expired = !expired;
+        shard_bound_skips = !bound_skips;
       };
     s_run = run;
     s_stats = stats;
@@ -284,7 +359,12 @@ let merge_runs ~limit runs =
   done;
   List.rev !out
 
-let run ?pool ?shards ?(scorer = fun _ _ -> 0.)
+let routing_env_enabled () =
+  match Sys.getenv_opt "XFRAG_ROUTING" with
+  | Some ("0" | "off" | "false" | "no") -> false
+  | _ -> true
+
+let run ?pool ?shards ?routing ?bound ?(scorer = fun _ _ -> 0.)
     ?(clock = Clock.monotonic) t (request : Exec.Request.t) =
   let t0 = clock () in
   let pool = match pool with Some p -> p | None -> Shard_pool.default () in
@@ -299,50 +379,119 @@ let run ?pool ?shards ?(scorer = fun _ _ -> 0.)
             | _ -> Shard_pool.parallelism pool)
         | None -> Shard_pool.parallelism pool)
   in
-  let n = max 1 (min requested (max 1 (String_map.cardinal t))) in
-  (* Caching across shards: a synchronized cache is striped and safe to
-     share between worker domains; an unsynchronized one is only kept
-     when there is a single shard (the pool runs one job at a time and
-     hands results back through a synchronized channel, so access is
-     sequential).  Multi-shard + unsynchronized is the one combination
-     that must stay detached. *)
-  let request =
-    match request.Exec.Request.cache with
-    | Some c when n > 1 && not (Join_cache.synchronized c) ->
-        Exec.Request.with_cache None request
-    | _ -> request
+  let routing_enabled =
+    match routing with Some b -> b | None -> routing_env_enabled ()
   in
-  let shard_docs = plan_shards t n in
-  let jobs =
-    Array.mapi
-      (fun i docs () -> eval_shard ~scorer ~clock request i docs)
-      shard_docs
+  (* Routing: intersect the corpus-wide posting lists so only documents
+     containing every keyword are dispatched at all.  Any reason it
+     cannot apply — routing disabled, index dropped, a request whose
+     keywords do not survive normalization (that path keeps its
+     documented one-error-per-document behavior) — falls back to the
+     full document set. *)
+  let routed =
+    if not routing_enabled then None
+    else
+      match t.cindex with
+      | None -> None
+      | Some idx -> (
+          match Exec.Request.to_query request with
+          | q -> Some (Corpus_index.route idx ~keywords:q.Query.keywords)
+          | exception Invalid_argument _ -> None)
   in
-  let results = Shard_pool.map_all pool jobs in
-  let shard_results =
-    Array.to_list results
-    |> List.map (function Ok r -> r | Error e -> raise e)
+  let docs =
+    match routed with
+    | None -> t.docs
+    | Some candidates ->
+        List.fold_left
+          (fun acc name ->
+            match String_map.find_opt name t.docs with
+            | Some ctx -> String_map.add name ctx acc
+            | None -> acc)
+          String_map.empty candidates
   in
-  let t_merge = clock () in
-  let hits =
-    merge_runs ~limit:request.Exec.Request.limit
-      (List.map (fun r -> r.s_run) shard_results)
+  let routing_info ~bound_skips =
+    match routed with
+    | None -> None
+    | Some _ ->
+        let candidates = String_map.cardinal docs in
+        Some
+          {
+            candidates;
+            routed_out = String_map.cardinal t.docs - candidates;
+            bound_skips;
+          }
   in
-  let merge_ns = clock () - t_merge in
-  let stats = Op_stats.create () in
-  List.iter (fun r -> Op_stats.merge stats r.s_stats) shard_results;
-  {
-    hits;
-    stats;
-    shard_reports = List.map (fun r -> r.s_report) shard_results;
-    errors = List.concat_map (fun r -> r.s_report.shard_errors) shard_results;
-    merge_ns;
-    elapsed_ns = clock () - t0;
-    total_answers =
-      List.fold_left (fun a r -> a + r.s_answers) 0 shard_results;
-    deadline_expired =
-      List.exists (fun r -> r.s_report.shard_deadline_expired) shard_results;
-  }
+  if routed <> None && String_map.is_empty docs then
+    (* Empty intersection: no document can match; answer without
+       touching the shard pool at all. *)
+    {
+      hits = [];
+      stats = Op_stats.create ();
+      shard_reports = [];
+      errors = [];
+      merge_ns = 0;
+      elapsed_ns = clock () - t0;
+      total_answers = 0;
+      deadline_expired = false;
+      routing = routing_info ~bound_skips:0;
+    }
+  else begin
+    let n = max 1 (min requested (max 1 (String_map.cardinal docs))) in
+    (* Caching across shards: a synchronized cache is striped and safe to
+       share between worker domains; an unsynchronized one is only kept
+       when there is a single shard (the pool runs one job at a time and
+       hands results back through a synchronized channel, so access is
+       sequential).  Multi-shard + unsynchronized is the one combination
+       that must stay detached. *)
+    let request =
+      match request.Exec.Request.cache with
+      | Some c when n > 1 && not (Join_cache.synchronized c) ->
+          Exec.Request.with_cache None request
+      | _ -> request
+    in
+    (* Early termination only composes with routing: the bound's
+       soundness is the caller's claim about the scorer, and disabling
+       routing (the escape hatch, XFRAG_ROUTING=0) must yield a plain
+       full scan. *)
+    let bound = if routed = None then None else bound in
+    let shard_docs = plan_shards docs n in
+    let jobs =
+      Array.mapi
+        (fun i docs () -> eval_shard ~scorer ~bound ~clock request i docs)
+        shard_docs
+    in
+    let results = Shard_pool.map_all pool jobs in
+    let shard_results =
+      Array.to_list results
+      |> List.map (function Ok r -> r | Error e -> raise e)
+    in
+    let t_merge = clock () in
+    let hits =
+      merge_runs ~limit:request.Exec.Request.limit
+        (List.map (fun r -> r.s_run) shard_results)
+    in
+    let merge_ns = clock () - t_merge in
+    let stats = Op_stats.create () in
+    List.iter (fun r -> Op_stats.merge stats r.s_stats) shard_results;
+    {
+      hits;
+      stats;
+      shard_reports = List.map (fun r -> r.s_report) shard_results;
+      errors = List.concat_map (fun r -> r.s_report.shard_errors) shard_results;
+      merge_ns;
+      elapsed_ns = clock () - t0;
+      total_answers =
+        List.fold_left (fun a r -> a + r.s_answers) 0 shard_results;
+      deadline_expired =
+        List.exists (fun r -> r.s_report.shard_deadline_expired) shard_results;
+      routing =
+        routing_info
+          ~bound_skips:
+            (List.fold_left
+               (fun a r -> a + r.s_report.shard_bound_skips)
+               0 shard_results);
+    }
+  end
 
 let request_of ?strategy query =
   let request = Exec.Request.of_query query in

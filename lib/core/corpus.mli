@@ -13,7 +13,19 @@
     the per-shard runs meet in a k-way merge — never materializing more
     than [shards x k] scored hits.  Because the ranking order is a
     strict total order, the sharded answer list is bit-identical to the
-    sequential one for any shard count (property-tested). *)
+    sequential one for any shard count (property-tested).
+
+    Corpora also maintain a corpus-wide inverted index
+    ({!Xfrag_index.Corpus_index}), kept incrementally by {!add}.  {!run}
+    uses it for {e routing} — a conjunctive query dispatches only to
+    documents containing all keywords, before sharding, so shard load
+    reflects candidate node counts and an empty intersection never
+    touches the pool — and, with a caller-supplied {!score_bound}, for
+    {e top-k early termination}: shards visit candidates bound-first and
+    skip documents whose bound cannot strictly beat the worst kept
+    score.  Both are transparent: routed answers are bit-identical to
+    full scans (property-tested), and [XFRAG_ROUTING=0] (or
+    [~routing:false]) restores the plain full scan. *)
 
 type t
 
@@ -49,6 +61,16 @@ type shard_report = {
   shard_deadline_expired : bool;
       (** the shard stopped early; [shard_docs] lists only the documents
           that completed *)
+  shard_bound_skips : int;
+      (** documents this shard never evaluated because their score upper
+          bound could not beat the shard's full top-k heap threshold *)
+}
+
+type routing = {
+  candidates : int;
+      (** documents containing every query keyword (what was dispatched) *)
+  routed_out : int;  (** documents excluded before sharding *)
+  bound_skips : int;  (** Σ [shard_bound_skips] across shards *)
 }
 
 type outcome = {
@@ -67,12 +89,20 @@ type outcome = {
   deadline_expired : bool;
       (** some shard hit the request deadline; [hits] are the complete
           merge of what finished (partial results, never an exception) *)
+  routing : routing option;
+      (** [Some] when posting-list routing applied to this run; [None]
+          when it could not (disabled, index dropped, or the request's
+          keywords fail normalization) and every document was scanned *)
 }
 
 val empty : t
 
 val add : t -> name:string -> Xfrag_doctree.Doctree.t -> t
-(** Functional add; builds the document's context eagerly.
+(** Functional add; builds the document's context eagerly and folds it
+    into the corpus index.  If index maintenance fails (e.g. the
+    [index.build] failpoint), the index is dropped — the corpus degrades
+    gracefully to full-scan execution (and bumps the
+    [index_build_errors] fault counter); the document is still added.
     @raise Invalid_argument on a duplicate name. *)
 
 val of_documents : (string * Xfrag_doctree.Doctree.t) list -> t
@@ -88,9 +118,23 @@ val context : t -> string -> Context.t
 
 val total_nodes : t -> int
 
+val index : t -> Xfrag_index.Corpus_index.t option
+(** The corpus-wide inverted index; [None] once index maintenance has
+    failed and the corpus fell back to full scans. *)
+
+val score_bound :
+  t -> keywords:string list -> (string -> float) option
+(** A per-document upper bound on [Ranking.score ~keywords] (or any
+    scorer it dominates), backed by the index's posting statistics —
+    what {!run}'s [?bound] expects.  [None] when the corpus has no
+    index.  Pass the request's {e normalized} keywords
+    ([(Exec.Request.to_query r).keywords]). *)
+
 val run :
   ?pool:Shard_pool.t ->
   ?shards:int ->
+  ?routing:bool ->
+  ?bound:(string -> float) ->
   ?scorer:(Context.t -> Fragment.t -> float) ->
   ?clock:Xfrag_obs.Clock.t ->
   t ->
@@ -98,9 +142,24 @@ val run :
   outcome
 (** Evaluate [request] against every document, sharded.
 
+    [routing] defaults to the [XFRAG_ROUTING] environment variable
+    (enabled unless it is [0]/[off]/[false]/[no]).  When routing
+    applies, posting lists are intersected and only documents
+    containing every keyword are sharded and evaluated; an empty
+    intersection short-circuits to an empty outcome without touching
+    the pool.  [bound] enables top-k early termination on the routed
+    path: shards visit candidates bound-descending and skip a document
+    only when the heap holds a full top-k and the document's bound is
+    {e strictly} below the worst kept score (ties break by name, so an
+    equal bound could still win).  The bound must be conservative —
+    [bound doc >= scorer ctx f] for every fragment of [doc] (see
+    {!score_bound}); a conservative bound never changes answers, it
+    only skips work.  Both default off for callers that pass nothing:
+    no index → full scan, no [bound] → no skipping.
+
     [shards] defaults to the [XFRAG_SHARDS] environment variable when it
     is a positive integer, else to the pool's parallelism; it is clamped
-    to the document count.  [pool] defaults to {!Shard_pool.default}
+    to the candidate document count.  [pool] defaults to {!Shard_pool.default}
     (shared process-wide — concurrent callers reuse the same worker
     domains).  [scorer] ranks hits (default: constant [0.], which orders
     purely by document name and fragment).  [clock] times the shards and
@@ -152,4 +211,7 @@ val search_scored :
     @deprecated Thin wrapper over {!run} (identical ranking). *)
 
 val document_frequency : t -> string -> int
-(** Number of documents whose index contains the keyword. *)
+(** Number of documents whose index contains the keyword — an O(log n)
+    posting-list lookup on the corpus index when present, a rescan of
+    every document's index (unchanged behavior) when the corpus is
+    unindexed. *)

@@ -4,20 +4,28 @@ type t = {
   tree : Doctree.t;
   options : Tokenizer.options;
   postings : (string, Int_sorted.t) Hashtbl.t;
+  occurrences : (string, int) Hashtbl.t;
   memberships : (string * int, unit) Hashtbl.t;
 }
 
 let build ?(options = Tokenizer.default_options) tree =
   let acc : (string, int list ref) Hashtbl.t = Hashtbl.create 1024 in
+  let occurrences = Hashtbl.create 1024 in
   let memberships = Hashtbl.create 4096 in
   Doctree.iter
     (fun n ->
       (* Per the paper, tag names are searchable keywords too: index the
          label alongside the node text. *)
-      let keywords =
-        Tokenizer.keyword_set ~options
+      let tokens =
+        Tokenizer.tokenize ~options
           (Doctree.label tree n ^ " " ^ Doctree.text tree n)
       in
+      List.iter
+        (fun k ->
+          Hashtbl.replace occurrences k
+            (1 + Option.value (Hashtbl.find_opt occurrences k) ~default:0))
+        tokens;
+      let keywords = List.sort_uniq String.compare tokens in
       List.iter
         (fun k ->
           Hashtbl.replace memberships (k, n) ();
@@ -28,9 +36,11 @@ let build ?(options = Tokenizer.default_options) tree =
     tree;
   let postings = Hashtbl.create (Hashtbl.length acc) in
   Hashtbl.iter (fun k l -> Hashtbl.replace postings k (Int_sorted.of_list !l)) acc;
-  { tree; options; postings; memberships }
+  { tree; options; postings; occurrences; memberships }
 
 let tree t = t.tree
+
+let options t = t.options
 
 (* Apply the index's own tokenization to the probe keyword, so stemming
    (when enabled at build time) is symmetric between text and queries. *)
@@ -46,8 +56,21 @@ let lookup t keyword =
 
 let node_count t keyword = Int_sorted.cardinal (lookup t keyword)
 
+let occurrence_count t keyword =
+  Option.value
+    (Hashtbl.find_opt t.occurrences (normalize_probe t keyword))
+    ~default:0
+
 let node_contains t n keyword =
   Hashtbl.mem t.memberships (normalize_probe t keyword, n)
+
+let stats t =
+  Hashtbl.fold
+    (fun k s acc ->
+      let occ = Option.value (Hashtbl.find_opt t.occurrences k) ~default:0 in
+      (k, Int_sorted.cardinal s, occ) :: acc)
+    t.postings []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
 
 let vocabulary t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.postings []

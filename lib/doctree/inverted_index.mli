@@ -13,6 +13,10 @@ val build : ?options:Tokenizer.options -> Doctree.t -> t
 
 val tree : t -> Doctree.t
 
+val options : t -> Tokenizer.options
+(** The tokenizer options the index was built with (what
+    {!normalize_probe}-style query normalization must mirror). *)
+
 val lookup : t -> string -> Xfrag_util.Int_sorted.t
 (** Nodes whose keywords contain the probe keyword; empty set if the
     keyword does not occur.  The probe is normalized with the same
@@ -22,8 +26,20 @@ val lookup : t -> string -> Xfrag_util.Int_sorted.t
 val node_count : t -> string -> int
 (** Posting-list length, i.e. document frequency in nodes. *)
 
+val occurrence_count : t -> string -> int
+(** Total token occurrences of the keyword across the whole document
+    (label and text, every repetition counted).  This dominates the
+    per-fragment term frequency of any fragment of the document, which
+    is what makes it usable as a score upper bound at corpus scale. *)
+
 val node_contains : t -> Doctree.node -> string -> bool
 (** Does this node's own text contain the keyword? O(1) expected. *)
+
+val stats : t -> (string * int * int) list
+(** [(keyword, node_count, occurrence_count)] for every indexed keyword,
+    sorted by keyword.  Keywords are returned exactly as stored (already
+    normalized), with no probe re-normalization — the walk a corpus-wide
+    index builds its posting lists from. *)
 
 val vocabulary : t -> string list
 (** All indexed keywords, sorted. *)

@@ -1,8 +1,8 @@
 (** Deterministic fault injection and process-wide fault accounting.
 
     A {e failpoint} is a named site in the code ([parse.document],
-    [eval.join], [shard.worker], …) that normally does nothing and costs
-    one atomic load.  Arming a site — through the test API or the
+    [eval.join], [shard.worker], [index.build], …) that normally does
+    nothing and costs one atomic load.  Arming a site — through the test API or the
     [XFRAG_FAILPOINTS] environment variable — makes the site raise
     {!Injected}, spin a deterministic delay, or truncate the data
     flowing through it, under a trigger evaluated against a seeded

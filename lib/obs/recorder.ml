@@ -26,6 +26,8 @@ type event = {
   cache_hits : int;
   cache_misses : int;
   doc_errors : int;
+  routed_out : int;
+  bound_skips : int;
   status : int;
   outcome : string;
   site : string;
@@ -79,8 +81,8 @@ let clear () =
 
 let record ?(endpoint = "") ?(strategy = "") ?(shards = 0) ?(queue_ns = 0)
     ?(parse_ns = 0) ?(eval_ns = 0) ?(merge_ns = 0) ?(total_ns = 0) ?(hits = 0)
-    ?(cache_hits = 0) ?(cache_misses = 0) ?(doc_errors = 0) ?(status = 0)
-    ?(site = "") ~id ~outcome () =
+    ?(cache_hits = 0) ?(cache_misses = 0) ?(doc_errors = 0) ?(routed_out = 0)
+    ?(bound_skips = 0) ?(status = 0) ?(site = "") ~id ~outcome () =
   if Atomic.get enabled_flag then begin
     let seq = Atomic.fetch_and_add seq_counter 1 in
     let ev =
@@ -99,6 +101,8 @@ let record ?(endpoint = "") ?(strategy = "") ?(shards = 0) ?(queue_ns = 0)
         cache_hits;
         cache_misses;
         doc_errors;
+        routed_out;
+        bound_skips;
         status;
         outcome;
         site;
@@ -152,6 +156,18 @@ let to_json ev =
       ("status", Json.Int ev.status);
       ("outcome", Json.String ev.outcome);
     ]
+  in
+  (* Routing counters and [site] are omitted when trivial: most events
+     have nothing to say about them, and the stable golden shape
+     predates both. *)
+  let base =
+    if ev.routed_out = 0 && ev.bound_skips = 0 then base
+    else
+      base
+      @ [
+          ("routed_out", Json.Int ev.routed_out);
+          ("bound_skips", Json.Int ev.bound_skips);
+        ]
   in
   Json.Obj (if ev.site = "" then base else base @ [ ("site", Json.String ev.site) ])
 

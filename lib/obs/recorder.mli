@@ -31,6 +31,10 @@ type event = {
   cache_hits : int;  (** join-cache hit delta attributed to this request *)
   cache_misses : int;
   doc_errors : int;  (** quarantined per-document failures (corpus runs) *)
+  routed_out : int;
+      (** documents excluded by posting-list routing (corpus runs) *)
+  bound_skips : int;
+      (** documents skipped by top-k score-bound termination (corpus runs) *)
   status : int;  (** HTTP status, 0 for CLI *)
   outcome : string;
       (** ["ok"], ["client_error"], ["deadline"], ["fault"], ["error"],
@@ -58,6 +62,8 @@ val record :
   ?cache_hits:int ->
   ?cache_misses:int ->
   ?doc_errors:int ->
+  ?routed_out:int ->
+  ?bound_skips:int ->
   ?status:int ->
   ?site:string ->
   id:string ->
@@ -79,7 +85,8 @@ val slow : threshold_ns:int -> event list
 (** Retained events with [total_ns ≥ threshold_ns], oldest first. *)
 
 val to_json : event -> Json.t
-(** One flat object; [site] omitted when empty. *)
+(** One flat object; [site] omitted when empty, the routing counters
+    omitted when both are zero. *)
 
 val dump : ?reason:string -> out_channel -> unit
 (** Human-triggered dump (SIGQUIT, pool degradation): a header line

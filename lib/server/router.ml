@@ -111,7 +111,19 @@ let record_corpus t (o : Corpus.outcome) =
         (float_of_int o.Corpus.merge_ns);
       if o.Corpus.deadline_expired then
         Metrics.Counter.incr
-          (Metrics.counter t.registry "corpus.deadline_expired"))
+          (Metrics.counter t.registry "corpus.deadline_expired");
+      match o.Corpus.routing with
+      | None -> ()
+      | Some r ->
+          Metrics.Gauge.set
+            (Metrics.gauge t.registry "index.candidates")
+            (float_of_int r.Corpus.candidates);
+          Metrics.Counter.add
+            (Metrics.counter t.registry "index.routed_out")
+            r.Corpus.routed_out;
+          Metrics.Counter.add
+            (Metrics.counter t.registry "index.bound_skips")
+            r.Corpus.bound_skips)
 
 let metrics_page t =
   locked t (fun () ->
@@ -129,6 +141,21 @@ let metrics_page t =
          fires) are process-global; mirror them under faults.* so chaos
          runs can assert on the /metrics page. *)
       Metrics.sync_assoc ~prefix:"faults." t.registry (Fault.counters ());
+      (* Corpus-index shape: 0s when the corpus is unindexed (index
+         maintenance failed) or the server has no corpus, so a scrape
+         can tell "routing off" from "index empty". *)
+      (match Option.bind t.corpus Corpus.index with
+      | None -> ()
+      | Some idx ->
+          Metrics.Gauge.set
+            (Metrics.gauge t.registry "index.docs")
+            (float_of_int (Xfrag_index.Corpus_index.doc_count idx));
+          Metrics.Gauge.set
+            (Metrics.gauge t.registry "index.postings")
+            (float_of_int (Xfrag_index.Corpus_index.total_postings idx));
+          Metrics.Gauge.set
+            (Metrics.gauge t.registry "index.vocabulary")
+            (float_of_int (Xfrag_index.Corpus_index.vocabulary_size idx)));
       Prometheus.render t.registry)
 
 (* --- per-request telemetry accumulator ---
@@ -147,6 +174,8 @@ type pending = {
   mutable p_cache_hits : int;
   mutable p_cache_misses : int;
   mutable p_doc_errors : int;
+  mutable p_routed_out : int;
+  mutable p_bound_skips : int;
   mutable p_outcome : string;  (* "" = derive from status *)
   mutable p_site : string;
 }
@@ -162,6 +191,8 @@ let new_pending () =
     p_cache_hits = 0;
     p_cache_misses = 0;
     p_doc_errors = 0;
+    p_routed_out = 0;
+    p_bound_skips = 0;
     p_outcome = "";
     p_site = "";
   }
@@ -351,12 +382,26 @@ let shard_report_json (sr : Corpus.shard_report) =
       ("nodes", Json.Int sr.Corpus.shard_nodes);
       ("elapsed_ns", Json.Int sr.Corpus.shard_elapsed_ns);
       ("deadline_expired", Json.Bool sr.Corpus.shard_deadline_expired);
+      ("bound_skips", Json.Int sr.Corpus.shard_bound_skips);
       ("errors", Json.List (List.map doc_error_json sr.Corpus.shard_errors));
     ]
 
-let corpus_outcome_json corpus (o : Corpus.outcome) =
+let routing_json (r : Corpus.routing) =
   Json.Obj
     [
+      ("candidates", Json.Int r.Corpus.candidates);
+      ("routed_out", Json.Int r.Corpus.routed_out);
+      ("bound_skips", Json.Int r.Corpus.bound_skips);
+    ]
+
+let corpus_outcome_json corpus (o : Corpus.outcome) =
+  let routing =
+    match o.Corpus.routing with
+    | None -> []
+    | Some r -> [ ("routing", routing_json r) ]
+  in
+  Json.Obj
+    ([
       ("count", Json.Int (List.length o.Corpus.hits));
       ("total_answers", Json.Int o.Corpus.total_answers);
       ("deadline_expired", Json.Bool o.Corpus.deadline_expired);
@@ -367,6 +412,7 @@ let corpus_outcome_json corpus (o : Corpus.outcome) =
       ("hits", Json.List (List.map (corpus_hit_json corpus) o.Corpus.hits));
       ("stats", stats_json o.Corpus.stats);
     ]
+    @ routing)
 
 let run_corpus_request t p corpus (r : Exec.Request.t) =
   (* The shared server cache is attached: it is synchronized (striped)
@@ -379,8 +425,13 @@ let run_corpus_request t p corpus (r : Exec.Request.t) =
   let snap = cache_snapshot t.cache in
   let keywords = (Exec.Request.to_query r).Xfrag_core.Query.keywords in
   let scorer ctx f = Ranking.score ctx ~keywords f in
+  (* The index-derived bound dominates [Ranking.score] for the same
+     keywords (see Corpus_index), so early termination is sound for
+     this endpoint's scorer; [None] (unindexed corpus) just means no
+     skipping. *)
+  let bound = Corpus.score_bound corpus ~keywords in
   let outcome =
-    try Corpus.run ?shards:t.shards ~scorer corpus r
+    try Corpus.run ?shards:t.shards ?bound ~scorer corpus r
     with Invalid_argument msg -> reject ~status:400 msg
   in
   charge_cache p t.cache snap;
@@ -391,6 +442,11 @@ let run_corpus_request t p corpus (r : Exec.Request.t) =
   p.p_merge_ns <- p.p_merge_ns + outcome.Corpus.merge_ns;
   p.p_hits <- p.p_hits + List.length outcome.Corpus.hits;
   p.p_doc_errors <- p.p_doc_errors + List.length outcome.Corpus.errors;
+  (match outcome.Corpus.routing with
+  | None -> ()
+  | Some ri ->
+      p.p_routed_out <- p.p_routed_out + ri.Corpus.routed_out;
+      p.p_bound_skips <- p.p_bound_skips + ri.Corpus.bound_skips);
   if outcome.Corpus.deadline_expired then p.p_outcome <- "deadline";
   corpus_outcome_json corpus outcome
 
@@ -640,6 +696,8 @@ let handle ?(queue_ns = 0) t req =
       cache_hits = p.p_cache_hits;
       cache_misses = p.p_cache_misses;
       doc_errors = p.p_doc_errors;
+      routed_out = p.p_routed_out;
+      bound_skips = p.p_bound_skips;
       status = resp.Http.status;
       outcome;
       site = p.p_site;
@@ -649,6 +707,7 @@ let handle ?(queue_ns = 0) t req =
     ~parse_ns:p.p_parse_ns ~eval_ns:p.p_eval_ns ~merge_ns:p.p_merge_ns
     ~total_ns ~hits:p.p_hits ~cache_hits:p.p_cache_hits
     ~cache_misses:p.p_cache_misses ~doc_errors:p.p_doc_errors
+    ~routed_out:p.p_routed_out ~bound_skips:p.p_bound_skips
     ~status:resp.Http.status ~site:p.p_site ~id ~outcome ();
   access_log_line t ~id ~req ~status:resp.Http.status ~total_ns ~outcome;
   (match t.slow_ns with

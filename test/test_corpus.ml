@@ -488,11 +488,19 @@ let check_errors_name_victim label victim (o : Corpus.outcome) =
 let test_eval_document_fault_is_contained () =
   (* The containment property: for every victim and shard count, arming
      eval.document to kill one document yields exactly — same hits, same
-     order, same scores — the corpus that never held that document. *)
+     order, same scores — the corpus that never held that document.  The
+     error report names the victim exactly when routing dispatched it:
+     a victim lacking a query keyword is routed out and never evaluated,
+     so its fault cannot fire at all. *)
   let docs = wide_docs () in
   let keywords = [ "mangrove"; "estuary" ] in
   let scorer = tfidf_scorer keywords in
   let r = request ~filter:(Filter.Size_at_most 6) ~limit:10 keywords in
+  let candidates =
+    match Corpus.index (Corpus.of_documents docs) with
+    | Some idx -> Xfrag_index.Corpus_index.route idx ~keywords
+    | None -> List.map fst docs
+  in
   List.iter
     (fun (victim, _) ->
       let expected =
@@ -505,14 +513,23 @@ let test_eval_document_fault_is_contained () =
               let o =
                 Corpus.run ~shards ~scorer (Corpus.of_documents docs) r
               in
+              (* With routing off (outcome carries no routing report —
+                 e.g. the XFRAG_ROUTING=0 CI leg), every document is
+                 dispatched and the victim's fault always fires. *)
+              let expected_errors =
+                if o.Corpus.routing = None || List.mem victim candidates then
+                  [ victim ]
+                else []
+              in
               Alcotest.(check bool)
                 (Printf.sprintf "victim=%s shards=%d == corpus without it"
                    victim shards)
                 true
                 (hits_equal expected o.Corpus.hits);
-              check_errors_name_victim
+              Alcotest.(check (list string))
                 (Printf.sprintf "victim=%s shards=%d reported" victim shards)
-                victim o))
+                expected_errors
+                (List.map (fun e -> e.Corpus.err_doc) o.Corpus.errors)))
         [ 1; 2; 7 ])
     docs
 
@@ -566,6 +583,213 @@ let test_eval_join_fault_is_contained () =
     (Printf.sprintf "survivors identical to corpus without %s" victim)
     true
     (hits_equal expected o.Corpus.hits)
+
+(* --- routing and top-k early termination: transparent by construction --- *)
+
+(* The full-scan ground truth: routing and bound skipping disabled, one
+   shard.  Everything the routed engine does must reproduce this
+   bit-for-bit. *)
+let full_scan ~scorer c r =
+  (Corpus.run ~routing:false ~shards:1 ~scorer c r).Corpus.hits
+
+let test_routed_identical_to_full_scan () =
+  (* The tentpole property: routed execution (posting-list candidate
+     selection + bound-descending early termination) is bit-identical to
+     the full scan across strategies x strict-leaf x shard counts,
+     including a query whose extra keyword hits nothing. *)
+  let c = make_wide_corpus () in
+  List.iter
+    (fun keywords ->
+      let scorer = tfidf_scorer keywords in
+      let bound = Corpus.score_bound c ~keywords in
+      Alcotest.(check bool) "corpus is indexed" true (bound <> None);
+      List.iter
+        (fun strategy ->
+          List.iter
+            (fun strict ->
+              let r =
+                request ~filter:(Filter.Size_at_most 6) ~strategy ~strict
+                  ~limit:10 keywords
+              in
+              let baseline = full_scan ~scorer c r in
+              List.iter
+                (fun shards ->
+                  let o =
+                    Corpus.run ~routing:true ?bound ~shards ~scorer c r
+                  in
+                  Alcotest.(check bool)
+                    (Printf.sprintf
+                       "kw=%s %s strict=%b shards=%d routed == full scan"
+                       (String.concat "+" keywords)
+                       (Eval.strategy_name strategy) strict shards)
+                    true
+                    (hits_equal baseline o.Corpus.hits);
+                  Alcotest.(check bool) "routing reported" true
+                    (o.Corpus.routing <> None))
+                [ 1; 2; 7 ])
+            [ false; true ])
+        [
+          Eval.Auto; Eval.Naive_fixpoint; Eval.Set_reduction; Eval.Pushdown;
+          Eval.Pushdown_reduction; Eval.Semi_naive;
+        ])
+    [
+      [ "mangrove" ];
+      [ "mangrove"; "estuary" ];
+      [ "mangrove"; "zzznope" ] (* zero-hit keyword: both sides empty *);
+    ]
+
+let test_routed_identical_under_cache_admissions () =
+  (* Routing composes with the shared synchronized cache: identical
+     answers for every admission policy and shard count. *)
+  let c = make_wide_corpus () in
+  let keywords = [ "mangrove"; "estuary" ] in
+  let scorer = tfidf_scorer keywords in
+  let bound = Corpus.score_bound c ~keywords in
+  let r = request ~filter:(Filter.Size_at_most 6) ~limit:10 keywords in
+  let baseline = full_scan ~scorer c r in
+  List.iter
+    (fun (variant, admission) ->
+      let cache = JC.create ~synchronized:true ~stripes:3 ~admission () in
+      let rc = Exec.Request.with_cache (Some cache) r in
+      List.iter
+        (fun shards ->
+          let o = Corpus.run ~routing:true ?bound ~shards ~scorer c rc in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s shards=%d routed+cache == full scan" variant
+               shards)
+            true
+            (hits_equal baseline o.Corpus.hits))
+        [ 1; 2; 7 ])
+    [
+      ("admit-all", JC.Admission.Admit_all);
+      ("min-nodes-4", JC.Admission.Min_nodes 4);
+      ("second-touch", JC.Admission.Second_touch);
+    ]
+
+let test_disagreeing_scorer_never_changes_answers () =
+  (* A scorer the bound wildly disagrees with — negated tf·idf, so the
+     bound over-estimates every fragment by construction (bound >= 0 >=
+     score), and a constant scorer under the tf·idf bound.  The bound
+     stays conservative, so answers must not change; only work may be
+     skipped. *)
+  let c = make_wide_corpus () in
+  let keywords = [ "mangrove" ] in
+  let bound = Corpus.score_bound c ~keywords in
+  List.iter
+    (fun (name, scorer) ->
+      let r = request ~filter:(Filter.Size_at_most 4) ~limit:5 keywords in
+      let baseline = full_scan ~scorer c r in
+      List.iter
+        (fun shards ->
+          let o = Corpus.run ~routing:true ?bound ~shards ~scorer c r in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s shards=%d == full scan" name shards)
+            true
+            (hits_equal baseline o.Corpus.hits))
+        [ 1; 2; 7 ])
+    [
+      ("negated tf-idf", fun ctx f -> -.tfidf_scorer keywords ctx f);
+      ("constant zero", fun _ _ -> 0.);
+    ]
+
+let test_empty_intersection_short_circuits () =
+  let c = make_wide_corpus () in
+  let keywords = [ "zzznope" ] in
+  let r = request ~limit:10 keywords in
+  let o = Corpus.run ~routing:true c r in
+  Alcotest.(check int) "no hits" 0 (List.length o.Corpus.hits);
+  Alcotest.(check int) "no shards dispatched" 0
+    (List.length o.Corpus.shard_reports);
+  match o.Corpus.routing with
+  | None -> Alcotest.fail "expected a routing report"
+  | Some ri ->
+      Alcotest.(check int) "no candidates" 0 ri.Corpus.candidates;
+      Alcotest.(check int) "everything routed out" (Corpus.size c)
+        ri.Corpus.routed_out
+
+let test_routing_counts () =
+  (* Even-indexed wide docs plant estuary; all plant mangrove.  The
+     conjunctive query must dispatch exactly the five even docs. *)
+  let c = make_wide_corpus () in
+  let r = request ~limit:10 [ "mangrove"; "estuary" ] in
+  let o = Corpus.run ~routing:true c r in
+  (match o.Corpus.routing with
+  | None -> Alcotest.fail "expected a routing report"
+  | Some ri ->
+      Alcotest.(check int) "five candidates" 5 ri.Corpus.candidates;
+      Alcotest.(check int) "five routed out" 5 ri.Corpus.routed_out);
+  let evaluated =
+    List.concat_map
+      (fun sr -> List.map (fun d -> d.Corpus.doc_name) sr.Corpus.shard_docs)
+      o.Corpus.shard_reports
+    |> List.sort String.compare
+  in
+  Alcotest.(check (list string)) "only candidates evaluated"
+    [ "doc00.xml"; "doc02.xml"; "doc04.xml"; "doc06.xml"; "doc08.xml" ]
+    evaluated
+
+let test_bound_skips_fire_and_preserve_answers () =
+  (* Handcrafted corpus with exact statistics: every document has the
+     same shape, so idf is identical across docs and a single-node
+     answer scores tf x idf.  Hot docs hold three occurrences in one
+     node (score 3·idf, bound 3·idf), dust docs one (score = bound =
+     idf).  With limit 2, the heap fills at 3·idf from the hot docs and
+     every dust doc's bound is strictly below it — all skipped, answers
+     unchanged. *)
+  let tree xml = Xfrag_doctree.Doctree.of_xml (Xfrag_xml.Xml_parser.parse_string xml) in
+  let doc_with occurrences =
+    tree
+      (Printf.sprintf
+         "<doc><a>alpha</a><b>beta</b><p>%s</p></doc>"
+         (String.concat " " (List.init occurrences (fun _ -> "mangrove"))))
+  in
+  let c =
+    Corpus.of_documents
+      ([
+         ("hot1.xml", doc_with 3);
+         ("hot2.xml", doc_with 3);
+         ("hot3.xml", doc_with 3);
+         ("none.xml", tree "<doc><a>alpha</a></doc>");
+       ]
+      @ List.init 4 (fun i -> (Printf.sprintf "dust%d.xml" i, doc_with 1)))
+  in
+  let keywords = [ "mangrove" ] in
+  let scorer = tfidf_scorer keywords in
+  let bound = Corpus.score_bound c ~keywords in
+  let r = request ~limit:2 keywords in
+  let baseline = full_scan ~scorer c r in
+  let o = Corpus.run ~routing:true ?bound ~shards:1 ~scorer c r in
+  Alcotest.(check bool) "answers identical" true
+    (hits_equal baseline o.Corpus.hits);
+  match o.Corpus.routing with
+  | None -> Alcotest.fail "expected a routing report"
+  | Some ri ->
+      Alcotest.(check int) "keywordless doc routed out" 1 ri.Corpus.routed_out;
+      Alcotest.(check int) "all dust docs skipped by the bound" 4
+        ri.Corpus.bound_skips;
+      Alcotest.(check int) "skips attributed to the shard" 4
+        (List.fold_left
+           (fun a sr -> a + sr.Corpus.shard_bound_skips)
+           0 o.Corpus.shard_reports)
+
+let test_env_escape_hatch_disables_routing () =
+  (* XFRAG_ROUTING=0 (the CI full-scan leg) must force routing = None
+     even with an indexed corpus; an explicit ~routing argument beats
+     the environment in both directions. *)
+  let c = make_wide_corpus () in
+  let r = request ~limit:5 [ "mangrove" ] in
+  let with_env value f =
+    (* putenv cannot unset, so an originally-absent variable is restored
+       as "" — which the parser treats the same way (routing stays on). *)
+    let prev = Option.value (Sys.getenv_opt "XFRAG_ROUTING") ~default:"" in
+    Unix.putenv "XFRAG_ROUTING" value;
+    Fun.protect ~finally:(fun () -> Unix.putenv "XFRAG_ROUTING" prev) f
+  in
+  with_env "0" (fun () ->
+      Alcotest.(check bool) "env disables" true
+        ((Corpus.run c r).Corpus.routing = None);
+      Alcotest.(check bool) "explicit arg overrides env" true
+        ((Corpus.run ~routing:true c r).Corpus.routing <> None))
 
 let () =
   Alcotest.run "corpus"
@@ -622,5 +846,23 @@ let () =
             test_eval_document_fault_contained_across_strategies;
           Alcotest.test_case "eval.join fault == corpus without the victim"
             `Quick test_eval_join_fault_is_contained;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case
+            "routed bit-identical across strategies, strictness, shards" `Quick
+            test_routed_identical_to_full_scan;
+          Alcotest.test_case "routed bit-identical under cache admissions"
+            `Quick test_routed_identical_under_cache_admissions;
+          Alcotest.test_case "disagreeing scorers never change answers" `Quick
+            test_disagreeing_scorer_never_changes_answers;
+          Alcotest.test_case "empty intersection short-circuits" `Quick
+            test_empty_intersection_short_circuits;
+          Alcotest.test_case "only candidates are evaluated" `Quick
+            test_routing_counts;
+          Alcotest.test_case "bound skips fire and preserve answers" `Quick
+            test_bound_skips_fire_and_preserve_answers;
+          Alcotest.test_case "XFRAG_ROUTING=0 escape hatch" `Quick
+            test_env_escape_hatch_disables_routing;
         ] );
     ]
