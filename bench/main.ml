@@ -18,6 +18,7 @@
      P1  — sharded corpus execution: shard count vs corpus size (§7)
      R1  — corpus index: routed vs full scan, bound-based early termination
      O1  — flight-recorder overhead: /query ns/op, recorder off vs on
+     M1  — mutable corpus: incremental retract vs rebuild; mixed R/W load
 
    Run everything:   dune exec bench/main.exe
    Run a subset:     dune exec bench/main.exe -- t1 e2 …        *)
@@ -1191,6 +1192,185 @@ let r1 () =
         ])
     [ 8; 64; 256 ]
 
+(* --- M1: mutable corpus ----------------------------------------------------- *)
+
+(* Two questions the mutable-corpus design hinges on, measured.
+
+   First, maintenance: retracting one document's postings from the
+   corpus index incrementally versus rebuilding the index from scratch
+   over the survivors (the degradation fallback).  Both sides fold over
+   prebuilt per-document inverted indexes, exactly as Corpus.remove and
+   its rebuild path do, so the ratio is the real cost of losing
+   incrementality.
+
+   Second, interference: a closed-loop HTTP load against /corpus/query
+   with writer traffic (PUT/DELETE cycles) mixed in at 0%, 5%, and 30%.
+   Readers pin a snapshot and never block on the writer lock, so read
+   tail latency should degrade only by the cache/index churn the writes
+   cause, not by lock waits. *)
+let m1 () =
+  header
+    "M1: mutable corpus - incremental retract vs full rebuild, and mixed\n\
+     read/write HTTP load (reads pin snapshots; writes serialize)";
+  let docs_of n =
+    List.init n (fun i ->
+        let cfg = { Docgen.default with seed = 7000 + i; sections = 4 } in
+        ( Printf.sprintf "doc%03d.xml" i,
+          Docgen.with_planted_keywords cfg
+            ~plant:[ ("shardterm", 1 + (i mod 4)) ] ))
+  in
+  Printf.printf "index maintenance on one DELETE:\n";
+  Printf.printf "%-24s %-14s %-14s %s\n" "scenario" "retract" "rebuild"
+    "rebuild/retract";
+  List.iter
+    (fun n ->
+      let docs = docs_of n in
+      let corpus = Corpus.of_documents docs in
+      let idx =
+        match Corpus.index corpus with
+        | Some idx -> idx
+        | None -> failwith "m1: corpus built without an index"
+      in
+      let victim = "doc000.xml" in
+      let ns_retract =
+        time_ns (Printf.sprintf "retract-%d" n) (fun () ->
+            ignore (Xfrag_index.Corpus_index.remove_document idx victim))
+      in
+      let survivors =
+        List.filter_map
+          (fun (name, tree) ->
+            if name = victim then None else Some (name, Context.create tree))
+          docs
+      in
+      let ns_rebuild =
+        time_ns (Printf.sprintf "rebuild-%d" n) (fun () ->
+            ignore
+              (List.fold_left
+                 (fun acc (name, ctx) ->
+                   Xfrag_index.Corpus_index.add_document acc ~name
+                     ctx.Context.index)
+                 Xfrag_index.Corpus_index.empty survivors))
+      in
+      let scenario = Printf.sprintf "docs=%d" n in
+      Printf.printf "%-24s %-14s %-14s %.1fx\n" scenario (pp_ns ns_retract)
+        (pp_ns ns_rebuild)
+        (ns_rebuild /. ns_retract);
+      record ~experiment:"m1" ~scenario ~strategy:"incremental-retract"
+        ~ns:ns_retract
+        [ ("docs", Json.Int n); ("maintenance", Json.String "retract") ];
+      record ~experiment:"m1" ~scenario ~strategy:"full-rebuild" ~ns:ns_rebuild
+        [ ("docs", Json.Int n); ("maintenance", Json.String "rebuild") ])
+    [ 16; 64; 256 ];
+  (* Mixed read/write load.  Write share is spread Bresenham-style so a
+     5% mix is one write every ~20 requests, not a burst; each client
+     cycles PUT then DELETE of its own document so writers never
+     conflict on a name and every DELETE finds its document. *)
+  let corpus = Corpus.of_documents (docs_of 16) in
+  let read_body = {|{"keywords":["shardterm"],"limit":10}|} in
+  let put_body = "<doc><sec>shardterm churn churn</sec></doc>" in
+  let conc = 8 in
+  Printf.printf
+    "\nclosed-loop /corpus/query load, %d clients, 16-doc corpus:\n" conc;
+  Printf.printf "%-18s %9s %10s %10s %10s %7s %7s %5s\n" "scenario" "read qps"
+    "read p50" "read p95" "write p95" "reads" "writes" "err";
+  List.iter
+    (fun (label, write_pct) ->
+      let router =
+        Router.create ~corpus ~shards:2 ~default_deadline_ns:500_000_000
+          (Paper.figure1_context ())
+      in
+      let config = { Server.default_config with port = 0; queue_cap = 64 } in
+      let server = Server.start ~config router in
+      let accept_d = Domain.spawn (fun () -> Server.run server) in
+      let port = Server.port server in
+      let budget_ns = 1_200_000_000 in
+      let t0 = Clock.monotonic () in
+      let results = Array.make conc ([], [], 0) in
+      let run_client tid =
+        let read_lats = ref [] and write_lats = ref [] and err = ref 0 in
+        let i = ref 0 and doc_resident = ref false in
+        let doc_path = Printf.sprintf "/corpus/docs/mut-%d.xml" tid in
+        while Clock.monotonic () - t0 < budget_ns do
+          let is_write =
+            (!i + 1) * write_pct / 100 > !i * write_pct / 100
+          in
+          incr i;
+          let sent = Clock.monotonic () in
+          if is_write then begin
+            let outcome =
+              if !doc_resident then
+                Client.once ~host:"127.0.0.1" ~port ~meth:"DELETE"
+                  ~path:doc_path ()
+              else
+                Client.once ~host:"127.0.0.1" ~port ~meth:"PUT" ~path:doc_path
+                  ~body:put_body ()
+            in
+            match outcome with
+            | Ok ((200 | 201), _, _) ->
+                doc_resident := not !doc_resident;
+                write_lats :=
+                  float_of_int (Clock.monotonic () - sent) :: !write_lats
+            | Ok _ | Error _ -> incr err
+          end
+          else
+            match
+              Client.once ~host:"127.0.0.1" ~port ~meth:"POST"
+                ~path:"/corpus/query" ~body:read_body ()
+            with
+            | Ok (200, _, _) ->
+                read_lats :=
+                  float_of_int (Clock.monotonic () - sent) :: !read_lats
+            | Ok _ | Error _ -> incr err
+        done;
+        results.(tid) <- (!read_lats, !write_lats, !err)
+      in
+      let threads = List.init conc (fun tid -> Thread.create run_client tid) in
+      List.iter Thread.join threads;
+      let wall_ns = Clock.monotonic () - t0 in
+      Server.stop server;
+      Domain.join accept_d;
+      let hist_of sel =
+        let h = Xfrag_obs.Metrics.(histogram (create ()) "m1.lat_ns") in
+        Array.iter
+          (fun r -> List.iter (Xfrag_obs.Metrics.Histogram.observe h) (sel r))
+          results;
+        h
+      in
+      let read_hist = hist_of (fun (r, _, _) -> r) in
+      let write_hist = hist_of (fun (_, w, _) -> w) in
+      let reads =
+        Array.fold_left (fun a (r, _, _) -> a + List.length r) 0 results
+      in
+      let writes =
+        Array.fold_left (fun a (_, w, _) -> a + List.length w) 0 results
+      in
+      let err = Array.fold_left (fun a (_, _, e) -> a + e) 0 results in
+      let qps = float_of_int reads /. (float_of_int wall_ns /. 1e9) in
+      let read_p50 = Xfrag_obs.Metrics.Histogram.quantile read_hist 0.50 in
+      let read_p95 = Xfrag_obs.Metrics.Histogram.quantile read_hist 0.95 in
+      let write_p95 =
+        if writes = 0 then Float.nan
+        else Xfrag_obs.Metrics.Histogram.quantile write_hist 0.95
+      in
+      Printf.printf "%-18s %9.0f %10s %10s %10s %7d %7d %5d\n" label qps
+        (pp_ns read_p50) (pp_ns read_p95) (pp_ns write_p95) reads writes err;
+      record ~experiment:"m1"
+        ~scenario:(Printf.sprintf "mix=%s conc=%d" label conc)
+        ~strategy:"auto" ~ns:read_p50
+        [
+          ("write_pct", Json.Int write_pct);
+          ("qps", Json.Float qps);
+          ("p95_ns", Json.Float read_p95);
+          ( "write_p95_ns",
+            Json.Float (if Float.is_nan write_p95 then 0.0 else write_p95) );
+          ("reads", Json.Int reads);
+          ("writes", Json.Int writes);
+          ("errors", Json.Int err);
+          ("concurrency", Json.Int conc);
+          ("wall_ns", Json.Int wall_ns);
+        ])
+    [ ("read-only", 0); ("95/5", 5); ("70/30", 30) ]
+
 (* --- O1: flight recorder overhead ----------------------------------------- *)
 
 (* The always-on claim, measured: the full /query handling path on the
@@ -1251,7 +1431,7 @@ let experiments =
     ("t1", t1); ("f3", f3); ("f4", f4); ("e1", e1); ("e2", e2); ("e3", e3);
     ("e4", e4); ("e5", e5); ("e6", e6); ("f1", f1); ("c1", c1); ("a1", a1);
     ("obs", obs);
-    ("s1", s1); ("p1", p1); ("r1", r1); ("o1", o1);
+    ("s1", s1); ("p1", p1); ("r1", r1); ("o1", o1); ("m1", m1);
   ]
 
 let () =

@@ -858,10 +858,16 @@ let serve_cmd =
     "Serve queries over HTTP: POST /query, /explain, and /corpus/query \
      (JSON; the corpus endpoint searches every FILE, sharded across \
      parallel domains, and accepts a JSON array as a batch), GET \
-     /healthz and /metrics (Prometheus text format).  A fixed worker \
-     pool shares one in-memory index and one join cache; a bounded \
-     queue sheds overload with 503; per-request deadlines abort \
-     runaway evaluations with 408; SIGINT/SIGTERM drain gracefully."
+     /healthz and /metrics (Prometheus text format).  The corpus is \
+     mutable while serving: PUT/GET/DELETE /corpus/docs/NAME \
+     create, inspect, replace, and remove documents (PUT body = XML, \
+     parsed with the same quarantine rules as loading), GET \
+     /corpus/docs lists the collection, and GET /corpus/stats reports \
+     corpus, index, and cache shape; changes are visible to the next \
+     query without restart.  A fixed worker pool shares one in-memory \
+     index and one join cache; a bounded queue sheds overload with \
+     503; per-request deadlines abort runaway evaluations with 408; \
+     SIGINT/SIGTERM drain gracefully."
   in
   Cmd.v
     (Cmd.info "serve" ~doc)

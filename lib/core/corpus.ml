@@ -53,9 +53,54 @@ type outcome = {
 
 let empty = { docs = String_map.empty; cindex = Some Corpus_index.empty }
 
+(* Full rebuild from the surviving documents — the middle rung of the
+   index-maintenance degradation ladder (incremental retract → rebuild →
+   no index).  Each fold step re-passes the [index.build] failpoint, so
+   a rebuild failure lands exactly where a failed initial build would:
+   the index is dropped and queries full-scan. *)
+let rebuild_index docs =
+  match
+    String_map.fold
+      (fun name ctx idx -> Corpus_index.add_document idx ~name ctx.Context.index)
+      docs Corpus_index.empty
+  with
+  | idx -> Some idx
+  | exception e ->
+      Xfrag_fault.Fault.record "index_build_errors";
+      ignore e;
+      None
+
+let remove t ~name =
+  if not (String_map.mem name t.docs) then t
+  else begin
+    let docs = String_map.remove name t.docs in
+    let cindex =
+      match t.cindex with
+      | None -> None (* a dropped index stays dropped; full scans *)
+      | Some idx -> (
+          (* Incremental retract first (O(vocabulary), no re-tokenizing);
+             if it fails — the armed [index.retract] failpoint, or any
+             real defect — fall back to rebuilding from scratch rather
+             than serving an index that may still list the dead
+             document (a stale posting would route queries to a missing
+             context). *)
+          match Corpus_index.remove_document idx name with
+          | idx -> Some idx
+          | exception e ->
+              Xfrag_fault.Fault.record "index_retract_errors";
+              ignore e;
+              rebuild_index docs)
+    in
+    { docs; cindex }
+  end
+
 let add t ~name tree =
-  if String_map.mem name t.docs then
-    invalid_arg (Printf.sprintf "Corpus.add: duplicate document name %S" name);
+  (* Add-or-replace: PUT semantics.  Replacing starts with a retract of
+     the old version (no-op for fresh names, so a plain add never pays
+     for it), then folds the new document in — the old context's
+     generation is thereby retired, which is the caller's cue to retire
+     its join-cache partition (see [generation]). *)
+  let t = remove t ~name in
   let ctx = Context.create tree in
   let cindex =
     match t.cindex with
@@ -74,6 +119,15 @@ let add t ~name tree =
             None)
   in
   { docs = String_map.add name ctx t.docs; cindex }
+
+let replace = add
+
+let generation t name =
+  match String_map.find_opt name t.docs with
+  | Some ctx -> Some ctx.Context.generation
+  | None -> None
+
+let mem t name = String_map.mem name t.docs
 
 let of_documents docs =
   List.fold_left (fun t (name, tree) -> add t ~name tree) empty docs

@@ -98,14 +98,52 @@ type outcome = {
 val empty : t
 
 val add : t -> name:string -> Xfrag_doctree.Doctree.t -> t
-(** Functional add; builds the document's context eagerly and folds it
-    into the corpus index.  If index maintenance fails (e.g. the
-    [index.build] failpoint), the index is dropped — the corpus degrades
-    gracefully to full-scan execution (and bumps the
-    [index_build_errors] fault counter); the document is still added.
-    @raise Invalid_argument on a duplicate name. *)
+(** Functional add-or-replace (PUT semantics); builds the document's
+    context eagerly and folds it into the corpus index.  Adding an
+    existing name {e replaces} that document: the old version is
+    retracted first (retiring its {!Context.generation} — callers
+    holding a {!Join_cache.t} should {!Join_cache.retire} it, see
+    {!generation}) and the new version gets a fresh context.
+
+    Index maintenance degrades, never fails the mutation: if folding
+    the new document in raises (e.g. the [index.build] failpoint), the
+    index is dropped — the corpus degrades gracefully to full-scan
+    execution (and bumps the [index_build_errors] fault counter); the
+    document is still added.  A replace additionally passes the retract
+    ladder documented at {!remove}. *)
+
+val replace : t -> name:string -> Xfrag_doctree.Doctree.t -> t
+(** Alias of {!add} — the name callers on the mutation path should use
+    when they expect the document to exist (though, like HTTP PUT, it
+    creates on a fresh name too). *)
+
+val remove : t -> name:string -> t
+(** Functional delete; a no-op for unknown names.  The corpus index is
+    maintained down a three-rung degradation ladder, each rung
+    preserving answer correctness and losing only speed:
+
+    + {b incremental retract} — [Corpus_index.remove_document] drops
+      the document from every posting list (passes the [index.retract]
+      failpoint, keyed by name);
+    + {b full rebuild} — if the retract raises, the index is rebuilt
+      from the surviving documents ([index_retract_errors] bumped; each
+      fold step re-passes [index.build]);
+    + {b no index} — if the rebuild raises too, the index is dropped
+      ([index_build_errors] bumped) and queries full-scan.
+
+    A corpus whose index was already dropped stays unindexed. *)
+
+val generation : t -> string -> int option
+(** The named document's {!Context.generation} — the key identifying
+    its join-cache partition.  Read it {e before} a {!remove} /
+    {!replace} and pass it to {!Join_cache.retire} so the mutation
+    invalidates exactly that document's cached joins.  [None] for
+    unknown names. *)
+
+val mem : t -> string -> bool
 
 val of_documents : (string * Xfrag_doctree.Doctree.t) list -> t
+(** Folds {!add} left-to-right: duplicate names keep the last tree. *)
 
 val size : t -> int
 (** Number of documents. *)

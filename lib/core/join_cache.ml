@@ -207,6 +207,24 @@ let clear t =
     (fun stripe -> with_stripe stripe (fun () -> stripe.parts <- []))
     t.stripes
 
+(* Retiring one generation is the document-mutation hook: replacing or
+   deleting a document invalidates exactly its partition (its interner
+   dies with it, so a stale hit is impossible), and every other resident
+   document stays warm — the whole point of per-generation partitions. *)
+let retire t ~generation =
+  Array.iter
+    (fun stripe ->
+      with_stripe stripe (fun () ->
+          let dead, live =
+            List.partition (fun p -> p.part_gen = generation) stripe.parts
+          in
+          List.iter
+            (fun p ->
+              if Lru.length p.lru > 0 then Atomic.incr t.c_invalidations)
+            dead;
+          stripe.parts <- live))
+    t.stripes
+
 (* Both orders of the same unordered pair must land on the same stripe,
    and picking it must not hash the node arrays (that O(n) cost is
    exactly what sinks the cache on large operands) — so mix each

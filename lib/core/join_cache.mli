@@ -169,6 +169,13 @@ val clear : t -> unit
 (** Drop all partitions (entries and interned ids); cumulative counters
     survive. *)
 
+val retire : t -> generation:int -> unit
+(** Drop the one partition belonging to [generation] from every stripe
+    (no-op if none is resident).  This is the document-mutation hook:
+    replacing or deleting a document retires exactly that document's
+    memo state — counted as an invalidation if it held entries — while
+    every other resident document stays warm. *)
+
 val hits : t -> int
 
 val misses : t -> int

@@ -57,6 +57,7 @@ let add_document t ~name idx =
   }
 
 let remove_document t name =
+  Fault.Failpoint.hit ~key:name "index.retract";
   match String_map.find_opt name t.docs with
   | None -> t
   | Some _ ->

@@ -54,7 +54,11 @@ val add_document : t -> name:string -> Xfrag_doctree.Inverted_index.t -> t
 
 val remove_document : t -> string -> t
 (** Drop a document from every posting list (no-op for unknown names).
-    The hook incremental corpus maintenance builds on. *)
+    Passes the [index.retract] failpoint (keyed by document name) first,
+    mirroring [add_document]'s [index.build] site; callers are expected
+    to fall back to a full rebuild — and from there to an unindexed
+    corpus — when it raises.  The hook incremental corpus maintenance
+    builds on. *)
 
 val options : t -> Xfrag_doctree.Tokenizer.options option
 (** Probe-normalization options, fixed by the first added document;

@@ -280,7 +280,9 @@ type response = {
 
 let status_reason = function
   | 200 -> "OK"
+  | 201 -> "Created"
   | 204 -> "No Content"
+  | 409 -> "Conflict"
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"

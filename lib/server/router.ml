@@ -22,7 +22,18 @@ let default_slow_ms = 100
 
 type t = {
   ctx : Context.t;
-  corpus : Corpus.t option;
+  corpus : Corpus.t Atomic.t;
+      (* The serving snapshot.  Readers [Atomic.get] it once per request
+         and evaluate against that value for the whole request — a
+         concurrent writer publishing a new corpus can never tear an
+         in-flight query (the snapshot is an immutable functional
+         value).  An empty corpus doubles as "no corpus": /corpus/query
+         404s on size 0, exactly as the old [option] did, but a PUT can
+         bootstrap a collection onto a server started without one. *)
+  writer_lock : Mutex.t;
+      (* Serializes mutations (read-modify-write of [corpus] plus the
+         join-cache partition retirement).  Writers are expected to be
+         rare relative to reads; readers never take it. *)
   shards : int option;
   cache : Join_cache.t option;
   default_deadline_ns : int option;
@@ -42,7 +53,8 @@ let create ?cache ?default_deadline_ns ?(queue_depth = fun () -> 0) ?corpus
     ?shards ?slow_ms ?access_log ctx =
   {
     ctx;
-    corpus;
+    corpus = Atomic.make (Option.value corpus ~default:Corpus.empty);
+    writer_lock = Mutex.create ();
     shards;
     cache;
     default_deadline_ns;
@@ -63,14 +75,30 @@ let locked t f =
   Mutex.lock t.reg_lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.reg_lock) f
 
+(* /corpus/docs/{name}: the document name is the final path segment,
+   taken verbatim (no percent-decoding; names containing '/' are not
+   addressable).  [None] for /corpus/docs itself and for empty names. *)
+let docs_prefix = "/corpus/docs/"
+
+let doc_path_name path =
+  let pl = String.length docs_prefix in
+  if String.length path > pl && String.sub path 0 pl = docs_prefix then
+    let name = String.sub path pl (String.length path - pl) in
+    if name = "" || String.contains name '/' then None else Some name
+  else None
+
 (* Metric labels come from this fixed set, never the raw request path:
    untrusted clients probing random paths must not be able to mint new
-   registry series (unbounded memory, unbounded /metrics page). *)
+   registry series (unbounded memory, unbounded /metrics page).  All
+   per-document paths share one label — document names are
+   client-chosen and unbounded. *)
 let endpoint_label path =
   match path with
-  | "/query" | "/explain" | "/corpus/query" | "/healthz" | "/metrics"
-  | "/debug/requests" | "/debug/slow" ->
+  | "/query" | "/explain" | "/corpus/query" | "/corpus/docs"
+  | "/corpus/stats" | "/healthz" | "/metrics" | "/debug/requests"
+  | "/debug/slow" ->
       path
+  | _ when doc_path_name path <> None -> "/corpus/docs/{name}"
   | _ -> "other"
 
 let record t ~endpoint ~status ~ns =
@@ -141,10 +169,13 @@ let metrics_page t =
          fires) are process-global; mirror them under faults.* so chaos
          runs can assert on the /metrics page. *)
       Metrics.sync_assoc ~prefix:"faults." t.registry (Fault.counters ());
+      Metrics.Gauge.set
+        (Metrics.gauge t.registry "corpus.docs")
+        (float_of_int (Corpus.size (Atomic.get t.corpus)));
       (* Corpus-index shape: 0s when the corpus is unindexed (index
          maintenance failed) or the server has no corpus, so a scrape
          can tell "routing off" from "index empty". *)
-      (match Option.bind t.corpus Corpus.index with
+      (match Corpus.index (Atomic.get t.corpus) with
       | None -> ()
       | Some idx ->
           Metrics.Gauge.set
@@ -214,18 +245,74 @@ let charge_cache p cache (h0, m0) =
 
 (* --- JSON plumbing --- *)
 
-let json_response ~status j =
+let json_response ?(headers = []) ~status j =
   Http.response
-    ~headers:[ ("Content-Type", "application/json") ]
+    ~headers:(("Content-Type", "application/json") :: headers)
     ~status
     (Json.to_string j ^ "\n")
 
-let error_response ~status msg =
-  json_response ~status (Json.Obj [ ("error", Json.String msg) ])
+(* --- the uniform error envelope ---
+
+   Every error body, on every endpoint and status, is
+   [{"error": {"kind", "message", "request_id", ...}}]: [kind] is a
+   stable machine-readable discriminator, [message] the human-oriented
+   text, and [request_id] (stamped at [handle]'s single exit) joins the
+   failure to its wide event.  Fault-injected 500s add ["site"]; 405s
+   add ["allow"].
+
+   Deprecated aliases (one release, see README): [kind] / [site] /
+   [request_id] are mirrored at the top level, where pre-envelope 500s
+   carried them.  The old top-level ["error": "<string>"] message became
+   the envelope itself — that is the one breaking change. *)
+let kind_of_status = function
+  | 400 -> "bad_request"
+  | 404 -> "not_found"
+  | 405 -> "method_not_allowed"
+  | 408 -> "deadline"
+  | 409 -> "conflict"
+  | 413 -> "payload_too_large"
+  | 503 -> "overloaded"
+  | s when s >= 500 -> "internal"
+  | _ -> "error"
+
+let error_json ~kind ?site ?(extra = []) msg =
+  let site_fields =
+    match site with None -> [] | Some s -> [ ("site", Json.String s) ]
+  in
+  Json.Obj
+    (( "error",
+       Json.Obj
+         ([ ("kind", Json.String kind); ("message", Json.String msg) ]
+         @ site_fields @ extra) )
+    :: ("kind", Json.String kind)
+    :: site_fields
+    @ extra)
+
+let error_response ?kind ?site ?extra ?headers ~status msg =
+  let kind = match kind with Some k -> k | None -> kind_of_status status in
+  json_response ?headers ~status (error_json ~kind ?site ?extra msg)
+
+(* The envelope as a raw body line, for failures the listener answers
+   before any request reaches the router (shed 503s, unparsable 400s,
+   read-timeout 408s): same shape, request id already known. *)
+let error_body ~kind ~id msg =
+  match error_json ~kind msg with
+  | Json.Obj fields ->
+      let fields =
+        List.map
+          (function
+            | "error", Json.Obj env ->
+                ("error", Json.Obj (env @ [ ("request_id", Json.String id) ]))
+            | f -> f)
+          fields
+      in
+      Json.to_string (Json.Obj (fields @ [ ("request_id", Json.String id) ]))
+      ^ "\n"
+  | j -> Json.to_string j ^ "\n"
 
 exception Reject of Http.response
 
-let reject ~status msg = raise (Reject (error_response ~status msg))
+let reject ?kind ~status msg = raise (Reject (error_response ?kind ~status msg))
 
 (* --- request decoding ---
 
@@ -348,10 +435,17 @@ let handle_explain t p ~id req =
 
 let max_batch = 32
 
+(* Snapshot pinning: one [Atomic.get] hands the request an immutable
+   corpus value it keeps for its whole lifetime — concurrent PUT/DELETE
+   publish new snapshots without ever mutating this one. *)
+let snapshot t = Atomic.get t.corpus
+
 let corpus_of t =
-  match t.corpus with
-  | Some c when Corpus.size c > 0 -> c
-  | _ -> reject ~status:404 "no corpus loaded (serve with multiple FILEs)"
+  let c = snapshot t in
+  if Corpus.size c > 0 then c
+  else
+    reject ~status:404
+      "no corpus loaded (serve with multiple FILEs, or PUT /corpus/docs/{name})"
 
 let corpus_hit_json corpus (hit, score) =
   let ctx = Corpus.context corpus hit.Corpus.doc in
@@ -489,6 +583,195 @@ let handle_corpus_query t p ~id req =
       in
       json_response ~status:200 body
 
+(* --- document CRUD: PUT/GET/DELETE /corpus/docs/{name} ---
+
+   Writers serialize on [writer_lock]: read the pinned snapshot, compute
+   the functionally-updated corpus, publish it with one [Atomic.set],
+   then retire the replaced/deleted document's join-cache partition
+   (keyed by its retired {!Context.generation}) so every other resident
+   document stays warm.  Readers never take the lock — they keep
+   querying the previous snapshot until the set lands.  The
+   [corpus.write] failpoint fires inside the lock but before any state
+   change, so an injected failure 500s with the published snapshot
+   untouched. *)
+
+let record_write t ~op ~ns ~wait_ns ~maint_ns ~retracted =
+  locked t (fun () ->
+      Metrics.Counter.incr
+        (Metrics.counter t.registry (Printf.sprintf "corpus.%s" op));
+      Metrics.Histogram.observe
+        (Metrics.histogram t.registry (Printf.sprintf "corpus.%s_ns" op))
+        (float_of_int ns);
+      Metrics.Histogram.observe
+        (Metrics.histogram t.registry "corpus.writer_wait_ns")
+        (float_of_int wait_ns);
+      if retracted then
+        Metrics.Histogram.observe
+          (Metrics.histogram t.registry "index.retract_ns")
+          (float_of_int maint_ns))
+
+(* Returns (the document existed before, writer-lock wait ns, index
+   maintenance ns). *)
+let mutate t ~name f =
+  let t0 = Clock.monotonic () in
+  Mutex.lock t.writer_lock;
+  let wait_ns = Clock.monotonic () - t0 in
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.writer_lock)
+    (fun () ->
+      Fault.Failpoint.hit ~key:name "corpus.write";
+      let old = Atomic.get t.corpus in
+      let old_gen = Corpus.generation old name in
+      let m0 = Clock.monotonic () in
+      let next = f old in
+      let maint_ns = Clock.monotonic () - m0 in
+      Atomic.set t.corpus next;
+      (match (old_gen, t.cache) with
+      | Some g, Some c -> Join_cache.retire c ~generation:g
+      | _ -> ());
+      (old_gen <> None, wait_ns, maint_ns))
+
+let doc_stats_json name ctx =
+  Json.Obj
+    [
+      ("doc", Json.String name);
+      ("nodes", Json.Int (Context.size ctx));
+      ( "keywords",
+        Json.Int
+          (List.length (Xfrag_doctree.Inverted_index.stats ctx.Context.index))
+      );
+      ("generation", Json.Int ctx.Context.generation);
+    ]
+
+let handle_put_doc t p ~id ~name req =
+  let t0 = Clock.monotonic () in
+  let tree =
+    (* Same quarantine discipline as [Loader.load_tree]: the
+       [parse.document] failpoint (keyed by the document name, as the
+       loader keys it by path) runs first, and every parse failure —
+       malformed XML, injected fault, any escape — surfaces as a
+       structured 400 and a [quarantined_docs] bump, never an exception
+       and never a corpus change. *)
+    match
+      Fault.Failpoint.hit ~key:name "parse.document";
+      Doctree.of_xml (Xfrag_xml.Xml_parser.parse_string req.Http.body)
+    with
+    | tree -> tree
+    | exception Xfrag_xml.Xml_error.Parse_error e ->
+        Fault.record "quarantined_docs";
+        reject ~kind:"parse_error" ~status:400
+          (Xfrag_xml.Xml_error.to_string e)
+    | exception Fault.Injected (site, detail) ->
+        Fault.record "quarantined_docs";
+        reject ~kind:"parse_error" ~status:400
+          (Printf.sprintf "injected fault at %s: %s" site detail)
+    | exception e ->
+        Fault.record "quarantined_docs";
+        reject ~kind:"parse_error" ~status:400 (Printexc.to_string e)
+  in
+  p.p_parse_ns <- Clock.monotonic () - t0;
+  let existed, wait_ns, maint_ns =
+    mutate t ~name (fun c -> Corpus.replace c ~name tree)
+  in
+  let ns = Clock.monotonic () - t0 in
+  record_write t ~op:"put" ~ns ~wait_ns ~maint_ns ~retracted:existed;
+  let corpus = snapshot t in
+  json_response
+    ~status:(if existed then 200 else 201)
+    (Json.Obj
+       [
+         ("request_id", Json.String id);
+         ("doc", Json.String name);
+         ("created", Json.Bool (not existed));
+         ("replaced", Json.Bool existed);
+         ("nodes", Json.Int (Context.size (Corpus.context corpus name)));
+         ("corpus_docs", Json.Int (Corpus.size corpus));
+       ])
+
+let handle_delete_doc t ~id ~name =
+  let t0 = Clock.monotonic () in
+  (* Existence is decided inside the writer critical section, so two
+     racing DELETEs of the same document cannot both claim the kill. *)
+  let existed, wait_ns, maint_ns =
+    mutate t ~name (fun c -> Corpus.remove c ~name)
+  in
+  if not existed then
+    reject ~status:404 (Printf.sprintf "no such document %S" name)
+  else begin
+    let ns = Clock.monotonic () - t0 in
+    record_write t ~op:"delete" ~ns ~wait_ns ~maint_ns ~retracted:true;
+    json_response ~status:200
+      (Json.Obj
+         [
+           ("request_id", Json.String id);
+           ("doc", Json.String name);
+           ("deleted", Json.Bool true);
+           ("corpus_docs", Json.Int (Corpus.size (snapshot t)));
+         ])
+  end
+
+let handle_get_doc t ~id ~name =
+  let corpus = snapshot t in
+  match Corpus.context corpus name with
+  | ctx -> (
+      match doc_stats_json name ctx with
+      | Json.Obj fields ->
+          json_response ~status:200
+            (Json.Obj (("request_id", Json.String id) :: fields))
+      | j -> json_response ~status:200 j)
+  | exception Not_found ->
+      reject ~status:404 (Printf.sprintf "no such document %S" name)
+
+(* Listing and stats read the snapshot directly (no [corpus_of] 404):
+   an empty collection is a legal answer on the resource endpoints —
+   it is what a client sees between bootstrap and its first PUT. *)
+let handle_list_docs t ~id =
+  let corpus = snapshot t in
+  json_response ~status:200
+    (Json.Obj
+       [
+         ("request_id", Json.String id);
+         ("count", Json.Int (Corpus.size corpus));
+         ( "docs",
+           Json.List
+             (List.map
+                (fun name -> doc_stats_json name (Corpus.context corpus name))
+                (Corpus.names corpus)) );
+       ])
+
+let handle_corpus_stats t ~id =
+  let corpus = snapshot t in
+  let index_json =
+    match Corpus.index corpus with
+    | None -> Json.Null
+    | Some idx ->
+        Json.Obj
+          [
+            ("docs", Json.Int (Xfrag_index.Corpus_index.doc_count idx));
+            ( "vocabulary",
+              Json.Int (Xfrag_index.Corpus_index.vocabulary_size idx) );
+            ("postings", Json.Int (Xfrag_index.Corpus_index.total_postings idx));
+          ]
+  in
+  let cache_json =
+    match t.cache with
+    | None -> Json.Null
+    | Some c ->
+        Json.Obj
+          (List.map
+             (fun (k, v) -> (k, Json.Int v))
+             (Join_cache.metrics_assoc c))
+  in
+  json_response ~status:200
+    (Json.Obj
+       [
+         ("request_id", Json.String id);
+         ("docs", Json.Int (Corpus.size corpus));
+         ("total_nodes", Json.Int (Corpus.total_nodes corpus));
+         ("index", index_json);
+         ("cache", cache_json);
+       ])
+
 (* --- /debug/requests and /debug/slow --- *)
 
 let int_param req name ~default =
@@ -533,18 +816,32 @@ let handle_debug_slow t req =
 
 (* --- dispatch --- *)
 
+(* The method table for every known path: a known path with the wrong
+   method answers 405 with an [Allow] header and the allowed list in
+   the body; only unknown paths 404. *)
+let allowed_methods path =
+  match path with
+  | "/query" | "/explain" | "/corpus/query" -> Some [ "POST" ]
+  | "/corpus/docs" | "/corpus/stats" | "/healthz" | "/metrics"
+  | "/debug/requests" | "/debug/slow" ->
+      Some [ "GET" ]
+  | _ when doc_path_name path <> None -> Some [ "DELETE"; "GET"; "PUT" ]
+  | _ -> None
+
 let method_not_allowed allow =
-  Http.response
-    ~headers:[ ("Allow", allow); ("Content-Type", "application/json") ]
-    ~status:405
-    (Json.to_string (Json.Obj [ ("error", Json.String "method not allowed") ])
-    ^ "\n")
+  error_response ~status:405
+    ~headers:[ ("Allow", String.concat ", " allow) ]
+    ~extra:[ ("allow", Json.List (List.map (fun m -> Json.String m) allow)) ]
+    (Printf.sprintf "method not allowed (allowed: %s)"
+       (String.concat ", " allow))
 
 let dispatch t p ~id req =
   match (req.Http.meth, req.Http.path) with
   | "POST", "/query" -> handle_query t p ~id req
   | "POST", "/explain" -> handle_explain t p ~id req
   | "POST", "/corpus/query" -> handle_corpus_query t p ~id req
+  | "GET", "/corpus/docs" -> handle_list_docs t ~id
+  | "GET", "/corpus/stats" -> handle_corpus_stats t ~id
   | "GET", "/healthz" ->
       Http.response ~headers:[ ("Content-Type", "text/plain") ] ~status:200 "ok\n"
   | "GET", "/metrics" ->
@@ -553,37 +850,31 @@ let dispatch t p ~id req =
         ~status:200 (metrics_page t)
   | "GET", "/debug/requests" -> handle_debug_requests req
   | "GET", "/debug/slow" -> handle_debug_slow t req
-  | _, ("/query" | "/explain" | "/corpus/query") -> method_not_allowed "POST"
-  | _, ("/healthz" | "/metrics" | "/debug/requests" | "/debug/slow") ->
-      method_not_allowed "GET"
-  | _, _ -> error_response ~status:404 "not found"
+  | meth, path -> (
+      match (doc_path_name path, meth) with
+      | Some name, "PUT" -> handle_put_doc t p ~id ~name req
+      | Some name, "GET" -> handle_get_doc t ~id ~name
+      | Some name, "DELETE" -> handle_delete_doc t ~id ~name
+      | _ -> (
+          match allowed_methods path with
+          | Some allow -> method_not_allowed allow
+          | None -> error_response ~status:404 "not found"))
 
-(* Engine escapes become structured 500s: a machine-readable [kind]
-   (plus [site] for injected faults) so clients and chaos harnesses can
-   distinguish deliberate injection from a genuine bug without parsing
-   the human-oriented message.  Every 500 bumps the [request_errors]
-   fault counter — the containment signal on /metrics.  The body echoes
-   the request id, so the failure can be joined back to its wide event
-   in /debug/requests. *)
-let internal_error_response ~id e =
+(* Engine escapes become structured 500s in the envelope: a
+   machine-readable [kind] (plus [site] for injected faults) so clients
+   and chaos harnesses can distinguish deliberate injection from a
+   genuine bug without parsing the human-oriented message.  Every 500
+   bumps the [request_errors] fault counter — the containment signal on
+   /metrics.  The request id lands in the body at [handle]'s single
+   exit, so the failure can be joined back to its wide event in
+   /debug/requests. *)
+let internal_error_response e =
   Fault.record "request_errors";
-  let fields =
-    match e with
-    | Fault.Injected (site, detail) ->
-        [
-          ( "error",
-            Json.String (Printf.sprintf "injected fault at %s: %s" site detail)
-          );
-          ("kind", Json.String "fault_injected");
-          ("site", Json.String site);
-        ]
-    | e ->
-        [
-          ("error", Json.String ("internal error: " ^ Printexc.to_string e));
-          ("kind", Json.String "internal");
-        ]
-  in
-  json_response ~status:500 (Json.Obj (fields @ [ ("request_id", Json.String id) ]))
+  match e with
+  | Fault.Injected (site, detail) ->
+      error_response ~status:500 ~kind:"fault_injected" ~site
+        (Printf.sprintf "injected fault at %s: %s" site detail)
+  | e -> error_response ~status:500 ("internal error: " ^ Printexc.to_string e)
 
 let with_request_id id resp =
   {
@@ -593,20 +884,29 @@ let with_request_id id resp =
 
 (* Error bodies are built by [reject] deep inside decoding helpers,
    before the request id is in scope; stamp it in at the single exit
-   point instead so every JSON error (400/404/405/408) can be joined
-   back to its wide event, like the 200s and 500s already can. *)
+   point instead so every JSON error (400/404/405/408/500) can be
+   joined back to its wide event, like the 200s already can.  The id
+   lands both inside the ["error"] envelope (the documented home) and
+   at the top level (deprecated alias, one release). *)
 let ensure_body_request_id ~id resp =
   if resp.Http.status < 400 then resp
   else
     match Json.of_string resp.Http.resp_body with
-    | Ok (Json.Obj fields) when not (List.mem_assoc "request_id" fields) ->
-        {
-          resp with
-          Http.resp_body =
-            Json.to_string
-              (Json.Obj (fields @ [ ("request_id", Json.String id) ]))
-            ^ "\n";
-        }
+    | Ok (Json.Obj fields) ->
+        let fields =
+          List.map
+            (function
+              | "error", Json.Obj env
+                when not (List.mem_assoc "request_id" env) ->
+                  ("error", Json.Obj (env @ [ ("request_id", Json.String id) ]))
+              | f -> f)
+            fields
+        in
+        let fields =
+          if List.mem_assoc "request_id" fields then fields
+          else fields @ [ ("request_id", Json.String id) ]
+        in
+        { resp with Http.resp_body = Json.to_string (Json.Obj fields) ^ "\n" }
     | _ -> resp
 
 let outcome_of_status = function
@@ -671,7 +971,7 @@ let handle ?(queue_ns = 0) t req =
             p.p_outcome <- "fault";
             p.p_site <- site
         | _ -> p.p_outcome <- "error");
-        internal_error_response ~id e
+        internal_error_response e
   in
   let resp = with_request_id id (ensure_body_request_id ~id resp) in
   let total_ns = Clock.monotonic () - t0 in

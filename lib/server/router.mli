@@ -26,6 +26,30 @@
       [{"results": […]}].  Batches are capped (400 above the cap).  A
       deadline that expires mid-corpus-run returns the partial merge
       with ["deadline_expired": true] — a 200, not a 408.
+    - [PUT /corpus/docs/{name}] — create or replace the named document;
+      the body is the document XML, parsed and quarantine-checked
+      exactly like {!Xfrag_doctree.Loader} (the [parse.document]
+      failpoint runs keyed by the name; any parse failure is a
+      structured 400 with [kind "parse_error"] and no corpus change).
+      201 on create, 200 on replace; the answer carries ["created"] /
+      ["replaced"], the parsed node count, and the new corpus size.
+      The change is visible to the next [POST /corpus/query] without a
+      restart, and a replace retires only that document's join-cache
+      partition.
+    - [GET /corpus/docs/{name}] — per-document stats
+      ([{"doc","nodes","keywords","generation"}]); 404 for unknown
+      names.
+    - [DELETE /corpus/docs/{name}] — remove the document (404 if
+      absent); the corpus index retracts it incrementally, degrading to
+      a full rebuild and then to index-less full scans if maintenance
+      fails (see {!Xfrag_core.Corpus.remove}).
+    - [GET /corpus/docs] — the collection listing: ["count"] plus
+      per-document stats rows.  An empty collection is a legal answer
+      (a server can boot with no corpus and be populated by PUTs).
+    - [GET /corpus/stats] — corpus shape: document and node totals, the
+      corpus-index shape (["docs"]/["vocabulary"]/["postings"], [null]
+      once index maintenance has failed and the corpus runs full
+      scans), and the join-cache counters ([null] without a cache).
     - [GET /healthz] — liveness probe, ["ok"].
     - [GET /metrics] — Prometheus text exposition of the server
       registry (request counts by endpoint and status, latency
@@ -56,8 +80,32 @@
     [/explain] evaluation that exceeds its deadline aborts cooperatively
     (see {!Xfrag_core.Deadline}) and answers 408.
 
-    Wrong method on a known path is 405 with [Allow]; unknown paths are
-    404; undecodable bodies are 400.  [handle] never raises. *)
+    {b Errors.}  Every error response, on every endpoint, is the
+    uniform envelope [{"error": {"kind", "message", "request_id", …}}]:
+    [kind] is a stable machine-readable discriminator ([bad_request],
+    [parse_error], [not_found], [method_not_allowed], [deadline],
+    [fault_injected], [internal], [overloaded], …), [message] the
+    human-oriented text, and [request_id] the same id as the header.
+    Fault-injected 500s add ["site"]; 405s add ["allow"].  {e Deprecated
+    aliases} (kept one release): [kind] / [site] / [request_id] are
+    mirrored at the top level of the body, where pre-envelope responses
+    carried them.  Wrong method on a known path is 405 with an [Allow]
+    header and the allowed-method list in the body; unknown paths are
+    404; undecodable bodies are 400.  [handle] never raises.
+
+    {b Mutability.}  The router holds the corpus as an atomically
+    swapped snapshot: every request pins the current value once and
+    computes against it for its whole lifetime (queries are never
+    torn), while writers (PUT/DELETE) serialize on a small writer mutex
+    and publish functionally-updated corpora.  Write-path telemetry:
+    [corpus.put]/[corpus.delete] counters and latency histograms,
+    [corpus.writer_wait_ns], and [index.retract_ns] on the metrics
+    page; each mutation is a wide event under the
+    ["/corpus/docs/{name}"] endpoint label.  Fault sites: [corpus.write]
+    fires inside the writer lock before any state change (an injected
+    failure 500s with the snapshot untouched); the corpus-maintenance
+    ladder ([index.retract] → rebuild → no index) is documented at
+    {!Xfrag_core.Corpus.remove}. *)
 
 type t
 
@@ -75,8 +123,10 @@ val create :
     than one worker (see {!Xfrag_core.Join_cache}); it serves [/query],
     [/explain], and — now that the cache partitions per document —
     [POST /corpus/query] as well (see {!Xfrag_core.Corpus.run} for the
-    sharding rule).  [corpus] enables [POST /corpus/query]
-    (404 without it); [shards] pins its shard count (default: the
+    sharding rule).  [corpus] seeds the mutable collection (default
+    empty; [POST /corpus/query] 404s while the collection is empty, but
+    [PUT /corpus/docs/{name}] can populate a server started without
+    one); [shards] pins its shard count (default: the
     {!Xfrag_core.Corpus.run} default — [XFRAG_SHARDS] or the pool's
     parallelism).  [queue_depth] feeds the [server_queue_depth] gauge at
     scrape time.  [slow_ms] sets the [/debug/slow] default threshold
@@ -102,6 +152,12 @@ val record : t -> endpoint:string -> status:int -> ns:int -> unit
 
 val record_shed : t -> unit
 (** Bump the load-shedding counter (and the 503 request counter). *)
+
+val error_body : kind:string -> id:string -> string -> string
+(** The uniform error envelope as a newline-terminated JSON body — for
+    failures answered before any request reaches the router (the
+    listener's shed 503s, unparsable 400s, read-timeout 408s), so every
+    byte a client can ever see uses one error shape. *)
 
 val metrics_page : t -> string
 (** The [GET /metrics] body (also reachable through {!handle}). *)

@@ -46,8 +46,7 @@ let shed_response id =
            ("X-Request-Id", id);
          ]
        ~status:503
-       (Printf.sprintf "{\"error\":\"server overloaded\",\"request_id\":%s}\n"
-          (Xfrag_obs.Json.escape_string id)))
+       (Router.error_body ~kind:"overloaded" ~id "server overloaded"))
 
 let start ?(config = default_config) router =
   (* A peer that disappears mid-write must surface as EPIPE, not kill
@@ -102,10 +101,11 @@ let handle_conn t ~queued_at fd =
   let send resp ~keep_alive =
     Http.write_all fd (Http.response_to_string ~keep_alive resp)
   in
-  let fail ~status msg =
+  let fail ~status ~kind msg =
     (* The request never parsed, so there is no inbound header to
        honor: mint an id anyway — even a 400 is a wide event and an
-       X-Request-Id the client can quote. *)
+       X-Request-Id the client can quote.  The body is the same error
+       envelope the router emits. *)
     let id = Xfrag_obs.Reqid.mint () in
     Router.record t.router ~endpoint:"*" ~status ~ns:0;
     Xfrag_obs.Recorder.record ~endpoint:"*" ~status ~id
@@ -115,9 +115,7 @@ let handle_conn t ~queued_at fd =
          ~headers:
            [ ("Content-Type", "application/json"); ("X-Request-Id", id) ]
          ~status
-         (Printf.sprintf "{\"error\":%s,\"request_id\":%s}\n"
-            (Xfrag_obs.Json.escape_string msg)
-            (Xfrag_obs.Json.escape_string id)))
+         (Router.error_body ~kind ~id msg))
   in
   (* Queue wait is charged to the connection's first request — the one
      that actually sat in the admission queue; keep-alive successors
@@ -133,9 +131,11 @@ let handle_conn t ~queued_at fd =
     | Error Http.Timeout ->
         (* Mid-request: the client is too slow, tell it so.  Idle
            keep-alive connection: just hang up. *)
-        if Http.in_message reader then fail ~status:408 "request read timeout"
-    | Error (Http.Bad_request msg) -> fail ~status:400 msg
-    | Error Http.Payload_too_large -> fail ~status:413 "request body too large"
+        if Http.in_message reader then
+          fail ~status:408 ~kind:"timeout" "request read timeout"
+    | Error (Http.Bad_request msg) -> fail ~status:400 ~kind:"bad_request" msg
+    | Error Http.Payload_too_large ->
+        fail ~status:413 ~kind:"payload_too_large" "request body too large"
     | Ok req ->
         let resp =
           Router.handle ~queue_ns:(if n = 0 then queue_ns else 0) t.router req

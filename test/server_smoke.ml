@@ -250,6 +250,99 @@ let () =
   | Ok (s, _, reply) -> (cleanup (); die "/debug/slow: %d %s" s reply)
   | Error e -> (cleanup (); die "/debug/slow: %s" e));
 
+  (* --- mutation phase: document CRUD on the live server ---
+
+     PUT a new document (a keyword no generated doc contains), see it
+     answer the very next corpus query, DELETE it, and see it gone —
+     all without a restart. *)
+  let mutation_query = {|{"keywords":["mudflat"],"limit":5}|} in
+  let corpus_count () =
+    match
+      Client.once ~host:"127.0.0.1" ~port ~meth:"POST" ~path:"/corpus/query"
+        ~body:mutation_query ()
+    with
+    | Ok (200, _, reply) -> (
+        match Json.of_string reply with
+        | Ok j -> (
+            match int_member "count" j with
+            | Some n -> n
+            | None -> (cleanup (); die "mutation count missing: %s" reply))
+        | Error e -> (cleanup (); die "mutation query not JSON: %s" e))
+    | Ok (s, _, reply) -> (cleanup (); die "mutation query: %d %s" s reply)
+    | Error e -> (cleanup (); die "mutation query: %s" e)
+  in
+  if corpus_count () <> 0 then
+    (cleanup (); die "mudflat already answers before the PUT");
+  (match
+     Client.once ~host:"127.0.0.1" ~port ~meth:"PUT"
+       ~path:"/corpus/docs/live.xml"
+       ~body:"<doc><sec>mudflat mudflat heron</sec></doc>" ()
+   with
+  | Ok (201, _, reply) ->
+      if contains ~sub:{|"created":true|} reply then step "PUT -> 201 created"
+      else (cleanup (); die "PUT body not a create: %s" reply)
+  | Ok (s, _, reply) -> (cleanup (); die "PUT: %d %s" s reply)
+  | Error e -> (cleanup (); die "PUT: %s" e));
+  if corpus_count () = 0 then
+    (cleanup (); die "PUT document not visible to the next query");
+  step "PUT document answers queries without a restart";
+  (match
+     Client.once ~host:"127.0.0.1" ~port ~meth:"GET"
+       ~path:"/corpus/docs/live.xml" ()
+   with
+  | Ok (200, _, reply) ->
+      if contains ~sub:{|"doc":"live.xml"|} reply then step "GET doc stats ok"
+      else (cleanup (); die "GET doc stats wrong: %s" reply)
+  | Ok (s, _, reply) -> (cleanup (); die "GET doc: %d %s" s reply)
+  | Error e -> (cleanup (); die "GET doc: %s" e));
+  (match
+     Client.once ~host:"127.0.0.1" ~port ~meth:"DELETE"
+       ~path:"/corpus/docs/live.xml" ()
+   with
+  | Ok (200, _, reply) ->
+      if contains ~sub:{|"deleted":true|} reply then step "DELETE -> 200"
+      else (cleanup (); die "DELETE body wrong: %s" reply)
+  | Ok (s, _, reply) -> (cleanup (); die "DELETE: %d %s" s reply)
+  | Error e -> (cleanup (); die "DELETE: %s" e));
+  if corpus_count () <> 0 then
+    (cleanup (); die "deleted document still answers queries");
+  step "DELETE document gone from the next query";
+  (* The uniform error envelope on a 404, with its deprecated aliases. *)
+  (match
+     Client.once ~host:"127.0.0.1" ~port ~meth:"DELETE"
+       ~path:"/corpus/docs/live.xml" ()
+   with
+  | Ok (404, _, reply) -> (
+      match Json.of_string reply with
+      | Ok j
+        when (match Json.member "error" j with
+             | Some (Json.Obj env) ->
+                 List.assoc_opt "kind" env = Some (Json.String "not_found")
+                 && List.mem_assoc "request_id" env
+             | _ -> false)
+             && string_member "kind" j = Some "not_found" ->
+          step "404 envelope ok (kind + aliases)"
+      | Ok _ -> (cleanup (); die "404 envelope wrong: %s" reply)
+      | Error e -> (cleanup (); die "404 body not JSON: %s" e))
+  | Ok (s, _, reply) -> (cleanup (); die "re-DELETE: %d %s" s reply)
+  | Error e -> (cleanup (); die "re-DELETE: %s" e));
+  (* Write telemetry landed on /metrics. *)
+  (match Client.once ~host:"127.0.0.1" ~port ~meth:"GET" ~path:"/metrics" () with
+  | Ok (200, _, page) ->
+      List.iter
+        (fun sub ->
+          if not (contains ~sub page) then
+            (cleanup (); die "mutation metrics page lacks %S" sub))
+        [
+          "corpus_put 1";
+          "corpus_delete 1";
+          "corpus_writer_wait_ns_count 2";
+          "server_requests{endpoint=\"/corpus/docs/{name}\",status=\"201\"} 1";
+        ];
+      step "write metrics ok"
+  | Ok (s, _, _) -> (cleanup (); die "mutation metrics: %d" s)
+  | Error e -> (cleanup (); die "mutation metrics: %s" e));
+
   assert_clean_shutdown ~cleanup pid;
 
   (* --- chaos phase ---

@@ -159,6 +159,40 @@ let test_join_cache_per_document_partitions () =
   Alcotest.(check int) "generation tracks last served" (Context.generation ctx1)
     (Join_cache.generation cache)
 
+let test_join_cache_retire () =
+  (* The document-mutation hook: a PUT/DELETE retires exactly the
+     replaced document's partition (by retired generation), the other
+     resident documents stay warm, and the dead interner goes with the
+     partition so a recycled generation could never be served stale
+     fragments. *)
+  let cache = Join_cache.create ~capacity:64 ~admission:admit_all () in
+  let serve ctx =
+    let stats = Op_stats.create () in
+    let f1 = Fragment.of_nodes ctx [ 4; 5 ]
+    and f2 = Fragment.of_nodes ctx [ 7; 9 ] in
+    ignore (Join.fragment ~stats ~cache ctx f1 f2);
+    stats
+  in
+  let ctx1 = Paper.figure3_context () in
+  let ctx2 = Paper.figure3_context () in
+  ignore (serve ctx1);
+  ignore (serve ctx2);
+  Alcotest.(check int) "two partitions warm" 2 (Join_cache.partitions cache);
+  Join_cache.retire cache ~generation:(Context.generation ctx1);
+  Alcotest.(check int) "retired partition dropped" 1
+    (Join_cache.partitions cache);
+  Alcotest.(check int) "non-empty retirement counts as invalidation" 1
+    (Join_cache.invalidations cache);
+  let stats2 = serve ctx2 in
+  Alcotest.(check int) "survivor still warm" 1 stats2.Op_stats.cache_hits;
+  let stats1 = serve ctx1 in
+  Alcotest.(check int) "retired document re-misses" 1
+    stats1.Op_stats.cache_misses;
+  (* Retiring a generation nobody holds is a no-op, not an error. *)
+  Join_cache.retire cache ~generation:(-1);
+  Alcotest.(check int) "unknown generation is a no-op" 1
+    (Join_cache.invalidations cache)
+
 let test_join_cache_partition_eviction () =
   (* Only [max_docs] per-document partitions are retained per stripe;
      the least recently used one is dropped (counted as an
@@ -512,6 +546,8 @@ let () =
           Alcotest.test_case "commutative hits" `Quick test_join_cache_hits;
           Alcotest.test_case "per-document partitions" `Quick
             test_join_cache_per_document_partitions;
+          Alcotest.test_case "retire one generation" `Quick
+            test_join_cache_retire;
           Alcotest.test_case "partition eviction bound" `Quick
             test_join_cache_partition_eviction;
           Alcotest.test_case "eviction keeps answers exact" `Quick

@@ -91,10 +91,23 @@ let test_structure () =
   | exception Not_found -> ()
   | _ -> Alcotest.fail "expected Not_found")
 
-let test_duplicate_name_rejected () =
-  match Corpus.add (make_corpus ()) ~name:"a.xml" (Paper.figure3 ()) with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "expected duplicate rejection"
+(* Add-or-replace contract: re-adding an existing name replaces the
+   document (fresh context, so a fresh generation — one partition
+   retired downstream), keeps the corpus size, and the replacement is
+   what queries see. *)
+let test_duplicate_name_replaces () =
+  let c0 = make_corpus () in
+  let gen0 = Option.get (Corpus.generation c0 "a.xml") in
+  let c1 = Corpus.add c0 ~name:"a.xml" (Paper.figure1 ()) in
+  Alcotest.(check int) "size unchanged" (Corpus.size c0) (Corpus.size c1);
+  let gen1 = Option.get (Corpus.generation c1 "a.xml") in
+  Alcotest.(check bool) "generation retired" true (gen0 <> gen1);
+  Alcotest.(check int) "replacement tree served" 82
+    (Context.size (Corpus.context c1 "a.xml"));
+  (* The old snapshot is untouched (functional update). *)
+  Alcotest.(check bool) "old snapshot intact" true
+    (Context.size (Corpus.context c0 "a.xml") <> 82
+    || Corpus.generation c0 "a.xml" = Some gen0)
 
 (* --- legacy wrappers (deprecated, still covered) --- *)
 
@@ -791,13 +804,182 @@ let test_env_escape_hatch_disables_routing () =
       Alcotest.(check bool) "explicit arg overrides env" true
         ((Corpus.run ~routing:true c r).Corpus.routing <> None))
 
+(* --- mutation: remove / replace / add-or-replace --- *)
+
+module Corpus_index = Xfrag_index.Corpus_index
+
+let test_remove_document () =
+  let c = make_corpus () in
+  let c' = Corpus.remove c ~name:"b.xml" in
+  Alcotest.(check int) "size drops" 3 (Corpus.size c');
+  Alcotest.(check (list string)) "names"
+    [ "a.xml"; "c.xml"; "paper.xml" ]
+    (Corpus.names c');
+  Alcotest.(check bool) "mem" false (Corpus.mem c' "b.xml");
+  Alcotest.(check int) "old snapshot untouched" 4 (Corpus.size c);
+  Alcotest.(check int) "unknown remove is a no-op" 3
+    (Corpus.size (Corpus.remove c' ~name:"nope.xml"));
+  let keywords = [ "mangrove" ] in
+  let scorer = tfidf_scorer keywords in
+  let r = request ~filter:(Filter.Size_at_most 5) keywords in
+  let hits = (Corpus.run ~shards:1 ~scorer c' r).Corpus.hits in
+  Alcotest.(check bool) "hits survive elsewhere" true (hits <> []);
+  Alcotest.(check bool) "no hits from the removed document" true
+    (List.for_all (fun (h, _) -> h.Corpus.doc <> "b.xml") hits)
+
+(* The mutation property: any interleaving of add/replace/delete,
+   queried, is bit-identical to a corpus built from scratch with the
+   surviving documents — across shards {1,2,7} x routing on/off x cache
+   admission policies.  When both corpora kept their index, the
+   incrementally-maintained index also serializes bit-identically to
+   the from-scratch one (under the chaos legs one side may have
+   degraded down the maintenance ladder; answers must match anyway). *)
+let test_mutation_equivalent_to_rebuild () =
+  let doc seed plant =
+    Docgen.with_planted_keywords { Docgen.default with seed; sections = 2 } ~plant
+  in
+  let tree i =
+    doc (200 + i) [ ("mangrove", 1 + (i mod 3)); ("estuary", 1 + (i mod 2)) ]
+  in
+  (* (name, Some tree) = add/replace; (name, None) = delete. *)
+  let scripts =
+    [
+      [ ("d0", Some (tree 0)); ("d1", Some (tree 1)); ("d0", None) ];
+      [
+        ("d0", Some (tree 0)); ("d0", Some (tree 10)); ("d1", Some (tree 1));
+        ("d2", Some (tree 2)); ("d1", None); ("d1", Some (tree 11));
+        ("d3", Some (tree 3)); ("d2", None);
+      ];
+      [ ("d0", Some (tree 0)); ("d0", None); ("d0", Some (tree 20)) ];
+    ]
+  in
+  let keywords = [ "mangrove"; "estuary" ] in
+  let scorer = tfidf_scorer keywords in
+  let r = request ~filter:(Filter.Size_at_most 6) ~limit:10 keywords in
+  List.iteri
+    (fun si script ->
+      let mutated =
+        List.fold_left
+          (fun c (name, op) ->
+            match op with
+            | Some tree -> Corpus.replace c ~name tree
+            | None -> Corpus.remove c ~name)
+          Corpus.empty script
+      in
+      let survivors =
+        List.fold_left
+          (fun acc (name, op) ->
+            let acc = List.remove_assoc name acc in
+            match op with Some tree -> acc @ [ (name, tree) ] | None -> acc)
+          [] script
+      in
+      let fresh = Corpus.of_documents survivors in
+      Alcotest.(check (list string))
+        (Printf.sprintf "script %d: same names" si)
+        (Corpus.names fresh) (Corpus.names mutated);
+      (match (Corpus.index mutated, Corpus.index fresh) with
+      | Some mi, Some fi ->
+          Alcotest.(check string)
+            (Printf.sprintf "script %d: index identical to rebuild" si)
+            (Corpus_index.to_string fi) (Corpus_index.to_string mi)
+      | _ -> (* a chaos leg degraded one side; answers still checked *) ());
+      let baseline = full_scan ~scorer fresh r in
+      List.iter
+        (fun routing ->
+          List.iter
+            (fun shards ->
+              List.iter
+                (fun (variant, admission) ->
+                  let rc =
+                    match admission with
+                    | None -> r
+                    | Some admission ->
+                        Exec.Request.with_cache
+                          (Some
+                             (JC.create ~synchronized:true ~stripes:3
+                                ~admission ()))
+                          r
+                  in
+                  let bound =
+                    if routing then Corpus.score_bound mutated ~keywords
+                    else None
+                  in
+                  let o =
+                    Corpus.run ~routing ?bound ~shards ~scorer mutated rc
+                  in
+                  Alcotest.(check bool)
+                    (Printf.sprintf
+                       "script %d routing=%b shards=%d %s == from-scratch" si
+                       routing shards variant)
+                    true
+                    (hits_equal baseline o.Corpus.hits))
+                [
+                  ("no-cache", None);
+                  ("admit-all", Some JC.Admission.Admit_all);
+                  ("second-touch", Some JC.Admission.Second_touch);
+                ])
+            [ 1; 2; 7 ])
+        [ false; true ])
+    scripts
+
+(* The retract rung of the maintenance ladder: an armed [index.retract]
+   makes the incremental path fail, [remove] falls back to a full
+   rebuild, and queries cannot tell the difference. *)
+let test_retract_fault_falls_back_to_rebuild () =
+  let c = make_wide_corpus () in
+  let keywords = [ "mangrove" ] in
+  let scorer = tfidf_scorer keywords in
+  let r = request ~filter:(Filter.Size_at_most 6) ~limit:10 keywords in
+  let before = Fault.count "index_retract_errors" in
+  Fault.Failpoint.with_armed "index.retract" Fault.Raise (fun () ->
+      let c' = Corpus.remove c ~name:"doc03.xml" in
+      Alcotest.(check int) "retract fault counted" (before + 1)
+        (Fault.count "index_retract_errors");
+      Alcotest.(check bool) "index survives via rebuild" true
+        (Corpus.index c' <> None);
+      let fresh =
+        Corpus.of_documents
+          (List.filter (fun (n, _) -> n <> "doc03.xml") (wide_docs ()))
+      in
+      (match (Corpus.index c', Corpus.index fresh) with
+      | Some ri, Some fi ->
+          Alcotest.(check string) "rebuilt index identical to from-scratch"
+            (Corpus_index.to_string fi) (Corpus_index.to_string ri)
+      | _ -> Alcotest.fail "both corpora should be indexed");
+      Alcotest.(check bool) "answers identical" true
+        (hits_equal (full_scan ~scorer fresh r)
+           (Corpus.run ~shards:1 ~scorer c' r).Corpus.hits))
+
+(* Both rungs fail: retract raises, the rebuild's [index.build] raises
+   too — the index is dropped and the corpus serves full scans, with
+   answers still identical to a from-scratch corpus of survivors. *)
+let test_retract_and_rebuild_faults_drop_index () =
+  let c = make_wide_corpus () in
+  let keywords = [ "mangrove" ] in
+  let scorer = tfidf_scorer keywords in
+  let r = request ~filter:(Filter.Size_at_most 6) ~limit:10 keywords in
+  Fault.Failpoint.with_armed "index.retract" Fault.Raise (fun () ->
+      Fault.Failpoint.with_armed "index.build" Fault.Raise (fun () ->
+          let c' = Corpus.remove c ~name:"doc03.xml" in
+          Alcotest.(check bool) "index dropped" true (Corpus.index c' = None);
+          let o = Corpus.run ~shards:1 ~scorer c' r in
+          Alcotest.(check bool) "full scan reported" true
+            (o.Corpus.routing = None);
+          let fresh =
+            Corpus.of_documents
+              (List.filter (fun (n, _) -> n <> "doc03.xml") (wide_docs ()))
+          in
+          Alcotest.(check bool) "answers identical without an index" true
+            (hits_equal (full_scan ~scorer fresh r) o.Corpus.hits)))
+
 let () =
   Alcotest.run "corpus"
     [
       ( "structure",
         [
           Alcotest.test_case "documents" `Quick test_structure;
-          Alcotest.test_case "duplicate name" `Quick test_duplicate_name_rejected;
+          Alcotest.test_case "duplicate name replaces" `Quick
+            test_duplicate_name_replaces;
         ] );
       ( "search",
         [
@@ -864,5 +1046,16 @@ let () =
             test_bound_skips_fire_and_preserve_answers;
           Alcotest.test_case "XFRAG_ROUTING=0 escape hatch" `Quick
             test_env_escape_hatch_disables_routing;
+        ] );
+      ( "mutation",
+        [
+          Alcotest.test_case "remove document" `Quick test_remove_document;
+          Alcotest.test_case
+            "interleavings bit-identical to from-scratch rebuild" `Quick
+            test_mutation_equivalent_to_rebuild;
+          Alcotest.test_case "retract fault falls back to rebuild" `Quick
+            test_retract_fault_falls_back_to_rebuild;
+          Alcotest.test_case "retract+rebuild faults drop the index" `Quick
+            test_retract_and_rebuild_faults_drop_index;
         ] );
     ]

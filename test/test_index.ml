@@ -240,6 +240,18 @@ let test_remove_document () =
   Alcotest.(check int) "unknown remove is a no-op" 2
     (Corpus_index.doc_count (Corpus_index.remove_document idx "nope.xml"))
 
+let test_remove_document_passes_retract_failpoint () =
+  let idx = build_index () in
+  Fault.Failpoint.with_armed ~trigger:(Fault.Nth 1) "index.retract" Fault.Raise
+    (fun () ->
+      (match Corpus_index.remove_document idx "b.xml" with
+      | exception Fault.Injected ("index.retract", _) -> ()
+      | exception e -> raise e
+      | _ -> Alcotest.fail "armed retract should raise");
+      (* Nth 1 fired; the next retract goes through untouched. *)
+      Alcotest.(check int) "second retract succeeds" 2
+        (Corpus_index.doc_count (Corpus_index.remove_document idx "b.xml")))
+
 let () =
   (* These tests drive Corpus_index directly, beneath the Corpus.add
      containment layer, so the CI chaos leg arming index.build
@@ -248,6 +260,11 @@ let () =
      test re-arms it scoped, and the containment claim itself is carried
      by the corpus/server suites, which go through Corpus.add. *)
   Fault.Failpoint.disarm "index.build";
+  (* Same reasoning for the retract site: these tests call
+     Corpus_index.remove_document directly, beneath Corpus.remove's
+     rebuild fallback, so the index.retract chaos leg would fail them
+     by design.  The scoped failpoint test re-arms it itself. *)
+  Fault.Failpoint.disarm "index.retract";
   Alcotest.run "index"
     [
       ( "corpus_index",
@@ -259,6 +276,8 @@ let () =
           Alcotest.test_case "score bound is conservative" `Quick
             test_score_bound_is_conservative;
           Alcotest.test_case "remove document" `Quick test_remove_document;
+          Alcotest.test_case "retract failpoint fires" `Quick
+            test_remove_document_passes_retract_failpoint;
         ] );
       ( "serialization",
         [

@@ -530,6 +530,280 @@ let test_fault_500_lands_in_recorder () =
           Alcotest.(check string) "site" "eval.request" ev.Recorder.site;
           Alcotest.(check int) "status" 500 ev.Recorder.status)
 
+(* --- document CRUD over /corpus/docs --- *)
+
+module Fault = Xfrag_fault.Fault
+
+let small_doc_xml =
+  "<doc><sec>mangrove mangrove estuary</sec><sec>mangrove wetlands</sec></doc>"
+
+let obj_field key j =
+  match Json.member key j with
+  | Some (Json.Obj _ as o) -> o
+  | _ -> Alcotest.failf "missing object field %S" key
+
+let bool_field key j =
+  match Json.member key j with
+  | Some (Json.Bool b) -> b
+  | _ -> Alcotest.failf "missing bool field %S" key
+
+(* limit 100 so every resident document's hits are visible — the
+   concurrency test below asserts on the full doc set. *)
+let mangrove_query = {|{"keywords":["mangrove"],"limit":100}|}
+
+let hit_docs router =
+  let resp =
+    Router.handle router (make_request ~path:"/corpus/query" mangrove_query)
+  in
+  Alcotest.(check int) "corpus query status" 200 resp.Http.status;
+  List.map (string_field "doc") (list_field "hits" (body_json resp))
+
+let listing_count router =
+  int_field "count"
+    (body_json
+       (Router.handle router (make_request ~meth:"GET" ~path:"/corpus/docs" "")))
+
+let test_crud_lifecycle () =
+  let router = make_corpus_router () in
+  let put body =
+    Router.handle router
+      (make_request ~meth:"PUT" ~path:"/corpus/docs/d.xml" body)
+  in
+  (* Create: 201, and the next query sees it without a restart. *)
+  let resp = put small_doc_xml in
+  Alcotest.(check int) "create -> 201" 201 resp.Http.status;
+  let j = body_json resp in
+  Alcotest.(check bool) "created" true (bool_field "created" j);
+  Alcotest.(check bool) "not a replace" false (bool_field "replaced" j);
+  Alcotest.(check int) "corpus grew" 4 (int_field "corpus_docs" j);
+  Alcotest.(check bool) "nodes parsed" true (int_field "nodes" j > 0);
+  Alcotest.(check bool) "new doc answers queries" true
+    (List.mem "d.xml" (hit_docs router));
+  (* Resource read. *)
+  let got =
+    Router.handle router (make_request ~meth:"GET" ~path:"/corpus/docs/d.xml" "")
+  in
+  Alcotest.(check int) "GET doc" 200 got.Http.status;
+  let gj = body_json got in
+  Alcotest.(check bool) "doc nodes" true (int_field "nodes" gj > 0);
+  Alcotest.(check bool) "doc keywords" true (int_field "keywords" gj > 0);
+  (* Replace: 200, corpus size unchanged. *)
+  let resp = put small_doc_xml in
+  Alcotest.(check int) "replace -> 200" 200 resp.Http.status;
+  Alcotest.(check bool) "replaced" true (bool_field "replaced" (body_json resp));
+  Alcotest.(check int) "size unchanged on replace" 4
+    (int_field "corpus_docs" (body_json resp));
+  (* Delete: gone from the next query, and a second delete is 404. *)
+  let del =
+    Router.handle router
+      (make_request ~meth:"DELETE" ~path:"/corpus/docs/d.xml" "")
+  in
+  Alcotest.(check int) "delete" 200 del.Http.status;
+  Alcotest.(check bool) "deleted" true (bool_field "deleted" (body_json del));
+  Alcotest.(check int) "corpus shrank" 3
+    (int_field "corpus_docs" (body_json del));
+  Alcotest.(check bool) "deleted doc gone from answers" false
+    (List.mem "d.xml" (hit_docs router));
+  Alcotest.(check int) "re-delete -> 404" 404
+    (Router.handle router
+       (make_request ~meth:"DELETE" ~path:"/corpus/docs/d.xml" ""))
+      .Http.status;
+  Alcotest.(check int) "GET gone -> 404" 404
+    (Router.handle router (make_request ~meth:"GET" ~path:"/corpus/docs/d.xml" ""))
+      .Http.status
+
+let test_put_bootstraps_empty_server () =
+  (* A router with no corpus still serves the resource endpoints: the
+     listing is an empty 200, and the first PUT brings /corpus/query to
+     life. *)
+  let router = make_router () in
+  Alcotest.(check int) "no corpus -> 404" 404
+    (Router.handle router (make_request ~path:"/corpus/query" mangrove_query))
+      .Http.status;
+  Alcotest.(check int) "empty listing is legal" 0 (listing_count router);
+  let resp =
+    Router.handle router
+      (make_request ~meth:"PUT" ~path:"/corpus/docs/figure1.xml"
+         (Paper.figure1_xml ()))
+  in
+  Alcotest.(check int) "bootstrap PUT" 201 resp.Http.status;
+  let q =
+    Json.to_string
+      (Json.Obj
+         [
+           ( "keywords",
+             Json.List (List.map (fun k -> Json.String k) Paper.query_keywords)
+           );
+         ])
+  in
+  let resp = Router.handle router (make_request ~path:"/corpus/query" q) in
+  Alcotest.(check int) "corpus query now serves" 200 resp.Http.status;
+  Alcotest.(check bool) "has hits" true
+    (int_field "count" (body_json resp) > 0)
+
+let test_put_invalid_xml_quarantined () =
+  let router = make_corpus_router () in
+  let before = Fault.count "quarantined_docs" in
+  let resp =
+    Router.handle router
+      (make_request ~meth:"PUT" ~path:"/corpus/docs/broken.xml"
+         "<doc><unclosed>")
+  in
+  Alcotest.(check int) "bad XML -> 400" 400 resp.Http.status;
+  let j = body_json resp in
+  Alcotest.(check string) "kind parse_error" "parse_error"
+    (string_field "kind" (obj_field "error" j));
+  Alcotest.(check int) "quarantine counter bumped" (before + 1)
+    (Fault.count "quarantined_docs");
+  Alcotest.(check int) "corpus unchanged" 3 (listing_count router)
+
+let test_corpus_stats_endpoint () =
+  let router = make_corpus_router () in
+  let resp =
+    Router.handle router (make_request ~meth:"GET" ~path:"/corpus/stats" "")
+  in
+  Alcotest.(check int) "status" 200 resp.Http.status;
+  let j = body_json resp in
+  Alcotest.(check int) "docs" 3 (int_field "docs" j);
+  Alcotest.(check bool) "total nodes" true (int_field "total_nodes" j > 0);
+  let idx = obj_field "index" j in
+  Alcotest.(check int) "index docs" 3 (int_field "docs" idx);
+  Alcotest.(check bool) "index vocabulary" true
+    (int_field "vocabulary" idx > 0);
+  (* No cache configured: the cache slot is an explicit null. *)
+  Alcotest.(check bool) "cache null" true (Json.member "cache" j = Some Json.Null)
+
+let test_error_envelope_shape () =
+  let router = make_corpus_router () in
+  let resp =
+    Router.handle router
+      (make_request ~meth:"GET" ~path:"/corpus/docs/nope.xml" "")
+  in
+  Alcotest.(check int) "404" 404 resp.Http.status;
+  let j = body_json resp in
+  let env = obj_field "error" j in
+  Alcotest.(check string) "envelope kind" "not_found" (string_field "kind" env);
+  Alcotest.(check bool) "envelope message" true
+    (String.length (string_field "message" env) > 0);
+  let id = string_field "request_id" env in
+  Alcotest.(check bool) "envelope request_id" true (String.length id > 0);
+  (* Deprecated top-level aliases mirror the envelope for one release. *)
+  Alcotest.(check string) "alias kind" "not_found" (string_field "kind" j);
+  Alcotest.(check string) "alias request_id" id (string_field "request_id" j)
+
+let test_405_allow () =
+  let router = make_corpus_router () in
+  let check_allow ~meth ~path expect =
+    let resp = Router.handle router (make_request ~meth ~path "{}") in
+    Alcotest.(check int) (path ^ " -> 405") 405 resp.Http.status;
+    Alcotest.(check (option string))
+      (path ^ " Allow header")
+      (Some (String.concat ", " expect))
+      (resp_header "allow" resp);
+    let j = body_json resp in
+    Alcotest.(check (list string))
+      (path ^ " allow body")
+      expect
+      (List.map
+         (function Json.String s -> s | _ -> "?")
+         (list_field "allow" j));
+    Alcotest.(check string) (path ^ " kind") "method_not_allowed"
+      (string_field "kind" (obj_field "error" j))
+  in
+  check_allow ~meth:"GET" ~path:"/query" [ "POST" ];
+  check_allow ~meth:"POST" ~path:"/corpus/docs" [ "GET" ];
+  check_allow ~meth:"POST" ~path:"/corpus/docs/a.xml" [ "DELETE"; "GET"; "PUT" ]
+
+let test_corpus_write_fault_leaves_snapshot () =
+  let router = make_corpus_router () in
+  let resp =
+    Fault.Failpoint.with_armed "corpus.write" Fault.Raise (fun () ->
+        Router.handle router
+          (make_request ~meth:"PUT" ~path:"/corpus/docs/d.xml" small_doc_xml))
+  in
+  Alcotest.(check int) "injected write -> 500" 500 resp.Http.status;
+  let env = obj_field "error" (body_json resp) in
+  Alcotest.(check string) "kind" "fault_injected" (string_field "kind" env);
+  Alcotest.(check string) "site" "corpus.write" (string_field "site" env);
+  (* The failpoint fires before any state change: snapshot untouched. *)
+  Alcotest.(check int) "corpus unchanged" 3 (listing_count router);
+  Alcotest.(check bool) "no half-applied doc" false
+    (List.mem "d.xml" (hit_docs router));
+  (* And the write path recovers once disarmed. *)
+  Alcotest.(check int) "PUT succeeds after disarm" 201
+    (Router.handle router
+       (make_request ~meth:"PUT" ~path:"/corpus/docs/d.xml" small_doc_xml))
+      .Http.status
+
+let test_write_metrics () =
+  let router = make_corpus_router () in
+  ignore
+    (Router.handle router
+       (make_request ~meth:"PUT" ~path:"/corpus/docs/d.xml" small_doc_xml));
+  ignore
+    (Router.handle router
+       (make_request ~meth:"DELETE" ~path:"/corpus/docs/d.xml" ""));
+  let page = Router.metrics_page router in
+  let contains sub = Astring.String.find_sub ~sub page <> None in
+  Alcotest.(check bool) "put counter" true (contains "corpus_put 1");
+  Alcotest.(check bool) "delete counter" true (contains "corpus_delete 1");
+  Alcotest.(check bool) "put latency" true (contains "corpus_put_ns_count 1");
+  Alcotest.(check bool) "writer wait" true
+    (contains "corpus_writer_wait_ns_count 2");
+  Alcotest.(check bool) "retract timing" true
+    (contains "index_retract_ns_count 1");
+  (* Doc paths bucket to one label — no per-name series. *)
+  Alcotest.(check bool) "bucketed endpoint label" true
+    (contains "server_requests{endpoint=\"/corpus/docs/{name}\",status=\"201\"} 1");
+  Alcotest.(check bool) "doc name is not a label" false (contains "d.xml")
+
+let test_concurrent_readers_and_writer () =
+  (* Readers pin a snapshot per request while a writer cycles d.xml in
+     and out: every read must see a complete corpus — the two stable
+     documents always answer, and nothing but the three known names ever
+     appears.  A torn swap, a lost index, or a stale cross-generation
+     hit would all break one of those invariants. *)
+  let router = make_corpus_router () in
+  let stop = Atomic.make false in
+  let failures = Atomic.make 0 in
+  let reader () =
+    while not (Atomic.get stop) do
+      let resp =
+        Router.handle router
+          (make_request ~path:"/corpus/query" mangrove_query)
+      in
+      let ok =
+        resp.Http.status = 200
+        &&
+        let docs =
+          List.map (string_field "doc") (list_field "hits" (body_json resp))
+        in
+        List.mem "a.xml" docs && List.mem "b.xml" docs
+        && List.for_all
+             (fun d -> List.mem d [ "a.xml"; "b.xml"; "d.xml" ])
+             docs
+      in
+      if not ok then Atomic.incr failures
+    done
+  in
+  let readers = List.init 2 (fun _ -> Domain.spawn reader) in
+  let writes_ok = ref true in
+  for _ = 1 to 25 do
+    let put =
+      Router.handle router
+        (make_request ~meth:"PUT" ~path:"/corpus/docs/d.xml" small_doc_xml)
+    in
+    let del =
+      Router.handle router
+        (make_request ~meth:"DELETE" ~path:"/corpus/docs/d.xml" "")
+    in
+    if put.Http.status <> 201 || del.Http.status <> 200 then writes_ok := false
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join readers;
+  Alcotest.(check bool) "every write round-tripped" true !writes_ok;
+  Alcotest.(check int) "no torn or stale reads" 0 (Atomic.get failures)
+
 (* --- prometheus exporter --- *)
 
 let test_prometheus_render () =
@@ -727,6 +1001,23 @@ let () =
             test_debug_endpoints_are_get_only;
           Alcotest.test_case "fault 500 in recorder" `Quick
             test_fault_500_lands_in_recorder;
+        ] );
+      ( "corpus crud",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_crud_lifecycle;
+          Alcotest.test_case "PUT bootstraps empty server" `Quick
+            test_put_bootstraps_empty_server;
+          Alcotest.test_case "invalid XML quarantined" `Quick
+            test_put_invalid_xml_quarantined;
+          Alcotest.test_case "/corpus/stats" `Quick test_corpus_stats_endpoint;
+          Alcotest.test_case "error envelope shape" `Quick
+            test_error_envelope_shape;
+          Alcotest.test_case "405 carries Allow" `Quick test_405_allow;
+          Alcotest.test_case "write fault leaves snapshot" `Quick
+            test_corpus_write_fault_leaves_snapshot;
+          Alcotest.test_case "write metrics" `Quick test_write_metrics;
+          Alcotest.test_case "readers race writer" `Quick
+            test_concurrent_readers_and_writer;
         ] );
       ( "prometheus",
         [
